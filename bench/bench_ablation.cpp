@@ -1,0 +1,133 @@
+// Ablation study over the design choices DESIGN.md calls out: each pipeline
+// phase (token pass, AST recovery + variable tracing, multi-layer
+// unwrapping, rename/reformat) is disabled in turn and the effect measured
+// on key-information recovery and obfuscation-score reduction — quantifying
+// what each of the paper's three phases contributes.
+
+#include "bench_common.h"
+
+#include "analysis/keyinfo.h"
+#include "analysis/scorer.h"
+#include "core/deobfuscator.h"
+#include "corpus/corpus.h"
+
+namespace {
+
+using namespace ideobf;
+
+constexpr std::size_t kSamples = 100;
+
+struct Config {
+  std::string name;
+  DeobfuscationOptions options;
+};
+
+std::vector<Config> configs() {
+  std::vector<Config> out;
+  {
+    Config c{"full pipeline", {}};
+    out.push_back(c);
+  }
+  {
+    Config c{"- token pass", {}};
+    c.options.token_pass = false;
+    out.push_back(c);
+  }
+  {
+    Config c{"- AST recovery", {}};
+    c.options.ast_recovery = false;
+    out.push_back(c);
+  }
+  {
+    Config c{"- multilayer", {}};
+    c.options.multilayer = false;
+    out.push_back(c);
+  }
+  {
+    Config c{"- rename/reformat", {}};
+    c.options.rename = false;
+    c.options.reformat = false;
+    out.push_back(c);
+  }
+  {
+    Config c{"token pass only", {}};
+    c.options.ast_recovery = false;
+    c.options.multilayer = false;
+    c.options.rename = false;
+    c.options.reformat = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+void print_table() {
+  CorpusGenerator gen(100);
+  const auto samples = gen.generate_batch(kSamples);
+
+  int manual_total = 0;
+  int score_before = 0;
+  for (const Sample& s : samples) {
+    manual_total += s.ground_truth.total();
+    score_before += obfuscation_score(s.obfuscated);
+  }
+
+  bench::heading(
+      "Ablation: contribution of each Invoke-Deobfuscation phase\n"
+      "(100 samples; KeyInfo% = recovered key information vs ground truth;\n"
+      " ScoreCut% = obfuscation-score reduction)");
+  const std::vector<int> widths = {20, 12, 12};
+  bench::row({"Configuration", "KeyInfo%", "ScoreCut%"}, widths);
+
+  for (const Config& config : configs()) {
+    InvokeDeobfuscator deobf(config.options);
+    int recovered = 0;
+    int score_after = 0;
+    for (const Sample& s : samples) {
+      const std::string out = deobf.deobfuscate(s.obfuscated);
+      recovered += s.ground_truth.recovered_in(extract_key_info(out));
+      score_after += obfuscation_score(out);
+    }
+    bench::row({config.name,
+                bench::pct(static_cast<double>(recovered) /
+                           std::max(1, manual_total)),
+                bench::pct(1.0 - static_cast<double>(score_after) /
+                                     std::max(1, score_before))},
+               widths);
+  }
+  std::printf(
+      "\nExpected shape: AST recovery (with variable tracing) carries most of\n"
+      "the recovery power; the token pass and multilayer unwrapping each add\n"
+      "a distinct slice; rename/reformat affects readability, not recovery.\n");
+}
+
+void BM_FullPipeline(benchmark::State& state) {
+  CorpusGenerator gen(3);
+  const Sample s = gen.generate();
+  InvokeDeobfuscator deobf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deobf.deobfuscate(s.obfuscated));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_TokenPassOnly(benchmark::State& state) {
+  CorpusGenerator gen(3);
+  const Sample s = gen.generate();
+  DeobfuscationOptions opts;
+  opts.ast_recovery = false;
+  opts.multilayer = false;
+  opts.rename = false;
+  opts.reformat = false;
+  InvokeDeobfuscator deobf(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(deobf.deobfuscate(s.obfuscated));
+  }
+}
+BENCHMARK(BM_TokenPassOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file bench_common.h
+/// Shared reporting helpers for the per-table/figure benchmark binaries.
+/// Each binary prints the paper-style rows first, then runs any registered
+/// google-benchmark microbenchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+inline void heading(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const std::vector<std::string>& cells,
+                const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 16;
+    std::string cell = cells[i];
+    if (static_cast<int>(cell.size()) < w) {
+      cell.resize(static_cast<std::size_t>(w), ' ');
+    }
+    line += cell + " ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline std::string pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f%%", fraction * 100.0);
+  return buf;
+}
+
+inline std::string fixed(double v, int digits = 2) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+/// Prints the table, then hands over to google-benchmark.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bench

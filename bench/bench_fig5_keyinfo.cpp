@@ -1,0 +1,94 @@
+// Reproduces Fig 5: the number of key information items (ps1 files,
+// PowerShell commands, URLs, IPs) each tool recovers from 100 obfuscated
+// scripts, against the manual (ground-truth) benchmark.
+
+#include "bench_common.h"
+
+#include "analysis/keyinfo.h"
+#include "baselines/baseline.h"
+#include "corpus/corpus.h"
+
+namespace {
+
+using namespace ideobf;
+
+constexpr std::size_t kSamples = 100;
+
+struct Totals {
+  int ps1 = 0;
+  int pwsh = 0;
+  int urls = 0;
+  int ips = 0;
+  [[nodiscard]] int total() const { return ps1 + pwsh + urls + ips; }
+};
+
+Totals count_recovered(const KeyInfo& truth, const KeyInfo& found) {
+  Totals t;
+  for (const auto& p : truth.ps1_files) t.ps1 += found.ps1_files.count(p) ? 1 : 0;
+  for (const auto& u : truth.urls) t.urls += found.urls.count(u) ? 1 : 0;
+  for (const auto& i : truth.ips) t.ips += found.ips.count(i) ? 1 : 0;
+  t.pwsh = std::min(truth.powershell_commands, found.powershell_commands);
+  return t;
+}
+
+void print_table() {
+  CorpusGenerator gen(100);
+  const auto samples = gen.generate_batch(kSamples);
+
+  Totals manual;
+  for (const Sample& s : samples) {
+    manual.ps1 += static_cast<int>(s.ground_truth.ps1_files.size());
+    manual.urls += static_cast<int>(s.ground_truth.urls.size());
+    manual.ips += static_cast<int>(s.ground_truth.ips.size());
+    manual.pwsh += s.ground_truth.powershell_commands;
+  }
+
+  bench::heading(
+      "Fig 5: Number of key information items recovered by each tool\n"
+      "(100 generated obfuscated scripts; 'Manual' = ground truth)");
+  const std::vector<int> widths = {22, 8, 12, 8, 8, 8, 12};
+  bench::row({"Tool", "ps1", "PowerShell", "URL", "IP", "Total", "%ofManual"},
+             widths);
+  bench::row({"Manual", std::to_string(manual.ps1), std::to_string(manual.pwsh),
+              std::to_string(manual.urls), std::to_string(manual.ips),
+              std::to_string(manual.total()), "100.0%"},
+             widths);
+
+  for (const auto& tool : make_all_tools()) {
+    Totals t;
+    for (const Sample& s : samples) {
+      const BaselineResult r = tool->run(s.obfuscated);
+      const KeyInfo found = extract_key_info(r.script);
+      const Totals rec = count_recovered(s.ground_truth, found);
+      t.ps1 += rec.ps1;
+      t.urls += rec.urls;
+      t.ips += rec.ips;
+      t.pwsh += rec.pwsh;
+    }
+    bench::row({tool->name(), std::to_string(t.ps1), std::to_string(t.pwsh),
+                std::to_string(t.urls), std::to_string(t.ips),
+                std::to_string(t.total()),
+                bench::pct(static_cast<double>(t.total()) /
+                           std::max(1, manual.total()))},
+               widths);
+  }
+  std::printf(
+      "\nPaper shape: Invoke-Deobfuscation recovers more than twice the key\n"
+      "information of any other tool; 96.8%% of its results match manual.\n");
+}
+
+void BM_ExtractKeyInfo(benchmark::State& state) {
+  CorpusGenerator gen(5);
+  const Sample s = gen.generate();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extract_key_info(s.obfuscated));
+  }
+}
+BENCHMARK(BM_ExtractKeyInfo);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return bench::run_benchmarks(argc, argv);
+}

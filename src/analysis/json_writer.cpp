@@ -1,0 +1,102 @@
+#include "analysis/json_writer.h"
+
+#include <cstdio>
+
+namespace ideobf {
+
+std::string json_quote(std::string_view s) {
+  std::string out = "\"";
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value belongs to the written key; no comma
+  }
+  if (!state_.empty() && state_.back() == '1') out_ += ',';
+  if (!state_.empty()) state_.back() = '1';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  state_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  if (!state_.empty()) state_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array(std::string_view k) {
+  if (!k.empty()) key(k);
+  comma();
+  out_ += '[';
+  state_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  if (!state_.empty()) state_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  comma();
+  out_ += json_quote(name);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  comma();
+  out_ += json_quote(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t n) {
+  comma();
+  out_ += std::to_string(n);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double d) {
+  comma();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", d);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  return *this;
+}
+
+}  // namespace ideobf

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file json_writer.h
+/// A minimal dependency-free JSON emitter for the CLI's machine-readable
+/// output (`ideobf iocs --json`, ...). Covers objects, arrays, strings,
+/// numbers and booleans with correct escaping — not a parser.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ideobf {
+
+/// Escapes a string for embedding in JSON (quotes included in the result).
+std::string json_quote(std::string_view s);
+
+/// Incremental writer with automatic comma placement.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array(std::string_view key = {});
+  JsonWriter& end_array();
+
+  JsonWriter& key(std::string_view name);
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(std::int64_t n);
+  JsonWriter& value(int n) { return value(static_cast<std::int64_t>(n)); }
+  JsonWriter& value(double d);
+  JsonWriter& value(bool b);
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+  std::string out_;
+  /// Nesting stack: true = a value has already been written at this level.
+  std::string state_;
+  bool pending_key_ = false;
+};
+
+}  // namespace ideobf

@@ -1,0 +1,80 @@
+#include "analysis/keyinfo.h"
+
+#include <algorithm>
+#include <regex>
+
+#include "pslang/alias_table.h"
+
+namespace ideobf {
+
+namespace {
+
+bool valid_ip(const std::string& s) {
+  int part = 0, parts = 0, digits = 0;
+  for (char c : s) {
+    if (c == '.') {
+      if (digits == 0 || part > 255) return false;
+      ++parts;
+      part = 0;
+      digits = 0;
+      continue;
+    }
+    part = part * 10 + (c - '0');
+    ++digits;
+    if (digits > 3) return false;
+  }
+  return parts == 3 && digits > 0 && part <= 255;
+}
+
+}  // namespace
+
+KeyInfo extract_key_info(std::string_view script) {
+  KeyInfo info;
+  const std::string text(script);
+
+  static const std::regex kUrl(R"((https?|ftp)://[^\s'"()<>|;,]+)",
+                               std::regex::icase);
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kUrl);
+       it != std::sregex_iterator(); ++it) {
+    std::string url = it->str();
+    while (!url.empty() && (url.back() == '.' || url.back() == '\'')) url.pop_back();
+    info.urls.insert(ps::to_lower(url));
+  }
+
+  static const std::regex kIp(R"((\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}))");
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kIp);
+       it != std::sregex_iterator(); ++it) {
+    const std::string ip = it->str();
+    if (valid_ip(ip)) info.ips.insert(ip);
+  }
+
+  static const std::regex kPs1(R"(([\w:~.\\/-]+\.ps1)\b)", std::regex::icase);
+  for (auto it = std::sregex_iterator(text.begin(), text.end(), kPs1);
+       it != std::sregex_iterator(); ++it) {
+    info.ps1_files.insert(ps::to_lower(it->str()));
+  }
+
+  static const std::regex kPwsh(R"(\bpowershell(\.exe)?\b)", std::regex::icase);
+  info.powershell_commands = static_cast<int>(std::distance(
+      std::sregex_iterator(text.begin(), text.end(), kPwsh),
+      std::sregex_iterator()));
+
+  return info;
+}
+
+int KeyInfo::recovered_in(const KeyInfo& other) const {
+  int n = 0;
+  for (const auto& u : urls) {
+    if (other.urls.count(u)) ++n;
+  }
+  for (const auto& i : ips) {
+    if (other.ips.count(i)) ++n;
+  }
+  for (const auto& p : ps1_files) {
+    if (other.ps1_files.count(p)) ++n;
+  }
+  n += std::min(powershell_commands, other.powershell_commands);
+  return n;
+}
+
+}  // namespace ideobf

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file keyinfo.h
+/// Key-information extraction (paper section IV-C2): the four indicator
+/// types compared across tools in Fig 5 — .ps1 paths, `powershell` command
+/// invocations, URLs and IPs.
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace ideobf {
+
+struct KeyInfo {
+  std::set<std::string> urls;
+  std::set<std::string> ips;
+  std::set<std::string> ps1_files;
+  int powershell_commands = 0;
+
+  [[nodiscard]] int total() const {
+    return static_cast<int>(urls.size() + ips.size() + ps1_files.size()) +
+           powershell_commands;
+  }
+
+  /// Items of `this` also present in `other` (per-category, capped).
+  [[nodiscard]] int recovered_in(const KeyInfo& other) const;
+};
+
+/// Extracts the four key-information types from script text.
+KeyInfo extract_key_info(std::string_view script);
+
+}  // namespace ideobf

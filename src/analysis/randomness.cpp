@@ -1,0 +1,64 @@
+#include "analysis/randomness.h"
+
+#include <cctype>
+
+namespace ideobf {
+
+NameStatistics name_statistics(std::string_view s) {
+  NameStatistics st;
+  st.total_chars = s.size();
+  for (char c : s) {
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      st.letters++;
+      const char l = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      if (l == 'a' || l == 'e' || l == 'i' || l == 'o' || l == 'u') st.vowels++;
+    }
+  }
+  return st;
+}
+
+bool looks_random(std::string_view s) {
+  const NameStatistics st = name_statistics(s);
+  if (st.total_chars == 0) return false;
+  if (st.letter_ratio() < 0.10) return true;  // special-character names
+  if (st.letters < 4) return false;           // too short to judge vowels
+  const double v = st.vowel_ratio();
+  return v < 0.32 || v > 0.42;
+}
+
+bool names_look_random(const std::vector<std::string>& names) {
+  std::string joined;
+  for (const auto& n : names) joined += n;
+  return looks_random(joined);
+}
+
+bool has_random_case(std::string_view word) {
+  bool any_upper = false, any_lower = false;
+  for (char c : word) {
+    if (std::isupper(static_cast<unsigned char>(c))) any_upper = true;
+    if (std::islower(static_cast<unsigned char>(c))) any_lower = true;
+  }
+  if (!any_upper || !any_lower) return false;  // single-case is never random
+  // Pascal/camel compounds ("DownloadString", "Net.WebClient") have a few
+  // hump capitals; randomized case ("dOwNloAdStRing") has many mid-word
+  // capitals. Count uppercase letters that do not start a segment.
+  std::size_t letters = 0, mid_upper = 0;
+  bool segment_start = true;
+  for (char c : word) {
+    if (c == '-' || c == '.' || c == '\\' || c == '/' || c == ':' || c == '_') {
+      segment_start = true;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c))) {
+      ++letters;
+      if (!segment_start && std::isupper(static_cast<unsigned char>(c))) {
+        ++mid_upper;
+      }
+      segment_start = false;
+    }
+  }
+  if (letters == 0) return false;
+  return static_cast<double>(mid_upper) / static_cast<double>(letters) > 0.2;
+}
+
+}  // namespace ideobf

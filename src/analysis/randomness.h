@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file randomness.h
+/// The statistical randomness test of paper section III-C: General American
+/// English has ~37.4% vowels among letters (Hayden 1950); identifier sets
+/// outside [32%, 42%], or with fewer than 10% letters, are considered
+/// randomly generated.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ideobf {
+
+struct NameStatistics {
+  std::size_t total_chars = 0;
+  std::size_t letters = 0;
+  std::size_t vowels = 0;
+
+  [[nodiscard]] double letter_ratio() const {
+    return total_chars == 0 ? 0.0 : static_cast<double>(letters) /
+                                        static_cast<double>(total_chars);
+  }
+  [[nodiscard]] double vowel_ratio() const {
+    return letters == 0 ? 0.0 : static_cast<double>(vowels) /
+                                    static_cast<double>(letters);
+  }
+};
+
+/// Character statistics of a string (letters counted ASCII-only).
+NameStatistics name_statistics(std::string_view s);
+
+/// The paper's joint randomness decision over the concatenation of all
+/// unique identifier names in a script.
+bool names_look_random(const std::vector<std::string>& names);
+
+/// Single-string variant used by the obfuscation scorer.
+bool looks_random(std::string_view s);
+
+/// True when a word's casing looks randomized (mixed case that is neither
+/// all-lower, all-upper, nor Pascal-style per `-`/`.` separated segment).
+bool has_random_case(std::string_view word);
+
+}  // namespace ideobf

@@ -1,0 +1,251 @@
+#include "analysis/scorer.h"
+
+#include <cctype>
+#include <regex>
+#include <vector>
+
+#include "analysis/randomness.h"
+#include "analysis/techniques.h"
+#include "pslang/alias_table.h"
+#include "pslang/lexer.h"
+#include "psinterp/encodings.h"
+
+namespace ideobf {
+
+using ps::QuoteKind;
+using ps::Token;
+using ps::TokenType;
+
+namespace {
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  const std::string h = ps::to_lower(haystack);
+  return h.find(ps::to_lower(needle)) != std::string::npos;
+}
+
+/// Longest run of whitespace inside a string literal.
+std::size_t longest_ws_run(std::string_view s) {
+  std::size_t best = 0, cur = 0;
+  for (char c : s) {
+    if (c == ' ' || c == '\t') {
+      ++cur;
+      best = std::max(best, cur);
+    } else {
+      cur = 0;
+    }
+  }
+  return best;
+}
+
+std::size_t count_distinct_delims(std::string_view s) {
+  std::set<char> delims;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != ' ' && c != ',' &&
+        c != '.' && c != '\'' && c != '-') {
+      delims.insert(c);
+    }
+  }
+  return delims.size();
+}
+
+}  // namespace
+
+ObfuscationFindings detect_obfuscation(std::string_view script) {
+  ObfuscationFindings f;
+  bool ok = true;
+  const ps::TokenStream tokens = ps::tokenize_lenient(script, ok);
+  const std::string text(script);
+
+  // ----- token-driven detectors -----
+  int split_ops = 0;
+  bool has_bxor = false;
+  std::vector<std::string> identifier_names;
+  std::vector<std::string> long_strings;
+
+  const Token* prev_significant = nullptr;
+  bool expect_fn_name = false;
+  for (const Token& t : tokens) {
+    if (t.type == TokenType::Comment || t.type == TokenType::NewLine ||
+        t.type == TokenType::LineContinuation) {
+      continue;
+    }
+
+    // Ticking: backticks in non-string tokens.
+    if (t.type != TokenType::String && t.text.find('`') != std::string::npos) {
+      f.techniques.insert(Technique::Ticking);
+    }
+
+    // Random case on identifier-like tokens.
+    if (t.type == TokenType::Command || t.type == TokenType::Keyword ||
+        t.type == TokenType::Member || t.type == TokenType::Type ||
+        (t.type == TokenType::Operator && t.text.size() > 2 && t.text[0] == '-')) {
+      std::string word = t.text;
+      word.erase(std::remove(word.begin(), word.end(), '`'), word.end());
+      if (has_random_case(word)) f.techniques.insert(Technique::RandomCase);
+    }
+
+    // Alias use.
+    if (t.type == TokenType::Command) {
+      std::string name = t.content;
+      if (ps::AliasTable::standard().resolve(name).has_value()) {
+        f.techniques.insert(Technique::Alias);
+      }
+    }
+
+    // Whitespacing: a gap of >= 3 spaces between tokens on one line.
+    if (prev_significant != nullptr && prev_significant->line == t.line &&
+        t.start >= prev_significant->end() + 3) {
+      f.techniques.insert(Technique::Whitespacing);
+    }
+
+    // Identifier collection for the random-name statistic.
+    if (expect_fn_name) {
+      expect_fn_name = false;
+      identifier_names.push_back(t.content);
+    }
+    if (t.type == TokenType::Keyword &&
+        (t.content == "function" || t.content == "filter")) {
+      expect_fn_name = true;
+    }
+    if (t.type == TokenType::Variable && t.content.find(':') == std::string::npos &&
+        t.content.size() >= 4 && t.content != "true" && t.content != "false" &&
+        t.content != "null") {
+      identifier_names.push_back(t.content);
+    }
+
+    if (t.type == TokenType::Operator) {
+      const std::string& op = t.content;
+      if (op == "-split" || op == "-csplit" || op == "-isplit") ++split_ops;
+      if (op == "-bxor") has_bxor = true;
+      if (op == "-replace" || op == "-creplace" || op == "-ireplace") {
+        f.techniques.insert(Technique::Replace);
+      }
+    }
+    if (t.type == TokenType::Member && ps::iequals(t.content, "replace")) {
+      f.techniques.insert(Technique::Replace);
+    }
+
+    if (t.type == TokenType::String) {
+      if (t.content.size() >= 16) long_strings.push_back(t.content);
+      if (longest_ws_run(t.content) >= 16) {
+        f.techniques.insert(Technique::WhitespaceEncoding);
+      }
+    }
+
+    prev_significant = &t;
+  }
+
+  // Concat: adjacent string '+' string in the token stream, or the
+  // [string]::Concat spelling.
+  for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+    if (tokens[i].type == TokenType::String &&
+        tokens[i + 1].type == TokenType::Operator && tokens[i + 1].content == "+" &&
+        tokens[i + 2].type == TokenType::String) {
+      f.techniques.insert(Technique::Concat);
+      break;
+    }
+  }
+  if (contains_ci(text, "[string]::concat") || contains_ci(text, "::concat(")) {
+    f.techniques.insert(Technique::Concat);
+  }
+
+  // Reorder: "{N}{M}..." format string followed by -f.
+  {
+    static const std::regex re(R"(\{\d+\}\{\d+\})");
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].type == TokenType::String &&
+          std::regex_search(tokens[i].content, re)) {
+        for (std::size_t j = i + 1; j < std::min(tokens.size(), i + 3); ++j) {
+          if (tokens[j].type == TokenType::Operator && tokens[j].content == "-f") {
+            f.techniques.insert(Technique::Reorder);
+          }
+        }
+      }
+    }
+  }
+
+  // Random names: the paper's joint statistic.
+  if (!identifier_names.empty() && names_look_random(identifier_names)) {
+    f.techniques.insert(Technique::RandomName);
+  }
+
+  // ----- text-driven detectors -----
+  if (contains_ci(text, "[-1..") || contains_ci(text, "[ -1..") ||
+      contains_ci(text, "righttoleft")) {
+    f.techniques.insert(Technique::Reverse);
+  }
+  static const std::regex kRevRange(R"(\[\s*-\s*1\s*\.\.)");
+  if (std::regex_search(text, kRevRange)) f.techniques.insert(Technique::Reverse);
+
+  // Encodings via [Convert]::ToInt32(x, base) or [char]<num>.
+  {
+    static const std::regex kToInt(
+        R"(toint(?:32|16)?\s*\(\s*[^,]*,\s*(\d+)\s*\))",
+        std::regex::icase);
+    auto begin = std::sregex_iterator(text.begin(), text.end(), kToInt);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const int base = std::atoi((*it)[1].str().c_str());
+      if (base == 16) f.techniques.insert(Technique::HexEncoding);
+      if (base == 8) f.techniques.insert(Technique::OctalEncoding);
+      if (base == 2) f.techniques.insert(Technique::BinaryEncoding);
+    }
+  }
+  {
+    static const std::regex kCharNum(R"(\[char\]\s*\(?\s*\d)", std::regex::icase);
+    static const std::regex kCharPipe(R"(\[char\]\s*\$_)", std::regex::icase);
+    if (std::regex_search(text, kCharNum) || std::regex_search(text, kCharPipe)) {
+      if (has_bxor) {
+        f.techniques.insert(Technique::Bxor);
+      } else {
+        f.techniques.insert(Technique::AsciiEncoding);
+      }
+    }
+  }
+  if (has_bxor) f.techniques.insert(Technique::Bxor);
+
+  // Base64: an API use or a plausible long base64 literal.
+  if (contains_ci(text, "frombase64string") ||
+      contains_ci(text, "-encodedcommand")) {
+    f.techniques.insert(Technique::Base64Encoding);
+  } else {
+    static const std::regex kEncFlag(R"(-e[a-z]*\s+[A-Za-z0-9+/=]{16,})",
+                                     std::regex::icase);
+    if (contains_ci(text, "powershell") && std::regex_search(text, kEncFlag)) {
+      f.techniques.insert(Technique::Base64Encoding);
+    }
+    for (const std::string& s : long_strings) {
+      if (s.size() >= 24 && ps::looks_like_base64(s)) {
+        f.techniques.insert(Technique::Base64Encoding);
+        break;
+      }
+    }
+  }
+
+  // Special-character encoding: a long low-letter-density literal with
+  // several distinct delimiters feeding a -split chain.
+  if (split_ops >= 2) {
+    for (const std::string& s : long_strings) {
+      if (s.size() >= 20 && name_statistics(s).letter_ratio() < 0.10 &&
+          count_distinct_delims(s) >= 2) {
+        f.techniques.insert(Technique::SpecialCharEncoding);
+        break;
+      }
+    }
+  }
+
+  if (contains_ci(text, "securestring")) {
+    f.techniques.insert(Technique::SecureString);
+  }
+  if (contains_ci(text, "deflatestream") || contains_ci(text, "gzipstream")) {
+    f.techniques.insert(Technique::Compress);
+  }
+
+  (void)ok;
+  return f;
+}
+
+int obfuscation_score(std::string_view script) {
+  return detect_obfuscation(script).score();
+}
+
+}  // namespace ideobf

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file scorer.h
+/// Quantification of obfuscation (paper section IV-B2): detect every known
+/// technique of Table II via regular expressions, tokens and the AST, score
+/// each detected *type* once at its level (L1=1, L2=2, L3=3), and sum.
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "analysis/techniques.h"
+
+namespace ideobf {
+
+struct ObfuscationFindings {
+  std::set<Technique> techniques;
+
+  [[nodiscard]] bool has(Technique t) const { return techniques.count(t) > 0; }
+
+  /// Sum of technique levels, each detected type counted once.
+  [[nodiscard]] int score() const {
+    int s = 0;
+    for (Technique t : techniques) s += technique_level(t);
+    return s;
+  }
+
+  /// Number of detected techniques at the given level.
+  [[nodiscard]] int count_at_level(int level) const {
+    int n = 0;
+    for (Technique t : techniques) {
+      if (technique_level(t) == level) ++n;
+    }
+    return n;
+  }
+};
+
+/// Runs all detectors over the script.
+ObfuscationFindings detect_obfuscation(std::string_view script);
+
+/// Convenience: detect_obfuscation(script).score().
+int obfuscation_score(std::string_view script);
+
+}  // namespace ideobf

@@ -1,0 +1,64 @@
+#include "analysis/techniques.h"
+
+namespace ideobf {
+
+int technique_level(Technique t) {
+  switch (t) {
+    case Technique::Ticking:
+    case Technique::Whitespacing:
+    case Technique::RandomCase:
+    case Technique::RandomName:
+    case Technique::Alias:
+      return 1;
+    case Technique::Concat:
+    case Technique::Reorder:
+    case Technique::Replace:
+    case Technique::Reverse:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+std::string_view to_string(Technique t) {
+  switch (t) {
+    case Technique::Ticking: return "Ticking";
+    case Technique::Whitespacing: return "Whitespacing";
+    case Technique::RandomCase: return "RandomCase";
+    case Technique::RandomName: return "RandomName";
+    case Technique::Alias: return "Alias";
+    case Technique::Concat: return "Concat";
+    case Technique::Reorder: return "Reorder";
+    case Technique::Replace: return "Replace";
+    case Technique::Reverse: return "Reverse";
+    case Technique::AsciiEncoding: return "AsciiEncoding";
+    case Technique::HexEncoding: return "HexEncoding";
+    case Technique::OctalEncoding: return "OctalEncoding";
+    case Technique::BinaryEncoding: return "BinaryEncoding";
+    case Technique::Base64Encoding: return "Base64Encoding";
+    case Technique::WhitespaceEncoding: return "WhitespaceEncoding";
+    case Technique::SpecialCharEncoding: return "SpecialCharEncoding";
+    case Technique::Bxor: return "Bxor";
+    case Technique::SecureString: return "SecureString";
+    case Technique::Compress: return "Compress";
+  }
+  return "?";
+}
+
+const std::vector<Technique>& all_techniques() {
+  static const std::vector<Technique> all = {
+      Technique::Ticking,        Technique::Whitespacing,
+      Technique::RandomCase,     Technique::RandomName,
+      Technique::Alias,          Technique::Concat,
+      Technique::Reorder,        Technique::Replace,
+      Technique::Reverse,        Technique::AsciiEncoding,
+      Technique::HexEncoding,    Technique::OctalEncoding,
+      Technique::BinaryEncoding, Technique::Base64Encoding,
+      Technique::WhitespaceEncoding, Technique::SpecialCharEncoding,
+      Technique::Bxor,           Technique::SecureString,
+      Technique::Compress,
+  };
+  return all;
+}
+
+}  // namespace ideobf

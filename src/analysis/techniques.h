@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file techniques.h
+/// The obfuscation technique taxonomy of the paper's Table II, shared by
+/// the obfuscator (which applies techniques) and the scorer (which detects
+/// them). Levels follow section II-B; the per-type score contribution
+/// equals the level (section IV-B2).
+
+#include <string_view>
+#include <vector>
+
+namespace ideobf {
+
+enum class Technique {
+  // L1 — textual / visual only
+  Ticking,
+  Whitespacing,
+  RandomCase,
+  RandomName,
+  Alias,
+  // L2 — string-related
+  Concat,
+  Reorder,
+  Replace,
+  Reverse,
+  // L3 — encodings and stronger transforms
+  AsciiEncoding,
+  HexEncoding,
+  OctalEncoding,
+  BinaryEncoding,
+  Base64Encoding,
+  WhitespaceEncoding,
+  SpecialCharEncoding,
+  Bxor,
+  SecureString,
+  Compress,
+};
+
+/// The paper's obfuscation level of a technique (1, 2 or 3).
+int technique_level(Technique t);
+
+std::string_view to_string(Technique t);
+
+/// All techniques in Table II order.
+const std::vector<Technique>& all_techniques();
+
+}  // namespace ideobf

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file baseline.h
+/// The comparison tools of the paper's evaluation, reimplemented to their
+/// published mechanisms (DESIGN.md substitution table):
+///   - PSDecode     — regex rules + Invoke-Expression overriding, literal
+///                    layers only;
+///   - PowerDrive   — regex rules (ticking, concat), multiline-to-one-line
+///                    transform that can break syntax, literal iex override;
+///   - PowerDecode  — regex rules (concat, replace) + overriding function
+///                    with an expression evaluator for variable-free layers
+///                    (their "unary syntax tree model");
+///   - Li et al.    — direct execution of PipelineAst subtrees without
+///                    variable context, global text replacement, objects
+///                    replaced by their type names (classifier removed, as
+///                    in the paper's setup).
+/// Each tool reports the simulated seconds its executions consumed, which
+/// drives the Fig 6 efficiency comparison.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ideobf {
+
+struct BaselineResult {
+  std::string script;
+  /// Simulated cost of commands the tool executed while deobfuscating
+  /// (sleeps, network I/O); our tool's blocklist keeps this at zero.
+  double simulated_seconds = 0;
+};
+
+/// Common interface over all five tools.
+class DeobfuscationTool {
+ public:
+  virtual ~DeobfuscationTool() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual BaselineResult run(std::string_view script) const = 0;
+};
+
+std::unique_ptr<DeobfuscationTool> make_psdecode();
+std::unique_ptr<DeobfuscationTool> make_powerdrive();
+std::unique_ptr<DeobfuscationTool> make_powerdecode();
+std::unique_ptr<DeobfuscationTool> make_li_etal();
+/// Our tool behind the same interface.
+std::unique_ptr<DeobfuscationTool> make_invoke_deobfuscation();
+
+/// All five, in the paper's comparison order (ours last).
+std::vector<std::unique_ptr<DeobfuscationTool>> make_all_tools();
+
+}  // namespace ideobf

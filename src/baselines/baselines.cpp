@@ -1,0 +1,437 @@
+#include "baselines/baseline.h"
+
+#include <algorithm>
+#include <regex>
+
+#include "core/deobfuscator.h"
+#include "pslang/alias_table.h"
+#include "pslang/lexer.h"
+#include "psast/parser.h"
+#include "psinterp/encodings.h"
+#include "psinterp/interpreter.h"
+#include "sandbox/sandbox.h"
+
+namespace ideobf {
+
+namespace {
+
+std::string unescape_single(std::string s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\'' && i + 1 < s.size() && s[i + 1] == '\'') {
+      out.push_back('\'');
+      ++i;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+/// Cost of executing the script with side effects enabled — the "overriding
+/// function" step the regex tools run, and the reason their Fig 6 latency
+/// spikes on sleepy / networky samples.
+double execution_cost(std::string_view script) {
+  Sandbox sandbox;
+  return sandbox.run(script).simulated_seconds;
+}
+
+/// A plain-literal Invoke-Expression layer: `iex '<...>'` or `'<...>' | iex`.
+/// Returns true and stores the payload when the whole script is one layer.
+bool match_literal_layer(const std::string& script, std::string& payload) {
+  static const std::regex kIexArg(
+      R"(^\s*(?:iex|invoke-expression)\s+\(?\s*'((?:[^']|'')*)'\s*\)?\s*$)",
+      std::regex::icase);
+  static const std::regex kPipeIex(
+      R"(^\s*'((?:[^']|'')*)'\s*\|\s*(?:iex|invoke-expression)\s*$)",
+      std::regex::icase);
+  std::smatch m;
+  if (std::regex_match(script, m, kIexArg) ||
+      std::regex_match(script, m, kPipeIex)) {
+    payload = unescape_single(m[1].str());
+    return true;
+  }
+  return false;
+}
+
+/// Iteratively folds `'a' + 'b'` into `'ab'` with a regex — the concat rule
+/// PowerDrive and PowerDecode share.
+std::string fold_concat_regex(std::string script) {
+  static const std::regex kConcat(R"('((?:[^']|'')*)'\s*\+\s*'((?:[^']|'')*)')");
+  for (int i = 0; i < 200; ++i) {
+    std::string next = std::regex_replace(script, kConcat, "'$1$2'",
+                                          std::regex_constants::format_first_only);
+    if (next == script) break;
+    script = std::move(next);
+  }
+  return script;
+}
+
+// ============================================================== PSDecode ==
+
+class PSDecode final : public DeobfuscationTool {
+ public:
+  std::string name() const override { return "PSDecode"; }
+
+  BaselineResult run(std::string_view input) const override {
+    BaselineResult result;
+    result.simulated_seconds = execution_cost(input);
+
+    std::string script(input);
+    for (int layer = 0; layer < 10; ++layer) {
+      // Tick removal is a global regex — it also strips backtick escapes
+      // inside strings (the imprecision the paper calls out).
+      std::string stripped;
+      stripped.reserve(script.size());
+      for (char c : script) {
+        if (c != '`') stripped.push_back(c);
+      }
+      script = std::move(stripped);
+
+      std::string payload;
+      if (match_literal_layer(script, payload)) {
+        script = std::move(payload);
+        result.simulated_seconds += execution_cost(script);
+        continue;
+      }
+      break;
+    }
+    result.script = std::move(script);
+    return result;
+  }
+};
+
+// ============================================================ PowerDrive ==
+
+class PowerDrive final : public DeobfuscationTool {
+ public:
+  std::string name() const override { return "PowerDrive"; }
+
+  BaselineResult run(std::string_view input) const override {
+    BaselineResult result;
+    result.simulated_seconds = execution_cost(input);
+
+    std::string script(input);
+    // Multi-line scripts are flattened to one line "to deal with the break
+    // lines" — which usually breaks statement separation (paper, Fig 8b).
+    for (char& c : script) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    for (int layer = 0; layer < 10; ++layer) {
+      std::string stripped;
+      for (char c : script) {
+        if (c != '`') stripped.push_back(c);
+      }
+      script = fold_concat_regex(std::move(stripped));
+
+      std::string payload;
+      if (match_literal_layer(script, payload)) {
+        script = std::move(payload);
+        for (char& c : script) {
+          if (c == '\n' || c == '\r') c = ' ';
+        }
+        result.simulated_seconds += execution_cost(script);
+        continue;
+      }
+      break;
+    }
+    result.script = std::move(script);
+    return result;
+  }
+};
+
+// =========================================================== PowerDecode ==
+
+class PowerDecode final : public DeobfuscationTool {
+ public:
+  std::string name() const override { return "PowerDecode"; }
+
+  BaselineResult run(std::string_view input) const override {
+    BaselineResult result;
+    result.simulated_seconds = execution_cost(input);
+
+    std::string script(input);
+    for (int layer = 0; layer < 12; ++layer) {
+      script = fold_concat_regex(std::move(script));
+      script = fold_replace(std::move(script));
+
+      std::string next;
+      if (extract_layer(script, next, result.simulated_seconds)) {
+        script = std::move(next);
+        continue;
+      }
+      break;
+    }
+    result.script = std::move(script);
+    return result;
+  }
+
+ private:
+  /// `'X'.Replace('a','b')` on literals (the predefined replace rule).
+  static std::string fold_replace(std::string script) {
+    static const std::regex kReplace(
+        R"('((?:[^']|'')*)'\s*\.\s*replace\s*\(\s*'((?:[^']|'')*)'\s*,\s*'((?:[^']|'')*)'\s*\))",
+        std::regex::icase);
+    for (int i = 0; i < 50; ++i) {
+      std::smatch m;
+      if (!std::regex_search(script, m, kReplace)) break;
+      std::string text = unescape_single(m[1].str());
+      const std::string from = unescape_single(m[2].str());
+      const std::string to = unescape_single(m[3].str());
+      if (!from.empty()) {
+        std::size_t pos = 0;
+        while ((pos = text.find(from, pos)) != std::string::npos) {
+          text.replace(pos, from.size(), to);
+          pos += to.size();
+        }
+      }
+      std::string quoted = "'";
+      for (char c : text) {
+        if (c == '\'') quoted += "''";
+        else quoted.push_back(c);
+      }
+      quoted += "'";
+      script = std::string(m.prefix()) + quoted + std::string(m.suffix());
+    }
+    return script;
+  }
+
+  /// The overriding-function / unary-syntax-tree step: when the whole
+  /// script is `iex (<expr>)` or `<expr> | iex` and <expr> is variable-free,
+  /// evaluate it (side effects run — time cost) and take the result string
+  /// as the next layer. `powershell -enc <b64>` is also caught.
+  static bool extract_layer(const std::string& script, std::string& out,
+                            double& cost) {
+    std::string payload;
+    if (match_literal_layer(script, payload)) {
+      out = std::move(payload);
+      cost += execution_cost(out);
+      return true;
+    }
+
+    static const std::regex kIexExpr(
+        R"(^\s*(?:iex|invoke-expression)\s+(\([\s\S]*\))\s*$)", std::regex::icase);
+    static const std::regex kExprPipe(
+        R"(^\s*(\([\s\S]*\))\s*\|\s*(?:iex|invoke-expression)\s*$)",
+        std::regex::icase);
+    std::smatch m;
+    if (std::regex_match(script, m, kIexExpr) ||
+        std::regex_match(script, m, kExprPipe)) {
+      const std::string expr = m[1].str();
+      // "Unary syntax tree model": evaluate the expression when it does not
+      // depend on script context. Strict mode makes variable references
+      // throw, which is exactly the boundary of their model.
+      try {
+        ps::InterpreterOptions opts;
+        opts.max_steps = 500000;
+        opts.strict_variables = true;
+        ps::Interpreter interp(opts);
+        const ps::Value v = interp.evaluate_script(expr);
+        if (v.is_string()) {
+          out = v.get_string();
+          cost += execution_cost(out);
+          return true;
+        }
+      } catch (const std::exception&) {
+        return false;
+      }
+      return false;
+    }
+
+    static const std::regex kEnc(
+        R"(^\s*powershell(?:\.exe)?\s+(?:-\w+\s+)*-e\w*\s+([A-Za-z0-9+/=]+)\s*$)",
+        std::regex::icase);
+    if (std::regex_match(script, m, kEnc)) {
+      const auto bytes = ps::base64_decode(m[1].str());
+      if (bytes) {
+        out = ps::encoding_get_string(ps::TextEncoding::Unicode, *bytes);
+        cost += execution_cost(out);
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+// ================================================================ Li et al.
+
+class LiEtAl final : public DeobfuscationTool {
+ public:
+  std::string name() const override { return "Li et al."; }
+
+  BaselineResult run(std::string_view raw_input) const override {
+    BaselineResult result;
+    result.script = std::string(raw_input);
+
+    // Their C# front end re-emits pieces through the real AST, which
+    // normalizes backticks away (Table II: Ticking is their one L1 row).
+    std::string input_storage = strip_ticks(raw_input);
+    const std::string_view input = input_storage;
+
+    auto root = ps::try_parse(input);
+    if (root == nullptr) return result;  // needs a valid AST to start
+    result.script = input_storage;
+
+    // Collect statement-position PipelineAst subtrees (their tool only
+    // handles pipeline roots) and directly execute each without context.
+    std::vector<std::pair<std::string, std::string>> replacements;
+    double cost = 0;
+
+    root->post_order([&](const ps::Ast& node) {
+      if (node.kind() != ps::NodeKind::Pipeline) return;
+      const ps::Ast* parent = node.parent();
+      const auto& pipe = static_cast<const ps::PipelineAst&>(node);
+      bool has_command = false;
+      for (const auto& el : pipe.elements) {
+        if (el->kind() == ps::NodeKind::Command) has_command = true;
+      }
+      const bool statement_position =
+          parent == nullptr || parent->kind() == ps::NodeKind::NamedBlock ||
+          parent->kind() == ps::NodeKind::StatementBlock ||
+          parent->kind() == ps::NodeKind::ScriptBlock ||
+          parent->kind() == ps::NodeKind::ParenExpression ||
+          parent->kind() == ps::NodeKind::AssignmentStatement;
+      if (!statement_position) return;
+      // Their traversal misses *expression* pieces placed in assignments
+      // (the paper's "last two positions"), but command pipelines such as
+      // `New-Object Net.WebClient` are replaced wherever they sit — which
+      // is what produces the wrong `System.Net.WebClient` substitutions.
+      if (!has_command) {
+        const ps::Ast* up = parent;
+        while (up != nullptr) {
+          if (up->kind() == ps::NodeKind::AssignmentStatement) return;
+          up = up->parent();
+        }
+      }
+      const std::string piece(node.text_in(input));
+      if (piece.size() < 4) return;
+      // Already a bare literal? Nothing to do.
+      if (piece.front() == '\'' && piece.back() == '\'') return;
+
+      ps::InterpreterOptions opts;
+      opts.max_steps = 300000;
+      // No context: variables silently resolve to $null, which is exactly
+      // how direct execution goes wrong on variable-bearing pieces (paper
+      // section V-A).
+      opts.strict_variables = false;
+      // No blocklist: unrelated commands execute (anti-debug, sleeps, ...).
+      SandboxAccount account;
+      opts.recorder = &account;
+      ps::Interpreter interp(opts);
+      try {
+        const ps::Value v = interp.evaluate_script(piece);
+        cost += account.seconds;
+        std::string replacement;
+        if (v.is_string()) {
+          replacement = "'" + v.get_string() + "'";  // naive quoting
+        } else if (v.is_int()) {
+          replacement = std::to_string(v.get_int());
+        } else if (v.is_object()) {
+          // The semantically wrong replacement the paper demonstrates:
+          // `New-Object Net.WebClient` -> `System.Net.WebClient`.
+          replacement = v.get_object()->type_name();
+        } else if (v.is_bool()) {
+          replacement = v.get_bool() ? "True" : "False";
+        } else {
+          return;
+        }
+        if (replacement != piece) replacements.emplace_back(piece, replacement);
+      } catch (const std::exception&) {
+        cost += account.seconds;
+      }
+    });
+
+    // Context-free replacement: every occurrence of the same piece text is
+    // replaced at once (the paper's semantic-consistency critique).
+    std::string script(input);
+    for (const auto& [from, to] : replacements) {
+      std::size_t pos = 0;
+      while ((pos = script.find(from, pos)) != std::string::npos) {
+        script.replace(pos, from.size(), to);
+        pos += to.size();
+      }
+    }
+    result.script = std::move(script);
+    result.simulated_seconds = cost;
+    return result;
+  }
+
+ private:
+  /// Token-precise backtick removal (the AST re-emission effect).
+  static std::string strip_ticks(std::string_view script) {
+    bool ok = true;
+    const ps::TokenStream tokens = ps::tokenize_lenient(script, ok);
+    if (!ok) return std::string(script);
+    std::string out(script);
+    for (auto it = tokens.rbegin(); it != tokens.rend(); ++it) {
+      if (it->type == ps::TokenType::String ||
+          it->type == ps::TokenType::LineContinuation) {
+        continue;
+      }
+      if (it->text.find('`') == std::string::npos) continue;
+      std::string fixed = it->text;
+      fixed.erase(std::remove(fixed.begin(), fixed.end(), '`'), fixed.end());
+      out.replace(it->start, it->length, fixed);
+    }
+    return out;
+  }
+
+  /// Minimal recorder that only accounts simulated time.
+  class SandboxAccount final : public ps::EffectRecorder {
+   public:
+    double seconds = 0;
+    void on_network(std::string_view, std::string_view) override { seconds += 0.5; }
+    void on_process(std::string_view) override { seconds += 0.4; }
+    void on_file(std::string_view, std::string_view) override {}
+    void on_sleep(double s) override { seconds += s; }
+    void on_host_output(std::string_view) override {}
+    std::string download_content(std::string_view) override { return ""; }
+  };
+};
+
+// ======================================================= Invoke-Deobf (us)
+
+class Ours final : public DeobfuscationTool {
+ public:
+  std::string name() const override { return "Invoke-Deobfuscation"; }
+
+  BaselineResult run(std::string_view input) const override {
+    BaselineResult result;
+    result.script = deobf_.deobfuscate(input);
+    result.simulated_seconds = 0;  // the blocklist forbids costly commands
+    return result;
+  }
+
+ private:
+  InvokeDeobfuscator deobf_;
+};
+
+}  // namespace
+
+std::unique_ptr<DeobfuscationTool> make_psdecode() {
+  return std::make_unique<PSDecode>();
+}
+std::unique_ptr<DeobfuscationTool> make_powerdrive() {
+  return std::make_unique<PowerDrive>();
+}
+std::unique_ptr<DeobfuscationTool> make_powerdecode() {
+  return std::make_unique<PowerDecode>();
+}
+std::unique_ptr<DeobfuscationTool> make_li_etal() {
+  return std::make_unique<LiEtAl>();
+}
+std::unique_ptr<DeobfuscationTool> make_invoke_deobfuscation() {
+  return std::make_unique<Ours>();
+}
+
+std::vector<std::unique_ptr<DeobfuscationTool>> make_all_tools() {
+  std::vector<std::unique_ptr<DeobfuscationTool>> tools;
+  tools.push_back(make_psdecode());
+  tools.push_back(make_powerdrive());
+  tools.push_back(make_powerdecode());
+  tools.push_back(make_li_etal());
+  tools.push_back(make_invoke_deobfuscation());
+  return tools;
+}
+
+}  // namespace ideobf

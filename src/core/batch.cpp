@@ -1,0 +1,40 @@
+#include "core/batch.h"
+
+#include <atomic>
+#include <thread>
+
+namespace ideobf {
+
+std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
+                                           const std::vector<std::string>& scripts,
+                                           unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = std::min<unsigned>(threads, scripts.empty() ? 1u : scripts.size());
+
+  std::vector<std::string> results(scripts.size());
+  std::atomic<std::size_t> next{0};
+
+  auto worker = [&]() {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= scripts.size()) break;
+      try {
+        results[i] = deobf.deobfuscate(scripts[i]);
+      } catch (...) {
+        results[i] = scripts[i];
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  return results;
+}
+
+}  // namespace ideobf

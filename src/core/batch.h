@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file batch.h
+/// Thread-parallel batch deobfuscation. InvokeDeobfuscator is stateless and
+/// const-callable, so a corpus (triage queues routinely see thousands of
+/// samples) shards cleanly across worker threads.
+
+#include <string>
+#include <vector>
+
+#include "core/deobfuscator.h"
+
+namespace ideobf {
+
+/// Deobfuscates every script in `scripts`, preserving order. `threads` = 0
+/// picks the hardware concurrency. Exceptions inside a worker surface as
+/// the input returned unchanged (deobfuscation is total by contract).
+std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
+                                           const std::vector<std::string>& scripts,
+                                           unsigned threads = 0);
+
+}  // namespace ideobf

@@ -1,0 +1,41 @@
+#include "core/blocklist.h"
+
+#include <algorithm>
+#include <array>
+
+namespace ideobf {
+
+namespace {
+// Commands with side effects that cannot contribute to a string recovery.
+constexpr std::array<std::string_view, 38> kBlocked = {
+    "restart-computer", "stop-computer",   "start-sleep",
+    "start-process",    "stop-process",    "invoke-webrequest",
+    "invoke-restmethod", "start-service",  "stop-service",
+    "restart-service",  "new-service",     "invoke-item",
+    "remove-item",      "set-content",     "add-content",
+    "out-file",         "copy-item",       "move-item",
+    "new-item",         "mkdir",           "new-itemproperty",
+    "set-itemproperty", "remove-itemproperty",
+    "start-job",        "invoke-wmimethod", "set-executionpolicy",
+    "test-connection",  "send-mailmessage", "read-host",
+    "get-credential",   "start-bitstransfer",
+    "register-scheduledtask", "schtasks",  "bitsadmin",
+    "webclient.downloadstring", "webclient.downloadfile",
+    "webclient.downloaddata",   "webclient.uploadstring",
+};
+}  // namespace
+
+bool is_blocklisted(std::string_view command_lower) {
+  return std::find(kBlocked.begin(), kBlocked.end(), command_lower) !=
+         kBlocked.end();
+}
+
+std::function<bool(const std::string&)> make_recovery_filter(
+    std::vector<std::string> extra) {
+  return [extra = std::move(extra)](const std::string& name) {
+    if (is_blocklisted(name)) return false;
+    return std::find(extra.begin(), extra.end(), name) == extra.end();
+  };
+}
+
+}  // namespace ideobf

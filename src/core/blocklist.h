@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file blocklist.h
+/// The execution blocklist of paper section III-B2: commands unrelated to
+/// the recovery process (network, sleep, process control, ...) are never
+/// executed while recovering pieces — this both keeps recovery safe and is
+/// the reason Invoke-Deobfuscation's runtime is flat in Fig 6.
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ideobf {
+
+/// True when `command_lower` must not execute during recovery.
+bool is_blocklisted(std::string_view command_lower);
+
+/// A filter suitable for InterpreterOptions::command_filter that also
+/// refuses `extra` entries (lowercase).
+std::function<bool(const std::string&)> make_recovery_filter(
+    std::vector<std::string> extra = {});
+
+}  // namespace ideobf

@@ -1,0 +1,111 @@
+#include "core/deobfuscator.h"
+
+#include "core/reformat.h"
+#include "psast/parser.h"
+
+namespace ideobf {
+
+namespace {
+
+void merge(TokenPassStats& into, const TokenPassStats& from) {
+  into.ticks_removed += from.ticks_removed;
+  into.aliases_expanded += from.aliases_expanded;
+  into.case_normalized += from.case_normalized;
+}
+
+void merge(RecoveryStats& into, const RecoveryStats& from) {
+  into.pieces_recovered += from.pieces_recovered;
+  into.variables_traced += from.variables_traced;
+  into.variables_substituted += from.variables_substituted;
+}
+
+/// Applies one phase with the paper's per-step syntax check: if the result
+/// no longer parses, the step is skipped.
+template <typename Fn>
+std::string checked(std::string_view input, Fn&& phase) {
+  std::string out = phase(input);
+  if (out == input) return std::string(input);
+  if (!ps::is_valid_syntax(out)) return std::string(input);
+  return out;
+}
+
+}  // namespace
+
+std::string InvokeDeobfuscator::deobfuscate(std::string_view script) const {
+  DeobfuscationReport report;
+  return deobfuscate(script, report);
+}
+
+std::string InvokeDeobfuscator::deobfuscate(std::string_view script,
+                                            DeobfuscationReport& report) const {
+  TraceSink sink;
+  TraceSink* trace = options_.collect_trace ? &sink : nullptr;
+  std::string out = deobfuscate_layers(script, report, 0, trace);
+
+  if (options_.rename) {
+    out = checked(out, [&](std::string_view s) {
+      RenameStats rs;
+      std::string r = rename_pass(s, &rs, trace);
+      if (rs.renamed) report.rename = rs;
+      return r;
+    });
+  }
+  if (options_.reformat) {
+    out = checked(out, [](std::string_view s) { return reformat_pass(s); });
+  }
+  if (trace != nullptr) report.trace = sink.take();
+  return out;
+}
+
+std::string InvokeDeobfuscator::deobfuscate_layers(std::string_view script,
+                                                   DeobfuscationReport& report,
+                                                   int depth,
+                                                   TraceSink* trace) const {
+  if (depth > options_.max_layers) return std::string(script);
+
+  std::string cur(script);
+  for (int pass = 0; pass < options_.max_layers; ++pass) {
+    report.passes++;
+    std::string next = cur;
+
+    if (options_.token_pass) {
+      next = checked(next, [&](std::string_view s) {
+        TokenPassStats ts;
+        std::string r = token_pass(s, &ts, trace);
+        merge(report.token, ts);
+        return r;
+      });
+    }
+
+    if (options_.ast_recovery) {
+      next = checked(next, [&](std::string_view s) {
+        RecoveryOptions ro;
+        ro.max_steps_per_piece = options_.max_steps_per_piece;
+        ro.extra_blocklist = options_.extra_blocklist;
+        ro.trace_functions = options_.trace_functions;
+        RecoveryStats rs;
+        std::string r = recovery_pass(s, ro, &rs, trace);
+        merge(report.recovery, rs);
+        return r;
+      });
+    }
+
+    if (options_.multilayer) {
+      next = checked(next, [&](std::string_view s) {
+        return unwrap_layers(
+            s,
+            [&](std::string_view payload) {
+              return deobfuscate_layers(payload, report, depth + 1, trace);
+            },
+            &report.multilayer, trace);
+      });
+    }
+
+    if (next == cur) break;  // fixed point (paper section III-B4)
+    cur = std::move(next);
+    if (trace != nullptr) trace->set_pass(trace->pass() + 1);
+  }
+  return cur;
+}
+
+}  // namespace ideobf

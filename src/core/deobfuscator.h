@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file deobfuscator.h
+/// The public API of Invoke-Deobfuscation: AST-based and semantics-
+/// preserving deobfuscation for PowerShell scripts (Chai et al., DSN 2022),
+/// rebuilt as a C++ library on an in-repo PowerShell substrate.
+///
+/// Pipeline (paper Fig 2): token parsing -> variable tracing & recovery
+/// based on AST -> multi-layer unwrapping (repeated to a fixed point) ->
+/// renaming -> reformatting. Every phase is syntax-checked and rolled back
+/// on error, so the output is always valid when the input was.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/multilayer.h"
+#include "core/recovery.h"
+#include "core/rename.h"
+#include "core/token_pass.h"
+
+namespace ideobf {
+
+struct DeobfuscationOptions {
+  bool token_pass = true;
+  bool ast_recovery = true;
+  bool multilayer = true;
+  bool rename = true;
+  bool reformat = true;
+  /// Fixed-point iteration bound for multi-layer obfuscation.
+  int max_layers = 8;
+  /// Interpreter budget per recoverable piece.
+  std::size_t max_steps_per_piece = 200000;
+  /// Additional lowercase command names to refuse executing.
+  std::vector<std::string> extra_blocklist;
+  /// Extension beyond the paper (section V-C): trace user-defined decoder
+  /// functions so function-wrapped recovery chains can be executed.
+  bool trace_functions = false;
+  /// Collect a structured transformation trace into the report.
+  bool collect_trace = false;
+};
+
+struct DeobfuscationReport {
+  TokenPassStats token;
+  std::vector<TraceEvent> trace;  ///< filled when options.collect_trace
+  RecoveryStats recovery;
+  MultilayerStats multilayer;
+  RenameStats rename;
+  int passes = 0;  ///< full pipeline iterations until the fixed point
+};
+
+/// The deobfuscator. Stateless and const-callable; cheap to copy.
+class InvokeDeobfuscator {
+ public:
+  explicit InvokeDeobfuscator(DeobfuscationOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Deobfuscates `script`. Invalid input is returned unchanged.
+  [[nodiscard]] std::string deobfuscate(std::string_view script) const;
+  [[nodiscard]] std::string deobfuscate(std::string_view script,
+                                        DeobfuscationReport& report) const;
+
+  [[nodiscard]] const DeobfuscationOptions& options() const { return options_; }
+
+ private:
+  std::string deobfuscate_layers(std::string_view script,
+                                 DeobfuscationReport& report, int depth,
+                                 TraceSink* trace = nullptr) const;
+  DeobfuscationOptions options_;
+};
+
+}  // namespace ideobf

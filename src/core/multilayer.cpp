@@ -1,0 +1,214 @@
+#include <algorithm>
+#include "core/multilayer.h"
+
+#include <vector>
+
+#include "pslang/alias_table.h"
+#include "psast/parser.h"
+#include "psinterp/encodings.h"
+
+namespace ideobf {
+
+using ps::Ast;
+using ps::NodeKind;
+
+namespace {
+
+/// The constant string content of an expression node, unwrapping parens;
+/// nullptr when the node is not a constant string.
+const std::string* constant_string(const Ast* node) {
+  while (node != nullptr) {
+    if (node->kind() == NodeKind::StringConstantExpression) {
+      return &static_cast<const ps::StringConstantExpressionAst*>(node)->value;
+    }
+    if (node->kind() == NodeKind::ParenExpression) {
+      const auto* paren = static_cast<const ps::ParenExpressionAst*>(node);
+      const Ast* inner = paren->pipeline.get();
+      if (inner->kind() == NodeKind::Pipeline) {
+        const auto* pipe = static_cast<const ps::PipelineAst*>(inner);
+        if (pipe->elements.size() != 1) return nullptr;
+        const Ast* el = pipe->elements.front().get();
+        if (el->kind() != NodeKind::CommandExpression) return nullptr;
+        node = static_cast<const ps::CommandExpressionAst*>(el)->expression.get();
+        continue;
+      }
+      return nullptr;
+    }
+    return nullptr;
+  }
+  return nullptr;
+}
+
+/// True when `cmd` resolves to Invoke-Expression: `iex`, `Invoke-Expression`,
+/// `&'iex'`, `.('iex')`, ... (paper section III-B4).
+bool is_invoke_expression(const ps::CommandAst& cmd) {
+  if (cmd.elements.empty()) return false;
+  const std::string* name = constant_string(cmd.elements.front().get());
+  if (name == nullptr) return false;
+  if (ps::iequals(*name, "invoke-expression") || ps::iequals(*name, "iex")) {
+    return true;
+  }
+  if (auto full = ps::AliasTable::standard().resolve(*name)) {
+    return ps::iequals(*full, "Invoke-Expression");
+  }
+  return false;
+}
+
+bool is_powershell(const ps::CommandAst& cmd) {
+  const std::string name = ps::to_lower(cmd.constant_name());
+  std::string base = name;
+  if (const auto slash = base.find_last_of("/\\"); slash != std::string::npos) {
+    base = base.substr(slash + 1);
+  }
+  return base == "powershell" || base == "powershell.exe" || base == "pwsh";
+}
+
+struct Rewrite {
+  std::size_t start;
+  std::size_t end;
+  std::string text;
+};
+
+}  // namespace
+
+std::string unwrap_layers(
+    std::string_view script,
+    const std::function<std::string(std::string_view)>& deobfuscate_inner,
+    MultilayerStats* stats, TraceSink* trace) {
+  auto root = ps::try_parse(script);
+  if (root == nullptr) return std::string(script);
+
+  std::vector<Rewrite> rewrites;
+
+  root->post_order([&](const Ast& node) {
+    if (node.kind() != NodeKind::Pipeline) return;
+    const auto& pipe = static_cast<const ps::PipelineAst&>(node);
+    // Only unwrap statement-position pipelines: replacing an expression
+    // operand with multiple statements would break syntax.
+    const Ast* parent = pipe.parent();
+    const bool statement_position =
+        parent == nullptr || parent->kind() == NodeKind::NamedBlock ||
+        parent->kind() == NodeKind::StatementBlock ||
+        parent->kind() == NodeKind::ScriptBlock;
+
+    if (!statement_position || pipe.elements.empty()) return;
+
+    // Form A: iex '<payload>'  /  Invoke-Expression "<payload>".
+    if (pipe.elements.size() == 1 &&
+        pipe.elements[0]->kind() == NodeKind::Command) {
+      const auto& cmd = static_cast<const ps::CommandAst&>(*pipe.elements[0]);
+      if (is_invoke_expression(cmd) && cmd.elements.size() == 2) {
+        if (const std::string* payload = constant_string(cmd.elements[1].get())) {
+          if (ps::is_valid_syntax(*payload)) {
+            rewrites.push_back({pipe.start(), pipe.end(),
+                                deobfuscate_inner(*payload)});
+            return;
+          }
+        }
+      }
+      // Form C: powershell -EncodedCommand <b64> (parameter abbreviations
+      // resolved by prefix, as powershell.exe does).
+      if (is_powershell(cmd)) {
+        for (std::size_t i = 1; i < cmd.elements.size(); ++i) {
+          if (cmd.elements[i]->kind() != NodeKind::CommandParameter) continue;
+          const auto& p =
+              static_cast<const ps::CommandParameterAst&>(*cmd.elements[i]);
+          std::string pname = ps::to_lower(p.name);
+          if (!pname.empty() && pname.front() == '-') pname = pname.substr(1);
+          const std::string kEnc = "encodedcommand";
+          if (pname.empty() || kEnc.rfind(pname, 0) != 0) continue;
+          // The payload is the parameter's argument or the next element.
+          const std::string* payload = nullptr;
+          if (p.argument != nullptr) payload = constant_string(p.argument.get());
+          if (payload == nullptr && i + 1 < cmd.elements.size()) {
+            payload = constant_string(cmd.elements[i + 1].get());
+          }
+          if (payload == nullptr) continue;
+          const auto bytes = ps::base64_decode(*payload);
+          if (!bytes) continue;
+          const std::string decoded =
+              ps::encoding_get_string(ps::TextEncoding::Unicode, *bytes);
+          if (!ps::is_valid_syntax(decoded)) continue;
+          rewrites.push_back({pipe.start(), pipe.end(),
+                              deobfuscate_inner(decoded)});
+          return;
+        }
+      }
+    }
+
+    // Form D: $ExecutionContext.InvokeCommand.InvokeScript('<payload>').
+    if (pipe.elements.size() == 1 &&
+        pipe.elements[0]->kind() == NodeKind::CommandExpression) {
+      const auto& ce =
+          static_cast<const ps::CommandExpressionAst&>(*pipe.elements[0]);
+      if (ce.expression->kind() == NodeKind::InvokeMemberExpression) {
+        const auto& inv =
+            static_cast<const ps::InvokeMemberExpressionAst&>(*ce.expression);
+        const bool is_invokescript =
+            inv.constant_member() == "invokescript" ||
+            inv.constant_member() == "invokeexpression";
+        bool target_is_invokecommand = false;
+        if (inv.target != nullptr &&
+            inv.target->kind() == NodeKind::MemberExpression) {
+          const auto& mem =
+              static_cast<const ps::MemberExpressionAst&>(*inv.target);
+          target_is_invokecommand = mem.constant_member() == "invokecommand";
+        }
+        if (is_invokescript && target_is_invokecommand &&
+            inv.arguments.size() == 1) {
+          if (const std::string* payload =
+                  constant_string(inv.arguments[0].get())) {
+            if (ps::is_valid_syntax(*payload)) {
+              rewrites.push_back({pipe.start(), pipe.end(),
+                                  deobfuscate_inner(*payload)});
+              return;
+            }
+          }
+        }
+      }
+    }
+
+    // Form B: '<payload>' | iex  (any number of benign middle stages is not
+    // supported; the wild pattern is a single pipe).
+    if (pipe.elements.size() == 2 &&
+        pipe.elements[0]->kind() == NodeKind::CommandExpression &&
+        pipe.elements[1]->kind() == NodeKind::Command) {
+      const auto& head =
+          static_cast<const ps::CommandExpressionAst&>(*pipe.elements[0]);
+      const auto& tail = static_cast<const ps::CommandAst&>(*pipe.elements[1]);
+      if (is_invoke_expression(tail) && tail.elements.size() == 1) {
+        if (const std::string* payload = constant_string(head.expression.get())) {
+          if (ps::is_valid_syntax(*payload)) {
+            rewrites.push_back({pipe.start(), pipe.end(),
+                                deobfuscate_inner(*payload)});
+          }
+        }
+      }
+    }
+  });
+
+  if (rewrites.empty()) return std::string(script);
+
+  // Drop rewrites nested inside other rewrites, then apply right-to-left.
+  std::sort(rewrites.begin(), rewrites.end(),
+            [](const Rewrite& a, const Rewrite& b) { return a.start < b.start; });
+  std::vector<Rewrite> kept;
+  for (const Rewrite& r : rewrites) {
+    if (!kept.empty() && r.start < kept.back().end) continue;
+    kept.push_back(r);
+  }
+  std::string out(script);
+  for (auto it = kept.rbegin(); it != kept.rend(); ++it) {
+    if (trace != nullptr) {
+      trace->emit({TraceEvent::Kind::LayerUnwrapped, it->start,
+                   std::string(script.substr(it->start, it->end - it->start)),
+                   it->text, trace->pass()});
+    }
+    out.replace(it->start, it->end - it->start, it->text);
+  }
+  if (stats != nullptr) stats->layers_unwrapped += static_cast<int>(kept.size());
+  if (!ps::is_valid_syntax(out)) return std::string(script);
+  return out;
+}
+
+}  // namespace ideobf

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file multilayer.h
+/// Phase 2b of Invoke-Deobfuscation (paper section III-B4): multi-layer
+/// obfuscation. Recognizes Invoke-Expression in all its disguises and
+/// `powershell -EncodedCommand`, unwraps literal string payloads, and hands
+/// them back for recursive deobfuscation.
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "core/trace.h"
+
+namespace ideobf {
+
+struct MultilayerStats {
+  int layers_unwrapped = 0;
+};
+
+/// One unwrap pass. `deobfuscate_inner` is called on each extracted payload
+/// (typically the full deobfuscation pipeline). Returns the (possibly
+/// unchanged) script; invalid inputs are returned unchanged.
+std::string unwrap_layers(
+    std::string_view script,
+    const std::function<std::string(std::string_view)>& deobfuscate_inner,
+    MultilayerStats* stats = nullptr, TraceSink* trace = nullptr);
+
+}  // namespace ideobf

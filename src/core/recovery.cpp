@@ -1,0 +1,368 @@
+#include "core/recovery.h"
+
+#include <map>
+#include <memory>
+
+#include "core/blocklist.h"
+#include "pslang/alias_table.h"
+#include "psast/parser.h"
+#include "psinterp/interpreter.h"
+
+namespace ideobf {
+
+using ps::Ast;
+using ps::NodeKind;
+using ps::Value;
+
+std::string value_to_literal(const Value& value) {
+  if (value.is_string() || value.is_char()) {
+    std::string out = "'";
+    for (char c : value.to_display_string()) {
+      if (c == '\'') out += "''";
+      else out.push_back(c);
+    }
+    out += "'";
+    // Control characters have no single-quoted literal representation.
+    for (char c : value.to_display_string()) {
+      if ((c >= 0 && c < 0x20 && c != '\n' && c != '\t' && c != '\r') ||
+          c == 0x7f) {
+        return "";
+      }
+    }
+    return out;
+  }
+  if (value.is_int()) return std::to_string(value.get_int());
+  if (value.is_double()) return ps::format_double(value.get_double());
+  return "";  // Boolean / Object / Array / null: keep the original piece
+}
+
+namespace {
+
+/// Automatic variables that must never be substituted textually even though
+/// the interpreter knows their value.
+bool is_untouchable_variable(const std::string& bare_lower) {
+  static const char* kNames[] = {"_",     "args",  "input", "matches", "this",
+                                 "true",  "false", "null",  "error",   "lastexitcode",
+                                 "psitem", "myinvocation", "psboundparameters",
+                                 "executioncontext", "psversiontable", "host",
+                                 "profile", "ofs"};
+  for (const char* n : kNames) {
+    if (bare_lower == n) return true;
+  }
+  return false;
+}
+
+/// True when the reconstructed text is already a plain literal, so
+/// executing it cannot simplify anything.
+bool is_trivial_literal(std::string_view text) {
+  std::size_t b = 0, e = text.size();
+  while (b < e && (text[b] == ' ' || text[b] == '\t' || text[b] == '(' )) ++b;
+  while (e > b && (text[e - 1] == ' ' || text[e - 1] == '\t' || text[e - 1] == ')')) --e;
+  if (b >= e) return true;
+  std::string_view body = text.substr(b, e - b);
+  if (body.front() == '\'' && body.back() == '\'' &&
+      body.find('\'', 1) == body.size() - 1) {
+    return true;
+  }
+  bool all_digits = true;
+  for (std::size_t i = body.front() == '-' ? 1 : 0; i < body.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(body[i])) && body[i] != '.') {
+      all_digits = false;
+      break;
+    }
+  }
+  return all_digits;
+}
+
+class Reconstructor {
+ public:
+  Reconstructor(std::string_view src, const RecoveryOptions& options,
+                RecoveryStats& stats, TraceSink* trace)
+      : src_(src), options_(options), stats_(stats), trace_(trace) {
+    scope_path_.push_back(0);
+  }
+
+  std::string run(const Ast& root) { return reconstruct(root); }
+
+ private:
+  struct VarInfo {
+    Value value;
+    std::vector<int> scope;
+  };
+
+  std::string_view src_;
+  const RecoveryOptions& options_;
+  RecoveryStats& stats_;
+  TraceSink* trace_;
+  std::map<std::string, VarInfo> table_;  ///< S_v and S_c of Algorithm 1
+  std::vector<std::string> function_defs_;  ///< trace_functions extension
+  std::vector<int> scope_path_;
+  int scope_counter_ = 0;
+  int conditional_depth_ = 0;
+
+  bool scope_visible(const std::vector<int>& recorded) const {
+    if (recorded.size() > scope_path_.size()) return false;
+    for (std::size_t i = 0; i < recorded.size(); ++i) {
+      if (recorded[i] != scope_path_[i]) return false;
+    }
+    return true;
+  }
+
+  /// A fresh strict interpreter preloaded with the traced variable values.
+  std::unique_ptr<ps::Interpreter> make_interpreter() const {
+    ps::InterpreterOptions opts;
+    opts.max_steps = options_.max_steps_per_piece;
+    opts.strict_variables = true;
+    opts.refuse_blocklisted = true;
+    opts.command_filter = make_recovery_filter(options_.extra_blocklist);
+    auto interp = std::make_unique<ps::Interpreter>(opts);
+    for (const auto& [name, info] : table_) {
+      if (scope_visible(info.scope)) interp->set_variable(name, info.value);
+    }
+    // Function-tracing extension: register earlier function definitions so
+    // pieces calling a user decoder can execute (blocklist still applies).
+    for (const std::string& def : function_defs_) {
+      try {
+        interp->evaluate_script(def);
+      } catch (const std::exception&) {
+        // A definition that does not evaluate is simply unavailable.
+      }
+    }
+    return interp;
+  }
+
+  /// Splices the reconstructed children into the node's original text.
+  std::string splice(const Ast& node,
+                     const std::vector<std::pair<const Ast*, std::string>>& kids) {
+    std::string out;
+    std::size_t pos = node.start();
+    for (const auto& [child, text] : kids) {
+      if (child->start() < pos) continue;  // defensive: skip overlaps
+      out += src_.substr(pos, child->start() - pos);
+      out += text;
+      pos = child->end();
+    }
+    out += src_.substr(pos, node.end() - pos);
+    return out;
+  }
+
+  bool is_loop_or_conditional(NodeKind kind) const {
+    switch (kind) {
+      case NodeKind::IfStatement:
+      case NodeKind::SwitchStatement:
+      case NodeKind::WhileStatement:
+      case NodeKind::DoWhileStatement:
+      case NodeKind::ForStatement:
+      case NodeKind::ForEachStatement:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  std::string reconstruct(const Ast& node) {
+    // Scope bookkeeping (the six scope kinds of Algorithm 1).
+    const bool scoped = ps::is_scope_kind(node.kind());
+    const bool conditional = is_loop_or_conditional(node.kind());
+    if (scoped) scope_path_.push_back(++scope_counter_);
+    if (conditional) ++conditional_depth_;
+
+    std::vector<std::pair<const Ast*, std::string>> kids;
+    for (const Ast* child : node.children()) {
+      kids.emplace_back(child, reconstruct(*child));
+    }
+
+    if (conditional) --conditional_depth_;
+    if (scoped) scope_path_.pop_back();
+
+    std::string text = splice(node, kids);
+
+    switch (node.kind()) {
+      case NodeKind::VariableExpression:
+        return handle_variable(static_cast<const ps::VariableExpressionAst&>(node),
+                               std::move(text));
+      case NodeKind::AssignmentStatement:
+        return handle_assignment(
+            static_cast<const ps::AssignmentStatementAst&>(node), std::move(text));
+      case NodeKind::FunctionDefinition:
+        if (options_.trace_functions && conditional_depth_ == 0) {
+          function_defs_.push_back(text);
+        }
+        return text;
+      case NodeKind::ExpandableStringExpression:
+        return handle_expandable(text);
+      default:
+        break;
+    }
+
+    if (ps::is_recoverable_kind(node.kind())) {
+      return try_recover(std::move(text));
+    }
+    return text;
+  }
+
+  std::string handle_variable(const ps::VariableExpressionAst& var,
+                              std::string text) {
+    const std::string bare = var.bare_name();
+    const std::string scope = var.scope_qualifier();
+
+    // Algorithm 1 lines 8-12: any variable touched inside a loop or
+    // conditional statement becomes untraceable.
+    if (conditional_depth_ > 0) {
+      table_.erase(bare);
+      return text;
+    }
+    if (is_untouchable_variable(bare)) return text;
+
+    // Never substitute binding positions.
+    const Ast* parent = var.parent();
+    if (parent != nullptr) {
+      if (parent->kind() == NodeKind::AssignmentStatement &&
+          static_cast<const ps::AssignmentStatementAst*>(parent)->left.get() ==
+              &var) {
+        return text;
+      }
+      if (parent->kind() == NodeKind::ForEachStatement &&
+          static_cast<const ps::ForEachStatementAst*>(parent)->variable.get() ==
+              &var) {
+        return text;
+      }
+      if (parent->kind() == NodeKind::UnaryExpression) {
+        const auto& un = static_cast<const ps::UnaryExpressionAst&>(*parent);
+        if (un.op.rfind("++", 0) == 0 || un.op.rfind("--", 0) == 0) {
+          table_.erase(bare);
+          return text;
+        }
+      }
+    }
+
+    // Traced user variable?
+    if (scope.empty() || scope == "script" || scope == "global") {
+      auto it = table_.find(bare);
+      if (it != table_.end() && scope_visible(it->second.scope)) {
+        const std::string literal = value_to_literal(it->second.value);
+        if (!literal.empty()) {
+          stats_.variables_substituted++;
+          if (trace_ != nullptr) {
+            trace_->emit({TraceEvent::Kind::VariableSubstituted, var.start(),
+                          text, literal, trace_->pass()});
+          }
+          return literal;
+        }
+        return text;
+      }
+    }
+
+    // Environment / automatic variables resolve through Get-Variable
+    // semantics (paper section III-B3).
+    if (scope == "env" || scope.empty()) {
+      try {
+        ps::InterpreterOptions opts;
+        opts.strict_variables = true;
+        ps::Interpreter probe(opts);
+        const Value v = probe.evaluate_script(std::string(src_.substr(
+            var.start(), var.end() - var.start())));
+        const std::string literal = value_to_literal(v);
+        if (!literal.empty() && (v.is_string() || v.is_char())) {
+          stats_.variables_substituted++;
+          if (trace_ != nullptr) {
+            trace_->emit({TraceEvent::Kind::VariableSubstituted, var.start(),
+                          text, literal, trace_->pass()});
+          }
+          return literal;
+        }
+      } catch (const std::exception&) {
+        // unknown: keep as-is
+      }
+    }
+    return text;
+  }
+
+  std::string handle_assignment(const ps::AssignmentStatementAst& st,
+                                std::string text) {
+    if (st.left->kind() != NodeKind::VariableExpression) return text;
+    const auto& var = static_cast<const ps::VariableExpressionAst&>(*st.left);
+    const std::string bare = var.bare_name();
+    if (conditional_depth_ > 0 || is_untouchable_variable(bare)) {
+      table_.erase(bare);
+      return text;
+    }
+    try {
+      auto interp = make_interpreter();
+      interp->evaluate_script(text);
+      if (auto value = interp->get_variable(bare)) {
+        table_[bare] = VarInfo{*value, scope_path_};
+        stats_.variables_traced++;
+        if (trace_ != nullptr) {
+          trace_->emit({TraceEvent::Kind::VariableTraced, st.start(), "$" + bare,
+                        value_to_literal(*value), trace_->pass()});
+        }
+      } else {
+        table_.erase(bare);
+      }
+    } catch (const std::exception&) {
+      // Unknown variables / blocked commands / limits: drop the record
+      // (Algorithm 1 lines 15-18).
+      table_.erase(bare);
+    }
+    return text;
+  }
+
+  /// Expandable strings ("pre $url post") are not recoverable nodes, but
+  /// with every referenced variable traced their value is known; evaluating
+  /// them in the strict interpreter turns them into plain literals, which
+  /// extends recovery to interpolation sites inside blocklisted pipelines.
+  std::string handle_expandable(std::string text) {
+    if (conditional_depth_ > 0) return text;
+    if (text.find('$') == std::string::npos) return text;
+    try {
+      auto interp = make_interpreter();
+      const Value result = interp->evaluate_script(text);
+      const std::string literal = value_to_literal(result);
+      if (literal.empty() || literal == text) return text;
+      stats_.pieces_recovered++;
+      if (trace_ != nullptr) {
+        trace_->emit({TraceEvent::Kind::PieceRecovered, 0, text, literal,
+                      trace_->pass()});
+      }
+      return literal;
+    } catch (const std::exception&) {
+      return text;  // untraced variables ($_ in blocks, ...) keep the text
+    }
+  }
+
+  std::string try_recover(std::string text) {
+    if (text.size() > options_.max_piece_size) return text;
+    if (is_trivial_literal(text)) return text;
+    try {
+      auto interp = make_interpreter();
+      const Value result = interp->evaluate_script(text);
+      const std::string literal = value_to_literal(result);
+      if (literal.empty() || literal == text) return text;
+      stats_.pieces_recovered++;
+      if (trace_ != nullptr) {
+        trace_->emit({TraceEvent::Kind::PieceRecovered, 0, text, literal,
+                      trace_->pass()});
+      }
+      return literal;
+    } catch (const std::exception&) {
+      return text;  // keep the piece (blocked / unknown / limit / error)
+    }
+  }
+};
+
+}  // namespace
+
+std::string recovery_pass(std::string_view script, const RecoveryOptions& options,
+                          RecoveryStats* stats, TraceSink* trace) {
+  std::unique_ptr<ps::ScriptBlockAst> root = ps::try_parse(script);
+  if (root == nullptr) return std::string(script);
+  RecoveryStats local;
+  Reconstructor rec(script, options, local, trace);
+  std::string out = rec.run(*root);
+  if (stats != nullptr) *stats = local;
+  if (!ps::is_valid_syntax(out)) return std::string(script);
+  return out;
+}
+
+}  // namespace ideobf

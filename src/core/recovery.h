@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file recovery.h
+/// Phase 2 of Invoke-Deobfuscation (paper section III-B): recovery based on
+/// AST. Identifies recoverable nodes, traces variables (Algorithm 1),
+/// executes recoverable pieces through the Invoke substrate with the
+/// execution blocklist, and reconstructs the script by post-order in-place
+/// replacement.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/trace.h"
+#include "psvalue/value.h"
+
+namespace ideobf {
+
+struct RecoveryStats {
+  int pieces_recovered = 0;       ///< recoverable nodes replaced by literals
+  int variables_traced = 0;       ///< assignments recorded in the symbol table
+  int variables_substituted = 0;  ///< variable uses replaced by their value
+};
+
+struct RecoveryOptions {
+  std::size_t max_steps_per_piece = 200000;
+  std::size_t max_piece_size = 4u << 20;
+  std::vector<std::string> extra_blocklist;
+  /// Extension beyond the paper (its section V-C limitation): when enabled,
+  /// user function definitions seen earlier in the script are loaded into
+  /// the recovery interpreter, so pieces that call a decoder function (the
+  /// "recovery algorithm in a function" evasion) can still be executed.
+  bool trace_functions = false;
+};
+
+/// Runs one recovery pass. Returns the input unchanged when it does not
+/// parse (the caller's per-step syntax check handles rollback).
+std::string recovery_pass(std::string_view script, const RecoveryOptions& options,
+                          RecoveryStats* stats = nullptr,
+                          TraceSink* trace = nullptr);
+
+/// Renders a runtime value as PowerShell literal source text, or empty when
+/// the value has no faithful literal form (objects, arrays, ...), matching
+/// the paper's String/Number rule in section III-B2.
+std::string value_to_literal(const ps::Value& value);
+
+}  // namespace ideobf

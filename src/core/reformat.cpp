@@ -1,0 +1,110 @@
+#include "core/reformat.h"
+
+#include "pslang/lexer.h"
+
+namespace ideobf {
+
+using ps::Token;
+using ps::TokenType;
+
+std::string reformat_pass(std::string_view script) {
+  bool ok = true;
+  ps::TokenStream tokens = ps::tokenize_lenient(script, ok);
+  if (!ok) return std::string(script);
+
+  std::string out;
+  int indent = 0;
+  int paren_depth = 0;
+  bool at_line_start = true;
+  const Token* prev = nullptr;
+
+  auto newline = [&]() {
+    // Collapse trailing spaces; consecutive line breaks fold into one so the
+    // reformatter is idempotent on its own output.
+    while (!out.empty() && (out.back() == ' ' || out.back() == '\t')) out.pop_back();
+    if (!out.empty() && out.back() != '\n') out.push_back('\n');
+    at_line_start = true;
+    prev = nullptr;
+  };
+
+  auto emit = [&](const Token& t, const std::string& text) {
+    if (at_line_start) {
+      for (int i = 0; i < indent; ++i) out += "    ";
+      at_line_start = false;
+    } else if (prev != nullptr) {
+      // Preserve original adjacency (method parens, index brackets, member
+      // dots must stay attached); otherwise normalize to one space.
+      const bool was_adjacent = prev->end() == t.start;
+      if (!was_adjacent) out.push_back(' ');
+    }
+    out += text;
+    prev = &t;
+  };
+
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    switch (t.type) {
+      case TokenType::NewLine:
+        if (paren_depth == 0) newline();
+        continue;
+      case TokenType::LineContinuation:
+        continue;  // joined onto one line
+      case TokenType::StatementSeparator:
+        if (paren_depth == 0) {
+          newline();
+        } else {
+          emit(t, ";");
+        }
+        continue;
+      case TokenType::Comment:
+        emit(t, t.text);
+        if (t.text.rfind("#", 0) == 0 && t.text.rfind("<#", 0) != 0) newline();
+        continue;
+      case TokenType::GroupStart:
+        if (t.content == "{" || t.content == "@{") {
+          emit(t, t.text);
+          ++indent;
+          newline();
+        } else {
+          emit(t, t.text);
+          if (t.content != "{") ++paren_depth;
+        }
+        continue;
+      case TokenType::GroupEnd:
+        if (t.content == "}") {
+          if (indent > 0) --indent;
+          newline();
+          emit(t, t.text);
+          // A `}` is usually the end of a statement unless an operator,
+          // member access or closing group follows.
+          if (i + 1 < tokens.size()) {
+            const Token& next = tokens[i + 1];
+            const bool continues =
+                next.type == TokenType::Operator ||
+                next.type == TokenType::GroupEnd ||
+                next.type == TokenType::Keyword ||
+                (next.type == TokenType::GroupStart && next.content == "[");
+            if (!continues) newline();
+          } else {
+            newline();
+          }
+        } else {
+          if (paren_depth > 0) --paren_depth;
+          emit(t, t.text);
+        }
+        continue;
+      default:
+        emit(t, t.text);
+        continue;
+    }
+  }
+  // Trim leading/trailing blank lines.
+  while (!out.empty() && (out.front() == '\n' || out.front() == ' ')) {
+    out.erase(out.begin());
+  }
+  while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) out.pop_back();
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace ideobf

@@ -1,0 +1,18 @@
+#pragma once
+
+/// \file reformat.h
+/// Phase 3b of Invoke-Deobfuscation (paper section III-C): removes random
+/// whitespace and re-indents with a standardized format, by reprinting the
+/// token stream. Token adjacency from the original text is preserved where
+/// PowerShell syntax depends on it (method-call and index brackets).
+
+#include <string>
+#include <string_view>
+
+namespace ideobf {
+
+/// Returns the reformatted script; input that fails to tokenize is returned
+/// unchanged.
+std::string reformat_pass(std::string_view script);
+
+}  // namespace ideobf

@@ -1,0 +1,207 @@
+#include <algorithm>
+#include "core/rename.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "analysis/randomness.h"
+#include "pslang/alias_table.h"
+#include "pslang/lexer.h"
+
+namespace ideobf {
+
+using ps::Token;
+using ps::TokenType;
+
+namespace {
+
+bool is_automatic_variable(const std::string& lower) {
+  static const char* kAuto[] = {
+      "_",      "args",   "input",  "true",    "false",  "null",
+      "pshome", "shellid", "home",  "pwd",     "matches", "error",
+      "ofs",    "verbosepreference", "warningpreference", "debugpreference",
+      "erroractionpreference",      "psversiontable",    "executioncontext",
+      "myinvocation", "host", "profile", "lastexitcode", "psitem",
+      "psscriptroot", "psboundparameters", "psculture", "pid"};
+  for (const char* a : kAuto) {
+    if (lower == a) return true;
+  }
+  return false;
+}
+
+/// Case-insensitive replacement of `$name` references inside an expandable
+/// string's raw text.
+std::string replace_in_expandable(const std::string& text,
+                                  const std::map<std::string, std::string>& vars) {
+  std::string out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (text[i] == '`' && i + 1 < text.size()) {
+      out += text.substr(i, 2);
+      i += 2;
+      continue;
+    }
+    if (text[i] == '$' && i + 1 < text.size() &&
+        (std::isalpha(static_cast<unsigned char>(text[i + 1])) ||
+         text[i + 1] == '_')) {
+      std::size_t j = i + 1;
+      while (j < text.size() && (std::isalnum(static_cast<unsigned char>(text[j])) ||
+                                 text[j] == '_')) {
+        ++j;
+      }
+      const std::string name = ps::to_lower(text.substr(i + 1, j - i - 1));
+      auto it = vars.find(name);
+      if (it != vars.end()) {
+        out += "$" + it->second;
+        i = j;
+        continue;
+      }
+    }
+    out.push_back(text[i]);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string rename_pass(std::string_view script, RenameStats* stats,
+                        TraceSink* trace) {
+  bool ok = true;
+  ps::TokenStream tokens = ps::tokenize_lenient(script, ok);
+  if (!ok) return std::string(script);
+
+  // ---- collect candidate names in order of first appearance ----
+  std::vector<std::string> var_order;   // lowercase
+  std::vector<std::string> func_order;  // lowercase
+  std::map<std::string, std::string> originals;
+
+  bool expect_function_name = false;
+  for (const Token& t : tokens) {
+    if (t.type == TokenType::Comment || t.type == TokenType::NewLine ||
+        t.type == TokenType::LineContinuation) {
+      continue;
+    }
+    if (t.type == TokenType::Keyword &&
+        (t.content == "function" || t.content == "filter")) {
+      expect_function_name = true;
+      continue;
+    }
+    if (expect_function_name) {
+      expect_function_name = false;
+      const std::string lower = ps::to_lower(t.content);
+      if (!lower.empty() &&
+          std::find(func_order.begin(), func_order.end(), lower) ==
+              func_order.end()) {
+        func_order.push_back(lower);
+        originals[lower] = t.content;
+      }
+      continue;
+    }
+    if (t.type == TokenType::Variable) {
+      if (t.content.find(':') != std::string::npos) continue;  // scoped/env
+      const std::string lower = ps::to_lower(t.content);
+      if (lower.empty() || is_automatic_variable(lower)) continue;
+      if (std::find(var_order.begin(), var_order.end(), lower) ==
+          var_order.end()) {
+        var_order.push_back(lower);
+        originals[lower] = t.content;
+      }
+    }
+  }
+
+  if (var_order.empty() && func_order.empty()) return std::string(script);
+
+  // ---- the paper's joint randomness decision ----
+  std::vector<std::string> unique_names;
+  for (const auto& n : var_order) unique_names.push_back(originals[n]);
+  for (const auto& n : func_order) unique_names.push_back(originals[n]);
+  if (!names_look_random(unique_names)) return std::string(script);
+
+  std::map<std::string, std::string> var_map;
+  std::map<std::string, std::string> func_map;
+  for (std::size_t i = 0; i < var_order.size(); ++i) {
+    var_map[var_order[i]] = "var" + std::to_string(i);
+    if (trace != nullptr) {
+      trace->emit({TraceEvent::Kind::Renamed, 0, "$" + originals[var_order[i]],
+                   "$var" + std::to_string(i), trace->pass()});
+    }
+  }
+  for (std::size_t i = 0; i < func_order.size(); ++i) {
+    func_map[func_order[i]] = "func" + std::to_string(i);
+    if (trace != nullptr) {
+      trace->emit({TraceEvent::Kind::Renamed, 0, originals[func_order[i]],
+                   "func" + std::to_string(i), trace->pass()});
+    }
+  }
+
+  RenameStats local;
+  local.renamed = true;
+  local.variables_renamed = static_cast<int>(var_order.size());
+  local.functions_renamed = static_cast<int>(func_order.size());
+
+  // ---- apply, in reverse order so extents stay valid ----
+  std::string out(script);
+  bool expecting_fn = false;
+  // Precompute which token indexes are function-name positions.
+  std::vector<bool> is_fn_name(tokens.size(), false);
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.type == TokenType::Comment || t.type == TokenType::NewLine ||
+        t.type == TokenType::LineContinuation) {
+      continue;
+    }
+    if (expecting_fn) {
+      is_fn_name[i] = true;
+      expecting_fn = false;
+      continue;
+    }
+    if (t.type == TokenType::Keyword &&
+        (t.content == "function" || t.content == "filter")) {
+      expecting_fn = true;
+    }
+  }
+
+  for (std::size_t ri = tokens.size(); ri-- > 0;) {
+    const Token& t = tokens[ri];
+    if (t.type == TokenType::Variable) {
+      if (t.content.find(':') != std::string::npos) continue;
+      auto it = var_map.find(ps::to_lower(t.content));
+      if (it != var_map.end()) {
+        out.replace(t.start, t.length, "$" + it->second);
+      }
+      continue;
+    }
+    if (is_fn_name[ri]) {
+      auto it = func_map.find(ps::to_lower(t.content));
+      if (it != func_map.end()) out.replace(t.start, t.length, it->second);
+      continue;
+    }
+    if (t.type == TokenType::Command || t.type == TokenType::CommandArgument ||
+        (t.type == TokenType::String && t.quote == ps::QuoteKind::None)) {
+      auto it = func_map.find(ps::to_lower(t.content));
+      if (it != func_map.end()) {
+        out.replace(t.start, t.length, it->second);
+      }
+      continue;
+    }
+    if (t.type == TokenType::String && t.expandable) {
+      const std::string inner = replace_in_expandable(t.content, var_map);
+      if (inner != t.content) {
+        // Rebuild the full quoted token around the new inner text.
+        const char open = t.text.size() >= 2 && t.text[0] == '@' ? '@' : '"';
+        if (open == '"') {
+          out.replace(t.start, t.length, "\"" + inner + "\"");
+        }
+        // Here-strings keep their original text (rare; conservatively skip).
+      }
+      continue;
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace ideobf

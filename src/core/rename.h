@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file rename.h
+/// Phase 3a of Invoke-Deobfuscation (paper section III-C): statistical
+/// detection of randomized identifiers and substitution with var{n} /
+/// func{n}, numbered by order of first appearance.
+
+#include <string>
+#include <string_view>
+
+#include "core/trace.h"
+
+namespace ideobf {
+
+struct RenameStats {
+  bool renamed = false;
+  int variables_renamed = 0;
+  int functions_renamed = 0;
+};
+
+/// Renames randomized variable/function names. Automatic, environment and
+/// scope-qualified variables are untouched. Returns the input unchanged when
+/// the joint name statistics look like normal English or on parse failure.
+std::string rename_pass(std::string_view script, RenameStats* stats = nullptr,
+                        TraceSink* trace = nullptr);
+
+}  // namespace ideobf

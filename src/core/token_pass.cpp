@@ -1,0 +1,190 @@
+#include "core/token_pass.h"
+
+#include "analysis/randomness.h"
+
+#include <cctype>
+
+#include "pslang/alias_table.h"
+#include "pslang/lexer.h"
+
+namespace ideobf {
+
+using ps::AliasTable;
+using ps::Token;
+using ps::TokenType;
+
+
+std::string canonical_command_name(std::string_view name) {
+  const auto& table = AliasTable::standard();
+  if (auto full = table.resolve(name)) return *full;
+  if (table.is_known_cmdlet(name)) {
+    // Normalize casing to the canonical Verb-Noun form where known.
+    if (auto alias = table.alias_for(name)) {
+      if (auto full = table.resolve(*alias)) return *full;
+    }
+    // Known via the extra list. Verb-Noun cmdlets get Pascal casing; plain
+    // executables (powershell, cmd, mkdir) are conventionally lowercase.
+    std::string out = ps::to_lower(name);
+    if (out.find('-') == std::string::npos) return out;
+    bool cap = true;
+    for (char& c : out) {
+      if (cap && std::isalpha(static_cast<unsigned char>(c))) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+        cap = false;
+      }
+      if (c == '-') cap = true;
+    }
+    return out;
+  }
+  if (has_random_case(name)) return ps::to_lower(name);
+  return std::string(name);
+}
+
+std::string token_pass(std::string_view script, TokenPassStats* stats,
+                       TraceSink* trace) {
+  bool ok = true;
+  ps::TokenStream tokens = ps::tokenize_lenient(script, ok);
+  if (!ok) return std::string(script);
+
+  TokenPassStats local;
+  std::string out(script);
+
+  // Reverse order keeps earlier token extents valid after replacement
+  // (paper section III-A).
+  for (auto it = tokens.rbegin(); it != tokens.rend(); ++it) {
+    const Token& t = *it;
+    std::string replacement;
+    bool replace = false;
+
+    const bool had_ticks =
+        t.type != TokenType::String && t.text.find('`') != std::string::npos &&
+        t.type != TokenType::LineContinuation;
+
+    switch (t.type) {
+      case TokenType::Command: {
+        std::string fixed = canonical_command_name(t.content);
+        if (fixed != t.text) {
+          replacement = fixed;
+          replace = true;
+          if (had_ticks) local.ticks_removed++;
+          if (AliasTable::standard().resolve(t.content).has_value() &&
+              !ps::iequals(fixed, t.content)) {
+            local.aliases_expanded++;
+          } else if (!ps::iequals(fixed, t.text) || has_random_case(t.text)) {
+            local.case_normalized++;
+          }
+        }
+        break;
+      }
+      case TokenType::Keyword: {
+        if (t.content != t.text) {
+          replacement = t.content;  // keywords normalize to lowercase
+          replace = true;
+          if (had_ticks) local.ticks_removed++;
+          else local.case_normalized++;
+        }
+        break;
+      }
+      case TokenType::Member:
+      case TokenType::CommandArgument: {
+        std::string fixed = t.content;
+        // Only identifier-like words carry random-case obfuscation; data
+        // arguments (Base64, numbers, URLs) must keep their exact casing.
+        bool word_like = !fixed.empty();
+        for (char c : fixed) {
+          if (!std::isalpha(static_cast<unsigned char>(c)) && c != '.' &&
+              c != '-' && c != '_' && c != ':' && c != '\\') {
+            word_like = false;
+            break;
+          }
+        }
+        if (word_like && has_random_case(fixed)) {
+          fixed = ps::to_lower(fixed);
+          local.case_normalized++;
+          replace = true;
+        }
+        if (had_ticks) {
+          local.ticks_removed++;
+          replace = true;
+        }
+        if (replace) replacement = fixed;
+        break;
+      }
+      case TokenType::CommandParameter: {
+        std::string fixed = t.content;
+        if (has_random_case(fixed.substr(1))) {
+          fixed = ps::to_lower(fixed);
+          local.case_normalized++;
+          replace = true;
+        }
+        if (had_ticks) {
+          local.ticks_removed++;
+          replace = true;
+        }
+        if (replace) replacement = fixed;
+        break;
+      }
+      case TokenType::Type: {
+        // Type literal text includes brackets; content does not.
+        std::string inner = t.content;
+        bool changed = false;
+        if (has_random_case(inner)) {
+          inner = ps::to_lower(inner);
+          local.case_normalized++;
+          changed = true;
+        }
+        if (had_ticks) {
+          local.ticks_removed++;
+          changed = true;
+        }
+        if (changed) {
+          replacement = "[" + inner + "]";
+          replace = true;
+        }
+        break;
+      }
+      case TokenType::Operator: {
+        // Named operators (-SPLit, -jOiN) normalize to lowercase; content
+        // already holds the canonical lowercase spelling.
+        if (t.text.size() > 1 && t.text[0] == '-' && t.content != t.text) {
+          replacement = t.content;
+          replace = true;
+          if (had_ticks) local.ticks_removed++;
+          else local.case_normalized++;
+        }
+        break;
+      }
+      case TokenType::Variable: {
+        if (had_ticks) {
+          replacement = "$" + t.content;
+          local.ticks_removed++;
+          replace = true;
+        }
+        break;
+      }
+      case TokenType::LineContinuation: {
+        // A backtick-newline is ticking across lines; joining the lines
+        // restores the single-statement form.
+        replacement = " ";
+        local.ticks_removed++;
+        replace = true;
+        break;
+      }
+      default:
+        break;
+    }
+
+    if (replace && replacement != t.text) {
+      if (trace != nullptr) {
+        trace->emit({TraceEvent::Kind::TokenNormalized, t.start, t.text,
+                     replacement, trace->pass()});
+      }
+      out.replace(t.start, t.length, replacement);
+    }
+  }
+
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace ideobf

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file token_pass.h
+/// Phase 1 of Invoke-Deobfuscation (paper section III-A): token parsing.
+/// Uses token attributes to undo L1 obfuscation — ticking, random case and
+/// aliases — replacing each recovered token in place, in reverse order so
+/// earlier extents stay valid.
+
+#include <string>
+#include <string_view>
+
+#include "core/trace.h"
+
+namespace ideobf {
+
+struct TokenPassStats {
+  int ticks_removed = 0;
+  int aliases_expanded = 0;
+  int case_normalized = 0;
+};
+
+/// Returns the token-normalized script. If the input does not tokenize, it
+/// is returned unchanged (the caller's per-step syntax check).
+std::string token_pass(std::string_view script, TokenPassStats* stats = nullptr,
+                       TraceSink* trace = nullptr);
+
+/// Canonical presentation of a cmdlet name: known cmdlets resolve through
+/// the alias/canonical table; unknown mixed-case words are lowercased.
+std::string canonical_command_name(std::string_view name);
+
+}  // namespace ideobf

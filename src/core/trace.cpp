@@ -1,0 +1,45 @@
+#include "core/trace.h"
+
+#include <sstream>
+
+namespace ideobf {
+
+std::string_view to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::TokenNormalized: return "token";
+    case TraceEvent::Kind::PieceRecovered: return "recovered";
+    case TraceEvent::Kind::VariableTraced: return "traced";
+    case TraceEvent::Kind::VariableSubstituted: return "substituted";
+    case TraceEvent::Kind::LayerUnwrapped: return "unwrapped";
+    case TraceEvent::Kind::Renamed: return "renamed";
+  }
+  return "?";
+}
+
+namespace {
+std::string clip(std::string_view s, std::size_t max_len) {
+  std::string out;
+  for (char c : s) {
+    if (out.size() >= max_len) {
+      out += "...";
+      break;
+    }
+    if (c == '\n') out += "\\n";
+    else out.push_back(c);
+  }
+  return out;
+}
+}  // namespace
+
+std::string render_trace(const std::vector<TraceEvent>& trace,
+                         std::size_t max_payload) {
+  std::ostringstream out;
+  for (const TraceEvent& e : trace) {
+    out << "[pass " << e.pass << "] " << to_string(e.kind) << " @" << e.offset
+        << ": " << clip(e.before, max_payload) << "  ->  "
+        << clip(e.after, max_payload) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ideobf

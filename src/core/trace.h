@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file trace.h
+/// Structured transformation trace: every change the deobfuscator makes
+/// (token normalized, piece recovered, variable substituted, layer
+/// unwrapped, identifier renamed) as an auditable event, so an analyst can
+/// verify *why* the output is what it is — the explainability counterpart
+/// to the paper's layer-by-layer screenshots (Fig 7).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ideobf {
+
+struct TraceEvent {
+  enum class Kind {
+    TokenNormalized,      ///< token pass: ticks/case/alias fixed
+    PieceRecovered,       ///< recoverable node executed and replaced
+    VariableTraced,       ///< assignment recorded in the symbol table
+    VariableSubstituted,  ///< variable use replaced by its value
+    LayerUnwrapped,       ///< iex / -EncodedCommand payload inlined
+    Renamed,              ///< randomized identifier renamed
+  };
+
+  Kind kind;
+  /// Byte offset in the text version the pass was operating on (passes
+  /// rewrite the script, so offsets are per-pass, not global).
+  std::size_t offset = 0;
+  std::string before;
+  std::string after;
+  int pass = 0;  ///< fixed-point iteration index
+};
+
+std::string_view to_string(TraceEvent::Kind kind);
+
+/// Renders a trace as readable lines ("[pass 0] recovered @12: '...' -> ...").
+std::string render_trace(const std::vector<TraceEvent>& trace,
+                         std::size_t max_payload = 60);
+
+/// Collector passed through the pipeline phases; null sink = tracing off.
+class TraceSink {
+ public:
+  void emit(TraceEvent event) { events_.push_back(std::move(event)); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] std::vector<TraceEvent> take() { return std::move(events_); }
+  void set_pass(int pass) { pass_ = pass; }
+  [[nodiscard]] int pass() const { return pass_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  int pass_ = 0;
+};
+
+}  // namespace ideobf

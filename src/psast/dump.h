@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file dump.h
+/// Human-readable AST dumps, the debugging aid for everything the recovery
+/// phase does: each line shows a node's kind, extent and salient payload,
+/// with markers on the paper's *recoverable* and scope-changing kinds.
+
+#include <string>
+#include <string_view>
+
+#include "psast/ast.h"
+
+namespace ps {
+
+struct DumpOptions {
+  bool show_extents = true;    ///< print [start,end) offsets
+  bool mark_recoverable = true;  ///< suffix recoverable kinds with `*`
+  std::size_t max_payload = 40;  ///< truncate literal payloads to this length
+};
+
+/// Renders the subtree rooted at `node` as an indented tree.
+std::string dump_ast(const Ast& node, std::string_view source,
+                     DumpOptions options = {});
+
+/// Parses and dumps a whole script; parse failures yield an error line.
+std::string dump_script(std::string_view source, DumpOptions options = {});
+
+}  // namespace ps

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file parser.h
+/// Recursive-descent parser producing the PowerShell AST of ast.h, the
+/// substitute for System.Management.Automation.Language.Parser.
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "psast/ast.h"
+
+namespace ps {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t offset)
+      : std::runtime_error(std::move(message)), offset(offset) {}
+  std::size_t offset;
+};
+
+/// Parses `source` into a script-level ScriptBlockAst. Throws ParseError or
+/// LexError on malformed input. Parent links are already set on the result.
+std::unique_ptr<ScriptBlockAst> parse(std::string_view source);
+
+/// Non-throwing variant: returns nullptr on failure, storing a message into
+/// `error` when provided. This is the deobfuscator's per-step syntax check.
+std::unique_ptr<ScriptBlockAst> try_parse(std::string_view source,
+                                          std::string* error = nullptr);
+
+/// True when `source` parses cleanly.
+bool is_valid_syntax(std::string_view source);
+
+}  // namespace ps

@@ -1,0 +1,227 @@
+#include "psinterp/aes.h"
+
+#include <array>
+#include <cstring>
+
+namespace ps {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 256> kSbox = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+std::array<std::uint8_t, 256> make_inv_sbox() {
+  std::array<std::uint8_t, 256> inv{};
+  for (int i = 0; i < 256; ++i) inv[kSbox[i]] = static_cast<std::uint8_t>(i);
+  return inv;
+}
+const std::array<std::uint8_t, 256> kInvSbox = make_inv_sbox();
+
+std::uint8_t xtime(std::uint8_t x) {
+  return static_cast<std::uint8_t>((x << 1) ^ ((x >> 7) * 0x1B));
+}
+
+std::uint8_t gmul(std::uint8_t a, std::uint8_t b) {
+  std::uint8_t out = 0;
+  while (b != 0) {
+    if (b & 1) out ^= a;
+    a = xtime(a);
+    b >>= 1;
+  }
+  return out;
+}
+
+struct KeySchedule {
+  std::array<std::uint8_t, 240> round_keys{};
+  int rounds = 0;
+};
+
+bool expand_key(const ByteVec& key, KeySchedule& ks) {
+  const std::size_t nk = key.size() / 4;
+  if (key.size() != 16 && key.size() != 24 && key.size() != 32) return false;
+  ks.rounds = static_cast<int>(nk) + 6;
+  const std::size_t total_words = 4u * (static_cast<std::size_t>(ks.rounds) + 1);
+  std::memcpy(ks.round_keys.data(), key.data(), key.size());
+  std::uint8_t rcon = 1;
+  for (std::size_t i = nk; i < total_words; ++i) {
+    std::uint8_t temp[4];
+    std::memcpy(temp, &ks.round_keys[(i - 1) * 4], 4);
+    if (i % nk == 0) {
+      const std::uint8_t t = temp[0];
+      temp[0] = static_cast<std::uint8_t>(kSbox[temp[1]] ^ rcon);
+      temp[1] = kSbox[temp[2]];
+      temp[2] = kSbox[temp[3]];
+      temp[3] = kSbox[t];
+      rcon = xtime(rcon);
+    } else if (nk > 6 && i % nk == 4) {
+      for (int k = 0; k < 4; ++k) temp[k] = kSbox[temp[k]];
+    }
+    for (int k = 0; k < 4; ++k) {
+      ks.round_keys[i * 4 + static_cast<std::size_t>(k)] =
+          ks.round_keys[(i - nk) * 4 + static_cast<std::size_t>(k)] ^ temp[k];
+    }
+  }
+  return true;
+}
+
+using Block = std::array<std::uint8_t, 16>;
+
+void add_round_key(Block& s, const KeySchedule& ks, int round) {
+  for (int i = 0; i < 16; ++i) {
+    s[i] ^= ks.round_keys[static_cast<std::size_t>(round) * 16 +
+                          static_cast<std::size_t>(i)];
+  }
+}
+
+void encrypt_block(Block& s, const KeySchedule& ks) {
+  add_round_key(s, ks, 0);
+  for (int round = 1; round <= ks.rounds; ++round) {
+    for (int i = 0; i < 16; ++i) s[i] = kSbox[s[i]];  // SubBytes
+    // ShiftRows.
+    Block t = s;
+    for (int r = 1; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) s[r + 4 * c] = t[r + 4 * ((c + r) % 4)];
+    }
+    if (round != ks.rounds) {
+      // MixColumns.
+      for (int c = 0; c < 4; ++c) {
+        const std::uint8_t a0 = s[4 * c], a1 = s[4 * c + 1], a2 = s[4 * c + 2],
+                           a3 = s[4 * c + 3];
+        s[4 * c] = static_cast<std::uint8_t>(gmul(a0, 2) ^ gmul(a1, 3) ^ a2 ^ a3);
+        s[4 * c + 1] = static_cast<std::uint8_t>(a0 ^ gmul(a1, 2) ^ gmul(a2, 3) ^ a3);
+        s[4 * c + 2] = static_cast<std::uint8_t>(a0 ^ a1 ^ gmul(a2, 2) ^ gmul(a3, 3));
+        s[4 * c + 3] = static_cast<std::uint8_t>(gmul(a0, 3) ^ a1 ^ a2 ^ gmul(a3, 2));
+      }
+    }
+    add_round_key(s, ks, round);
+  }
+}
+
+void decrypt_block(Block& s, const KeySchedule& ks) {
+  add_round_key(s, ks, ks.rounds);
+  for (int round = ks.rounds - 1; round >= 0; --round) {
+    // InvShiftRows.
+    Block t = s;
+    for (int r = 1; r < 4; ++r) {
+      for (int c = 0; c < 4; ++c) s[r + 4 * ((c + r) % 4)] = t[r + 4 * c];
+    }
+    for (int i = 0; i < 16; ++i) s[i] = kInvSbox[s[i]];  // InvSubBytes
+    add_round_key(s, ks, round);
+    if (round != 0) {
+      // InvMixColumns.
+      for (int c = 0; c < 4; ++c) {
+        const std::uint8_t a0 = s[4 * c], a1 = s[4 * c + 1], a2 = s[4 * c + 2],
+                           a3 = s[4 * c + 3];
+        s[4 * c] = static_cast<std::uint8_t>(gmul(a0, 14) ^ gmul(a1, 11) ^
+                                             gmul(a2, 13) ^ gmul(a3, 9));
+        s[4 * c + 1] = static_cast<std::uint8_t>(gmul(a0, 9) ^ gmul(a1, 14) ^
+                                                 gmul(a2, 11) ^ gmul(a3, 13));
+        s[4 * c + 2] = static_cast<std::uint8_t>(gmul(a0, 13) ^ gmul(a1, 9) ^
+                                                 gmul(a2, 14) ^ gmul(a3, 11));
+        s[4 * c + 3] = static_cast<std::uint8_t>(gmul(a0, 11) ^ gmul(a1, 13) ^
+                                                 gmul(a2, 9) ^ gmul(a3, 14));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ByteVec aes_cbc_encrypt(const ByteVec& plain, const ByteVec& key,
+                        const ByteVec& iv) {
+  KeySchedule ks;
+  if (!expand_key(key, ks) || iv.size() != 16) return {};
+  // PKCS#7 padding.
+  ByteVec padded = plain;
+  const std::size_t pad = 16 - (padded.size() % 16);
+  padded.insert(padded.end(), pad, static_cast<std::uint8_t>(pad));
+
+  ByteVec out;
+  out.reserve(padded.size());
+  Block prev;
+  std::memcpy(prev.data(), iv.data(), 16);
+  for (std::size_t i = 0; i < padded.size(); i += 16) {
+    Block block;
+    for (int k = 0; k < 16; ++k) {
+      block[k] = padded[i + static_cast<std::size_t>(k)] ^ prev[k];
+    }
+    encrypt_block(block, ks);
+    out.insert(out.end(), block.begin(), block.end());
+    prev = block;
+  }
+  return out;
+}
+
+std::optional<ByteVec> aes_cbc_decrypt(const ByteVec& cipher, const ByteVec& key,
+                                       const ByteVec& iv) {
+  KeySchedule ks;
+  if (!expand_key(key, ks) || iv.size() != 16) return std::nullopt;
+  if (cipher.empty() || cipher.size() % 16 != 0) return std::nullopt;
+
+  ByteVec out;
+  out.reserve(cipher.size());
+  Block prev;
+  std::memcpy(prev.data(), iv.data(), 16);
+  for (std::size_t i = 0; i < cipher.size(); i += 16) {
+    Block block;
+    std::memcpy(block.data(), cipher.data() + i, 16);
+    const Block saved = block;
+    decrypt_block(block, ks);
+    for (int k = 0; k < 16; ++k) block[k] ^= prev[k];
+    out.insert(out.end(), block.begin(), block.end());
+    prev = saved;
+  }
+  const std::uint8_t pad = out.back();
+  if (pad == 0 || pad > 16 || pad > out.size()) return std::nullopt;
+  for (std::size_t i = out.size() - pad; i < out.size(); ++i) {
+    if (out[i] != pad) return std::nullopt;
+  }
+  out.resize(out.size() - pad);
+  return out;
+}
+
+namespace securestring {
+
+std::string protect(std::string_view plain, const ByteVec& key,
+                    const ByteVec& iv) {
+  const ByteVec data = encoding_get_bytes(TextEncoding::Unicode, plain);
+  const ByteVec cipher = aes_cbc_encrypt(data, key, iv);
+  ByteVec blob = iv;
+  blob.insert(blob.end(), cipher.begin(), cipher.end());
+  return base64_encode(blob);
+}
+
+std::optional<std::string> unprotect(std::string_view blob, const ByteVec& key) {
+  const auto bytes = base64_decode(blob);
+  if (!bytes || bytes->size() < 32) return std::nullopt;
+  const ByteVec iv(bytes->begin(), bytes->begin() + 16);
+  const ByteVec cipher(bytes->begin() + 16, bytes->end());
+  const auto plain = aes_cbc_decrypt(cipher, key, iv);
+  if (!plain) return std::nullopt;
+  return encoding_get_string(TextEncoding::Unicode, *plain);
+}
+
+}  // namespace securestring
+
+}  // namespace ps

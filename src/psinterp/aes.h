@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file aes.h
+/// From-scratch AES-128/192/256 in CBC mode with PKCS#7 padding — the
+/// cryptographic substrate behind ConvertTo/From-SecureString -Key, which
+/// the paper's SecureString obfuscation technique (Table II) relies on.
+
+#include <optional>
+
+#include "psinterp/encodings.h"
+
+namespace ps {
+
+/// Encrypts `plain` with AES-CBC/PKCS7. `key` must be 16, 24 or 32 bytes;
+/// `iv` must be 16 bytes.
+ByteVec aes_cbc_encrypt(const ByteVec& plain, const ByteVec& key,
+                        const ByteVec& iv);
+
+/// Decrypts; returns nullopt on bad key size, ciphertext size, or padding.
+std::optional<ByteVec> aes_cbc_decrypt(const ByteVec& cipher, const ByteVec& key,
+                                       const ByteVec& iv);
+
+namespace securestring {
+
+/// Our ConvertFrom-SecureString -Key blob: Base64(IV(16) || AES-CBC(
+/// UTF-16LE(plain))). Real PowerShell uses a proprietary DPAPI-shaped hex
+/// format; the substitution is documented in DESIGN.md.
+std::string protect(std::string_view plain, const ByteVec& key,
+                    const ByteVec& iv);
+
+/// ConvertTo-SecureString <blob> -Key, followed by
+/// Marshal::PtrToStringAuto(Marshal::SecureStringToBSTR(...)).
+std::optional<std::string> unprotect(std::string_view blob, const ByteVec& key);
+
+}  // namespace securestring
+
+}  // namespace ps

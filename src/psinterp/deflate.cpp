@@ -1,0 +1,361 @@
+#include "psinterp/deflate.h"
+
+#include <array>
+#include <cstring>
+
+namespace ps {
+
+namespace {
+
+// -------------------------------------------------------------- bit reader
+
+class BitReader {
+ public:
+  explicit BitReader(const ByteVec& data) : data_(data) {}
+
+  /// Reads `n` bits LSB-first. Returns -1 past end of input.
+  int bits(int n) {
+    while (count_ < n) {
+      if (pos_ >= data_.size()) return -1;
+      acc_ |= static_cast<std::uint32_t>(data_[pos_++]) << count_;
+      count_ += 8;
+    }
+    const int out = static_cast<int>(acc_ & ((1u << n) - 1));
+    acc_ >>= n;
+    count_ -= n;
+    return out;
+  }
+
+  void align_to_byte() {
+    acc_ = 0;
+    count_ = 0;
+  }
+
+  bool read_bytes(std::uint8_t* out, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  const ByteVec& data_;
+  std::size_t pos_ = 0;
+  std::uint32_t acc_ = 0;
+  int count_ = 0;
+};
+
+// ----------------------------------------------------------- Huffman table
+
+/// Canonical Huffman decoder built from code lengths (RFC 1951 section 3.2.2).
+class Huffman {
+ public:
+  bool build(const std::uint8_t* lengths, int n) {
+    counts_.fill(0);
+    symbols_.assign(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n; ++i) counts_[lengths[i]]++;
+    counts_[0] = 0;
+    int left = 1;
+    for (int len = 1; len <= 15; ++len) {
+      left <<= 1;
+      left -= counts_[len];
+      if (left < 0) return false;  // over-subscribed
+    }
+    std::array<int, 16> offsets{};
+    for (int len = 1; len < 15; ++len) {
+      offsets[len + 1] = offsets[len] + counts_[len];
+    }
+    for (int i = 0; i < n; ++i) {
+      if (lengths[i] != 0) symbols_[offsets[lengths[i]]++] = i;
+    }
+    return true;
+  }
+
+  int decode(BitReader& br) const {
+    int code = 0, first = 0, index = 0;
+    for (int len = 1; len <= 15; ++len) {
+      const int b = br.bits(1);
+      if (b < 0) return -1;
+      code |= b;
+      const int count = counts_[len];
+      if (code - first < count) return symbols_[index + (code - first)];
+      index += count;
+      first = (first + count) << 1;
+      code <<= 1;
+    }
+    return -1;
+  }
+
+ private:
+  std::array<int, 16> counts_{};
+  std::vector<int> symbols_;
+};
+
+constexpr std::array<int, 29> kLenBase = {3,  4,  5,  6,  7,  8,  9,  10, 11, 13,
+                                          15, 17, 19, 23, 27, 31, 35, 43, 51, 59,
+                                          67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<int, 29> kLenExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2,
+                                           2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr std::array<int, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,    9,    13,   17,   25,
+    33,   49,   65,   97,   129,  193,  257,  385,  513,  769,
+    1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577};
+constexpr std::array<int, 30> kDistExtra = {0, 0, 0, 0, 1, 1, 2, 2,  3,  3,
+                                            4, 4, 5, 5, 6, 6, 7, 7,  8,  8,
+                                            9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+bool build_fixed(Huffman& lit, Huffman& dist) {
+  std::array<std::uint8_t, 288> lit_lengths{};
+  for (int i = 0; i < 144; ++i) lit_lengths[i] = 8;
+  for (int i = 144; i < 256; ++i) lit_lengths[i] = 9;
+  for (int i = 256; i < 280; ++i) lit_lengths[i] = 7;
+  for (int i = 280; i < 288; ++i) lit_lengths[i] = 8;
+  std::array<std::uint8_t, 30> dist_lengths{};
+  dist_lengths.fill(5);
+  return lit.build(lit_lengths.data(), 288) && dist.build(dist_lengths.data(), 30);
+}
+
+bool inflate_block(BitReader& br, const Huffman& lit, const Huffman& dist,
+                   ByteVec& out, std::size_t max_output) {
+  while (true) {
+    const int sym = lit.decode(br);
+    if (sym < 0) return false;
+    if (sym == 256) return true;  // end of block
+    if (sym < 256) {
+      if (out.size() >= max_output) return false;
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    const int li = sym - 257;
+    if (li >= static_cast<int>(kLenBase.size())) return false;
+    const int extra = br.bits(kLenExtra[li]);
+    if (extra < 0) return false;
+    const int length = kLenBase[li] + extra;
+    const int dsym = dist.decode(br);
+    if (dsym < 0 || dsym >= static_cast<int>(kDistBase.size())) return false;
+    const int dextra = br.bits(kDistExtra[dsym]);
+    if (dextra < 0) return false;
+    const std::size_t distance =
+        static_cast<std::size_t>(kDistBase[dsym] + dextra);
+    if (distance > out.size()) return false;
+    if (out.size() + static_cast<std::size_t>(length) > max_output) return false;
+    for (int i = 0; i < length; ++i) {
+      out.push_back(out[out.size() - distance]);
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<ByteVec> inflate(const ByteVec& data, std::size_t max_output) {
+  BitReader br(data);
+  ByteVec out;
+  while (true) {
+    const int final_block = br.bits(1);
+    const int type = br.bits(2);
+    if (final_block < 0 || type < 0) return std::nullopt;
+    if (type == 0) {
+      br.align_to_byte();
+      std::uint8_t header[4];
+      if (!br.read_bytes(header, 4)) return std::nullopt;
+      const std::uint16_t len = static_cast<std::uint16_t>(header[0] | (header[1] << 8));
+      const std::uint16_t nlen = static_cast<std::uint16_t>(header[2] | (header[3] << 8));
+      if (static_cast<std::uint16_t>(~len) != nlen) return std::nullopt;
+      if (out.size() + len > max_output) return std::nullopt;
+      const std::size_t off = out.size();
+      out.resize(off + len);
+      if (!br.read_bytes(out.data() + off, len)) return std::nullopt;
+    } else if (type == 1) {
+      Huffman lit, dist;
+      if (!build_fixed(lit, dist)) return std::nullopt;
+      if (!inflate_block(br, lit, dist, out, max_output)) return std::nullopt;
+    } else if (type == 2) {
+      const int hlit = br.bits(5);
+      const int hdist = br.bits(5);
+      const int hclen = br.bits(4);
+      if (hlit < 0 || hdist < 0 || hclen < 0) return std::nullopt;
+      const int nlit = hlit + 257;
+      const int ndist = hdist + 1;
+      const int ncode = hclen + 4;
+      static constexpr std::array<int, 19> kOrder = {
+          16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15};
+      std::array<std::uint8_t, 19> code_lengths{};
+      for (int i = 0; i < ncode; ++i) {
+        const int v = br.bits(3);
+        if (v < 0) return std::nullopt;
+        code_lengths[kOrder[i]] = static_cast<std::uint8_t>(v);
+      }
+      Huffman meta;
+      if (!meta.build(code_lengths.data(), 19)) return std::nullopt;
+      std::vector<std::uint8_t> lengths(static_cast<std::size_t>(nlit + ndist), 0);
+      int i = 0;
+      while (i < nlit + ndist) {
+        const int sym = meta.decode(br);
+        if (sym < 0) return std::nullopt;
+        if (sym < 16) {
+          lengths[i++] = static_cast<std::uint8_t>(sym);
+        } else if (sym == 16) {
+          if (i == 0) return std::nullopt;
+          const int rep = br.bits(2);
+          if (rep < 0) return std::nullopt;
+          const std::uint8_t prev = lengths[i - 1];
+          for (int r = 0; r < rep + 3 && i < nlit + ndist; ++r) lengths[i++] = prev;
+        } else if (sym == 17) {
+          const int rep = br.bits(3);
+          if (rep < 0) return std::nullopt;
+          for (int r = 0; r < rep + 3 && i < nlit + ndist; ++r) lengths[i++] = 0;
+        } else {
+          const int rep = br.bits(7);
+          if (rep < 0) return std::nullopt;
+          for (int r = 0; r < rep + 11 && i < nlit + ndist; ++r) lengths[i++] = 0;
+        }
+      }
+      Huffman lit, dist;
+      if (!lit.build(lengths.data(), nlit)) return std::nullopt;
+      if (!dist.build(lengths.data() + nlit, ndist)) return std::nullopt;
+      if (!inflate_block(br, lit, dist, out, max_output)) return std::nullopt;
+    } else {
+      return std::nullopt;
+    }
+    if (final_block == 1) break;
+  }
+  return out;
+}
+
+namespace {
+
+class BitWriter {
+ public:
+  void bits(std::uint32_t value, int n) {
+    acc_ |= static_cast<std::uint64_t>(value) << count_;
+    count_ += n;
+    while (count_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      count_ -= 8;
+    }
+  }
+
+  ByteVec finish() {
+    if (count_ > 0) out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+    return std::move(out_);
+  }
+
+ private:
+  ByteVec out_;
+  std::uint64_t acc_ = 0;
+  int count_ = 0;
+};
+
+std::uint32_t reverse_bits(std::uint32_t v, int n) {
+  std::uint32_t out = 0;
+  for (int i = 0; i < n; ++i) {
+    out = (out << 1) | (v & 1);
+    v >>= 1;
+  }
+  return out;
+}
+
+void write_fixed_literal(BitWriter& bw, int sym) {
+  // Fixed literal/length code (RFC 1951 3.2.6). Codes are MSB-first.
+  if (sym < 144) {
+    bw.bits(reverse_bits(static_cast<std::uint32_t>(0x30 + sym), 8), 8);
+  } else if (sym < 256) {
+    bw.bits(reverse_bits(static_cast<std::uint32_t>(0x190 + sym - 144), 9), 9);
+  } else if (sym < 280) {
+    bw.bits(reverse_bits(static_cast<std::uint32_t>(sym - 256), 7), 7);
+  } else {
+    bw.bits(reverse_bits(static_cast<std::uint32_t>(0xC0 + sym - 280), 8), 8);
+  }
+}
+
+void write_length(BitWriter& bw, int length) {
+  int li = 0;
+  for (int i = 28; i >= 0; --i) {
+    if (length >= kLenBase[i]) {
+      li = i;
+      break;
+    }
+  }
+  write_fixed_literal(bw, 257 + li);
+  if (kLenExtra[li] > 0) {
+    bw.bits(static_cast<std::uint32_t>(length - kLenBase[li]), kLenExtra[li]);
+  }
+}
+
+void write_distance(BitWriter& bw, int distance) {
+  int di = 0;
+  for (int i = 29; i >= 0; --i) {
+    if (distance >= kDistBase[i]) {
+      di = i;
+      break;
+    }
+  }
+  bw.bits(reverse_bits(static_cast<std::uint32_t>(di), 5), 5);
+  if (kDistExtra[di] > 0) {
+    bw.bits(static_cast<std::uint32_t>(distance - kDistBase[di]), kDistExtra[di]);
+  }
+}
+
+}  // namespace
+
+ByteVec deflate_compress(const ByteVec& data) {
+  BitWriter bw;
+  bw.bits(1, 1);  // final block
+  bw.bits(1, 2);  // fixed Huffman
+
+  // Greedy LZ77 with a 3-byte hash table of most-recent positions.
+  constexpr std::size_t kHashSize = 1u << 15;
+  constexpr std::size_t kWindow = 32768;
+  constexpr int kMaxLen = 258;
+  std::vector<std::int64_t> head(kHashSize, -1);
+  const auto hash3 = [&](std::size_t i) {
+    const std::uint32_t h = data[i] | (data[i + 1] << 8) | (data[i + 2] << 16);
+    return (h * 2654435761u) >> 17;
+  };
+
+  std::size_t i = 0;
+  while (i < data.size()) {
+    int best_len = 0;
+    std::size_t best_dist = 0;
+    if (i + 3 <= data.size()) {
+      const std::size_t h = hash3(i) & (kHashSize - 1);
+      const std::int64_t cand = head[h];
+      if (cand >= 0 && i - static_cast<std::size_t>(cand) <= kWindow) {
+        const std::size_t c = static_cast<std::size_t>(cand);
+        int len = 0;
+        const int limit =
+            static_cast<int>(std::min<std::size_t>(kMaxLen, data.size() - i));
+        while (len < limit && data[c + static_cast<std::size_t>(len)] ==
+                                  data[i + static_cast<std::size_t>(len)]) {
+          ++len;
+        }
+        if (len >= 3) {
+          best_len = len;
+          best_dist = i - c;
+        }
+      }
+      head[h] = static_cast<std::int64_t>(i);
+    }
+    if (best_len >= 3) {
+      write_length(bw, best_len);
+      write_distance(bw, static_cast<int>(best_dist));
+      // Insert hash entries for the skipped positions.
+      for (std::size_t k = i + 1; k < i + static_cast<std::size_t>(best_len) &&
+                                  k + 3 <= data.size();
+           ++k) {
+        head[hash3(k) & (kHashSize - 1)] = static_cast<std::int64_t>(k);
+      }
+      i += static_cast<std::size_t>(best_len);
+    } else {
+      write_fixed_literal(bw, data[i]);
+      ++i;
+    }
+  }
+  write_fixed_literal(bw, 256);  // end of block
+  return bw.finish();
+}
+
+}  // namespace ps

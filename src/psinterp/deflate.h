@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file deflate.h
+/// RFC 1951 DEFLATE, the substrate for System.IO.Compression.DeflateStream
+/// used by the paper's Compress obfuscation technique. The decompressor
+/// handles all three block types (stored, fixed Huffman, dynamic Huffman);
+/// the compressor emits fixed-Huffman blocks with greedy LZ77 matching.
+
+#include <optional>
+
+#include "psinterp/encodings.h"
+
+namespace ps {
+
+/// Inflates a raw DEFLATE stream. Returns nullopt on malformed input.
+/// `max_output` bounds decompression bombs.
+std::optional<ByteVec> inflate(const ByteVec& data,
+                               std::size_t max_output = 64u << 20);
+
+/// Compresses into a raw DEFLATE stream (fixed-Huffman, greedy LZ77).
+ByteVec deflate_compress(const ByteVec& data);
+
+}  // namespace ps

@@ -1,0 +1,256 @@
+#include "psinterp/encodings.h"
+
+#include <array>
+#include <cctype>
+
+#include "psvalue/value.h"
+
+namespace ps {
+
+namespace {
+constexpr std::string_view kB64Alphabet =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+int b64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+}  // namespace
+
+std::string base64_encode(const ByteVec& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  while (i + 3 <= data.size()) {
+    const std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back(kB64Alphabet[n & 63]);
+    i += 3;
+  }
+  const std::size_t rem = data.size() - i;
+  if (rem == 1) {
+    const std::uint32_t n = data[i] << 16;
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out += "==";
+  } else if (rem == 2) {
+    const std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8);
+    out.push_back(kB64Alphabet[(n >> 18) & 63]);
+    out.push_back(kB64Alphabet[(n >> 12) & 63]);
+    out.push_back(kB64Alphabet[(n >> 6) & 63]);
+    out.push_back('=');
+  }
+  return out;
+}
+
+std::optional<ByteVec> base64_decode(std::string_view text) {
+  ByteVec out;
+  std::uint32_t acc = 0;
+  int bits = 0;
+  int padding = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++padding;
+      continue;
+    }
+    if (padding > 0) return std::nullopt;  // data after padding
+    const int v = b64_value(c);
+    if (v < 0) return std::nullopt;
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  if (padding > 2) return std::nullopt;
+  return out;
+}
+
+bool looks_like_base64(std::string_view text) {
+  if (text.empty()) return false;
+  std::size_t n = 0;
+  std::size_t pad = 0;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad > 0 || b64_value(c) < 0) return false;
+    ++n;
+  }
+  return pad <= 2 && (n + pad) % 4 == 0 && n > 0;
+}
+
+std::optional<std::int64_t> convert_to_int(std::string_view s, int base) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  if (s.empty()) return std::nullopt;
+  bool neg = false;
+  if (s.front() == '-') {
+    neg = true;
+    s.remove_prefix(1);
+  }
+  if (base == 16 && s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    s.remove_prefix(2);
+  }
+  if (s.empty()) return std::nullopt;
+  std::int64_t out = 0;
+  for (char c : s) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'z') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'Z') digit = c - 'A' + 10;
+    else return std::nullopt;
+    if (digit >= base) return std::nullopt;
+    out = out * base + digit;
+  }
+  return neg ? -out : out;
+}
+
+std::string convert_to_string_base(std::int64_t value, int base) {
+  if (value == 0) return "0";
+  const bool neg = value < 0;
+  std::uint64_t v = neg ? static_cast<std::uint64_t>(-value)
+                        : static_cast<std::uint64_t>(value);
+  std::string out;
+  while (v != 0) {
+    const int d = static_cast<int>(v % static_cast<std::uint64_t>(base));
+    out.push_back(d < 10 ? static_cast<char>('0' + d)
+                         : static_cast<char>('a' + d - 10));
+    v /= static_cast<std::uint64_t>(base);
+  }
+  if (neg) out.push_back('-');
+  return {out.rbegin(), out.rend()};
+}
+
+std::uint32_t utf8_next(std::string_view s, std::size_t& i) {
+  const auto byte = [&](std::size_t k) -> std::uint32_t {
+    return static_cast<std::uint8_t>(s[k]);
+  };
+  const std::uint32_t b0 = byte(i);
+  if (b0 < 0x80) {
+    ++i;
+    return b0;
+  }
+  auto cont = [&](std::size_t k) {
+    return k < s.size() && (byte(k) & 0xC0) == 0x80;
+  };
+  if ((b0 & 0xE0) == 0xC0 && cont(i + 1)) {
+    const std::uint32_t cp = ((b0 & 0x1F) << 6) | (byte(i + 1) & 0x3F);
+    i += 2;
+    return cp;
+  }
+  if ((b0 & 0xF0) == 0xE0 && cont(i + 1) && cont(i + 2)) {
+    const std::uint32_t cp =
+        ((b0 & 0x0F) << 12) | ((byte(i + 1) & 0x3F) << 6) | (byte(i + 2) & 0x3F);
+    i += 3;
+    return cp;
+  }
+  if ((b0 & 0xF8) == 0xF0 && cont(i + 1) && cont(i + 2) && cont(i + 3)) {
+    const std::uint32_t cp = ((b0 & 0x07) << 18) | ((byte(i + 1) & 0x3F) << 12) |
+                             ((byte(i + 2) & 0x3F) << 6) | (byte(i + 3) & 0x3F);
+    i += 4;
+    return cp;
+  }
+  ++i;  // invalid byte: latin-1 fallback
+  return b0;
+}
+
+std::size_t utf8_length(std::string_view s) {
+  std::size_t i = 0, n = 0;
+  while (i < s.size()) {
+    utf8_next(s, i);
+    ++n;
+  }
+  return n;
+}
+
+std::vector<std::uint32_t> utf8_codepoints(std::string_view s) {
+  std::vector<std::uint32_t> out;
+  std::size_t i = 0;
+  while (i < s.size()) out.push_back(utf8_next(s, i));
+  return out;
+}
+
+std::string encoding_get_string(TextEncoding enc, const ByteVec& bytes) {
+  std::string out;
+  switch (enc) {
+    case TextEncoding::Ascii:
+      for (std::uint8_t b : bytes) out.push_back(static_cast<char>(b & 0x7F));
+      return out;
+    case TextEncoding::Utf8:
+      return std::string(bytes.begin(), bytes.end());
+    case TextEncoding::Unicode: {
+      for (std::size_t i = 0; i + 1 < bytes.size(); i += 2) {
+        std::uint32_t unit = bytes[i] | (bytes[i + 1] << 8);
+        if (unit >= 0xD800 && unit <= 0xDBFF && i + 3 < bytes.size()) {
+          const std::uint32_t low = bytes[i + 2] | (bytes[i + 3] << 8);
+          if (low >= 0xDC00 && low <= 0xDFFF) {
+            unit = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+            i += 2;
+          }
+        }
+        out += utf8_encode(unit);
+      }
+      return out;
+    }
+    case TextEncoding::BigEndianUnicode: {
+      for (std::size_t i = 0; i + 1 < bytes.size(); i += 2) {
+        const std::uint32_t unit = (bytes[i] << 8) | bytes[i + 1];
+        out += utf8_encode(unit);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+ByteVec encoding_get_bytes(TextEncoding enc, std::string_view text) {
+  ByteVec out;
+  switch (enc) {
+    case TextEncoding::Ascii:
+      for (std::uint32_t cp : utf8_codepoints(text)) {
+        out.push_back(cp < 0x80 ? static_cast<std::uint8_t>(cp) : '?');
+      }
+      return out;
+    case TextEncoding::Utf8:
+      return ByteVec(text.begin(), text.end());
+    case TextEncoding::Unicode: {
+      for (std::uint32_t cp : utf8_codepoints(text)) {
+        if (cp >= 0x10000) {
+          const std::uint32_t v = cp - 0x10000;
+          const std::uint32_t hi = 0xD800 + (v >> 10);
+          const std::uint32_t lo = 0xDC00 + (v & 0x3FF);
+          out.push_back(static_cast<std::uint8_t>(hi & 0xFF));
+          out.push_back(static_cast<std::uint8_t>(hi >> 8));
+          out.push_back(static_cast<std::uint8_t>(lo & 0xFF));
+          out.push_back(static_cast<std::uint8_t>(lo >> 8));
+        } else {
+          out.push_back(static_cast<std::uint8_t>(cp & 0xFF));
+          out.push_back(static_cast<std::uint8_t>(cp >> 8));
+        }
+      }
+      return out;
+    }
+    case TextEncoding::BigEndianUnicode: {
+      for (std::uint32_t cp : utf8_codepoints(text)) {
+        const std::uint32_t unit = cp < 0x10000 ? cp : '?';
+        out.push_back(static_cast<std::uint8_t>(unit >> 8));
+        out.push_back(static_cast<std::uint8_t>(unit & 0xFF));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace ps

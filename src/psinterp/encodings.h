@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file encodings.h
+/// Byte/string codecs backing [System.Convert] and [System.Text.Encoding]:
+/// Base64, hex, and the ASCII / UTF-8 / UTF-16LE ("Unicode") encodings that
+/// the paper's L3 obfuscation techniques rely on.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps {
+
+using ByteVec = std::vector<std::uint8_t>;
+
+/// [Convert]::ToBase64String.
+std::string base64_encode(const ByteVec& data);
+
+/// [Convert]::FromBase64String. Whitespace is skipped, as .NET does.
+/// Returns nullopt on invalid input.
+std::optional<ByteVec> base64_decode(std::string_view text);
+
+/// True if `text` is plausible Base64 (valid alphabet, correct padding).
+bool looks_like_base64(std::string_view text);
+
+/// [Convert]::ToInt32(s, base) for base 2/8/10/16. Returns nullopt on
+/// malformed digits.
+std::optional<std::int64_t> convert_to_int(std::string_view s, int base);
+
+/// [Convert]::ToString(value, base).
+std::string convert_to_string_base(std::int64_t value, int base);
+
+/// The named encodings exposed via [Text.Encoding]::X.
+enum class TextEncoding { Ascii, Utf8, Unicode /* UTF-16LE */, BigEndianUnicode };
+
+/// Encoding.GetString: bytes -> UTF-8 std::string (our in-memory text form).
+std::string encoding_get_string(TextEncoding enc, const ByteVec& bytes);
+
+/// Encoding.GetBytes: UTF-8 std::string -> bytes in the given encoding.
+ByteVec encoding_get_bytes(TextEncoding enc, std::string_view text);
+
+/// Decodes one UTF-8 code point starting at `i`; advances `i`. Invalid bytes
+/// decode as themselves (latin-1 fallback) so malformed input never throws.
+std::uint32_t utf8_next(std::string_view s, std::size_t& i);
+
+/// Number of code points in a UTF-8 string.
+std::size_t utf8_length(std::string_view s);
+
+/// Splits a UTF-8 string into code points.
+std::vector<std::uint32_t> utf8_codepoints(std::string_view s);
+
+}  // namespace ps

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file alias_table.h
+/// The default PowerShell alias table used by the token-parsing phase to
+/// expand aliases back to canonical cmdlet names (paper section III-A), and
+/// by the obfuscator to do the reverse.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps {
+
+/// Case-insensitive mapping between PowerShell default aliases and their
+/// canonical cmdlet names (e.g. `iex` -> `Invoke-Expression`).
+class AliasTable {
+ public:
+  /// Returns the process-wide default table (immutable).
+  static const AliasTable& standard();
+
+  /// Canonical cmdlet name for `alias`, or nullopt if not an alias.
+  [[nodiscard]] std::optional<std::string> resolve(std::string_view alias) const;
+
+  /// Some alias (the shortest) for a canonical cmdlet name, or nullopt.
+  [[nodiscard]] std::optional<std::string> alias_for(std::string_view cmdlet) const;
+
+  /// True if `name` (case-insensitive) is a known canonical cmdlet name.
+  [[nodiscard]] bool is_known_cmdlet(std::string_view name) const;
+
+  /// All (alias, cmdlet) pairs, for enumeration by tests and the obfuscator.
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  AliasTable();
+  std::vector<std::pair<std::string, std::string>> entries_;
+  std::vector<std::string> known_extra_;
+};
+
+/// ASCII-lowercases a string (PowerShell identifiers are case-insensitive).
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII string equality.
+bool iequals(std::string_view a, std::string_view b);
+
+}  // namespace ps

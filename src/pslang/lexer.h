@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file lexer.h
+/// A mode-tracking PowerShell tokenizer equivalent to PSParser::Tokenize.
+///
+/// PowerShell lexing is context sensitive: a bareword at the start of a
+/// statement is a command name, while the same characters after an operand
+/// may be an operator or member name. The lexer tracks a small mode stack
+/// (statement-start / command arguments / expression) that mirrors how the
+/// real tokenizer resolves this, which is exactly the information the
+/// paper's token-parsing deobfuscation phase needs.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pslang/token.h"
+
+namespace ps {
+
+/// Thrown on irrecoverable lexical errors (e.g. unterminated string).
+class LexError : public std::runtime_error {
+ public:
+  LexError(std::string message, std::size_t offset)
+      : std::runtime_error(std::move(message)), offset(offset) {}
+  std::size_t offset;
+};
+
+/// Tokenizes `source` into a PSParser-style token stream.
+/// Comments are included in the stream (type Comment); callers that do not
+/// care should filter them. Throws LexError on malformed input.
+TokenStream tokenize(std::string_view source);
+
+/// Like tokenize() but never throws: on error returns the tokens produced
+/// so far and sets `ok` to false.
+TokenStream tokenize_lenient(std::string_view source, bool& ok);
+
+/// True if `word` is a PowerShell language keyword (case-insensitive).
+bool is_keyword(std::string_view word);
+
+/// True if `word` (without the leading dash) is a named operator such as
+/// `f`, `join`, `eq`, `bxor` (case-insensitive).
+bool is_named_operator(std::string_view word);
+
+}  // namespace ps

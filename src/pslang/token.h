@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file token.h
+/// Lexical token model mirroring the attributes exposed by Microsoft's
+/// System.Management.Automation.PSParser tokens (type, content, start,
+/// length, line, column), which the paper's token-parsing phase consumes.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps {
+
+/// Token categories, closely following PSTokenType.
+enum class TokenType {
+  Unknown,
+  Command,             ///< command name position (e.g. `Write-Host`, `iex`)
+  CommandParameter,    ///< `-Name`-style parameter of a command
+  CommandArgument,     ///< bareword argument of a command
+  Number,              ///< numeric literal
+  String,              ///< any quoted string (see Token::quote)
+  Variable,            ///< `$name`, `${braced}`, `$env:X`, `$_`
+  Member,              ///< member name after `.` or `::`
+  Type,                ///< `[TypeName]` literal (brackets included in text)
+  Operator,            ///< `+`, `-f`, `|`, `=`, `..`, `::`, `.`, `,`, ...
+  GroupStart,          ///< `(`, `$(`, `@(`, `@{`, `{`, index `[`
+  GroupEnd,            ///< `)`, `}`, index `]`
+  Keyword,             ///< `if`, `while`, `function`, ...
+  Comment,             ///< `# ...` or `<# ... #>`
+  StatementSeparator,  ///< `;`
+  NewLine,             ///< physical line break terminating a statement
+  LineContinuation,    ///< backtick-newline
+};
+
+/// How a String token was quoted in the source.
+enum class QuoteKind {
+  None,        ///< bareword treated as string content
+  Single,      ///< '...'
+  Double,      ///< "..." (may be expandable)
+  HereSingle,  ///< @'...'@
+  HereDouble,  ///< @"..."@
+};
+
+/// One lexical unit of a PowerShell script.
+///
+/// `text` is the exact raw source slice `[start, start+length)`.
+/// `content` is the cooked value: ticks removed from barewords, quotes
+/// stripped and escapes processed for constant strings. For expandable
+/// (double-quoted) strings containing `$`, `content` holds the *raw inner*
+/// text so that escape processing and interpolation can be performed
+/// together at evaluation time.
+struct Token {
+  TokenType type = TokenType::Unknown;
+  QuoteKind quote = QuoteKind::None;
+  std::string text;
+  std::string content;
+  std::size_t start = 0;
+  std::size_t length = 0;
+  int line = 1;
+  int column = 1;
+  bool expandable = false;  ///< double-quoted string containing live `$`
+
+  [[nodiscard]] std::size_t end() const { return start + length; }
+};
+
+/// Returns a human-readable name for a token type (for diagnostics).
+std::string_view to_string(TokenType type);
+
+using TokenStream = std::vector<Token>;
+
+}  // namespace ps

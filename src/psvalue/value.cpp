@@ -1,0 +1,299 @@
+#include "psvalue/value.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ps {
+
+namespace {
+
+bool str_iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_number(std::string_view s, std::int64_t& i, double& d, bool& is_int) {
+  // Trim whitespace as .NET parsing does.
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  if (s.empty()) return false;
+  bool neg = false;
+  std::string_view body = s;
+  if (body.front() == '-' || body.front() == '+') {
+    neg = body.front() == '-';
+    body.remove_prefix(1);
+  }
+  if (body.size() > 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    std::int64_t v = 0;
+    auto [p, ec] = std::from_chars(body.data() + 2, body.data() + body.size(), v, 16);
+    if (ec != std::errc() || p != body.data() + body.size()) return false;
+    i = neg ? -v : v;
+    is_int = true;
+    return true;
+  }
+  // Integer?
+  {
+    std::int64_t v = 0;
+    auto [p, ec] = std::from_chars(body.data(), body.data() + body.size(), v);
+    if (ec == std::errc() && p == body.data() + body.size()) {
+      i = neg ? -v : v;
+      is_int = true;
+      return true;
+    }
+  }
+  // Double.
+  {
+    double v = 0;
+    auto [p, ec] = std::from_chars(body.data(), body.data() + body.size(), v);
+    if (ec == std::errc() && p == body.data() + body.size()) {
+      d = neg ? -v : v;
+      is_int = false;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const Value* Hashtable::find(std::string_view key) const {
+  for (const auto& [k, v] : entries) {
+    // Keys compare by their display form, case-insensitively — numeric keys
+    // ($matches[1]) and string keys both resolve.
+    if (str_iequals(k.to_display_string(), key)) return &v;
+  }
+  return nullptr;
+}
+
+std::string utf8_encode(std::uint32_t code) {
+  std::string out;
+  if (code < 0x80) {
+    out.push_back(static_cast<char>(code));
+  } else if (code < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  } else if (code < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+  }
+  return out;
+}
+
+std::string format_double(double d) {
+  if (d == static_cast<double>(static_cast<std::int64_t>(d)) &&
+      std::abs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.15g", d);
+  return buf;
+}
+
+std::string Value::type_name() const {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "Null"; }
+    std::string operator()(bool) const { return "Boolean"; }
+    std::string operator()(std::int64_t) const { return "Int64"; }
+    std::string operator()(double) const { return "Double"; }
+    std::string operator()(PsChar) const { return "Char"; }
+    std::string operator()(const std::string&) const { return "String"; }
+    std::string operator()(const std::shared_ptr<Array>&) const { return "Object[]"; }
+    std::string operator()(const std::shared_ptr<Bytes>&) const { return "Byte[]"; }
+    std::string operator()(const std::shared_ptr<Hashtable>&) const { return "Hashtable"; }
+    std::string operator()(const ScriptBlock&) const { return "ScriptBlock"; }
+    std::string operator()(const std::shared_ptr<PsObject>& o) const {
+      return o ? o->type_name() : "Null";
+    }
+  };
+  return std::visit(Visitor{}, v_);
+}
+
+std::string Value::to_display_string() const {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return ""; }
+    std::string operator()(bool b) const { return b ? "True" : "False"; }
+    std::string operator()(std::int64_t i) const { return std::to_string(i); }
+    std::string operator()(double d) const { return format_double(d); }
+    std::string operator()(PsChar c) const { return utf8_encode(c.code); }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(const std::shared_ptr<Array>& a) const {
+      std::string out;
+      for (std::size_t i = 0; i < a->size(); ++i) {
+        if (i) out.push_back(' ');
+        out += (*a)[i].to_display_string();
+      }
+      return out;
+    }
+    std::string operator()(const std::shared_ptr<Bytes>& b) const {
+      std::string out;
+      for (std::size_t i = 0; i < b->size(); ++i) {
+        if (i) out.push_back(' ');
+        out += std::to_string((*b)[i]);
+      }
+      return out;
+    }
+    std::string operator()(const std::shared_ptr<Hashtable>&) const {
+      return "System.Collections.Hashtable";
+    }
+    std::string operator()(const ScriptBlock& sb) const { return sb.text; }
+    std::string operator()(const std::shared_ptr<PsObject>& o) const {
+      return o ? o->to_display() : "";
+    }
+  };
+  return std::visit(Visitor{}, v_);
+}
+
+bool Value::to_bool() const {
+  struct Visitor {
+    bool operator()(std::monostate) const { return false; }
+    bool operator()(bool b) const { return b; }
+    bool operator()(std::int64_t i) const { return i != 0; }
+    bool operator()(double d) const { return d != 0.0; }
+    bool operator()(PsChar c) const { return c.code != 0; }
+    bool operator()(const std::string& s) const { return !s.empty(); }
+    bool operator()(const std::shared_ptr<Array>& a) const {
+      if (a->empty()) return false;
+      if (a->size() == 1) return (*a)[0].to_bool();
+      return true;
+    }
+    bool operator()(const std::shared_ptr<Bytes>& b) const { return !b->empty(); }
+    bool operator()(const std::shared_ptr<Hashtable>&) const { return true; }
+    bool operator()(const ScriptBlock&) const { return true; }
+    bool operator()(const std::shared_ptr<PsObject>& o) const { return o != nullptr; }
+  };
+  return std::visit(Visitor{}, v_);
+}
+
+bool Value::try_to_int(std::int64_t& out) const {
+  if (is_int()) {
+    out = get_int();
+    return true;
+  }
+  if (is_double()) {
+    out = static_cast<std::int64_t>(std::llround(get_double()));
+    return true;
+  }
+  if (is_bool()) {
+    out = get_bool() ? 1 : 0;
+    return true;
+  }
+  if (is_char()) {
+    out = get_char().code;
+    return true;
+  }
+  if (is_string()) {
+    std::int64_t i = 0;
+    double d = 0;
+    bool isint = false;
+    if (!parse_number(get_string(), i, d, isint)) return false;
+    out = isint ? i : static_cast<std::int64_t>(std::llround(d));
+    return true;
+  }
+  if (is_null()) {
+    out = 0;
+    return true;
+  }
+  return false;
+}
+
+bool Value::try_to_double(double& out) const {
+  if (is_double()) {
+    out = get_double();
+    return true;
+  }
+  if (is_int()) {
+    out = static_cast<double>(get_int());
+    return true;
+  }
+  if (is_bool()) {
+    out = get_bool() ? 1.0 : 0.0;
+    return true;
+  }
+  if (is_char()) {
+    out = static_cast<double>(get_char().code);
+    return true;
+  }
+  if (is_string()) {
+    std::int64_t i = 0;
+    double d = 0;
+    bool isint = false;
+    if (!parse_number(get_string(), i, d, isint)) return false;
+    out = isint ? static_cast<double>(i) : d;
+    return true;
+  }
+  if (is_null()) {
+    out = 0.0;
+    return true;
+  }
+  return false;
+}
+
+Value Value::from_stream(std::vector<Value> items) {
+  if (items.empty()) return Value();
+  if (items.size() == 1) return std::move(items[0]);
+  Array out;
+  out.reserve(items.size());
+  for (auto& it : items) out.push_back(std::move(it));
+  return Value(std::move(out));
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.v_.index() != b.v_.index()) {
+    // Cross-type numeric equality keeps tests ergonomic.
+    if (a.is_number() && b.is_number()) {
+      double x = 0, y = 0;
+      a.try_to_double(x);
+      b.try_to_double(y);
+      return x == y;
+    }
+    return false;
+  }
+  struct Visitor {
+    const Value& rhs;
+    bool operator()(std::monostate) const { return true; }
+    bool operator()(bool v) const { return v == rhs.get_bool(); }
+    bool operator()(std::int64_t v) const { return v == rhs.get_int(); }
+    bool operator()(double v) const { return v == rhs.get_double(); }
+    bool operator()(PsChar v) const { return v == rhs.get_char(); }
+    bool operator()(const std::string& v) const { return v == rhs.get_string(); }
+    bool operator()(const std::shared_ptr<Array>& v) const {
+      const auto& o = rhs.get_array();
+      if (v->size() != o.size()) return false;
+      for (std::size_t i = 0; i < v->size(); ++i) {
+        if (!((*v)[i] == o[i])) return false;
+      }
+      return true;
+    }
+    bool operator()(const std::shared_ptr<Bytes>& v) const {
+      return *v == rhs.get_bytes();
+    }
+    bool operator()(const std::shared_ptr<Hashtable>& v) const {
+      return v.get() == std::get<std::shared_ptr<Hashtable>>(rhs.v_).get();
+    }
+    bool operator()(const ScriptBlock& v) const {
+      return v == rhs.get_scriptblock();
+    }
+    bool operator()(const std::shared_ptr<PsObject>& v) const {
+      return v.get() == rhs.get_object().get();
+    }
+  };
+  return std::visit(Visitor{b}, a.v_);
+}
+
+}  // namespace ps

@@ -1,0 +1,55 @@
+#include "sandbox/amsi.h"
+
+#include "pslang/alias_table.h"
+#include "psinterp/interpreter.h"
+
+namespace ideobf {
+
+namespace {
+
+class AmsiRecorder final : public ps::EffectRecorder {
+ public:
+  explicit AmsiRecorder(AmsiCapture& capture) : capture_(capture) {}
+
+  void on_engine_script(std::string_view script) override {
+    capture_.buffers.emplace_back(script);
+  }
+  void on_network(std::string_view, std::string_view) override {}
+  void on_process(std::string_view) override {}
+  void on_file(std::string_view, std::string_view) override {}
+  void on_sleep(double) override {}
+  void on_host_output(std::string_view) override {}
+  std::string download_content(std::string_view) override { return ""; }
+
+ private:
+  AmsiCapture& capture_;
+};
+
+}  // namespace
+
+bool AmsiCapture::sees(std::string_view needle) const {
+  for (const std::string& buffer : buffers) {
+    if (ps::to_lower(buffer).find(ps::to_lower(needle)) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+AmsiCapture amsi_scan(std::string_view script) {
+  AmsiCapture capture;
+  AmsiRecorder recorder(capture);
+  ps::InterpreterOptions opts;
+  opts.max_steps = 1000000;
+  opts.recorder = &recorder;
+  ps::Interpreter interp(opts);
+  try {
+    interp.evaluate_script(std::string(script));
+    capture.executed_ok = true;
+  } catch (const std::exception&) {
+    capture.executed_ok = false;
+  }
+  return capture;
+}
+
+}  // namespace ideobf

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file amsi.h
+/// An AMSI (Antimalware Scan Interface) simulator for the paper's section
+/// V-B comparison. AMSI observes every script buffer ultimately supplied to
+/// the scripting engine — so it "deobfuscates" exactly the layers that get
+/// invoked (Invoke-Expression / powershell -EncodedCommand bodies) and
+/// nothing that is never executed, which is the bypass the paper describes
+/// ('Amsi'+'Utils'-style concatenations).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ideobf {
+
+struct AmsiCapture {
+  /// Script buffers in the order they reached the engine; [0] is the
+  /// top-level script, later entries are inner layers.
+  std::vector<std::string> buffers;
+  bool executed_ok = false;
+
+  /// What an AMSI-backed scanner would treat as the deobfuscation result:
+  /// the innermost (final) buffer supplied to the engine.
+  [[nodiscard]] const std::string& final_buffer() const {
+    static const std::string empty;
+    return buffers.empty() ? empty : buffers.back();
+  }
+
+  /// True when `needle` appears in any captured buffer — the scanner's
+  /// signature-match surface.
+  [[nodiscard]] bool sees(std::string_view needle) const;
+};
+
+/// Executes `script` with the AMSI observation point enabled and returns
+/// every captured engine buffer.
+AmsiCapture amsi_scan(std::string_view script);
+
+}  // namespace ideobf

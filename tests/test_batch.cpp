@@ -1,0 +1,81 @@
+// Tests for the thread-parallel batch API and the member-assignment /
+// WebClient-property additions behind realistic downloader prologues.
+
+#include <gtest/gtest.h>
+
+#include "core/batch.h"
+#include "corpus/corpus.h"
+#include "psinterp/interpreter.h"
+#include "sandbox/sandbox.h"
+
+namespace ideobf {
+namespace {
+
+TEST(Batch, MatchesSerialResults) {
+  CorpusGenerator gen(7);
+  std::vector<std::string> scripts;
+  for (const Sample& s : gen.generate_batch(24)) {
+    scripts.push_back(s.obfuscated);
+  }
+  InvokeDeobfuscator deobf;
+
+  const auto serial = deobfuscate_batch(deobf, scripts, 1);
+  const auto parallel = deobfuscate_batch(deobf, scripts, 4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "sample " << i;
+  }
+}
+
+TEST(Batch, PreservesOrderAndTotality) {
+  InvokeDeobfuscator deobf;
+  const std::vector<std::string> scripts = {
+      "iex 'Write-Host zero'",
+      "broken ( input",  // invalid: must come back unchanged
+      "iex 'Write-Host two'",
+  };
+  const auto out = deobfuscate_batch(deobf, scripts, 3);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_NE(out[0].find("zero"), std::string::npos);
+  EXPECT_EQ(out[1], scripts[1]);
+  EXPECT_NE(out[2].find("two"), std::string::npos);
+}
+
+TEST(Batch, EmptyInput) {
+  InvokeDeobfuscator deobf;
+  EXPECT_TRUE(deobfuscate_batch(deobf, {}, 0).empty());
+}
+
+TEST(MemberAssign, ServicePointManagerPrologue) {
+  ps::Interpreter interp;
+  // The ubiquitous TLS prologue must execute as a no-op, not an error.
+  EXPECT_NO_THROW(interp.evaluate_script(
+      "[Net.ServicePointManager]::SecurityProtocol = "
+      "[Net.SecurityProtocolType]::Tls12"));
+}
+
+TEST(MemberAssign, WebClientHeaderStore) {
+  ps::Interpreter interp;
+  EXPECT_NO_THROW(interp.evaluate_script(
+      "$wc = New-Object Net.WebClient\n"
+      "$wc.Headers['User-Agent'] = 'Mozilla/5.0'\n"
+      "$wc.Encoding = [Text.Encoding]::UTF8"));
+}
+
+TEST(MemberAssign, DownloaderFamilyStillBehaves) {
+  // The corpus downloader now carries the TLS prologue; obfuscation and
+  // deobfuscation must still preserve its behavior.
+  CorpusGenerator gen(31);
+  Sandbox sandbox;
+  InvokeDeobfuscator deobf;
+  for (int i = 0; i < 12; ++i) {
+    const Sample s = gen.generate();
+    if (s.family != "downloader") continue;
+    const BehaviorProfile a = sandbox.run(s.original);
+    const BehaviorProfile b = sandbox.run(deobf.deobfuscate(s.obfuscated));
+    EXPECT_TRUE(Sandbox::same_network_behavior(a, b)) << s.obfuscated;
+  }
+}
+
+}  // namespace
+}  // namespace ideobf

@@ -1,0 +1,273 @@
+// Unit + property tests for the codec substrates: Base64, text encodings,
+// DEFLATE, AES-CBC and the SecureString blob format.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "psinterp/aes.h"
+#include "psinterp/deflate.h"
+#include "psinterp/encodings.h"
+
+namespace ps {
+namespace {
+
+TEST(Base64, KnownVectors) {
+  EXPECT_EQ(base64_encode({}), "");
+  EXPECT_EQ(base64_encode({'f'}), "Zg==");
+  EXPECT_EQ(base64_encode({'f', 'o'}), "Zm8=");
+  EXPECT_EQ(base64_encode({'f', 'o', 'o'}), "Zm9v");
+  EXPECT_EQ(base64_encode({'f', 'o', 'o', 'b'}), "Zm9vYg==");
+  EXPECT_EQ(base64_encode({'f', 'o', 'o', 'b', 'a'}), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode({'f', 'o', 'o', 'b', 'a', 'r'}), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeKnown) {
+  auto d = base64_decode("Zm9vYmFy");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(std::string(d->begin(), d->end()), "foobar");
+}
+
+TEST(Base64, DecodeSkipsWhitespace) {
+  auto d = base64_decode("Zm9v\n YmFy");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(std::string(d->begin(), d->end()), "foobar");
+}
+
+TEST(Base64, RejectsInvalid) {
+  EXPECT_FALSE(base64_decode("Zm9v!").has_value());
+  EXPECT_FALSE(base64_decode("Zg==Zg").has_value());
+}
+
+TEST(Base64, LooksLike) {
+  EXPECT_TRUE(looks_like_base64("Zm9vYmFy"));
+  EXPECT_TRUE(looks_like_base64("Zg=="));
+  EXPECT_FALSE(looks_like_base64("hello world"));
+  EXPECT_FALSE(looks_like_base64(""));
+  EXPECT_FALSE(looks_like_base64("abc"));  // bad length
+}
+
+class Base64RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Base64RoundTrip, EncodeDecodeIsIdentity) {
+  std::mt19937 rng(GetParam());
+  const std::size_t n = rng() % 500;
+  ByteVec data(n);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+  auto back = base64_decode(base64_encode(data));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Base64RoundTrip, ::testing::Range(0, 25));
+
+TEST(ConvertToInt, Bases) {
+  EXPECT_EQ(convert_to_int("4B", 16).value(), 0x4B);
+  EXPECT_EQ(convert_to_int("0x4B", 16).value(), 0x4B);
+  EXPECT_EQ(convert_to_int("101", 2).value(), 5);
+  EXPECT_EQ(convert_to_int("777", 8).value(), 511);
+  EXPECT_EQ(convert_to_int("123", 10).value(), 123);
+  EXPECT_FALSE(convert_to_int("8", 8).has_value());
+  EXPECT_FALSE(convert_to_int("zz", 16).has_value());
+}
+
+TEST(ConvertToString, Bases) {
+  EXPECT_EQ(convert_to_string_base(0x4B, 16), "4b");
+  EXPECT_EQ(convert_to_string_base(5, 2), "101");
+  EXPECT_EQ(convert_to_string_base(511, 8), "777");
+  EXPECT_EQ(convert_to_string_base(0, 16), "0");
+  EXPECT_EQ(convert_to_string_base(-255, 16), "-ff");
+}
+
+class IntBaseRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntBaseRoundTrip, Identity) {
+  std::mt19937 rng(GetParam() + 77);
+  for (int base : {2, 8, 10, 16}) {
+    const std::int64_t v = static_cast<std::int64_t>(rng() % 1000000);
+    const auto s = convert_to_string_base(v, base);
+    EXPECT_EQ(convert_to_int(s, base).value(), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntBaseRoundTrip, ::testing::Range(0, 20));
+
+TEST(TextEncoding, Utf16RoundTrip) {
+  const std::string text = "https://test.com/malware.txt";
+  const ByteVec bytes = encoding_get_bytes(TextEncoding::Unicode, text);
+  EXPECT_EQ(bytes.size(), text.size() * 2);
+  EXPECT_EQ(encoding_get_string(TextEncoding::Unicode, bytes), text);
+}
+
+TEST(TextEncoding, AsciiMasksHighBit) {
+  const ByteVec bytes = {0x41, 0xC1};
+  EXPECT_EQ(encoding_get_string(TextEncoding::Ascii, bytes), "AA");
+}
+
+TEST(TextEncoding, Utf8PassThrough) {
+  const std::string text = "abc\xE2\x82\xAC";  // euro sign
+  const ByteVec bytes = encoding_get_bytes(TextEncoding::Utf8, text);
+  EXPECT_EQ(encoding_get_string(TextEncoding::Utf8, bytes), text);
+}
+
+TEST(TextEncoding, Utf16NonAscii) {
+  const std::string text = "\xE2\x82\xAC";  // U+20AC
+  const ByteVec bytes = encoding_get_bytes(TextEncoding::Unicode, text);
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_EQ(bytes[0], 0xAC);
+  EXPECT_EQ(bytes[1], 0x20);
+  EXPECT_EQ(encoding_get_string(TextEncoding::Unicode, bytes), text);
+}
+
+TEST(Utf8, Codepoints) {
+  EXPECT_EQ(utf8_length("abc"), 3u);
+  EXPECT_EQ(utf8_length("\xE2\x82\xAC"), 1u);
+  const auto cps = utf8_codepoints("a\xE2\x82\xAC");
+  ASSERT_EQ(cps.size(), 2u);
+  EXPECT_EQ(cps[0], 'a');
+  EXPECT_EQ(cps[1], 0x20ACu);
+}
+
+TEST(Deflate, RoundTripSimple) {
+  const std::string text = "Write-Host hello; Write-Host hello; Write-Host hello";
+  const ByteVec data(text.begin(), text.end());
+  const ByteVec packed = deflate_compress(data);
+  const auto back = inflate(packed);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+  // Repetitive input must actually compress.
+  EXPECT_LT(packed.size(), data.size());
+}
+
+TEST(Deflate, RoundTripEmpty) {
+  const auto back = inflate(deflate_compress({}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(Deflate, RejectsGarbage) {
+  EXPECT_FALSE(inflate({0xFF, 0xFF, 0xFF, 0xFF}).has_value());
+  EXPECT_FALSE(inflate({}).has_value());
+}
+
+TEST(Deflate, StoredBlock) {
+  // Hand-built stored block: BFINAL=1 BTYPE=00, LEN=3, data "abc".
+  const ByteVec raw = {0x01, 0x03, 0x00, 0xFC, 0xFF, 'a', 'b', 'c'};
+  const auto out = inflate(raw);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(std::string(out->begin(), out->end()), "abc");
+}
+
+class DeflateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeflateRoundTrip, Identity) {
+  std::mt19937 rng(GetParam() * 31 + 7);
+  const std::size_t n = rng() % 4096;
+  ByteVec data(n);
+  // A mix of random and repetitive content exercises literals and matches.
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = (i % 3 == 0) ? static_cast<std::uint8_t>(rng() % 7 + 'a')
+                           : static_cast<std::uint8_t>(rng());
+  }
+  const auto back = inflate(deflate_compress(data));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeflateRoundTrip, ::testing::Range(0, 30));
+
+TEST(Aes, RoundTrip128) {
+  ByteVec key(16), iv(16);
+  for (int i = 0; i < 16; ++i) {
+    key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i + 1);
+    iv[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+  const std::string text = "attack at dawn";
+  const ByteVec plain(text.begin(), text.end());
+  const ByteVec cipher = aes_cbc_encrypt(plain, key, iv);
+  EXPECT_EQ(cipher.size() % 16, 0u);
+  EXPECT_NE(cipher, plain);
+  const auto back = aes_cbc_decrypt(cipher, key, iv);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, plain);
+}
+
+TEST(Aes, Fips197Vector) {
+  // FIPS-197 appendix B single-block check via CBC with a zero IV.
+  const ByteVec key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+                       0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+  const ByteVec plain = {0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+                         0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34};
+  const ByteVec iv(16, 0);
+  const ByteVec cipher = aes_cbc_encrypt(plain, key, iv);
+  const ByteVec expected_first = {0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+                                  0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32};
+  ASSERT_GE(cipher.size(), 16u);
+  EXPECT_TRUE(std::equal(expected_first.begin(), expected_first.end(), cipher.begin()));
+}
+
+TEST(Aes, Fips197Aes256Vector) {
+  // FIPS-197 appendix C.3: AES-256 single block, checked via CBC zero IV.
+  ByteVec key(32), plain(16);
+  for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  const std::uint8_t pt[16] = {0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77,
+                               0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff};
+  std::copy(pt, pt + 16, plain.begin());
+  const ByteVec iv(16, 0);
+  const ByteVec cipher = aes_cbc_encrypt(plain, key, iv);
+  const std::uint8_t expected[16] = {0x8e, 0xa2, 0xb7, 0xca, 0x51, 0x67, 0x45,
+                                     0xbf, 0xea, 0xfc, 0x49, 0x90, 0x4b, 0x49,
+                                     0x60, 0x89};
+  ASSERT_GE(cipher.size(), 16u);
+  EXPECT_TRUE(std::equal(expected, expected + 16, cipher.begin()));
+}
+
+TEST(Aes, WrongKeyFailsPadding) {
+  ByteVec key(16, 1), wrong(16, 2), iv(16, 3);
+  const ByteVec cipher = aes_cbc_encrypt({'h', 'i'}, key, iv);
+  const auto back = aes_cbc_decrypt(cipher, wrong, iv);
+  // PKCS7 check almost always fails with a wrong key; if it decodes, content
+  // must differ.
+  if (back.has_value()) {
+    EXPECT_NE(std::string(back->begin(), back->end()), "hi");
+  }
+}
+
+class AesRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(AesRoundTrip, AllKeySizes) {
+  std::mt19937 rng(GetParam() + 1234);
+  for (std::size_t key_size : {16u, 24u, 32u}) {
+    ByteVec key(key_size), iv(16);
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng());
+    for (auto& b : iv) b = static_cast<std::uint8_t>(rng());
+    ByteVec plain(rng() % 200);
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng());
+    const auto back = aes_cbc_decrypt(aes_cbc_encrypt(plain, key, iv), key, iv);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, plain);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AesRoundTrip, ::testing::Range(0, 15));
+
+TEST(SecureString, ProtectUnprotect) {
+  ByteVec key(16);
+  for (int i = 0; i < 16; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i + 1);
+  ByteVec iv(16, 0x42);
+  const std::string blob = securestring::protect("https://evil.test/x.ps1", key, iv);
+  EXPECT_TRUE(looks_like_base64(blob));
+  const auto plain = securestring::unprotect(blob, key);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*plain, "https://evil.test/x.ps1");
+}
+
+TEST(SecureString, WrongKeyFails) {
+  ByteVec key(16, 7), wrong(16, 8), iv(16, 1);
+  const std::string blob = securestring::protect("secret", key, iv);
+  const auto plain = securestring::unprotect(blob, wrong);
+  if (plain.has_value()) EXPECT_NE(*plain, "secret");
+}
+
+}  // namespace
+}  // namespace ps

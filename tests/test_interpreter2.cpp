@@ -1,0 +1,276 @@
+// Second interpreter test battery: operator edge cases, cmdlet coverage,
+// wildcard and composite-format engines, and error paths.
+
+#include <gtest/gtest.h>
+
+#include "psinterp/interpreter.h"
+
+namespace ps {
+namespace {
+
+Value run(std::string_view script) {
+  Interpreter interp;
+  return interp.evaluate_script(script);
+}
+
+std::string run_str(std::string_view script) { return run(script).to_display_string(); }
+
+// ------------------------------------------------------------- wildcards
+
+TEST(Wildcard, Basics) {
+  EXPECT_TRUE(wildcard_match("*", "anything"));
+  EXPECT_TRUE(wildcard_match("a*", "abc"));
+  EXPECT_TRUE(wildcard_match("*c", "abc"));
+  EXPECT_TRUE(wildcard_match("a*c", "abc"));
+  EXPECT_TRUE(wildcard_match("a?c", "abc"));
+  EXPECT_FALSE(wildcard_match("a?c", "ac"));
+  EXPECT_TRUE(wildcard_match("ABC", "abc"));  // case-insensitive
+  EXPECT_FALSE(wildcard_match("a*d", "abc"));
+  EXPECT_TRUE(wildcard_match("", ""));
+  EXPECT_FALSE(wildcard_match("", "x"));
+  EXPECT_TRUE(wildcard_match("*", ""));
+}
+
+TEST(Wildcard, CharacterClasses) {
+  EXPECT_TRUE(wildcard_match("[abc]x", "bx"));
+  EXPECT_FALSE(wildcard_match("[abc]x", "dx"));
+  EXPECT_TRUE(wildcard_match("[a-f]1", "c1"));
+  EXPECT_FALSE(wildcard_match("[a-f]1", "z1"));
+}
+
+TEST(Wildcard, MultipleStars) {
+  EXPECT_TRUE(wildcard_match("*evil*", "very-evil-domain"));
+  EXPECT_TRUE(wildcard_match("a*b*c", "aXXbYYc"));
+  EXPECT_FALSE(wildcard_match("a*b*c", "aXXcYYb"));
+}
+
+// ------------------------------------------------------- format operator
+
+TEST(FormatOperator, Direct) {
+  EXPECT_EQ(format_operator("{0}", {Value("x")}), "x");
+  EXPECT_EQ(format_operator("{1}{0}", {Value("b"), Value("a")}), "ab");
+  EXPECT_EQ(format_operator("a {{literal}} b", {}), "a {literal} b");
+  EXPECT_EQ(format_operator("{0:X}", {Value(255)}), "FF");
+  EXPECT_EQ(format_operator("{0:x2}", {Value(11)}), "0b");
+  EXPECT_EQ(format_operator("{0:D4}", {Value(7)}), "0007");
+  EXPECT_EQ(format_operator("{0,3}!", {Value(5)}), "  5!");
+  EXPECT_EQ(format_operator("{0,-3}!", {Value(5)}), "5  !");
+  EXPECT_THROW(format_operator("{5}", {Value("x")}), EvalError);
+  EXPECT_THROW(format_operator("{", {}), EvalError);
+}
+
+// ---------------------------------------------------------- regex + match
+
+TEST(Interp2, MatchOperatorOnArrays) {
+  EXPECT_EQ(run_str("('cat','dog','cow' -match '^c') -join ','"), "cat,cow");
+  EXPECT_EQ(run_str("('cat','dog' -notmatch 'cat') -join ','"), "dog");
+}
+
+TEST(Interp2, ReplaceWithGroups) {
+  EXPECT_EQ(run_str("'a-b' -replace '(\\w)-(\\w)', '$2-$1'"), "b-a");
+}
+
+TEST(Interp2, LikeOnArrays) {
+  EXPECT_EQ(run_str("('abc','xbc','ayc' -like 'a*c') -join ','"), "abc,ayc");
+}
+
+TEST(Interp2, EqFiltersArrays) {
+  EXPECT_EQ(run_str("(1,2,1,3 -eq 1) -join ','"), "1,1");
+  EXPECT_EQ(run_str("(1,2,3 -ne 2) -join ','"), "1,3");
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(Interp2, PadAndCase) {
+  EXPECT_EQ(run_str("'7'.PadLeft(3, '0')"), "007");
+  EXPECT_EQ(run_str("'ab'.PadRight(4, '.')"), "ab..");
+  EXPECT_EQ(run_str("'xYz'.ToUpperInvariant()"), "XYZ");
+}
+
+TEST(Interp2, InsertRemove) {
+  EXPECT_EQ(run_str("'helo'.Insert(3, 'l')"), "hello");
+  EXPECT_EQ(run_str("'heXllo'.Remove(2, 1)"), "hello");
+  EXPECT_THROW(run("'ab'.Remove(5)"), EvalError);
+}
+
+TEST(Interp2, TrimVariants) {
+  EXPECT_EQ(run_str("'xxhixx'.Trim('x')"), "hi");
+  EXPECT_EQ(run_str("'xxhi'.TrimStart('x')"), "hi");
+  EXPECT_EQ(run_str("'hixx'.TrimEnd('x')"), "hi");
+}
+
+TEST(Interp2, NumberToStringHex) {
+  EXPECT_EQ(run_str("(255).ToString('X2')"), "FF");
+  EXPECT_EQ(run_str("(75).ToString('x')"), "4b");
+}
+
+TEST(Interp2, HereStringValue) {
+  EXPECT_EQ(run_str("@'\nline1\nline2\n'@"), "line1\nline2");
+}
+
+// -------------------------------------------------------------- hashtables
+
+TEST(Interp2, HashtableIndexAssign) {
+  EXPECT_EQ(run_str("$h = @{}; $h['k'] = 'v'; $h['k']"), "v");
+  EXPECT_EQ(run_str("$h = @{ k = 'old' }; $h['K'] = 'new'; $h.k"), "new");
+  EXPECT_EQ(run("$h = @{ a = 1; b = 2 }; $h.Keys.Length").get_int(), 2);
+}
+
+TEST(Interp2, ArrayIndexAssign) {
+  EXPECT_EQ(run_str("$a = 'x','y'; $a[1] = 'z'; $a -join ''"), "xz");
+  EXPECT_EQ(run_str("$a = 1,2,3; $a[-1] = 9; $a -join ','"), "1,2,9");
+}
+
+// ------------------------------------------------------------- functions
+
+TEST(Interp2, FunctionArgsArray) {
+  EXPECT_EQ(run_str("function F { $args -join '+' }; F a b c"), "a+b+c");
+}
+
+TEST(Interp2, FunctionRecursion) {
+  EXPECT_EQ(run("function Fact($n) { if ($n -le 1) { return 1 }; "
+                "return $n * (Fact ($n - 1)) }; Fact 5")
+                .get_int(),
+            120);
+}
+
+TEST(Interp2, FunctionScopeIsolation) {
+  EXPECT_EQ(run_str("$x = 'outer'; function F { $x = 'inner' }; F; $x"),
+            "outer");
+}
+
+// ---------------------------------------------------------------- cmdlets
+
+TEST(Interp2, SelectFirst) {
+  EXPECT_EQ(run_str("(1..10 | Select-Object -First 3) -join ','"), "1,2,3");
+}
+
+TEST(Interp2, SortUniqueDescending) {
+  EXPECT_EQ(run_str("(3,1,2 | Sort-Object) -join ','"), "1,2,3");
+  EXPECT_EQ(run_str("(3,1,2 | Sort-Object -Descending) -join ','"), "3,2,1");
+  EXPECT_EQ(run_str("(2,1,2,1 | Sort-Object -Unique) -join ','"), "1,2");
+}
+
+TEST(Interp2, MeasureObject) {
+  EXPECT_EQ(run_str("(1..5 | Measure-Object).Count"), "5");
+}
+
+TEST(Interp2, SelectString) {
+  EXPECT_EQ(run_str("('alpha','beta','gamma' | Select-String 'a$') -join ','"),
+            "alpha,beta,gamma");
+  EXPECT_EQ(run_str("('alpha','beta' | Select-String 'lph') -join ','"), "alpha");
+}
+
+TEST(Interp2, OutString) {
+  EXPECT_EQ(run_str("'a','b' | Out-String"), "a\r\nb");
+}
+
+TEST(Interp2, GetVariableCmdlet) {
+  EXPECT_EQ(run_str("$v = 'val'; Get-Variable v"), "val");
+  EXPECT_EQ(run_str("Get-Variable pshome"),
+            "C:\\Windows\\System32\\WindowsPowerShell\\v1.0");
+}
+
+TEST(Interp2, SetVariableCmdlet) {
+  EXPECT_EQ(run_str("Set-Variable n 'x'; $n"), "x");
+}
+
+TEST(Interp2, JoinSplitPath) {
+  EXPECT_EQ(run_str("Join-Path 'C:\\a' 'b.ps1'"), "C:\\a\\b.ps1");
+  EXPECT_EQ(run_str("Split-Path 'C:\\a\\b.ps1'"), "C:\\a");
+  EXPECT_EQ(run_str("Split-Path 'C:\\a\\b.ps1' -Leaf"), "b.ps1");
+}
+
+TEST(Interp2, GetRandomIsDeterministicPerProcessSeed) {
+  const std::string a = run_str("Get-Random -Minimum 0 -Maximum 100");
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(Interp2, ForEachMemberForm) {
+  EXPECT_EQ(run_str("('ab','cd' | ForEach-Object ToUpper) -join ','"), "AB,CD");
+}
+
+// ----------------------------------------------------------- error paths
+
+TEST(Interp2, DivisionByZero) { EXPECT_THROW(run("1 / 0"), EvalError); }
+TEST(Interp2, ModuloByZero) { EXPECT_THROW(run("1 % 0"), EvalError); }
+TEST(Interp2, BadSubstring) { EXPECT_THROW(run("'ab'.Substring(9)"), EvalError); }
+TEST(Interp2, UnknownMethod) {
+  EXPECT_THROW(run("'ab'.NoSuchMethod()"), EvalError);
+}
+TEST(Interp2, UnknownStatic) {
+  EXPECT_THROW(run("[Convert]::NoSuch('x')"), EvalError);
+}
+TEST(Interp2, ThrowPropagates) {
+  EXPECT_THROW(run("throw 'boom'"), EvalError);
+}
+TEST(Interp2, TryCatchFinallyOrder) {
+  EXPECT_EQ(run_str("$log = ''; try { $log += 't'; throw 'x' } catch { $log "
+                    "+= 'c' } finally { $log += 'f' }; $log"),
+            "tcf");
+}
+
+// ------------------------------------------------------------- operators
+
+TEST(Interp2, IsOperator) {
+  EXPECT_TRUE(run("'s' -is [string]").get_bool());
+  EXPECT_TRUE(run("5 -is [int]").get_bool());
+  EXPECT_FALSE(run("5 -is [string]").get_bool());
+  EXPECT_TRUE(run("5 -isnot [string]").get_bool());
+  EXPECT_TRUE(run("(1,2) -is [array]").get_bool());
+}
+
+TEST(Interp2, AsOperator) {
+  EXPECT_EQ(run("'42' -as [int]").get_int(), 42);
+  EXPECT_TRUE(run("'nope' -as [int]").is_null());
+}
+
+TEST(Interp2, UnaryCommaWrapsArray) {
+  EXPECT_EQ(run("(,5).Length").get_int(), 1);
+  EXPECT_EQ(run("(,(1,2)).Length").get_int(), 1);
+}
+
+TEST(Interp2, PrefixPostfixIncrement) {
+  EXPECT_EQ(run("$i = 5; $j = $i++; \"$i,$j\"").to_display_string(), "6,5");
+  EXPECT_EQ(run("$i = 5; $j = ++$i; \"$i,$j\"").to_display_string(), "6,6");
+}
+
+TEST(Interp2, ShortCircuit) {
+  // -and must not evaluate the RHS when LHS is false.
+  EXPECT_FALSE(run("$false -and (1/0)").get_bool());
+  EXPECT_TRUE(run("$true -or (1/0)").get_bool());
+}
+
+TEST(Interp2, NegativeModArithmetic) {
+  EXPECT_EQ(run("-7 % 3").get_int(), -1);
+  EXPECT_EQ(run("2 - -3").get_int(), 5);
+}
+
+TEST(Interp2, StringTimesZero) { EXPECT_EQ(run_str("'ab' * 0"), ""); }
+
+TEST(Interp2, ChainedPipeline) {
+  EXPECT_EQ(run_str("1..10 | ? { $_ % 2 -eq 0 } | % { $_ * 10 } | "
+                    "Select-Object -First 2 | % { $_ + 1 } | % { [string]$_ } "
+                    "| % { $_ } | Out-String"),
+            "21\r\n41");
+}
+
+TEST(Interp2, SubexpressionMultiStatement) {
+  EXPECT_EQ(run_str("\"sum=$(1+1; 2+2)\""), "sum=2 4");
+}
+
+TEST(Interp2, ScriptBlockAsValueRoundTrip) {
+  EXPECT_EQ(run_str("$sb = { 'inner' }; $sb.ToString().Trim()"), "'inner'");
+}
+
+TEST(Interp2, EnvAssignment) {
+  EXPECT_EQ(run_str("$env:CUSTOM_VAR = 'zzz'; $env:CUSTOM_VAR"), "zzz");
+}
+
+TEST(Interp2, GlobalScopeAssignment) {
+  EXPECT_EQ(run_str("function F { $global:g = 'set-inside' }; F; $g"),
+            "set-inside");
+}
+
+}  // namespace
+}  // namespace ps

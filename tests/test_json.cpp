@@ -1,0 +1,66 @@
+// Tests for the minimal JSON emitter behind the CLI's --json output.
+
+#include <gtest/gtest.h>
+
+#include "analysis/json_writer.h"
+
+namespace ideobf {
+namespace {
+
+TEST(Json, QuoteEscaping) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(json_quote(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(json_quote(""), "\"\"");
+}
+
+TEST(Json, FlatObject) {
+  JsonWriter w;
+  w.begin_object().field("a", 1).field("b", "x").field("c", true).end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":"x","c":true})");
+}
+
+TEST(Json, NestedStructures) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("items");
+  w.value("one");
+  w.value(2);
+  w.begin_object().field("k", "v").end_object();
+  w.end_array();
+  w.field("done", true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"items":["one",2,{"k":"v"}],"done":true})");
+}
+
+TEST(Json, EmptyContainers) {
+  JsonWriter w;
+  w.begin_object();
+  w.begin_array("empty").end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"empty":[]})");
+}
+
+TEST(Json, TopLevelArray) {
+  JsonWriter w;
+  w.begin_array().value(1).value(2).value(3).end_array();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(Json, Doubles) {
+  JsonWriter w;
+  w.begin_array().value(1.5).value(0.25).end_array();
+  EXPECT_EQ(w.str(), "[1.5,0.25]");
+}
+
+TEST(Json, KeysAreEscaped) {
+  JsonWriter w;
+  w.begin_object().field("we\"ird", 1).end_object();
+  EXPECT_EQ(w.str(), R"({"we\"ird":1})");
+}
+
+}  // namespace
+}  // namespace ideobf

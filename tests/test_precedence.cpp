@@ -1,0 +1,105 @@
+// Operator-precedence contract tests: pin the grammar decisions the
+// recovery engine relies on (documented in DESIGN.md; deviations from the
+// full about_Operator_Precedence table are deliberate and noted).
+
+#include <gtest/gtest.h>
+
+#include "psinterp/interpreter.h"
+
+namespace ps {
+namespace {
+
+Value run(std::string_view script) {
+  Interpreter interp;
+  return interp.evaluate_script(script);
+}
+
+std::string run_str(std::string_view script) { return run(script).to_display_string(); }
+
+TEST(Precedence, MultiplicationOverAddition) {
+  EXPECT_EQ(run("2 + 3 * 4").get_int(), 14);
+  EXPECT_EQ(run_str("'a' + 'b' * 2"), "abb");
+}
+
+TEST(Precedence, AdditionOverComparison) {
+  EXPECT_TRUE(run("2 + 2 -eq 4").get_bool());
+  EXPECT_EQ(run_str("'ab' + 'c' -replace 'b', 'x'"), "axc");
+}
+
+TEST(Precedence, ComparisonOverBitwise) {
+  // (1 -eq 1) -band (1 -eq 1) => 1 -band 1? Booleans coerce to ints.
+  EXPECT_EQ(run("(1 -eq 1) -band 1").get_int(), 1);
+}
+
+TEST(Precedence, BitwiseOverLogical) {
+  EXPECT_TRUE(run("1 -band 1 -and $true").get_bool());
+}
+
+TEST(Precedence, CommaVersusAddition) {
+  // Documented deviation from about_Operator_Precedence: our comma binds
+  // *looser* than `+`, so `1,2 + 3` is `1,(2+3)`. Wild obfuscation never
+  // relies on the difference; the `-f`/`-join` interactions that matter are
+  // pinned below.
+  EXPECT_EQ(run_str("(1,2 + 3) -join ','"), "1,5");
+  EXPECT_EQ(run_str("((1,2) + 3) -join ','"), "1,2,3");
+}
+
+TEST(Precedence, CommaBindsFormatArguments) {
+  EXPECT_EQ(run_str("\"{0}|{1}\" -f 'a','b'"), "a|b");
+}
+
+TEST(Precedence, RangeOverFormat) {
+  // -f of a range-produced array.
+  EXPECT_EQ(run_str("\"{0}{1}{2}\" -f (1..3)"), "123");
+}
+
+TEST(Precedence, FormatOverComparison) {
+  // ("{0}" -f 'a') -eq 'a'
+  EXPECT_TRUE(run("\"{0}\" -f 'a' -eq 'a'").get_bool());
+}
+
+TEST(Precedence, UnaryBindsTighterThanBinary) {
+  EXPECT_EQ(run("-2 + 5").get_int(), 3);
+  EXPECT_FALSE(run("-not $true -and $true").get_bool());
+  EXPECT_EQ(run("-join ('a','b') + 'c'").to_display_string(), "abc");
+}
+
+TEST(Precedence, CastBindsTighterThanBinary) {
+  EXPECT_EQ(run("[int]'2' + 3").get_int(), 5);
+  EXPECT_EQ(run_str("[string][char]104 + 'i'"), "hi");
+}
+
+TEST(Precedence, PostfixBindsTighterThanUnary) {
+  EXPECT_EQ(run_str("-join 'ba'[1..0]"), "ab");
+  EXPECT_EQ(run("-not 'abc'.StartsWith('a')").get_bool(), false);
+}
+
+TEST(Precedence, IndexOverMember) {
+  EXPECT_EQ(run("('abc','de')[1].Length").get_int(), 2);
+}
+
+TEST(Precedence, ChainedComparisonsLeftAssociative) {
+  // ('a' -split 'x') -join ',' style chains evaluate left to right.
+  EXPECT_EQ(run_str("'a-b-c' -split '-' -join '+'"), "a+b+c");
+  EXPECT_EQ(run_str("'a~b}c' -split '~' -split '}' -join ','"), "a,b,c");
+}
+
+TEST(Precedence, RangeOfParenExpressions) {
+  EXPECT_EQ(run_str("(('ab'.Length)..0) -join ','"), "2,1,0");
+}
+
+TEST(Precedence, LogicalOperatorsShareOneLevel) {
+  // As in PowerShell, -and and -or sit on the same precedence level and
+  // associate left: ($true -or $false) -and $false.
+  EXPECT_FALSE(run("$true -or $false -and $false").get_bool());
+  EXPECT_TRUE(run("$true -or ($false -and $false)").get_bool());
+}
+
+TEST(Precedence, AssignmentConsumesWholePipeline) {
+  EXPECT_EQ(run_str("$x = 'a','b' -join '+'; $x"), "a+b");
+  EXPECT_EQ(run_str("$y = 1..3 | % { $_ * 2 } | Select-Object -First 1; $y"),
+            "2");
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,183 @@
+// Property tests for the system invariants listed in DESIGN.md section 6,
+// swept over seeded random corpora with parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include "analysis/scorer.h"
+#include "baselines/baseline.h"
+#include "core/deobfuscator.h"
+#include "core/reformat.h"
+#include "corpus/corpus.h"
+#include "pslang/lexer.h"
+#include "psast/parser.h"
+#include "sandbox/sandbox.h"
+
+namespace ideobf {
+namespace {
+
+class CorpusSweep : public ::testing::TestWithParam<int> {
+ protected:
+  std::vector<Sample> samples() {
+    CorpusGenerator gen(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+    return gen.generate_batch(6);
+  }
+};
+
+// Invariant 1: behavior(original) == behavior(deobfuscate(obfuscated)).
+TEST_P(CorpusSweep, SemanticsPreservation) {
+  InvokeDeobfuscator deobf;
+  Sandbox sandbox;
+  for (const Sample& s : samples()) {
+    const std::string clean = deobf.deobfuscate(s.obfuscated);
+    const BehaviorProfile before = sandbox.run(s.original);
+    const BehaviorProfile after = sandbox.run(clean);
+    EXPECT_TRUE(Sandbox::same_network_behavior(before, after))
+        << "family=" << s.family << "\n--- original:\n" << s.original
+        << "\n--- obfuscated:\n" << s.obfuscated << "\n--- clean:\n" << clean;
+  }
+}
+
+// Invariant 2: the deobfuscator's output always reparses.
+TEST_P(CorpusSweep, SyntaxValidity) {
+  InvokeDeobfuscator deobf;
+  for (const Sample& s : samples()) {
+    const std::string clean = deobf.deobfuscate(s.obfuscated);
+    EXPECT_TRUE(ps::is_valid_syntax(clean)) << clean;
+  }
+}
+
+// Invariant 4: deobfuscation is idempotent at its fixed point.
+TEST_P(CorpusSweep, Idempotence) {
+  InvokeDeobfuscator deobf;
+  for (const Sample& s : samples()) {
+    const std::string once = deobf.deobfuscate(s.obfuscated);
+    const std::string twice = deobf.deobfuscate(once);
+    EXPECT_EQ(once, twice) << s.obfuscated;
+  }
+}
+
+// Invariant 5: the obfuscation score never increases under deobfuscation —
+// per sample for unlayered scripts; for layered ones, unwrapping can
+// *reveal* residual techniques that the Base64 wrapper hid from the scorer
+// (e.g. an unrecoverable binary payload), so only the batch total must drop.
+TEST_P(CorpusSweep, ScoreMonotonicity) {
+  InvokeDeobfuscator deobf;
+  int total_before = 0, total_after = 0;
+  for (const Sample& s : samples()) {
+    const int before = obfuscation_score(s.obfuscated);
+    const int after = obfuscation_score(deobf.deobfuscate(s.obfuscated));
+    total_before += before;
+    total_after += after;
+    if (s.layers == 0) {
+      EXPECT_LE(after, before) << s.obfuscated;
+    }
+  }
+  EXPECT_LE(total_after, total_before);
+}
+
+// Invariant 6a: token extents exactly tile the source (no gaps into token
+// text, no overlaps) for every generated sample.
+TEST_P(CorpusSweep, TokenExtentsTile) {
+  for (const Sample& s : samples()) {
+    bool ok = true;
+    const auto tokens = ps::tokenize_lenient(s.obfuscated, ok);
+    ASSERT_TRUE(ok) << s.obfuscated;
+    std::size_t prev_end = 0;
+    for (const auto& t : tokens) {
+      EXPECT_GE(t.start, prev_end);
+      EXPECT_EQ(s.obfuscated.substr(t.start, t.length), t.text);
+      prev_end = t.end();
+    }
+  }
+}
+
+// Invariant 6b: the reformatter's output reparses and keeps the key info.
+TEST_P(CorpusSweep, ReformatPreservesParseAndContent) {
+  for (const Sample& s : samples()) {
+    const std::string formatted = reformat_pass(s.original);
+    EXPECT_TRUE(ps::is_valid_syntax(formatted)) << formatted;
+    const KeyInfo before = extract_key_info(s.original);
+    const KeyInfo after = extract_key_info(formatted);
+    EXPECT_EQ(before.recovered_in(after), before.total()) << formatted;
+  }
+}
+
+// Obfuscation itself must preserve behavior (the corpus generator's own
+// correctness — everything in Table IV depends on it).
+TEST_P(CorpusSweep, ObfuscationPreservesBehavior) {
+  Sandbox sandbox;
+  for (const Sample& s : samples()) {
+    const BehaviorProfile a = sandbox.run(s.original);
+    const BehaviorProfile b = sandbox.run(s.obfuscated);
+    EXPECT_TRUE(Sandbox::same_network_behavior(a, b))
+        << s.family << "\n" << s.obfuscated;
+  }
+}
+
+// Baselines must never crash and always return *something* for any sample.
+TEST_P(CorpusSweep, BaselinesTotalOnCorpus) {
+  const auto tools = make_all_tools();
+  for (const Sample& s : samples()) {
+    for (const auto& tool : tools) {
+      const BaselineResult r = tool->run(s.obfuscated);
+      EXPECT_FALSE(r.script.empty()) << tool->name();
+      EXPECT_GE(r.simulated_seconds, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusSweep, ::testing::Range(0, 12));
+
+// ---- lexer robustness sweep: arbitrary byte soup must never crash ----
+
+class LexerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(LexerFuzz, LenientTokenizeNeverThrows) {
+  std::mt19937 rng(GetParam() * 97 + 11);
+  static constexpr std::string_view kChars =
+      "abcXYZ019 \t\n'\"`$(){}[]|;&.,+-*/%=<>!@:#\\~^";
+  for (int round = 0; round < 50; ++round) {
+    std::string soup;
+    const std::size_t n = rng() % 120;
+    for (std::size_t i = 0; i < n; ++i) {
+      soup.push_back(kChars[rng() % kChars.size()]);
+    }
+    bool ok = true;
+    EXPECT_NO_THROW(ps::tokenize_lenient(soup, ok));
+    // Parsing may fail but must not crash or hang.
+    EXPECT_NO_THROW(ps::try_parse(soup));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LexerFuzz, ::testing::Range(0, 8));
+
+// ---- deobfuscator robustness: arbitrary input never crashes, invalid
+// input comes back unchanged ----
+
+class DeobfFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeobfFuzz, TotalOnByteSoup) {
+  std::mt19937 rng(GetParam() * 31 + 5);
+  static constexpr std::string_view kChars =
+      "abz01 '\"`$(){}[]|;&.,+-=iexWrite-Host";
+  InvokeDeobfuscator deobf;
+  for (int round = 0; round < 20; ++round) {
+    std::string soup;
+    const std::size_t n = rng() % 80;
+    for (std::size_t i = 0; i < n; ++i) {
+      soup.push_back(kChars[rng() % kChars.size()]);
+    }
+    std::string out;
+    EXPECT_NO_THROW(out = deobf.deobfuscate(soup));
+    if (!ps::is_valid_syntax(soup)) {
+      EXPECT_EQ(out, soup);
+    } else {
+      EXPECT_TRUE(ps::is_valid_syntax(out));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeobfFuzz, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace ideobf

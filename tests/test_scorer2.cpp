@@ -1,0 +1,98 @@
+// Second scorer battery: false-positive discipline on clean scripts, and
+// detector precision against near-miss constructs.
+
+#include <gtest/gtest.h>
+
+#include "analysis/scorer.h"
+#include "core/deobfuscator.h"
+#include "corpus/corpus.h"
+
+namespace ideobf {
+namespace {
+
+TEST(Scorer2, CleanScriptsScoreNearZero) {
+  const char* clean[] = {
+      "Write-Host 'hello'",
+      "$total = 0\nforeach ($i in 1..10) { $total += $i }\nWrite-Host $total",
+      "function Get-Greeting($name) { return ('hello ' + $name) }",
+      "Get-ChildItem 'C:\\temp' | Sort-Object | Select-Object -First 5",
+  };
+  for (const char* s : clean) {
+    const ObfuscationFindings f = detect_obfuscation(s);
+    // 'gci'-style aliases or a single short concat may add a point or two,
+    // but clean scripts never look heavily obfuscated.
+    EXPECT_LE(f.score(), 3) << s;
+    EXPECT_FALSE(f.has(Technique::Base64Encoding)) << s;
+    EXPECT_FALSE(f.has(Technique::SecureString)) << s;
+  }
+}
+
+TEST(Scorer2, NormalEnglishBase64LookalikeIsNotFlagged) {
+  // A long single-case word is alphabet-valid base64 but the wrong length.
+  const ObfuscationFindings f =
+      detect_obfuscation("Write-Host 'antidisestablishmentarianism!'");
+  EXPECT_FALSE(f.has(Technique::Base64Encoding));
+}
+
+TEST(Scorer2, TrueBase64LiteralIsFlagged) {
+  const ObfuscationFindings f = detect_obfuscation(
+      "$p = 'VwByAGkAdABlAC0ASABvAHMAdAAgAGgAaQA='");
+  EXPECT_TRUE(f.has(Technique::Base64Encoding));
+}
+
+TEST(Scorer2, PascalNamesAreNotRandomCase) {
+  const ObfuscationFindings f = detect_obfuscation(
+      "New-Object Net.WebClient | Get-Member");
+  EXPECT_FALSE(f.has(Technique::RandomCase));
+}
+
+TEST(Scorer2, ReplaceMethodOnVariablesCounts) {
+  EXPECT_TRUE(detect_obfuscation("$s.Replace('a','b')").has(Technique::Replace));
+  EXPECT_TRUE(detect_obfuscation("'x' -replace 'a','b'").has(Technique::Replace));
+}
+
+TEST(Scorer2, ReverseDetectors) {
+  EXPECT_TRUE(detect_obfuscation("-join 'cba'[-1..-3]").has(Technique::Reverse));
+  EXPECT_TRUE(detect_obfuscation("[regex]::Matches($s,'.','RightToLeft')")
+                  .has(Technique::Reverse));
+  EXPECT_FALSE(detect_obfuscation("$a[-1]").has(Technique::Reverse));
+}
+
+TEST(Scorer2, EncodingBasesDistinguished) {
+  EXPECT_TRUE(detect_obfuscation("[Convert]::ToInt32($_,16)")
+                  .has(Technique::HexEncoding));
+  EXPECT_TRUE(detect_obfuscation("[Convert]::ToInt32($_,8)")
+                  .has(Technique::OctalEncoding));
+  EXPECT_TRUE(detect_obfuscation("[Convert]::ToInt32($_,2)")
+                  .has(Technique::BinaryEncoding));
+}
+
+TEST(Scorer2, BxorBeatsAsciiWhenCombined) {
+  const ObfuscationFindings f =
+      detect_obfuscation("1,2 | % { [char]($_ -bxor 0x4B) }");
+  EXPECT_TRUE(f.has(Technique::Bxor));
+}
+
+TEST(Scorer2, DeobfuscatedCorpusScoresFarBelowObfuscated) {
+  CorpusGenerator gen(88);
+  InvokeDeobfuscator deobf;
+  int before = 0, after = 0;
+  for (const Sample& s : gen.generate_batch(30)) {
+    before += obfuscation_score(s.obfuscated);
+    after += obfuscation_score(deobf.deobfuscate(s.obfuscated));
+  }
+  EXPECT_LT(after, before / 2) << "before=" << before << " after=" << after;
+}
+
+TEST(Scorer2, CountAtLevelPartitionsScore) {
+  CorpusGenerator gen(12);
+  for (const Sample& s : gen.generate_batch(10)) {
+    const ObfuscationFindings f = detect_obfuscation(s.obfuscated);
+    const int reconstructed = f.count_at_level(1) * 1 + f.count_at_level(2) * 2 +
+                              f.count_at_level(3) * 3;
+    EXPECT_EQ(reconstructed, f.score());
+  }
+}
+
+}  // namespace
+}  // namespace ideobf

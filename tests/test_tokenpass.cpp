@@ -1,0 +1,113 @@
+// Dedicated token-pass battery (paper phase 1): every L1 rule, stats
+// accounting, and in-place replacement correctness under mixed changes.
+
+#include <gtest/gtest.h>
+
+#include "core/token_pass.h"
+#include "psast/parser.h"
+
+namespace ideobf {
+namespace {
+
+TEST(TokenPass2, TickedVariables) {
+  // Ticks cannot appear inside `$name` itself but do appear around it in
+  // wild text; tokens without ticks stay untouched.
+  const char* src = "$abc = 5";
+  EXPECT_EQ(token_pass(src, nullptr), src);
+}
+
+TEST(TokenPass2, TickedTypeLiterals) {
+  const std::string out = token_pass("[cOnVeRt]::FromBase64String('QQ==')", nullptr);
+  EXPECT_EQ(out, "[convert]::FromBase64String('QQ==')");
+}
+
+TEST(TokenPass2, TickedMembers) {
+  const std::string out =
+      token_pass("$x.DoWnLoAdStRiNg('u')", nullptr);
+  EXPECT_EQ(out, "$x.downloadstring('u')");
+}
+
+TEST(TokenPass2, MixedChangesInOneScript) {
+  TokenPassStats stats;
+  const std::string out = token_pass(
+      "IeX 'a'; WrItE-hOsT hi; nEw-oBjEcT Net.WebClient | oUt-nUlL", &stats);
+  EXPECT_EQ(out,
+            "Invoke-Expression 'a'; Write-Host hi; New-Object Net.WebClient | "
+            "Out-Null");
+  EXPECT_GE(stats.aliases_expanded, 1);
+  EXPECT_GE(stats.case_normalized, 2);
+}
+
+TEST(TokenPass2, StatsCountTicks) {
+  TokenPassStats stats;
+  token_pass("i`e`x 'x'", &stats);
+  EXPECT_GE(stats.ticks_removed, 1);
+  EXPECT_GE(stats.aliases_expanded, 1);
+}
+
+TEST(TokenPass2, ReplacementKeepsValidity) {
+  const char* scripts[] = {
+      "fOrEaCh-oBjEcT { $_ } -Begin { 1 }",
+      "if ($true) { gCi 'C:\\' } else { sLeEp 1 }",
+      "$a = [TeXt.EnCoDiNg]::Unicode",
+      "'x' | % { $_.LeNgTh }",
+  };
+  for (const char* s : scripts) {
+    const std::string out = token_pass(s, nullptr);
+    EXPECT_TRUE(ps::is_valid_syntax(out)) << s << " -> " << out;
+  }
+}
+
+TEST(TokenPass2, ParametersNormalized) {
+  EXPECT_EQ(token_pass("powershell -eNcOdEdCoMmAnD QQ==", nullptr),
+            "powershell -encodedcommand QQ==");
+}
+
+TEST(TokenPass2, NamedOperatorsNormalized) {
+  EXPECT_EQ(token_pass("'a b' -SpLiT ' ' -JoIn ','", nullptr),
+            "'a b' -split ' ' -join ','");
+}
+
+TEST(TokenPass2, KeywordsLowercased) {
+  EXPECT_EQ(token_pass("IF ($x) { 1 } ELSE { 2 }", nullptr),
+            "if ($x) { 1 } else { 2 }");
+}
+
+TEST(TokenPass2, SingleCaseWordsKept) {
+  // ALL-CAPS or all-lower identifiers are not "random case".
+  EXPECT_EQ(token_pass("UNKNOWNCMD arg", nullptr), "UNKNOWNCMD arg");
+  EXPECT_EQ(token_pass("unknowncmd ARG", nullptr), "unknowncmd ARG");
+}
+
+TEST(TokenPass2, PascalArgumentsKept) {
+  EXPECT_EQ(token_pass("New-Object Net.WebClient", nullptr),
+            "New-Object Net.WebClient");
+}
+
+TEST(TokenPass2, Base64ArgumentsNeverTouched) {
+  const char* src = "powershell -e VwByAGkAdABlAC0ASG9zdA==";
+  EXPECT_EQ(token_pass(src, nullptr), src);
+}
+
+TEST(TokenPass2, CanonicalCommandName) {
+  EXPECT_EQ(canonical_command_name("iex"), "Invoke-Expression");
+  EXPECT_EQ(canonical_command_name("WRITE-HOST"), "Write-Host");
+  EXPECT_EQ(canonical_command_name("wRiTe-HoSt"), "Write-Host");
+  EXPECT_EQ(canonical_command_name("sOmEtHiNg-Odd"), "something-odd");
+  EXPECT_EQ(canonical_command_name("Known-Style"), "Known-Style");
+}
+
+TEST(TokenPass2, IdempotentOnCleanScripts) {
+  const char* scripts[] = {
+      "Write-Host hello",
+      "$url = 'http://x.test/a.ps1'\nInvoke-Expression $url",
+      "foreach ($i in 1..3) { $i }",
+  };
+  for (const char* s : scripts) {
+    const std::string once = token_pass(s, nullptr);
+    EXPECT_EQ(token_pass(once, nullptr), once) << s;
+  }
+}
+
+}  // namespace
+}  // namespace ideobf

@@ -1,0 +1,97 @@
+// Tests for the transformation-trace (explain) mode.
+
+#include <gtest/gtest.h>
+
+#include "core/deobfuscator.h"
+#include "core/trace.h"
+
+namespace ideobf {
+namespace {
+
+std::vector<TraceEvent> trace_of(std::string_view script,
+                                 DeobfuscationOptions opts = {}) {
+  opts.collect_trace = true;
+  InvokeDeobfuscator deobf(opts);
+  DeobfuscationReport report;
+  deobf.deobfuscate(script, report);
+  return report.trace;
+}
+
+int count_kind(const std::vector<TraceEvent>& trace, TraceEvent::Kind kind) {
+  int n = 0;
+  for (const TraceEvent& e : trace) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(Trace, OffByDefault) {
+  InvokeDeobfuscator deobf;
+  DeobfuscationReport report;
+  deobf.deobfuscate("IeX ('a'+'b')", report);
+  EXPECT_TRUE(report.trace.empty());
+}
+
+TEST(Trace, TokenEventsCarryBeforeAfter) {
+  const auto trace = trace_of("i`E`x 'Write-Host hi'");
+  ASSERT_GE(count_kind(trace, TraceEvent::Kind::TokenNormalized), 1);
+  bool found = false;
+  for (const TraceEvent& e : trace) {
+    if (e.kind == TraceEvent::Kind::TokenNormalized &&
+        e.before == "i`E`x" && e.after == "Invoke-Expression") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, RecoveryAndUnwrapEvents) {
+  const auto trace = trace_of("iex ('Write-Host'+' traced')");
+  EXPECT_GE(count_kind(trace, TraceEvent::Kind::PieceRecovered), 1);
+  EXPECT_GE(count_kind(trace, TraceEvent::Kind::LayerUnwrapped), 1);
+}
+
+TEST(Trace, VariableEvents) {
+  const auto trace =
+      trace_of("$u = 'http://t.test/'\nWrite-Host ($u + 'x')");
+  EXPECT_GE(count_kind(trace, TraceEvent::Kind::VariableTraced), 1);
+  EXPECT_GE(count_kind(trace, TraceEvent::Kind::VariableSubstituted), 1);
+}
+
+TEST(Trace, RenameEvents) {
+  const auto trace = trace_of("$qzxwv = 1; Write-Host $qzxwv");
+  ASSERT_GE(count_kind(trace, TraceEvent::Kind::Renamed), 1);
+  bool found = false;
+  for (const TraceEvent& e : trace) {
+    if (e.kind == TraceEvent::Kind::Renamed && e.after == "$var0") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Trace, RenderIsReadable) {
+  const auto trace = trace_of("iex ('a'+'b')");
+  const std::string rendered = render_trace(trace);
+  EXPECT_NE(rendered.find("recovered"), std::string::npos);
+  EXPECT_NE(rendered.find("->"), std::string::npos);
+}
+
+TEST(Trace, RenderClipsLongPayloads) {
+  const std::string big(500, 'x');
+  const auto trace = trace_of("iex ('" + big + "'+'b') | Out-Null");
+  const std::string rendered = render_trace(trace, 30);
+  std::istringstream stream(rendered);
+  std::string line;
+  while (std::getline(stream, line)) {
+    EXPECT_LE(line.size(), 140u) << line;
+  }
+}
+
+TEST(Trace, KindNames) {
+  EXPECT_EQ(to_string(TraceEvent::Kind::TokenNormalized), "token");
+  EXPECT_EQ(to_string(TraceEvent::Kind::PieceRecovered), "recovered");
+  EXPECT_EQ(to_string(TraceEvent::Kind::LayerUnwrapped), "unwrapped");
+  EXPECT_EQ(to_string(TraceEvent::Kind::Renamed), "renamed");
+}
+
+}  // namespace
+}  // namespace ideobf

@@ -1,0 +1,126 @@
+// Unit tests for the PowerShell value model (psvalue).
+
+#include <gtest/gtest.h>
+
+#include "psvalue/value.h"
+
+namespace ps {
+namespace {
+
+TEST(Value, TypeNames) {
+  EXPECT_EQ(Value().type_name(), "Null");
+  EXPECT_EQ(Value(true).type_name(), "Boolean");
+  EXPECT_EQ(Value(42).type_name(), "Int64");
+  EXPECT_EQ(Value(2.5).type_name(), "Double");
+  EXPECT_EQ(Value(PsChar{'a'}).type_name(), "Char");
+  EXPECT_EQ(Value("s").type_name(), "String");
+  EXPECT_EQ(Value(Array{}).type_name(), "Object[]");
+  EXPECT_EQ(Value(Bytes{}).type_name(), "Byte[]");
+  EXPECT_EQ(Value(Hashtable{}).type_name(), "Hashtable");
+  EXPECT_EQ(Value(ScriptBlock{"1"}).type_name(), "ScriptBlock");
+}
+
+TEST(Value, DisplayStrings) {
+  EXPECT_EQ(Value().to_display_string(), "");
+  EXPECT_EQ(Value(true).to_display_string(), "True");
+  EXPECT_EQ(Value(false).to_display_string(), "False");
+  EXPECT_EQ(Value(42).to_display_string(), "42");
+  EXPECT_EQ(Value(2.5).to_display_string(), "2.5");
+  EXPECT_EQ(Value(3.0).to_display_string(), "3");
+  EXPECT_EQ(Value(PsChar{'x'}).to_display_string(), "x");
+  EXPECT_EQ(Value("hi").to_display_string(), "hi");
+  EXPECT_EQ(Value(Array{Value("a"), Value("b")}).to_display_string(), "a b");
+  EXPECT_EQ(Value(Bytes{1, 2}).to_display_string(), "1 2");
+}
+
+TEST(Value, Truthiness) {
+  EXPECT_FALSE(Value().to_bool());
+  EXPECT_FALSE(Value(0).to_bool());
+  EXPECT_FALSE(Value(std::string()).to_bool());
+  EXPECT_FALSE(Value(Array{}).to_bool());
+  EXPECT_FALSE(Value(Array{Value(0)}).to_bool());  // single falsy element
+  EXPECT_TRUE(Value(Array{Value(0), Value(0)}).to_bool());  // length >= 2
+  EXPECT_TRUE(Value(1).to_bool());
+  EXPECT_TRUE(Value("x").to_bool());
+  EXPECT_TRUE(Value(Hashtable{}).to_bool());
+}
+
+TEST(Value, IntCoercion) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(Value(5).try_to_int(out));
+  EXPECT_EQ(out, 5);
+  EXPECT_TRUE(Value("42").try_to_int(out));
+  EXPECT_EQ(out, 42);
+  EXPECT_TRUE(Value("0x4B").try_to_int(out));
+  EXPECT_EQ(out, 0x4B);
+  EXPECT_TRUE(Value(" -7 ").try_to_int(out));
+  EXPECT_EQ(out, -7);
+  EXPECT_TRUE(Value(PsChar{65}).try_to_int(out));
+  EXPECT_EQ(out, 65);
+  EXPECT_TRUE(Value(true).try_to_int(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(Value().try_to_int(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_FALSE(Value("abc").try_to_int(out));
+  EXPECT_FALSE(Value("12abc").try_to_int(out));
+}
+
+TEST(Value, DoubleCoercion) {
+  double out = 0;
+  EXPECT_TRUE(Value("2.5").try_to_double(out));
+  EXPECT_DOUBLE_EQ(out, 2.5);
+  EXPECT_TRUE(Value(3).try_to_double(out));
+  EXPECT_DOUBLE_EQ(out, 3.0);
+  EXPECT_FALSE(Value("nope").try_to_double(out));
+}
+
+TEST(Value, FromStream) {
+  EXPECT_TRUE(Value::from_stream({}).is_null());
+  EXPECT_EQ(Value::from_stream({Value(1)}).get_int(), 1);
+  const Value v = Value::from_stream({Value(1), Value(2)});
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.get_array().size(), 2u);
+}
+
+TEST(Value, Equality) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_EQ(Value(1), Value(1.0));  // cross-type numeric
+  EXPECT_FALSE(Value(1) == Value(2));
+  EXPECT_FALSE(Value("a") == Value("b"));
+  EXPECT_EQ(Value(Array{Value(1), Value("x")}),
+            Value(Array{Value(1), Value("x")}));
+  EXPECT_FALSE(Value(Array{Value(1)}) == Value(Array{Value(2)}));
+}
+
+TEST(Value, ArraysShareStorage) {
+  Value a(Array{Value(1)});
+  Value b = a;  // reference semantics, like .NET arrays
+  b.get_array().push_back(Value(2));
+  EXPECT_EQ(a.get_array().size(), 2u);
+}
+
+TEST(Hashtable, CaseInsensitiveFind) {
+  Hashtable ht;
+  ht.entries.emplace_back(Value("Key"), Value("v1"));
+  ASSERT_NE(ht.find("key"), nullptr);
+  EXPECT_EQ(ht.find("KEY")->get_string(), "v1");
+  EXPECT_EQ(ht.find("other"), nullptr);
+}
+
+TEST(Utf8, Encode) {
+  EXPECT_EQ(utf8_encode('A'), "A");
+  EXPECT_EQ(utf8_encode(0xE9), "\xC3\xA9");      // é
+  EXPECT_EQ(utf8_encode(0x20AC), "\xE2\x82\xAC");  // €
+  EXPECT_EQ(utf8_encode(0x1F600).size(), 4u);      // emoji
+}
+
+TEST(FormatDouble, Shapes) {
+  EXPECT_EQ(format_double(1.0), "1");
+  EXPECT_EQ(format_double(-3.0), "-3");
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(0.125), "0.125");
+}
+
+}  // namespace
+}  // namespace ps

@@ -1,0 +1,226 @@
+// ideobf — command-line front end over the library, mirroring the usage of
+// the paper's released PowerShell module.
+//
+//   ideobf deobf [file|-]            deobfuscate a script (stdin with -)
+//   ideobf score [file|-]            obfuscation score + detected techniques
+//   ideobf iocs [file|-]             deobfuscate then extract key information
+//   ideobf behavior [file|-]         run in the sandbox, print side effects
+//   ideobf obfuscate <technique> [file|-]   apply one Table II technique
+//   ideobf corpus <n> <dir>          write n generated samples to a directory
+//   ideobf explain [file|-]          deobfuscate and print the change trace
+//   ideobf ast [file|-]              dump the PowerShell AST
+//   ideobf techniques                list technique names and levels
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "analysis/json_writer.h"
+#include "analysis/keyinfo.h"
+#include "analysis/scorer.h"
+#include "core/deobfuscator.h"
+#include "core/trace.h"
+#include "corpus/corpus.h"
+#include "obfuscator/obfuscator.h"
+#include "pslang/alias_table.h"
+#include "psast/dump.h"
+#include "sandbox/sandbox.h"
+
+namespace {
+
+std::string read_input(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "ideobf: cannot open " << path << "\n";
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int usage() {
+  std::cerr
+      << "usage: ideobf <deobf|explain|score|iocs|behavior|obfuscate|corpus|ast|techniques>"
+         " [args]\n";
+  return 2;
+}
+
+int cmd_deobf(const std::string& path, bool trace_functions) {
+  ideobf::DeobfuscationOptions opts;
+  opts.trace_functions = trace_functions;
+  ideobf::InvokeDeobfuscator deobf(opts);
+  ideobf::DeobfuscationReport report;
+  std::cout << deobf.deobfuscate(read_input(path), report);
+  std::cerr << "# ticks=" << report.token.ticks_removed
+            << " aliases=" << report.token.aliases_expanded
+            << " case=" << report.token.case_normalized
+            << " pieces=" << report.recovery.pieces_recovered
+            << " vars=" << report.recovery.variables_traced
+            << " layers=" << report.multilayer.layers_unwrapped << "\n";
+  return 0;
+}
+
+int cmd_score(const std::string& path, bool as_json) {
+  const std::string script = read_input(path);
+  const ideobf::ObfuscationFindings findings = ideobf::detect_obfuscation(script);
+  if (as_json) {
+    ideobf::JsonWriter w;
+    w.begin_object();
+    w.field("score", findings.score());
+    w.begin_array("techniques");
+    for (ideobf::Technique t : findings.techniques) {
+      w.begin_object();
+      w.field("name", std::string(to_string(t)));
+      w.field("level", ideobf::technique_level(t));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+  std::cout << "score: " << findings.score() << "\n";
+  for (ideobf::Technique t : findings.techniques) {
+    std::cout << "  L" << ideobf::technique_level(t) << " " << to_string(t)
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_iocs(const std::string& path, bool as_json) {
+  ideobf::InvokeDeobfuscator deobf;
+  const ideobf::KeyInfo info =
+      ideobf::extract_key_info(deobf.deobfuscate(read_input(path)));
+  if (as_json) {
+    ideobf::JsonWriter w;
+    w.begin_object();
+    w.begin_array("urls");
+    for (const auto& u : info.urls) w.value(u);
+    w.end_array();
+    w.begin_array("ips");
+    for (const auto& i : info.ips) w.value(i);
+    w.end_array();
+    w.begin_array("ps1_files");
+    for (const auto& p : info.ps1_files) w.value(p);
+    w.end_array();
+    w.field("powershell_invocations", info.powershell_commands);
+    w.end_object();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+  for (const auto& u : info.urls) std::cout << "url\t" << u << "\n";
+  for (const auto& i : info.ips) std::cout << "ip\t" << i << "\n";
+  for (const auto& p : info.ps1_files) std::cout << "ps1\t" << p << "\n";
+  std::cout << "powershell-invocations\t" << info.powershell_commands << "\n";
+  return 0;
+}
+
+int cmd_behavior(const std::string& path) {
+  ideobf::Sandbox sandbox;
+  const ideobf::BehaviorProfile profile = sandbox.run(read_input(path));
+  std::cout << "executed: " << (profile.executed_ok ? "ok" : "error")
+            << (profile.error.empty() ? "" : " (" + profile.error + ")") << "\n";
+  for (const auto& n : profile.network) std::cout << "net\t" << n << "\n";
+  for (const auto& p : profile.processes) std::cout << "proc\t" << p << "\n";
+  for (const auto& f : profile.files) std::cout << "file\t" << f << "\n";
+  for (const auto& h : profile.host_output) std::cout << "host\t" << h << "\n";
+  std::cout << "simulated-seconds\t" << profile.simulated_seconds << "\n";
+  return 0;
+}
+
+int cmd_obfuscate(const std::string& name, const std::string& path) {
+  for (ideobf::Technique t : ideobf::all_techniques()) {
+    if (ps::iequals(to_string(t), name)) {
+      ideobf::Obfuscator obf(std::random_device{}());
+      std::cout << obf.apply(t, read_input(path));
+      return 0;
+    }
+  }
+  std::cerr << "ideobf: unknown technique '" << name
+            << "' (see `ideobf techniques`)\n";
+  return 2;
+}
+
+int cmd_corpus(int n, const std::string& dir) {
+  ideobf::CorpusGenerator gen(2021);
+  for (int i = 0; i < n; ++i) {
+    const ideobf::Sample s = gen.generate();
+    const std::string base = dir + "/sample_" + std::to_string(i);
+    std::ofstream(base + ".obf.ps1") << s.obfuscated;
+    std::ofstream(base + ".clean.ps1") << s.original;
+    std::ofstream meta(base + ".meta");
+    meta << "family: " << s.family << "\nlayers: " << s.layers
+         << "\ntechniques:";
+    for (ideobf::Technique t : s.techniques) meta << " " << to_string(t);
+    meta << "\n";
+  }
+  std::cout << "wrote " << n << " samples to " << dir << "\n";
+  return 0;
+}
+
+int cmd_techniques() {
+  for (ideobf::Technique t : ideobf::all_techniques()) {
+    std::cout << "L" << ideobf::technique_level(t) << "\t" << to_string(t)
+              << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  auto arg = [&](int i, const char* fallback = "-") {
+    return argc > i ? std::string(argv[i]) : std::string(fallback);
+  };
+
+  if (cmd == "deobf") {
+    bool trace_fn = false;
+    std::string path = "-";
+    for (int i = 2; i < argc; ++i) {
+      if (std::string(argv[i]) == "--trace-functions") trace_fn = true;
+      else path = argv[i];
+    }
+    return cmd_deobf(path, trace_fn);
+  }
+  bool as_json = false;
+  std::string pos_arg = "-";
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") as_json = true;
+    else pos_arg = argv[i];
+  }
+  if (cmd == "score") return cmd_score(pos_arg, as_json);
+  if (cmd == "iocs") return cmd_iocs(pos_arg, as_json);
+  if (cmd == "behavior") return cmd_behavior(arg(2));
+  if (cmd == "obfuscate") {
+    if (argc < 3) return usage();
+    return cmd_obfuscate(argv[2], arg(3));
+  }
+  if (cmd == "corpus") {
+    if (argc < 4) return usage();
+    return cmd_corpus(std::atoi(argv[2]), argv[3]);
+  }
+  if (cmd == "explain") {
+    ideobf::DeobfuscationOptions opts;
+    opts.collect_trace = true;
+    ideobf::InvokeDeobfuscator deobf(opts);
+    ideobf::DeobfuscationReport report;
+    const std::string out = deobf.deobfuscate(read_input(arg(2)), report);
+    std::cout << ideobf::render_trace(report.trace) << "---\n" << out;
+    return 0;
+  }
+  if (cmd == "ast") {
+    std::cout << ps::dump_script(read_input(arg(2)));
+    return 0;
+  }
+  if (cmd == "techniques") return cmd_techniques();
+  return usage();
+}
