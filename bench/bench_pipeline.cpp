@@ -1,0 +1,202 @@
+// End-to-end pipeline throughput benchmark for the parse-once pipeline:
+// single-script latency and parses-per-deobfuscation with the parse cache
+// off / cold / warm, plus deobfuscate_batch throughput across thread counts
+// over the 100-script Fig-6 corpus. `--json` writes BENCH_pipeline.json at
+// the repo root so the perf trajectory is tracked PR over PR; `--smoke`
+// runs a small corpus and fails unless the cache cuts parses >= 2x (the
+// ctest registration that keeps this binary from bit-rotting).
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/json_writer.h"
+#include "core/batch.h"
+#include "core/deobfuscator.h"
+#include "corpus/corpus.h"
+#include "psast/parse_cache.h"
+#include "psast/parser.h"
+
+namespace {
+
+using namespace ideobf;
+
+struct Row {
+  std::string config;   ///< cache_off / cache_cold / cache_warm / batch
+  unsigned threads = 1;
+  bool warm = false;
+  double seconds = 0.0;
+  double ms_per_script = 0.0;
+  double scripts_per_second = 0.0;
+  std::uint64_t parses = 0;
+  double parses_per_script = 0.0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Serial run over the corpus with the given deobfuscator.
+Row run_serial(const InvokeDeobfuscator& deobf,
+               const std::vector<std::string>& scripts, std::string config,
+               bool warm) {
+  Row row;
+  row.config = std::move(config);
+  row.warm = warm;
+  const auto hits0 =
+      deobf.parse_cache() != nullptr ? deobf.parse_cache()->stats() : ps::ParseCacheStats{};
+  const auto parses0 = ps::parse_call_count();
+  const double t0 = now_seconds();
+  for (const std::string& s : scripts) {
+    volatile std::size_t sink = deobf.deobfuscate(s).size();
+    (void)sink;
+  }
+  row.seconds = now_seconds() - t0;
+  row.parses = ps::parse_call_count() - parses0;
+  row.ms_per_script = row.seconds * 1000.0 / scripts.size();
+  row.scripts_per_second = scripts.size() / row.seconds;
+  row.parses_per_script = static_cast<double>(row.parses) / scripts.size();
+  if (deobf.parse_cache() != nullptr) {
+    const auto stats = deobf.parse_cache()->stats();
+    row.cache_hits = stats.hits - hits0.hits;
+    row.cache_misses = stats.misses - hits0.misses;
+  }
+  return row;
+}
+
+Row run_batch(const InvokeDeobfuscator& deobf,
+              const std::vector<std::string>& scripts, unsigned threads,
+              bool warm) {
+  Row row;
+  row.config = "batch";
+  row.threads = threads;
+  row.warm = warm;
+  const auto parses0 = ps::parse_call_count();
+  BatchReport report;
+  const double t0 = now_seconds();
+  const auto out = deobfuscate_batch(deobf, scripts, report, threads);
+  (void)out;
+  row.seconds = now_seconds() - t0;
+  row.parses = ps::parse_call_count() - parses0;
+  row.ms_per_script = row.seconds * 1000.0 / scripts.size();
+  row.scripts_per_second = scripts.size() / row.seconds;
+  row.parses_per_script = static_cast<double>(row.parses) / scripts.size();
+  return row;
+}
+
+void print_rows(const std::vector<Row>& rows) {
+  std::printf("%-12s %8s %6s %10s %12s %12s %14s %10s %10s\n", "config",
+              "threads", "warm", "seconds", "ms/script", "scripts/s",
+              "parses/script", "hits", "misses");
+  for (const Row& r : rows) {
+    std::printf("%-12s %8u %6s %10.3f %12.3f %12.1f %14.2f %10llu %10llu\n",
+                r.config.c_str(), r.threads, r.warm ? "yes" : "no", r.seconds,
+                r.ms_per_script, r.scripts_per_second, r.parses_per_script,
+                static_cast<unsigned long long>(r.cache_hits),
+                static_cast<unsigned long long>(r.cache_misses));
+  }
+}
+
+std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
+                         double parse_reduction) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("bench", "pipeline");
+  w.field("corpus_scripts", static_cast<std::int64_t>(corpus));
+  w.field("parse_reduction_vs_uncached", parse_reduction);
+  w.begin_array("rows");
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.field("config", r.config);
+    w.field("threads", static_cast<std::int64_t>(r.threads));
+    w.field("warm", r.warm);
+    w.field("seconds", r.seconds);
+    w.field("ms_per_script", r.ms_per_script);
+    w.field("scripts_per_second", r.scripts_per_second);
+    w.field("parses", static_cast<std::int64_t>(r.parses));
+    w.field("parses_per_script", r.parses_per_script);
+    w.field("cache_hits", static_cast<std::int64_t>(r.cache_hits));
+    w.field("cache_misses", static_cast<std::int64_t>(r.cache_misses));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+int run(std::size_t corpus_size, bool write_json) {
+  // The Fig-6 corpus: same generator seed as bench_fig6_time.
+  CorpusGenerator gen(100);
+  std::vector<std::string> scripts;
+  scripts.reserve(corpus_size);
+  for (const Sample& s : gen.generate_batch(corpus_size)) {
+    scripts.push_back(s.obfuscated);
+  }
+
+  std::vector<Row> rows;
+
+  DeobfuscationOptions uncached_opts;
+  uncached_opts.parse_cache = false;
+  uncached_opts.recovery_memo = false;  // seed behavior: no cache, no memo
+  rows.push_back(run_serial(InvokeDeobfuscator(uncached_opts), scripts,
+                            "cache_off", false));
+
+  const InvokeDeobfuscator cached;  // caching is the default
+  rows.push_back(run_serial(cached, scripts, "cache_cold", false));
+  rows.push_back(run_serial(cached, scripts, "cache_warm", true));
+
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    // A fresh shared cache per thread count keeps the cold rows comparable.
+    DeobfuscationOptions batch_opts;
+    batch_opts.shared_parse_cache = std::make_shared<ps::ParseCache>();
+    const InvokeDeobfuscator batch_deobf(batch_opts);
+    rows.push_back(run_batch(batch_deobf, scripts, threads, false));
+    rows.back().config = "batch_cold";
+    rows.push_back(run_batch(batch_deobf, scripts, threads, true));
+    rows.back().config = "batch_warm";
+  }
+
+  const double reduction =
+      rows[0].parses > 0 && rows[1].parses > 0
+          ? static_cast<double>(rows[0].parses) / rows[1].parses
+          : 0.0;
+
+  std::printf("\nPipeline throughput over %zu corpus scripts\n",
+              scripts.size());
+  print_rows(rows);
+  std::printf("\nparse reduction (cache_off / cache_cold): %.2fx\n", reduction);
+
+  if (write_json) {
+    const std::string path = std::string(IDEOBF_SOURCE_DIR) + "/BENCH_pipeline.json";
+    std::ofstream out(path, std::ios::binary);
+    out << rows_to_json(rows, scripts.size(), reduction) << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  // The acceptance gate: the parse-once pipeline must at least halve the
+  // parses per deobfuscation relative to the uncached seed behavior.
+  if (reduction < 2.0) {
+    std::fprintf(stderr, "FAIL: parse reduction %.2fx < 2x\n", reduction);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    else if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  return run(smoke ? 8 : 100, json);
+}

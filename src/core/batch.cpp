@@ -1,40 +1,79 @@
 #include "core/batch.h"
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 namespace ideobf {
 
+int BatchReport::failed() const {
+  int n = 0;
+  for (const BatchItem& it : items) {
+    if (!it.ok) ++n;
+  }
+  return n;
+}
+
+int BatchReport::changed() const {
+  int n = 0;
+  for (const BatchItem& it : items) {
+    if (it.changed) ++n;
+  }
+  return n;
+}
+
 std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
                                            const std::vector<std::string>& scripts,
+                                           BatchReport& report,
                                            unsigned threads) {
+  using clock = std::chrono::steady_clock;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<unsigned>(threads, scripts.empty() ? 1u : scripts.size());
 
   std::vector<std::string> results(scripts.size());
+  report.items.assign(scripts.size(), BatchItem{});
   std::atomic<std::size_t> next{0};
+  const auto batch_start = clock::now();
 
   auto worker = [&]() {
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= scripts.size()) break;
+      BatchItem& item = report.items[i];
+      const auto start = clock::now();
       try {
         results[i] = deobf.deobfuscate(scripts[i]);
+        item.ok = true;
+      } catch (const std::exception& e) {
+        results[i] = scripts[i];
+        item.error = e.what();
       } catch (...) {
         results[i] = scripts[i];
+        item.error = "unknown exception";
       }
+      item.seconds = std::chrono::duration<double>(clock::now() - start).count();
+      item.changed = results[i] != scripts[i];
     }
   };
 
   if (threads == 1) {
     worker();
-    return results;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
   }
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  report.wall_seconds =
+      std::chrono::duration<double>(clock::now() - batch_start).count();
   return results;
+}
+
+std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
+                                           const std::vector<std::string>& scripts,
+                                           unsigned threads) {
+  BatchReport report;
+  return deobfuscate_batch(deobf, scripts, report, threads);
 }
 
 }  // namespace ideobf

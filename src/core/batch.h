@@ -1,9 +1,10 @@
 #pragma once
 
 /// \file batch.h
-/// Thread-parallel batch deobfuscation. InvokeDeobfuscator is stateless and
-/// const-callable, so a corpus (triage queues routinely see thousands of
-/// samples) shards cleanly across worker threads.
+/// Thread-parallel batch deobfuscation. InvokeDeobfuscator is const-callable
+/// from any number of threads (its parse cache is thread-safe and shared),
+/// so a corpus (triage queues routinely see thousands of samples) shards
+/// cleanly across worker threads.
 
 #include <string>
 #include <vector>
@@ -12,9 +13,33 @@
 
 namespace ideobf {
 
-/// Deobfuscates every script in `scripts`, preserving order. `threads` = 0
+/// Per-item outcome of a batch run.
+struct BatchItem {
+  bool ok = false;       ///< false when the worker caught an exception
+  bool changed = false;  ///< output differs from the input script
+  double seconds = 0.0;  ///< wall time spent on this item
+  std::string error;     ///< what() of the caught exception when !ok
+};
+
+struct BatchReport {
+  std::vector<BatchItem> items;  ///< one per input script, same order
+  double wall_seconds = 0.0;     ///< end-to-end wall time of the batch
+
+  [[nodiscard]] int failed() const;
+  [[nodiscard]] int changed() const;
+};
+
+/// Deobfuscates every script in `scripts`, preserving order, and records a
+/// per-item ok/failed verdict plus wall times into `report`. `threads` = 0
 /// picks the hardware concurrency. Exceptions inside a worker surface as
-/// the input returned unchanged (deobfuscation is total by contract).
+/// the input returned unchanged (deobfuscation is total by contract) with
+/// `ok == false` for that item.
+std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
+                                           const std::vector<std::string>& scripts,
+                                           BatchReport& report,
+                                           unsigned threads = 0);
+
+/// Report-free convenience overload; failures are silent (unchanged output).
 std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
                                            const std::vector<std::string>& scripts,
                                            unsigned threads = 0);

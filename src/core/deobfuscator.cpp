@@ -1,6 +1,7 @@
 #include "core/deobfuscator.h"
 
 #include "core/reformat.h"
+#include "psast/parse_cache.h"
 #include "psast/parser.h"
 
 namespace ideobf {
@@ -19,17 +20,31 @@ void merge(RecoveryStats& into, const RecoveryStats& from) {
   into.variables_substituted += from.variables_substituted;
 }
 
+bool syntax_ok(std::string_view text, ps::ParseCache* cache) {
+  return cache != nullptr ? cache->is_valid(text) : ps::is_valid_syntax(text);
+}
+
 /// Applies one phase with the paper's per-step syntax check: if the result
-/// no longer parses, the step is skipped.
+/// no longer parses, the step is skipped. With a cache the validity parse
+/// is the same parse the next phase (and the next check) will reuse.
 template <typename Fn>
-std::string checked(std::string_view input, Fn&& phase) {
+std::string checked(std::string_view input, ps::ParseCache* cache, Fn&& phase) {
   std::string out = phase(input);
   if (out == input) return std::string(input);
-  if (!ps::is_valid_syntax(out)) return std::string(input);
+  if (!syntax_ok(out, cache)) return std::string(input);
   return out;
 }
 
 }  // namespace
+
+InvokeDeobfuscator::InvokeDeobfuscator(DeobfuscationOptions options)
+    : options_(std::move(options)) {
+  if (options_.parse_cache) {
+    cache_ = options_.shared_parse_cache != nullptr
+                 ? options_.shared_parse_cache
+                 : std::make_shared<ps::ParseCache>();
+  }
+}
 
 std::string InvokeDeobfuscator::deobfuscate(std::string_view script) const {
   DeobfuscationReport report;
@@ -40,10 +55,15 @@ std::string InvokeDeobfuscator::deobfuscate(std::string_view script,
                                             DeobfuscationReport& report) const {
   TraceSink sink;
   TraceSink* trace = options_.collect_trace ? &sink : nullptr;
-  std::string out = deobfuscate_layers(script, report, 0, trace);
+  ps::ParseCache* cache = cache_.get();
+  // One piece-execution memo per run: layers and fixed-point passes share
+  // it; runs do not (traced-variable context is per-script anyway).
+  RecoveryMemo memo;
+  RecoveryMemo* memo_ptr = options_.recovery_memo ? &memo : nullptr;
+  std::string out = deobfuscate_layers(script, report, 0, trace, memo_ptr);
 
   if (options_.rename) {
-    out = checked(out, [&](std::string_view s) {
+    out = checked(out, cache, [&](std::string_view s) {
       RenameStats rs;
       std::string r = rename_pass(s, &rs, trace);
       if (rs.renamed) report.rename = rs;
@@ -51,7 +71,8 @@ std::string InvokeDeobfuscator::deobfuscate(std::string_view script,
     });
   }
   if (options_.reformat) {
-    out = checked(out, [](std::string_view s) { return reformat_pass(s); });
+    out = checked(out, cache,
+                  [](std::string_view s) { return reformat_pass(s); });
   }
   if (trace != nullptr) report.trace = sink.take();
   return out;
@@ -59,9 +80,10 @@ std::string InvokeDeobfuscator::deobfuscate(std::string_view script,
 
 std::string InvokeDeobfuscator::deobfuscate_layers(std::string_view script,
                                                    DeobfuscationReport& report,
-                                                   int depth,
-                                                   TraceSink* trace) const {
+                                                   int depth, TraceSink* trace,
+                                                   RecoveryMemo* memo) const {
   if (depth > options_.max_layers) return std::string(script);
+  ps::ParseCache* cache = cache_.get();
 
   std::string cur(script);
   for (int pass = 0; pass < options_.max_layers; ++pass) {
@@ -69,7 +91,7 @@ std::string InvokeDeobfuscator::deobfuscate_layers(std::string_view script,
     std::string next = cur;
 
     if (options_.token_pass) {
-      next = checked(next, [&](std::string_view s) {
+      next = checked(next, cache, [&](std::string_view s) {
         TokenPassStats ts;
         std::string r = token_pass(s, &ts, trace);
         merge(report.token, ts);
@@ -78,26 +100,39 @@ std::string InvokeDeobfuscator::deobfuscate_layers(std::string_view script,
     }
 
     if (options_.ast_recovery) {
-      next = checked(next, [&](std::string_view s) {
+      next = checked(next, cache, [&](std::string_view s) {
         RecoveryOptions ro;
         ro.max_steps_per_piece = options_.max_steps_per_piece;
         ro.extra_blocklist = options_.extra_blocklist;
         ro.trace_functions = options_.trace_functions;
+        ro.memo = memo;
         RecoveryStats rs;
-        std::string r = recovery_pass(s, ro, &rs, trace);
+        std::string r;
+        if (cache != nullptr) {
+          const ps::ParseCache::Result parsed = cache->get(s);
+          r = parsed.ast == nullptr
+                  ? std::string(s)
+                  : recovery_pass(s, *parsed.ast, ro, &rs, trace, cache);
+        } else {
+          r = recovery_pass(s, ro, &rs, trace);
+        }
         merge(report.recovery, rs);
         return r;
       });
     }
 
     if (options_.multilayer) {
-      next = checked(next, [&](std::string_view s) {
-        return unwrap_layers(
-            s,
-            [&](std::string_view payload) {
-              return deobfuscate_layers(payload, report, depth + 1, trace);
-            },
-            &report.multilayer, trace);
+      next = checked(next, cache, [&](std::string_view s) {
+        const auto inner = [&](std::string_view payload) {
+          return deobfuscate_layers(payload, report, depth + 1, trace, memo);
+        };
+        if (cache != nullptr) {
+          const ps::ParseCache::Result parsed = cache->get(s);
+          if (parsed.ast == nullptr) return std::string(s);
+          return unwrap_layers(s, *parsed.ast, inner, &report.multilayer,
+                               trace, cache);
+        }
+        return unwrap_layers(s, inner, &report.multilayer, trace);
       });
     }
 

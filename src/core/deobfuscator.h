@@ -10,6 +10,7 @@
 /// renaming -> reformatting. Every phase is syntax-checked and rolled back
 /// on error, so the output is always valid when the input was.
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -18,6 +19,7 @@
 #include "core/recovery.h"
 #include "core/rename.h"
 #include "core/token_pass.h"
+#include "psast/parse_cache.h"
 
 namespace ideobf {
 
@@ -38,6 +40,21 @@ struct DeobfuscationOptions {
   bool trace_functions = false;
   /// Collect a structured transformation trace into the report.
   bool collect_trace = false;
+  /// Parse-once pipeline: share one parse of every intermediate text across
+  /// the per-step syntax checks, the phases' AST inputs, and the multilayer
+  /// recursion. Disabling re-parses at every step (the pre-cache behavior);
+  /// output and report are identical either way.
+  bool parse_cache = true;
+  /// Memoize recovered pieces per run (piece text + traced-variable context
+  /// fingerprint -> recovered literal) so a piece repeated across
+  /// occurrences, layers, or fixed-point passes executes once. Disabling
+  /// re-executes every occurrence (the pre-memo behavior); output and
+  /// report are identical either way.
+  bool recovery_memo = true;
+  /// Optional externally shared cache (e.g. one cache across a whole batch
+  /// or several deobfuscator instances). When null and `parse_cache` is
+  /// true, the deobfuscator creates a private one.
+  std::shared_ptr<ps::ParseCache> shared_parse_cache;
 };
 
 struct DeobfuscationReport {
@@ -49,11 +66,11 @@ struct DeobfuscationReport {
   int passes = 0;  ///< full pipeline iterations until the fixed point
 };
 
-/// The deobfuscator. Stateless and const-callable; cheap to copy.
+/// The deobfuscator. Const-callable from any number of threads and cheap to
+/// copy; copies share the (thread-safe) parse cache.
 class InvokeDeobfuscator {
  public:
-  explicit InvokeDeobfuscator(DeobfuscationOptions options = {})
-      : options_(std::move(options)) {}
+  explicit InvokeDeobfuscator(DeobfuscationOptions options = {});
 
   /// Deobfuscates `script`. Invalid input is returned unchanged.
   [[nodiscard]] std::string deobfuscate(std::string_view script) const;
@@ -62,11 +79,17 @@ class InvokeDeobfuscator {
 
   [[nodiscard]] const DeobfuscationOptions& options() const { return options_; }
 
+  /// The parse cache in use; null when options().parse_cache is false.
+  [[nodiscard]] const std::shared_ptr<ps::ParseCache>& parse_cache() const {
+    return cache_;
+  }
+
  private:
   std::string deobfuscate_layers(std::string_view script,
                                  DeobfuscationReport& report, int depth,
-                                 TraceSink* trace = nullptr) const;
+                                 TraceSink* trace, RecoveryMemo* memo) const;
   DeobfuscationOptions options_;
+  std::shared_ptr<ps::ParseCache> cache_;
 };
 
 }  // namespace ideobf

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "pslang/alias_table.h"
+#include "psast/parse_cache.h"
 #include "psast/parser.h"
 #include "psinterp/encodings.h"
 
@@ -77,10 +78,21 @@ std::string unwrap_layers(
     MultilayerStats* stats, TraceSink* trace) {
   auto root = ps::try_parse(script);
   if (root == nullptr) return std::string(script);
+  return unwrap_layers(script, *root, deobfuscate_inner, stats, trace, nullptr);
+}
+
+std::string unwrap_layers(
+    std::string_view script, const ps::ScriptBlockAst& root,
+    const std::function<std::string(std::string_view)>& deobfuscate_inner,
+    MultilayerStats* stats, TraceSink* trace, ps::ParseCache* cache) {
+  const auto valid = [cache](std::string_view text) {
+    return cache != nullptr ? cache->is_valid(text)
+                            : ps::is_valid_syntax(text);
+  };
 
   std::vector<Rewrite> rewrites;
 
-  root->post_order([&](const Ast& node) {
+  root.post_order([&](const Ast& node) {
     if (node.kind() != NodeKind::Pipeline) return;
     const auto& pipe = static_cast<const ps::PipelineAst&>(node);
     // Only unwrap statement-position pipelines: replacing an expression
@@ -99,7 +111,7 @@ std::string unwrap_layers(
       const auto& cmd = static_cast<const ps::CommandAst&>(*pipe.elements[0]);
       if (is_invoke_expression(cmd) && cmd.elements.size() == 2) {
         if (const std::string* payload = constant_string(cmd.elements[1].get())) {
-          if (ps::is_valid_syntax(*payload)) {
+          if (valid(*payload)) {
             rewrites.push_back({pipe.start(), pipe.end(),
                                 deobfuscate_inner(*payload)});
             return;
@@ -128,7 +140,7 @@ std::string unwrap_layers(
           if (!bytes) continue;
           const std::string decoded =
               ps::encoding_get_string(ps::TextEncoding::Unicode, *bytes);
-          if (!ps::is_valid_syntax(decoded)) continue;
+          if (!valid(decoded)) continue;
           rewrites.push_back({pipe.start(), pipe.end(),
                               deobfuscate_inner(decoded)});
           return;
@@ -158,7 +170,7 @@ std::string unwrap_layers(
             inv.arguments.size() == 1) {
           if (const std::string* payload =
                   constant_string(inv.arguments[0].get())) {
-            if (ps::is_valid_syntax(*payload)) {
+            if (valid(*payload)) {
               rewrites.push_back({pipe.start(), pipe.end(),
                                   deobfuscate_inner(*payload)});
               return;
@@ -178,7 +190,7 @@ std::string unwrap_layers(
       const auto& tail = static_cast<const ps::CommandAst&>(*pipe.elements[1]);
       if (is_invoke_expression(tail) && tail.elements.size() == 1) {
         if (const std::string* payload = constant_string(head.expression.get())) {
-          if (ps::is_valid_syntax(*payload)) {
+          if (valid(*payload)) {
             rewrites.push_back({pipe.start(), pipe.end(),
                                 deobfuscate_inner(*payload)});
           }
@@ -207,7 +219,7 @@ std::string unwrap_layers(
     out.replace(it->start, it->end - it->start, it->text);
   }
   if (stats != nullptr) stats->layers_unwrapped += static_cast<int>(kept.size());
-  if (!ps::is_valid_syntax(out)) return std::string(script);
+  if (!valid(out)) return std::string(script);
   return out;
 }
 

@@ -12,6 +12,11 @@
 
 #include "core/trace.h"
 
+namespace ps {
+class ParseCache;
+class ScriptBlockAst;
+}  // namespace ps
+
 namespace ideobf {
 
 struct MultilayerStats {
@@ -25,5 +30,15 @@ std::string unwrap_layers(
     std::string_view script,
     const std::function<std::string(std::string_view)>& deobfuscate_inner,
     MultilayerStats* stats = nullptr, TraceSink* trace = nullptr);
+
+/// Parse-once overload: unwraps over an already-parsed AST of `script`
+/// (extents must index into `script`). Payload and output syntax checks go
+/// through `cache` when provided, so the recursive deobfuscation of each
+/// payload starts from a cached parse.
+std::string unwrap_layers(
+    std::string_view script, const ps::ScriptBlockAst& root,
+    const std::function<std::string(std::string_view)>& deobfuscate_inner,
+    MultilayerStats* stats = nullptr, TraceSink* trace = nullptr,
+    ps::ParseCache* cache = nullptr);
 
 }  // namespace ideobf

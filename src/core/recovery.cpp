@@ -5,6 +5,7 @@
 
 #include "core/blocklist.h"
 #include "pslang/alias_table.h"
+#include "psast/parse_cache.h"
 #include "psast/parser.h"
 #include "psinterp/interpreter.h"
 
@@ -16,24 +17,39 @@ using ps::Value;
 
 std::string value_to_literal(const Value& value) {
   if (value.is_string() || value.is_char()) {
-    std::string out = "'";
-    for (char c : value.to_display_string()) {
-      if (c == '\'') out += "''";
-      else out.push_back(c);
-    }
-    out += "'";
-    // Control characters have no single-quoted literal representation.
-    for (char c : value.to_display_string()) {
+    const std::string s = value.to_display_string();
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '\'';
+    for (char c : s) {
+      // Control characters have no single-quoted literal representation.
       if ((c >= 0 && c < 0x20 && c != '\n' && c != '\t' && c != '\r') ||
           c == 0x7f) {
         return "";
       }
+      if (c == '\'') out += "''";
+      else out.push_back(c);
     }
+    out += '\'';
     return out;
   }
   if (value.is_int()) return std::to_string(value.get_int());
   if (value.is_double()) return ps::format_double(value.get_double());
   return "";  // Boolean / Object / Array / null: keep the original piece
+}
+
+const std::string* RecoveryMemo::lookup(std::size_t context,
+                                        std::string_view piece) const {
+  const auto it = map_.find(Key{context, std::string(piece)});
+  if (it == map_.end()) return nullptr;
+  ++hits_;
+  return &it->second;
+}
+
+void RecoveryMemo::store(std::size_t context, std::string_view piece,
+                         std::string literal) {
+  if (map_.size() >= kMaxEntries) return;
+  map_.emplace(Key{context, std::string(piece)}, std::move(literal));
 }
 
 namespace {
@@ -77,8 +93,10 @@ bool is_trivial_literal(std::string_view text) {
 class Reconstructor {
  public:
   Reconstructor(std::string_view src, const RecoveryOptions& options,
-                RecoveryStats& stats, TraceSink* trace)
-      : src_(src), options_(options), stats_(stats), trace_(trace) {
+                RecoveryStats& stats, TraceSink* trace,
+                ps::ParseCache* cache = nullptr)
+      : src_(src), options_(options), stats_(stats), trace_(trace),
+        cache_(cache) {
     scope_path_.push_back(0);
   }
 
@@ -94,11 +112,47 @@ class Reconstructor {
   const RecoveryOptions& options_;
   RecoveryStats& stats_;
   TraceSink* trace_;
+  ps::ParseCache* cache_;  ///< shared parse cache for piece interpreters
   std::map<std::string, VarInfo> table_;  ///< S_v and S_c of Algorithm 1
   std::vector<std::string> function_defs_;  ///< trace_functions extension
   std::vector<int> scope_path_;
   int scope_counter_ = 0;
   int conditional_depth_ = 0;
+
+  /// Context salt for environment-variable probes: their evaluation uses a
+  /// fresh table-free interpreter, so their memo entries must not collide
+  /// with piece executions under an arbitrary table fingerprint.
+  static constexpr std::size_t kEnvProbeContext = 0x9e3779b97f4a7c15ull;
+
+  /// Fingerprint of everything that can influence a piece execution: the
+  /// visible symbol-table entries (name, value kind, display form) and the
+  /// loaded function definitions. Equal text + equal fingerprint implies
+  /// the interpreter would produce the same result, so the memoized literal
+  /// substitutes for re-execution.
+  std::size_t context_fingerprint() const {
+    std::size_t h = 14695981039346656037ull;
+    const auto mix = [&h](std::string_view s) {
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+      }
+      h ^= 0xffu;  // field separator
+      h *= 1099511628211ull;
+    };
+    for (const auto& [name, info] : table_) {
+      if (!scope_visible(info.scope)) continue;
+      mix(name);
+      const char tag = info.value.is_string()   ? 's'
+                       : info.value.is_char()   ? 'c'
+                       : info.value.is_int()    ? 'i'
+                       : info.value.is_double() ? 'd'
+                                                : 'o';
+      mix(std::string_view(&tag, 1));
+      mix(info.value.to_display_string());
+    }
+    for (const std::string& def : function_defs_) mix(def);
+    return h;
+  }
 
   bool scope_visible(const std::vector<int>& recorded) const {
     if (recorded.size() > scope_path_.size()) return false;
@@ -115,6 +169,7 @@ class Reconstructor {
     opts.strict_variables = true;
     opts.refuse_blocklisted = true;
     opts.command_filter = make_recovery_filter(options_.extra_blocklist);
+    opts.parse_cache = cache_;
     auto interp = std::make_unique<ps::Interpreter>(opts);
     for (const auto& [name, info] : table_) {
       if (scope_visible(info.scope)) interp->set_variable(name, info.value);
@@ -190,15 +245,22 @@ class Reconstructor {
         }
         return text;
       case NodeKind::ExpandableStringExpression:
-        return handle_expandable(text);
+        return handle_expandable(std::move(text), node);
       default:
         break;
     }
 
     if (ps::is_recoverable_kind(node.kind())) {
-      return try_recover(std::move(text));
+      return try_recover(std::move(text), node);
     }
     return text;
+  }
+
+  /// True when the spliced text is the node's verbatim source text — no
+  /// child was substituted, so the already-parsed subtree still describes
+  /// it and can be evaluated without re-parsing.
+  bool matches_source(const Ast& node, std::string_view text) const {
+    return text == src_.substr(node.start(), node.end() - node.start());
   }
 
   std::string handle_variable(const ps::VariableExpressionAst& var,
@@ -254,25 +316,45 @@ class Reconstructor {
     }
 
     // Environment / automatic variables resolve through Get-Variable
-    // semantics (paper section III-B3).
+    // semantics (paper section III-B3). The probe interpreter is fresh and
+    // table-free, so the result depends on the variable text alone and is
+    // memoized under a fixed context.
     if (scope == "env" || scope.empty()) {
-      try {
-        ps::InterpreterOptions opts;
-        opts.strict_variables = true;
-        ps::Interpreter probe(opts);
-        const Value v = probe.evaluate_script(std::string(src_.substr(
-            var.start(), var.end() - var.start())));
-        const std::string literal = value_to_literal(v);
-        if (!literal.empty() && (v.is_string() || v.is_char())) {
-          stats_.variables_substituted++;
-          if (trace_ != nullptr) {
-            trace_->emit({TraceEvent::Kind::VariableSubstituted, var.start(),
-                          text, literal, trace_->pass()});
-          }
-          return literal;
+      const std::string probe_text(
+          src_.substr(var.start(), var.end() - var.start()));
+      std::string literal;
+      const std::string* hit =
+          options_.memo != nullptr
+              ? options_.memo->lookup(kEnvProbeContext, probe_text)
+              : nullptr;
+      if (hit != nullptr) {
+        literal = *hit;
+      } else {
+        try {
+          ps::InterpreterOptions opts;
+          opts.strict_variables = true;
+          opts.parse_cache = cache_;
+          ps::Interpreter probe(opts);
+          // Parse-once: the variable node is a verbatim subtree of the
+          // already-parsed script, so no piece parse is needed.
+          const Value v = cache_ != nullptr
+                              ? probe.evaluate(var, src_)
+                              : probe.evaluate_script(probe_text);
+          if (v.is_string() || v.is_char()) literal = value_to_literal(v);
+        } catch (const std::exception&) {
+          // unknown: keep as-is
         }
-      } catch (const std::exception&) {
-        // unknown: keep as-is
+        if (options_.memo != nullptr) {
+          options_.memo->store(kEnvProbeContext, probe_text, literal);
+        }
+      }
+      if (!literal.empty()) {
+        stats_.variables_substituted++;
+        if (trace_ != nullptr) {
+          trace_->emit({TraceEvent::Kind::VariableSubstituted, var.start(),
+                        text, literal, trace_->pass()});
+        }
+        return literal;
       }
     }
     return text;
@@ -289,7 +371,11 @@ class Reconstructor {
     }
     try {
       auto interp = make_interpreter();
-      interp->evaluate_script(text);
+      if (cache_ != nullptr && matches_source(st, text)) {
+        interp->evaluate(st, src_);  // parse-once: reuse the subtree
+      } else {
+        interp->evaluate_script(text);
+      }
       if (auto value = interp->get_variable(bare)) {
         table_[bare] = VarInfo{*value, scope_path_};
         stats_.variables_traced++;
@@ -308,61 +394,92 @@ class Reconstructor {
     return text;
   }
 
+  /// Executes a piece in the traced-variable interpreter, going through the
+  /// memo when one is attached: the same fragment under the same context is
+  /// sandbox-executed once across all layers and fixed-point passes. The
+  /// returned literal is "" when the piece stays as-is (failed execution,
+  /// no literal form, or no progress).
+  std::string execute_piece(const std::string& text, const Ast* node) {
+    std::size_t ctx = 0;
+    if (options_.memo != nullptr) {
+      ctx = context_fingerprint();
+      if (const std::string* hit = options_.memo->lookup(ctx, text)) {
+        return *hit;
+      }
+    }
+    std::string literal;
+    try {
+      auto interp = make_interpreter();
+      // Parse-once: a piece whose text is still the node's verbatim source
+      // evaluates from the already-parsed subtree; only pieces rewritten by
+      // child substitutions need a (cached) piece parse.
+      const Value result =
+          cache_ != nullptr && node != nullptr && matches_source(*node, text)
+              ? interp->evaluate(*node, src_)
+              : interp->evaluate_script(text);
+      literal = value_to_literal(result);
+    } catch (const std::exception&) {
+      literal.clear();  // blocked / unknown / limit / error: keep the piece
+    }
+    if (literal == text) literal.clear();  // no progress
+    if (options_.memo != nullptr) options_.memo->store(ctx, text, literal);
+    return literal;
+  }
+
+  /// Books a successful recovery ("" keeps the original text).
+  std::string apply_recovered(std::string text, std::string literal) {
+    if (literal.empty()) return text;
+    stats_.pieces_recovered++;
+    if (trace_ != nullptr) {
+      trace_->emit({TraceEvent::Kind::PieceRecovered, 0, std::move(text),
+                    literal, trace_->pass()});
+    }
+    return literal;
+  }
+
   /// Expandable strings ("pre $url post") are not recoverable nodes, but
   /// with every referenced variable traced their value is known; evaluating
   /// them in the strict interpreter turns them into plain literals, which
   /// extends recovery to interpolation sites inside blocklisted pipelines.
-  std::string handle_expandable(std::string text) {
+  std::string handle_expandable(std::string text, const Ast& node) {
     if (conditional_depth_ > 0) return text;
     if (text.find('$') == std::string::npos) return text;
-    try {
-      auto interp = make_interpreter();
-      const Value result = interp->evaluate_script(text);
-      const std::string literal = value_to_literal(result);
-      if (literal.empty() || literal == text) return text;
-      stats_.pieces_recovered++;
-      if (trace_ != nullptr) {
-        trace_->emit({TraceEvent::Kind::PieceRecovered, 0, text, literal,
-                      trace_->pass()});
-      }
-      return literal;
-    } catch (const std::exception&) {
-      return text;  // untraced variables ($_ in blocks, ...) keep the text
-    }
+    std::string literal = execute_piece(text, &node);
+    return apply_recovered(std::move(text), std::move(literal));
   }
 
-  std::string try_recover(std::string text) {
+  std::string try_recover(std::string text, const Ast& node) {
     if (text.size() > options_.max_piece_size) return text;
     if (is_trivial_literal(text)) return text;
-    try {
-      auto interp = make_interpreter();
-      const Value result = interp->evaluate_script(text);
-      const std::string literal = value_to_literal(result);
-      if (literal.empty() || literal == text) return text;
-      stats_.pieces_recovered++;
-      if (trace_ != nullptr) {
-        trace_->emit({TraceEvent::Kind::PieceRecovered, 0, text, literal,
-                      trace_->pass()});
-      }
-      return literal;
-    } catch (const std::exception&) {
-      return text;  // keep the piece (blocked / unknown / limit / error)
-    }
+    std::string literal = execute_piece(text, &node);
+    return apply_recovered(std::move(text), std::move(literal));
   }
 };
 
 }  // namespace
 
+std::string recovery_pass(std::string_view script,
+                          const ps::ScriptBlockAst& root,
+                          const RecoveryOptions& options, RecoveryStats* stats,
+                          TraceSink* trace, ps::ParseCache* cache) {
+  RecoveryStats local;
+  Reconstructor rec(script, options, local, trace, cache);
+  std::string out = rec.run(root);
+  if (stats != nullptr) *stats = local;
+  // An unchanged result is the (already parsed) input; anything else must
+  // still reparse before it may replace the input.
+  const bool ok = out == script || (cache != nullptr
+                                        ? cache->is_valid(out)
+                                        : ps::is_valid_syntax(out));
+  if (!ok) return std::string(script);
+  return out;
+}
+
 std::string recovery_pass(std::string_view script, const RecoveryOptions& options,
                           RecoveryStats* stats, TraceSink* trace) {
   std::unique_ptr<ps::ScriptBlockAst> root = ps::try_parse(script);
   if (root == nullptr) return std::string(script);
-  RecoveryStats local;
-  Reconstructor rec(script, options, local, trace);
-  std::string out = rec.run(*root);
-  if (stats != nullptr) *stats = local;
-  if (!ps::is_valid_syntax(out)) return std::string(script);
-  return out;
+  return recovery_pass(script, *root, options, stats, trace, nullptr);
 }
 
 }  // namespace ideobf

@@ -10,10 +10,16 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/trace.h"
 #include "psvalue/value.h"
+
+namespace ps {
+class ParseCache;
+class ScriptBlockAst;
+}  // namespace ps
 
 namespace ideobf {
 
@@ -21,6 +27,44 @@ struct RecoveryStats {
   int pieces_recovered = 0;       ///< recoverable nodes replaced by literals
   int variables_traced = 0;       ///< assignments recorded in the symbol table
   int variables_substituted = 0;  ///< variable uses replaced by their value
+};
+
+/// Memoizes sandbox executions of recoverable pieces: the same obfuscated
+/// fragment under the same traced-variable context is executed once, not
+/// once per occurrence per layer per fixed-point pass. Keyed by the piece
+/// text plus a fingerprint of everything that can influence its evaluation
+/// (visible symbol-table entries and loaded function definitions). An empty
+/// memoized literal records "known unrecoverable", so failed executions are
+/// not retried either. Not thread-safe: one memo serves one deobfuscation
+/// run, which is single-threaded.
+class RecoveryMemo {
+ public:
+  /// The memoized literal for this piece under this context, or null when
+  /// the piece has not been executed yet. "" means execution failed or the
+  /// result had no literal form.
+  [[nodiscard]] const std::string* lookup(std::size_t context,
+                                          std::string_view piece) const;
+  void store(std::size_t context, std::string_view piece, std::string literal);
+
+  [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Key {
+    std::size_t context;
+    std::string piece;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return k.context ^ std::hash<std::string>{}(k.piece);
+    }
+  };
+  /// Growth bound for pathological scripts with unbounded distinct pieces.
+  static constexpr std::size_t kMaxEntries = 8192;
+
+  std::unordered_map<Key, std::string, KeyHash> map_;
+  mutable std::size_t hits_ = 0;
 };
 
 struct RecoveryOptions {
@@ -32,6 +76,9 @@ struct RecoveryOptions {
   /// the recovery interpreter, so pieces that call a decoder function (the
   /// "recovery algorithm in a function" evasion) can still be executed.
   bool trace_functions = false;
+  /// Optional piece-execution memo, shared across layers and fixed-point
+  /// passes of one deobfuscation run. Null executes every piece.
+  RecoveryMemo* memo = nullptr;
 };
 
 /// Runs one recovery pass. Returns the input unchanged when it does not
@@ -39,6 +86,17 @@ struct RecoveryOptions {
 std::string recovery_pass(std::string_view script, const RecoveryOptions& options,
                           RecoveryStats* stats = nullptr,
                           TraceSink* trace = nullptr);
+
+/// Parse-once overload: runs the pass over an already-parsed AST of
+/// `script` (extents must index into `script`). The output syntax check
+/// goes through `cache` when provided, so the caller's subsequent parse of
+/// the result is a cache hit.
+std::string recovery_pass(std::string_view script,
+                          const ps::ScriptBlockAst& root,
+                          const RecoveryOptions& options,
+                          RecoveryStats* stats = nullptr,
+                          TraceSink* trace = nullptr,
+                          ps::ParseCache* cache = nullptr);
 
 /// Renders a runtime value as PowerShell literal source text, or empty when
 /// the value has no faithful literal form (objects, arrays, ...), matching

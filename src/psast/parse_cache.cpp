@@ -1,0 +1,84 @@
+#include "psast/parse_cache.h"
+
+#include <algorithm>
+
+#include "psast/parser.h"
+
+namespace ps {
+
+ParseCache::ParseCache(std::size_t max_entries, std::size_t max_text_bytes)
+    : per_shard_cap_(std::max<std::size_t>(1, max_entries / kShards)),
+      max_text_bytes_(max_text_bytes) {}
+
+ParseCache::Result ParseCache::get(std::string_view text) {
+  const std::size_t hash = StringHash{}(text);
+  Shard& shard = shards_[hash % kShards];
+
+  if (text.size() <= max_text_bytes_) {
+    std::lock_guard lock(shard.mu);
+    if (auto it = shard.map.find(text); it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second.result;
+    }
+  }
+
+  // Parse outside the shard lock: a slow parse must not serialize the shard.
+  Result fresh;
+  fresh.source = std::make_shared<const std::string>(text);
+  fresh.ast = std::shared_ptr<const ScriptBlockAst>(try_parse(*fresh.source));
+  fresh.valid = fresh.ast != nullptr;
+
+  if (text.size() > max_text_bytes_) {
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
+    return fresh;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+
+  std::lock_guard lock(shard.mu);
+  auto [it, inserted] = shard.map.try_emplace(std::string(text));
+  if (!inserted) {
+    // Another thread cached this text while we were parsing; keep theirs so
+    // all holders share one AST.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+    return it->second.result;
+  }
+  shard.lru.push_front(&it->first);
+  it->second = Entry{std::move(fresh), shard.lru.begin()};
+  Result out = it->second.result;
+  if (shard.map.size() > per_shard_cap_) {
+    const std::string* victim = shard.lru.back();
+    shard.lru.pop_back();
+    shard.map.erase(*victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+ParseCacheStats ParseCache::stats() const {
+  ParseCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.bypasses = bypasses_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t ParseCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(const_cast<Shard&>(shard).mu);
+    n += shard.map.size();
+  }
+  return n;
+}
+
+void ParseCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+  }
+}
+
+}  // namespace ps

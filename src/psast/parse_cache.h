@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file parse_cache.h
+/// Parse-once pipeline support: a thread-safe, sharded, content-keyed parse
+/// cache. One parse of any given script text serves the deobfuscator's
+/// per-step syntax check, the next phase's AST input, and the multilayer
+/// recursion, instead of each of those re-parsing the identical text.
+/// Entries are LRU-bounded per shard and carry a validity verdict, so
+/// syntactically invalid intermediates are negative-cached too.
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "psast/ast.h"
+
+namespace ps {
+
+struct ParseCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;      ///< lookups that had to parse
+  std::uint64_t evictions = 0;   ///< entries dropped by the LRU bound
+  std::uint64_t bypasses = 0;    ///< oversized texts parsed uncached
+};
+
+/// Content-hash-keyed cache of parses. Safe for concurrent use from any
+/// number of threads; parsing happens outside the shard lock, so a slow
+/// parse never blocks lookups of other texts in the same shard.
+class ParseCache {
+ public:
+  /// A cached parse. `ast` is null when the text does not parse. `source`
+  /// owns the exact text the AST extents index into; since extents are
+  /// plain offsets they are equally valid against any caller buffer with
+  /// identical content.
+  struct Result {
+    std::shared_ptr<const ScriptBlockAst> ast;
+    std::shared_ptr<const std::string> source;
+    bool valid = false;
+  };
+
+  /// `max_entries` bounds the total entry count across all shards; texts
+  /// larger than `max_text_bytes` are parsed but never stored.
+  explicit ParseCache(std::size_t max_entries = 512,
+                      std::size_t max_text_bytes = 1u << 20);
+
+  /// The cached parse of `text`, parsing on a miss.
+  Result get(std::string_view text);
+
+  /// Cached equivalent of ps::is_valid_syntax.
+  bool is_valid(std::string_view text) { return get(text).valid; }
+
+  [[nodiscard]] ParseCacheStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+    std::size_t operator()(const std::string& s) const {
+      return (*this)(std::string_view(s));
+    }
+  };
+  struct Entry {
+    Result result;
+    std::list<const std::string*>::iterator lru_it;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, Entry, StringHash, std::equal_to<>> map;
+    std::list<const std::string*> lru;  ///< most recently used at the front
+  };
+
+  static constexpr std::size_t kShards = 16;
+
+  std::size_t per_shard_cap_;
+  std::size_t max_text_bytes_;
+  Shard shards_[kShards];
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bypasses_{0};
+};
+
+}  // namespace ps

@@ -1,6 +1,7 @@
 #include "psast/parser.h"
 
 #include <array>
+#include <atomic>
 #include <cstdlib>
 
 #include "pslang/alias_table.h"
@@ -1090,7 +1091,16 @@ class Parser {
 
 }  // namespace
 
+namespace {
+std::atomic<std::uint64_t> g_parse_calls{0};
+}  // namespace
+
+std::uint64_t parse_call_count() {
+  return g_parse_calls.load(std::memory_order_relaxed);
+}
+
 std::unique_ptr<ScriptBlockAst> parse(std::string_view source) {
+  g_parse_calls.fetch_add(1, std::memory_order_relaxed);
   TokenStream tokens = tokenize(source);
   Parser parser(std::move(tokens), source.size());
   return parser.parse_script();

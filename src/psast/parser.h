@@ -4,6 +4,7 @@
 /// Recursive-descent parser producing the PowerShell AST of ast.h, the
 /// substitute for System.Management.Automation.Language.Parser.
 
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -31,5 +32,11 @@ std::unique_ptr<ScriptBlockAst> try_parse(std::string_view source,
 
 /// True when `source` parses cleanly.
 bool is_valid_syntax(std::string_view source);
+
+/// Instrumentation: process-wide count of full parses performed through
+/// parse()/try_parse()/is_valid_syntax(), including the interpreter's
+/// internal parses. The pipeline benchmark takes deltas of this counter to
+/// measure parses-per-deobfuscation with and without the parse cache.
+std::uint64_t parse_call_count();
 
 }  // namespace ps

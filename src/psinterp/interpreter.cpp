@@ -5,6 +5,7 @@
 #include <regex>
 
 #include "pslang/alias_table.h"
+#include "psast/parse_cache.h"
 #include "psast/parser.h"
 #include "psinterp/objects.h"
 
@@ -168,13 +169,28 @@ std::string Interpreter::need_string(const Value& v) { return v.to_display_strin
 
 // ------------------------------------------------------------- entry points
 
+Interpreter::ParsedScript Interpreter::parse_shared(std::string_view text) const {
+  ParsedScript out;
+  if (opts_.parse_cache != nullptr) {
+    ps::ParseCache::Result r = opts_.parse_cache->get(text);
+    if (r.ast != nullptr) {
+      out.cached = std::move(r.ast);
+      return out;
+    }
+    // Negative-cached text falls through so the genuine ParseError (with
+    // its real message) is raised, exactly as without a cache.
+  }
+  out.owned = parse(text);
+  return out;
+}
+
 Value Interpreter::evaluate_script(std::string_view script) {
   if (depth_ >= opts_.max_depth) throw LimitError("invoke depth exceeded");
   // The step budget applies per top-level evaluation; a reused interpreter
   // must not accumulate steps across independent scripts.
   if (depth_ == 0) steps_ = 0;
   if (opts_.recorder != nullptr) opts_.recorder->on_engine_script(script);
-  auto root = parse(script);
+  const ParsedScript root = parse_shared(script);
   ++depth_;
   std::vector<Value> out;
   try {
@@ -1322,7 +1338,7 @@ void Interpreter::invoke_scriptblock(const ScriptBlock& sb,
                                      const std::vector<Value>& input, bool per_item,
                                      std::vector<Value>& out) {
   if (depth_ >= opts_.max_depth) throw LimitError("invoke depth exceeded");
-  auto root = parse(sb.text);
+  const ParsedScript root = parse_shared(sb.text);
   ++depth_;
   scopes_.emplace_back();
   struct Pop {
@@ -1367,7 +1383,7 @@ Value Interpreter::invoke_scriptblock_value(const ScriptBlock& sb) {
 Value Interpreter::call_function(const FunctionInfo& fn,
                                  const std::vector<Value>& args) {
   if (depth_ >= opts_.max_depth) throw LimitError("invoke depth exceeded");
-  auto root = parse(fn.body_text);
+  const ParsedScript root = parse_shared(fn.body_text);
   ++depth_;
   scopes_.emplace_back();
   struct Pop {

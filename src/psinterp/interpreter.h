@@ -22,6 +22,8 @@
 
 namespace ps {
 
+class ParseCache;
+
 /// Raised for any runtime evaluation failure (unknown variable in strict
 /// mode, bad member, conversion failure, thrown script errors, ...).
 class EvalError : public std::runtime_error {
@@ -82,6 +84,12 @@ struct InterpreterOptions {
   std::function<bool(const std::string&)> command_filter;
   /// Side-effect sink; may be null (effects silently dropped).
   EffectRecorder* recorder = nullptr;
+  /// Optional shared parse cache (parse-once pipeline): `evaluate_script`
+  /// and internal script-block / function-body invocations reuse cached
+  /// parses of identical text instead of re-parsing. Purely a performance
+  /// knob — results and thrown errors are unchanged. Non-owning; the cache
+  /// must outlive the interpreter. May be null.
+  ParseCache* parse_cache = nullptr;
 };
 
 /// A parsed function definition (body is reparsed per call for lifetime
@@ -145,6 +153,21 @@ class Interpreter {
 
  private:
   friend class Evaluator;
+
+  /// A parse that may be shared (cache hit) or owned (cache miss / no
+  /// cache). Keeps the AST alive for the duration of the evaluation.
+  struct ParsedScript {
+    std::shared_ptr<const ScriptBlockAst> cached;
+    std::unique_ptr<ScriptBlockAst> owned;
+    const ScriptBlockAst* operator->() const {
+      return cached != nullptr ? cached.get() : owned.get();
+    }
+  };
+
+  /// Parses through the configured parse cache when available; raises the
+  /// genuine ParseError for invalid text either way.
+  ParsedScript parse_shared(std::string_view text) const;
+
   InterpreterOptions opts_;
   std::size_t steps_ = 0;
   std::size_t depth_ = 0;

@@ -46,6 +46,46 @@ TEST(Batch, EmptyInput) {
   EXPECT_TRUE(deobfuscate_batch(deobf, {}, 0).empty());
 }
 
+TEST(Batch, ReportRecordsPerItemOutcomes) {
+  InvokeDeobfuscator deobf;
+  // A pathological script: deeply nested unbalanced groups that stress the
+  // parser's error path, plus normal and no-op items around it.
+  std::string pathological;
+  for (int i = 0; i < 300; ++i) pathological += "$( ( ";
+  pathological += "broken";
+  const std::vector<std::string> scripts = {
+      "iex 'Write-Host alpha'",
+      pathological,
+      "Write-Host plain",
+  };
+
+  BatchReport report;
+  const auto out = deobfuscate_batch(deobf, scripts, report, 2);
+  ASSERT_EQ(out.size(), 3u);
+  ASSERT_EQ(report.items.size(), 3u);
+
+  // Totality: even the pathological item produced a result (unchanged), and
+  // every item carries a verdict plus a wall time.
+  EXPECT_EQ(out[1], pathological);
+  for (const BatchItem& item : report.items) {
+    EXPECT_TRUE(item.ok) << item.error;
+    EXPECT_GE(item.seconds, 0.0);
+  }
+  EXPECT_TRUE(report.items[0].changed);
+  EXPECT_FALSE(report.items[1].changed);
+  EXPECT_EQ(report.failed(), 0);
+  EXPECT_GE(report.changed(), 1);
+  EXPECT_GE(report.wall_seconds, 0.0);
+}
+
+TEST(Batch, OldSignatureDelegatesToReportOverload) {
+  InvokeDeobfuscator deobf;
+  const std::vector<std::string> scripts = {"iex 'Write-Host beta'"};
+  BatchReport report;
+  EXPECT_EQ(deobfuscate_batch(deobf, scripts, 2),
+            deobfuscate_batch(deobf, scripts, report, 2));
+}
+
 TEST(MemberAssign, ServicePointManagerPrologue) {
   ps::Interpreter interp;
   // The ubiquitous TLS prologue must execute as a no-op, not an error.

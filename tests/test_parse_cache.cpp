@@ -1,0 +1,147 @@
+// Tests for the parse-once pipeline's ParseCache: hit/miss accounting,
+// negative caching of invalid texts, LRU eviction, extent validity against
+// caller-owned buffers, and concurrent hammering from many threads (the
+// shard-lock and LRU-eviction race coverage demanded by the cache design).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/deobfuscator.h"
+#include "psast/parse_cache.h"
+#include "psast/parser.h"
+
+namespace ideobf {
+namespace {
+
+TEST(ParseCache, HitReturnsSameAst) {
+  ps::ParseCache cache;
+  const std::string text = "Write-Host 'hello'";
+  const auto first = cache.get(text);
+  const auto second = cache.get(text);
+  ASSERT_NE(first.ast, nullptr);
+  EXPECT_TRUE(first.valid);
+  EXPECT_EQ(first.ast.get(), second.ast.get());  // one shared parse
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ParseCache, InvalidTextIsNegativeCached) {
+  ps::ParseCache cache;
+  const std::string bad = "if (broken {";
+  EXPECT_FALSE(cache.get(bad).valid);
+  EXPECT_EQ(cache.get(bad).ast, nullptr);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);  // the second lookup did not re-parse
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ParseCache, MissAvoidsReparseAcrossUses) {
+  ps::ParseCache cache;
+  const std::string text = "$a = 1; Write-Host $a";
+  const auto before = ps::parse_call_count();
+  cache.get(text);
+  cache.is_valid(text);
+  cache.get(text);
+  EXPECT_EQ(ps::parse_call_count() - before, 1u);
+}
+
+TEST(ParseCache, LruEvictionKeepsSizeBounded) {
+  ps::ParseCache cache(/*max_entries=*/16);  // one entry per shard
+  for (int i = 0; i < 200; ++i) {
+    cache.get("Write-Host " + std::to_string(i));
+  }
+  EXPECT_LE(cache.size(), 16u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST(ParseCache, OversizedTextBypassesStorage) {
+  ps::ParseCache cache(/*max_entries=*/512, /*max_text_bytes=*/32);
+  const std::string big = "Write-Host '" + std::string(100, 'a') + "'";
+  const auto r = cache.get(big);
+  EXPECT_TRUE(r.valid);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+}
+
+TEST(ParseCache, ExtentsIndexIntoCallerBuffer) {
+  ps::ParseCache cache;
+  const std::string mine = "Write-Host 'payload'";
+  const auto r = cache.get(mine);
+  ASSERT_NE(r.ast, nullptr);
+  // Extents are offsets: equally valid against the caller's equal buffer.
+  EXPECT_EQ(r.ast->text_in(mine), mine);
+  EXPECT_EQ(*r.source, mine);
+}
+
+TEST(ParseCache, ConcurrentHammeringWithEvictions) {
+  // A deliberately tiny cache forces constant eviction while 8 threads
+  // look up an overlapping working set — races in shard locking or LRU
+  // maintenance show up as crashes, wrong verdicts, or TSan reports.
+  ps::ParseCache cache(/*max_entries=*/16);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::vector<std::string> valid_pool, invalid_pool;
+  for (int i = 0; i < 24; ++i) {
+    valid_pool.push_back("Write-Host " + std::to_string(i));
+    invalid_pool.push_back("while (" + std::to_string(i));
+  }
+
+  std::vector<std::thread> pool;
+  std::atomic<int> wrong{0};
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t]() {
+      for (int i = 0; i < kIters; ++i) {
+        const auto& good = valid_pool[(t + i) % valid_pool.size()];
+        const auto r = cache.get(good);
+        if (!r.valid || r.ast == nullptr || *r.source != good) ++wrong;
+        const auto& bad = invalid_pool[(t * 7 + i) % invalid_pool.size()];
+        if (cache.get(bad).valid) ++wrong;
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_LE(cache.size(), 16u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<std::uint64_t>(kThreads) * kIters * 2);
+}
+
+TEST(ParseCache, SharedAcrossBatchThreads) {
+  // One shared cache under deobfuscate_batch with 8 threads over heavily
+  // duplicated inputs: results must match the serial uncached run exactly.
+  std::vector<std::string> scripts;
+  for (int i = 0; i < 32; ++i) {
+    scripts.push_back("iex 'Write-Host dup'");
+    scripts.push_back("$x = 'h' + 'i'; Write-Host $x");
+    scripts.push_back("broken ( input " + std::to_string(i % 4));
+  }
+
+  DeobfuscationOptions uncached;
+  uncached.parse_cache = false;
+  const auto expected =
+      deobfuscate_batch(InvokeDeobfuscator(uncached), scripts, 1);
+
+  DeobfuscationOptions shared;
+  shared.shared_parse_cache = std::make_shared<ps::ParseCache>(64);
+  const InvokeDeobfuscator deobf(shared);
+  BatchReport report;
+  const auto got = deobfuscate_batch(deobf, scripts, report, 8);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "sample " << i;
+    EXPECT_TRUE(report.items[i].ok);
+  }
+  // Duplicated inputs must actually share parses.
+  EXPECT_GT(shared.shared_parse_cache->stats().hits, 0u);
+}
+
+}  // namespace
+}  // namespace ideobf
