@@ -6,6 +6,7 @@
 // runs a small corpus and fails unless the cache cuts parses >= 2x (the
 // ctest registration that keeps this binary from bit-rotting).
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +36,10 @@ struct Row {
   double parses_per_script = 0.0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::int64_t failed = 0;     ///< batch items with ok == false
+  std::int64_t failures = 0;   ///< batch items with a non-None FailureKind
+  std::int64_t degraded = 0;   ///< batch items served from a rung > 0
+  std::int64_t max_rung = 0;   ///< worst degradation rung seen in the batch
 };
 
 double now_seconds() {
@@ -73,17 +78,26 @@ Row run_serial(const InvokeDeobfuscator& deobf,
 
 Row run_batch(const InvokeDeobfuscator& deobf,
               const std::vector<std::string>& scripts, unsigned threads,
-              bool warm) {
+              bool warm, const GovernorOptions& governor = {}) {
   Row row;
   row.config = "batch";
   row.threads = threads;
   row.warm = warm;
   const auto parses0 = ps::parse_call_count();
+  BatchOptions options;
+  options.threads = threads;
+  options.governor = governor;
   BatchReport report;
   const double t0 = now_seconds();
-  const auto out = deobfuscate_batch(deobf, scripts, report, threads);
+  const auto out = deobfuscate_batch(deobf, scripts, report, options);
   (void)out;
   row.seconds = now_seconds() - t0;
+  row.failed = report.failed();
+  row.failures = report.failures();
+  row.degraded = report.degraded();
+  for (const BatchItem& item : report.items) {
+    row.max_rung = std::max<std::int64_t>(row.max_rung, item.degradation_rung);
+  }
   row.parses = ps::parse_call_count() - parses0;
   row.ms_per_script = row.seconds * 1000.0 / scripts.size();
   row.scripts_per_second = scripts.size() / row.seconds;
@@ -124,6 +138,10 @@ std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
     w.field("parses_per_script", r.parses_per_script);
     w.field("cache_hits", static_cast<std::int64_t>(r.cache_hits));
     w.field("cache_misses", static_cast<std::int64_t>(r.cache_misses));
+    w.field("failed", r.failed);
+    w.field("failures", r.failures);
+    w.field("degraded", r.degraded);
+    w.field("max_degradation_rung", r.max_rung);
     w.end_object();
   }
   w.end_array();
@@ -161,6 +179,26 @@ int run(std::size_t corpus_size, bool write_json) {
     rows.back().config = "batch_cold";
     rows.push_back(run_batch(batch_deobf, scripts, threads, true));
     rows.back().config = "batch_warm";
+  }
+
+  // Governed batch: the execution governor armed with a generous per-item
+  // deadline over the same (benign) corpus. Zero failures / zero degraded
+  // items expected — this row tracks the governor's overhead and proves the
+  // ladder stays on rung 0 for well-behaved input.
+  {
+    DeobfuscationOptions governed_opts;
+    governed_opts.shared_parse_cache = std::make_shared<ps::ParseCache>();
+    const InvokeDeobfuscator governed_deobf(governed_opts);
+    GovernorOptions governor;
+    governor.deadline_seconds = 10.0;
+    rows.push_back(run_batch(governed_deobf, scripts, 4, false, governor));
+    rows.back().config = "batch_governed";
+    std::printf(
+        "governed batch: failed=%lld failures=%lld degraded=%lld max_rung=%lld\n",
+        static_cast<long long>(rows.back().failed),
+        static_cast<long long>(rows.back().failures),
+        static_cast<long long>(rows.back().degraded),
+        static_cast<long long>(rows.back().max_rung));
   }
 
   const double reduction =

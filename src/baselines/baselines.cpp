@@ -1,7 +1,10 @@
 #include "baselines/baseline.h"
 
 #include <algorithm>
-#include <regex>
+#include <cctype>
+#include <cstddef>
+#include <string_view>
+#include <vector>
 
 #include "core/deobfuscator.h"
 #include "pslang/alias_table.h"
@@ -14,6 +17,69 @@
 namespace ideobf {
 
 namespace {
+
+// The regex tools this file models match their patterns with hand-rolled
+// scanners here instead of std::regex: libstdc++'s backtracking executor
+// recurses once per input character on patterns like `(?:[^']|'')*`, which
+// overflows the stack on large (hostile) scripts — exactly the inputs the
+// robustness suite feeds through every baseline.
+
+std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+std::size_t rskip_ws(std::string_view s, std::size_t end) {
+  while (end > 0 && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return end;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Scans a single-quoted literal (with '' escapes) starting at `i`, which
+/// must point at the opening quote. Returns the index one past the closing
+/// quote, or npos when unterminated.
+std::size_t scan_single_quoted(std::string_view s, std::size_t i) {
+  if (i >= s.size() || s[i] != '\'') return std::string_view::npos;
+  ++i;
+  while (i < s.size()) {
+    if (s[i] == '\'') {
+      if (i + 1 < s.size() && s[i + 1] == '\'') {
+        i += 2;  // escaped quote
+        continue;
+      }
+      return i + 1;
+    }
+    ++i;
+  }
+  return std::string_view::npos;
+}
+
+/// Matches `iex` or `invoke-expression` (case-insensitive) at `i`; returns
+/// the index one past the keyword, or npos.
+std::size_t match_iex_keyword(std::string_view s, std::size_t i) {
+  for (std::string_view kw : {std::string_view("invoke-expression"),
+                              std::string_view("iex")}) {
+    if (i + kw.size() <= s.size() && iequals(s.substr(i, kw.size()), kw)) {
+      return i + kw.size();
+    }
+  }
+  return std::string_view::npos;
+}
 
 std::string unescape_single(std::string s) {
   std::string out;
@@ -36,33 +102,72 @@ double execution_cost(std::string_view script) {
   return sandbox.run(script).simulated_seconds;
 }
 
-/// A plain-literal Invoke-Expression layer: `iex '<...>'` or `'<...>' | iex`.
-/// Returns true and stores the payload when the whole script is one layer.
+/// A plain-literal Invoke-Expression layer: `iex '<...>'` or `'<...>' | iex`
+/// (optionally parenthesized argument). Returns true and stores the payload
+/// when the whole script is one layer.
 bool match_literal_layer(const std::string& script, std::string& payload) {
-  static const std::regex kIexArg(
-      R"(^\s*(?:iex|invoke-expression)\s+\(?\s*'((?:[^']|'')*)'\s*\)?\s*$)",
-      std::regex::icase);
-  static const std::regex kPipeIex(
-      R"(^\s*'((?:[^']|'')*)'\s*\|\s*(?:iex|invoke-expression)\s*$)",
-      std::regex::icase);
-  std::smatch m;
-  if (std::regex_match(script, m, kIexArg) ||
-      std::regex_match(script, m, kPipeIex)) {
-    payload = unescape_single(m[1].str());
-    return true;
+  const std::string_view s = script;
+
+  // `iex  (  '<...>'  )` — both parens optional.
+  std::size_t i = skip_ws(s, 0);
+  std::size_t kw = match_iex_keyword(s, i);
+  if (kw != std::string_view::npos && kw < s.size() &&
+      std::isspace(static_cast<unsigned char>(s[kw])) != 0) {
+    i = skip_ws(s, kw);
+    if (i < s.size() && s[i] == '(') i = skip_ws(s, i + 1);
+    const std::size_t lit_end = scan_single_quoted(s, i);
+    if (lit_end != std::string_view::npos) {
+      std::size_t j = skip_ws(s, lit_end);
+      if (j < s.size() && s[j] == ')') j = skip_ws(s, j + 1);
+      if (j == s.size()) {
+        payload = unescape_single(
+            std::string(s.substr(i + 1, lit_end - i - 2)));
+        return true;
+      }
+    }
+  }
+
+  // `'<...>' | iex`
+  i = skip_ws(s, 0);
+  const std::size_t lit_end = scan_single_quoted(s, i);
+  if (lit_end != std::string_view::npos) {
+    std::size_t j = skip_ws(s, lit_end);
+    if (j < s.size() && s[j] == '|') {
+      j = skip_ws(s, j + 1);
+      kw = match_iex_keyword(s, j);
+      if (kw != std::string_view::npos && skip_ws(s, kw) == s.size()) {
+        payload = unescape_single(
+            std::string(s.substr(i + 1, lit_end - i - 2)));
+        return true;
+      }
+    }
   }
   return false;
 }
 
-/// Iteratively folds `'a' + 'b'` into `'ab'` with a regex — the concat rule
-/// PowerDrive and PowerDecode share.
+/// Iteratively folds the first `'a' + 'b'` into `'ab'` — the textual concat
+/// rule PowerDrive and PowerDecode share.
 std::string fold_concat_regex(std::string script) {
-  static const std::regex kConcat(R"('((?:[^']|'')*)'\s*\+\s*'((?:[^']|'')*)')");
   for (int i = 0; i < 200; ++i) {
-    std::string next = std::regex_replace(script, kConcat, "'$1$2'",
-                                          std::regex_constants::format_first_only);
-    if (next == script) break;
-    script = std::move(next);
+    bool folded = false;
+    for (std::size_t pos = script.find('\''); pos != std::string::npos;
+         pos = script.find('\'', pos + 1)) {
+      const std::size_t a_end = scan_single_quoted(script, pos);
+      if (a_end == std::string::npos) continue;
+      std::size_t j = skip_ws(script, a_end);
+      if (j >= script.size() || script[j] != '+') continue;
+      j = skip_ws(script, j + 1);
+      const std::size_t b_end = scan_single_quoted(script, j);
+      if (b_end == std::string::npos) continue;
+      // Splice the raw (still-escaped) bodies together.
+      const std::string merged = "'" +
+          script.substr(pos + 1, a_end - pos - 2) +
+          script.substr(j + 1, b_end - j - 2) + "'";
+      script = script.substr(0, pos) + merged + script.substr(b_end);
+      folded = true;
+      break;
+    }
+    if (!folded) break;
   }
   return script;
 }
@@ -168,16 +273,57 @@ class PowerDecode final : public DeobfuscationTool {
 
  private:
   /// `'X'.Replace('a','b')` on literals (the predefined replace rule).
+  /// Finds the leftmost occurrence with a scanner; no regex (see above).
+  struct ReplaceCall {
+    std::size_t begin = 0;  // index of the opening quote of 'X'
+    std::size_t end = 0;    // index one past the closing ')'
+    std::string text;       // unescaped bodies
+    std::string from;
+    std::string to;
+  };
+
+  static bool find_replace_call(const std::string& s, ReplaceCall& call) {
+    for (std::size_t pos = s.find('\''); pos != std::string::npos;
+         pos = s.find('\'', pos + 1)) {
+      const std::size_t text_end = scan_single_quoted(s, pos);
+      if (text_end == std::string::npos) continue;
+      std::size_t j = skip_ws(s, text_end);
+      if (j >= s.size() || s[j] != '.') continue;
+      j = skip_ws(s, j + 1);
+      constexpr std::string_view kWord = "replace";
+      if (j + kWord.size() > s.size() ||
+          !iequals(std::string_view(s).substr(j, kWord.size()), kWord)) {
+        continue;
+      }
+      j = skip_ws(s, j + kWord.size());
+      if (j >= s.size() || s[j] != '(') continue;
+      j = skip_ws(s, j + 1);
+      const std::size_t from_end = scan_single_quoted(s, j);
+      if (from_end == std::string::npos) continue;
+      std::size_t k = skip_ws(s, from_end);
+      if (k >= s.size() || s[k] != ',') continue;
+      k = skip_ws(s, k + 1);
+      const std::size_t to_end = scan_single_quoted(s, k);
+      if (to_end == std::string::npos) continue;
+      std::size_t close = skip_ws(s, to_end);
+      if (close >= s.size() || s[close] != ')') continue;
+      call.begin = pos;
+      call.end = close + 1;
+      call.text = unescape_single(s.substr(pos + 1, text_end - pos - 2));
+      call.from = unescape_single(s.substr(j + 1, from_end - j - 2));
+      call.to = unescape_single(s.substr(k + 1, to_end - k - 2));
+      return true;
+    }
+    return false;
+  }
+
   static std::string fold_replace(std::string script) {
-    static const std::regex kReplace(
-        R"('((?:[^']|'')*)'\s*\.\s*replace\s*\(\s*'((?:[^']|'')*)'\s*,\s*'((?:[^']|'')*)'\s*\))",
-        std::regex::icase);
     for (int i = 0; i < 50; ++i) {
-      std::smatch m;
-      if (!std::regex_search(script, m, kReplace)) break;
-      std::string text = unescape_single(m[1].str());
-      const std::string from = unescape_single(m[2].str());
-      const std::string to = unescape_single(m[3].str());
+      ReplaceCall call;
+      if (!find_replace_call(script, call)) break;
+      std::string text = std::move(call.text);
+      const std::string from = std::move(call.from);
+      const std::string to = std::move(call.to);
       if (!from.empty()) {
         std::size_t pos = 0;
         while ((pos = text.find(from, pos)) != std::string::npos) {
@@ -191,7 +337,7 @@ class PowerDecode final : public DeobfuscationTool {
         else quoted.push_back(c);
       }
       quoted += "'";
-      script = std::string(m.prefix()) + quoted + std::string(m.suffix());
+      script = script.substr(0, call.begin) + quoted + script.substr(call.end);
     }
     return script;
   }
@@ -209,15 +355,45 @@ class PowerDecode final : public DeobfuscationTool {
       return true;
     }
 
-    static const std::regex kIexExpr(
-        R"(^\s*(?:iex|invoke-expression)\s+(\([\s\S]*\))\s*$)", std::regex::icase);
-    static const std::regex kExprPipe(
-        R"(^\s*(\([\s\S]*\))\s*\|\s*(?:iex|invoke-expression)\s*$)",
-        std::regex::icase);
-    std::smatch m;
-    if (std::regex_match(script, m, kIexExpr) ||
-        std::regex_match(script, m, kExprPipe)) {
-      const std::string expr = m[1].str();
+    // `iex (<expr>)` or `(<expr>) | iex` — the expression is everything
+    // between the outermost parens.
+    std::string expr;
+    {
+      const std::string_view s = script;
+      const std::size_t begin = skip_ws(s, 0);
+      const std::size_t end = rskip_ws(s, s.size());
+      const std::size_t kw = match_iex_keyword(s, begin);
+      if (kw != std::string_view::npos && kw < end &&
+          std::isspace(static_cast<unsigned char>(s[kw])) != 0) {
+        const std::size_t open = skip_ws(s, kw);
+        if (open < end && s[open] == '(' && s[end - 1] == ')') {
+          expr = std::string(s.substr(open, end - open));
+        }
+      }
+      if (expr.empty() && begin < end && s[begin] == '(') {
+        // Strip a trailing `| iex` (case-insensitive) off the end.
+        std::size_t tail = end;
+        for (std::string_view kw_name :
+             {std::string_view("invoke-expression"), std::string_view("iex")}) {
+          if (tail >= begin + kw_name.size() &&
+              iequals(s.substr(tail - kw_name.size(), kw_name.size()),
+                      kw_name)) {
+            tail -= kw_name.size();
+            break;
+          }
+        }
+        if (tail != end) {
+          tail = rskip_ws(s, tail);
+          if (tail > begin && s[tail - 1] == '|') {
+            tail = rskip_ws(s, tail - 1);
+            if (tail > begin && s[tail - 1] == ')') {
+              expr = std::string(s.substr(begin, tail - begin));
+            }
+          }
+        }
+      }
+    }
+    if (!expr.empty()) {
       // "Unary syntax tree model": evaluate the expression when it does not
       // depend on script context. Strict mode makes variable references
       // throw, which is exactly the boundary of their model.
@@ -238,11 +414,48 @@ class PowerDecode final : public DeobfuscationTool {
       return false;
     }
 
-    static const std::regex kEnc(
-        R"(^\s*powershell(?:\.exe)?\s+(?:-\w+\s+)*-e\w*\s+([A-Za-z0-9+/=]+)\s*$)",
-        std::regex::icase);
-    if (std::regex_match(script, m, kEnc)) {
-      const auto bytes = ps::base64_decode(m[1].str());
+    // `powershell [-flag ...] -e<...> <base64>` — whitespace-token matching.
+    std::string b64;
+    {
+      std::vector<std::string_view> tokens;
+      const std::string_view s = script;
+      std::size_t i = skip_ws(s, 0);
+      while (i < s.size()) {
+        std::size_t j = i;
+        while (j < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[j])) == 0) {
+          ++j;
+        }
+        tokens.push_back(s.substr(i, j - i));
+        i = skip_ws(s, j);
+      }
+      const auto is_word = [](std::string_view t) {
+        return !t.empty() && std::all_of(t.begin(), t.end(), [](char c) {
+          return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+        });
+      };
+      bool shape_ok = tokens.size() >= 3 &&
+                      (iequals(tokens[0], "powershell") ||
+                       iequals(tokens[0], "powershell.exe"));
+      for (std::size_t t = 1; shape_ok && t + 1 < tokens.size(); ++t) {
+        shape_ok = tokens[t].size() >= 2 && tokens[t][0] == '-' &&
+                   is_word(tokens[t].substr(1));
+      }
+      const std::string_view enc_flag =
+          shape_ok ? tokens[tokens.size() - 2] : std::string_view();
+      if (shape_ok && enc_flag.size() >= 2 &&
+          (enc_flag[1] == 'e' || enc_flag[1] == 'E')) {
+        const std::string_view last = tokens.back();
+        const bool b64_ok =
+            !last.empty() && std::all_of(last.begin(), last.end(), [](char c) {
+              return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                     c == '+' || c == '/' || c == '=';
+            });
+        if (b64_ok) b64 = std::string(last);
+      }
+    }
+    if (!b64.empty()) {
+      const auto bytes = ps::base64_decode(b64);
       if (bytes) {
         out = ps::encoding_get_string(ps::TextEncoding::Unicode, *bytes);
         cost += execution_cost(out);

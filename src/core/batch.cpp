@@ -6,6 +6,21 @@
 
 namespace ideobf {
 
+namespace {
+
+using clock_t_ = std::chrono::steady_clock;
+
+/// Watchdog view of one in-flight item. `start` is written before the
+/// release-store to `running`, so the watchdog's acquire-load sees a
+/// coherent start time; the token itself is created up front (before any
+/// worker starts) and never reassigned, so it needs no synchronization.
+struct ItemState {
+  std::atomic<bool> running{false};
+  clock_t_::time_point start{};
+};
+
+}  // namespace
+
 int BatchReport::failed() const {
   int n = 0;
   for (const BatchItem& it : items) {
@@ -22,51 +37,157 @@ int BatchReport::changed() const {
   return n;
 }
 
+int BatchReport::failures() const {
+  int n = 0;
+  for (const BatchItem& it : items) {
+    if (it.failure != ps::FailureKind::None) ++n;
+  }
+  return n;
+}
+
+int BatchReport::degraded() const {
+  int n = 0;
+  for (const BatchItem& it : items) {
+    if (it.degradation_rung > 0) ++n;
+  }
+  return n;
+}
+
 std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
                                            const std::vector<std::string>& scripts,
                                            BatchReport& report,
-                                           unsigned threads) {
-  using clock = std::chrono::steady_clock;
+                                           const BatchOptions& options) {
+  unsigned threads = options.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   threads = std::min<unsigned>(threads, scripts.empty() ? 1u : scripts.size());
 
   std::vector<std::string> results(scripts.size());
   report.items.assign(scripts.size(), BatchItem{});
   std::atomic<std::size_t> next{0};
-  const auto batch_start = clock::now();
+  const auto batch_start = clock_t_::now();
+
+  const bool governed = options.governor.active();
+  // Per-item cancellation tokens, created before any worker starts so the
+  // watchdog can read them without synchronization.
+  std::vector<ps::CancellationToken> tokens;
+  std::vector<ItemState> states(governed ? scripts.size() : 0);
+  if (governed) {
+    tokens.reserve(scripts.size());
+    for (std::size_t i = 0; i < scripts.size(); ++i) {
+      tokens.push_back(ps::CancellationToken::make());
+    }
+  }
 
   auto worker = [&]() {
     while (true) {
       const std::size_t i = next.fetch_add(1);
       if (i >= scripts.size()) break;
       BatchItem& item = report.items[i];
-      const auto start = clock::now();
+      const auto start = clock_t_::now();
+      // External cancellation drains the queue fast: remaining items are
+      // served as classified passthrough, not silently dropped.
+      if (governed && options.governor.cancel.cancelled()) {
+        results[i] = scripts[i];
+        item.failure = ps::FailureKind::Cancelled;
+        item.degradation_rung = 3;
+        item.error = "batch cancelled";
+        continue;
+      }
+      if (governed) {
+        states[i].start = start;
+        states[i].running.store(true, std::memory_order_release);
+      }
+      // Sealed body: nothing an item does — including non-std throws from
+      // injected faults — may escape and take down the worker or process.
       try {
-        results[i] = deobf.deobfuscate(scripts[i]);
-        item.ok = true;
+        DeobfuscationReport rep;
+        if (governed) {
+          GovernorOptions gov = options.governor;
+          gov.cancel = tokens[i];
+          results[i] = deobf.deobfuscate(scripts[i], rep, gov);
+        } else {
+          results[i] = deobf.deobfuscate(scripts[i], rep);
+        }
+        item.failure = rep.failure;
+        item.degradation_rung = rep.degradation_rung;
+        // Passthrough (rung 3) means no pipeline output was served; count
+        // it with the hard failures. Lower rungs served real output.
+        item.ok = rep.degradation_rung < 3;
+        if (!item.ok) item.error = rep.failure_detail;
       } catch (const std::exception& e) {
         results[i] = scripts[i];
         item.error = e.what();
+        item.failure = ps::FailureKind::Internal;
+        item.degradation_rung = governed ? 3 : 0;
       } catch (...) {
         results[i] = scripts[i];
-        item.error = "unknown exception";
+        item.error = "non-standard exception";
+        item.failure = ps::FailureKind::Internal;
+        item.degradation_rung = governed ? 3 : 0;
       }
-      item.seconds = std::chrono::duration<double>(clock::now() - start).count();
+      if (governed) states[i].running.store(false, std::memory_order_release);
+      item.seconds =
+          std::chrono::duration<double>(clock_t_::now() - start).count();
       item.changed = results[i] != scripts[i];
     }
   };
 
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
+  {
+    // jthread joins on destruction, so the pool (and the watchdog below)
+    // cannot be leaked running even if this scope unwinds early.
+    std::vector<std::jthread> pool;
+    std::jthread watchdog;
+    if (governed) {
+      // The deadline x watchdog_factor backstop for items wedged between
+      // budget checkpoints, plus propagation of the batch-wide token.
+      watchdog = std::jthread([&](std::stop_token stop) {
+        const double deadline = options.governor.deadline_seconds;
+        const double limit = deadline * std::max(1.0, options.watchdog_factor);
+        const auto period = std::chrono::milliseconds(
+            deadline > 0.0
+                ? std::max<long>(1, static_cast<long>(deadline * 1000 / 8))
+                : 10);
+        while (!stop.stop_requested()) {
+          std::this_thread::sleep_for(std::min<std::chrono::milliseconds>(
+              period, std::chrono::milliseconds(50)));
+          const bool all_cancelled = options.governor.cancel.cancelled();
+          const auto now = clock_t_::now();
+          for (std::size_t i = 0; i < states.size(); ++i) {
+            if (!states[i].running.load(std::memory_order_acquire)) continue;
+            if (all_cancelled) {
+              tokens[i].request_cancel();
+              continue;
+            }
+            if (deadline <= 0.0) continue;
+            const double elapsed =
+                std::chrono::duration<double>(now - states[i].start).count();
+            if (elapsed > limit) tokens[i].request_cancel();
+          }
+        }
+      });
+    }
+    if (threads == 1) {
+      worker();
+    } else {
+      pool.reserve(threads);
+      for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+      for (auto& th : pool) th.join();
+    }
+    if (watchdog.joinable()) watchdog.request_stop();
   }
+
   report.wall_seconds =
-      std::chrono::duration<double>(clock::now() - batch_start).count();
+      std::chrono::duration<double>(clock_t_::now() - batch_start).count();
   return results;
+}
+
+std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
+                                           const std::vector<std::string>& scripts,
+                                           BatchReport& report,
+                                           unsigned threads) {
+  BatchOptions options;
+  options.threads = threads;
+  return deobfuscate_batch(deobf, scripts, report, options);
 }
 
 std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,

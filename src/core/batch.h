@@ -5,6 +5,14 @@
 /// from any number of threads (its parse cache is thread-safe and shared),
 /// so a corpus (triage queues routinely see thousands of samples) shards
 /// cleanly across worker threads.
+///
+/// Robustness model: each item runs under its own governor envelope (see
+/// GovernorOptions) with a private cancellation token, and a watchdog thread
+/// cancels any item still running past 2x its deadline — so one hostile
+/// sample can stall neither its worker nor the batch. Worker bodies are
+/// exception-sealed (including non-std throws) and the pool joins via
+/// std::jthread, so an unexpected throw degrades one item instead of
+/// terminating the process.
 
 #include <string>
 #include <vector>
@@ -19,6 +27,24 @@ struct BatchItem {
   bool changed = false;  ///< output differs from the input script
   double seconds = 0.0;  ///< wall time spent on this item
   std::string error;     ///< what() of the caught exception when !ok
+  /// Failure classification (None when the item succeeded cleanly at full
+  /// strength). An item can be ok with a non-None failure: the governor
+  /// degraded it to a lower rung that succeeded.
+  ps::FailureKind failure = ps::FailureKind::None;
+  /// Degradation-ladder rung that served the output (0 = full pipeline,
+  /// 3 = passthrough).
+  int degradation_rung = 0;
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 picks the hardware concurrency.
+  unsigned threads = 0;
+  /// Per-item governor envelope. Inactive (the default) runs every item
+  /// ungoverned — the pre-governor behavior, byte-identical output. With a
+  /// deadline set, a watchdog additionally hard-cancels items at
+  /// watchdog_factor x deadline in case an item wedges between checkpoints.
+  GovernorOptions governor{};
+  double watchdog_factor = 2.0;
 };
 
 struct BatchReport {
@@ -27,13 +53,23 @@ struct BatchReport {
 
   [[nodiscard]] int failed() const;
   [[nodiscard]] int changed() const;
+  /// Items with a non-None failure classification (superset of failed():
+  /// includes degraded-but-served items).
+  [[nodiscard]] int failures() const;
+  /// Items served from a rung > 0.
+  [[nodiscard]] int degraded() const;
 };
 
 /// Deobfuscates every script in `scripts`, preserving order, and records a
-/// per-item ok/failed verdict plus wall times into `report`. `threads` = 0
-/// picks the hardware concurrency. Exceptions inside a worker surface as
-/// the input returned unchanged (deobfuscation is total by contract) with
-/// `ok == false` for that item.
+/// per-item ok/failed verdict plus wall times into `report`. Exceptions
+/// inside a worker surface as the input returned unchanged (deobfuscation
+/// is total by contract) with `ok == false` for that item.
+std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
+                                           const std::vector<std::string>& scripts,
+                                           BatchReport& report,
+                                           const BatchOptions& options);
+
+/// Back-compat overloads (thread count only, no governor).
 std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
                                            const std::vector<std::string>& scripts,
                                            BatchReport& report,

@@ -1,5 +1,9 @@
 #include "core/deobfuscator.h"
 
+#include <algorithm>
+
+#include "core/failure.h"
+#include "core/fault.h"
 #include "core/reformat.h"
 #include "psast/parse_cache.h"
 #include "psast/parser.h"
@@ -18,6 +22,8 @@ void merge(RecoveryStats& into, const RecoveryStats& from) {
   into.pieces_recovered += from.pieces_recovered;
   into.variables_traced += from.variables_traced;
   into.variables_substituted += from.variables_substituted;
+  into.pieces_failed += from.pieces_failed;
+  into.worst_failure = ps::worse_failure(into.worst_failure, from.worst_failure);
 }
 
 bool syntax_ok(std::string_view text, ps::ParseCache* cache) {
@@ -53,16 +59,120 @@ std::string InvokeDeobfuscator::deobfuscate(std::string_view script) const {
 
 std::string InvokeDeobfuscator::deobfuscate(std::string_view script,
                                             DeobfuscationReport& report) const {
+  return deobfuscate(script, report, options_.governor);
+}
+
+DeobfuscationOptions InvokeDeobfuscator::rung_options(int rung) const {
+  DeobfuscationOptions opts = options_;
+  if (rung >= 1) {
+    // Tightened recovery: same phases, but a hostile piece can burn far
+    // less before its per-piece limits fire.
+    opts.max_layers = std::min(opts.max_layers, 2);
+    opts.max_steps_per_piece = std::min<std::size_t>(opts.max_steps_per_piece, 20000);
+    opts.max_piece_size = std::min<std::size_t>(opts.max_piece_size, 64u << 10);
+  }
+  if (rung >= 2) {
+    // Static passes only: nothing attacker-controlled is executed.
+    opts.ast_recovery = false;
+    opts.multilayer = false;
+  }
+  return opts;
+}
+
+std::string InvokeDeobfuscator::deobfuscate(
+    std::string_view script, DeobfuscationReport& report,
+    const GovernorOptions& governor) const {
+  if (!governor.active()) {
+    // Ungoverned: the exact pre-governor code path, no budget checkpoints.
+    report = DeobfuscationReport{};
+    std::string out = run_pipeline(script, report, options_, nullptr);
+    if (report.failure == ps::FailureKind::None) {
+      report.failure = report.recovery.worst_failure;
+    }
+    return out;
+  }
+
+  // Deadline ladder: 1x, 0.5x, 0.25x of the configured deadline — worst
+  // case ~1.75x before passthrough, keeping the "no item exceeds ~2x its
+  // deadline" contract.
+  static constexpr double kDeadlineFraction[] = {1.0, 0.5, 0.25};
+  ps::FailureKind first_failure = ps::FailureKind::None;
+  std::string first_detail;
+  int attempts = 0;
+
+  for (int rung = 0; rung <= 2; ++rung) {
+    if (rung > 0 && !governor.degrade) break;
+    if (governor.cancel.cancelled()) {  // don't retry cancelled work
+      if (first_failure == ps::FailureKind::None) {
+        first_failure = ps::FailureKind::Cancelled;
+        first_detail = "cancelled";
+      }
+      break;
+    }
+    ps::Budget budget(ps::Budget::Limits{
+        governor.deadline_seconds * kDeadlineFraction[rung],
+        governor.memory_budget_bytes, governor.cancel});
+    DeobfuscationReport attempt;
+    ++attempts;
+    try {
+      std::string out =
+          run_pipeline(script, attempt, rung_options(rung), &budget);
+      report = std::move(attempt);
+      report.degradation_rung = rung;
+      report.attempts = attempts;
+      if (first_failure != ps::FailureKind::None) {
+        report.failure = first_failure;
+        report.failure_detail = first_detail;
+      } else if (report.failure == ps::FailureKind::None) {
+        report.failure = report.recovery.worst_failure;
+      }
+      return out;
+    } catch (...) {
+      auto [kind, detail] = classify_current_exception();
+      if (first_failure == ps::FailureKind::None) {
+        first_failure = kind;
+        first_detail = std::move(detail);
+      }
+      if (kind == ps::FailureKind::Cancelled) break;
+    }
+  }
+
+  // Rung 3: passthrough. Deobfuscation is total by contract — the hostile
+  // input is served back unchanged, classified.
+  report = DeobfuscationReport{};
+  report.degradation_rung = 3;
+  report.attempts = attempts;
+  report.failure = first_failure;
+  report.failure_detail = std::move(first_detail);
+  return std::string(script);
+}
+
+std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
+                                             DeobfuscationReport& report,
+                                             const DeobfuscationOptions& opts,
+                                             ps::Budget* budget) const {
   TraceSink sink;
-  TraceSink* trace = options_.collect_trace ? &sink : nullptr;
+  TraceSink* trace = opts.collect_trace ? &sink : nullptr;
   ps::ParseCache* cache = cache_.get();
+  if (opts.fault_injector != nullptr) {
+    opts.fault_injector->inject(FaultSite::Parse);
+  }
+  // Classify invalid input up front (the phases would all no-op on it
+  // anyway); the output contract — returned unchanged — is preserved by the
+  // per-phase syntax checks exactly as before.
+  if (!syntax_ok(script, cache)) {
+    report.failure = ps::FailureKind::ParseError;
+    report.failure_detail = "input does not parse";
+  }
   // One piece-execution memo per run: layers and fixed-point passes share
   // it; runs do not (traced-variable context is per-script anyway).
   RecoveryMemo memo;
-  RecoveryMemo* memo_ptr = options_.recovery_memo ? &memo : nullptr;
-  std::string out = deobfuscate_layers(script, report, 0, trace, memo_ptr);
+  RecoveryMemo* memo_ptr = opts.recovery_memo ? &memo : nullptr;
+  std::string out = deobfuscate_layers(script, report, 0, trace, memo_ptr,
+                                       opts, budget);
 
-  if (options_.rename) {
+  if (opts.rename) {
+    if (budget != nullptr) budget->force_checkpoint();
     out = checked(out, cache, [&](std::string_view s) {
       RenameStats rs;
       std::string r = rename_pass(s, &rs, trace);
@@ -70,7 +180,8 @@ std::string InvokeDeobfuscator::deobfuscate(std::string_view script,
       return r;
     });
   }
-  if (options_.reformat) {
+  if (opts.reformat) {
+    if (budget != nullptr) budget->force_checkpoint();
     out = checked(out, cache,
                   [](std::string_view s) { return reformat_pass(s); });
   }
@@ -78,19 +189,20 @@ std::string InvokeDeobfuscator::deobfuscate(std::string_view script,
   return out;
 }
 
-std::string InvokeDeobfuscator::deobfuscate_layers(std::string_view script,
-                                                   DeobfuscationReport& report,
-                                                   int depth, TraceSink* trace,
-                                                   RecoveryMemo* memo) const {
-  if (depth > options_.max_layers) return std::string(script);
+std::string InvokeDeobfuscator::deobfuscate_layers(
+    std::string_view script, DeobfuscationReport& report, int depth,
+    TraceSink* trace, RecoveryMemo* memo, const DeobfuscationOptions& opts,
+    ps::Budget* budget) const {
+  if (depth > opts.max_layers) return std::string(script);
   ps::ParseCache* cache = cache_.get();
 
   std::string cur(script);
-  for (int pass = 0; pass < options_.max_layers; ++pass) {
+  for (int pass = 0; pass < opts.max_layers; ++pass) {
     report.passes++;
     std::string next = cur;
 
-    if (options_.token_pass) {
+    if (opts.token_pass) {
+      if (budget != nullptr) budget->force_checkpoint();
       next = checked(next, cache, [&](std::string_view s) {
         TokenPassStats ts;
         std::string r = token_pass(s, &ts, trace);
@@ -99,13 +211,17 @@ std::string InvokeDeobfuscator::deobfuscate_layers(std::string_view script,
       });
     }
 
-    if (options_.ast_recovery) {
+    if (opts.ast_recovery) {
+      if (budget != nullptr) budget->force_checkpoint();
       next = checked(next, cache, [&](std::string_view s) {
         RecoveryOptions ro;
-        ro.max_steps_per_piece = options_.max_steps_per_piece;
-        ro.extra_blocklist = options_.extra_blocklist;
-        ro.trace_functions = options_.trace_functions;
+        ro.max_steps_per_piece = opts.max_steps_per_piece;
+        ro.max_piece_size = opts.max_piece_size;
+        ro.extra_blocklist = opts.extra_blocklist;
+        ro.trace_functions = opts.trace_functions;
         ro.memo = memo;
+        ro.budget = budget;
+        ro.fault = opts.fault_injector;
         RecoveryStats rs;
         std::string r;
         if (cache != nullptr) {
@@ -121,16 +237,18 @@ std::string InvokeDeobfuscator::deobfuscate_layers(std::string_view script,
       });
     }
 
-    if (options_.multilayer) {
+    if (opts.multilayer) {
+      if (budget != nullptr) budget->force_checkpoint();
       next = checked(next, cache, [&](std::string_view s) {
         const auto inner = [&](std::string_view payload) {
-          return deobfuscate_layers(payload, report, depth + 1, trace, memo);
+          return deobfuscate_layers(payload, report, depth + 1, trace, memo,
+                                    opts, budget);
         };
         if (cache != nullptr) {
           const ps::ParseCache::Result parsed = cache->get(s);
           if (parsed.ast == nullptr) return std::string(s);
           return unwrap_layers(s, *parsed.ast, inner, &report.multilayer,
-                               trace, cache);
+                               trace, cache, budget, opts.fault_injector);
         }
         return unwrap_layers(s, inner, &report.multilayer, trace);
       });

@@ -20,8 +20,45 @@
 #include "core/rename.h"
 #include "core/token_pass.h"
 #include "psast/parse_cache.h"
+#include "psvalue/budget.h"
 
 namespace ideobf {
+
+class FaultInjector;
+
+/// The execution governor's envelope for one deobfuscate() call. The
+/// recovery phase executes attacker-controlled pieces, so hostile inputs
+/// (deliberate stalls, allocation bombs) are the normal input distribution;
+/// the governor bounds each call and — instead of failing outright — walks
+/// a degradation ladder of progressively safer configurations:
+///
+///   rung 0: full pipeline, full deadline
+///   rung 1: tightened recovery (fewer layers, far smaller per-piece step
+///           and size budgets), deadline/2
+///   rung 2: static passes only (token pass + rename + reformat; nothing is
+///           executed), deadline/4
+///   rung 3: passthrough (input returned unchanged)
+///
+/// Worst case a governed call spends ~1.75x its deadline before serving
+/// passthrough. Every abort is classified into a ps::FailureKind.
+struct GovernorOptions {
+  /// Wall-clock deadline per call at full strength; 0 disables the deadline.
+  double deadline_seconds = 0.0;
+  /// Cumulative interpreter allocation budget per attempt; 0 disables.
+  std::size_t memory_budget_bytes = 0;
+  /// Walk the ladder on failure. When false a failed attempt immediately
+  /// serves passthrough (rung 3).
+  bool degrade = true;
+  /// External cancellation (checked at every budget checkpoint). Inert by
+  /// default; a cancelled call serves passthrough without retries.
+  ps::CancellationToken cancel{};
+
+  /// Whether any envelope is configured; inactive governors take the exact
+  /// ungoverned code path (byte-identical output, no budget checks).
+  [[nodiscard]] bool active() const {
+    return deadline_seconds > 0.0 || memory_budget_bytes > 0 || cancel.valid();
+  }
+};
 
 struct DeobfuscationOptions {
   bool token_pass = true;
@@ -33,6 +70,8 @@ struct DeobfuscationOptions {
   int max_layers = 8;
   /// Interpreter budget per recoverable piece.
   std::size_t max_steps_per_piece = 200000;
+  /// Largest piece text the recovery phase will execute.
+  std::size_t max_piece_size = 4u << 20;
   /// Additional lowercase command names to refuse executing.
   std::vector<std::string> extra_blocklist;
   /// Extension beyond the paper (section V-C): trace user-defined decoder
@@ -55,6 +94,13 @@ struct DeobfuscationOptions {
   /// or several deobfuscator instances). When null and `parse_cache` is
   /// true, the deobfuscator creates a private one.
   std::shared_ptr<ps::ParseCache> shared_parse_cache;
+  /// Default governor for deobfuscate() calls (per-call overload wins).
+  GovernorOptions governor{};
+  /// Optional fault injector (compiled in always, enabled by setting this).
+  /// Sites: Parse, PieceExecution, MemoLookup, MultilayerDecode. Non-owning;
+  /// must outlive the deobfuscator. With no armed fault the output is
+  /// byte-identical to running without an injector.
+  FaultInjector* fault_injector = nullptr;
 };
 
 struct DeobfuscationReport {
@@ -64,6 +110,16 @@ struct DeobfuscationReport {
   MultilayerStats multilayer;
   RenameStats rename;
   int passes = 0;  ///< full pipeline iterations until the fixed point
+
+  /// Failure classification for the call: the kind that aborted the
+  /// full-strength attempt (when a lower rung served), or the most severe
+  /// per-piece failure, or ParseError for invalid input, or None.
+  ps::FailureKind failure = ps::FailureKind::None;
+  std::string failure_detail;  ///< human-readable message for `failure`
+  /// Which ladder rung produced the served output (0 = full pipeline,
+  /// 3 = passthrough). Always 0 for ungoverned calls.
+  int degradation_rung = 0;
+  int attempts = 1;  ///< pipeline attempts made (1 + retries)
 };
 
 /// The deobfuscator. Const-callable from any number of threads and cheap to
@@ -72,10 +128,17 @@ class InvokeDeobfuscator {
  public:
   explicit InvokeDeobfuscator(DeobfuscationOptions options = {});
 
-  /// Deobfuscates `script`. Invalid input is returned unchanged.
+  /// Deobfuscates `script`. Invalid input is returned unchanged. Governed
+  /// by options().governor; never throws for script-caused failures — a
+  /// busted budget degrades down the ladder to passthrough instead.
   [[nodiscard]] std::string deobfuscate(std::string_view script) const;
   [[nodiscard]] std::string deobfuscate(std::string_view script,
                                         DeobfuscationReport& report) const;
+  /// Per-call governor override (how deobfuscate_batch gives every item its
+  /// own deadline and cancellation token).
+  [[nodiscard]] std::string deobfuscate(std::string_view script,
+                                        DeobfuscationReport& report,
+                                        const GovernorOptions& governor) const;
 
   [[nodiscard]] const DeobfuscationOptions& options() const { return options_; }
 
@@ -85,9 +148,18 @@ class InvokeDeobfuscator {
   }
 
  private:
+  /// One full pipeline run under `opts`, checkpointing `budget` (may be
+  /// null) between phases. Throws on budget/fault aborts.
+  std::string run_pipeline(std::string_view script, DeobfuscationReport& report,
+                           const DeobfuscationOptions& opts,
+                           ps::Budget* budget) const;
   std::string deobfuscate_layers(std::string_view script,
                                  DeobfuscationReport& report, int depth,
-                                 TraceSink* trace, RecoveryMemo* memo) const;
+                                 TraceSink* trace, RecoveryMemo* memo,
+                                 const DeobfuscationOptions& opts,
+                                 ps::Budget* budget) const;
+  /// The options for one degradation-ladder rung (see GovernorOptions).
+  [[nodiscard]] DeobfuscationOptions rung_options(int rung) const;
   DeobfuscationOptions options_;
   std::shared_ptr<ps::ParseCache> cache_;
 };

@@ -1,0 +1,31 @@
+#include "core/failure.h"
+
+#include "core/fault.h"
+#include "psast/parser.h"
+#include "psinterp/interpreter.h"
+
+namespace ideobf {
+
+std::pair<ps::FailureKind, std::string> classify_current_exception() {
+  try {
+    throw;
+  } catch (const ps::BudgetError& e) {
+    return {e.kind, e.what()};
+  } catch (const ps::LimitError& e) {
+    return {e.kind, e.what()};
+  } catch (const ps::BlockedCommandError& e) {
+    return {ps::FailureKind::BlockedCommand, e.what()};
+  } catch (const ps::ParseError& e) {
+    return {ps::FailureKind::ParseError, e.what()};
+  } catch (const ps::EvalError& e) {
+    return {ps::FailureKind::EvalError, e.what()};
+  } catch (const FaultError& e) {
+    return {ps::FailureKind::Internal, e.what()};
+  } catch (const std::exception& e) {
+    return {ps::FailureKind::Internal, e.what()};
+  } catch (...) {
+    return {ps::FailureKind::Internal, "non-standard exception"};
+  }
+}
+
+}  // namespace ideobf

@@ -1,0 +1,77 @@
+#include "core/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace ideobf {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::Parse: return "parse";
+    case FaultSite::PieceExecution: return "piece-execution";
+    case FaultSite::MemoLookup: return "memo-lookup";
+    case FaultSite::MultilayerDecode: return "multilayer-decode";
+    case FaultSite::SandboxRun: return "sandbox-run";
+  }
+  return "unknown";
+}
+
+void FaultInjector::arm(FaultSite site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& st = sites_[static_cast<std::size_t>(site)];
+  st.spec = std::move(spec);
+  st.visits = 0;
+  st.fires = 0;
+}
+
+void FaultInjector::disarm(FaultSite site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_[static_cast<std::size_t>(site)].spec = FaultSpec{};
+}
+
+void FaultInjector::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (State& st : sites_) st = State{};
+}
+
+int FaultInjector::visits(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<std::size_t>(site)].visits;
+}
+
+int FaultInjector::fires(FaultSite site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sites_[static_cast<std::size_t>(site)].fires;
+}
+
+bool FaultInjector::inject(FaultSite site, std::string* text) {
+  FaultSpec armed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    State& st = sites_[static_cast<std::size_t>(site)];
+    st.visits++;
+    if (st.spec.action == FaultAction::None) return false;
+    if (st.visits <= st.spec.skip_first) return false;
+    if (st.spec.max_fires >= 0 && st.fires >= st.spec.max_fires) return false;
+    st.fires++;
+    armed = st.spec;
+  }
+  switch (armed.action) {
+    case FaultAction::None:
+      return false;
+    case FaultAction::Throw:
+      throw FaultError(std::string("injected fault at ") + to_string(site));
+    case FaultAction::ThrowNonStd:
+      throw 42;  // deliberately not a std::exception
+    case FaultAction::Delay:
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(armed.delay_seconds));
+      return true;
+    case FaultAction::Corrupt:
+      if (text != nullptr) *text = armed.corrupt_text;
+      return true;
+  }
+  return false;
+}
+
+}  // namespace ideobf

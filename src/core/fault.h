@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file fault.h
+/// Deterministic fault injection for the execution governor. The degradation
+/// ladder and the failure taxonomy only earn their keep if they are
+/// exercisable on demand, so the injector is compiled in always and enabled
+/// by handing a FaultInjector pointer to DeobfuscationOptions /
+/// SandboxOptions / RecoveryOptions. A null pointer (the default) costs one
+/// branch per site; an armed injector can throw, throw a non-std value,
+/// delay, or corrupt text at named pipeline sites.
+
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace ideobf {
+
+/// The named hook points threaded through the pipeline.
+enum class FaultSite {
+  Parse,            ///< entry validity parse of a pipeline attempt
+  PieceExecution,   ///< recovery sandbox-executing a recoverable piece
+  MemoLookup,       ///< recovery memo consultation
+  MultilayerDecode, ///< multilayer payload extraction/decoding
+  SandboxRun,       ///< Sandbox::run script execution
+};
+inline constexpr std::size_t kFaultSiteCount = 5;
+
+const char* to_string(FaultSite site);
+
+enum class FaultAction {
+  None,         ///< disarmed
+  Throw,        ///< throw FaultError (a std::exception)
+  ThrowNonStd,  ///< throw a non-std value (tests catch(...) fallbacks)
+  Delay,        ///< sleep `delay_seconds` (tests deadlines and the watchdog)
+  Corrupt,      ///< overwrite the site's text operand with `corrupt_text`
+};
+
+/// What an injected Throw raises. Derives from std::exception so most
+/// handlers see it, but the recovery engine deliberately rethrows it (like
+/// BudgetError) so injected faults reach the governor instead of being
+/// absorbed as per-piece failures.
+class FaultError : public std::runtime_error {
+ public:
+  explicit FaultError(std::string message)
+      : std::runtime_error(std::move(message)) {}
+};
+
+struct FaultSpec {
+  FaultAction action = FaultAction::None;
+  int skip_first = 0;        ///< let this many visits pass before firing
+  int max_fires = -1;        ///< stop firing after this many (-1 = unlimited)
+  double delay_seconds = 0;  ///< for Delay
+  std::string corrupt_text;  ///< for Corrupt
+};
+
+/// Thread-safe; one injector can serve a whole batch. Counters make tests
+/// deterministic: `visits` counts every pass through an armed-or-not site,
+/// `fires` only actual injections.
+class FaultInjector {
+ public:
+  void arm(FaultSite site, FaultSpec spec);
+  void disarm(FaultSite site);
+  void reset();  ///< disarm everything and zero all counters
+
+  [[nodiscard]] int visits(FaultSite site) const;
+  [[nodiscard]] int fires(FaultSite site) const;
+
+  /// The hook: called at each site with the site's text operand when it has
+  /// one (Corrupt mutates it in place). May throw or sleep per the armed
+  /// spec. Returns true when a fault fired.
+  bool inject(FaultSite site, std::string* text = nullptr);
+
+ private:
+  struct State {
+    FaultSpec spec;
+    int visits = 0;
+    int fires = 0;
+  };
+  mutable std::mutex mu_;
+  State sites_[kFaultSiteCount];
+};
+
+}  // namespace ideobf

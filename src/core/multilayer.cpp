@@ -3,10 +3,12 @@
 
 #include <vector>
 
+#include "core/fault.h"
 #include "pslang/alias_table.h"
 #include "psast/parse_cache.h"
 #include "psast/parser.h"
 #include "psinterp/encodings.h"
+#include "psvalue/budget.h"
 
 namespace ideobf {
 
@@ -84,13 +86,32 @@ std::string unwrap_layers(
 std::string unwrap_layers(
     std::string_view script, const ps::ScriptBlockAst& root,
     const std::function<std::string(std::string_view)>& deobfuscate_inner,
-    MultilayerStats* stats, TraceSink* trace, ps::ParseCache* cache) {
+    MultilayerStats* stats, TraceSink* trace, ps::ParseCache* cache,
+    ps::Budget* budget, FaultInjector* fault) {
   const auto valid = [cache](std::string_view text) {
     return cache != nullptr ? cache->is_valid(text)
                             : ps::is_valid_syntax(text);
   };
 
   std::vector<Rewrite> rewrites;
+
+  // Governor/fault hooks for one extracted payload: checkpoint the budget,
+  // charge the decoded bytes, and pass through the MultilayerDecode fault
+  // site (which may throw, delay, or corrupt the payload). Returns true
+  // when the (possibly corrupted) payload is still a valid script and the
+  // rewrite was queued.
+  const auto process = [&](std::string payload, const ps::PipelineAst& pipe) {
+    if (budget != nullptr) {
+      budget->force_checkpoint();
+      budget->charge_bytes(payload.size());
+    }
+    if (fault != nullptr) {
+      fault->inject(FaultSite::MultilayerDecode, &payload);
+    }
+    if (!valid(payload)) return false;
+    rewrites.push_back({pipe.start(), pipe.end(), deobfuscate_inner(payload)});
+    return true;
+  };
 
   root.post_order([&](const Ast& node) {
     if (node.kind() != NodeKind::Pipeline) return;
@@ -111,11 +132,7 @@ std::string unwrap_layers(
       const auto& cmd = static_cast<const ps::CommandAst&>(*pipe.elements[0]);
       if (is_invoke_expression(cmd) && cmd.elements.size() == 2) {
         if (const std::string* payload = constant_string(cmd.elements[1].get())) {
-          if (valid(*payload)) {
-            rewrites.push_back({pipe.start(), pipe.end(),
-                                deobfuscate_inner(*payload)});
-            return;
-          }
+          if (process(*payload, pipe)) return;
         }
       }
       // Form C: powershell -EncodedCommand <b64> (parameter abbreviations
@@ -140,9 +157,7 @@ std::string unwrap_layers(
           if (!bytes) continue;
           const std::string decoded =
               ps::encoding_get_string(ps::TextEncoding::Unicode, *bytes);
-          if (!valid(decoded)) continue;
-          rewrites.push_back({pipe.start(), pipe.end(),
-                              deobfuscate_inner(decoded)});
+          if (!process(decoded, pipe)) continue;
           return;
         }
       }
@@ -170,11 +185,7 @@ std::string unwrap_layers(
             inv.arguments.size() == 1) {
           if (const std::string* payload =
                   constant_string(inv.arguments[0].get())) {
-            if (valid(*payload)) {
-              rewrites.push_back({pipe.start(), pipe.end(),
-                                  deobfuscate_inner(*payload)});
-              return;
-            }
+            if (process(*payload, pipe)) return;
           }
         }
       }
@@ -190,10 +201,7 @@ std::string unwrap_layers(
       const auto& tail = static_cast<const ps::CommandAst&>(*pipe.elements[1]);
       if (is_invoke_expression(tail) && tail.elements.size() == 1) {
         if (const std::string* payload = constant_string(head.expression.get())) {
-          if (valid(*payload)) {
-            rewrites.push_back({pipe.start(), pipe.end(),
-                                deobfuscate_inner(*payload)});
-          }
+          process(*payload, pipe);
         }
       }
     }

@@ -13,11 +13,14 @@
 #include "core/trace.h"
 
 namespace ps {
+class Budget;
 class ParseCache;
 class ScriptBlockAst;
 }  // namespace ps
 
 namespace ideobf {
+
+class FaultInjector;
 
 struct MultilayerStats {
   int layers_unwrapped = 0;
@@ -34,11 +37,14 @@ std::string unwrap_layers(
 /// Parse-once overload: unwraps over an already-parsed AST of `script`
 /// (extents must index into `script`). Payload and output syntax checks go
 /// through `cache` when provided, so the recursive deobfuscation of each
-/// payload starts from a cached parse.
+/// payload starts from a cached parse. `budget` (optional) is checkpointed
+/// and charged per decoded payload; `fault` (optional) arms the
+/// MultilayerDecode injection site on each extracted payload.
 std::string unwrap_layers(
     std::string_view script, const ps::ScriptBlockAst& root,
     const std::function<std::string(std::string_view)>& deobfuscate_inner,
     MultilayerStats* stats = nullptr, TraceSink* trace = nullptr,
-    ps::ParseCache* cache = nullptr);
+    ps::ParseCache* cache = nullptr, ps::Budget* budget = nullptr,
+    FaultInjector* fault = nullptr);
 
 }  // namespace ideobf

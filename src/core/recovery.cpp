@@ -4,6 +4,8 @@
 #include <memory>
 
 #include "core/blocklist.h"
+#include "core/failure.h"
+#include "core/fault.h"
 #include "pslang/alias_table.h"
 #include "psast/parse_cache.h"
 #include "psast/parser.h"
@@ -162,6 +164,12 @@ class Reconstructor {
     return true;
   }
 
+  /// Records one failed piece/assignment execution in the pass stats.
+  void record_piece_failure(ps::FailureKind kind) {
+    stats_.pieces_failed++;
+    stats_.worst_failure = ps::worse_failure(stats_.worst_failure, kind);
+  }
+
   /// A fresh strict interpreter preloaded with the traced variable values.
   std::unique_ptr<ps::Interpreter> make_interpreter() const {
     ps::InterpreterOptions opts;
@@ -170,6 +178,7 @@ class Reconstructor {
     opts.refuse_blocklisted = true;
     opts.command_filter = make_recovery_filter(options_.extra_blocklist);
     opts.parse_cache = cache_;
+    opts.budget = options_.budget;
     auto interp = std::make_unique<ps::Interpreter>(opts);
     for (const auto& [name, info] : table_) {
       if (scope_visible(info.scope)) interp->set_variable(name, info.value);
@@ -179,6 +188,8 @@ class Reconstructor {
     for (const std::string& def : function_defs_) {
       try {
         interp->evaluate_script(def);
+      } catch (const ps::BudgetError&) {
+        throw;  // the item's envelope, not this definition's problem
       } catch (const std::exception&) {
         // A definition that does not evaluate is simply unavailable.
       }
@@ -334,6 +345,7 @@ class Reconstructor {
           ps::InterpreterOptions opts;
           opts.strict_variables = true;
           opts.parse_cache = cache_;
+          opts.budget = options_.budget;
           ps::Interpreter probe(opts);
           // Parse-once: the variable node is a verbatim subtree of the
           // already-parsed script, so no piece parse is needed.
@@ -341,6 +353,8 @@ class Reconstructor {
                               ? probe.evaluate(var, src_)
                               : probe.evaluate_script(probe_text);
           if (v.is_string() || v.is_char()) literal = value_to_literal(v);
+        } catch (const ps::BudgetError&) {
+          throw;
         } catch (const std::exception&) {
           // unknown: keep as-is
         }
@@ -386,9 +400,15 @@ class Reconstructor {
       } else {
         table_.erase(bare);
       }
+    } catch (const ps::BudgetError&) {
+      throw;  // item-level envelope: aborts the pass, not just this record
+    } catch (const FaultError&) {
+      throw;  // injected faults must reach the governor
     } catch (const std::exception&) {
       // Unknown variables / blocked commands / limits: drop the record
-      // (Algorithm 1 lines 15-18).
+      // (Algorithm 1 lines 15-18) but remember what kind of failure it was
+      // for the item classification.
+      record_piece_failure(classify_current_exception().first);
       table_.erase(bare);
     }
     return text;
@@ -400,8 +420,14 @@ class Reconstructor {
   /// returned literal is "" when the piece stays as-is (failed execution,
   /// no literal form, or no progress).
   std::string execute_piece(const std::string& text, const Ast* node) {
+    if (options_.fault != nullptr) {
+      options_.fault->inject(FaultSite::PieceExecution);
+    }
     std::size_t ctx = 0;
     if (options_.memo != nullptr) {
+      if (options_.fault != nullptr) {
+        options_.fault->inject(FaultSite::MemoLookup);
+      }
       ctx = context_fingerprint();
       if (const std::string* hit = options_.memo->lookup(ctx, text)) {
         return *hit;
@@ -418,7 +444,12 @@ class Reconstructor {
               ? interp->evaluate(*node, src_)
               : interp->evaluate_script(text);
       literal = value_to_literal(result);
+    } catch (const ps::BudgetError&) {
+      throw;  // deadline / allocation / cancellation abort the whole pass
+    } catch (const FaultError&) {
+      throw;  // injected faults must reach the governor
     } catch (const std::exception&) {
+      record_piece_failure(classify_current_exception().first);
       literal.clear();  // blocked / unknown / limit / error: keep the piece
     }
     if (literal == text) literal.clear();  // no progress

@@ -14,19 +14,28 @@
 #include <vector>
 
 #include "core/trace.h"
+#include "psvalue/budget.h"
 #include "psvalue/value.h"
 
 namespace ps {
+class Budget;
 class ParseCache;
 class ScriptBlockAst;
 }  // namespace ps
 
 namespace ideobf {
 
+class FaultInjector;
+
 struct RecoveryStats {
   int pieces_recovered = 0;       ///< recoverable nodes replaced by literals
   int variables_traced = 0;       ///< assignments recorded in the symbol table
   int variables_substituted = 0;  ///< variable uses replaced by their value
+  int pieces_failed = 0;          ///< piece/assignment executions that errored
+  /// Most severe per-piece failure seen (failure_severity order); the
+  /// governor surfaces it as the item classification when nothing worse
+  /// aborted the run.
+  ps::FailureKind worst_failure = ps::FailureKind::None;
 };
 
 /// Memoizes sandbox executions of recoverable pieces: the same obfuscated
@@ -79,6 +88,14 @@ struct RecoveryOptions {
   /// Optional piece-execution memo, shared across layers and fixed-point
   /// passes of one deobfuscation run. Null executes every piece.
   RecoveryMemo* memo = nullptr;
+  /// Optional execution budget for the whole pass: piece interpreters
+  /// checkpoint against it, and a BudgetError (deadline / allocation /
+  /// cancellation) aborts the pass instead of being absorbed as a per-piece
+  /// failure. Non-owning; may be null.
+  ps::Budget* budget = nullptr;
+  /// Optional fault injector (sites: PieceExecution, MemoLookup). Injected
+  /// FaultErrors likewise propagate out of the pass. May be null.
+  FaultInjector* fault = nullptr;
 };
 
 /// Runs one recovery pass. Returns the input unchanged when it does not

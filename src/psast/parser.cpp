@@ -128,6 +128,23 @@ class Parser {
   std::size_t source_size_;
   std::size_t i_ = 0;
   int ignore_newlines_ = 0;
+  int depth_ = 0;
+
+  /// Recursion bound for the descent: a hostile script nested hundreds of
+  /// groups deep must fail with ParseError, not overflow the thread stack
+  /// (worker threads under ASan overflow near ~600 nested groups). One
+  /// group level costs ~2 guarded entries, so this still admits the ~200
+  /// paren levels the deep-nesting contract test requires while staying
+  /// under half of an 8 MiB thread stack even with ASan-sized frames.
+  static constexpr int kMaxNesting = 600;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : p_(p) {
+      if (++p_.depth_ > kMaxNesting) p_.fail("nesting too deep");
+    }
+    ~DepthGuard() { --p_.depth_; }
+    Parser& p_;
+  };
 
   [[noreturn]] void fail(const std::string& msg) {
     const std::size_t off = done() ? source_size_ : cur().start;
@@ -313,6 +330,7 @@ class Parser {
   // ---------------------------------------------------------- statements
 
   AstPtr parse_statement() {
+    DepthGuard guard(*this);
     const Token& t = cur();
     if (t.type == TokenType::Keyword) {
       const std::string kw = to_lower(t.content);
@@ -984,6 +1002,7 @@ class Parser {
   }
 
   AstPtr parse_primary() {
+    DepthGuard guard(*this);
     if (done()) fail("expected expression");
     const Token& t = cur();
     switch (t.type) {

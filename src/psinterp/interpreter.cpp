@@ -147,7 +147,17 @@ Value Interpreter::eval_variable(const VariableExpressionAst& var) {
 // ------------------------------------------------------------------ limits
 
 void Interpreter::charge_step() {
-  if (++steps_ > opts_.max_steps) throw LimitError("step limit exceeded");
+  if (++steps_ > opts_.max_steps) {
+    throw LimitError("step limit exceeded", FailureKind::StepLimit);
+  }
+  if (opts_.budget != nullptr) opts_.budget->checkpoint();
+}
+
+void Interpreter::charge_bytes(std::size_t bytes, bool enforce_max_string) {
+  if (enforce_max_string && bytes > opts_.max_string) {
+    throw LimitError("string too large", FailureKind::MemoryBudget);
+  }
+  if (opts_.budget != nullptr) opts_.budget->charge_bytes(bytes);
 }
 
 void Interpreter::check_blocked(const std::string& command_lower) {
@@ -185,7 +195,7 @@ Interpreter::ParsedScript Interpreter::parse_shared(std::string_view text) const
 }
 
 Value Interpreter::evaluate_script(std::string_view script) {
-  if (depth_ >= opts_.max_depth) throw LimitError("invoke depth exceeded");
+  if (depth_ >= opts_.max_depth) throw LimitError("invoke depth exceeded", FailureKind::DepthLimit);
   // The step budget applies per top-level evaluation; a reused interpreter
   // must not accumulate steps across independent scripts.
   if (depth_ == 0) steps_ = 0;
@@ -671,7 +681,7 @@ Value Interpreter::eval_binary_values(const Value& lhs, const std::string& op,
   if (op == "+") {
     if (lhs.is_string()) {
       std::string out = lhs.get_string() + rhs.to_display_string();
-      if (out.size() > opts_.max_string) throw LimitError("string too large");
+      charge_bytes(out.size(), /*enforce_max_string=*/true);
       return Value(std::move(out));
     }
     if (lhs.is_char()) {
@@ -727,9 +737,8 @@ Value Interpreter::eval_binary_values(const Value& lhs, const std::string& op,
       const std::int64_t n = need_int(rhs, "*");
       if (n < 0) throw EvalError("negative string repeat");
       std::string out;
-      if (lhs.get_string().size() * static_cast<std::size_t>(n) > opts_.max_string) {
-        throw LimitError("string too large");
-      }
+      charge_bytes(lhs.get_string().size() * static_cast<std::size_t>(n),
+                   /*enforce_max_string=*/true);
       for (std::int64_t i = 0; i < n; ++i) out += lhs.get_string();
       return Value(std::move(out));
     }
@@ -777,7 +786,10 @@ Value Interpreter::eval_binary_values(const Value& lhs, const std::string& op,
     const std::int64_t lo = need_int(lhs, "range");
     const std::int64_t hi = need_int(rhs, "range");
     const std::int64_t n = std::llabs(hi - lo) + 1;
-    if (n > 1000000) throw LimitError("range too large");
+    if (n > 1000000) {
+      throw LimitError("range too large", FailureKind::MemoryBudget);
+    }
+    charge_bytes(static_cast<std::size_t>(n) * sizeof(Value));
     Array out;
     out.reserve(static_cast<std::size_t>(n));
     if (lo <= hi) {
@@ -1337,7 +1349,7 @@ Value Interpreter::cast_value(const std::string& type_name, const Value& v) {
 void Interpreter::invoke_scriptblock(const ScriptBlock& sb,
                                      const std::vector<Value>& input, bool per_item,
                                      std::vector<Value>& out) {
-  if (depth_ >= opts_.max_depth) throw LimitError("invoke depth exceeded");
+  if (depth_ >= opts_.max_depth) throw LimitError("invoke depth exceeded", FailureKind::DepthLimit);
   const ParsedScript root = parse_shared(sb.text);
   ++depth_;
   scopes_.emplace_back();
@@ -1382,7 +1394,7 @@ Value Interpreter::invoke_scriptblock_value(const ScriptBlock& sb) {
 
 Value Interpreter::call_function(const FunctionInfo& fn,
                                  const std::vector<Value>& args) {
-  if (depth_ >= opts_.max_depth) throw LimitError("invoke depth exceeded");
+  if (depth_ >= opts_.max_depth) throw LimitError("invoke depth exceeded", FailureKind::DepthLimit);
   const ParsedScript root = parse_shared(fn.body_text);
   ++depth_;
   scopes_.emplace_back();

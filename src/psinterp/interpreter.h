@@ -18,6 +18,7 @@
 
 #include "psast/ast.h"
 #include "psinterp/encodings.h"
+#include "psvalue/budget.h"
 #include "psvalue/value.h"
 
 namespace ps {
@@ -31,11 +32,16 @@ class EvalError : public std::runtime_error {
   explicit EvalError(std::string message) : std::runtime_error(std::move(message)) {}
 };
 
-/// Raised when execution exceeds the configured step/recursion limits.
+/// Raised when execution exceeds the configured step/recursion/size limits.
 /// Deliberately not an EvalError so script-level try/catch cannot swallow it.
+/// Carries the limit's FailureKind (StepLimit, DepthLimit, or MemoryBudget)
+/// for the governor's failure taxonomy.
 class LimitError : public std::runtime_error {
  public:
-  explicit LimitError(std::string message) : std::runtime_error(std::move(message)) {}
+  explicit LimitError(std::string message,
+                      FailureKind kind = FailureKind::StepLimit)
+      : std::runtime_error(std::move(message)), kind(kind) {}
+  FailureKind kind;
 };
 
 /// Raised when a command on the execution blocklist is invoked and
@@ -90,6 +96,12 @@ struct InterpreterOptions {
   /// knob — results and thrown errors are unchanged. Non-owning; the cache
   /// must outlive the interpreter. May be null.
   ParseCache* parse_cache = nullptr;
+  /// Optional execution budget (wall-clock deadline, cumulative allocation
+  /// accounting, cancellation). Checkpointed from `charge_step()` and
+  /// charged at the string/array materialization sites, so a hostile script
+  /// cannot stall or bloat past its envelope by more than one stride.
+  /// Non-owning; must outlive the interpreter. May be null.
+  Budget* budget = nullptr;
 };
 
 /// A parsed function definition (body is reparsed per call for lifetime
@@ -144,6 +156,10 @@ class Interpreter {
   Value invoke_scriptblock_value(const ScriptBlock& sb);
 
   void charge_step();
+  /// Budget accounting for value materialization: charges `bytes` against
+  /// the attached allocation budget (no-op without one) and enforces the
+  /// single-value `max_string` cap when `enforce_max_string` is set.
+  void charge_bytes(std::size_t bytes, bool enforce_max_string = false);
   EffectRecorder* recorder() const { return opts_.recorder; }
   void check_blocked(const std::string& command_lower);
 

@@ -189,7 +189,7 @@ Value Interpreter::instance_invoke(const Value& target, const std::string& membe
         out += to;
         pos = hit + from.size();
       }
-      if (out.size() > opts_.max_string) throw LimitError("string too large");
+      charge_bytes(out.size(), /*enforce_max_string=*/true);
       return Value(std::move(out));
     }
     if (m == "split") {

@@ -1,0 +1,85 @@
+#include "psvalue/budget.h"
+
+#include <limits>
+
+namespace ps {
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::None: return "none";
+    case FailureKind::Timeout: return "timeout";
+    case FailureKind::StepLimit: return "step-limit";
+    case FailureKind::DepthLimit: return "depth-limit";
+    case FailureKind::MemoryBudget: return "memory-budget";
+    case FailureKind::ParseError: return "parse-error";
+    case FailureKind::BlockedCommand: return "blocked-command";
+    case FailureKind::EvalError: return "eval-error";
+    case FailureKind::Cancelled: return "cancelled";
+    case FailureKind::Internal: return "internal";
+  }
+  return "internal";
+}
+
+int failure_severity(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::None: return 0;
+    case FailureKind::ParseError: return 1;
+    case FailureKind::EvalError: return 2;
+    case FailureKind::BlockedCommand: return 3;
+    case FailureKind::StepLimit: return 4;
+    case FailureKind::DepthLimit: return 5;
+    case FailureKind::MemoryBudget: return 6;
+    case FailureKind::Timeout: return 7;
+    case FailureKind::Cancelled: return 8;
+    case FailureKind::Internal: return 9;
+  }
+  return 9;
+}
+
+FailureKind worse_failure(FailureKind a, FailureKind b) {
+  return failure_severity(b) > failure_severity(a) ? b : a;
+}
+
+CancellationToken CancellationToken::make() {
+  CancellationToken token;
+  token.state_ = std::make_shared<std::atomic<bool>>(false);
+  return token;
+}
+
+Budget::Budget(const Limits& limits)
+    : max_bytes_(limits.max_bytes), cancel_(limits.cancel) {
+  if (limits.wall_seconds > 0.0) {
+    has_deadline_ = true;
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(limits.wall_seconds));
+  }
+}
+
+void Budget::check_deadline_now() {
+  if (Clock::now() > deadline_) {
+    throw BudgetError(FailureKind::Timeout, "wall-clock deadline exceeded");
+  }
+}
+
+void Budget::throw_cancelled() const {
+  throw BudgetError(FailureKind::Cancelled, "execution cancelled");
+}
+
+void Budget::throw_memory() const {
+  throw BudgetError(FailureKind::MemoryBudget,
+                    "cumulative allocation budget exceeded");
+}
+
+FailureKind Budget::peek() const {
+  if (cancel_.cancelled()) return FailureKind::Cancelled;
+  if (has_deadline_ && Clock::now() > deadline_) return FailureKind::Timeout;
+  if (max_bytes_ != 0 && bytes_ > max_bytes_) return FailureKind::MemoryBudget;
+  return FailureKind::None;
+}
+
+double Budget::remaining_seconds() const {
+  if (!has_deadline_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+}
+
+}  // namespace ps

@@ -1,0 +1,155 @@
+#pragma once
+
+/// \file budget.h
+/// The execution governor's accounting primitives. The recovery phase
+/// executes attacker-controlled script pieces (paper section IV-B), so
+/// hostile inputs — scripts built to stall or blow up a dynamic analyzer —
+/// are the normal input distribution. A `Budget` bounds one unit of work
+/// (typically one batch item) with a wall-clock deadline, a cumulative
+/// allocation budget, and an external cancellation token; every engine that
+/// can loop or allocate (interpreter, sandbox, recovery, multilayer
+/// decoding) checkpoints against it. Budget violations raise `BudgetError`,
+/// which — like the interpreter's `LimitError` — is deliberately not an
+/// `EvalError`, so script-level try/catch cannot swallow it.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace ps {
+
+/// Structured classification of everything that can end or degrade a
+/// deobfuscation: the failure taxonomy surfaced in BatchItem,
+/// DeobfuscationReport, BehaviorProfile, and the CLI/bench JSON.
+enum class FailureKind {
+  None,            ///< no failure
+  Timeout,         ///< wall-clock deadline exceeded
+  StepLimit,       ///< interpreter step cap exceeded
+  DepthLimit,      ///< invoke/recursion depth cap exceeded
+  MemoryBudget,    ///< single-value size cap or cumulative allocation budget
+  ParseError,      ///< input (or intermediate) text does not parse
+  BlockedCommand,  ///< execution blocklist refused a command
+  EvalError,       ///< runtime evaluation failure
+  Cancelled,       ///< external cancellation token fired
+  Internal,        ///< anything else, including non-std exceptions
+};
+
+/// Stable lowercase-kebab name for reports and JSON ("timeout",
+/// "step-limit", ...).
+const char* to_string(FailureKind kind);
+
+/// Severity order for picking the dominant failure of a run: governor-level
+/// kinds (Cancelled, Timeout, MemoryBudget) outrank per-piece limit kinds,
+/// which outrank expected per-piece outcomes (BlockedCommand, EvalError).
+/// Internal ranks highest; None is 0.
+int failure_severity(FailureKind kind);
+
+/// The more severe of two failures (first wins ties).
+FailureKind worse_failure(FailureKind a, FailureKind b);
+
+/// Raised by Budget checkpoints. Not an EvalError, so neither script-level
+/// try/catch nor the recovery engine's per-piece error handling can swallow
+/// it — a budget violation always aborts the whole governed attempt.
+class BudgetError : public std::runtime_error {
+ public:
+  BudgetError(FailureKind kind, std::string message)
+      : std::runtime_error(std::move(message)), kind(kind) {}
+  FailureKind kind;
+};
+
+/// A copyable handle to a shared cancellation flag. Default-constructed
+/// tokens are inert (never cancelled, cancel requests dropped); create a
+/// live one with `CancellationToken::make()`. Cancellation is cooperative:
+/// the running engine observes it at its next Budget checkpoint.
+class CancellationToken {
+ public:
+  CancellationToken() = default;  ///< inert: valid() == false
+  static CancellationToken make();
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+  void request_cancel() const {
+    if (state_ != nullptr) state_->store(true, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool cancelled() const {
+    return state_ != nullptr && state_->load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// One unit of work's resource envelope. Not thread-safe (one budget serves
+/// one worker); cross-thread interaction goes through the atomic-backed
+/// cancellation token, which is how the batch watchdog reins in an item
+/// from outside.
+class Budget {
+ public:
+  struct Limits {
+    double wall_seconds = 0.0;     ///< 0 = no deadline
+    std::size_t max_bytes = 0;     ///< cumulative allocation budget; 0 = off
+    CancellationToken cancel{};    ///< inert by default
+  };
+
+  Budget() = default;  ///< unlimited
+  explicit Budget(const Limits& limits);
+
+  /// The cheap per-step hook: cancellation is one relaxed atomic load; the
+  /// deadline clock is only read every kStride calls. Throws BudgetError
+  /// (Cancelled or Timeout).
+  void checkpoint() {
+    if (cancel_.cancelled()) throw_cancelled();
+    if (has_deadline_ && ++tick_ >= kStride) {
+      tick_ = 0;
+      check_deadline_now();
+    }
+  }
+
+  /// Phase-boundary hook: checks cancellation and the deadline immediately,
+  /// ignoring the stride.
+  void force_checkpoint() {
+    if (cancel_.cancelled()) throw_cancelled();
+    if (has_deadline_) check_deadline_now();
+  }
+
+  /// Cumulative allocation accounting: every engine site that materializes
+  /// a large string/array/byte buffer charges its size here. Throws
+  /// BudgetError(MemoryBudget) once the running total crosses the budget.
+  void charge_bytes(std::size_t bytes) {
+    bytes_ += bytes;
+    if (max_bytes_ != 0 && bytes_ > max_bytes_) throw_memory();
+  }
+
+  /// Non-throwing probe: what would trip right now, or None.
+  [[nodiscard]] FailureKind peek() const;
+
+  /// Seconds until the deadline (infinity when none; <= 0 when expired).
+  [[nodiscard]] double remaining_seconds() const;
+
+  /// Whether any limit is configured; inactive budgets never throw.
+  [[nodiscard]] bool active() const {
+    return has_deadline_ || max_bytes_ != 0 || cancel_.valid();
+  }
+  [[nodiscard]] bool has_deadline() const { return has_deadline_; }
+  [[nodiscard]] std::size_t bytes_charged() const { return bytes_; }
+  [[nodiscard]] const CancellationToken& cancel_token() const { return cancel_; }
+
+ private:
+  static constexpr unsigned kStride = 256;
+  using Clock = std::chrono::steady_clock;
+
+  void check_deadline_now();
+  [[noreturn]] void throw_cancelled() const;
+  [[noreturn]] void throw_memory() const;
+
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  std::size_t max_bytes_ = 0;
+  std::size_t bytes_ = 0;
+  unsigned tick_ = 0;
+  CancellationToken cancel_{};
+};
+
+}  // namespace ps

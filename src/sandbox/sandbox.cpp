@@ -1,5 +1,7 @@
 #include "sandbox/sandbox.h"
 
+#include "core/fault.h"
+#include "psast/parser.h"
 #include "psinterp/interpreter.h"
 
 namespace ideobf {
@@ -48,20 +50,49 @@ BehaviorProfile Sandbox::run(std::string_view script) const {
   BehaviorProfile profile;
   RecordingRecorder recorder(profile, options_);
 
+  ps::Budget budget(ps::Budget::Limits{options_.deadline_seconds,
+                                       options_.memory_budget_bytes,
+                                       options_.cancel});
+
   ps::InterpreterOptions opts;
   opts.max_steps = options_.max_steps;
   opts.max_depth = options_.max_depth;
   opts.strict_variables = false;
   opts.refuse_blocklisted = false;
   opts.recorder = &recorder;
+  if (budget.active()) opts.budget = &budget;
 
   ps::Interpreter interp(opts);
   try {
+    if (options_.fault_injector != nullptr) {
+      options_.fault_injector->inject(FaultSite::SandboxRun);
+    }
     interp.evaluate_script(std::string(script));
     profile.executed_ok = true;
-  } catch (const std::exception& e) {
-    profile.executed_ok = false;
+  } catch (const ps::BudgetError& e) {
+    profile.failure = e.kind;
     profile.error = e.what();
+  } catch (const ps::LimitError& e) {
+    profile.failure = e.kind;
+    profile.error = e.what();
+  } catch (const ps::BlockedCommandError& e) {
+    profile.failure = ps::FailureKind::BlockedCommand;
+    profile.error = e.what();
+  } catch (const ps::ParseError& e) {
+    profile.failure = ps::FailureKind::ParseError;
+    profile.error = e.what();
+  } catch (const ps::EvalError& e) {
+    profile.failure = ps::FailureKind::EvalError;
+    profile.error = e.what();
+  } catch (const std::exception& e) {
+    profile.failure = ps::FailureKind::Internal;
+    profile.error = e.what();
+  } catch (...) {
+    // A non-std throw (third-party decoder, injected fault) must degrade
+    // this run, not unwind through the triage loop — the effects recorded
+    // so far are still reported.
+    profile.failure = ps::FailureKind::Internal;
+    profile.error = "non-standard exception";
   }
   return profile;
 }

@@ -11,7 +11,11 @@
 #include <string_view>
 #include <vector>
 
+#include "psvalue/budget.h"
+
 namespace ideobf {
+
+class FaultInjector;
 
 /// Everything a script did when executed in the sandbox.
 struct BehaviorProfile {
@@ -24,6 +28,8 @@ struct BehaviorProfile {
   double simulated_seconds = 0;
   bool executed_ok = false;
   std::string error;
+  /// Why execution stopped (None when executed_ok).
+  ps::FailureKind failure = ps::FailureKind::None;
 
   [[nodiscard]] bool has_network() const { return !network.empty(); }
 };
@@ -35,14 +41,25 @@ struct SandboxOptions {
   double network_cost_seconds = 1.5;
   /// Simulated cost of spawning a process, seconds.
   double process_cost_seconds = 0.4;
+  /// Real wall-clock deadline per run; 0 disables. Overruns surface as
+  /// failure == Timeout in the profile, never as a thrown exception.
+  double deadline_seconds = 0.0;
+  /// Cumulative interpreter allocation budget per run; 0 disables.
+  std::size_t memory_budget_bytes = 0;
+  /// External cancellation; inert by default.
+  ps::CancellationToken cancel{};
+  /// Optional fault injector arming the SandboxRun site. Non-owning.
+  FaultInjector* fault_injector = nullptr;
 };
 
 class Sandbox {
  public:
   explicit Sandbox(SandboxOptions options = {});
 
-  /// Executes `script` and returns what it did. Execution failures yield a
-  /// profile with executed_ok=false and whatever effects happened first.
+  /// Executes `script` and returns what it did. Execution failures —
+  /// including budget overruns and non-std throws — yield a profile with
+  /// executed_ok=false, a classified `failure`, and whatever effects
+  /// happened first. Never throws.
   [[nodiscard]] BehaviorProfile run(std::string_view script) const;
 
   /// The paper's Table IV criterion: identical network event sets.

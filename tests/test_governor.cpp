@@ -1,0 +1,370 @@
+// The execution governor: deadlines, budgets, cancellation, the degradation
+// ladder, and the failure taxonomy — exercised with the hostile corpus the
+// governor exists for (infinite loops, unbounded recursion, allocation
+// bombs) plus the regression that limit errors cannot be swallowed by
+// script-level try/catch.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/batch.h"
+#include "core/deobfuscator.h"
+#include "psinterp/interpreter.h"
+#include "psvalue/budget.h"
+
+namespace {
+
+using namespace ideobf;
+
+// An infinite loop inside a recoverable piece. Hits the per-piece step
+// limit in milliseconds under default options; with the step limit pushed
+// out of reach it runs until a wall deadline fires.
+constexpr const char* kInfiniteLoop = "$a = $( while ($true) { 1 } )\n$a\n";
+
+// Runtime-unbounded recursion through a scriptblock value. Textually flat,
+// so it reaches the interpreter rather than any nesting-depth parser check.
+constexpr const char* kDeepRecursion = "$f = { & $f }\n$z = & $f\n";
+
+// Exponential string growth (2^40 bytes if nothing intervenes) inside a
+// single recoverable subexpression, so the whole loop runs as one piece.
+constexpr const char* kMemoryBomb =
+    "$a = $( $x = 'AB'; for ($i = 0; $i -lt 40; $i++) { $x = $x + $x }; $x )\n"
+    "$a\n";
+
+// A benign sample of the paper's bread-and-butter obfuscation.
+constexpr const char* kBenign =
+    "$x = 'Wri' + 'te-Out' + 'put'\n& $x ('he' + 'llo')\n";
+
+TEST(Budget, DeadlineFires) {
+  ps::Budget budget(ps::Budget::Limits{0.05, 0, {}});
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW(
+      {
+        while (true) budget.checkpoint();
+      },
+      ps::BudgetError);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(elapsed, 1.0);
+}
+
+TEST(Budget, CancellationWinsImmediately) {
+  auto token = ps::CancellationToken::make();
+  ps::Budget budget(ps::Budget::Limits{100.0, 0, token});
+  budget.checkpoint();  // fine while not cancelled
+  token.request_cancel();
+  try {
+    budget.checkpoint();
+    FAIL() << "expected BudgetError";
+  } catch (const ps::BudgetError& e) {
+    EXPECT_EQ(e.kind, ps::FailureKind::Cancelled);
+  }
+}
+
+TEST(Budget, MemoryBudgetIsCumulative) {
+  ps::Budget budget(ps::Budget::Limits{0.0, 1000, {}});
+  budget.charge_bytes(400);
+  budget.charge_bytes(400);
+  try {
+    budget.charge_bytes(400);
+    FAIL() << "expected BudgetError";
+  } catch (const ps::BudgetError& e) {
+    EXPECT_EQ(e.kind, ps::FailureKind::MemoryBudget);
+  }
+}
+
+TEST(Budget, InactiveBudgetNeverThrows) {
+  ps::Budget budget;
+  EXPECT_FALSE(budget.active());
+  for (int i = 0; i < 10000; ++i) budget.checkpoint();
+  budget.charge_bytes(std::size_t{1} << 40);
+  budget.force_checkpoint();
+}
+
+// --- limit errors must not be swallowed by script-level try/catch --------
+
+TEST(LimitEscape, StepLimitEscapesTryCatch) {
+  ps::InterpreterOptions opts;
+  opts.max_steps = 5000;
+  ps::Interpreter interp(opts);
+  try {
+    interp.evaluate_script("try { while ($true) { 1 } } catch { 'caught' }");
+    FAIL() << "expected LimitError";
+  } catch (const ps::LimitError& e) {
+    EXPECT_EQ(e.kind, ps::FailureKind::StepLimit);
+  }
+}
+
+TEST(LimitEscape, BudgetTimeoutEscapesTryCatch) {
+  ps::Budget budget(ps::Budget::Limits{0.05, 0, {}});
+  ps::InterpreterOptions opts;
+  opts.max_steps = std::size_t{1} << 40;
+  opts.budget = &budget;
+  ps::Interpreter interp(opts);
+  try {
+    interp.evaluate_script("try { while ($true) { 1 } } catch { 'caught' }");
+    FAIL() << "expected BudgetError";
+  } catch (const ps::BudgetError& e) {
+    EXPECT_EQ(e.kind, ps::FailureKind::Timeout);
+  }
+}
+
+TEST(LimitEscape, StringSizeLimitEscapesTryCatch) {
+  ps::Interpreter interp;
+  try {
+    interp.evaluate_script(
+        "try { $a = 'A' * 999999999 } catch { 'caught' }");
+    FAIL() << "expected LimitError";
+  } catch (const ps::LimitError& e) {
+    EXPECT_EQ(e.kind, ps::FailureKind::MemoryBudget);
+  }
+}
+
+TEST(LimitEscape, PipelineReportsStepLimitDespiteTryCatch) {
+  const InvokeDeobfuscator deobf;
+  DeobfuscationReport report;
+  const std::string out = deobf.deobfuscate(
+      "$a = $( try { while ($true) { 1 } } catch { 'caught' } )\n$a\n",
+      report);
+  EXPECT_EQ(report.failure, ps::FailureKind::StepLimit);
+  EXPECT_EQ(out.find("'caught'\n$a"), std::string::npos);
+}
+
+// --- ungoverned classification -------------------------------------------
+
+TEST(Classification, UngovernedStepLimit) {
+  const InvokeDeobfuscator deobf;
+  DeobfuscationReport report;
+  (void)deobf.deobfuscate(kInfiniteLoop, report);
+  EXPECT_EQ(report.failure, ps::FailureKind::StepLimit);
+  EXPECT_EQ(report.degradation_rung, 0);
+  EXPECT_GT(report.recovery.pieces_failed, 0);
+}
+
+TEST(Classification, UngovernedDepthLimit) {
+  const InvokeDeobfuscator deobf;
+  DeobfuscationReport report;
+  (void)deobf.deobfuscate(kDeepRecursion, report);
+  EXPECT_EQ(report.failure, ps::FailureKind::DepthLimit);
+}
+
+TEST(Classification, UngovernedMemoryLimit) {
+  const InvokeDeobfuscator deobf;
+  DeobfuscationReport report;
+  (void)deobf.deobfuscate("$a = 'A' * 999999999\n", report);
+  EXPECT_EQ(report.failure, ps::FailureKind::MemoryBudget);
+}
+
+TEST(Classification, UngovernedParseError) {
+  const InvokeDeobfuscator deobf;
+  DeobfuscationReport report;
+  const std::string bad = "if (((";
+  EXPECT_EQ(deobf.deobfuscate(bad, report), bad);
+  EXPECT_EQ(report.failure, ps::FailureKind::ParseError);
+}
+
+TEST(Classification, BenignIsCleanAndByteIdenticalUnderGovernor) {
+  const InvokeDeobfuscator deobf;
+  DeobfuscationReport ungoverned;
+  const std::string plain = deobf.deobfuscate(kBenign, ungoverned);
+  EXPECT_EQ(ungoverned.failure, ps::FailureKind::None);
+  EXPECT_EQ(ungoverned.degradation_rung, 0);
+
+  GovernorOptions governor;
+  governor.deadline_seconds = 30.0;
+  governor.memory_budget_bytes = 64u << 20;
+  DeobfuscationReport governed;
+  EXPECT_EQ(deobf.deobfuscate(kBenign, governed, governor), plain);
+  EXPECT_EQ(governed.failure, ps::FailureKind::None);
+  EXPECT_EQ(governed.degradation_rung, 0);
+  EXPECT_EQ(governed.attempts, 1);
+}
+
+// --- the degradation ladder ----------------------------------------------
+
+TEST(Governor, TimeoutDegradesAndStillServes) {
+  DeobfuscationOptions opts;
+  opts.max_steps_per_piece = std::size_t{1} << 40;  // only the clock can stop it
+  const InvokeDeobfuscator deobf(opts);
+  GovernorOptions governor;
+  governor.deadline_seconds = 0.2;
+  DeobfuscationReport report;
+  const auto start = std::chrono::steady_clock::now();
+  const std::string out = deobf.deobfuscate(kInfiniteLoop, report, governor);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(report.failure, ps::FailureKind::Timeout);
+  EXPECT_GE(report.degradation_rung, 1);
+  EXPECT_GT(report.attempts, 1);
+  EXPECT_FALSE(out.empty());
+  // Ladder worst case is 1.75x the deadline plus scheduling noise.
+  EXPECT_LT(elapsed, governor.deadline_seconds * 2.0 + 1.0);
+}
+
+TEST(Governor, MemoryBombDegradesToStaticPasses) {
+  const InvokeDeobfuscator deobf;
+  GovernorOptions governor;
+  governor.deadline_seconds = 10.0;
+  governor.memory_budget_bytes = 1u << 20;
+  DeobfuscationReport report;
+  const std::string out = deobf.deobfuscate(kMemoryBomb, report, governor);
+  EXPECT_EQ(report.failure, ps::FailureKind::MemoryBudget);
+  EXPECT_GE(report.degradation_rung, 1);
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Governor, DegradeOffServesPassthroughOnFirstFailure) {
+  const InvokeDeobfuscator deobf;
+  GovernorOptions governor;
+  governor.deadline_seconds = 10.0;
+  governor.memory_budget_bytes = 1u << 20;
+  governor.degrade = false;
+  DeobfuscationReport report;
+  EXPECT_EQ(deobf.deobfuscate(kMemoryBomb, report, governor), kMemoryBomb);
+  EXPECT_EQ(report.degradation_rung, 3);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.failure, ps::FailureKind::MemoryBudget);
+}
+
+TEST(Governor, PreCancelledServesClassifiedPassthrough) {
+  const InvokeDeobfuscator deobf;
+  GovernorOptions governor;
+  governor.deadline_seconds = 10.0;
+  governor.cancel = ps::CancellationToken::make();
+  governor.cancel.request_cancel();
+  DeobfuscationReport report;
+  EXPECT_EQ(deobf.deobfuscate(kBenign, report, governor), kBenign);
+  EXPECT_EQ(report.failure, ps::FailureKind::Cancelled);
+  EXPECT_EQ(report.degradation_rung, 3);
+  EXPECT_EQ(report.attempts, 0);
+}
+
+TEST(Governor, MidRunCancellationAborts) {
+  DeobfuscationOptions opts;
+  opts.max_steps_per_piece = std::size_t{1} << 40;
+  const InvokeDeobfuscator deobf(opts);
+  GovernorOptions governor;
+  governor.deadline_seconds = 60.0;  // cancellation must win, not the clock
+  governor.cancel = ps::CancellationToken::make();
+  std::thread canceller([cancel = governor.cancel]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    cancel.request_cancel();
+  });
+  DeobfuscationReport report;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(deobf.deobfuscate(kInfiniteLoop, report, governor), kInfiniteLoop);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+  EXPECT_EQ(report.failure, ps::FailureKind::Cancelled);
+  EXPECT_EQ(report.degradation_rung, 3);
+  EXPECT_LT(elapsed, 10.0);
+}
+
+// --- the batch under hostile load ----------------------------------------
+
+TEST(GovernedBatch, HostileCorpusClassifiedServedAndBounded) {
+  DeobfuscationOptions opts;
+  opts.max_steps_per_piece = std::size_t{1} << 40;
+  const InvokeDeobfuscator deobf(opts);
+
+  const std::vector<std::string> scripts = {
+      kBenign, kInfiniteLoop, kMemoryBomb, kDeepRecursion, kBenign,
+  };
+  BatchOptions options;
+  options.threads = 2;
+  options.governor.deadline_seconds = 0.3;
+  options.governor.memory_budget_bytes = 4u << 20;
+  BatchReport report;
+  const auto out = deobfuscate_batch(deobf, scripts, report, options);
+
+  ASSERT_EQ(out.size(), scripts.size());
+  ASSERT_EQ(report.items.size(), scripts.size());
+
+  EXPECT_TRUE(report.items[0].ok);
+  EXPECT_EQ(report.items[0].failure, ps::FailureKind::None);
+  EXPECT_EQ(report.items[0].degradation_rung, 0);
+
+  EXPECT_EQ(report.items[1].failure, ps::FailureKind::Timeout);
+  EXPECT_GE(report.items[1].degradation_rung, 1);
+
+  EXPECT_EQ(report.items[2].failure, ps::FailureKind::MemoryBudget);
+  EXPECT_GE(report.items[2].degradation_rung, 1);
+
+  EXPECT_EQ(report.items[3].failure, ps::FailureKind::DepthLimit);
+
+  EXPECT_TRUE(report.items[4].ok);
+  EXPECT_EQ(out[4], out[0]);  // workers share nothing item-visible
+
+  // No item may blow materially past the ladder's 1.75x-deadline envelope.
+  for (const BatchItem& item : report.items) {
+    EXPECT_LT(item.seconds, options.governor.deadline_seconds * 3.0 + 1.0);
+  }
+  EXPECT_GE(report.failures(), 3);
+  EXPECT_GE(report.degraded(), 2);
+}
+
+TEST(GovernedBatch, BatchWideCancellationDrainsQueue) {
+  DeobfuscationOptions opts;
+  opts.max_steps_per_piece = std::size_t{1} << 40;
+  const InvokeDeobfuscator deobf(opts);
+  const std::vector<std::string> scripts(8, kInfiniteLoop);
+  BatchOptions options;
+  options.threads = 2;
+  options.governor.deadline_seconds = 30.0;
+  options.governor.cancel = ps::CancellationToken::make();
+  std::thread canceller([cancel = options.governor.cancel]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    cancel.request_cancel();
+  });
+  BatchReport report;
+  const auto start = std::chrono::steady_clock::now();
+  const auto out = deobfuscate_batch(deobf, scripts, report, options);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+  ASSERT_EQ(out.size(), scripts.size());
+  EXPECT_LT(elapsed, 15.0);
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    EXPECT_EQ(out[i], scripts[i]);
+    EXPECT_EQ(report.items[i].failure, ps::FailureKind::Cancelled) << i;
+  }
+}
+
+TEST(GovernedBatch, UngovernedBatchMatchesGovernedOnBenignCorpus) {
+  const InvokeDeobfuscator deobf;
+  const std::vector<std::string> scripts(4, kBenign);
+  BatchReport plain_report;
+  const auto plain = deobfuscate_batch(deobf, scripts, plain_report, 2u);
+  BatchOptions options;
+  options.threads = 2;
+  options.governor.deadline_seconds = 30.0;
+  BatchReport governed_report;
+  const auto governed = deobfuscate_batch(deobf, scripts, governed_report, options);
+  EXPECT_EQ(plain, governed);
+  EXPECT_EQ(governed_report.failures(), 0);
+  EXPECT_EQ(governed_report.degraded(), 0);
+}
+
+TEST(FailureTaxonomy, NamesAndSeverityOrder) {
+  EXPECT_STREQ(ps::to_string(ps::FailureKind::None), "none");
+  EXPECT_STREQ(ps::to_string(ps::FailureKind::Timeout), "timeout");
+  EXPECT_STREQ(ps::to_string(ps::FailureKind::StepLimit), "step-limit");
+  EXPECT_STREQ(ps::to_string(ps::FailureKind::MemoryBudget), "memory-budget");
+  EXPECT_EQ(ps::worse_failure(ps::FailureKind::EvalError,
+                              ps::FailureKind::Timeout),
+            ps::FailureKind::Timeout);
+  EXPECT_EQ(ps::worse_failure(ps::FailureKind::None,
+                              ps::FailureKind::StepLimit),
+            ps::FailureKind::StepLimit);
+  EXPECT_GT(ps::failure_severity(ps::FailureKind::Internal),
+            ps::failure_severity(ps::FailureKind::Cancelled));
+}
+
+}  // namespace

@@ -52,9 +52,11 @@ int usage() {
   return 2;
 }
 
-int cmd_deobf(const std::string& path, bool trace_functions) {
+int cmd_deobf(const std::string& path, bool trace_functions,
+              double deadline_seconds) {
   ideobf::DeobfuscationOptions opts;
   opts.trace_functions = trace_functions;
+  opts.governor.deadline_seconds = deadline_seconds;
   ideobf::InvokeDeobfuscator deobf(opts);
   ideobf::DeobfuscationReport report;
   std::cout << deobf.deobfuscate(read_input(path), report);
@@ -63,7 +65,9 @@ int cmd_deobf(const std::string& path, bool trace_functions) {
             << " case=" << report.token.case_normalized
             << " pieces=" << report.recovery.pieces_recovered
             << " vars=" << report.recovery.variables_traced
-            << " layers=" << report.multilayer.layers_unwrapped << "\n";
+            << " layers=" << report.multilayer.layers_unwrapped
+            << " failure=" << ps::to_string(report.failure)
+            << " rung=" << report.degradation_rung << "\n";
   return 0;
 }
 
@@ -184,12 +188,16 @@ int main(int argc, char** argv) {
 
   if (cmd == "deobf") {
     bool trace_fn = false;
+    double deadline_seconds = 0.0;
     std::string path = "-";
     for (int i = 2; i < argc; ++i) {
-      if (std::string(argv[i]) == "--trace-functions") trace_fn = true;
-      else path = argv[i];
+      const std::string a = argv[i];
+      if (a == "--trace-functions") trace_fn = true;
+      else if (a == "--deadline-ms" && i + 1 < argc)
+        deadline_seconds = std::atof(argv[++i]) / 1000.0;
+      else path = a;
     }
-    return cmd_deobf(path, trace_fn);
+    return cmd_deobf(path, trace_fn, deadline_seconds);
   }
   bool as_json = false;
   std::string pos_arg = "-";
