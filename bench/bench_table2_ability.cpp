@@ -38,7 +38,7 @@ bool no_random_identifiers(const std::string& out) {
   for (const auto& t : ps::tokenize_lenient(out, ok)) {
     if (t.type == ps::TokenType::Variable &&
         t.content.find(':') == std::string::npos && t.content.size() > 1) {
-      names.push_back(t.content);
+      names.push_back(std::string(t.content));
     }
   }
   return names.empty() || !names_look_random(names);

@@ -79,14 +79,14 @@ ObfuscationFindings detect_obfuscation(std::string_view script) {
     if (t.type == TokenType::Command || t.type == TokenType::Keyword ||
         t.type == TokenType::Member || t.type == TokenType::Type ||
         (t.type == TokenType::Operator && t.text.size() > 2 && t.text[0] == '-')) {
-      std::string word = t.text;
+      std::string word(t.text);
       word.erase(std::remove(word.begin(), word.end(), '`'), word.end());
       if (has_random_case(word)) f.techniques.insert(Technique::RandomCase);
     }
 
     // Alias use.
     if (t.type == TokenType::Command) {
-      std::string name = t.content;
+      std::string name(t.content);
       if (ps::AliasTable::standard().resolve(name).has_value()) {
         f.techniques.insert(Technique::Alias);
       }
@@ -101,7 +101,7 @@ ObfuscationFindings detect_obfuscation(std::string_view script) {
     // Identifier collection for the random-name statistic.
     if (expect_fn_name) {
       expect_fn_name = false;
-      identifier_names.push_back(t.content);
+      identifier_names.push_back(std::string(t.content));
     }
     if (t.type == TokenType::Keyword &&
         (t.content == "function" || t.content == "filter")) {
@@ -110,11 +110,11 @@ ObfuscationFindings detect_obfuscation(std::string_view script) {
     if (t.type == TokenType::Variable && t.content.find(':') == std::string::npos &&
         t.content.size() >= 4 && t.content != "true" && t.content != "false" &&
         t.content != "null") {
-      identifier_names.push_back(t.content);
+      identifier_names.push_back(std::string(t.content));
     }
 
     if (t.type == TokenType::Operator) {
-      const std::string& op = t.content;
+      const std::string_view op = t.content;
       if (op == "-split" || op == "-csplit" || op == "-isplit") ++split_ops;
       if (op == "-bxor") has_bxor = true;
       if (op == "-replace" || op == "-creplace" || op == "-ireplace") {
@@ -126,7 +126,7 @@ ObfuscationFindings detect_obfuscation(std::string_view script) {
     }
 
     if (t.type == TokenType::String) {
-      if (t.content.size() >= 16) long_strings.push_back(t.content);
+      if (t.content.size() >= 16) long_strings.push_back(std::string(t.content));
       if (longest_ws_run(t.content) >= 16) {
         f.techniques.insert(Technique::WhitespaceEncoding);
       }
@@ -154,7 +154,7 @@ ObfuscationFindings detect_obfuscation(std::string_view script) {
     static const std::regex re(R"(\{\d+\}\{\d+\})");
     for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
       if (tokens[i].type == TokenType::String &&
-          std::regex_search(tokens[i].content, re)) {
+          std::regex_search(std::string(tokens[i].content), re)) {
         for (std::size_t j = i + 1; j < std::min(tokens.size(), i + 3); ++j) {
           if (tokens[j].type == TokenType::Operator && tokens[j].content == "-f") {
             f.techniques.insert(Technique::Reorder);

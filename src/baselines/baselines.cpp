@@ -582,7 +582,7 @@ class LiEtAl final : public DeobfuscationTool {
         continue;
       }
       if (it->text.find('`') == std::string::npos) continue;
-      std::string fixed = it->text;
+      std::string fixed(it->text);
       fixed.erase(std::remove(fixed.begin(), fixed.end(), '`'), fixed.end());
       out.replace(it->start, it->length, fixed);
     }

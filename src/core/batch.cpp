@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "psvalue/worker_pool.h"
+
 namespace ideobf {
 
 namespace {
@@ -63,11 +65,10 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
 
   std::vector<std::string> results(scripts.size());
   report.items.assign(scripts.size(), BatchItem{});
-  std::atomic<std::size_t> next{0};
   const auto batch_start = clock_t_::now();
 
   const bool governed = options.governor.active();
-  // Per-item cancellation tokens, created before any worker starts so the
+  // Per-item cancellation tokens, created before any executor starts so the
   // watchdog can read them without synchronization.
   std::vector<ps::CancellationToken> tokens;
   std::vector<ItemState> states(governed ? scripts.size() : 0);
@@ -78,64 +79,68 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
     }
   }
 
-  auto worker = [&]() {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= scripts.size()) break;
-      BatchItem& item = report.items[i];
-      const auto start = clock_t_::now();
-      // External cancellation drains the queue fast: remaining items are
-      // served as classified passthrough, not silently dropped.
-      if (governed && options.governor.cancel.cancelled()) {
-        results[i] = scripts[i];
-        item.failure = ps::FailureKind::Cancelled;
-        item.degradation_rung = 3;
-        item.error = "batch cancelled";
-        continue;
-      }
-      if (governed) {
-        states[i].start = start;
-        states[i].running.store(true, std::memory_order_release);
-      }
-      // Sealed body: nothing an item does — including non-std throws from
-      // injected faults — may escape and take down the worker or process.
-      try {
-        DeobfuscationReport rep;
-        if (governed) {
-          GovernorOptions gov = options.governor;
-          gov.cancel = tokens[i];
-          results[i] = deobf.deobfuscate(scripts[i], rep, gov);
-        } else {
-          results[i] = deobf.deobfuscate(scripts[i], rep);
-        }
-        item.failure = rep.failure;
-        item.degradation_rung = rep.degradation_rung;
-        // Passthrough (rung 3) means no pipeline output was served; count
-        // it with the hard failures. Lower rungs served real output.
-        item.ok = rep.degradation_rung < 3;
-        if (!item.ok) item.error = rep.failure_detail;
-      } catch (const std::exception& e) {
-        results[i] = scripts[i];
-        item.error = e.what();
-        item.failure = ps::FailureKind::Internal;
-        item.degradation_rung = governed ? 3 : 0;
-      } catch (...) {
-        results[i] = scripts[i];
-        item.error = "non-standard exception";
-        item.failure = ps::FailureKind::Internal;
-        item.degradation_rung = governed ? 3 : 0;
-      }
-      if (governed) states[i].running.store(false, std::memory_order_release);
-      item.seconds =
-          std::chrono::duration<double>(clock_t_::now() - start).count();
-      item.changed = results[i] != scripts[i];
+  // One piece-execution memo per pool slot, shared across every script that
+  // slot serves. A slot is staffed by exactly one executor for the job's
+  // duration, so slot-local state needs no locking.
+  std::vector<RecoveryMemo> memos(options.share_recovery_memo ? threads : 0);
+
+  // Sealed body: nothing an item does — including non-std throws from
+  // injected faults — may escape into the pool (whose contract is that
+  // bodies do not throw) or take down the process.
+  auto body = [&](std::size_t i, unsigned slot) {
+    BatchItem& item = report.items[i];
+    const auto start = clock_t_::now();
+    // External cancellation drains the queue fast: remaining items are
+    // served as classified passthrough, not silently dropped.
+    if (governed && options.governor.cancel.cancelled()) {
+      results[i] = scripts[i];
+      item.failure = ps::FailureKind::Cancelled;
+      item.degradation_rung = 3;
+      item.error = "batch cancelled";
+      return;
     }
+    if (governed) {
+      states[i].start = start;
+      states[i].running.store(true, std::memory_order_release);
+    }
+    try {
+      DeobfuscationReport rep;
+      RecoveryMemo* memo = memos.empty() ? nullptr : &memos[slot];
+      GovernorOptions gov = governed ? options.governor : deobf.options().governor;
+      if (governed) gov.cancel = tokens[i];
+      results[i] = deobf.deobfuscate(scripts[i], rep, gov, memo);
+      item.degradation_rung = rep.degradation_rung;
+      // Passthrough (rung 3) means no pipeline output was served; count
+      // it with the hard failures. Lower rungs served real output.
+      item.ok = rep.degradation_rung < 3;
+      // A full-strength success is a clean item: per-piece recovery hiccups
+      // promoted into rep.failure stay out of the batch's failure counts so
+      // failures() agrees with failed() + degraded().
+      item.failure = (rep.degradation_rung > 0 || !item.ok)
+                         ? rep.failure
+                         : ps::FailureKind::None;
+      item.worst_piece_failure = rep.recovery.worst_failure;
+      if (!item.ok) item.error = rep.failure_detail;
+    } catch (const std::exception& e) {
+      results[i] = scripts[i];
+      item.error = e.what();
+      item.failure = ps::FailureKind::Internal;
+      item.degradation_rung = governed ? 3 : 0;
+    } catch (...) {
+      results[i] = scripts[i];
+      item.error = "non-standard exception";
+      item.failure = ps::FailureKind::Internal;
+      item.degradation_rung = governed ? 3 : 0;
+    }
+    if (governed) states[i].running.store(false, std::memory_order_release);
+    item.seconds =
+        std::chrono::duration<double>(clock_t_::now() - start).count();
+    item.changed = results[i] != scripts[i];
   };
 
   {
-    // jthread joins on destruction, so the pool (and the watchdog below)
-    // cannot be leaked running even if this scope unwinds early.
-    std::vector<std::jthread> pool;
+    // jthread joins on destruction, so the watchdog cannot be leaked
+    // running even if this scope unwinds early.
     std::jthread watchdog;
     if (governed) {
       // The deadline x watchdog_factor backstop for items wedged between
@@ -166,13 +171,9 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
         }
       });
     }
-    if (threads == 1) {
-      worker();
-    } else {
-      pool.reserve(threads);
-      for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-      for (auto& th : pool) th.join();
-    }
+    // Items run on the process-lifetime work-stealing pool; the calling
+    // thread participates, and threads == 1 runs entirely on the caller.
+    ps::WorkerPool::instance().parallel(scripts.size(), threads, body);
     if (watchdog.joinable()) watchdog.request_stop();
   }
 

@@ -6,13 +6,18 @@
 /// so a corpus (triage queues routinely see thousands of samples) shards
 /// cleanly across worker threads.
 ///
+/// Execution model: items run on the process-lifetime work-stealing
+/// ps::WorkerPool (no per-call thread spawn; per-thread arena chunk
+/// freelists stay warm across batches). Each pool slot keeps a
+/// RecoveryMemo shared across every script that slot serves, so a decoder
+/// fragment repeated across a corpus is sandbox-executed once per slot.
+///
 /// Robustness model: each item runs under its own governor envelope (see
 /// GovernorOptions) with a private cancellation token, and a watchdog thread
 /// cancels any item still running past 2x its deadline — so one hostile
 /// sample can stall neither its worker nor the batch. Worker bodies are
-/// exception-sealed (including non-std throws) and the pool joins via
-/// std::jthread, so an unexpected throw degrades one item instead of
-/// terminating the process.
+/// exception-sealed (including non-std throws), so an unexpected throw
+/// degrades one item instead of terminating the process.
 
 #include <string>
 #include <vector>
@@ -27,17 +32,23 @@ struct BatchItem {
   bool changed = false;  ///< output differs from the input script
   double seconds = 0.0;  ///< wall time spent on this item
   std::string error;     ///< what() of the caught exception when !ok
-  /// Failure classification (None when the item succeeded cleanly at full
-  /// strength). An item can be ok with a non-None failure: the governor
-  /// degraded it to a lower rung that succeeded.
+  /// Failure classification of whatever impaired this item: non-None
+  /// exactly when the item failed (!ok) or was served degraded (rung > 0).
+  /// A full-strength success is always None — benign per-piece recovery
+  /// hiccups inside an otherwise clean run do not count as item failures —
+  /// so failures() is consistent with failed() + degraded().
   ps::FailureKind failure = ps::FailureKind::None;
+  /// Worst per-piece recovery failure seen while producing the served
+  /// output (informative; a piece that could not be recovered is left
+  /// as-is by design, so this never affects ok or failures()).
+  ps::FailureKind worst_piece_failure = ps::FailureKind::None;
   /// Degradation-ladder rung that served the output (0 = full pipeline,
   /// 3 = passthrough).
   int degradation_rung = 0;
 };
 
 struct BatchOptions {
-  /// Worker threads; 0 picks the hardware concurrency.
+  /// Concurrent executors (pool slots); 0 picks the hardware concurrency.
   unsigned threads = 0;
   /// Per-item governor envelope. Inactive (the default) runs every item
   /// ungoverned — the pre-governor behavior, byte-identical output. With a
@@ -45,6 +56,10 @@ struct BatchOptions {
   /// watchdog_factor x deadline in case an item wedges between checkpoints.
   GovernorOptions governor{};
   double watchdog_factor = 2.0;
+  /// Share one RecoveryMemo per pool slot across all scripts that slot
+  /// serves (memo keys fingerprint the full evaluation context, so sharing
+  /// never changes output). Disabling reverts to one memo per item.
+  bool share_recovery_memo = true;
 };
 
 struct BatchReport {
@@ -53,8 +68,9 @@ struct BatchReport {
 
   [[nodiscard]] int failed() const;
   [[nodiscard]] int changed() const;
-  /// Items with a non-None failure classification (superset of failed():
-  /// includes degraded-but-served items).
+  /// Items with a non-None failure classification: exactly the failed()
+  /// items plus the degraded-but-served ones. A batch with failed() == 0
+  /// and degraded() == 0 therefore reports failures() == 0.
   [[nodiscard]] int failures() const;
   /// Items served from a rung > 0.
   [[nodiscard]] int degraded() const;

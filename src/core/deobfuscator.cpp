@@ -82,10 +82,17 @@ DeobfuscationOptions InvokeDeobfuscator::rung_options(int rung) const {
 std::string InvokeDeobfuscator::deobfuscate(
     std::string_view script, DeobfuscationReport& report,
     const GovernorOptions& governor) const {
+  return deobfuscate(script, report, governor, nullptr);
+}
+
+std::string InvokeDeobfuscator::deobfuscate(
+    std::string_view script, DeobfuscationReport& report,
+    const GovernorOptions& governor, RecoveryMemo* shared_memo) const {
   if (!governor.active()) {
     // Ungoverned: the exact pre-governor code path, no budget checkpoints.
     report = DeobfuscationReport{};
-    std::string out = run_pipeline(script, report, options_, nullptr);
+    std::string out = run_pipeline(script, report, options_, nullptr,
+                                   shared_memo);
     if (report.failure == ps::FailureKind::None) {
       report.failure = report.recovery.worst_failure;
     }
@@ -115,8 +122,8 @@ std::string InvokeDeobfuscator::deobfuscate(
     DeobfuscationReport attempt;
     ++attempts;
     try {
-      std::string out =
-          run_pipeline(script, attempt, rung_options(rung), &budget);
+      std::string out = run_pipeline(script, attempt, rung_options(rung),
+                                     &budget, shared_memo);
       report = std::move(attempt);
       report.degradation_rung = rung;
       report.attempts = attempts;
@@ -150,7 +157,8 @@ std::string InvokeDeobfuscator::deobfuscate(
 std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
                                              DeobfuscationReport& report,
                                              const DeobfuscationOptions& opts,
-                                             ps::Budget* budget) const {
+                                             ps::Budget* budget,
+                                             RecoveryMemo* shared_memo) const {
   TraceSink sink;
   TraceSink* trace = opts.collect_trace ? &sink : nullptr;
   ps::ParseCache* cache = cache_.get();
@@ -164,10 +172,15 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
     report.failure = ps::FailureKind::ParseError;
     report.failure_detail = "input does not parse";
   }
-  // One piece-execution memo per run: layers and fixed-point passes share
-  // it; runs do not (traced-variable context is per-script anyway).
-  RecoveryMemo memo;
-  RecoveryMemo* memo_ptr = opts.recovery_memo ? &memo : nullptr;
+  // One piece-execution memo per run — layers and fixed-point passes share
+  // it — unless the caller supplied a longer-lived one (a batch slot's memo
+  // spanning every script that slot serves; sound because memo keys
+  // fingerprint the full evaluation context, limits included).
+  RecoveryMemo local_memo;
+  RecoveryMemo* memo_ptr =
+      !opts.recovery_memo ? nullptr
+      : shared_memo != nullptr ? shared_memo
+                               : &local_memo;
   std::string out = deobfuscate_layers(script, report, 0, trace, memo_ptr,
                                        opts, budget);
 

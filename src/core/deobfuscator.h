@@ -139,6 +139,16 @@ class InvokeDeobfuscator {
   [[nodiscard]] std::string deobfuscate(std::string_view script,
                                         DeobfuscationReport& report,
                                         const GovernorOptions& governor) const;
+  /// As above, additionally sharing an externally owned piece-execution
+  /// memo (how deobfuscate_batch reuses recovered pieces across the scripts
+  /// served by one pool slot — memo keys fingerprint everything relevant,
+  /// so cross-script sharing is sound). The memo must only ever be touched
+  /// by one thread at a time; null falls back to a per-run memo. Ignored
+  /// when options().recovery_memo is false.
+  [[nodiscard]] std::string deobfuscate(std::string_view script,
+                                        DeobfuscationReport& report,
+                                        const GovernorOptions& governor,
+                                        RecoveryMemo* shared_memo) const;
 
   [[nodiscard]] const DeobfuscationOptions& options() const { return options_; }
 
@@ -149,10 +159,12 @@ class InvokeDeobfuscator {
 
  private:
   /// One full pipeline run under `opts`, checkpointing `budget` (may be
-  /// null) between phases. Throws on budget/fault aborts.
+  /// null) between phases. Throws on budget/fault aborts. `shared_memo`
+  /// substitutes for the run-local piece memo when non-null.
   std::string run_pipeline(std::string_view script, DeobfuscationReport& report,
                            const DeobfuscationOptions& opts,
-                           ps::Budget* budget) const;
+                           ps::Budget* budget,
+                           RecoveryMemo* shared_memo) const;
   std::string deobfuscate_layers(std::string_view script,
                                  DeobfuscationReport& report, int depth,
                                  TraceSink* trace, RecoveryMemo* memo,

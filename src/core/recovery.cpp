@@ -153,6 +153,14 @@ class Reconstructor {
       mix(info.value.to_display_string());
     }
     for (const std::string& def : function_defs_) mix(def);
+    // The execution limits and blocklist gate what a piece may do before it
+    // fails, and a failure is memoized as "known unrecoverable" — so they
+    // are part of the context. This keeps one memo sound when shared across
+    // degradation rungs (which tighten the limits) or across batch slots.
+    mix(std::to_string(options_.max_steps_per_piece));
+    mix(std::to_string(options_.max_piece_size));
+    for (const std::string& blocked : options_.extra_blocklist) mix(blocked);
+    mix(options_.trace_functions ? "tf1" : "tf0");
     return h;
   }
 
@@ -508,7 +516,7 @@ std::string recovery_pass(std::string_view script,
 
 std::string recovery_pass(std::string_view script, const RecoveryOptions& options,
                           RecoveryStats* stats, TraceSink* trace) {
-  std::unique_ptr<ps::ScriptBlockAst> root = ps::try_parse(script);
+  ps::ParsedScript root = ps::try_parse(script);
   if (root == nullptr) return std::string(script);
   return recovery_pass(script, *root, options, stats, trace, nullptr);
 }

@@ -42,10 +42,12 @@ struct RecoveryStats {
 /// fragment under the same traced-variable context is executed once, not
 /// once per occurrence per layer per fixed-point pass. Keyed by the piece
 /// text plus a fingerprint of everything that can influence its evaluation
-/// (visible symbol-table entries and loaded function definitions). An empty
-/// memoized literal records "known unrecoverable", so failed executions are
-/// not retried either. Not thread-safe: one memo serves one deobfuscation
-/// run, which is single-threaded.
+/// (visible symbol-table entries, loaded function definitions, and the
+/// execution limits/blocklist). An empty memoized literal records "known
+/// unrecoverable", so failed executions are not retried either; because the
+/// limits are part of the fingerprint, a tight-limit failure never masks a
+/// full-limit success. Not thread-safe: one memo serves one deobfuscation
+/// run or one batch slot, both single-threaded for the memo's whole use.
 class RecoveryMemo {
  public:
   /// The memoized literal for this piece under this context, or null when

@@ -27,7 +27,7 @@ std::string reformat_pass(std::string_view script) {
     prev = nullptr;
   };
 
-  auto emit = [&](const Token& t, const std::string& text) {
+  auto emit = [&](const Token& t, std::string_view text) {
     if (at_line_start) {
       for (int i = 0; i < indent; ++i) out += "    ";
       at_line_start = false;

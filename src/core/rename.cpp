@@ -32,7 +32,7 @@ bool is_automatic_variable(const std::string& lower) {
 
 /// Case-insensitive replacement of `$name` references inside an expandable
 /// string's raw text.
-std::string replace_in_expandable(const std::string& text,
+std::string replace_in_expandable(std::string_view text,
                                   const std::map<std::string, std::string>& vars) {
   std::string out;
   std::size_t i = 0;

@@ -87,7 +87,7 @@ std::string token_pass(std::string_view script, TokenPassStats* stats,
       }
       case TokenType::Member:
       case TokenType::CommandArgument: {
-        std::string fixed = t.content;
+        std::string fixed(t.content);
         // Only identifier-like words carry random-case obfuscation; data
         // arguments (Base64, numbers, URLs) must keep their exact casing.
         bool word_like = !fixed.empty();
@@ -111,7 +111,7 @@ std::string token_pass(std::string_view script, TokenPassStats* stats,
         break;
       }
       case TokenType::CommandParameter: {
-        std::string fixed = t.content;
+        std::string fixed(t.content);
         if (has_random_case(fixed.substr(1))) {
           fixed = ps::to_lower(fixed);
           local.case_normalized++;
@@ -126,7 +126,7 @@ std::string token_pass(std::string_view script, TokenPassStats* stats,
       }
       case TokenType::Type: {
         // Type literal text includes brackets; content does not.
-        std::string inner = t.content;
+        std::string inner(t.content);
         bool changed = false;
         if (has_random_case(inner)) {
           inner = ps::to_lower(inner);
@@ -156,7 +156,7 @@ std::string token_pass(std::string_view script, TokenPassStats* stats,
       }
       case TokenType::Variable: {
         if (had_ticks) {
-          replacement = "$" + t.content;
+          replacement = "$" + std::string(t.content);
           local.ticks_removed++;
           replace = true;
         }
@@ -176,8 +176,8 @@ std::string token_pass(std::string_view script, TokenPassStats* stats,
 
     if (replace && replacement != t.text) {
       if (trace != nullptr) {
-        trace->emit({TraceEvent::Kind::TokenNormalized, t.start, t.text,
-                     replacement, trace->pass()});
+        trace->emit({TraceEvent::Kind::TokenNormalized, t.start,
+                     std::string(t.text), replacement, trace->pass()});
       }
       out.replace(t.start, t.length, replacement);
     }

@@ -31,7 +31,7 @@ std::string quote_single(std::string_view content) {
   return out;
 }
 
-bool word_like(const std::string& s) {
+bool word_like(std::string_view s) {
   if (s.empty()) return false;
   for (char c : s) {
     if (!std::isalpha(static_cast<unsigned char>(c)) && c != '-' && c != '.' &&
@@ -144,7 +144,7 @@ std::string Obfuscator::apply_token_technique(Technique t, std::string_view scri
              tok.text[0] == '-') ||
             (tok.type == TokenType::CommandArgument && word_like(tok.content));
         if (!eligible) break;
-        std::string flipped = tok.text;
+        std::string flipped(tok.text);
         for (char& c : flipped) {
           if (!std::isalpha(static_cast<unsigned char>(c))) continue;
           c = coin() ? static_cast<char>(std::toupper(static_cast<unsigned char>(c)))

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "pslang/token.h"
+#include "psvalue/arena.h"
 #include "psvalue/value.h"
 
 namespace ps {
@@ -68,7 +69,10 @@ enum class NodeKind {
 std::string_view to_string(NodeKind kind);
 
 class Ast;
-using AstPtr = std::unique_ptr<Ast>;
+
+/// Non-owning handle to an arena-allocated node; the owning Arena is
+/// carried alongside the root (see ParsedScript below).
+using AstPtr = ArenaPtr<Ast>;
 
 /// Base class of all AST nodes.
 class Ast {
@@ -126,8 +130,9 @@ class Ast {
 
 class ParameterAst final : public Ast {
  public:
-  ParameterAst(std::size_t s, std::size_t e, std::string name, AstPtr def)
-      : Ast(NodeKind::Parameter, s, e), name(std::move(name)),
+  ParameterAst(std::size_t s, std::size_t e, std::string_view name,
+               AstPtr def)
+      : Ast(NodeKind::Parameter, s, e), name(name),
         default_value(std::move(def)) {}
   std::string name;      ///< without the `$`
   AstPtr default_value;  ///< may be null
@@ -141,9 +146,9 @@ class ParameterAst final : public Ast {
 class ParamBlockAst final : public Ast {
  public:
   ParamBlockAst(std::size_t s, std::size_t e,
-                std::vector<std::unique_ptr<ParameterAst>> params)
+                std::vector<ArenaPtr<ParameterAst>> params)
       : Ast(NodeKind::ParamBlock, s, e), parameters(std::move(params)) {}
-  std::vector<std::unique_ptr<ParameterAst>> parameters;
+  std::vector<ArenaPtr<ParameterAst>> parameters;
 
  protected:
   void collect_children(std::vector<const Ast*>& out) const override {
@@ -173,12 +178,12 @@ class NamedBlockAst final : public Ast {
 class ScriptBlockAst final : public Ast {
  public:
   ScriptBlockAst(std::size_t s, std::size_t e,
-                 std::unique_ptr<ParamBlockAst> params,
-                 std::vector<std::unique_ptr<NamedBlockAst>> blocks)
+                 ArenaPtr<ParamBlockAst> params,
+                 std::vector<ArenaPtr<NamedBlockAst>> blocks)
       : Ast(NodeKind::ScriptBlock, s, e), param_block(std::move(params)),
         named_blocks(std::move(blocks)) {}
-  std::unique_ptr<ParamBlockAst> param_block;  ///< may be null
-  std::vector<std::unique_ptr<NamedBlockAst>> named_blocks;
+  ArenaPtr<ParamBlockAst> param_block;  ///< may be null
+  std::vector<ArenaPtr<NamedBlockAst>> named_blocks;
 
  protected:
   void collect_children(std::vector<const Ast*>& out) const override {
@@ -252,9 +257,9 @@ class CommandExpressionAst final : public Ast {
 
 class CommandParameterAst final : public Ast {
  public:
-  CommandParameterAst(std::size_t s, std::size_t e, std::string name,
+  CommandParameterAst(std::size_t s, std::size_t e, std::string_view name,
                       AstPtr argument)
-      : Ast(NodeKind::CommandParameter, s, e), name(std::move(name)),
+      : Ast(NodeKind::CommandParameter, s, e), name(name),
         argument(std::move(argument)) {}
   std::string name;  ///< with the leading dash, e.g. "-EncodedCommand"
   AstPtr argument;   ///< only for `-Name:value` forms; may be null
@@ -268,9 +273,9 @@ class CommandParameterAst final : public Ast {
 class AssignmentStatementAst final : public Ast {
  public:
   AssignmentStatementAst(std::size_t s, std::size_t e, AstPtr lhs,
-                         std::string op, AstPtr rhs)
+                         std::string_view op, AstPtr rhs)
       : Ast(NodeKind::AssignmentStatement, s, e), left(std::move(lhs)),
-        op(std::move(op)), right(std::move(rhs)) {}
+        op(op), right(std::move(rhs)) {}
   AstPtr left;     ///< VariableExpression / IndexExpression / MemberExpression
   std::string op;  ///< "=", "+=", ...
   AstPtr right;    ///< statement (usually a PipelineAst)
@@ -401,14 +406,14 @@ class SwitchStatementAst final : public Ast {
 
 class FunctionDefinitionAst final : public Ast {
  public:
-  FunctionDefinitionAst(std::size_t s, std::size_t e, std::string name,
-                        std::vector<std::unique_ptr<ParameterAst>> params,
+  FunctionDefinitionAst(std::size_t s, std::size_t e, std::string_view name,
+                        std::vector<ArenaPtr<ParameterAst>> params,
                         AstPtr body, bool filter)
-      : Ast(NodeKind::FunctionDefinition, s, e), name(std::move(name)),
+      : Ast(NodeKind::FunctionDefinition, s, e), name(name),
         parameters(std::move(params)), body(std::move(body)),
         is_filter(filter) {}
   std::string name;
-  std::vector<std::unique_ptr<ParameterAst>> parameters;
+  std::vector<ArenaPtr<ParameterAst>> parameters;
   AstPtr body;  ///< ScriptBlockAst
   bool is_filter;
 
@@ -455,10 +460,10 @@ class FlowStatementAst final : public Ast {
 
 class BinaryExpressionAst final : public Ast {
  public:
-  BinaryExpressionAst(std::size_t s, std::size_t e, AstPtr lhs, std::string op,
-                      AstPtr rhs)
+  BinaryExpressionAst(std::size_t s, std::size_t e, AstPtr lhs,
+                      std::string_view op, AstPtr rhs)
       : Ast(NodeKind::BinaryExpression, s, e), left(std::move(lhs)),
-        op(std::move(op)), right(std::move(rhs)) {}
+        op(op), right(std::move(rhs)) {}
   AstPtr left;
   std::string op;  ///< canonical lowercase: "+", "-f", "-join", "-bxor", ...
   AstPtr right;
@@ -472,8 +477,9 @@ class BinaryExpressionAst final : public Ast {
 
 class UnaryExpressionAst final : public Ast {
  public:
-  UnaryExpressionAst(std::size_t s, std::size_t e, std::string op, AstPtr child)
-      : Ast(NodeKind::UnaryExpression, s, e), op(std::move(op)),
+  UnaryExpressionAst(std::size_t s, std::size_t e, std::string_view op,
+                     AstPtr child)
+      : Ast(NodeKind::UnaryExpression, s, e), op(op),
         child(std::move(child)) {}
   std::string op;  ///< "-", "!", "-not", "-join", "-split", "-bnot", ","
   AstPtr child;
@@ -487,9 +493,9 @@ class UnaryExpressionAst final : public Ast {
 /// `[type] expr` cast.
 class ConvertExpressionAst final : public Ast {
  public:
-  ConvertExpressionAst(std::size_t s, std::size_t e, std::string type_name,
-                       AstPtr child)
-      : Ast(NodeKind::ConvertExpression, s, e), type_name(std::move(type_name)),
+  ConvertExpressionAst(std::size_t s, std::size_t e,
+                       std::string_view type_name, AstPtr child)
+      : Ast(NodeKind::ConvertExpression, s, e), type_name(type_name),
         child(std::move(child)) {}
   std::string type_name;  ///< inner text of the brackets, whitespace-stripped
   AstPtr child;
@@ -503,8 +509,8 @@ class ConvertExpressionAst final : public Ast {
 /// `[type]` used as a value (usually before `::`).
 class TypeExpressionAst final : public Ast {
  public:
-  TypeExpressionAst(std::size_t s, std::size_t e, std::string type_name)
-      : Ast(NodeKind::TypeExpression, s, e), type_name(std::move(type_name)) {}
+  TypeExpressionAst(std::size_t s, std::size_t e, std::string_view type_name)
+      : Ast(NodeKind::TypeExpression, s, e), type_name(type_name) {}
   std::string type_name;
 
  protected:
@@ -523,9 +529,9 @@ class ConstantExpressionAst final : public Ast {
 
 class StringConstantExpressionAst final : public Ast {
  public:
-  StringConstantExpressionAst(std::size_t s, std::size_t e, std::string value,
-                              QuoteKind quote)
-      : Ast(NodeKind::StringConstantExpression, s, e), value(std::move(value)),
+  StringConstantExpressionAst(std::size_t s, std::size_t e,
+                              std::string_view value, QuoteKind quote)
+      : Ast(NodeKind::StringConstantExpression, s, e), value(value),
         quote(quote) {}
   std::string value;  ///< cooked content
   QuoteKind quote;
@@ -539,9 +545,9 @@ class StringConstantExpressionAst final : public Ast {
 /// evaluation time).
 class ExpandableStringExpressionAst final : public Ast {
  public:
-  ExpandableStringExpressionAst(std::size_t s, std::size_t e, std::string raw,
-                                QuoteKind quote)
-      : Ast(NodeKind::ExpandableStringExpression, s, e), raw(std::move(raw)),
+  ExpandableStringExpressionAst(std::size_t s, std::size_t e,
+                                std::string_view raw, QuoteKind quote)
+      : Ast(NodeKind::ExpandableStringExpression, s, e), raw(raw),
         quote(quote) {}
   std::string raw;
   QuoteKind quote;
@@ -552,8 +558,8 @@ class ExpandableStringExpressionAst final : public Ast {
 
 class VariableExpressionAst final : public Ast {
  public:
-  VariableExpressionAst(std::size_t s, std::size_t e, std::string name)
-      : Ast(NodeKind::VariableExpression, s, e), name(std::move(name)) {}
+  VariableExpressionAst(std::size_t s, std::size_t e, std::string_view name)
+      : Ast(NodeKind::VariableExpression, s, e), name(name) {}
   std::string name;  ///< as written, possibly with scope qualifier ("env:X")
 
   /// Name without any scope qualifier, lowercased.
@@ -698,9 +704,9 @@ class SubExpressionAst final : public Ast {
 class ScriptBlockExpressionAst final : public Ast {
  public:
   ScriptBlockExpressionAst(std::size_t s, std::size_t e, AstPtr script_block,
-                           std::string body_text)
+                           std::string_view body_text)
       : Ast(NodeKind::ScriptBlockExpression, s, e),
-        script_block(std::move(script_block)), body_text(std::move(body_text)) {}
+        script_block(std::move(script_block)), body_text(body_text) {}
   AstPtr script_block;    ///< ScriptBlockAst
   std::string body_text;  ///< inner text without the braces
 
@@ -718,5 +724,35 @@ bool is_scope_kind(NodeKind kind);
 
 /// Links parent pointers across the whole subtree rooted at `root`.
 void link_parents(Ast& root);
+
+/// Owning handle for one parse: the Arena holding every node plus the root.
+/// Behaves like a (const) smart pointer to the root. Copies share the arena
+/// — a cached parse is handed out with a single refcount bump — and the
+/// whole tree is torn down when the last handle drops, even if the cache
+/// entry that produced it has long been evicted.
+class ParsedScript {
+ public:
+  ParsedScript() = default;
+  ParsedScript(std::shared_ptr<Arena> arena, const ScriptBlockAst* root)
+      : arena_(std::move(arena)), root_(root) {}
+
+  [[nodiscard]] const ScriptBlockAst* get() const { return root_; }
+  const ScriptBlockAst& operator*() const { return *root_; }
+  const ScriptBlockAst* operator->() const { return root_; }
+  explicit operator bool() const { return root_ != nullptr; }
+  friend bool operator==(const ParsedScript& p, std::nullptr_t) {
+    return p.root_ == nullptr;
+  }
+
+  [[nodiscard]] const std::shared_ptr<Arena>& arena() const { return arena_; }
+  void reset() {
+    root_ = nullptr;
+    arena_.reset();
+  }
+
+ private:
+  std::shared_ptr<Arena> arena_;
+  const ScriptBlockAst* root_ = nullptr;
+};
 
 }  // namespace ps

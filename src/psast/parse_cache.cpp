@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pslang/lexer.h"
 #include "psast/parser.h"
 
 namespace ps {
@@ -23,11 +24,21 @@ ParseCache::Result ParseCache::get(std::string_view text) {
     }
   }
 
-  // Parse outside the shard lock: a slow parse must not serialize the shard.
+  // Parse outside the shard lock: a slow parse must not serialize the
+  // shard. The pinned source copy lives in the same arena as the tree, so
+  // the whole entry is one allocation domain with one refcount.
   Result fresh;
-  fresh.source = std::make_shared<const std::string>(text);
-  fresh.ast = std::shared_ptr<const ScriptBlockAst>(try_parse(*fresh.source));
-  fresh.valid = fresh.ast != nullptr;
+  auto arena = std::make_shared<Arena>();
+  const std::string* pinned = arena->make<std::string>(text);
+  const ScriptBlockAst* root = nullptr;
+  try {
+    root = parse_into(*arena, *pinned);
+  } catch (const ParseError&) {
+  } catch (const LexError&) {
+  }
+  fresh.source = std::shared_ptr<const std::string>(arena, pinned);
+  fresh.ast = ParsedScript(std::move(arena), root);
+  fresh.valid = root != nullptr;
 
   if (text.size() > max_text_bytes_) {
     bypasses_.fetch_add(1, std::memory_order_relaxed);

@@ -33,12 +33,15 @@ struct ParseCacheStats {
 /// parse never blocks lookups of other texts in the same shard.
 class ParseCache {
  public:
-  /// A cached parse. `ast` is null when the text does not parse. `source`
-  /// owns the exact text the AST extents index into; since extents are
-  /// plain offsets they are equally valid against any caller buffer with
+  /// A cached parse. `ast` is an arena-backed handle (== nullptr when the
+  /// text does not parse). `source` owns the exact text the AST extents
+  /// index into and lives *inside* the same arena, so handing out a cached
+  /// parse costs refcount bumps on a single shared Arena — no per-node
+  /// atomics, no separate source allocation. Since extents are plain
+  /// offsets they are equally valid against any caller buffer with
   /// identical content.
   struct Result {
-    std::shared_ptr<const ScriptBlockAst> ast;
+    ParsedScript ast;
     std::shared_ptr<const std::string> source;
     bool valid = false;
   };

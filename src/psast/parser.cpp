@@ -11,7 +11,7 @@ namespace ps {
 
 namespace {
 
-Value parse_number_token(const std::string& content) {
+Value parse_number_token(std::string_view content) {
   std::string s = to_lower(content);
   if (s.rfind("0x", 0) == 0) {
     return Value(static_cast<std::int64_t>(std::strtoll(s.c_str() + 2, nullptr, 16)));
@@ -48,7 +48,7 @@ bool is_group_end(const Token& t, std::string_view g) {
 
 /// Numeric barewords in argument position ("Start-Sleep 5") bind as numbers,
 /// as PSParser does.
-bool is_pure_number(const std::string& s) {
+bool is_pure_number(std::string_view s) {
   if (s.empty()) return false;
   std::size_t i = s[0] == '-' ? 1 : 0;
   if (i >= s.size()) return false;
@@ -64,13 +64,13 @@ bool is_pure_number(const std::string& s) {
   return true;
 }
 
-AstPtr make_command_word(const Token& w) {
+AstPtr make_command_word(Arena& arena, const Token& w) {
   if (is_pure_number(w.content)) {
-    return std::make_unique<ConstantExpressionAst>(w.start, w.end(),
-                                                   parse_number_token(w.content));
+    return arena.make<ConstantExpressionAst>(w.start, w.end(),
+                                             parse_number_token(w.content));
   }
-  return std::make_unique<StringConstantExpressionAst>(w.start, w.end(), w.content,
-                                                       QuoteKind::None);
+  return arena.make<StringConstantExpressionAst>(w.start, w.end(), w.content,
+                                                 QuoteKind::None);
 }
 
 bool is_assignment_op(const Token& t) {
@@ -105,26 +105,38 @@ bool token_in(const Token& t, const std::array<std::string_view, N>& ops) {
 
 class Parser {
  public:
-  Parser(TokenStream tokens, std::size_t source_size)
-      : source_size_(source_size) {
-    toks_.reserve(tokens.size());
-    for (auto& t : tokens) {
+  Parser(TokenStream tokens, std::size_t source_size, Arena& arena)
+      : arena_(&arena), stream_(std::move(tokens)),
+        source_size_(source_size) {
+    // Tokens are cheap views; filtering copies them but shares the pinned
+    // buffers through stream_, which must outlive toks_.
+    toks_.reserve(stream_.size());
+    for (const auto& t : stream_) {
       if (t.type == TokenType::Comment || t.type == TokenType::LineContinuation) {
         continue;
       }
-      toks_.push_back(std::move(t));
+      toks_.push_back(t);
     }
   }
 
-  std::unique_ptr<ScriptBlockAst> parse_script() {
+  ScriptBlockAst* parse_script() {
     auto sb = parse_script_block_body(0, source_size_, "");
-    if (!done()) fail("unexpected token '" + cur().text + "'");
+    if (!done()) fail("unexpected token '" + std::string(cur().text) + "'");
     link_parents(*sb);
-    return sb;
+    return sb.get();
   }
 
  private:
-  TokenStream toks_;
+  /// All nodes are built here; the caller owns the arena and with it the
+  /// whole tree, so the parser itself never frees anything.
+  Arena* arena_;
+  template <class T, class... Args>
+  ArenaPtr<T> mk(Args&&... args) {
+    return ArenaPtr<T>(arena_->make<T>(std::forward<Args>(args)...));
+  }
+
+  TokenStream stream_;
+  std::vector<Token> toks_;
   std::size_t source_size_;
   std::size_t i_ = 0;
   int ignore_newlines_ = 0;
@@ -221,17 +233,17 @@ class Parser {
 
   // ----------------------------------------------------------- structure
 
-  std::unique_ptr<ScriptBlockAst> parse_script_block_body(std::size_t start,
+  ArenaPtr<ScriptBlockAst> parse_script_block_body(std::size_t start,
                                                           std::size_t end_hint,
                                                           std::string_view closer) {
     skip_separators();
-    std::unique_ptr<ParamBlockAst> param_block;
+    ArenaPtr<ParamBlockAst> param_block;
     if (!done() && is_kw(cur(), "param")) {
       param_block = parse_param_block();
       skip_separators();
     }
 
-    std::vector<std::unique_ptr<NamedBlockAst>> blocks;
+    std::vector<ArenaPtr<NamedBlockAst>> blocks;
     if (!done() && cur().type == TokenType::Keyword &&
         (iequals(cur().content, "begin") || iequals(cur().content, "process") ||
          iequals(cur().content, "end"))) {
@@ -248,7 +260,7 @@ class Parser {
         parse_statement_list(stmts, "}");
         const std::size_t bend = prev_end();
         expect_group_end("}");
-        blocks.push_back(std::make_unique<NamedBlockAst>(kw.start, prev_end(),
+        blocks.push_back(mk<NamedBlockAst>(kw.start, prev_end(),
                                                          name, std::move(stmts)));
         (void)bend;
         skip_separators();
@@ -258,15 +270,15 @@ class Parser {
       parse_statement_list(stmts, closer);
       const std::size_t bstart = stmts.empty() ? start : stmts.front()->start();
       const std::size_t bend = stmts.empty() ? start : stmts.back()->end();
-      blocks.push_back(std::make_unique<NamedBlockAst>(
+      blocks.push_back(mk<NamedBlockAst>(
           bstart, bend, NamedBlockAst::BlockName::Unnamed, std::move(stmts)));
     }
-    return std::make_unique<ScriptBlockAst>(start, end_hint,
+    return mk<ScriptBlockAst>(start, end_hint,
                                             std::move(param_block),
                                             std::move(blocks));
   }
 
-  std::unique_ptr<ParamBlockAst> parse_param_block() {
+  ArenaPtr<ParamBlockAst> parse_param_block() {
     const std::size_t start = cur().start;
     take();  // param
     if (done() || !is_group_start(cur(), "(")) fail("expected '(' after param");
@@ -275,12 +287,12 @@ class Parser {
     auto params = parse_parameter_list(")");
     --ignore_newlines_;
     expect_group_end(")");
-    return std::make_unique<ParamBlockAst>(start, prev_end(), std::move(params));
+    return mk<ParamBlockAst>(start, prev_end(), std::move(params));
   }
 
-  std::vector<std::unique_ptr<ParameterAst>> parse_parameter_list(
+  std::vector<ArenaPtr<ParameterAst>> parse_parameter_list(
       std::string_view closer) {
-    std::vector<std::unique_ptr<ParameterAst>> params;
+    std::vector<ArenaPtr<ParameterAst>> params;
     while (!done() && !is_group_end(cur(), closer)) {
       // Optional type constraint before the variable.
       if (cur().type == TokenType::Type) take();
@@ -291,7 +303,7 @@ class Parser {
         take();
         def = parse_expression();
       }
-      params.push_back(std::make_unique<ParameterAst>(var.start, prev_end(),
+      params.push_back(mk<ParameterAst>(var.start, prev_end(),
                                                       var.content, std::move(def)));
       if (!done() && is_op(cur(), ",")) take();
     }
@@ -304,7 +316,7 @@ class Parser {
       if (done()) break;
       if (cur().type == TokenType::GroupEnd) {
         if (!closer.empty() && is_group_end(cur(), closer)) break;
-        if (closer.empty()) fail("unexpected '" + cur().text + "'");
+        if (closer.empty()) fail("unexpected '" + std::string(cur().text) + "'");
         break;
       }
       out.push_back(parse_statement());
@@ -312,7 +324,7 @@ class Parser {
       // accepting run-on statements would paper over exactly the breakage
       // that line-flattening tools introduce.
       if (!done() && cur().type != TokenType::GroupEnd && !at_separator()) {
-        fail("expected statement separator before '" + cur().text + "'");
+        fail("expected statement separator before '" + std::string(cur().text) + "'");
       }
     }
   }
@@ -324,7 +336,7 @@ class Parser {
     std::vector<AstPtr> stmts;
     parse_statement_list(stmts, "}");
     expect_group_end("}");
-    return std::make_unique<StatementBlockAst>(start, prev_end(), std::move(stmts));
+    return mk<StatementBlockAst>(start, prev_end(), std::move(stmts));
   }
 
   // ---------------------------------------------------------- statements
@@ -398,7 +410,7 @@ class Parser {
       i_ = save;
       break;
     }
-    return std::make_unique<IfStatementAst>(start, prev_end(), std::move(clauses),
+    return mk<IfStatementAst>(start, prev_end(), std::move(clauses),
                                             std::move(else_body));
   }
 
@@ -413,7 +425,7 @@ class Parser {
     AstPtr cond = parse_condition_paren();
     skip_separators_limited();
     AstPtr body = parse_statement_block();
-    return std::make_unique<WhileStatementAst>(start, prev_end(), std::move(cond),
+    return mk<WhileStatementAst>(start, prev_end(), std::move(cond),
                                                std::move(body));
   }
 
@@ -433,7 +445,7 @@ class Parser {
       fail("expected while/until after do block");
     }
     AstPtr cond = parse_condition_paren();
-    return std::make_unique<DoWhileStatementAst>(start, prev_end(), std::move(body),
+    return mk<DoWhileStatementAst>(start, prev_end(), std::move(body),
                                                  std::move(cond), until);
   }
 
@@ -460,7 +472,7 @@ class Parser {
     expect_group_end(")");
     skip_separators_limited();
     AstPtr body = parse_statement_block();
-    return std::make_unique<ForStatementAst>(start, prev_end(), std::move(init),
+    return mk<ForStatementAst>(start, prev_end(), std::move(init),
                                              std::move(cond), std::move(iter),
                                              std::move(body));
   }
@@ -475,7 +487,7 @@ class Parser {
       fail("expected variable in foreach");
     }
     const Token& var = take();
-    AstPtr var_ast = std::make_unique<VariableExpressionAst>(var.start, var.end(),
+    AstPtr var_ast = mk<VariableExpressionAst>(var.start, var.end(),
                                                              var.content);
     if (done() || !is_kw(cur(), "in")) fail("expected 'in' in foreach");
     take();
@@ -484,7 +496,7 @@ class Parser {
     expect_group_end(")");
     skip_separators_limited();
     AstPtr body = parse_statement_block();
-    return std::make_unique<ForEachStatementAst>(start, prev_end(),
+    return mk<ForEachStatementAst>(start, prev_end(),
                                                  std::move(var_ast),
                                                  std::move(expr), std::move(body));
   }
@@ -512,7 +524,7 @@ class Parser {
       } else if (cur().type == TokenType::Command ||
                  cur().type == TokenType::CommandArgument) {
         const Token& word = take();
-        clause.pattern = std::make_unique<StringConstantExpressionAst>(
+        clause.pattern = mk<StringConstantExpressionAst>(
             word.start, word.end(), word.content, QuoteKind::None);
       } else {
         clause.pattern = parse_expression();
@@ -522,7 +534,7 @@ class Parser {
       clauses.push_back(std::move(clause));
     }
     expect_group_end("}");
-    return std::make_unique<SwitchStatementAst>(start, prev_end(), std::move(cond),
+    return mk<SwitchStatementAst>(start, prev_end(), std::move(cond),
                                                 std::move(clauses));
   }
 
@@ -532,8 +544,8 @@ class Parser {
     take();
     if (done()) fail("expected function name");
     const Token& name_tok = take();
-    std::string name = name_tok.content;
-    std::vector<std::unique_ptr<ParameterAst>> params;
+    std::string name(name_tok.content);
+    std::vector<ArenaPtr<ParameterAst>> params;
     if (!done() && is_group_start(cur(), "(")) {
       take();
       ++ignore_newlines_;
@@ -548,7 +560,7 @@ class Parser {
     auto body = parse_script_block_body(body_start, 0, "}");
     expect_group_end("}");
     body->set_extent(body_start, prev_end());
-    return std::make_unique<FunctionDefinitionAst>(start, prev_end(),
+    return mk<FunctionDefinitionAst>(start, prev_end(),
                                                    std::move(name),
                                                    std::move(params),
                                                    std::move(body), filter);
@@ -583,7 +595,7 @@ class Parser {
     if (catches.empty() && finally_body == nullptr) {
       fail("try without catch or finally");
     }
-    return std::make_unique<TryStatementAst>(start, prev_end(), std::move(body),
+    return mk<TryStatementAst>(start, prev_end(), std::move(body),
                                              std::move(catches),
                                              std::move(finally_body));
   }
@@ -595,7 +607,7 @@ class Parser {
     if (!at_separator() && !done() && cur().type != TokenType::GroupEnd) {
       operand = parse_pipeline();
     }
-    return std::make_unique<FlowStatementAst>(kind, start, prev_end(),
+    return mk<FlowStatementAst>(kind, start, prev_end(),
                                               std::move(operand));
   }
 
@@ -618,14 +630,14 @@ class Parser {
     if (!starts_command()) {
       AstPtr expr = parse_expression();
       if (!done() && is_assignment_op(cur())) {
-        const std::string op = take().content;
+        const std::string op(take().content);
         skip_separators_limited_inside();
         AstPtr rhs = parse_statement();
-        return std::make_unique<AssignmentStatementAst>(start, prev_end(),
+        return mk<AssignmentStatementAst>(start, prev_end(),
                                                         std::move(expr), op,
                                                         std::move(rhs));
       }
-      elements.push_back(std::make_unique<CommandExpressionAst>(
+      elements.push_back(mk<CommandExpressionAst>(
           expr->start(), expr->end(), std::move(expr)));
     } else {
       elements.push_back(parse_command());
@@ -639,11 +651,11 @@ class Parser {
         elements.push_back(parse_command());
       } else {
         AstPtr expr = parse_expression();
-        elements.push_back(std::make_unique<CommandExpressionAst>(
+        elements.push_back(mk<CommandExpressionAst>(
             expr->start(), expr->end(), std::move(expr)));
       }
     }
-    return std::make_unique<PipelineAst>(start, prev_end(), std::move(elements));
+    return mk<PipelineAst>(start, prev_end(), std::move(elements));
   }
 
   /// After `|` or `=` a newline is allowed before the continuation.
@@ -672,22 +684,22 @@ class Parser {
         const Token& w = take();
         if (elements.empty()) {
           // The command-name element is always a bareword string.
-          elements.push_back(std::make_unique<StringConstantExpressionAst>(
+          elements.push_back(mk<StringConstantExpressionAst>(
               w.start, w.end(), w.content, QuoteKind::None));
         } else {
-          elements.push_back(make_command_word(w));
+          elements.push_back(make_command_word(*arena_, w));
         }
         continue;
       }
       if (t.type == TokenType::CommandParameter) {
         const Token& p = take();
         AstPtr argument;
-        std::string name = p.content;
+        std::string name(p.content);
         if (!name.empty() && name.back() == ':') {
           name.pop_back();
           if (!done()) argument = parse_command_element_operand();
         }
-        elements.push_back(std::make_unique<CommandParameterAst>(
+        elements.push_back(mk<CommandParameterAst>(
             p.start, prev_end(), name, std::move(argument)));
         continue;
       }
@@ -708,7 +720,7 @@ class Parser {
             items.push_back(std::move(prev));
           }
           items.push_back(std::move(next));
-          elements.push_back(std::make_unique<ArrayLiteralAst>(astart, prev_end(),
+          elements.push_back(mk<ArrayLiteralAst>(astart, prev_end(),
                                                                std::move(items)));
           continue;
         }
@@ -721,7 +733,7 @@ class Parser {
                           cur().type == TokenType::String ||
                           cur().type == TokenType::Variable)) {
             const Token& w = take();
-            elements.push_back(std::make_unique<StringConstantExpressionAst>(
+            elements.push_back(mk<StringConstantExpressionAst>(
                 w.start, w.end(), w.content, QuoteKind::None));
           }
           continue;
@@ -731,7 +743,7 @@ class Parser {
       elements.push_back(parse_command_element_operand());
     }
     if (elements.empty()) fail("empty command");
-    return std::make_unique<CommandAst>(start, prev_end(), inv, std::move(elements));
+    return mk<CommandAst>(start, prev_end(), inv, std::move(elements));
   }
 
   /// One operand in command-argument position: a string/variable/group with
@@ -740,7 +752,7 @@ class Parser {
     const Token& t = cur();
     AstPtr prim;
     if (t.type == TokenType::Command || t.type == TokenType::CommandArgument) {
-      return make_command_word(take());
+      return make_command_word(*arena_, take());
     }
     prim = parse_primary();
     return parse_postfix(std::move(prim));
@@ -757,7 +769,7 @@ class Parser {
       skip_separators_limited_inside();
       AstPtr rhs = parse_bitwise();
       const std::size_t s = lhs->start();
-      lhs = std::make_unique<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
+      lhs = mk<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
                                                   op, std::move(rhs));
     }
     return lhs;
@@ -770,7 +782,7 @@ class Parser {
       skip_separators_limited_inside();
       AstPtr rhs = parse_comparison();
       const std::size_t s = lhs->start();
-      lhs = std::make_unique<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
+      lhs = mk<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
                                                   op, std::move(rhs));
     }
     return lhs;
@@ -783,7 +795,7 @@ class Parser {
       skip_separators_limited_inside();
       AstPtr rhs = parse_format();
       const std::size_t s = lhs->start();
-      lhs = std::make_unique<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
+      lhs = mk<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
                                                   op, std::move(rhs));
     }
     return lhs;
@@ -796,7 +808,7 @@ class Parser {
       skip_separators_limited_inside();
       AstPtr rhs = parse_range();
       const std::size_t s = lhs->start();
-      lhs = std::make_unique<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
+      lhs = mk<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
                                                   "-f", std::move(rhs));
     }
     return lhs;
@@ -808,7 +820,7 @@ class Parser {
       take();
       AstPtr rhs = parse_comma();
       const std::size_t s = lhs->start();
-      lhs = std::make_unique<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
+      lhs = mk<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
                                                   "..", std::move(rhs));
     }
     return lhs;
@@ -825,17 +837,17 @@ class Parser {
       skip_separators_limited_inside();
       items.push_back(parse_additive());
     }
-    return std::make_unique<ArrayLiteralAst>(s, prev_end(), std::move(items));
+    return mk<ArrayLiteralAst>(s, prev_end(), std::move(items));
   }
 
   AstPtr parse_additive() {
     AstPtr lhs = parse_multiplicative();
     while (!done() && token_in(cur(), kAdditiveOps)) {
-      const std::string op = take().content;
+      const std::string op(take().content);
       skip_separators_limited_inside();
       AstPtr rhs = parse_multiplicative();
       const std::size_t s = lhs->start();
-      lhs = std::make_unique<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
+      lhs = mk<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
                                                   op, std::move(rhs));
     }
     return lhs;
@@ -844,11 +856,11 @@ class Parser {
   AstPtr parse_multiplicative() {
     AstPtr lhs = parse_unary();
     while (!done() && token_in(cur(), kMultiplicativeOps)) {
-      const std::string op = take().content;
+      const std::string op(take().content);
       skip_separators_limited_inside();
       AstPtr rhs = parse_unary();
       const std::size_t s = lhs->start();
-      lhs = std::make_unique<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
+      lhs = mk<BinaryExpressionAst>(s, prev_end(), std::move(lhs),
                                                   op, std::move(rhs));
     }
     return lhs;
@@ -879,7 +891,7 @@ class Parser {
       const std::size_t start = t.start;
       const std::string op = to_lower(take().content);
       AstPtr child = parse_unary();
-      return std::make_unique<UnaryExpressionAst>(start, prev_end(), op,
+      return mk<UnaryExpressionAst>(start, prev_end(), op,
                                                   std::move(child));
     }
     if (t.type == TokenType::Type) {
@@ -888,10 +900,10 @@ class Parser {
       // usable with `::` postfix.
       if (starts_operand()) {
         AstPtr child = parse_unary();
-        return parse_postfix(std::make_unique<ConvertExpressionAst>(
+        return parse_postfix(mk<ConvertExpressionAst>(
             ty.start, prev_end(), ty.content, std::move(child)));
       }
-      return parse_postfix(std::make_unique<TypeExpressionAst>(ty.start, ty.end(),
+      return parse_postfix(mk<TypeExpressionAst>(ty.start, ty.end(),
                                                                ty.content));
     }
     return parse_postfix(parse_primary());
@@ -902,22 +914,22 @@ class Parser {
     if (t.type == TokenType::Member || t.type == TokenType::CommandArgument ||
         t.type == TokenType::Command) {
       const Token& m = take();
-      return std::make_unique<StringConstantExpressionAst>(m.start, m.end(),
+      return mk<StringConstantExpressionAst>(m.start, m.end(),
                                                            m.content,
                                                            QuoteKind::None);
     }
     if (t.type == TokenType::String) {
       const Token& m = take();
       if (m.expandable) {
-        return std::make_unique<ExpandableStringExpressionAst>(m.start, m.end(),
+        return mk<ExpandableStringExpressionAst>(m.start, m.end(),
                                                                m.content, m.quote);
       }
-      return std::make_unique<StringConstantExpressionAst>(m.start, m.end(),
+      return mk<StringConstantExpressionAst>(m.start, m.end(),
                                                            m.content, m.quote);
     }
     if (t.type == TokenType::Variable) {
       const Token& m = take();
-      return std::make_unique<VariableExpressionAst>(m.start, m.end(), m.content);
+      return mk<VariableExpressionAst>(m.start, m.end(), m.content);
     }
     if (is_group_start(t, "(")) {
       return parse_paren();
@@ -937,11 +949,11 @@ class Parser {
         if (!done() && is_group_start(cur(), "(") &&
             cur().start == prev_end()) {
           std::vector<AstPtr> args = parse_invoke_args();
-          expr = std::make_unique<InvokeMemberExpressionAst>(
+          expr = mk<InvokeMemberExpressionAst>(
               s, prev_end(), std::move(expr), std::move(member), is_static,
               std::move(args));
         } else {
-          expr = std::make_unique<MemberExpressionAst>(s, prev_end(),
+          expr = mk<MemberExpressionAst>(s, prev_end(),
                                                        std::move(expr),
                                                        std::move(member),
                                                        is_static);
@@ -955,14 +967,14 @@ class Parser {
         --ignore_newlines_;
         expect_group_end("]");
         const std::size_t s = expr->start();
-        expr = std::make_unique<IndexExpressionAst>(s, prev_end(), std::move(expr),
+        expr = mk<IndexExpressionAst>(s, prev_end(), std::move(expr),
                                                     std::move(index));
         continue;
       }
       if (is_op(t, "++") || is_op(t, "--")) {
-        const std::string op = take().content + "_post";
+        const std::string op = std::string(take().content) + "_post";
         const std::size_t s = expr->start();
-        expr = std::make_unique<UnaryExpressionAst>(s, prev_end(), op,
+        expr = mk<UnaryExpressionAst>(s, prev_end(), op,
                                                     std::move(expr));
         continue;
       }
@@ -997,7 +1009,7 @@ class Parser {
     AstPtr inner = parse_statement();
     --ignore_newlines_;
     expect_group_end(")");
-    return std::make_unique<ParenExpressionAst>(start, prev_end(),
+    return mk<ParenExpressionAst>(start, prev_end(),
                                                 std::move(inner));
   }
 
@@ -1008,31 +1020,31 @@ class Parser {
     switch (t.type) {
       case TokenType::Number: {
         const Token& n = take();
-        return std::make_unique<ConstantExpressionAst>(
+        return mk<ConstantExpressionAst>(
             n.start, n.end(), parse_number_token(n.content));
       }
       case TokenType::String: {
         const Token& s = take();
         if (s.expandable) {
-          return std::make_unique<ExpandableStringExpressionAst>(s.start, s.end(),
+          return mk<ExpandableStringExpressionAst>(s.start, s.end(),
                                                                  s.content, s.quote);
         }
-        return std::make_unique<StringConstantExpressionAst>(s.start, s.end(),
+        return mk<StringConstantExpressionAst>(s.start, s.end(),
                                                              s.content, s.quote);
       }
       case TokenType::Variable: {
         const Token& v = take();
-        return std::make_unique<VariableExpressionAst>(v.start, v.end(), v.content);
+        return mk<VariableExpressionAst>(v.start, v.end(), v.content);
       }
       case TokenType::Type: {
         const Token& ty = take();
-        return std::make_unique<TypeExpressionAst>(ty.start, ty.end(), ty.content);
+        return mk<TypeExpressionAst>(ty.start, ty.end(), ty.content);
       }
       case TokenType::Command:
       case TokenType::CommandArgument: {
         // Stray bareword in expression position: surface as bareword string.
         const Token& w = take();
-        return std::make_unique<StringConstantExpressionAst>(w.start, w.end(),
+        return mk<StringConstantExpressionAst>(w.start, w.end(),
                                                              w.content,
                                                              QuoteKind::None);
       }
@@ -1044,7 +1056,7 @@ class Parser {
           std::vector<AstPtr> stmts;
           parse_statement_list(stmts, ")");
           expect_group_end(")");
-          return std::make_unique<SubExpressionAst>(start, prev_end(),
+          return mk<SubExpressionAst>(start, prev_end(),
                                                     std::move(stmts));
         }
         if (t.content == "@(") {
@@ -1053,7 +1065,7 @@ class Parser {
           std::vector<AstPtr> stmts;
           parse_statement_list(stmts, ")");
           expect_group_end(")");
-          return std::make_unique<ArrayExpressionAst>(start, prev_end(),
+          return mk<ArrayExpressionAst>(start, prev_end(),
                                                       std::move(stmts));
         }
         if (t.content == "@{") {
@@ -1068,13 +1080,13 @@ class Parser {
           const std::size_t body_end = cur().start;
           take();
           body->set_extent(start + 1, body_end);
-          return std::make_unique<ScriptBlockExpressionAst>(
+          return mk<ScriptBlockExpressionAst>(
               start, prev_end(), std::move(body), std::string());
         }
-        fail("unexpected group '" + t.content + "'");
+        fail("unexpected group '" + std::string(t.content) + "'");
       }
       default:
-        fail("unexpected token '" + t.text + "'");
+        fail("unexpected token '" + std::string(t.text) + "'");
     }
   }
 
@@ -1091,7 +1103,7 @@ class Parser {
       if (k.type == TokenType::Command || k.type == TokenType::CommandArgument ||
           k.type == TokenType::Member) {
         const Token& kt = take();
-        entry.key = std::make_unique<StringConstantExpressionAst>(
+        entry.key = mk<StringConstantExpressionAst>(
             kt.start, kt.end(), kt.content, QuoteKind::None);
       } else {
         entry.key = parse_primary();
@@ -1103,7 +1115,7 @@ class Parser {
       entries.push_back(std::move(entry));
     }
     expect_group_end("}");
-    return std::make_unique<HashtableExpressionAst>(start, prev_end(),
+    return mk<HashtableExpressionAst>(start, prev_end(),
                                                     std::move(entries));
   }
 };
@@ -1118,15 +1130,20 @@ std::uint64_t parse_call_count() {
   return g_parse_calls.load(std::memory_order_relaxed);
 }
 
-std::unique_ptr<ScriptBlockAst> parse(std::string_view source) {
+const ScriptBlockAst* parse_into(Arena& arena, std::string_view source) {
   g_parse_calls.fetch_add(1, std::memory_order_relaxed);
   TokenStream tokens = tokenize(source);
-  Parser parser(std::move(tokens), source.size());
+  Parser parser(std::move(tokens), source.size(), arena);
   return parser.parse_script();
 }
 
-std::unique_ptr<ScriptBlockAst> try_parse(std::string_view source,
-                                          std::string* error) {
+ParsedScript parse(std::string_view source) {
+  auto arena = std::make_shared<Arena>();
+  const ScriptBlockAst* root = parse_into(*arena, source);
+  return ParsedScript(std::move(arena), root);
+}
+
+ParsedScript try_parse(std::string_view source, std::string* error) {
   try {
     return parse(source);
   } catch (const ParseError& e) {
@@ -1134,7 +1151,7 @@ std::unique_ptr<ScriptBlockAst> try_parse(std::string_view source,
   } catch (const LexError& e) {
     if (error != nullptr) *error = e.what();
   }
-  return nullptr;
+  return ParsedScript();
 }
 
 bool is_valid_syntax(std::string_view source) {

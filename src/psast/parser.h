@@ -21,14 +21,22 @@ class ParseError : public std::runtime_error {
   std::size_t offset;
 };
 
-/// Parses `source` into a script-level ScriptBlockAst. Throws ParseError or
+/// Parses `source` into a script-level ScriptBlockAst owned by a fresh
+/// Arena; the returned ParsedScript carries both. Throws ParseError or
 /// LexError on malformed input. Parent links are already set on the result.
-std::unique_ptr<ScriptBlockAst> parse(std::string_view source);
+ParsedScript parse(std::string_view source);
 
-/// Non-throwing variant: returns nullptr on failure, storing a message into
-/// `error` when provided. This is the deobfuscator's per-step syntax check.
-std::unique_ptr<ScriptBlockAst> try_parse(std::string_view source,
-                                          std::string* error = nullptr);
+/// Non-throwing variant: returns an empty ParsedScript (== nullptr) on
+/// failure, storing a message into `error` when provided. This is the
+/// deobfuscator's per-step syntax check.
+ParsedScript try_parse(std::string_view source, std::string* error = nullptr);
+
+/// Low-level entry: parses into a caller-supplied arena and returns the raw
+/// root. The tree lives exactly as long as `arena`. Throws on malformed
+/// input (the partially-built nodes stay in the arena and are finalized
+/// with it). ParseCache uses this to co-locate the pinned source text and
+/// the tree in one arena.
+const ScriptBlockAst* parse_into(Arena& arena, std::string_view source);
 
 /// True when `source` parses cleanly.
 bool is_valid_syntax(std::string_view source);

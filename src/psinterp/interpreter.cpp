@@ -179,19 +179,14 @@ std::string Interpreter::need_string(const Value& v) { return v.to_display_strin
 
 // ------------------------------------------------------------- entry points
 
-Interpreter::ParsedScript Interpreter::parse_shared(std::string_view text) const {
-  ParsedScript out;
+ps::ParsedScript Interpreter::parse_shared(std::string_view text) const {
   if (opts_.parse_cache != nullptr) {
     ps::ParseCache::Result r = opts_.parse_cache->get(text);
-    if (r.ast != nullptr) {
-      out.cached = std::move(r.ast);
-      return out;
-    }
+    if (r.ast != nullptr) return std::move(r.ast);
     // Negative-cached text falls through so the genuine ParseError (with
     // its real message) is raised, exactly as without a cache.
   }
-  out.owned = parse(text);
-  return out;
+  return parse(text);
 }
 
 Value Interpreter::evaluate_script(std::string_view script) {

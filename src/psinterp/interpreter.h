@@ -170,19 +170,11 @@ class Interpreter {
  private:
   friend class Evaluator;
 
-  /// A parse that may be shared (cache hit) or owned (cache miss / no
-  /// cache). Keeps the AST alive for the duration of the evaluation.
-  struct ParsedScript {
-    std::shared_ptr<const ScriptBlockAst> cached;
-    std::unique_ptr<ScriptBlockAst> owned;
-    const ScriptBlockAst* operator->() const {
-      return cached != nullptr ? cached.get() : owned.get();
-    }
-  };
-
   /// Parses through the configured parse cache when available; raises the
-  /// genuine ParseError for invalid text either way.
-  ParsedScript parse_shared(std::string_view text) const;
+  /// genuine ParseError for invalid text either way. The returned handle
+  /// shares the cache's arena on a hit (one refcount bump) and keeps the
+  /// AST alive for the duration of the evaluation.
+  ps::ParsedScript parse_shared(std::string_view text) const;
 
   InterpreterOptions opts_;
   std::size_t steps_ = 0;

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file interner.h
+/// Small interned-string table backing the zero-copy token stream.
+///
+/// Most tokens' cooked content is byte-identical to a slice of the source
+/// buffer, so their `content` view aliases the pinned source and costs
+/// nothing. The minority that genuinely differ — ticked barewords,
+/// escape-processed strings, lowercased keywords/operators — are interned
+/// here once per distinct spelling and viewed from then on. Obfuscated
+/// scripts repeat the same handful of cooked spellings thousands of times
+/// (`iex`, `-join`, unescaped fragments), which is exactly the shape a
+/// dedup table wins on.
+///
+/// Thread model: filled by one lexer; afterwards the table is immutable
+/// and may be read (through the views) from any thread.
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace ps {
+
+class StringInterner {
+ public:
+  /// Returns a stable view of `s`, inserting it on first sight. Views stay
+  /// valid for the interner's lifetime (entries are never erased and the
+  /// set is node-based, so rehashing does not move strings).
+  std::string_view intern(std::string_view s) {
+    auto it = strings_.find(s);
+    if (it == strings_.end()) {
+      it = strings_.emplace(s).first;
+    }
+    return *it;
+  }
+
+  [[nodiscard]] std::size_t size() const { return strings_.size(); }
+
+ private:
+  struct Hash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  std::unordered_set<std::string, Hash, std::equal_to<>> strings_;
+};
+
+}  // namespace ps

@@ -109,7 +109,12 @@ char escape_char(char c) {
 
 class Lexer {
  public:
-  Lexer(std::string_view src, bool lenient) : src_(src), lenient_(lenient) {}
+  /// The lexer pins its own copy of the source; every emitted token views
+  /// that copy (or the interner), never the caller's buffer.
+  Lexer(std::string_view src, bool lenient)
+      : pinned_(std::make_shared<const std::string>(src)),
+        interner_(std::make_shared<StringInterner>()),
+        src_(*pinned_), lenient_(lenient) {}
 
   TokenStream run(bool& ok) {
     ok = true;
@@ -121,7 +126,8 @@ class Lexer {
       if (!lenient_) throw;
       ok = false;
     }
-    return std::move(out_);
+    return TokenStream(std::move(out_), std::move(pinned_),
+                       std::move(interner_));
   }
 
  private:
@@ -132,6 +138,8 @@ class Lexer {
     Mode saved_mode;
   };
 
+  std::shared_ptr<const std::string> pinned_;
+  std::shared_ptr<StringInterner> interner_;
   std::string_view src_;
   bool lenient_;
   std::size_t pos_ = 0;
@@ -144,7 +152,7 @@ class Lexer {
   bool after_function_kw_ = false;
   std::size_t last_token_end_ = static_cast<std::size_t>(-1);
   std::vector<Frame> stack_;
-  TokenStream out_;
+  std::vector<Token> out_;
 
   [[noreturn]] void fail(const std::string& msg) { throw LexError(msg, pos_); }
 
@@ -172,9 +180,23 @@ class Lexer {
     t.length = pos_ - start;
     t.line = line;
     t.column = col;
-    t.text = std::string(src_.substr(start, t.length));
-    t.content = std::move(content);
-    out_.push_back(std::move(t));
+    t.text = src_.substr(start, t.length);
+    // Zero-copy content: most cooked content is byte-identical to the raw
+    // slice (barewords, operators) or to the slice minus one leading quote
+    // / sigil character (unescaped strings, variables); only genuinely
+    // rewritten spellings (ticked words, escapes, lowercased keywords) go
+    // through the interner.
+    if (content.empty()) {
+      t.content = std::string_view();
+    } else if (content == t.text) {
+      t.content = t.text;
+    } else if (t.length > content.size() &&
+               t.text.substr(1, content.size()) == content) {
+      t.content = t.text.substr(1, content.size());
+    } else {
+      t.content = interner_->intern(content);
+    }
+    out_.push_back(t);
     last_token_end_ = pos_;
     return out_.back();
   }

@@ -6,9 +6,12 @@
 /// length, line, column), which the paper's token-parsing phase consumes.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "pslang/interner.h"
 
 namespace ps {
 
@@ -50,11 +53,17 @@ enum class QuoteKind {
 /// (double-quoted) strings containing `$`, `content` holds the *raw inner*
 /// text so that escape processing and interpolation can be performed
 /// together at evaluation time.
+///
+/// Both fields are zero-copy views: `text` always aliases the source
+/// buffer pinned by the owning TokenStream, and `content` aliases either
+/// the same buffer (when cooking changed nothing) or the stream's interned
+/// string table. A Token is therefore valid only as long as some
+/// TokenStream sharing its buffers is alive.
 struct Token {
   TokenType type = TokenType::Unknown;
   QuoteKind quote = QuoteKind::None;
-  std::string text;
-  std::string content;
+  std::string_view text;
+  std::string_view content;
   std::size_t start = 0;
   std::size_t length = 0;
   int line = 1;
@@ -67,6 +76,50 @@ struct Token {
 /// Returns a human-readable name for a token type (for diagnostics).
 std::string_view to_string(TokenType type);
 
-using TokenStream = std::vector<Token>;
+/// The lexer's output: a vector of tokens plus the two buffers their views
+/// point into — a pinned copy of the source text and the interned-string
+/// table for cooked content. Copies and moves share the buffers (they are
+/// behind shared_ptr), so tokens taken from any copy of the stream remain
+/// valid as long as at least one copy lives.
+class TokenStream {
+ public:
+  using value_type = Token;
+  using iterator = std::vector<Token>::iterator;
+  using const_iterator = std::vector<Token>::const_iterator;
+
+  TokenStream() = default;
+  TokenStream(std::vector<Token> tokens,
+              std::shared_ptr<const std::string> source,
+              std::shared_ptr<const StringInterner> interner)
+      : tokens_(std::move(tokens)), source_(std::move(source)),
+        interner_(std::move(interner)) {}
+
+  [[nodiscard]] std::size_t size() const { return tokens_.size(); }
+  [[nodiscard]] bool empty() const { return tokens_.empty(); }
+  const Token& operator[](std::size_t i) const { return tokens_[i]; }
+  [[nodiscard]] const Token& front() const { return tokens_.front(); }
+  [[nodiscard]] const Token& back() const { return tokens_.back(); }
+
+  [[nodiscard]] iterator begin() { return tokens_.begin(); }
+  [[nodiscard]] iterator end() { return tokens_.end(); }
+  [[nodiscard]] const_iterator begin() const { return tokens_.begin(); }
+  [[nodiscard]] const_iterator end() const { return tokens_.end(); }
+  [[nodiscard]] auto rbegin() const { return tokens_.rbegin(); }
+  [[nodiscard]] auto rend() const { return tokens_.rend(); }
+
+  /// The pinned source buffer token `text` views point into.
+  [[nodiscard]] const std::shared_ptr<const std::string>& source() const {
+    return source_;
+  }
+  /// The interned-string table cooked `content` views may point into.
+  [[nodiscard]] const std::shared_ptr<const StringInterner>& interner() const {
+    return interner_;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  std::shared_ptr<const std::string> source_;
+  std::shared_ptr<const StringInterner> interner_;
+};
 
 }  // namespace ps

@@ -1,0 +1,163 @@
+#include "psvalue/worker_pool.h"
+
+#include <algorithm>
+
+namespace ps {
+
+/// One parallel() call. Lifetime is managed by shared_ptr: the caller, the
+/// pool queue, and every staffed worker hold a reference, so the Job stays
+/// alive until the last executor is done with it.
+struct WorkerPool::Job {
+  Job(std::size_t item_count, unsigned slot_count)
+      : slots(slot_count), deques(slot_count), deque_mus(slot_count),
+        remaining(item_count) {
+    for (std::size_t i = 0; i < item_count; ++i) {
+      deques[i % slot_count].push_back(i);
+    }
+  }
+
+  const unsigned slots;
+  std::vector<std::deque<std::size_t>> deques;
+  std::vector<std::mutex> deque_mus;
+  std::atomic<unsigned> next_slot{0};
+  std::atomic<std::size_t> remaining;
+  const std::function<void(std::size_t, unsigned)>* body = nullptr;
+
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+};
+
+WorkerPool& WorkerPool::instance() {
+  // Keep enough resident threads that a caller asking for an 8-way batch
+  // gets 8 executors even on smaller machines (the extras just sleep when
+  // jobs are narrower than the pool).
+  static WorkerPool pool(
+      std::max(8u, std::thread::hardware_concurrency()) - 1u);
+  return pool;
+}
+
+WorkerPool::WorkerPool(unsigned worker_threads) {
+  workers_.reserve(worker_threads);
+  for (unsigned i = 0; i < worker_threads; ++i) {
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { worker_loop(stop); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  for (auto& w : workers_) w.request_stop();
+  cv_.notify_all();
+  // jthread destructors join.
+}
+
+unsigned WorkerPool::worker_count() const {
+  return static_cast<unsigned>(workers_.size());
+}
+
+std::uint64_t WorkerPool::steal_count() const {
+  return steals_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t WorkerPool::job_count() const {
+  return jobs_.load(std::memory_order_relaxed);
+}
+
+void WorkerPool::worker_loop(const std::stop_token& stop) {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, stop, [this] { return !queue_.empty(); });
+      if (stop.stop_requested()) return;
+      if (queue_.empty()) continue;
+      job = queue_.front();
+    }
+    const unsigned slot = job->next_slot.fetch_add(1);
+    if (slot >= job->slots) {
+      // Fully staffed: drop it from the queue so the pool can move on.
+      retire(job);
+      continue;
+    }
+    run_slot(*job, slot);
+    retire(job);
+  }
+}
+
+void WorkerPool::run_slot(Job& job, unsigned slot) {
+  std::size_t item = 0;
+  while (pop_or_steal(job, slot, item)) {
+    (*job.body)(item, slot);
+    if (job.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard lk(job.done_mu);
+      job.done = true;
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+bool WorkerPool::pop_or_steal(Job& job, unsigned slot, std::size_t& item) {
+  {
+    std::lock_guard lk(job.deque_mus[slot]);
+    if (!job.deques[slot].empty()) {
+      item = job.deques[slot].front();
+      job.deques[slot].pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the other slots, scanning from our right-hand
+  // neighbour so thieves spread out instead of mobbing slot 0.
+  for (unsigned k = 1; k < job.slots; ++k) {
+    const unsigned victim = (slot + k) % job.slots;
+    std::lock_guard lk(job.deque_mus[victim]);
+    if (!job.deques[victim].empty()) {
+      item = job.deques[victim].back();
+      job.deques[victim].pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  return false;
+}
+
+void WorkerPool::retire(const std::shared_ptr<Job>& job) {
+  std::lock_guard lk(mu_);
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (*it == job) {
+      queue_.erase(it);
+      break;
+    }
+  }
+}
+
+void WorkerPool::parallel(
+    std::size_t item_count, unsigned max_workers,
+    const std::function<void(std::size_t, unsigned)>& body) {
+  if (item_count == 0) return;
+  if (max_workers == 0) max_workers = 1;
+  const auto slot_count = static_cast<unsigned>(
+      std::min<std::size_t>(max_workers, item_count));
+
+  auto job = std::make_shared<Job>(item_count, slot_count);
+  job->body = &body;
+
+  if (slot_count > 1) {
+    {
+      std::lock_guard lk(mu_);
+      queue_.push_back(job);
+    }
+    cv_.notify_all();
+  }
+
+  const unsigned slot = job->next_slot.fetch_add(1);
+  if (slot < job->slots) run_slot(*job, slot);
+
+  {
+    std::unique_lock lk(job->done_mu);
+    job->done_cv.wait(lk, [&] { return job->done; });
+  }
+  retire(job);
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace ps

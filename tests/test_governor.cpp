@@ -296,7 +296,11 @@ TEST(GovernedBatch, HostileCorpusClassifiedServedAndBounded) {
   EXPECT_EQ(report.items[2].failure, ps::FailureKind::MemoryBudget);
   EXPECT_GE(report.items[2].degradation_rung, 1);
 
-  EXPECT_EQ(report.items[3].failure, ps::FailureKind::DepthLimit);
+  // The deep-recursion sample is served (unrecoverable pieces stay as-is,
+  // which is not an item failure), with the per-piece classification kept
+  // as diagnostic detail.
+  EXPECT_TRUE(report.items[3].ok);
+  EXPECT_EQ(report.items[3].worst_piece_failure, ps::FailureKind::DepthLimit);
 
   EXPECT_TRUE(report.items[4].ok);
   EXPECT_EQ(out[4], out[0]);  // workers share nothing item-visible
@@ -305,8 +309,14 @@ TEST(GovernedBatch, HostileCorpusClassifiedServedAndBounded) {
   for (const BatchItem& item : report.items) {
     EXPECT_LT(item.seconds, options.governor.deadline_seconds * 3.0 + 1.0);
   }
-  EXPECT_GE(report.failures(), 3);
+  EXPECT_GE(report.failures(), 2);
   EXPECT_GE(report.degraded(), 2);
+  // failures() is exactly failed() plus degraded-but-served items.
+  int expected = 0;
+  for (const BatchItem& item : report.items) {
+    if (!item.ok || item.degradation_rung > 0) ++expected;
+  }
+  EXPECT_EQ(report.failures(), expected);
 }
 
 TEST(GovernedBatch, BatchWideCancellationDrainsQueue) {

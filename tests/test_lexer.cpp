@@ -10,12 +10,26 @@ namespace {
 
 TokenStream lex(std::string_view src) { return tokenize(src); }
 
-std::vector<Token> significant(std::string_view src) {
-  std::vector<Token> out;
-  for (auto& t : tokenize(src)) {
+/// Filtered view of a token stream. Keeps the TokenStream (and with it the
+/// pinned source/interner buffers the tokens' views point into) alive for
+/// as long as the filtered tokens are used.
+struct SignificantTokens {
+  TokenStream stream;
+  std::vector<Token> toks;
+
+  [[nodiscard]] std::size_t size() const { return toks.size(); }
+  const Token& operator[](std::size_t i) const { return toks[i]; }
+  [[nodiscard]] auto begin() const { return toks.begin(); }
+  [[nodiscard]] auto end() const { return toks.end(); }
+};
+
+SignificantTokens significant(std::string_view src) {
+  SignificantTokens out;
+  out.stream = tokenize(src);
+  for (auto& t : out.stream) {
     if (t.type != TokenType::NewLine && t.type != TokenType::Comment &&
         t.type != TokenType::LineContinuation) {
-      out.push_back(t);
+      out.toks.push_back(t);
     }
   }
   return out;

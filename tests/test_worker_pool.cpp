@@ -1,0 +1,114 @@
+// Tests for the process-lifetime work-stealing WorkerPool: every item runs
+// exactly once, slots are exclusive (so per-slot scratch needs no locks),
+// single-worker jobs stay on the caller, concurrent jobs queue cleanly, and
+// an idle slot steals from a busy one. These suites are the ones the TSan
+// preset exercises (docs/CI.md).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "psvalue/worker_pool.h"
+
+namespace {
+
+using ps::WorkerPool;
+
+TEST(WorkerPool, EveryItemRunsExactlyOnce) {
+  constexpr std::size_t kItems = 500;
+  std::vector<std::atomic<int>> counts(kItems);
+  WorkerPool::instance().parallel(kItems, 8, [&](std::size_t i, unsigned) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << i;
+  }
+}
+
+TEST(WorkerPool, ZeroItemsIsANoop) {
+  bool ran = false;
+  WorkerPool::instance().parallel(0, 8, [&](std::size_t, unsigned) {
+    ran = true;
+  });
+  EXPECT_FALSE(ran);
+}
+
+TEST(WorkerPool, SingleWorkerRunsEntirelyOnTheCaller) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(64);
+  WorkerPool::instance().parallel(ids.size(), 1, [&](std::size_t i, unsigned slot) {
+    EXPECT_EQ(slot, 0u);
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(WorkerPool, SlotsAreExclusiveSoScratchNeedsNoLocks) {
+  constexpr unsigned kSlots = 4;
+  constexpr std::size_t kItems = 400;
+  // Deliberately non-atomic: a slot handed to two executors at once would
+  // race here (and trip the TSan preset run of this suite).
+  struct alignas(64) Scratch {
+    long count = 0;
+  };
+  std::vector<Scratch> scratch(kSlots);
+  WorkerPool::instance().parallel(kItems, kSlots, [&](std::size_t, unsigned slot) {
+    ASSERT_LT(slot, kSlots);
+    scratch[slot].count++;
+  });
+  long total = 0;
+  for (const Scratch& s : scratch) total += s.count;
+  EXPECT_EQ(total, static_cast<long>(kItems));
+}
+
+TEST(WorkerPool, SlotIndexIsBoundedByItemCount) {
+  WorkerPool::instance().parallel(3, 16, [&](std::size_t, unsigned slot) {
+    EXPECT_LT(slot, 3u);
+  });
+}
+
+TEST(WorkerPool, ConcurrentJobsFromManyThreadsAllComplete) {
+  constexpr int kJobs = 6;
+  constexpr std::size_t kItems = 100;
+  std::vector<std::atomic<std::size_t>> done(kJobs);
+  {
+    std::vector<std::jthread> callers;
+    callers.reserve(kJobs);
+    for (int j = 0; j < kJobs; ++j) {
+      callers.emplace_back([&, j] {
+        WorkerPool::instance().parallel(kItems, 3, [&](std::size_t, unsigned) {
+          done[j].fetch_add(1, std::memory_order_relaxed);
+        });
+      });
+    }
+  }
+  for (int j = 0; j < kJobs; ++j) EXPECT_EQ(done[j].load(), kItems);
+}
+
+TEST(WorkerPool, IdleSlotStealsFromABusyOne) {
+  WorkerPool& pool = WorkerPool::instance();
+  if (pool.worker_count() == 0) GTEST_SKIP() << "no resident workers";
+  const auto steals_before = pool.steal_count();
+  // 8 items over 2 slots, seeded round-robin: even items land on slot 0,
+  // odd on slot 1. Slot 0's items sleep; slot 1's are instant, so its
+  // executor drains and then steals slot 0's backlog while slot 0 sleeps.
+  pool.parallel(8, 2, [&](std::size_t i, unsigned) {
+    if (i % 2 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  });
+  EXPECT_GT(pool.steal_count(), steals_before);
+}
+
+TEST(WorkerPool, KeepsResidentThreadsAcrossJobs) {
+  WorkerPool& pool = WorkerPool::instance();
+  const auto jobs_before = pool.job_count();
+  pool.parallel(16, 4, [](std::size_t, unsigned) {});
+  pool.parallel(16, 4, [](std::size_t, unsigned) {});
+  EXPECT_GE(pool.job_count(), jobs_before + 2);
+  // The pool always staffs at least 8-way batches regardless of the host.
+  EXPECT_GE(pool.worker_count() + 1, 8u);
+}
+
+}  // namespace
