@@ -9,11 +9,18 @@
 // not materially slower than 1 thread (the ctest registration that keeps
 // this binary — and those invariants — from bit-rotting).
 //
+// A telemetry section runs one batch with the metrics subsystem enabled and
+// folds a per-phase breakdown plus cache/memo hit rates into the JSON; its
+// gates assert span balance (opens == closes), parse-cache counter
+// reconciliation, self-time partition of the pipeline total, and that
+// telemetry left off costs nothing measurable.
+//
 // Flags: --smoke, --json, --threads N (sweep 1,2,4,... up to N),
 // --scripts M (corpus size).
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -28,6 +35,7 @@
 #include "corpus/corpus.h"
 #include "psast/parse_cache.h"
 #include "psast/parser.h"
+#include "telemetry/telemetry.h"
 
 // Wall-clock gates are meaningless under sanitizer instrumentation (TSan
 // slows threads 5-15x and ASan's allocator serializes them); the count-based
@@ -140,6 +148,107 @@ double best_warm_batch_seconds(const InvokeDeobfuscator& deobf,
   return best;
 }
 
+double best_warm_serial_seconds(const InvokeDeobfuscator& deobf,
+                                const std::vector<std::string>& scripts,
+                                int samples) {
+  double best = 1e300;
+  for (int i = 0; i < samples; ++i) {
+    best = std::min(best, run_serial(deobf, scripts, "sample", true).seconds);
+  }
+  return best;
+}
+
+namespace tel = ideobf::telemetry;
+
+/// What the telemetry section measures: the enabled-run phase breakdown and
+/// registry-derived rates, plus the disabled-overhead ratio the smoke gate
+/// checks (telemetry off must cost one atomic-flag branch, i.e. ~nothing).
+struct TelemetrySummary {
+  double overhead_ratio = 0.0;  ///< warm serial off-after / off-before
+  std::uint64_t spans_opened = 0;
+  std::uint64_t spans_closed = 0;
+  std::uint64_t cache_lookups = 0;  ///< registry ideobf_parse_cache_*_total
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bypasses = 0;
+  double parse_cache_hit_rate = 0.0;
+  std::uint64_t memo_lookups = 0;
+  std::uint64_t memo_hits = 0;
+  double recovery_memo_hit_rate = 0.0;
+  double accounted_seconds = 0.0;  ///< sum of per-phase self times
+  double pipeline_seconds = 0.0;   ///< sum of Pipeline-span wall times
+  double batch_wall_seconds = 0.0; ///< measured wall clock of the same batch
+  tel::PipelineProfile profile;    ///< aggregated over the enabled batch
+};
+
+/// One telemetry-enabled batch over the corpus plus the off/on/off overhead
+/// measurement. Returns the summary and appends its rows.
+TelemetrySummary run_telemetry_section(
+    const InvokeDeobfuscator& deobf, const std::vector<std::string>& scripts,
+    std::vector<Row>& rows, unsigned threads) {
+  TelemetrySummary ts;
+
+  // Warm everything once (cache, pool) so both off samples see the same
+  // steady state, then measure the disabled baseline.
+  (void)run_serial(deobf, scripts, "prime", false);
+  const double off_before = best_warm_serial_seconds(deobf, scripts, 3);
+  Row off_row;
+  off_row.config = "telemetry_off";
+  off_row.warm = true;
+  off_row.seconds = off_before;
+  off_row.ms_per_script = off_before * 1000.0 / scripts.size();
+  off_row.scripts_per_second = scripts.size() / off_before;
+  rows.push_back(off_row);
+
+  // The enabled run: a warm batch with per-slot sharding active.
+  tel::Telemetry::metrics().reset();
+  tel::Telemetry::enable();
+  BatchOptions options;
+  options.threads = threads;
+  BatchReport report;
+  const double t0 = now_seconds();
+  (void)deobfuscate_batch(deobf, scripts, report, options);
+  const double on_seconds = now_seconds() - t0;
+  tel::Telemetry::disable();
+
+  Row on_row;
+  on_row.config = "telemetry_on";
+  on_row.threads = threads;
+  on_row.warm = true;
+  on_row.seconds = on_seconds;
+  on_row.ms_per_script = on_seconds * 1000.0 / scripts.size();
+  on_row.scripts_per_second = scripts.size() / on_seconds;
+  rows.push_back(on_row);
+
+  // Disabled again: the gate compares this against off_before, proving the
+  // subsystem leaves no residue when switched off (spans stay one branch).
+  const double off_after = best_warm_serial_seconds(deobf, scripts, 3);
+  ts.overhead_ratio = off_before > 0.0 ? off_after / off_before : 0.0;
+
+  ts.spans_opened = tel::spans_opened_counter().value();
+  ts.spans_closed = tel::spans_closed_counter().value();
+  auto& reg = tel::registry();
+  ts.cache_lookups = reg.counter("ideobf_parse_cache_lookup_total").value();
+  ts.cache_hits = reg.counter("ideobf_parse_cache_hit_total").value();
+  ts.cache_misses = reg.counter("ideobf_parse_cache_miss_total").value();
+  ts.cache_bypasses = reg.counter("ideobf_parse_cache_bypass_total").value();
+  ts.parse_cache_hit_rate =
+      ts.cache_lookups == 0
+          ? 0.0
+          : static_cast<double>(ts.cache_hits) / ts.cache_lookups;
+  ts.memo_lookups = reg.counter("ideobf_recovery_memo_lookup_total").value();
+  ts.memo_hits = reg.counter("ideobf_recovery_memo_hit_total").value();
+  ts.recovery_memo_hit_rate =
+      ts.memo_lookups == 0
+          ? 0.0
+          : static_cast<double>(ts.memo_hits) / ts.memo_lookups;
+  ts.profile = report.profile;
+  ts.accounted_seconds = report.profile.accounted_seconds();
+  ts.pipeline_seconds = report.profile.total_seconds(tel::Phase::Pipeline);
+  ts.batch_wall_seconds = report.wall_seconds;
+  return ts;
+}
+
 void print_rows(const std::vector<Row>& rows) {
   std::printf("%-14s %8s %6s %10s %12s %12s %14s %10s %10s %9s\n", "config",
               "threads", "warm", "seconds", "ms/script", "scripts/s",
@@ -156,7 +265,7 @@ void print_rows(const std::vector<Row>& rows) {
 
 std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
                          double parse_reduction, double speedup_8t_vs_1t,
-                         unsigned speedup_threads) {
+                         unsigned speedup_threads, const TelemetrySummary& ts) {
   JsonWriter w;
   w.begin_object();
   w.field("bench", "pipeline");
@@ -170,6 +279,32 @@ std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
   w.field("speedup_8t_vs_1t", speedup_8t_vs_1t);
   w.field("speedup_measured_at_threads",
           static_cast<std::int64_t>(speedup_threads));
+  w.field("parse_cache_hit_rate", ts.parse_cache_hit_rate);
+  w.field("recovery_memo_hit_rate", ts.recovery_memo_hit_rate);
+  w.field("telemetry_overhead_ratio", ts.overhead_ratio);
+  w.field("telemetry_spans_opened",
+          static_cast<std::int64_t>(ts.spans_opened));
+  w.field("telemetry_spans_closed",
+          static_cast<std::int64_t>(ts.spans_closed));
+  // Per-phase breakdown of the telemetry-enabled batch. `fraction` is the
+  // phase's self time over the accounted total, so the values sum to ~1.
+  w.key("phase_breakdown");
+  w.begin_object();
+  for (std::size_t i = 0; i < tel::kPhaseCount; ++i) {
+    const tel::Phase phase = static_cast<tel::Phase>(i);
+    const tel::PhaseStat& stat = ts.profile.stat(phase);
+    w.key(tel::phase_name(phase));
+    w.begin_object();
+    w.field("count", static_cast<std::int64_t>(stat.count));
+    w.field("self_seconds", ts.profile.self_seconds(phase));
+    w.field("total_seconds", ts.profile.total_seconds(phase));
+    w.field("fraction", ts.accounted_seconds > 0.0
+                            ? ts.profile.self_seconds(phase) /
+                                  ts.accounted_seconds
+                            : 0.0);
+    w.end_object();
+  }
+  w.end_object();
   w.begin_array("rows");
   for (const Row& r : rows) {
     w.begin_object();
@@ -273,6 +408,11 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
         static_cast<long long>(rows.back().max_rung));
   }
 
+  // Telemetry section: one enabled batch (phase breakdown + registry
+  // rates) bracketed by disabled warm-serial samples (the overhead ratio).
+  const TelemetrySummary ts =
+      run_telemetry_section(make_cached(), scripts, rows, 4);
+
   const double reduction =
       rows[0].parses > 0 && rows[1].parses > 0
           ? static_cast<double>(rows[0].parses) / rows[1].parses
@@ -285,11 +425,38 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
   std::printf("warm batch speedup %ut vs 1t: %.2fx\n", speedup_threads,
               speedup_widest);
 
+  std::printf(
+      "\ntelemetry: spans %llu/%llu opened/closed, parse-cache hit rate "
+      "%.3f (%llu/%llu), recovery-memo hit rate %.3f (%llu/%llu), "
+      "disabled-overhead ratio %.3f\n",
+      static_cast<unsigned long long>(ts.spans_opened),
+      static_cast<unsigned long long>(ts.spans_closed),
+      ts.parse_cache_hit_rate,
+      static_cast<unsigned long long>(ts.cache_hits),
+      static_cast<unsigned long long>(ts.cache_lookups),
+      ts.recovery_memo_hit_rate,
+      static_cast<unsigned long long>(ts.memo_hits),
+      static_cast<unsigned long long>(ts.memo_lookups), ts.overhead_ratio);
+  std::printf("phase breakdown (self-time over enabled batch, wall %.3fs):\n",
+              ts.batch_wall_seconds);
+  for (std::size_t i = 0; i < tel::kPhaseCount; ++i) {
+    const tel::Phase phase = static_cast<tel::Phase>(i);
+    const tel::PhaseStat& stat = ts.profile.stat(phase);
+    if (stat.count == 0) continue;
+    std::printf("  %-17s %8llu spans  self %9.3f ms  total %9.3f ms\n",
+                std::string(tel::phase_name(phase)).c_str(),
+                static_cast<unsigned long long>(stat.count),
+                ts.profile.self_seconds(phase) * 1000.0,
+                ts.profile.total_seconds(phase) * 1000.0);
+  }
+  std::printf("  accounted %.3f ms vs pipeline total %.3f ms\n",
+              ts.accounted_seconds * 1000.0, ts.pipeline_seconds * 1000.0);
+
   if (write_json) {
     const std::string path = std::string(IDEOBF_SOURCE_DIR) + "/BENCH_pipeline.json";
     std::ofstream out(path, std::ios::binary);
     out << rows_to_json(rows, scripts.size(), reduction, speedup_widest,
-                        speedup_threads)
+                        speedup_threads, ts)
         << "\n";
     std::printf("wrote %s\n", path.c_str());
   }
@@ -340,6 +507,69 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
                    "FAIL: warm 4-thread batch %.3fs is more than 10%% slower "
                    "than 1-thread %.3fs\n",
                    s4, s1);
+      rc = 1;
+    }
+  }
+
+  // Acceptance gate 4: span balance. Every PhaseSpan opened during the
+  // telemetry-enabled batch must have closed — an imbalance means a span
+  // leaked across an exception edge or a worker died mid-item. Pure
+  // counting, so it runs under sanitizers too.
+  if (ts.spans_opened == 0 || ts.spans_opened != ts.spans_closed) {
+    std::fprintf(stderr, "FAIL: span imbalance: opened=%llu closed=%llu\n",
+                 static_cast<unsigned long long>(ts.spans_opened),
+                 static_cast<unsigned long long>(ts.spans_closed));
+    rc = 1;
+  }
+
+  // Acceptance gate 5: registry reconciliation. Parse-cache counters must
+  // satisfy lookups == hits + misses + bypasses exactly (the miss counter
+  // fires before the insert-race path precisely so this identity holds),
+  // and the per-phase self times must partition the Pipeline span total —
+  // within 5% for clock granularity. Count/identity-based, so it also runs
+  // under sanitizers.
+  if (ts.cache_lookups !=
+      ts.cache_hits + ts.cache_misses + ts.cache_bypasses) {
+    std::fprintf(stderr,
+                 "FAIL: parse-cache counters do not reconcile: lookups=%llu "
+                 "hits=%llu misses=%llu bypasses=%llu\n",
+                 static_cast<unsigned long long>(ts.cache_lookups),
+                 static_cast<unsigned long long>(ts.cache_hits),
+                 static_cast<unsigned long long>(ts.cache_misses),
+                 static_cast<unsigned long long>(ts.cache_bypasses));
+    rc = 1;
+  }
+  if (ts.pipeline_seconds > 0.0) {
+    const double drift =
+        std::abs(ts.accounted_seconds - ts.pipeline_seconds) /
+        ts.pipeline_seconds;
+    if (drift > 0.05) {
+      std::fprintf(stderr,
+                   "FAIL: phase self-times do not partition the pipeline "
+                   "total: accounted %.6fs vs pipeline %.6fs (%.1f%% drift)\n",
+                   ts.accounted_seconds, ts.pipeline_seconds, drift * 100.0);
+      rc = 1;
+    }
+  } else {
+    std::fprintf(stderr, "FAIL: telemetry batch recorded no pipeline spans\n");
+    rc = 1;
+  }
+
+  // Acceptance gate 6 (smoke, non-sanitized): disabled telemetry must cost
+  // ~nothing. Warm serial throughput after an enable/disable cycle must be
+  // within 10% of the never-enabled baseline (one relaxed atomic load per
+  // span site is below measurement noise; anything above it is a residue
+  // bug — e.g. a recorder left attached or the flag check hoisted wrong).
+  if (smoke && IDEOBF_SANITIZED) {
+    std::printf("telemetry-overhead gate: skipped under sanitizers\n");
+  } else if (smoke) {
+    std::printf("telemetry-overhead gate: off-after/off-before = %.3f\n",
+                ts.overhead_ratio);
+    if (ts.overhead_ratio > 1.10) {
+      std::fprintf(stderr,
+                   "FAIL: disabled telemetry costs %.1f%% after an "
+                   "enable/disable cycle (ratio %.3f > 1.10)\n",
+                   (ts.overhead_ratio - 1.0) * 100.0, ts.overhead_ratio);
       rc = 1;
     }
   }

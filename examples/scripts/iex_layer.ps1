@@ -1,0 +1,3 @@
+iex '$q = "inner"; Write-Output $q; Write-Output "layer"'
+'Write-Output "piped layer"' | iex
+powershell -EncodedCommand VwByAGkAdABlAC0ATwB1AHQAcAB1AHQAIAAnAGUAbgBjACcACgA=

@@ -1,0 +1,4 @@
+$a = "down" + "load"
+$b = 'http://' + 'example.test/' + $a + '.ps1'
+Wr`it`e-Ou`tp`ut ("fetching " + $b)
+I`E`X ('Write-Output ' + "'" + 'layer done' + "'")

@@ -1,0 +1,7 @@
+$host1 = "198.51.100.7"
+$port = 8443
+$path = "/stage2.ps1"
+$u = "http://" + $host1 + ":" + $port + $path
+Write-Output $u
+$cmd = [string]::Join('', @('Wri', 'te-Ou', 'tput'))
+& $cmd "joined"

@@ -21,6 +21,26 @@ struct ItemState {
   clock_t_::time_point start{};
 };
 
+telemetry::Counter& batch_item_counter() {
+  static auto& c = telemetry::registry().counter("ideobf_batch_item_total");
+  return c;
+}
+telemetry::Counter& batch_item_failed_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_batch_item_failed_total");
+  return c;
+}
+telemetry::Counter& batch_item_degraded_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_batch_item_degraded_total");
+  return c;
+}
+telemetry::Counter& watchdog_cancel_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_watchdog_cancel_total");
+  return c;
+}
+
 }  // namespace
 
 int BatchReport::failed() const {
@@ -84,10 +104,17 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
   // duration, so slot-local state needs no locking.
   std::vector<RecoveryMemo> memos(options.share_recovery_memo ? threads : 0);
 
+  // Per-slot phase-profile partials, merged into report.profile after the
+  // pool drains (slot-exclusive during the job, so no locking).
+  std::vector<telemetry::PipelineProfile> profiles(threads);
+
   // Sealed body: nothing an item does — including non-std throws from
   // injected faults — may escape into the pool (whose contract is that
   // bodies do not throw) or take down the process.
   auto body = [&](std::size_t i, unsigned slot) {
+    // Bind this executor to its slot's metric shard (and trace lane): slots
+    // are staffed by one thread per job, so shard cells stay uncontended.
+    telemetry::set_current_shard(slot);
     BatchItem& item = report.items[i];
     const auto start = clock_t_::now();
     // External cancellation drains the queue fast: remaining items are
@@ -109,6 +136,7 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
       GovernorOptions gov = governed ? options.governor : deobf.options().governor;
       if (governed) gov.cancel = tokens[i];
       results[i] = deobf.deobfuscate(scripts[i], rep, gov, memo);
+      profiles[slot].merge(rep.profile);
       item.degradation_rung = rep.degradation_rung;
       // Passthrough (rung 3) means no pipeline output was served; count
       // it with the hard failures. Lower rungs served real output.
@@ -136,6 +164,9 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
     item.seconds =
         std::chrono::duration<double>(clock_t_::now() - start).count();
     item.changed = results[i] != scripts[i];
+    batch_item_counter().add();
+    if (!item.ok) batch_item_failed_counter().add();
+    if (item.degradation_rung > 0) batch_item_degraded_counter().add();
   };
 
   {
@@ -166,7 +197,10 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
             if (deadline <= 0.0) continue;
             const double elapsed =
                 std::chrono::duration<double>(now - states[i].start).count();
-            if (elapsed > limit) tokens[i].request_cancel();
+            if (elapsed > limit && !tokens[i].cancelled()) {
+              tokens[i].request_cancel();
+              watchdog_cancel_counter().add();
+            }
           }
         }
       });
@@ -177,6 +211,7 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
     if (watchdog.joinable()) watchdog.request_stop();
   }
 
+  for (const telemetry::PipelineProfile& p : profiles) report.profile.merge(p);
   report.wall_seconds =
       std::chrono::duration<double>(clock_t_::now() - batch_start).count();
   return results;

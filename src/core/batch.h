@@ -65,6 +65,10 @@ struct BatchOptions {
 struct BatchReport {
   std::vector<BatchItem> items;  ///< one per input script, same order
   double wall_seconds = 0.0;     ///< end-to-end wall time of the batch
+  /// Phase breakdown summed over every item (self times partition the
+  /// batch's total CPU-side pipeline time). All-zero unless telemetry was
+  /// enabled for the run.
+  telemetry::PipelineProfile profile;
 
   [[nodiscard]] int failed() const;
   [[nodiscard]] int changed() const;

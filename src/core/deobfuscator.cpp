@@ -1,6 +1,8 @@
 #include "core/deobfuscator.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 
 #include "core/failure.h"
 #include "core/fault.h"
@@ -23,7 +25,46 @@ void merge(RecoveryStats& into, const RecoveryStats& from) {
   into.variables_traced += from.variables_traced;
   into.variables_substituted += from.variables_substituted;
   into.pieces_failed += from.pieces_failed;
+  into.memo_hits += from.memo_hits;
+  into.memo_misses += from.memo_misses;
   into.worst_failure = ps::worse_failure(into.worst_failure, from.worst_failure);
+}
+
+telemetry::Counter& governor_attempt_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_governor_attempt_total");
+  return c;
+}
+telemetry::Counter& governor_ladder_step_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_governor_ladder_step_total");
+  return c;
+}
+telemetry::Counter& governor_degraded_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_governor_degraded_total");
+  return c;
+}
+telemetry::Counter& governor_passthrough_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_governor_passthrough_total");
+  return c;
+}
+
+/// Per-FailureKind abort counter; label values are ps::to_string's
+/// stable kebab names ("timeout", "memory-budget", ...).
+telemetry::Counter& governor_failure_counter(ps::FailureKind kind) {
+  static std::array<std::atomic<telemetry::Counter*>, 16> slots{};
+  auto& slot = slots[static_cast<std::size_t>(kind) % slots.size()];
+  telemetry::Counter* c = slot.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    std::string labels = "kind=\"";
+    labels += ps::to_string(kind);
+    labels += '"';
+    c = &telemetry::registry().counter("ideobf_governor_failure_total", labels);
+    slot.store(c, std::memory_order_release);
+  }
+  return *c;
 }
 
 bool syntax_ok(std::string_view text, ps::ParseCache* cache) {
@@ -88,6 +129,25 @@ std::string InvokeDeobfuscator::deobfuscate(
 std::string InvokeDeobfuscator::deobfuscate(
     std::string_view script, DeobfuscationReport& report,
     const GovernorOptions& governor, RecoveryMemo* shared_memo) const {
+  // Telemetry envelope: every span closed while this call runs on this
+  // thread accumulates into `profile` (the multilayer recursion calls
+  // deobfuscate_layers, not this wrapper, so the Pipeline span is per item).
+  // The span must close before the profile is read — hence the inner scope —
+  // and the impl resets `report`, so the profile is attached afterwards.
+  telemetry::PipelineProfile profile;
+  std::string out;
+  {
+    telemetry::ProfileScope profile_scope(&profile);
+    telemetry::PhaseSpan pipeline_span(telemetry::Phase::Pipeline);
+    out = deobfuscate_impl(script, report, governor, shared_memo);
+  }
+  report.profile = profile;
+  return out;
+}
+
+std::string InvokeDeobfuscator::deobfuscate_impl(
+    std::string_view script, DeobfuscationReport& report,
+    const GovernorOptions& governor, RecoveryMemo* shared_memo) const {
   if (!governor.active()) {
     // Ungoverned: the exact pre-governor code path, no budget checkpoints.
     report = DeobfuscationReport{};
@@ -121,12 +181,15 @@ std::string InvokeDeobfuscator::deobfuscate(
         governor.memory_budget_bytes, governor.cancel});
     DeobfuscationReport attempt;
     ++attempts;
+    governor_attempt_counter().add();
+    if (rung > 0) governor_ladder_step_counter().add();
     try {
       std::string out = run_pipeline(script, attempt, rung_options(rung),
                                      &budget, shared_memo);
       report = std::move(attempt);
       report.degradation_rung = rung;
       report.attempts = attempts;
+      if (rung > 0) governor_degraded_counter().add();
       if (first_failure != ps::FailureKind::None) {
         report.failure = first_failure;
         report.failure_detail = first_detail;
@@ -136,6 +199,7 @@ std::string InvokeDeobfuscator::deobfuscate(
       return out;
     } catch (...) {
       auto [kind, detail] = classify_current_exception();
+      if (telemetry::enabled()) governor_failure_counter(kind).add();
       if (first_failure == ps::FailureKind::None) {
         first_failure = kind;
         first_detail = std::move(detail);
@@ -146,6 +210,8 @@ std::string InvokeDeobfuscator::deobfuscate(
 
   // Rung 3: passthrough. Deobfuscation is total by contract — the hostile
   // input is served back unchanged, classified.
+  governor_passthrough_counter().add();
+  governor_degraded_counter().add();
   report = DeobfuscationReport{};
   report.degradation_rung = 3;
   report.attempts = attempts;
@@ -159,7 +225,7 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
                                              const DeobfuscationOptions& opts,
                                              ps::Budget* budget,
                                              RecoveryMemo* shared_memo) const {
-  TraceSink sink;
+  TraceSink sink(opts.max_trace_events);
   TraceSink* trace = opts.collect_trace ? &sink : nullptr;
   ps::ParseCache* cache = cache_.get();
   if (opts.fault_injector != nullptr) {
@@ -186,6 +252,7 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
 
   if (opts.rename) {
     if (budget != nullptr) budget->force_checkpoint();
+    telemetry::PhaseSpan span(telemetry::Phase::Rename);
     out = checked(out, cache, [&](std::string_view s) {
       RenameStats rs;
       std::string r = rename_pass(s, &rs, trace);
@@ -195,10 +262,15 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
   }
   if (opts.reformat) {
     if (budget != nullptr) budget->force_checkpoint();
+    telemetry::PhaseSpan span(telemetry::Phase::Reformat);
     out = checked(out, cache,
                   [](std::string_view s) { return reformat_pass(s); });
   }
-  if (trace != nullptr) report.trace = sink.take();
+  if (trace != nullptr) {
+    report.trace = sink.take();
+    report.trace_truncated = sink.truncated();
+    report.trace_dropped = sink.dropped();
+  }
   return out;
 }
 
@@ -216,6 +288,7 @@ std::string InvokeDeobfuscator::deobfuscate_layers(
 
     if (opts.token_pass) {
       if (budget != nullptr) budget->force_checkpoint();
+      telemetry::PhaseSpan span(telemetry::Phase::TokenPass);
       next = checked(next, cache, [&](std::string_view s) {
         TokenPassStats ts;
         std::string r = token_pass(s, &ts, trace);
@@ -252,6 +325,9 @@ std::string InvokeDeobfuscator::deobfuscate_layers(
 
     if (opts.multilayer) {
       if (budget != nullptr) budget->force_checkpoint();
+      // The scan span; each extracted payload opens a nested decode span
+      // (with the disguise form as detail) inside unwrap_layers.
+      telemetry::PhaseSpan span(telemetry::Phase::MultilayerDecode, "scan");
       next = checked(next, cache, [&](std::string_view s) {
         const auto inner = [&](std::string_view payload) {
           return deobfuscate_layers(payload, report, depth + 1, trace, memo,

@@ -21,6 +21,7 @@
 #include "core/token_pass.h"
 #include "psast/parse_cache.h"
 #include "psvalue/budget.h"
+#include "telemetry/telemetry.h"
 
 namespace ideobf {
 
@@ -79,6 +80,9 @@ struct DeobfuscationOptions {
   bool trace_functions = false;
   /// Collect a structured transformation trace into the report.
   bool collect_trace = false;
+  /// Trace-event collection cap per run (see TraceSink); overflow sets
+  /// DeobfuscationReport::trace_truncated instead of growing unboundedly.
+  std::size_t max_trace_events = TraceSink::kDefaultMaxEvents;
   /// Parse-once pipeline: share one parse of every intermediate text across
   /// the per-step syntax checks, the phases' AST inputs, and the multilayer
   /// recursion. Disabling re-parses at every step (the pre-cache behavior);
@@ -106,9 +110,14 @@ struct DeobfuscationOptions {
 struct DeobfuscationReport {
   TokenPassStats token;
   std::vector<TraceEvent> trace;  ///< filled when options.collect_trace
+  bool trace_truncated = false;   ///< trace hit options.max_trace_events
+  std::size_t trace_dropped = 0;  ///< events discarded past the cap
   RecoveryStats recovery;
   MultilayerStats multilayer;
   RenameStats rename;
+  /// Per-phase time breakdown of this call (counts + self/total wall time).
+  /// All-zero unless telemetry was enabled (telemetry::Telemetry::enable()).
+  telemetry::PipelineProfile profile;
   int passes = 0;  ///< full pipeline iterations until the fixed point
 
   /// Failure classification for the call: the kind that aborted the
@@ -158,6 +167,12 @@ class InvokeDeobfuscator {
   }
 
  private:
+  /// The governed ladder walk behind deobfuscate(); the public wrapper adds
+  /// the telemetry envelope (Pipeline span + profile binding) around it.
+  std::string deobfuscate_impl(std::string_view script,
+                               DeobfuscationReport& report,
+                               const GovernorOptions& governor,
+                               RecoveryMemo* shared_memo) const;
   /// One full pipeline run under `opts`, checkpointing `budget` (may be
   /// null) between phases. Throws on budget/fault aborts. `shared_memo`
   /// substitutes for the run-local piece memo when non-null.

@@ -3,7 +3,40 @@
 #include <chrono>
 #include <thread>
 
+#include "telemetry/metrics.h"
+
 namespace ideobf {
+
+namespace {
+
+/// Per-site injected-fault counter; `site` strings are the to_string names.
+telemetry::Counter& fault_injected_counter(FaultSite site) {
+  auto& reg = telemetry::registry();
+  switch (site) {
+    case FaultSite::Parse: {
+      static auto& c = reg.counter("ideobf_fault_injected_total", "site=\"parse\"");
+      return c;
+    }
+    case FaultSite::PieceExecution: {
+      static auto& c = reg.counter("ideobf_fault_injected_total", "site=\"piece-execution\"");
+      return c;
+    }
+    case FaultSite::MemoLookup: {
+      static auto& c = reg.counter("ideobf_fault_injected_total", "site=\"memo-lookup\"");
+      return c;
+    }
+    case FaultSite::MultilayerDecode: {
+      static auto& c = reg.counter("ideobf_fault_injected_total", "site=\"multilayer-decode\"");
+      return c;
+    }
+    case FaultSite::SandboxRun:
+      break;
+  }
+  static auto& c = reg.counter("ideobf_fault_injected_total", "site=\"sandbox-run\"");
+  return c;
+}
+
+}  // namespace
 
 const char* to_string(FaultSite site) {
   switch (site) {
@@ -56,6 +89,7 @@ bool FaultInjector::inject(FaultSite site, std::string* text) {
     st.fires++;
     armed = st.spec;
   }
+  fault_injected_counter(site).add();
   switch (armed.action) {
     case FaultAction::None:
       return false;

@@ -9,6 +9,7 @@
 #include "psast/parser.h"
 #include "psinterp/encodings.h"
 #include "psvalue/budget.h"
+#include "telemetry/telemetry.h"
 
 namespace ideobf {
 
@@ -72,6 +73,27 @@ struct Rewrite {
   std::string text;
 };
 
+/// Per-disguise-form unwrap counter ("iex-arg", "pipe-to-iex",
+/// "encoded-command", "invoke-script"). `form` must be a string literal —
+/// it is also the span detail kept by the trace recorder.
+telemetry::Counter& unwrap_form_counter(std::string_view form) {
+  auto& reg = telemetry::registry();
+  if (form == "iex-arg") {
+    static auto& c = reg.counter("ideobf_multilayer_unwrap_total", "form=\"iex-arg\"");
+    return c;
+  }
+  if (form == "pipe-to-iex") {
+    static auto& c = reg.counter("ideobf_multilayer_unwrap_total", "form=\"pipe-to-iex\"");
+    return c;
+  }
+  if (form == "encoded-command") {
+    static auto& c = reg.counter("ideobf_multilayer_unwrap_total", "form=\"encoded-command\"");
+    return c;
+  }
+  static auto& c = reg.counter("ideobf_multilayer_unwrap_total", "form=\"invoke-script\"");
+  return c;
+}
+
 }  // namespace
 
 std::string unwrap_layers(
@@ -100,7 +122,11 @@ std::string unwrap_layers(
   // site (which may throw, delay, or corrupt the payload). Returns true
   // when the (possibly corrupted) payload is still a valid script and the
   // rewrite was queued.
-  const auto process = [&](std::string payload, const ps::PipelineAst& pipe) {
+  const auto process = [&](std::string payload, const ps::PipelineAst& pipe,
+                           std::string_view form) {
+    // The inner pipeline run nests inside this span; self-time accounting
+    // keeps the decode's own cost separate from the recursion's.
+    telemetry::PhaseSpan span(telemetry::Phase::MultilayerDecode, form);
     if (budget != nullptr) {
       budget->force_checkpoint();
       budget->charge_bytes(payload.size());
@@ -109,6 +135,7 @@ std::string unwrap_layers(
       fault->inject(FaultSite::MultilayerDecode, &payload);
     }
     if (!valid(payload)) return false;
+    if (telemetry::enabled()) unwrap_form_counter(form).add();
     rewrites.push_back({pipe.start(), pipe.end(), deobfuscate_inner(payload)});
     return true;
   };
@@ -132,7 +159,7 @@ std::string unwrap_layers(
       const auto& cmd = static_cast<const ps::CommandAst&>(*pipe.elements[0]);
       if (is_invoke_expression(cmd) && cmd.elements.size() == 2) {
         if (const std::string* payload = constant_string(cmd.elements[1].get())) {
-          if (process(*payload, pipe)) return;
+          if (process(*payload, pipe, "iex-arg")) return;
         }
       }
       // Form C: powershell -EncodedCommand <b64> (parameter abbreviations
@@ -157,7 +184,7 @@ std::string unwrap_layers(
           if (!bytes) continue;
           const std::string decoded =
               ps::encoding_get_string(ps::TextEncoding::Unicode, *bytes);
-          if (!process(decoded, pipe)) continue;
+          if (!process(decoded, pipe, "encoded-command")) continue;
           return;
         }
       }
@@ -185,7 +212,7 @@ std::string unwrap_layers(
             inv.arguments.size() == 1) {
           if (const std::string* payload =
                   constant_string(inv.arguments[0].get())) {
-            if (process(*payload, pipe)) return;
+            if (process(*payload, pipe, "invoke-script")) return;
           }
         }
       }
@@ -201,7 +228,7 @@ std::string unwrap_layers(
       const auto& tail = static_cast<const ps::CommandAst&>(*pipe.elements[1]);
       if (is_invoke_expression(tail) && tail.elements.size() == 1) {
         if (const std::string* payload = constant_string(head.expression.get())) {
-          process(*payload, pipe);
+          process(*payload, pipe, "pipe-to-iex");
         }
       }
     }

@@ -3,6 +3,9 @@
 #include <map>
 #include <memory>
 
+#include <array>
+#include <atomic>
+
 #include "core/blocklist.h"
 #include "core/failure.h"
 #include "core/fault.h"
@@ -10,8 +13,45 @@
 #include "psast/parse_cache.h"
 #include "psast/parser.h"
 #include "psinterp/interpreter.h"
+#include "telemetry/telemetry.h"
 
 namespace ideobf {
+
+namespace {
+
+telemetry::Counter& memo_lookup_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_recovery_memo_lookup_total");
+  return c;
+}
+telemetry::Counter& memo_hit_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_recovery_memo_hit_total");
+  return c;
+}
+telemetry::Counter& memo_miss_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_recovery_memo_miss_total");
+  return c;
+}
+
+/// Per-NodeKind recovery attempt counter, interned lazily per kind (the
+/// registry is idempotent, so a first-use race costs one duplicate intern).
+telemetry::Counter& piece_kind_counter(ps::NodeKind kind) {
+  static std::array<std::atomic<telemetry::Counter*>, 64> slots{};
+  auto& slot = slots[static_cast<std::size_t>(kind) % slots.size()];
+  telemetry::Counter* c = slot.load(std::memory_order_acquire);
+  if (c == nullptr) {
+    std::string labels = "kind=\"";
+    labels += ps::to_string(kind);
+    labels += '"';
+    c = &telemetry::registry().counter("ideobf_recovery_piece_total", labels);
+    slot.store(c, std::memory_order_release);
+  }
+  return *c;
+}
+
+}  // namespace
 
 using ps::Ast;
 using ps::NodeKind;
@@ -42,9 +82,15 @@ std::string value_to_literal(const Value& value) {
 
 const std::string* RecoveryMemo::lookup(std::size_t context,
                                         std::string_view piece) const {
+  ++lookups_;
+  memo_lookup_counter().add();
   const auto it = map_.find(Key{context, std::string(piece)});
-  if (it == map_.end()) return nullptr;
+  if (it == map_.end()) {
+    memo_miss_counter().add();
+    return nullptr;
+  }
   ++hits_;
+  memo_hit_counter().add();
   return &it->second;
 }
 
@@ -341,14 +387,18 @@ class Reconstructor {
     if (scope == "env" || scope.empty()) {
       const std::string probe_text(
           src_.substr(var.start(), var.end() - var.start()));
+      telemetry::PhaseSpan probe_span(telemetry::Phase::PieceExecution,
+                                      "env-probe");
       std::string literal;
       const std::string* hit =
           options_.memo != nullptr
               ? options_.memo->lookup(kEnvProbeContext, probe_text)
               : nullptr;
       if (hit != nullptr) {
+        stats_.memo_hits++;
         literal = *hit;
       } else {
+        if (options_.memo != nullptr) stats_.memo_misses++;
         try {
           ps::InterpreterOptions opts;
           opts.strict_variables = true;
@@ -391,6 +441,7 @@ class Reconstructor {
       table_.erase(bare);
       return text;
     }
+    telemetry::PhaseSpan trace_span(telemetry::Phase::VariableTrace);
     try {
       auto interp = make_interpreter();
       if (cache_ != nullptr && matches_source(st, text)) {
@@ -428,6 +479,12 @@ class Reconstructor {
   /// returned literal is "" when the piece stays as-is (failed execution,
   /// no literal form, or no progress).
   std::string execute_piece(const std::string& text, const Ast* node) {
+    telemetry::PhaseSpan piece_span(
+        telemetry::Phase::PieceExecution,
+        node != nullptr ? ps::to_string(node->kind()) : std::string_view{});
+    if (node != nullptr && telemetry::enabled()) {
+      piece_kind_counter(node->kind()).add();
+    }
     if (options_.fault != nullptr) {
       options_.fault->inject(FaultSite::PieceExecution);
     }
@@ -438,8 +495,10 @@ class Reconstructor {
       }
       ctx = context_fingerprint();
       if (const std::string* hit = options_.memo->lookup(ctx, text)) {
+        stats_.memo_hits++;
         return *hit;
       }
+      stats_.memo_misses++;
     }
     std::string literal;
     try {
@@ -501,6 +560,7 @@ std::string recovery_pass(std::string_view script,
                           const ps::ScriptBlockAst& root,
                           const RecoveryOptions& options, RecoveryStats* stats,
                           TraceSink* trace, ps::ParseCache* cache) {
+  telemetry::PhaseSpan span(telemetry::Phase::Recovery);
   RecoveryStats local;
   Reconstructor rec(script, options, local, trace, cache);
   std::string out = rec.run(root);

@@ -32,6 +32,8 @@ struct RecoveryStats {
   int variables_traced = 0;       ///< assignments recorded in the symbol table
   int variables_substituted = 0;  ///< variable uses replaced by their value
   int pieces_failed = 0;          ///< piece/assignment executions that errored
+  int memo_hits = 0;              ///< piece executions answered by the memo
+  int memo_misses = 0;            ///< memo lookups that had to execute
   /// Most severe per-piece failure seen (failure_severity order); the
   /// governor surfaces it as the item classification when nothing worse
   /// aborted the run.
@@ -58,6 +60,8 @@ class RecoveryMemo {
   void store(std::size_t context, std::string_view piece, std::string literal);
 
   [[nodiscard]] std::size_t hits() const { return hits_; }
+  [[nodiscard]] std::size_t lookups() const { return lookups_; }
+  [[nodiscard]] std::size_t misses() const { return lookups_ - hits_; }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
 
  private:
@@ -76,6 +80,7 @@ class RecoveryMemo {
 
   std::unordered_map<Key, std::string, KeyHash> map_;
   mutable std::size_t hits_ = 0;
+  mutable std::size_t lookups_ = 0;
 };
 
 struct RecoveryOptions {

@@ -32,12 +32,16 @@ std::string clip(std::string_view s, std::size_t max_len) {
 }  // namespace
 
 std::string render_trace(const std::vector<TraceEvent>& trace,
-                         std::size_t max_payload) {
+                         std::size_t max_payload, std::size_t dropped) {
   std::ostringstream out;
   for (const TraceEvent& e : trace) {
     out << "[pass " << e.pass << "] " << to_string(e.kind) << " @" << e.offset
         << ": " << clip(e.before, max_payload) << "  ->  "
         << clip(e.after, max_payload) << "\n";
+  }
+  if (dropped != 0) {
+    out << "[trace truncated: " << dropped << " further event"
+        << (dropped == 1 ? "" : "s") << " dropped]\n";
   }
   return out.str();
 }

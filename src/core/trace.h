@@ -7,6 +7,7 @@
 /// verify *why* the output is what it is — the explainability counterpart
 /// to the paper's layer-by-layer screenshots (Fig 7).
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,21 +36,41 @@ struct TraceEvent {
 std::string_view to_string(TraceEvent::Kind kind);
 
 /// Renders a trace as readable lines ("[pass 0] recovered @12: '...' -> ...").
+/// `dropped` (events discarded by a capped TraceSink) appends a trailing
+/// truncation note so a clipped trace is never mistaken for a complete one.
 std::string render_trace(const std::vector<TraceEvent>& trace,
-                         std::size_t max_payload = 60);
+                         std::size_t max_payload = 60,
+                         std::size_t dropped = 0);
 
 /// Collector passed through the pipeline phases; null sink = tracing off.
+/// Collection is capped (`max_events`, default 10k): a hostile script with
+/// unbounded churn must not balloon the trace; overflow is counted, not kept.
 class TraceSink {
  public:
-  void emit(TraceEvent event) { events_.push_back(std::move(event)); }
+  static constexpr std::size_t kDefaultMaxEvents = 10000;
+
+  explicit TraceSink(std::size_t max_events = kDefaultMaxEvents)
+      : max_events_(max_events == 0 ? 1 : max_events) {}
+
+  void emit(TraceEvent event) {
+    if (events_.size() >= max_events_) {
+      ++dropped_;
+      return;
+    }
+    events_.push_back(std::move(event));
+  }
   [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
   [[nodiscard]] std::vector<TraceEvent> take() { return std::move(events_); }
   void set_pass(int pass) { pass_ = pass; }
   [[nodiscard]] int pass() const { return pass_; }
+  [[nodiscard]] bool truncated() const { return dropped_ != 0; }
+  [[nodiscard]] std::size_t dropped() const { return dropped_; }
 
  private:
   std::vector<TraceEvent> events_;
   int pass_ = 0;
+  std::size_t max_events_;
+  std::size_t dropped_ = 0;
 };
 
 }  // namespace ideobf

@@ -4,8 +4,43 @@
 
 #include "pslang/lexer.h"
 #include "psast/parser.h"
+#include "telemetry/metrics.h"
 
 namespace ps {
+
+namespace {
+
+// Registry mirrors of the cache's own atomics, so `--metrics` output and
+// bench hit-rate keys come from one place. Lookups are counted separately
+// (rather than derived) so the exposition can assert hits+misses+bypasses
+// == lookups as a reconciliation check.
+ideobf::telemetry::Counter& cache_lookup_counter() {
+  static auto& c = ideobf::telemetry::registry().counter(
+      "ideobf_parse_cache_lookup_total");
+  return c;
+}
+ideobf::telemetry::Counter& cache_hit_counter() {
+  static auto& c =
+      ideobf::telemetry::registry().counter("ideobf_parse_cache_hit_total");
+  return c;
+}
+ideobf::telemetry::Counter& cache_miss_counter() {
+  static auto& c =
+      ideobf::telemetry::registry().counter("ideobf_parse_cache_miss_total");
+  return c;
+}
+ideobf::telemetry::Counter& cache_eviction_counter() {
+  static auto& c = ideobf::telemetry::registry().counter(
+      "ideobf_parse_cache_eviction_total");
+  return c;
+}
+ideobf::telemetry::Counter& cache_bypass_counter() {
+  static auto& c =
+      ideobf::telemetry::registry().counter("ideobf_parse_cache_bypass_total");
+  return c;
+}
+
+}  // namespace
 
 ParseCache::ParseCache(std::size_t max_entries, std::size_t max_text_bytes)
     : per_shard_cap_(std::max<std::size_t>(1, max_entries / kShards)),
@@ -14,12 +49,14 @@ ParseCache::ParseCache(std::size_t max_entries, std::size_t max_text_bytes)
 ParseCache::Result ParseCache::get(std::string_view text) {
   const std::size_t hash = StringHash{}(text);
   Shard& shard = shards_[hash % kShards];
+  cache_lookup_counter().add();
 
   if (text.size() <= max_text_bytes_) {
     std::lock_guard lock(shard.mu);
     if (auto it = shard.map.find(text); it != shard.map.end()) {
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
       hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hit_counter().add();
       return it->second.result;
     }
   }
@@ -42,9 +79,11 @@ ParseCache::Result ParseCache::get(std::string_view text) {
 
   if (text.size() > max_text_bytes_) {
     bypasses_.fetch_add(1, std::memory_order_relaxed);
+    cache_bypass_counter().add();
     return fresh;
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
+  cache_miss_counter().add();
 
   std::lock_guard lock(shard.mu);
   auto [it, inserted] = shard.map.try_emplace(std::string(text));
@@ -62,6 +101,7 @@ ParseCache::Result ParseCache::get(std::string_view text) {
     shard.lru.pop_back();
     shard.map.erase(*victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
+    cache_eviction_counter().add();
   }
   return out;
 }

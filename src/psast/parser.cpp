@@ -6,6 +6,7 @@
 
 #include "pslang/alias_table.h"
 #include "pslang/lexer.h"
+#include "telemetry/telemetry.h"
 
 namespace ps {
 
@@ -1132,7 +1133,11 @@ std::uint64_t parse_call_count() {
 
 const ScriptBlockAst* parse_into(Arena& arena, std::string_view source) {
   g_parse_calls.fetch_add(1, std::memory_order_relaxed);
-  TokenStream tokens = tokenize(source);
+  ideobf::telemetry::PhaseSpan parse_span(ideobf::telemetry::Phase::Parse);
+  TokenStream tokens = [&] {
+    ideobf::telemetry::PhaseSpan lex_span(ideobf::telemetry::Phase::Lex);
+    return tokenize(source);
+  }();
   Parser parser(std::move(tokens), source.size(), arena);
   return parser.parse_script();
 }

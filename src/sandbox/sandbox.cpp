@@ -3,10 +3,21 @@
 #include "core/fault.h"
 #include "psast/parser.h"
 #include "psinterp/interpreter.h"
+#include "telemetry/telemetry.h"
 
 namespace ideobf {
 
 namespace {
+
+telemetry::Counter& sandbox_run_counter() {
+  static auto& c = telemetry::registry().counter("ideobf_sandbox_run_total");
+  return c;
+}
+telemetry::Counter& sandbox_failure_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_sandbox_failure_total");
+  return c;
+}
 
 class RecordingRecorder final : public ps::EffectRecorder {
  public:
@@ -47,6 +58,8 @@ class RecordingRecorder final : public ps::EffectRecorder {
 Sandbox::Sandbox(SandboxOptions options) : options_(options) {}
 
 BehaviorProfile Sandbox::run(std::string_view script) const {
+  telemetry::PhaseSpan span(telemetry::Phase::SandboxRun);
+  sandbox_run_counter().add();
   BehaviorProfile profile;
   RecordingRecorder recorder(profile, options_);
 
@@ -94,6 +107,7 @@ BehaviorProfile Sandbox::run(std::string_view script) const {
     profile.failure = ps::FailureKind::Internal;
     profile.error = "non-standard exception";
   }
+  if (!profile.executed_ok) sandbox_failure_counter().add();
   return profile;
 }
 

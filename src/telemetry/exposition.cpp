@@ -1,0 +1,113 @@
+#include "telemetry/exposition.h"
+
+#include <cstdio>
+#include <string_view>
+
+namespace ideobf::telemetry {
+
+namespace {
+
+void append_type_line(std::string& out, std::string_view base,
+                      std::string_view type, std::string& last_base) {
+  if (last_base == base) return;
+  last_base.assign(base);
+  out += "# TYPE ";
+  out += base;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_name(std::string& out, std::string_view base,
+                 std::string_view labels) {
+  out += base;
+  if (!labels.empty()) {
+    out += '{';
+    out += labels;
+    out += '}';
+  }
+}
+
+/// Label body with `le="<seconds>"` appended (histogram bucket lines).
+void append_bucket_name(std::string& out, std::string_view base,
+                        std::string_view labels, std::string_view le) {
+  out += base;
+  out += "_bucket{";
+  if (!labels.empty()) {
+    out += labels;
+    out += ',';
+  }
+  out += "le=\"";
+  out += le;
+  out += "\"}";
+}
+
+std::string seconds_text(std::uint64_t bound_ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%g",
+                static_cast<double>(bound_ns) / 1e9);
+  return buf;
+}
+
+std::string double_text(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_prometheus(const RegistrySnapshot& snapshot) {
+  std::string out;
+  out.reserve(4096);
+  std::string last_base;
+
+  for (const auto& c : snapshot.counters) {
+    append_type_line(out, c.base, "counter", last_base);
+    append_name(out, c.base, c.labels);
+    out += ' ';
+    out += std::to_string(c.value);
+    out += '\n';
+  }
+
+  last_base.clear();
+  for (const auto& g : snapshot.gauges) {
+    append_type_line(out, g.base, "gauge", last_base);
+    append_name(out, g.base, g.labels);
+    out += ' ';
+    out += std::to_string(g.value);
+    out += '\n';
+  }
+
+  last_base.clear();
+  const auto& bounds = Histogram::bounds_ns();
+  for (const auto& h : snapshot.histograms) {
+    append_type_line(out, h.base, "histogram", last_base);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      cumulative += h.buckets[i];
+      append_bucket_name(out, h.base, h.labels,
+                         i + 1 < Histogram::kBucketCount
+                             ? seconds_text(bounds[i])
+                             : std::string_view("+Inf"));
+      out += ' ';
+      out += std::to_string(cumulative);
+      out += '\n';
+    }
+    append_name(out, std::string(h.base) + "_sum", h.labels);
+    out += ' ';
+    out += double_text(static_cast<double>(h.sum_ns) / 1e9);
+    out += '\n';
+    append_name(out, std::string(h.base) + "_count", h.labels);
+    out += ' ';
+    out += std::to_string(h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  return render_prometheus(registry.snapshot());
+}
+
+}  // namespace ideobf::telemetry

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file exposition.h
+/// Prometheus-style text exposition of a MetricsRegistry: `# TYPE` comment
+/// per metric family, `_bucket{...,le="..."}` / `_sum` / `_count` triplets
+/// for histograms (cumulative buckets, seconds), plain `name{labels} value`
+/// lines for counters and gauges. Deterministic order (the registry
+/// iterates name-sorted), so two runs over the same work diff cleanly.
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace ideobf::telemetry {
+
+/// Renders the whole registry.
+std::string render_prometheus(const MetricsRegistry& registry);
+
+/// Renders an explicit snapshot (tests build these by hand).
+std::string render_prometheus(const RegistrySnapshot& snapshot);
+
+}  // namespace ideobf::telemetry

@@ -1,0 +1,190 @@
+#include "telemetry/metrics.h"
+
+namespace ideobf::telemetry {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace {
+std::atomic<unsigned> g_next_shard{0};
+thread_local unsigned tl_shard = kShardCount;  // kShardCount = unassigned
+}  // namespace
+
+unsigned current_shard() {
+  if (tl_shard >= kShardCount) {
+    tl_shard = g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShardCount;
+  }
+  return tl_shard;
+}
+
+void set_current_shard(unsigned slot) { tl_shard = slot % kShardCount; }
+
+std::uint64_t Counter::value() const {
+  std::uint64_t sum = 0;
+  for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::uint64_t Counter::shard_value(unsigned shard) const {
+  return cells_[shard % kShardCount].v.load(std::memory_order_relaxed);
+}
+
+void Counter::reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t Gauge::value() const {
+  std::int64_t sum = 0;
+  for (const Cell& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Gauge::reset() {
+  for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+}
+
+const std::array<std::uint64_t, Histogram::kBucketCount - 1>&
+Histogram::bounds_ns() {
+  // 1-2.5-5 ladder, 1 µs .. 10 s.
+  static const std::array<std::uint64_t, kBucketCount - 1> kBounds = {
+      1'000ull,           2'500ull,           5'000ull,            // 1-5 µs
+      10'000ull,          25'000ull,          50'000ull,           // 10-50 µs
+      100'000ull,         250'000ull,         500'000ull,          // 0.1-0.5 ms
+      1'000'000ull,       2'500'000ull,       5'000'000ull,        // 1-5 ms
+      10'000'000ull,      25'000'000ull,      50'000'000ull,       // 10-50 ms
+      100'000'000ull,     250'000'000ull,     500'000'000ull,      // 0.1-0.5 s
+      1'000'000'000ull,   2'500'000'000ull,   5'000'000'000ull,    // 1-5 s
+      10'000'000'000ull,                                           // 10 s
+  };
+  return kBounds;
+}
+
+std::size_t Histogram::bucket_index(std::uint64_t ns) {
+  const auto& bounds = bounds_ns();
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (ns <= bounds[i]) return i;
+  }
+  return kBucketCount - 1;  // +Inf
+}
+
+std::uint64_t Histogram::bucket_value(std::size_t i) const {
+  std::uint64_t sum = 0;
+  for (const Shard& s : shards_) {
+    sum += s.buckets[i].load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t sum = 0;
+  for (const Shard& s : shards_) sum += s.count.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::uint64_t Histogram::sum_ns() const {
+  std::uint64_t sum = 0;
+  for (const Shard& s : shards_) sum += s.sum_ns.load(std::memory_order_relaxed);
+  return sum;
+}
+
+void Histogram::reset() {
+  for (Shard& s : shards_) {
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum_ns.store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+std::string full_name(std::string_view base, std::string_view labels) {
+  std::string key(base);
+  if (!labels.empty()) {
+    key += '{';
+    key += labels;
+    key += '}';
+  }
+  return key;
+}
+
+/// Splits "base{labels}" back into its parts for snapshots.
+std::pair<std::string, std::string> split_name(const std::string& key) {
+  const std::size_t brace = key.find('{');
+  if (brace == std::string::npos) return {key, std::string()};
+  return {key.substr(0, brace),
+          key.substr(brace + 1, key.size() - brace - 2)};
+}
+}  // namespace
+
+template <typename M>
+M& MetricsRegistry::intern(
+    std::map<std::string, std::unique_ptr<M>, std::less<>>& map,
+    std::string_view base, std::string_view labels) {
+  const std::string key = full_name(base, labels);
+  std::lock_guard lock(mu_);
+  auto it = map.find(key);
+  if (it == map.end()) {
+    it = map.emplace(key, std::make_unique<M>()).first;
+  }
+  return *it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view base,
+                                  std::string_view labels) {
+  return intern(counters_, base, labels);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view base, std::string_view labels) {
+  return intern(gauges_, base, labels);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view base,
+                                      std::string_view labels) {
+  return intern(histograms_, base, labels);
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    auto [base, labels] = split_name(name);
+    snap.counters.push_back({std::move(base), std::move(labels), c->value()});
+  }
+  for (const auto& [name, g] : gauges_) {
+    auto [base, labels] = split_name(name);
+    snap.gauges.push_back({std::move(base), std::move(labels), g->value()});
+  }
+  for (const auto& [name, h] : histograms_) {
+    auto [base, labels] = split_name(name);
+    RegistrySnapshot::HistogramSample sample;
+    sample.base = std::move(base);
+    sample.labels = std::move(labels);
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      sample.buckets[i] = h->bucket_value(i);
+    }
+    sample.count = h->count();
+    sample.sum_ns = h->sum_ns();
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+MetricsRegistry& registry() {
+  // Deliberately leaked: pool threads and arena freelists may still record
+  // during static destruction.
+  static MetricsRegistry* g_registry = new MetricsRegistry();
+  return *g_registry;
+}
+
+}  // namespace ideobf::telemetry

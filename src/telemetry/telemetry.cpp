@@ -1,0 +1,155 @@
+#include "telemetry/telemetry.h"
+
+#include <chrono>
+
+#include "telemetry/chrome_trace.h"
+
+namespace ideobf::telemetry {
+
+std::string_view phase_name(Phase phase) {
+  switch (phase) {
+    case Phase::Lex: return "lex";
+    case Phase::Parse: return "parse";
+    case Phase::TokenPass: return "token-pass";
+    case Phase::Recovery: return "recovery";
+    case Phase::VariableTrace: return "variable-trace";
+    case Phase::PieceExecution: return "piece-execution";
+    case Phase::MultilayerDecode: return "multilayer-decode";
+    case Phase::Rename: return "rename";
+    case Phase::Reformat: return "reformat";
+    case Phase::SandboxRun: return "sandbox-run";
+    case Phase::Pipeline: return "pipeline";
+  }
+  return "?";
+}
+
+std::uint64_t now_ns() {
+  // One process-local epoch so trace timestamps across threads share an
+  // origin (steady_clock's own epoch can be huge; Perfetto copes, humans
+  // less so).
+  static const auto g_epoch = std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - g_epoch)
+          .count());
+}
+
+double PipelineProfile::accounted_seconds() const {
+  std::uint64_t total = 0;
+  for (const PhaseStat& s : phases) total += s.self_ns;
+  return static_cast<double>(total) / 1e9;
+}
+
+bool PipelineProfile::empty() const {
+  for (const PhaseStat& s : phases) {
+    if (s.count != 0) return false;
+  }
+  return true;
+}
+
+void PipelineProfile::merge(const PipelineProfile& other) {
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phases[i].count += other.phases[i].count;
+    phases[i].self_ns += other.phases[i].self_ns;
+    phases[i].total_ns += other.phases[i].total_ns;
+  }
+}
+
+namespace {
+
+/// Per-thread span stack: one child-time accumulator per open span. Fixed
+/// capacity; spans beyond it are counted but not timed (the multilayer
+/// recursion is depth-bounded, so 128 is far beyond any real nesting).
+constexpr std::size_t kMaxSpanDepth = 128;
+thread_local std::uint64_t tl_child_ns[kMaxSpanDepth];
+thread_local std::size_t tl_depth = 0;
+thread_local PipelineProfile* tl_profile = nullptr;
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+Counter& deep_spans_counter() {
+  static Counter& c =
+      registry().counter("ideobf_telemetry_deep_spans_total");
+  return c;
+}
+
+}  // namespace
+
+ProfileScope::ProfileScope(PipelineProfile* profile) : prev_(tl_profile) {
+  tl_profile = profile;
+}
+
+ProfileScope::~ProfileScope() { tl_profile = prev_; }
+
+Counter& spans_opened_counter() {
+  static Counter& c = registry().counter("ideobf_telemetry_spans_opened_total");
+  return c;
+}
+
+Counter& spans_closed_counter() {
+  static Counter& c = registry().counter("ideobf_telemetry_spans_closed_total");
+  return c;
+}
+
+Histogram& phase_histogram(Phase phase) {
+  static std::array<Histogram*, kPhaseCount>* hists = [] {
+    auto* a = new std::array<Histogram*, kPhaseCount>();
+    for (std::size_t i = 0; i < kPhaseCount; ++i) {
+      std::string labels = "phase=\"";
+      labels += phase_name(static_cast<Phase>(i));
+      labels += '"';
+      (*a)[i] = &registry().histogram("ideobf_phase_seconds", labels);
+    }
+    return a;
+  }();
+  return *(*hists)[static_cast<std::size_t>(phase)];
+}
+
+void PhaseSpan::begin(Phase phase, std::string_view detail) {
+  if (tl_depth >= kMaxSpanDepth) {
+    // Too deep to track nesting soundly: count and move on. Not opening the
+    // span (rather than opening it unpaired) keeps opened == closed.
+    deep_spans_counter().add();
+    return;
+  }
+  phase_ = phase;
+  detail_ = detail;
+  depth_ = static_cast<std::uint16_t>(tl_depth);
+  tl_child_ns[tl_depth] = 0;
+  ++tl_depth;
+  armed_ = true;
+  spans_opened_counter().add_unguarded();
+  start_ns_ = now_ns();  // last: exclude our own bookkeeping from the span
+}
+
+void PhaseSpan::end() {
+  const std::uint64_t end_ns = now_ns();
+  const std::uint64_t dur_ns = end_ns - start_ns_;
+  tl_depth = depth_;  // pop (RAII guarantees LIFO per thread)
+  const std::uint64_t child_ns = tl_child_ns[depth_];
+  const std::uint64_t self_ns = dur_ns > child_ns ? dur_ns - child_ns : 0;
+  if (depth_ > 0) tl_child_ns[depth_ - 1] += dur_ns;
+
+  // Balance is kept even if telemetry was disabled mid-span.
+  spans_closed_counter().add_unguarded();
+  phase_histogram(phase_).observe_ns(dur_ns);
+  if (tl_profile != nullptr) {
+    PhaseStat& stat = tl_profile->phases[static_cast<std::size_t>(phase_)];
+    stat.count += 1;
+    stat.self_ns += self_ns;
+    stat.total_ns += dur_ns;
+  }
+  if (TraceRecorder* rec = g_recorder.load(std::memory_order_acquire)) {
+    rec->record(phase_, detail_, start_ns_, dur_ns);
+  }
+}
+
+void Telemetry::set_trace_recorder(TraceRecorder* recorder) {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder* Telemetry::trace_recorder() {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+}  // namespace ideobf::telemetry

@@ -1,0 +1,389 @@
+// Tests for the telemetry subsystem: sharded metrics (counter/gauge merge,
+// histogram bucket boundaries), phase spans (nesting, self-time partition,
+// balance counters, disabled cost), and both exporters (Prometheus text
+// exposition golden + Chrome trace structure for a two-script batch).
+//
+// Telemetry state is process-global (enabled flag, registry, span stacks);
+// every test that enables it does so through the RAII guard below so a
+// failing assertion cannot leak an enabled flag into the next test.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/batch.h"
+#include "core/deobfuscator.h"
+#include "telemetry/chrome_trace.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
+
+namespace ideobf::telemetry {
+namespace {
+
+/// Resets the process registry and enables recording for one test body.
+struct TelemetryOn {
+  TelemetryOn() {
+    Telemetry::metrics().reset();
+    Telemetry::enable();
+  }
+  ~TelemetryOn() {
+    Telemetry::disable();
+    Telemetry::set_trace_recorder(nullptr);
+  }
+};
+
+// ---------------------------------------------------------------- metrics
+
+TEST(TelemetryMetrics, DisabledRecordingIsANoOp) {
+  Telemetry::disable();
+  Counter& c = registry().counter("test_disabled_total");
+  const std::uint64_t before = c.value();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), before);
+}
+
+TEST(TelemetryMetrics, RegistryInternsByNameAndLabels) {
+  Counter& a = registry().counter("test_intern_total", "kind=\"x\"");
+  Counter& b = registry().counter("test_intern_total", "kind=\"x\"");
+  Counter& c = registry().counter("test_intern_total", "kind=\"y\"");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+}
+
+TEST(TelemetryMetrics, CounterMergesAcrossShards) {
+  TelemetryOn on;
+  Counter& c = registry().counter("test_shard_merge_total");
+  // One writer thread per shard, each bound explicitly to its own slot the
+  // way deobfuscate_batch binds pool workers. The merged value must be the
+  // exact sum — relaxed per-shard cells, no lost updates.
+  constexpr unsigned kThreads = kShardCount;
+  constexpr std::uint64_t kPerThread = 10000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (unsigned t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&c, t] {
+      set_current_shard(t);
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+  // Each bound thread wrote only its own shard.
+  for (unsigned s = 0; s < kShardCount; ++s) {
+    EXPECT_EQ(c.shard_value(s), kPerThread) << "shard " << s;
+  }
+}
+
+TEST(TelemetryMetrics, GaugeSumsSignedDeltasAcrossShards) {
+  TelemetryOn on;
+  Gauge& g = registry().gauge("test_gauge");
+  std::thread up([&g] {
+    set_current_shard(1);
+    for (int i = 0; i < 100; ++i) g.add(3);
+  });
+  std::thread down([&g] {
+    set_current_shard(2);
+    for (int i = 0; i < 100; ++i) g.sub(2);
+  });
+  up.join();
+  down.join();
+  EXPECT_EQ(g.value(), 100);
+}
+
+TEST(TelemetryMetrics, ResetZeroesValuesButKeepsHandles) {
+  TelemetryOn on;
+  Counter& c = registry().counter("test_reset_total");
+  c.add(7);
+  ASSERT_EQ(c.value(), 7u);
+  registry().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // handle still live after reset
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// -------------------------------------------------------------- histogram
+
+TEST(TelemetryHistogram, BucketIndexBoundariesAreInclusive) {
+  const auto& bounds = Histogram::bounds_ns();
+  ASSERT_EQ(bounds.size(), Histogram::kBucketCount - 1);
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    // An observation exactly on a bound lands in that bucket; one past it
+    // spills into the next (the +Inf overflow for the last bound).
+    EXPECT_EQ(Histogram::bucket_index(bounds[i]), i) << bounds[i];
+    EXPECT_EQ(Histogram::bucket_index(bounds[i] + 1), i + 1) << bounds[i];
+  }
+  EXPECT_EQ(Histogram::bucket_index(UINT64_MAX),
+            Histogram::kBucketCount - 1);
+}
+
+TEST(TelemetryHistogram, LadderIsStrictlyIncreasing) {
+  const auto& bounds = Histogram::bounds_ns();
+  EXPECT_EQ(bounds.front(), 1'000u);            // 1 µs
+  EXPECT_EQ(bounds.back(), 10'000'000'000u);    // 10 s
+  for (std::size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(TelemetryHistogram, ObservationsMergeAcrossShards) {
+  TelemetryOn on;
+  Histogram& h = registry().histogram("test_hist_seconds");
+  std::thread a([&h] {
+    set_current_shard(3);
+    h.observe_ns(1'000);       // bucket 0 (== first bound)
+    h.observe_ns(700'000);     // 0.7 ms
+  });
+  std::thread b([&h] {
+    set_current_shard(4);
+    h.observe_ns(700'000);
+    h.observe_ns(20'000'000'000);  // 20 s -> +Inf overflow
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum_ns(), 1'000u + 700'000u + 700'000u + 20'000'000'000u);
+  EXPECT_EQ(h.bucket_value(0), 1u);
+  EXPECT_EQ(h.bucket_value(Histogram::bucket_index(700'000)), 2u);
+  EXPECT_EQ(h.bucket_value(Histogram::kBucketCount - 1), 1u);
+}
+
+// ------------------------------------------------------------------ spans
+
+TEST(TelemetrySpan, DisabledSpanRecordsNothing) {
+  Telemetry::disable();
+  PipelineProfile profile;
+  {
+    ProfileScope scope(&profile);
+    PhaseSpan outer(Phase::Pipeline);
+    PhaseSpan inner(Phase::Recovery);
+  }
+  EXPECT_TRUE(profile.empty());
+  EXPECT_EQ(profile.accounted_seconds(), 0.0);
+}
+
+TEST(TelemetrySpan, SelfTimePartitionsTheOuterSpan) {
+  TelemetryOn on;
+  PipelineProfile profile;
+  {
+    ProfileScope scope(&profile);
+    PhaseSpan pipeline(Phase::Pipeline);
+    {
+      PhaseSpan recovery(Phase::Recovery);
+      PhaseSpan piece(Phase::PieceExecution);  // nested two deep
+    }
+    PhaseSpan rename(Phase::Rename);
+  }
+  EXPECT_EQ(profile.stat(Phase::Pipeline).count, 1u);
+  EXPECT_EQ(profile.stat(Phase::Recovery).count, 1u);
+  EXPECT_EQ(profile.stat(Phase::PieceExecution).count, 1u);
+  EXPECT_EQ(profile.stat(Phase::Rename).count, 1u);
+  // A child's wall time is contained in its parent's.
+  EXPECT_LE(profile.stat(Phase::PieceExecution).total_ns,
+            profile.stat(Phase::Recovery).total_ns);
+  EXPECT_LE(profile.stat(Phase::Recovery).total_ns,
+            profile.stat(Phase::Pipeline).total_ns);
+  // Self time excludes nested spans...
+  EXPECT_LE(profile.stat(Phase::Recovery).self_ns,
+            profile.stat(Phase::Recovery).total_ns);
+  // ...and the per-phase self times partition the outer span exactly: the
+  // subtraction telescopes, so the identity holds in integer nanoseconds.
+  const std::uint64_t accounted =
+      profile.stat(Phase::Pipeline).self_ns +
+      profile.stat(Phase::Recovery).self_ns +
+      profile.stat(Phase::PieceExecution).self_ns +
+      profile.stat(Phase::Rename).self_ns;
+  EXPECT_EQ(accounted, profile.stat(Phase::Pipeline).total_ns);
+}
+
+TEST(TelemetrySpan, BalanceCountersMatchAfterScopeExit) {
+  TelemetryOn on;
+  const std::uint64_t opened0 = spans_opened_counter().value();
+  const std::uint64_t closed0 = spans_closed_counter().value();
+  {
+    PhaseSpan a(Phase::TokenPass);
+    PhaseSpan b(Phase::Recovery, "detail");
+  }
+  EXPECT_EQ(spans_opened_counter().value() - opened0, 2u);
+  EXPECT_EQ(spans_closed_counter().value() - closed0, 2u);
+}
+
+TEST(TelemetrySpan, SpanOpenedWhileEnabledStillClosesAfterDisable) {
+  Telemetry::metrics().reset();
+  Telemetry::enable();
+  {
+    PhaseSpan span(Phase::TokenPass);
+    // Telemetry switched off mid-span (an operator toggling the endpoint):
+    // the close must still be counted or the balance gate would see a leak.
+    Telemetry::disable();
+  }
+  EXPECT_EQ(spans_opened_counter().value(), spans_closed_counter().value());
+}
+
+TEST(TelemetrySpan, ProfileScopesNestAndRestore) {
+  TelemetryOn on;
+  PipelineProfile outer_profile;
+  PipelineProfile inner_profile;
+  {
+    ProfileScope outer(&outer_profile);
+    { PhaseSpan span(Phase::Rename); }
+    {
+      ProfileScope inner(&inner_profile);
+      PhaseSpan span(Phase::Reformat);
+    }
+    // Binding restored: this span lands in the outer profile again.
+    { PhaseSpan span(Phase::Rename); }
+  }
+  EXPECT_EQ(outer_profile.stat(Phase::Rename).count, 2u);
+  EXPECT_EQ(outer_profile.stat(Phase::Reformat).count, 0u);
+  EXPECT_EQ(inner_profile.stat(Phase::Reformat).count, 1u);
+  EXPECT_EQ(inner_profile.stat(Phase::Rename).count, 0u);
+}
+
+TEST(TelemetrySpan, ProfileMergeSumsStats) {
+  PipelineProfile a;
+  PipelineProfile b;
+  a.phases[static_cast<std::size_t>(Phase::Parse)] = {2, 100, 150};
+  b.phases[static_cast<std::size_t>(Phase::Parse)] = {3, 50, 70};
+  a.merge(b);
+  EXPECT_EQ(a.stat(Phase::Parse).count, 5u);
+  EXPECT_EQ(a.stat(Phase::Parse).self_ns, 150u);
+  EXPECT_EQ(a.stat(Phase::Parse).total_ns, 220u);
+}
+
+// -------------------------------------------------------------- exporters
+
+TEST(TelemetryExport, PrometheusGoldenForHandBuiltRegistry) {
+  TelemetryOn on;
+  set_current_shard(0);
+  // A private registry makes the exposition fully deterministic (the
+  // process registry accumulates whatever other tests registered).
+  MetricsRegistry reg;
+  reg.counter("demo_requests_total", "kind=\"a\"").add(3);
+  reg.counter("demo_requests_total", "kind=\"b\"").add(1);
+  reg.counter("other_total").add(2);
+  reg.gauge("demo_inflight").add(4);
+
+  const std::string expected =
+      "# TYPE demo_requests_total counter\n"
+      "demo_requests_total{kind=\"a\"} 3\n"
+      "demo_requests_total{kind=\"b\"} 1\n"
+      "# TYPE other_total counter\n"
+      "other_total 2\n"
+      "# TYPE demo_inflight gauge\n"
+      "demo_inflight 4\n";
+  EXPECT_EQ(render_prometheus(reg), expected);
+}
+
+TEST(TelemetryExport, PrometheusHistogramIsCumulativeWithInf) {
+  TelemetryOn on;
+  set_current_shard(0);
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("demo_seconds", "phase=\"lex\"");
+  h.observe_ns(1'000);            // first bucket
+  h.observe_ns(2'000);            // second bucket (<= 2.5 µs)
+  h.observe_ns(20'000'000'000);   // +Inf overflow
+
+  const std::string out = render_prometheus(reg);
+  EXPECT_NE(out.find("# TYPE demo_seconds histogram"), std::string::npos);
+  EXPECT_NE(out.find("demo_seconds_bucket{phase=\"lex\",le=\"1e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("demo_seconds_bucket{phase=\"lex\",le=\"2.5e-06\"} 2\n"),
+            std::string::npos);
+  // Every later finite bucket stays cumulative at 2; +Inf catches all 3.
+  EXPECT_NE(out.find("demo_seconds_bucket{phase=\"lex\",le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("demo_seconds_bucket{phase=\"lex\",le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("demo_seconds_sum{phase=\"lex\"} 20.000003\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("demo_seconds_count{phase=\"lex\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(TelemetryExport, TraceRecorderCapsAndReportsTruncation) {
+  TelemetryOn on;
+  set_current_shard(0);
+  TraceRecorder rec(4);
+  for (int i = 0; i < 6; ++i) {
+    rec.record(Phase::Lex, {}, static_cast<std::uint64_t>(i) * 100, 50);
+  }
+  EXPECT_EQ(rec.event_count(), 4u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  EXPECT_TRUE(rec.truncated());
+  const std::string json = rec.render();
+  EXPECT_NE(json.find("\"truncated\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":2"), std::string::npos);
+  rec.clear();
+  EXPECT_EQ(rec.event_count(), 0u);
+  EXPECT_FALSE(rec.truncated());
+}
+
+/// Two-script batch through the real pipeline with both exporters armed:
+/// the structural "golden" for what a CLI --metrics/--trace-out run emits.
+TEST(TelemetryExport, TwoScriptBatchFeedsBothExporters) {
+  TelemetryOn on;
+  TraceRecorder recorder;
+  Telemetry::set_trace_recorder(&recorder);
+
+  const std::vector<std::string> scripts = {
+      "IeX ('Write-Output '+\"'one'\")",
+      "$a = 'two'\nWr`ite-Output $a",
+  };
+  InvokeDeobfuscator deobf;
+  BatchReport report;
+  BatchOptions options;
+  options.threads = 2;
+  const auto results = deobfuscate_batch(deobf, scripts, report, options);
+  Telemetry::set_trace_recorder(nullptr);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(report.failed(), 0);
+
+  // The aggregated batch profile saw one Pipeline span per script.
+  EXPECT_EQ(report.profile.stat(Phase::Pipeline).count, 2u);
+  EXPECT_GE(report.profile.stat(Phase::TokenPass).count, 2u);
+
+  // Chrome trace: thread-name metadata, complete events, no truncation.
+  const std::string trace = recorder.render();
+  EXPECT_FALSE(recorder.truncated());
+  EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(trace.find("thread_name"), std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"pipeline\""), std::string::npos);
+  EXPECT_NE(trace.find("\"truncated\":false"), std::string::npos);
+  EXPECT_EQ(recorder.event_count(),
+            spans_closed_counter().value());
+
+  // Prometheus exposition of the same run: phase histogram populated and
+  // the span-balance counters visible and equal.
+  const std::string metrics = render_prometheus(registry());
+  EXPECT_NE(metrics.find("# TYPE ideobf_phase_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ideobf_phase_seconds_count{phase=\"pipeline\"} 2"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("ideobf_batch_item_total 2"), std::string::npos);
+  EXPECT_EQ(spans_opened_counter().value(), spans_closed_counter().value());
+
+  // Registry reconciliation, the invariant the bench gate also asserts:
+  // parse-cache lookups == hits + misses + bypasses.
+  auto& reg = registry();
+  const std::uint64_t lookups =
+      reg.counter("ideobf_parse_cache_lookup_total").value();
+  const std::uint64_t hits =
+      reg.counter("ideobf_parse_cache_hit_total").value();
+  const std::uint64_t misses =
+      reg.counter("ideobf_parse_cache_miss_total").value();
+  const std::uint64_t bypasses =
+      reg.counter("ideobf_parse_cache_bypass_total").value();
+  EXPECT_EQ(lookups, hits + misses + bypasses);
+  EXPECT_GT(lookups, 0u);
+}
+
+}  // namespace
+}  // namespace ideobf::telemetry

@@ -86,6 +86,55 @@ TEST(Trace, RenderClipsLongPayloads) {
   }
 }
 
+TEST(Trace, SinkCapsEventsAndCountsDropped) {
+  TraceSink sink(3);
+  for (int i = 0; i < 5; ++i) {
+    sink.emit({TraceEvent::Kind::TokenNormalized, 0, "a", "b", 0});
+  }
+  EXPECT_EQ(sink.events().size(), 3u);
+  EXPECT_TRUE(sink.truncated());
+  EXPECT_EQ(sink.dropped(), 2u);
+}
+
+TEST(Trace, SinkZeroCapStillKeepsOneEvent) {
+  TraceSink sink(0);
+  sink.emit({TraceEvent::Kind::Renamed, 0, "x", "y", 0});
+  sink.emit({TraceEvent::Kind::Renamed, 0, "x", "y", 0});
+  EXPECT_EQ(sink.events().size(), 1u);
+  EXPECT_EQ(sink.dropped(), 1u);
+}
+
+TEST(Trace, RenderAppendsTruncationNote) {
+  const auto trace = trace_of("iex ('a'+'b')");
+  const std::string full = render_trace(trace, 60, 0);
+  EXPECT_EQ(full.find("[trace truncated"), std::string::npos);
+  const std::string clipped = render_trace(trace, 60, 7);
+  EXPECT_NE(clipped.find("[trace truncated: 7 further events dropped]"),
+            std::string::npos);
+  EXPECT_NE(render_trace(trace, 60, 1)
+                .find("[trace truncated: 1 further event dropped]"),
+            std::string::npos);
+}
+
+TEST(Trace, PipelineCapSurfacesTruncationOnReport) {
+  // A tiny cap against a script that emits several events: the report must
+  // say the trace is clipped so an analyst never mistakes it for complete.
+  DeobfuscationOptions opts;
+  opts.collect_trace = true;
+  opts.max_trace_events = 2;
+  InvokeDeobfuscator deobf(opts);
+  DeobfuscationReport report;
+  (void)deobf.deobfuscate("i`E`x ('Write-Output '+\"'t'\")\n$u = 'v'\n"
+                          "Write-Output ($u + 'w')",
+                          report);
+  EXPECT_EQ(report.trace.size(), 2u);
+  EXPECT_TRUE(report.trace_truncated);
+  EXPECT_GT(report.trace_dropped, 0u);
+  const std::string rendered =
+      render_trace(report.trace, 60, report.trace_dropped);
+  EXPECT_NE(rendered.find("[trace truncated"), std::string::npos);
+}
+
 TEST(Trace, KindNames) {
   EXPECT_EQ(to_string(TraceEvent::Kind::TokenNormalized), "token");
   EXPECT_EQ(to_string(TraceEvent::Kind::PieceRecovered), "recovered");

@@ -2,6 +2,7 @@
 // the paper's released PowerShell module.
 //
 //   ideobf deobf [file|-]            deobfuscate a script (stdin with -)
+//   ideobf batch <dir>               deobfuscate every *.ps1 in a directory
 //   ideobf score [file|-]            obfuscation score + detected techniques
 //   ideobf iocs [file|-]             deobfuscate then extract key information
 //   ideobf behavior [file|-]         run in the sandbox, print side effects
@@ -10,15 +11,24 @@
 //   ideobf explain [file|-]          deobfuscate and print the change trace
 //   ideobf ast [file|-]              dump the PowerShell AST
 //   ideobf techniques                list technique names and levels
+//
+// Observability flags (deobf and batch):
+//   --stats            pipeline statistics (cache/memo hit rates, phase times)
+//   --metrics[=FILE]   Prometheus-style metrics to FILE (stderr without =FILE)
+//   --trace-out=FILE   Chrome trace_event JSON (chrome://tracing, Perfetto)
 
+#include <algorithm>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "analysis/json_writer.h"
 #include "analysis/keyinfo.h"
 #include "analysis/scorer.h"
+#include "core/batch.h"
 #include "core/deobfuscator.h"
 #include "core/trace.h"
 #include "corpus/corpus.h"
@@ -26,6 +36,9 @@
 #include "pslang/alias_table.h"
 #include "psast/dump.h"
 #include "sandbox/sandbox.h"
+#include "telemetry/chrome_trace.h"
+#include "telemetry/exposition.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -47,19 +60,129 @@ std::string read_input(const std::string& path) {
 
 int usage() {
   std::cerr
-      << "usage: ideobf <deobf|explain|score|iocs|behavior|obfuscate|corpus|ast|techniques>"
+      << "usage: ideobf <deobf|batch|explain|score|iocs|behavior|obfuscate|corpus|ast|techniques>"
          " [args]\n";
   return 2;
 }
 
+/// The CLI's telemetry envelope: `--metrics[=FILE]` and `--trace-out=FILE`
+/// turn the subsystem on for the command's duration; `finish()` writes the
+/// Chrome trace and the Prometheus exposition. `--stats` alone also enables
+/// telemetry so the phase breakdown and hit rates have data to report.
+struct TelemetrySession {
+  bool want_metrics = false;
+  std::string metrics_path;  ///< empty writes the exposition to stderr
+  std::string trace_path;    ///< empty disables trace collection
+  bool stats = false;
+  std::unique_ptr<ideobf::telemetry::TraceRecorder> recorder;
+
+  /// True when `flag` was one of ours (and was consumed).
+  bool consume(const std::string& flag) {
+    if (flag == "--stats") {
+      stats = true;
+      return true;
+    }
+    if (flag == "--metrics") {
+      want_metrics = true;
+      return true;
+    }
+    if (flag.rfind("--metrics=", 0) == 0) {
+      want_metrics = true;
+      metrics_path = flag.substr(10);
+      return true;
+    }
+    if (flag.rfind("--trace-out=", 0) == 0) {
+      trace_path = flag.substr(12);
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool active() const {
+    return want_metrics || stats || !trace_path.empty();
+  }
+
+  void start() {
+    if (!active()) return;
+    ideobf::telemetry::Telemetry::metrics().reset();
+    if (!trace_path.empty()) {
+      recorder = std::make_unique<ideobf::telemetry::TraceRecorder>();
+      ideobf::telemetry::Telemetry::set_trace_recorder(recorder.get());
+    }
+    ideobf::telemetry::Telemetry::enable();
+  }
+
+  void finish() {
+    if (!active()) return;
+    ideobf::telemetry::Telemetry::disable();
+    ideobf::telemetry::Telemetry::set_trace_recorder(nullptr);
+    if (recorder != nullptr) {
+      std::ofstream out(trace_path, std::ios::binary);
+      if (!out) {
+        std::cerr << "ideobf: cannot write " << trace_path << "\n";
+      } else {
+        out << recorder->render();
+        std::cerr << "# trace: " << recorder->event_count() << " events -> "
+                  << trace_path
+                  << (recorder->truncated() ? " (truncated)" : "") << "\n";
+      }
+    }
+    if (want_metrics) {
+      const std::string text = ideobf::telemetry::render_prometheus(
+          ideobf::telemetry::Telemetry::metrics());
+      if (metrics_path.empty()) {
+        std::cerr << text;
+      } else {
+        std::ofstream out(metrics_path, std::ios::binary);
+        if (!out) std::cerr << "ideobf: cannot write " << metrics_path << "\n";
+        else out << text;
+      }
+    }
+  }
+};
+
+/// `--stats` phase-time table for one profile (self = phase minus nested).
+void print_profile(std::ostream& os,
+                   const ideobf::telemetry::PipelineProfile& profile) {
+  os << "# phase breakdown (count, self ms, total ms):\n";
+  for (std::size_t i = 0; i < ideobf::telemetry::kPhaseCount; ++i) {
+    const auto phase = static_cast<ideobf::telemetry::Phase>(i);
+    const auto& stat = profile.stat(phase);
+    if (stat.count == 0) continue;
+    os << "#   " << ideobf::telemetry::phase_name(phase) << ": " << stat.count
+       << ", " << static_cast<double>(stat.self_ns) / 1e6 << ", "
+       << static_cast<double>(stat.total_ns) / 1e6 << "\n";
+  }
+}
+
+void print_cache_stats(std::ostream& os, const ideobf::InvokeDeobfuscator& deobf,
+                       int memo_hits, int memo_misses) {
+  if (deobf.parse_cache() != nullptr) {
+    const ps::ParseCacheStats cs = deobf.parse_cache()->stats();
+    const std::uint64_t lookups = cs.hits + cs.misses + cs.bypasses;
+    os << "# parse-cache: hits=" << cs.hits << " misses=" << cs.misses
+       << " bypasses=" << cs.bypasses << " evictions=" << cs.evictions
+       << " hit-rate="
+       << (lookups == 0 ? 0.0 : static_cast<double>(cs.hits) / lookups) << "\n";
+  }
+  const int memo_lookups = memo_hits + memo_misses;
+  os << "# recovery-memo: hits=" << memo_hits << " misses=" << memo_misses
+     << " hit-rate="
+     << (memo_lookups == 0 ? 0.0
+                           : static_cast<double>(memo_hits) / memo_lookups)
+     << "\n";
+}
+
 int cmd_deobf(const std::string& path, bool trace_functions,
-              double deadline_seconds) {
+              double deadline_seconds, TelemetrySession& tel) {
   ideobf::DeobfuscationOptions opts;
   opts.trace_functions = trace_functions;
   opts.governor.deadline_seconds = deadline_seconds;
   ideobf::InvokeDeobfuscator deobf(opts);
   ideobf::DeobfuscationReport report;
-  std::cout << deobf.deobfuscate(read_input(path), report);
+  const std::string script = read_input(path);
+  tel.start();
+  std::cout << deobf.deobfuscate(script, report);
   std::cerr << "# ticks=" << report.token.ticks_removed
             << " aliases=" << report.token.aliases_expanded
             << " case=" << report.token.case_normalized
@@ -68,6 +191,92 @@ int cmd_deobf(const std::string& path, bool trace_functions,
             << " layers=" << report.multilayer.layers_unwrapped
             << " failure=" << ps::to_string(report.failure)
             << " rung=" << report.degradation_rung << "\n";
+  if (tel.stats) {
+    print_cache_stats(std::cerr, deobf, report.recovery.memo_hits,
+                      report.recovery.memo_misses);
+    print_profile(std::cerr, report.profile);
+  }
+  tel.finish();
+  return 0;
+}
+
+int cmd_batch(const std::string& dir, unsigned threads,
+              double deadline_seconds, bool as_json, TelemetrySession& tel) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<std::string> paths;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".ps1") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::cerr << "ideobf: cannot read directory " << dir << "\n";
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+  if (paths.empty()) {
+    std::cerr << "ideobf: no .ps1 files in " << dir << "\n";
+    return 2;
+  }
+  std::vector<std::string> scripts;
+  scripts.reserve(paths.size());
+  for (const std::string& p : paths) scripts.push_back(read_input(p));
+
+  ideobf::InvokeDeobfuscator deobf;
+  ideobf::BatchOptions options;
+  options.threads = threads;
+  options.governor.deadline_seconds = deadline_seconds;
+  ideobf::BatchReport report;
+  tel.start();
+  const std::vector<std::string> outputs =
+      ideobf::deobfuscate_batch(deobf, scripts, report, options);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const std::string out_path = paths[i] + ".deobf";
+    std::ofstream(out_path, std::ios::binary) << outputs[i];
+  }
+
+  if (as_json) {
+    ideobf::JsonWriter w;
+    w.begin_object();
+    w.field("scripts", static_cast<std::int64_t>(scripts.size()));
+    w.field("changed", report.changed());
+    w.field("failed", report.failed());
+    w.field("degraded", report.degraded());
+    w.field("wall_seconds", report.wall_seconds);
+    w.begin_array("items");
+    for (std::size_t i = 0; i < report.items.size(); ++i) {
+      const ideobf::BatchItem& item = report.items[i];
+      w.begin_object();
+      w.field("file", paths[i]);
+      w.field("ok", item.ok);
+      w.field("changed", item.changed);
+      w.field("seconds", item.seconds);
+      w.field("rung", item.degradation_rung);
+      w.field("failure", std::string(ps::to_string(item.failure)));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::cout << w.str() << "\n";
+  } else {
+    std::cout << "batch: " << scripts.size() << " scripts, "
+              << report.changed() << " changed, " << report.failed()
+              << " failed, " << report.degraded() << " degraded, "
+              << report.wall_seconds << "s\n";
+  }
+  if (tel.stats) {
+    // Batch memo stats come from the registry (per-item reports are not
+    // retained); the counters were reset by tel.start().
+    auto& reg = ideobf::telemetry::registry();
+    const int memo_hits = static_cast<int>(
+        reg.counter("ideobf_recovery_memo_hit_total").value());
+    const int memo_misses = static_cast<int>(
+        reg.counter("ideobf_recovery_memo_miss_total").value());
+    print_cache_stats(std::cerr, deobf, memo_hits, memo_misses);
+    print_profile(std::cerr, report.profile);
+  }
+  tel.finish();
   return 0;
 }
 
@@ -190,14 +399,33 @@ int main(int argc, char** argv) {
     bool trace_fn = false;
     double deadline_seconds = 0.0;
     std::string path = "-";
+    TelemetrySession tel;
     for (int i = 2; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--trace-functions") trace_fn = true;
       else if (a == "--deadline-ms" && i + 1 < argc)
         deadline_seconds = std::atof(argv[++i]) / 1000.0;
-      else path = a;
+      else if (!tel.consume(a)) path = a;
     }
-    return cmd_deobf(path, trace_fn, deadline_seconds);
+    return cmd_deobf(path, trace_fn, deadline_seconds, tel);
+  }
+  if (cmd == "batch") {
+    unsigned threads = 0;
+    double deadline_seconds = 0.0;
+    bool as_json = false;
+    std::string dir;
+    TelemetrySession tel;
+    for (int i = 2; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--threads" && i + 1 < argc)
+        threads = static_cast<unsigned>(std::atoi(argv[++i]));
+      else if (a == "--deadline-ms" && i + 1 < argc)
+        deadline_seconds = std::atof(argv[++i]) / 1000.0;
+      else if (a == "--json") as_json = true;
+      else if (!tel.consume(a)) dir = a;
+    }
+    if (dir.empty()) return usage();
+    return cmd_batch(dir, threads, deadline_seconds, as_json, tel);
   }
   bool as_json = false;
   std::string pos_arg = "-";
@@ -222,7 +450,8 @@ int main(int argc, char** argv) {
     ideobf::InvokeDeobfuscator deobf(opts);
     ideobf::DeobfuscationReport report;
     const std::string out = deobf.deobfuscate(read_input(arg(2)), report);
-    std::cout << ideobf::render_trace(report.trace) << "---\n" << out;
+    std::cout << ideobf::render_trace(report.trace, 60, report.trace_dropped)
+              << "---\n" << out;
     return 0;
   }
   if (cmd == "ast") {
