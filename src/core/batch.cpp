@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "psvalue/worker_pool.h"
@@ -75,34 +76,53 @@ int BatchReport::degraded() const {
   return n;
 }
 
-std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
-                                           const std::vector<std::string>& scripts,
-                                           BatchReport& report,
-                                           const BatchOptions& options) {
-  unsigned threads = options.threads;
+std::vector<std::string> deobfuscate_batch_items(
+    const InvokeDeobfuscator& deobf, const std::vector<BatchItemSpec>& items,
+    BatchReport& report, const Options& batch_options,
+    std::vector<DeobfuscationReport>* item_reports) {
+  unsigned threads = batch_options.threads;
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
-  threads = std::min<unsigned>(threads, scripts.empty() ? 1u : scripts.size());
+  threads = std::min<unsigned>(threads, items.empty() ? 1u : items.size());
 
-  std::vector<std::string> results(scripts.size());
-  report.items.assign(scripts.size(), BatchItem{});
+  std::vector<std::string> results(items.size());
+  report.items.assign(items.size(), BatchItem{});
+  if (item_reports != nullptr) {
+    item_reports->assign(items.size(), DeobfuscationReport{});
+  }
   const auto batch_start = clock_t_::now();
 
-  const bool governed = options.governor.active();
+  const ps::CancellationToken& batch_cancel = batch_options.limits.cancel;
+  // Whether any item needs watchdog/token machinery at all.
+  bool governed = false;
+  for (const BatchItemSpec& spec : items) {
+    if (spec.limits.active()) {
+      governed = true;
+      break;
+    }
+  }
+
   // Per-item cancellation tokens, created before any executor starts so the
-  // watchdog can read them without synchronization.
+  // watchdog can read them without synchronization. Every governed item gets
+  // its own token; the item's external token (if any) and the batch-wide
+  // token are *propagated* onto it by the watchdog, so the running pipeline
+  // only ever watches one flag.
   std::vector<ps::CancellationToken> tokens;
-  std::vector<ItemState> states(governed ? scripts.size() : 0);
+  std::vector<ItemState> states(governed ? items.size() : 0);
   if (governed) {
-    tokens.reserve(scripts.size());
-    for (std::size_t i = 0; i < scripts.size(); ++i) {
-      tokens.push_back(ps::CancellationToken::make());
+    tokens.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      tokens.push_back(items[i].limits.active() ? ps::CancellationToken::make()
+                                                : ps::CancellationToken{});
     }
   }
 
   // One piece-execution memo per pool slot, shared across every script that
   // slot serves. A slot is staffed by exactly one executor for the job's
-  // duration, so slot-local state needs no locking.
-  std::vector<RecoveryMemo> memos(options.share_recovery_memo ? threads : 0);
+  // duration, so slot-local state needs no locking. Sound even across items
+  // with different options: memo keys fingerprint the full evaluation
+  // context, limits included.
+  std::vector<RecoveryMemo> memos(batch_options.recovery.share_memo ? threads
+                                                                    : 0);
 
   // Per-slot phase-profile partials, merged into report.profile after the
   // pool drains (slot-exclusive during the job, so no locking).
@@ -115,27 +135,52 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
     // Bind this executor to its slot's metric shard (and trace lane): slots
     // are staffed by one thread per job, so shard cells stay uncontended.
     telemetry::set_current_shard(slot);
+    const BatchItemSpec& spec = items[i];
+    const bool item_governed = spec.limits.active();
     BatchItem& item = report.items[i];
+    DeobfuscationReport local_rep;
+    DeobfuscationReport& rep =
+        item_reports != nullptr ? (*item_reports)[i] : local_rep;
     const auto start = clock_t_::now();
     // External cancellation drains the queue fast: remaining items are
     // served as classified passthrough, not silently dropped.
-    if (governed && options.governor.cancel.cancelled()) {
-      results[i] = scripts[i];
+    if (batch_cancel.cancelled() || spec.limits.cancel.cancelled()) {
+      results[i] = std::string(spec.source);
       item.failure = ps::FailureKind::Cancelled;
       item.degradation_rung = 3;
-      item.error = "batch cancelled";
+      item.error = std::string(kCancelledDetail);
+      rep.failure = ps::FailureKind::Cancelled;
+      rep.failure_detail = std::string(kCancelledDetail);
+      rep.degradation_rung = 3;
       return;
     }
-    if (governed) {
+    if (item_governed) {
       states[i].start = start;
       states[i].running.store(true, std::memory_order_release);
     }
     try {
-      DeobfuscationReport rep;
       RecoveryMemo* memo = memos.empty() ? nullptr : &memos[slot];
-      GovernorOptions gov = governed ? options.governor : deobf.options().governor;
-      if (governed) gov.cancel = tokens[i];
-      results[i] = deobf.deobfuscate(scripts[i], rep, gov, memo);
+      // Effective envelope: the item's own, with the internal token swapped
+      // in (the watchdog propagates external cancellation onto it). An
+      // inactive envelope falls back to the deobfuscator's configured one —
+      // the pre-governor behavior.
+      Options::Limits lim =
+          item_governed ? spec.limits : deobf.options().limits;
+      if (item_governed) lim.cancel = tokens[i];
+      // Per-item pipeline override: a temporary deobfuscator sharing the
+      // base parse cache, so cross-request parse reuse survives the
+      // override.
+      std::optional<InvokeDeobfuscator> custom;
+      const InvokeDeobfuscator* engine = &deobf;
+      if (spec.options_override != nullptr) {
+        Options o = *spec.options_override;
+        if (o.parse_cache && o.shared_parse_cache == nullptr) {
+          o.shared_parse_cache = deobf.parse_cache();
+        }
+        custom.emplace(std::move(o));
+        engine = &*custom;
+      }
+      results[i] = engine->deobfuscate(spec.source, rep, lim, memo);
       profiles[slot].merge(rep.profile);
       item.degradation_rung = rep.degradation_rung;
       // Passthrough (rung 3) means no pipeline output was served; count
@@ -150,20 +195,26 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
       item.worst_piece_failure = rep.recovery.worst_failure;
       if (!item.ok) item.error = rep.failure_detail;
     } catch (const std::exception& e) {
-      results[i] = scripts[i];
+      results[i] = std::string(spec.source);
       item.error = e.what();
       item.failure = ps::FailureKind::Internal;
-      item.degradation_rung = governed ? 3 : 0;
+      item.degradation_rung = item_governed ? 3 : 0;
+      rep.failure = ps::FailureKind::Internal;
+      rep.failure_detail = item.error;
+      rep.degradation_rung = item.degradation_rung;
     } catch (...) {
-      results[i] = scripts[i];
+      results[i] = std::string(spec.source);
       item.error = "non-standard exception";
       item.failure = ps::FailureKind::Internal;
-      item.degradation_rung = governed ? 3 : 0;
+      item.degradation_rung = item_governed ? 3 : 0;
+      rep.failure = ps::FailureKind::Internal;
+      rep.failure_detail = item.error;
+      rep.degradation_rung = item.degradation_rung;
     }
-    if (governed) states[i].running.store(false, std::memory_order_release);
+    if (item_governed) states[i].running.store(false, std::memory_order_release);
     item.seconds =
         std::chrono::duration<double>(clock_t_::now() - start).count();
-    item.changed = results[i] != scripts[i];
+    item.changed = results[i] != spec.source;
     batch_item_counter().add();
     if (!item.ok) batch_item_failed_counter().add();
     if (item.degradation_rung > 0) batch_item_degraded_counter().add();
@@ -175,26 +226,37 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
     std::jthread watchdog;
     if (governed) {
       // The deadline x watchdog_factor backstop for items wedged between
-      // budget checkpoints, plus propagation of the batch-wide token.
+      // budget checkpoints, plus propagation of external cancellation
+      // (batch-wide and per-item) onto the internal tokens.
       watchdog = std::jthread([&](std::stop_token stop) {
-        const double deadline = options.governor.deadline_seconds;
-        const double limit = deadline * std::max(1.0, options.watchdog_factor);
+        // Poll fast enough for the tightest per-item deadline in the batch.
+        double min_deadline = 0.0;
+        for (const BatchItemSpec& spec : items) {
+          if (spec.limits.deadline_seconds > 0.0 &&
+              (min_deadline == 0.0 ||
+               spec.limits.deadline_seconds < min_deadline)) {
+            min_deadline = spec.limits.deadline_seconds;
+          }
+        }
         const auto period = std::chrono::milliseconds(
-            deadline > 0.0
-                ? std::max<long>(1, static_cast<long>(deadline * 1000 / 8))
+            min_deadline > 0.0
+                ? std::max<long>(1, static_cast<long>(min_deadline * 1000 / 8))
                 : 10);
         while (!stop.stop_requested()) {
           std::this_thread::sleep_for(std::min<std::chrono::milliseconds>(
               period, std::chrono::milliseconds(50)));
-          const bool all_cancelled = options.governor.cancel.cancelled();
+          const bool all_cancelled = batch_cancel.cancelled();
           const auto now = clock_t_::now();
           for (std::size_t i = 0; i < states.size(); ++i) {
             if (!states[i].running.load(std::memory_order_acquire)) continue;
-            if (all_cancelled) {
+            if (all_cancelled || items[i].limits.cancel.cancelled()) {
               tokens[i].request_cancel();
               continue;
             }
+            const double deadline = items[i].limits.deadline_seconds;
             if (deadline <= 0.0) continue;
+            const double limit =
+                deadline * std::max(1.0, items[i].limits.watchdog_factor);
             const double elapsed =
                 std::chrono::duration<double>(now - states[i].start).count();
             if (elapsed > limit && !tokens[i].cancelled()) {
@@ -207,7 +269,7 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
     }
     // Items run on the process-lifetime work-stealing pool; the calling
     // thread participates, and threads == 1 runs entirely on the caller.
-    ps::WorkerPool::instance().parallel(scripts.size(), threads, body);
+    ps::WorkerPool::instance().parallel(items.size(), threads, body);
     if (watchdog.joinable()) watchdog.request_stop();
   }
 
@@ -220,8 +282,20 @@ std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
 std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
                                            const std::vector<std::string>& scripts,
                                            BatchReport& report,
+                                           const Options& options) {
+  std::vector<BatchItemSpec> specs(scripts.size());
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    specs[i].source = scripts[i];
+    specs[i].limits = options.limits;
+  }
+  return deobfuscate_batch_items(deobf, specs, report, options);
+}
+
+std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
+                                           const std::vector<std::string>& scripts,
+                                           BatchReport& report,
                                            unsigned threads) {
-  BatchOptions options;
+  Options options;
   options.threads = threads;
   return deobfuscate_batch(deobf, scripts, report, options);
 }

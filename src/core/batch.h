@@ -13,13 +13,19 @@
 /// fragment repeated across a corpus is sandbox-executed once per slot.
 ///
 /// Robustness model: each item runs under its own governor envelope (see
-/// GovernorOptions) with a private cancellation token, and a watchdog thread
-/// cancels any item still running past 2x its deadline — so one hostile
-/// sample can stall neither its worker nor the batch. Worker bodies are
-/// exception-sealed (including non-std throws), so an unexpected throw
-/// degrades one item instead of terminating the process.
+/// Options::Limits) with a private cancellation token, and a watchdog thread
+/// cancels any item still running past watchdog_factor x its deadline — so
+/// one hostile sample can stall neither its worker nor the batch. Worker
+/// bodies are exception-sealed (including non-std throws), so an unexpected
+/// throw degrades one item instead of terminating the process.
+///
+/// Batches are configured by the same unified `ideobf::Options` as
+/// everything else; `deobfuscate_batch_items` is the generalized core that
+/// gives every item its own envelope (how Engine::handle_batch and the
+/// server honor per-request deadlines).
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/deobfuscator.h"
@@ -47,21 +53,6 @@ struct BatchItem {
   int degradation_rung = 0;
 };
 
-struct BatchOptions {
-  /// Concurrent executors (pool slots); 0 picks the hardware concurrency.
-  unsigned threads = 0;
-  /// Per-item governor envelope. Inactive (the default) runs every item
-  /// ungoverned — the pre-governor behavior, byte-identical output. With a
-  /// deadline set, a watchdog additionally hard-cancels items at
-  /// watchdog_factor x deadline in case an item wedges between checkpoints.
-  GovernorOptions governor{};
-  double watchdog_factor = 2.0;
-  /// Share one RecoveryMemo per pool slot across all scripts that slot
-  /// serves (memo keys fingerprint the full evaluation context, so sharing
-  /// never changes output). Disabling reverts to one memo per item.
-  bool share_recovery_memo = true;
-};
-
 struct BatchReport {
   std::vector<BatchItem> items;  ///< one per input script, same order
   double wall_seconds = 0.0;     ///< end-to-end wall time of the batch
@@ -80,14 +71,41 @@ struct BatchReport {
   [[nodiscard]] int degraded() const;
 };
 
+/// One item of a generalized batch: its source text plus its own governor
+/// envelope and (optionally) its own pipeline options.
+struct BatchItemSpec {
+  /// The script text. Not owned; must outlive the batch call.
+  std::string_view source;
+  /// This item's envelope. Inactive runs the item ungoverned under the
+  /// deobfuscator's configured limits (the pre-governor behavior).
+  Options::Limits limits{};
+  /// Optional full pipeline-options override for this item (how the server
+  /// honors per-request options). The worker builds a temporary
+  /// InvokeDeobfuscator sharing `deobf`'s parse cache. Not owned; null uses
+  /// `deobf` as configured.
+  const Options* options_override = nullptr;
+};
+
+/// The generalized batch core: runs every item on the process-lifetime
+/// worker pool under its own envelope, preserving order. `batch_options`
+/// supplies the batch-wide knobs (threads, recovery.share_memo) and the
+/// batch-wide cancellation token (limits.cancel — cancelling it drains the
+/// whole queue as classified passthrough). When `item_reports` is non-null
+/// it receives one full DeobfuscationReport per item (same order).
+std::vector<std::string> deobfuscate_batch_items(
+    const InvokeDeobfuscator& deobf, const std::vector<BatchItemSpec>& items,
+    BatchReport& report, const Options& batch_options,
+    std::vector<DeobfuscationReport>* item_reports = nullptr);
+
 /// Deobfuscates every script in `scripts`, preserving order, and records a
 /// per-item ok/failed verdict plus wall times into `report`. Exceptions
 /// inside a worker surface as the input returned unchanged (deobfuscation
-/// is total by contract) with `ok == false` for that item.
+/// is total by contract) with `ok == false` for that item. Every item runs
+/// under options.limits.
 std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,
                                            const std::vector<std::string>& scripts,
                                            BatchReport& report,
-                                           const BatchOptions& options);
+                                           const Options& options);
 
 /// Back-compat overloads (thread count only, no governor).
 std::vector<std::string> deobfuscate_batch(const InvokeDeobfuscator& deobf,

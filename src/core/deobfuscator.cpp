@@ -84,7 +84,7 @@ std::string checked(std::string_view input, ps::ParseCache* cache, Fn&& phase) {
 
 }  // namespace
 
-InvokeDeobfuscator::InvokeDeobfuscator(DeobfuscationOptions options)
+InvokeDeobfuscator::InvokeDeobfuscator(Options options)
     : options_(std::move(options)) {
   if (options_.parse_cache) {
     cache_ = options_.shared_parse_cache != nullptr
@@ -100,17 +100,19 @@ std::string InvokeDeobfuscator::deobfuscate(std::string_view script) const {
 
 std::string InvokeDeobfuscator::deobfuscate(std::string_view script,
                                             DeobfuscationReport& report) const {
-  return deobfuscate(script, report, options_.governor);
+  return deobfuscate(script, report, options_.limits);
 }
 
-DeobfuscationOptions InvokeDeobfuscator::rung_options(int rung) const {
-  DeobfuscationOptions opts = options_;
+Options InvokeDeobfuscator::rung_options(int rung) const {
+  Options opts = options_;
   if (rung >= 1) {
     // Tightened recovery: same phases, but a hostile piece can burn far
     // less before its per-piece limits fire.
-    opts.max_layers = std::min(opts.max_layers, 2);
-    opts.max_steps_per_piece = std::min<std::size_t>(opts.max_steps_per_piece, 20000);
-    opts.max_piece_size = std::min<std::size_t>(opts.max_piece_size, 64u << 10);
+    opts.limits.max_layers = std::min(opts.limits.max_layers, 2);
+    opts.limits.max_steps_per_piece =
+        std::min<std::size_t>(opts.limits.max_steps_per_piece, 20000);
+    opts.limits.max_piece_size =
+        std::min<std::size_t>(opts.limits.max_piece_size, 64u << 10);
   }
   if (rung >= 2) {
     // Static passes only: nothing attacker-controlled is executed.
@@ -122,13 +124,13 @@ DeobfuscationOptions InvokeDeobfuscator::rung_options(int rung) const {
 
 std::string InvokeDeobfuscator::deobfuscate(
     std::string_view script, DeobfuscationReport& report,
-    const GovernorOptions& governor) const {
-  return deobfuscate(script, report, governor, nullptr);
+    const Options::Limits& limits) const {
+  return deobfuscate(script, report, limits, nullptr);
 }
 
 std::string InvokeDeobfuscator::deobfuscate(
     std::string_view script, DeobfuscationReport& report,
-    const GovernorOptions& governor, RecoveryMemo* shared_memo) const {
+    const Options::Limits& limits, RecoveryMemo* shared_memo) const {
   // Telemetry envelope: every span closed while this call runs on this
   // thread accumulates into `profile` (the multilayer recursion calls
   // deobfuscate_layers, not this wrapper, so the Pipeline span is per item).
@@ -139,7 +141,7 @@ std::string InvokeDeobfuscator::deobfuscate(
   {
     telemetry::ProfileScope profile_scope(&profile);
     telemetry::PhaseSpan pipeline_span(telemetry::Phase::Pipeline);
-    out = deobfuscate_impl(script, report, governor, shared_memo);
+    out = deobfuscate_impl(script, report, limits, shared_memo);
   }
   report.profile = profile;
   return out;
@@ -147,8 +149,8 @@ std::string InvokeDeobfuscator::deobfuscate(
 
 std::string InvokeDeobfuscator::deobfuscate_impl(
     std::string_view script, DeobfuscationReport& report,
-    const GovernorOptions& governor, RecoveryMemo* shared_memo) const {
-  if (!governor.active()) {
+    const Options::Limits& limits, RecoveryMemo* shared_memo) const {
+  if (!limits.active()) {
     // Ungoverned: the exact pre-governor code path, no budget checkpoints.
     report = DeobfuscationReport{};
     std::string out = run_pipeline(script, report, options_, nullptr,
@@ -168,17 +170,17 @@ std::string InvokeDeobfuscator::deobfuscate_impl(
   int attempts = 0;
 
   for (int rung = 0; rung <= 2; ++rung) {
-    if (rung > 0 && !governor.degrade) break;
-    if (governor.cancel.cancelled()) {  // don't retry cancelled work
+    if (rung > 0 && !limits.degrade) break;
+    if (limits.cancel.cancelled()) {  // don't retry cancelled work
       if (first_failure == ps::FailureKind::None) {
         first_failure = ps::FailureKind::Cancelled;
-        first_detail = "cancelled";
+        first_detail = std::string(kCancelledDetail);
       }
       break;
     }
     ps::Budget budget(ps::Budget::Limits{
-        governor.deadline_seconds * kDeadlineFraction[rung],
-        governor.memory_budget_bytes, governor.cancel});
+        limits.deadline_seconds * kDeadlineFraction[rung],
+        limits.memory_budget_bytes, limits.cancel});
     DeobfuscationReport attempt;
     ++attempts;
     governor_attempt_counter().add();
@@ -222,11 +224,11 @@ std::string InvokeDeobfuscator::deobfuscate_impl(
 
 std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
                                              DeobfuscationReport& report,
-                                             const DeobfuscationOptions& opts,
+                                             const Options& opts,
                                              ps::Budget* budget,
                                              RecoveryMemo* shared_memo) const {
-  TraceSink sink(opts.max_trace_events);
-  TraceSink* trace = opts.collect_trace ? &sink : nullptr;
+  TraceSink sink(opts.telemetry.max_trace_events);
+  TraceSink* trace = opts.telemetry.collect_trace ? &sink : nullptr;
   ps::ParseCache* cache = cache_.get();
   if (opts.fault_injector != nullptr) {
     opts.fault_injector->inject(FaultSite::Parse);
@@ -244,7 +246,7 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
   // fingerprint the full evaluation context, limits included).
   RecoveryMemo local_memo;
   RecoveryMemo* memo_ptr =
-      !opts.recovery_memo ? nullptr
+      !opts.recovery.memo ? nullptr
       : shared_memo != nullptr ? shared_memo
                                : &local_memo;
   std::string out = deobfuscate_layers(script, report, 0, trace, memo_ptr,
@@ -276,13 +278,13 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
 
 std::string InvokeDeobfuscator::deobfuscate_layers(
     std::string_view script, DeobfuscationReport& report, int depth,
-    TraceSink* trace, RecoveryMemo* memo, const DeobfuscationOptions& opts,
+    TraceSink* trace, RecoveryMemo* memo, const Options& opts,
     ps::Budget* budget) const {
-  if (depth > opts.max_layers) return std::string(script);
+  if (depth > opts.limits.max_layers) return std::string(script);
   ps::ParseCache* cache = cache_.get();
 
   std::string cur(script);
-  for (int pass = 0; pass < opts.max_layers; ++pass) {
+  for (int pass = 0; pass < opts.limits.max_layers; ++pass) {
     report.passes++;
     std::string next = cur;
 
@@ -301,10 +303,10 @@ std::string InvokeDeobfuscator::deobfuscate_layers(
       if (budget != nullptr) budget->force_checkpoint();
       next = checked(next, cache, [&](std::string_view s) {
         RecoveryOptions ro;
-        ro.max_steps_per_piece = opts.max_steps_per_piece;
-        ro.max_piece_size = opts.max_piece_size;
-        ro.extra_blocklist = opts.extra_blocklist;
-        ro.trace_functions = opts.trace_functions;
+        ro.max_steps_per_piece = opts.limits.max_steps_per_piece;
+        ro.max_piece_size = opts.limits.max_piece_size;
+        ro.extra_blocklist = opts.recovery.extra_blocklist;
+        ro.trace_functions = opts.recovery.trace_functions;
         ro.memo = memo;
         ro.budget = budget;
         ro.fault = opts.fault_injector;

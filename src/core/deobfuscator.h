@@ -1,165 +1,68 @@
 #pragma once
 
 /// \file deobfuscator.h
-/// The public API of Invoke-Deobfuscation: AST-based and semantics-
-/// preserving deobfuscation for PowerShell scripts (Chai et al., DSN 2022),
-/// rebuilt as a C++ library on an in-repo PowerShell substrate.
+/// The engine of Invoke-Deobfuscation: AST-based and semantics-preserving
+/// deobfuscation for PowerShell scripts (Chai et al., DSN 2022), rebuilt as
+/// a C++ library on an in-repo PowerShell substrate.
 ///
 /// Pipeline (paper Fig 2): token parsing -> variable tracing & recovery
 /// based on AST -> multi-layer unwrapping (repeated to a fixed point) ->
 /// renaming -> reformatting. Every phase is syntax-checked and rolled back
 /// on error, so the output is always valid when the input was.
+///
+/// The stable entry point is `ideobf::Engine` (include/ideobf/api.h);
+/// `InvokeDeobfuscator` is the engine behind it, configured by the unified
+/// `ideobf::Options` and producing the public `DeobfuscationReport`.
 
 #include <memory>
 #include <string>
 #include <string_view>
-#include <vector>
 
 #include "core/multilayer.h"
 #include "core/recovery.h"
 #include "core/rename.h"
 #include "core/token_pass.h"
+#include "ideobf/options.h"
 #include "psast/parse_cache.h"
 #include "psvalue/budget.h"
 #include "telemetry/telemetry.h"
 
 namespace ideobf {
 
-class FaultInjector;
-
-/// The execution governor's envelope for one deobfuscate() call. The
-/// recovery phase executes attacker-controlled pieces, so hostile inputs
-/// (deliberate stalls, allocation bombs) are the normal input distribution;
-/// the governor bounds each call and — instead of failing outright — walks
-/// a degradation ladder of progressively safer configurations:
-///
-///   rung 0: full pipeline, full deadline
-///   rung 1: tightened recovery (fewer layers, far smaller per-piece step
-///           and size budgets), deadline/2
-///   rung 2: static passes only (token pass + rename + reformat; nothing is
-///           executed), deadline/4
-///   rung 3: passthrough (input returned unchanged)
-///
-/// Worst case a governed call spends ~1.75x its deadline before serving
-/// passthrough. Every abort is classified into a ps::FailureKind.
-struct GovernorOptions {
-  /// Wall-clock deadline per call at full strength; 0 disables the deadline.
-  double deadline_seconds = 0.0;
-  /// Cumulative interpreter allocation budget per attempt; 0 disables.
-  std::size_t memory_budget_bytes = 0;
-  /// Walk the ladder on failure. When false a failed attempt immediately
-  /// serves passthrough (rung 3).
-  bool degrade = true;
-  /// External cancellation (checked at every budget checkpoint). Inert by
-  /// default; a cancelled call serves passthrough without retries.
-  ps::CancellationToken cancel{};
-
-  /// Whether any envelope is configured; inactive governors take the exact
-  /// ungoverned code path (byte-identical output, no budget checks).
-  [[nodiscard]] bool active() const {
-    return deadline_seconds > 0.0 || memory_budget_bytes > 0 || cancel.valid();
-  }
-};
-
-struct DeobfuscationOptions {
-  bool token_pass = true;
-  bool ast_recovery = true;
-  bool multilayer = true;
-  bool rename = true;
-  bool reformat = true;
-  /// Fixed-point iteration bound for multi-layer obfuscation.
-  int max_layers = 8;
-  /// Interpreter budget per recoverable piece.
-  std::size_t max_steps_per_piece = 200000;
-  /// Largest piece text the recovery phase will execute.
-  std::size_t max_piece_size = 4u << 20;
-  /// Additional lowercase command names to refuse executing.
-  std::vector<std::string> extra_blocklist;
-  /// Extension beyond the paper (section V-C): trace user-defined decoder
-  /// functions so function-wrapped recovery chains can be executed.
-  bool trace_functions = false;
-  /// Collect a structured transformation trace into the report.
-  bool collect_trace = false;
-  /// Trace-event collection cap per run (see TraceSink); overflow sets
-  /// DeobfuscationReport::trace_truncated instead of growing unboundedly.
-  std::size_t max_trace_events = TraceSink::kDefaultMaxEvents;
-  /// Parse-once pipeline: share one parse of every intermediate text across
-  /// the per-step syntax checks, the phases' AST inputs, and the multilayer
-  /// recursion. Disabling re-parses at every step (the pre-cache behavior);
-  /// output and report are identical either way.
-  bool parse_cache = true;
-  /// Memoize recovered pieces per run (piece text + traced-variable context
-  /// fingerprint -> recovered literal) so a piece repeated across
-  /// occurrences, layers, or fixed-point passes executes once. Disabling
-  /// re-executes every occurrence (the pre-memo behavior); output and
-  /// report are identical either way.
-  bool recovery_memo = true;
-  /// Optional externally shared cache (e.g. one cache across a whole batch
-  /// or several deobfuscator instances). When null and `parse_cache` is
-  /// true, the deobfuscator creates a private one.
-  std::shared_ptr<ps::ParseCache> shared_parse_cache;
-  /// Default governor for deobfuscate() calls (per-call overload wins).
-  GovernorOptions governor{};
-  /// Optional fault injector (compiled in always, enabled by setting this).
-  /// Sites: Parse, PieceExecution, MemoLookup, MultilayerDecode. Non-owning;
-  /// must outlive the deobfuscator. With no armed fault the output is
-  /// byte-identical to running without an injector.
-  FaultInjector* fault_injector = nullptr;
-};
-
-struct DeobfuscationReport {
-  TokenPassStats token;
-  std::vector<TraceEvent> trace;  ///< filled when options.collect_trace
-  bool trace_truncated = false;   ///< trace hit options.max_trace_events
-  std::size_t trace_dropped = 0;  ///< events discarded past the cap
-  RecoveryStats recovery;
-  MultilayerStats multilayer;
-  RenameStats rename;
-  /// Per-phase time breakdown of this call (counts + self/total wall time).
-  /// All-zero unless telemetry was enabled (telemetry::Telemetry::enable()).
-  telemetry::PipelineProfile profile;
-  int passes = 0;  ///< full pipeline iterations until the fixed point
-
-  /// Failure classification for the call: the kind that aborted the
-  /// full-strength attempt (when a lower rung served), or the most severe
-  /// per-piece failure, or ParseError for invalid input, or None.
-  ps::FailureKind failure = ps::FailureKind::None;
-  std::string failure_detail;  ///< human-readable message for `failure`
-  /// Which ladder rung produced the served output (0 = full pipeline,
-  /// 3 = passthrough). Always 0 for ungoverned calls.
-  int degradation_rung = 0;
-  int attempts = 1;  ///< pipeline attempts made (1 + retries)
-};
-
 /// The deobfuscator. Const-callable from any number of threads and cheap to
 /// copy; copies share the (thread-safe) parse cache.
 class InvokeDeobfuscator {
  public:
-  explicit InvokeDeobfuscator(DeobfuscationOptions options = {});
+  explicit InvokeDeobfuscator(Options options = {});
 
   /// Deobfuscates `script`. Invalid input is returned unchanged. Governed
-  /// by options().governor; never throws for script-caused failures — a
+  /// by options().limits; never throws for script-caused failures — a
   /// busted budget degrades down the ladder to passthrough instead.
   [[nodiscard]] std::string deobfuscate(std::string_view script) const;
   [[nodiscard]] std::string deobfuscate(std::string_view script,
                                         DeobfuscationReport& report) const;
-  /// Per-call governor override (how deobfuscate_batch gives every item its
-  /// own deadline and cancellation token).
+  /// Per-call envelope override (how deobfuscate_batch and the server give
+  /// every item its own deadline and cancellation token). Only the
+  /// *envelope* fields of `limits` apply per call — deadline_seconds,
+  /// memory_budget_bytes, degrade, cancel; the per-piece caps (max_layers,
+  /// max_steps_per_piece, max_piece_size) always come from the configured
+  /// options(), so two requests against one engine run the same pipeline
+  /// under different deadlines.
   [[nodiscard]] std::string deobfuscate(std::string_view script,
                                         DeobfuscationReport& report,
-                                        const GovernorOptions& governor) const;
+                                        const Options::Limits& limits) const;
   /// As above, additionally sharing an externally owned piece-execution
-  /// memo (how deobfuscate_batch reuses recovered pieces across the scripts
-  /// served by one pool slot — memo keys fingerprint everything relevant,
-  /// so cross-script sharing is sound). The memo must only ever be touched
-  /// by one thread at a time; null falls back to a per-run memo. Ignored
-  /// when options().recovery_memo is false.
+  /// memo (how deobfuscate_batch and server sessions reuse recovered pieces
+  /// across the scripts served by one pool slot — memo keys fingerprint
+  /// everything relevant, so cross-script sharing is sound). The memo must
+  /// only ever be touched by one thread at a time; null falls back to a
+  /// per-run memo. Ignored when options().recovery.memo is false.
   [[nodiscard]] std::string deobfuscate(std::string_view script,
                                         DeobfuscationReport& report,
-                                        const GovernorOptions& governor,
+                                        const Options::Limits& limits,
                                         RecoveryMemo* shared_memo) const;
 
-  [[nodiscard]] const DeobfuscationOptions& options() const { return options_; }
+  [[nodiscard]] const Options& options() const { return options_; }
 
   /// The parse cache in use; null when options().parse_cache is false.
   [[nodiscard]] const std::shared_ptr<ps::ParseCache>& parse_cache() const {
@@ -171,23 +74,21 @@ class InvokeDeobfuscator {
   /// the telemetry envelope (Pipeline span + profile binding) around it.
   std::string deobfuscate_impl(std::string_view script,
                                DeobfuscationReport& report,
-                               const GovernorOptions& governor,
+                               const Options::Limits& limits,
                                RecoveryMemo* shared_memo) const;
   /// One full pipeline run under `opts`, checkpointing `budget` (may be
   /// null) between phases. Throws on budget/fault aborts. `shared_memo`
   /// substitutes for the run-local piece memo when non-null.
   std::string run_pipeline(std::string_view script, DeobfuscationReport& report,
-                           const DeobfuscationOptions& opts,
-                           ps::Budget* budget,
+                           const Options& opts, ps::Budget* budget,
                            RecoveryMemo* shared_memo) const;
   std::string deobfuscate_layers(std::string_view script,
                                  DeobfuscationReport& report, int depth,
                                  TraceSink* trace, RecoveryMemo* memo,
-                                 const DeobfuscationOptions& opts,
-                                 ps::Budget* budget) const;
-  /// The options for one degradation-ladder rung (see GovernorOptions).
-  [[nodiscard]] DeobfuscationOptions rung_options(int rung) const;
-  DeobfuscationOptions options_;
+                                 const Options& opts, ps::Budget* budget) const;
+  /// The options for one degradation-ladder rung (see Options::Limits).
+  [[nodiscard]] Options rung_options(int rung) const;
+  Options options_;
   std::shared_ptr<ps::ParseCache> cache_;
 };
 

@@ -22,9 +22,8 @@ namespace ideobf {
 
 class FaultInjector;
 
-struct MultilayerStats {
-  int layers_unwrapped = 0;
-};
+// MultilayerStats moved to the public facade (include/ideobf/report.h),
+// which core/trace.h re-exports.
 
 /// One unwrap pass. `deobfuscate_inner` is called on each extracted payload
 /// (typically the full deobfuscation pipeline). Returns the (possibly

@@ -27,18 +27,8 @@ namespace ideobf {
 
 class FaultInjector;
 
-struct RecoveryStats {
-  int pieces_recovered = 0;       ///< recoverable nodes replaced by literals
-  int variables_traced = 0;       ///< assignments recorded in the symbol table
-  int variables_substituted = 0;  ///< variable uses replaced by their value
-  int pieces_failed = 0;          ///< piece/assignment executions that errored
-  int memo_hits = 0;              ///< piece executions answered by the memo
-  int memo_misses = 0;            ///< memo lookups that had to execute
-  /// Most severe per-piece failure seen (failure_severity order); the
-  /// governor surfaces it as the item classification when nothing worse
-  /// aborted the run.
-  ps::FailureKind worst_failure = ps::FailureKind::None;
-};
+// RecoveryStats moved to the public facade (include/ideobf/report.h),
+// which core/trace.h re-exports.
 
 /// Memoizes sandbox executions of recoverable pieces: the same obfuscated
 /// fragment under the same traced-variable context is executed once, not

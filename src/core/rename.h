@@ -12,11 +12,8 @@
 
 namespace ideobf {
 
-struct RenameStats {
-  bool renamed = false;
-  int variables_renamed = 0;
-  int functions_renamed = 0;
-};
+// RenameStats moved to the public facade (include/ideobf/report.h),
+// which core/trace.h re-exports.
 
 /// Renames randomized variable/function names. Automatic, environment and
 /// scope-qualified variables are untouched. Returns the input unchanged when

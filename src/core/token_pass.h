@@ -13,11 +13,8 @@
 
 namespace ideobf {
 
-struct TokenPassStats {
-  int ticks_removed = 0;
-  int aliases_expanded = 0;
-  int case_normalized = 0;
-};
+// TokenPassStats moved to the public facade (include/ideobf/report.h),
+// which core/trace.h re-exports.
 
 /// Returns the token-normalized script. If the input does not tokenize, it
 /// is returned unchanged (the caller's per-step syntax check).

@@ -8,39 +8,16 @@
 /// to the paper's layer-by-layer screenshots (Fig 7).
 
 #include <cstddef>
-#include <string>
-#include <string_view>
 #include <vector>
+
+#include "ideobf/report.h"
 
 namespace ideobf {
 
-struct TraceEvent {
-  enum class Kind {
-    TokenNormalized,      ///< token pass: ticks/case/alias fixed
-    PieceRecovered,       ///< recoverable node executed and replaced
-    VariableTraced,       ///< assignment recorded in the symbol table
-    VariableSubstituted,  ///< variable use replaced by its value
-    LayerUnwrapped,       ///< iex / -EncodedCommand payload inlined
-    Renamed,              ///< randomized identifier renamed
-  };
-
-  Kind kind;
-  /// Byte offset in the text version the pass was operating on (passes
-  /// rewrite the script, so offsets are per-pass, not global).
-  std::size_t offset = 0;
-  std::string before;
-  std::string after;
-  int pass = 0;  ///< fixed-point iteration index
-};
-
-std::string_view to_string(TraceEvent::Kind kind);
-
-/// Renders a trace as readable lines ("[pass 0] recovered @12: '...' -> ...").
-/// `dropped` (events discarded by a capped TraceSink) appends a trailing
-/// truncation note so a clipped trace is never mistaken for a complete one.
-std::string render_trace(const std::vector<TraceEvent>& trace,
-                         std::size_t max_payload = 60,
-                         std::size_t dropped = 0);
+// TraceEvent, to_string(TraceEvent::Kind) and render_trace moved to the
+// public facade (include/ideobf/report.h): the trace is part of what every
+// deobfuscation returns, so its types live with DeobfuscationReport. Only
+// the engine-internal collector stays here.
 
 /// Collector passed through the pipeline phases; null sink = tracing off.
 /// Collection is capped (`max_events`, default 10k): a hostile script with

@@ -2,7 +2,7 @@
 
 #include <limits>
 
-namespace ps {
+namespace ideobf {
 
 const char* to_string(FailureKind kind) {
   switch (kind) {
@@ -18,6 +18,19 @@ const char* to_string(FailureKind kind) {
     case FailureKind::Internal: return "internal";
   }
   return "internal";
+}
+
+FailureKind failure_from_string(std::string_view name) {
+  if (name == "none") return FailureKind::None;
+  if (name == "timeout") return FailureKind::Timeout;
+  if (name == "step-limit") return FailureKind::StepLimit;
+  if (name == "depth-limit") return FailureKind::DepthLimit;
+  if (name == "memory-budget") return FailureKind::MemoryBudget;
+  if (name == "parse-error") return FailureKind::ParseError;
+  if (name == "blocked-command") return FailureKind::BlockedCommand;
+  if (name == "eval-error") return FailureKind::EvalError;
+  if (name == "cancelled") return FailureKind::Cancelled;
+  return FailureKind::Internal;
 }
 
 int failure_severity(FailureKind kind) {
@@ -46,6 +59,10 @@ CancellationToken CancellationToken::make() {
   return token;
 }
 
+}  // namespace ideobf
+
+namespace ps {
+
 Budget::Budget(const Limits& limits)
     : max_bytes_(limits.max_bytes), cancel_(limits.cancel) {
   if (limits.wall_seconds > 0.0) {
@@ -62,7 +79,8 @@ void Budget::check_deadline_now() {
 }
 
 void Budget::throw_cancelled() const {
-  throw BudgetError(FailureKind::Cancelled, "execution cancelled");
+  throw BudgetError(FailureKind::Cancelled,
+                    std::string(ideobf::kCancelledDetail));
 }
 
 void Budget::throw_memory() const {

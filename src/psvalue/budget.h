@@ -12,43 +12,26 @@
 /// which — like the interpreter's `LimitError` — is deliberately not an
 /// `EvalError`, so script-level try/catch cannot swallow it.
 
-#include <atomic>
 #include <chrono>
 #include <cstddef>
-#include <memory>
 #include <stdexcept>
 #include <string>
 
+#include "ideobf/failure.h"
+
 namespace ps {
 
-/// Structured classification of everything that can end or degrade a
-/// deobfuscation: the failure taxonomy surfaced in BatchItem,
-/// DeobfuscationReport, BehaviorProfile, and the CLI/bench JSON.
-enum class FailureKind {
-  None,            ///< no failure
-  Timeout,         ///< wall-clock deadline exceeded
-  StepLimit,       ///< interpreter step cap exceeded
-  DepthLimit,      ///< invoke/recursion depth cap exceeded
-  MemoryBudget,    ///< single-value size cap or cumulative allocation budget
-  ParseError,      ///< input (or intermediate) text does not parse
-  BlockedCommand,  ///< execution blocklist refused a command
-  EvalError,       ///< runtime evaluation failure
-  Cancelled,       ///< external cancellation token fired
-  Internal,        ///< anything else, including non-std exceptions
-};
-
-/// Stable lowercase-kebab name for reports and JSON ("timeout",
-/// "step-limit", ...).
-const char* to_string(FailureKind kind);
-
-/// Severity order for picking the dominant failure of a run: governor-level
-/// kinds (Cancelled, Timeout, MemoryBudget) outrank per-piece limit kinds,
-/// which outrank expected per-piece outcomes (BlockedCommand, EvalError).
-/// Internal ranks highest; None is 0.
-int failure_severity(FailureKind kind);
-
-/// The more severe of two failures (first wins ties).
-FailureKind worse_failure(FailureKind a, FailureKind b);
+// The failure taxonomy and the cancellation primitive are part of the
+// public API facade (include/ideobf/failure.h) — the server's wire schema,
+// BatchItem, DeobfuscationReport and the CLI/bench JSON all speak it. The
+// engine keeps its historical ps:: spellings as aliases of the one
+// definition, so a failure is the same type wherever it surfaces.
+using ideobf::FailureKind;
+using ideobf::to_string;
+using ideobf::failure_from_string;
+using ideobf::failure_severity;
+using ideobf::worse_failure;
+using ideobf::CancellationToken;
 
 /// Raised by Budget checkpoints. Not an EvalError, so neither script-level
 /// try/catch nor the recovery engine's per-piece error handling can swallow
@@ -58,27 +41,6 @@ class BudgetError : public std::runtime_error {
   BudgetError(FailureKind kind, std::string message)
       : std::runtime_error(std::move(message)), kind(kind) {}
   FailureKind kind;
-};
-
-/// A copyable handle to a shared cancellation flag. Default-constructed
-/// tokens are inert (never cancelled, cancel requests dropped); create a
-/// live one with `CancellationToken::make()`. Cancellation is cooperative:
-/// the running engine observes it at its next Budget checkpoint.
-class CancellationToken {
- public:
-  CancellationToken() = default;  ///< inert: valid() == false
-  static CancellationToken make();
-
-  [[nodiscard]] bool valid() const { return state_ != nullptr; }
-  void request_cancel() const {
-    if (state_ != nullptr) state_->store(true, std::memory_order_relaxed);
-  }
-  [[nodiscard]] bool cancelled() const {
-    return state_ != nullptr && state_->load(std::memory_order_relaxed);
-  }
-
- private:
-  std::shared_ptr<std::atomic<bool>> state_;
 };
 
 /// One unit of work's resource envelope. Not thread-safe (one budget serves

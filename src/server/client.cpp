@@ -1,0 +1,151 @@
+#include "ideobf/client.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "server/json.h"
+#include "server/protocol.h"
+
+namespace ideobf {
+
+struct ServeClient::Impl {
+  int fd = -1;
+  std::string buf;  ///< bytes received past the last consumed line
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_all(std::string line) {
+    if (line.empty() || line.back() != '\n') line.push_back('\n');
+    const char* p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("send failed: ") +
+                                 std::strerror(errno));
+      }
+      p += static_cast<std::size_t>(n);
+      left -= static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string recv_line() {
+    for (;;) {
+      std::size_t pos = buf.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        return line;
+      }
+      char chunk[16384];
+      ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        throw std::runtime_error("server closed the connection");
+      }
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+};
+
+ServeClient ServeClient::connect_unix(const std::string& socket_path) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path empty or too long: '" +
+                             socket_path + "'");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot connect to '" + socket_path +
+                             "': " + std::strerror(err));
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->fd = fd;
+  return ServeClient(std::move(impl));
+}
+
+ServeClient ServeClient::connect_tcp(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_INET) failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot connect to 127.0.0.1:" +
+                             std::to_string(port) + ": " +
+                             std::strerror(err));
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->fd = fd;
+  return ServeClient(std::move(impl));
+}
+
+ServeClient::ServeClient(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+ServeClient::~ServeClient() = default;
+ServeClient::ServeClient(ServeClient&&) noexcept = default;
+ServeClient& ServeClient::operator=(ServeClient&&) noexcept = default;
+
+ServeReply ServeClient::call(const Request& request) {
+  impl_->send_all(server::render_request_line(request));
+  const std::string line = impl_->recv_line();
+  ServeReply reply;
+  std::string error;
+  if (!server::parse_reply_line(line, reply, error)) {
+    throw std::runtime_error("malformed server reply: " + error);
+  }
+  return reply;
+}
+
+std::string ServeClient::metrics() {
+  impl_->send_all(server::render_op_line("metrics"));
+  const std::string line = impl_->recv_line();
+  std::string error;
+  std::optional<server::JsonValue> doc = server::parse_json(line, &error);
+  if (!doc.has_value()) {
+    throw std::runtime_error("malformed metrics reply: " + error);
+  }
+  const server::JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr || !metrics->is_string()) {
+    throw std::runtime_error("metrics reply has no 'metrics' field");
+  }
+  return metrics->as_string();
+}
+
+bool ServeClient::ping() {
+  impl_->send_all(server::render_op_line("ping"));
+  const std::string line = impl_->recv_line();
+  std::optional<server::JsonValue> doc = server::parse_json(line);
+  if (!doc.has_value()) return false;
+  const server::JsonValue* pong = doc->find("pong");
+  return pong != nullptr && pong->as_bool();
+}
+
+void ServeClient::shutdown_server() {
+  impl_->send_all(server::render_op_line("shutdown"));
+  (void)impl_->recv_line();  // the ack; the server drains after sending it
+}
+
+std::string ServeClient::raw_call(const std::string& line) {
+  impl_->send_all(line);
+  return impl_->recv_line();
+}
+
+}  // namespace ideobf

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file protocol.h
+/// The `ideobf serve` wire protocol: newline-delimited JSON, one request
+/// object per line in, one response object per line out, same order per
+/// connection. The schema is a 1:1 rendering of the public
+/// `ideobf::Request` / `ideobf::Response` pair (include/ideobf/api.h) plus
+/// three service ops — the server is the first consumer of the unified API,
+/// not a second code path. Full worked examples: docs/SERVER.md.
+///
+/// Protocol statuses are a superset of the pipeline taxonomy: "overloaded"
+/// (bounded-queue backpressure), "invalid" (malformed request) and
+/// "shutting-down" never reach the pipeline, so they are protocol-level
+/// verdicts, not FailureKinds.
+
+#include <string>
+#include <string_view>
+
+#include "ideobf/api.h"
+#include "ideobf/client.h"
+
+namespace ideobf::server {
+
+// Protocol status strings (the `status` field of every response line).
+inline constexpr std::string_view kStatusOk = "ok";
+inline constexpr std::string_view kStatusDegraded = "degraded";
+inline constexpr std::string_view kStatusFailed = "failed";
+inline constexpr std::string_view kStatusOverloaded = "overloaded";
+inline constexpr std::string_view kStatusInvalid = "invalid";
+inline constexpr std::string_view kStatusShuttingDown = "shutting-down";
+
+/// One parsed request line.
+struct WireRequest {
+  enum class Op {
+    Deobfuscate,  ///< run the pipeline on `request`
+    Ping,         ///< liveness round trip
+    Metrics,      ///< Prometheus exposition of the process registry
+    Shutdown,     ///< graceful drain: stop accepting, serve in-flight, exit
+  };
+  Op op = Op::Deobfuscate;
+  Request request;  ///< meaningful for Op::Deobfuscate only
+};
+
+/// Parses one request line. Strict: unknown top-level keys, wrong types, a
+/// missing `source` on a deobfuscate op, or malformed JSON all fail with a
+/// human-readable reason in `error` (the server answers those with an
+/// "invalid" response rather than guessing).
+bool parse_request_line(std::string_view line, WireRequest& out,
+                        std::string& error);
+
+/// The pipeline verdict of a served response: "ok" (full-strength output),
+/// "degraded" (a lower ladder rung served real output), "failed"
+/// (passthrough or sealed exception — Response::ok is false).
+std::string_view status_of(const Response& response);
+
+/// Renders a deobfuscate response line (no trailing newline).
+std::string render_response_line(const Response& response);
+
+/// Renders a service-level refusal/ack line: {"id":..,"status":..,"error":..}.
+std::string render_error_line(std::string_view id, std::string_view status,
+                              std::string_view message);
+
+/// Renders the metrics reply: {"status":"ok","metrics":"<exposition>"}.
+std::string render_metrics_line(std::string_view exposition);
+
+/// Renders the ping reply: {"status":"ok","pong":true}.
+std::string render_pong_line();
+
+/// Renders the shutdown ack: {"status":"ok","shutdown":true}.
+std::string render_shutdown_line();
+
+// --- Client side -----------------------------------------------------------
+
+/// Renders a deobfuscate request line from the public Request (no trailing
+/// newline). Request::options, when present, is rendered as the nested
+/// `options` object.
+std::string render_request_line(const Request& request);
+
+/// Renders a service-op line: {"op":"ping"} / {"op":"metrics"} /
+/// {"op":"shutdown"}.
+std::string render_op_line(std::string_view op);
+
+/// Parses one response line back into a ServeReply (the client's inverse of
+/// render_response_line / render_error_line). Transport-level garbage —
+/// non-JSON, missing status — returns false with a reason in `error`.
+bool parse_reply_line(std::string_view line, ServeReply& out,
+                      std::string& error);
+
+}  // namespace ideobf::server

@@ -1,0 +1,713 @@
+#include "server/server.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ideobf/api.h"
+#include "psvalue/worker_pool.h"
+#include "server/protocol.h"
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+
+namespace ideobf::server {
+
+namespace {
+
+using steady = std::chrono::steady_clock;
+
+/// Hard cap on one request line. The source script rides in a single JSON
+/// line, so the cap is generous — but a client streaming bytes without ever
+/// sending '\n' must not grow the buffer without bound.
+constexpr std::size_t kMaxLineBytes = 64u << 20;
+
+int make_unix_listener(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("unix socket path empty or too long: '" + path +
+                             "'");
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error("cannot listen on '" + path +
+                             "': " + std::strerror(err));
+  }
+  return fd;
+}
+
+int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket(AF_INET) failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    int err = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("cannot listen on 127.0.0.1: ") +
+                             std::strerror(err));
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+    bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+/// One accepted client. Owns the fd (closed when the last reference —
+/// reader thread or queued work — drops), serializes concurrent writers,
+/// and tracks the cancellation tokens of this client's queued/in-flight
+/// requests so a hang-up cancels exactly its own work.
+struct Connection {
+  int fd = -1;
+  std::atomic<bool> closed{false};
+  std::atomic<bool> reader_done{false};
+  std::mutex write_mu;
+  std::mutex token_mu;
+  std::map<std::uint64_t, CancellationToken> inflight;
+  std::uint64_t next_token_id = 0;
+
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  std::uint64_t add_token(const CancellationToken& token) {
+    std::lock_guard lk(token_mu);
+    inflight.emplace(next_token_id, token);
+    return next_token_id++;
+  }
+  void remove_token(std::uint64_t id) {
+    std::lock_guard lk(token_mu);
+    inflight.erase(id);
+  }
+  /// Cancels every outstanding request of this client; returns how many
+  /// were newly cancelled (the disconnect-cancel count).
+  std::size_t cancel_all() {
+    std::lock_guard lk(token_mu);
+    std::size_t n = 0;
+    for (auto& [id, token] : inflight) {
+      if (!token.cancelled()) {
+        token.request_cancel();
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  /// Writes `line` + '\n'. A failed send marks the connection closed (the
+  /// reader's EOF then cancels outstanding work).
+  bool send_line(std::string line) {
+    line.push_back('\n');
+    std::lock_guard lk(write_mu);
+    if (closed.load(std::memory_order_relaxed)) return false;
+    const char* p = line.data();
+    std::size_t left = line.size();
+    while (left > 0) {
+      ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        closed.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      p += static_cast<std::size_t>(n);
+      left -= static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+};
+
+struct QueueItem {
+  Request request;
+  std::shared_ptr<Connection> conn;
+  CancellationToken token;
+  std::uint64_t token_id = 0;
+};
+
+/// The bounded handoff between readers and worker slots. try_push fails on
+/// a full queue — that failure IS the backpressure signal ("overloaded"),
+/// never a blocking producer.
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t cap) : cap_(std::max<std::size_t>(cap, 1)) {}
+
+  bool try_push(QueueItem&& item) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_ || q_.size() >= cap_) return false;
+      q_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item; false only when closed AND drained, so a
+  /// graceful shutdown still serves everything accepted before it.
+  bool pop(QueueItem& out) {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<QueueItem> q_;
+  std::size_t cap_;
+  bool closed_ = false;
+};
+
+struct AtomicStats {
+  std::atomic<std::uint64_t> connections_total{0};
+  std::atomic<std::uint64_t> connections_active{0};
+  std::atomic<std::uint64_t> requests_total{0};
+  std::atomic<std::uint64_t> ok_total{0};
+  std::atomic<std::uint64_t> degraded_total{0};
+  std::atomic<std::uint64_t> failed_total{0};
+  std::atomic<std::uint64_t> invalid_total{0};
+  std::atomic<std::uint64_t> overloaded_total{0};
+  std::atomic<std::uint64_t> shutting_down_total{0};
+  std::atomic<std::uint64_t> disconnect_cancelled_total{0};
+  std::atomic<std::uint64_t> watchdog_cancelled_total{0};
+};
+
+/// The signal handler's only capability: one byte into the active server's
+/// self-pipe. Everything else happens on the accept loop.
+std::atomic<int> g_signal_pipe_fd{-1};
+
+extern "C" void serve_signal_handler(int) {
+  int fd = g_signal_pipe_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char b = 's';
+    [[maybe_unused]] ssize_t r = ::write(fd, &b, 1);
+  }
+}
+
+}  // namespace
+
+struct Server::Impl {
+  explicit Impl(ServerConfig config)
+      : cfg(std::move(config)),
+        engine(cfg.options),
+        queue(cfg.max_queue),
+        c_ok(&telemetry::registry().counter("ideobf_server_requests_total",
+                                            "status=\"ok\"")),
+        c_degraded(&telemetry::registry().counter(
+            "ideobf_server_requests_total", "status=\"degraded\"")),
+        c_failed(&telemetry::registry().counter("ideobf_server_requests_total",
+                                                "status=\"failed\"")),
+        c_invalid(&telemetry::registry().counter("ideobf_server_requests_total",
+                                                 "status=\"invalid\"")),
+        c_overloaded(&telemetry::registry().counter(
+            "ideobf_server_requests_total", "status=\"overloaded\"")),
+        c_shutting_down(&telemetry::registry().counter(
+            "ideobf_server_requests_total", "status=\"shutting-down\"")),
+        c_connections(&telemetry::registry().counter(
+            "ideobf_server_connections_total")),
+        c_disconnect_cancel(&telemetry::registry().counter(
+            "ideobf_server_disconnect_cancel_total")),
+        c_watchdog_cancel(&telemetry::registry().counter(
+            "ideobf_server_watchdog_cancel_total")),
+        g_queue_depth(
+            &telemetry::registry().gauge("ideobf_server_queue_depth")),
+        h_request_seconds(&telemetry::registry().histogram(
+            "ideobf_server_request_seconds")) {}
+
+  ServerConfig cfg;
+  Engine engine;
+  BoundedQueue queue;
+  AtomicStats stats;
+
+  // Interned once; recording is lock-free.
+  telemetry::Counter* c_ok;
+  telemetry::Counter* c_degraded;
+  telemetry::Counter* c_failed;
+  telemetry::Counter* c_invalid;
+  telemetry::Counter* c_overloaded;
+  telemetry::Counter* c_shutting_down;
+  telemetry::Counter* c_connections;
+  telemetry::Counter* c_disconnect_cancel;
+  telemetry::Counter* c_watchdog_cancel;
+  telemetry::Gauge* g_queue_depth;
+  telemetry::Histogram* h_request_seconds;
+
+  int unix_fd = -1;
+  int tcp_fd = -1;
+  std::uint16_t bound_tcp_port = 0;
+  int pipe_r = -1;
+  int pipe_w = -1;
+
+  std::atomic<bool> started{false};
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> drain_expired{false};
+  steady::time_point drain_started{};
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  std::mutex teardown_mu;
+  bool torn_down = false;
+
+  // Deadline watchdog registry: one entry per executing request.
+  struct WatchEntry {
+    CancellationToken token;
+    steady::time_point kill_at{};
+    bool has_deadline = false;
+  };
+  std::mutex watch_mu;
+  std::list<WatchEntry> watching;
+
+  struct ReaderEntry {
+    std::shared_ptr<Connection> conn;
+    std::jthread thread;
+  };
+  std::mutex conn_mu;
+  std::vector<ReaderEntry> readers;
+
+  std::jthread accept_thread;
+  std::jthread driver_thread;
+  std::jthread watchdog_thread;
+
+  // --- request path --------------------------------------------------------
+
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   const std::string& line) {
+    WireRequest wire;
+    std::string error;
+    if (!parse_request_line(line, wire, error)) {
+      stats.invalid_total.fetch_add(1, std::memory_order_relaxed);
+      c_invalid->add();
+      conn->send_line(render_error_line("", kStatusInvalid, error));
+      return;
+    }
+    switch (wire.op) {
+      case WireRequest::Op::Ping:
+        conn->send_line(render_pong_line());
+        return;
+      case WireRequest::Op::Metrics:
+        conn->send_line(render_metrics_line(
+            telemetry::render_prometheus(telemetry::registry())));
+        return;
+      case WireRequest::Op::Shutdown:
+        conn->send_line(render_shutdown_line());
+        request_stop();
+        return;
+      case WireRequest::Op::Deobfuscate:
+        break;
+    }
+
+    stats.requests_total.fetch_add(1, std::memory_order_relaxed);
+    if (stop_requested.load(std::memory_order_relaxed)) {
+      stats.shutting_down_total.fetch_add(1, std::memory_order_relaxed);
+      c_shutting_down->add();
+      conn->send_line(render_error_line(wire.request.id, kStatusShuttingDown,
+                                        "server is draining"));
+      return;
+    }
+
+    QueueItem item;
+    item.request = std::move(wire.request);
+    item.conn = conn;
+    item.token = CancellationToken::make();
+    item.token_id = conn->add_token(item.token);
+    const std::string id = item.request.id;
+    const std::uint64_t token_id = item.token_id;
+    if (!queue.try_push(std::move(item))) {
+      conn->remove_token(token_id);
+      stats.overloaded_total.fetch_add(1, std::memory_order_relaxed);
+      c_overloaded->add();
+      conn->send_line(
+          render_error_line(id, kStatusOverloaded, "request queue is full"));
+      return;
+    }
+    g_queue_depth->add(1);
+  }
+
+  /// The envelope this item runs under: the request's own limits (or the
+  /// server's), the effective deadline, and the per-item cancellation token
+  /// that the client's disconnect / the watchdog can fire.
+  Options::Limits envelope_of(const QueueItem& item) const {
+    Options::Limits lim = item.request.options.has_value()
+                              ? item.request.options->limits
+                              : cfg.options.limits;
+    std::uint64_t deadline_ms = item.request.deadline_ms != 0
+                                    ? item.request.deadline_ms
+                                    : cfg.default_deadline_ms;
+    if (deadline_ms != 0) {
+      lim.deadline_seconds = static_cast<double>(deadline_ms) / 1000.0;
+    }
+    lim.cancel = item.token;
+    return lim;
+  }
+
+  std::list<WatchEntry>::iterator watch(const QueueItem& item,
+                                        const Options::Limits& lim) {
+    WatchEntry entry;
+    entry.token = item.token;
+    entry.has_deadline = lim.deadline_seconds > 0.0;
+    if (entry.has_deadline) {
+      double factor = std::max(1.0, lim.watchdog_factor);
+      entry.kill_at = steady::now() +
+                      std::chrono::duration_cast<steady::duration>(
+                          std::chrono::duration<double>(
+                              lim.deadline_seconds * factor));
+    }
+    std::lock_guard lk(watch_mu);
+    return watching.insert(watching.end(), std::move(entry));
+  }
+
+  void unwatch(std::list<WatchEntry>::iterator it) {
+    std::lock_guard lk(watch_mu);
+    watching.erase(it);
+  }
+
+  void process(Engine::Session& session, QueueItem& item) {
+    g_queue_depth->sub(1);
+    if (item.conn->closed.load(std::memory_order_relaxed)) {
+      // Client already gone; its tokens were cancelled by the reader. Do
+      // not burn a worker slot on output nobody will read.
+      item.conn->remove_token(item.token_id);
+      return;
+    }
+    if (drain_expired.load(std::memory_order_relaxed) &&
+        !item.token.cancelled()) {
+      // Drain grace exhausted: queued work is cancelled up front and runs
+      // straight to passthrough.
+      item.token.request_cancel();
+      stats.watchdog_cancelled_total.fetch_add(1, std::memory_order_relaxed);
+      c_watchdog_cancel->add();
+    }
+    const Options::Limits lim = envelope_of(item);
+    auto watch_it = watch(item, lim);
+    Response response = session.handle(item.request, lim);
+    unwatch(watch_it);
+    item.conn->remove_token(item.token_id);
+
+    const std::string_view status = status_of(response);
+    if (status == kStatusOk) {
+      stats.ok_total.fetch_add(1, std::memory_order_relaxed);
+      c_ok->add();
+    } else if (status == kStatusDegraded) {
+      stats.degraded_total.fetch_add(1, std::memory_order_relaxed);
+      c_degraded->add();
+    } else {
+      stats.failed_total.fetch_add(1, std::memory_order_relaxed);
+      c_failed->add();
+    }
+    h_request_seconds->observe_seconds(response.seconds);
+    if (!item.conn->closed.load(std::memory_order_relaxed)) {
+      item.conn->send_line(render_response_line(response));
+    }
+  }
+
+  void worker_slot(unsigned slot) {
+    telemetry::set_current_shard(slot);
+    Engine::Session session = engine.session();
+    QueueItem item;
+    while (queue.pop(item)) {
+      process(session, item);
+      item = QueueItem{};  // drop conn/token references promptly
+    }
+  }
+
+  // --- connection plumbing -------------------------------------------------
+
+  void reader_loop(const std::shared_ptr<Connection>& conn) {
+    std::string buf;
+    char chunk[16384];
+    for (;;) {
+      ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos;
+      while ((pos = buf.find('\n')) != std::string::npos) {
+        std::string line = buf.substr(0, pos);
+        buf.erase(0, pos + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.find_first_not_of(" \t") == std::string::npos) continue;
+        handle_line(conn, line);
+      }
+      if (buf.size() > kMaxLineBytes) {
+        stats.invalid_total.fetch_add(1, std::memory_order_relaxed);
+        c_invalid->add();
+        conn->send_line(
+            render_error_line("", kStatusInvalid, "request line too long"));
+        break;
+      }
+    }
+    conn->closed.store(true, std::memory_order_relaxed);
+    const std::size_t cancelled = conn->cancel_all();
+    if (cancelled > 0) {
+      stats.disconnect_cancelled_total.fetch_add(cancelled,
+                                                 std::memory_order_relaxed);
+      c_disconnect_cancel->add(cancelled);
+    }
+    stats.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    conn->reader_done.store(true, std::memory_order_relaxed);
+  }
+
+  void accept_loop() {
+    std::vector<pollfd> fds;
+    fds.push_back({pipe_r, POLLIN, 0});
+    fds.push_back({unix_fd, POLLIN, 0});
+    if (tcp_fd >= 0) fds.push_back({tcp_fd, POLLIN, 0});
+
+    while (!stop_requested.load(std::memory_order_relaxed)) {
+      for (pollfd& p : fds) p.revents = 0;
+      int rc = ::poll(fds.data(), fds.size(), 200);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if ((fds[0].revents & POLLIN) != 0) {
+        char drain[64];
+        while (::read(pipe_r, drain, sizeof(drain)) > 0) {
+        }
+        // A pipe byte is the stop signal (possibly straight from a signal
+        // handler that could not call request_stop itself).
+        request_stop();
+        break;
+      }
+      for (std::size_t i = 1; i < fds.size(); ++i) {
+        if ((fds[i].revents & POLLIN) == 0) continue;
+        int cfd = ::accept(fds[i].fd, nullptr, nullptr);
+        if (cfd < 0) continue;
+        stats.connections_total.fetch_add(1, std::memory_order_relaxed);
+        stats.connections_active.fetch_add(1, std::memory_order_relaxed);
+        c_connections->add();
+        auto conn = std::make_shared<Connection>(cfd);
+        std::lock_guard lk(conn_mu);
+        reap_finished_readers_locked();
+        readers.push_back(
+            {conn, std::jthread([this, conn] { reader_loop(conn); })});
+      }
+    }
+    if (unix_fd >= 0) ::close(unix_fd);
+    if (tcp_fd >= 0) ::close(tcp_fd);
+    unix_fd = -1;
+    tcp_fd = -1;
+    if (!cfg.unix_socket_path.empty()) ::unlink(cfg.unix_socket_path.c_str());
+  }
+
+  void reap_finished_readers_locked() {
+    std::erase_if(readers, [](const ReaderEntry& r) {
+      return r.conn->reader_done.load(std::memory_order_relaxed);
+    });
+  }
+
+  void watchdog_loop(const std::stop_token& st) {
+    std::mutex m;
+    std::condition_variable_any cv;
+    while (!st.stop_requested()) {
+      {
+        std::unique_lock lk(m);
+        cv.wait_for(lk, st, std::chrono::milliseconds(50),
+                    [] { return false; });
+      }
+      if (st.stop_requested()) break;
+      const steady::time_point now = steady::now();
+      bool drain_kill = false;
+      if (stop_requested.load(std::memory_order_relaxed) &&
+          cfg.drain_grace_seconds > 0.0) {
+        drain_kill = now >= drain_started +
+                                std::chrono::duration_cast<steady::duration>(
+                                    std::chrono::duration<double>(
+                                        cfg.drain_grace_seconds));
+        if (drain_kill) drain_expired.store(true, std::memory_order_relaxed);
+      }
+      std::lock_guard lk(watch_mu);
+      for (WatchEntry& entry : watching) {
+        const bool expired =
+            drain_kill || (entry.has_deadline && now >= entry.kill_at);
+        if (expired && !entry.token.cancelled()) {
+          entry.token.request_cancel();
+          stats.watchdog_cancelled_total.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          c_watchdog_cancel->add();
+        }
+      }
+    }
+  }
+
+  // --- lifecycle -----------------------------------------------------------
+
+  void request_stop() {
+    bool expected = false;
+    if (!stop_requested.compare_exchange_strong(expected, true)) return;
+    {
+      std::lock_guard lk(stop_mu);
+      drain_started = steady::now();
+    }
+    stop_cv.notify_all();
+    if (pipe_w >= 0) {
+      char b = 's';
+      [[maybe_unused]] ssize_t r = ::write(pipe_w, &b, 1);
+    }
+  }
+};
+
+Server::Server(ServerConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+Server::~Server() {
+  if (impl_->started.load(std::memory_order_relaxed)) stop();
+  int expected = impl_->pipe_w;
+  g_signal_pipe_fd.compare_exchange_strong(expected, -1);
+  if (impl_->pipe_r >= 0) ::close(impl_->pipe_r);
+  if (impl_->pipe_w >= 0) ::close(impl_->pipe_w);
+}
+
+void Server::start() {
+  Impl& s = *impl_;
+  if (s.started.exchange(true)) {
+    throw std::logic_error("Server::start() called twice");
+  }
+  int pfd[2];
+  if (::pipe2(pfd, O_NONBLOCK | O_CLOEXEC) != 0) {
+    throw std::runtime_error("pipe2 failed");
+  }
+  s.pipe_r = pfd[0];
+  s.pipe_w = pfd[1];
+  s.unix_fd = make_unix_listener(s.cfg.unix_socket_path);
+  if (s.cfg.tcp) s.tcp_fd = make_tcp_listener(s.cfg.tcp_port, s.bound_tcp_port);
+
+  unsigned threads = s.cfg.threads != 0 ? s.cfg.threads
+                                        : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 2;
+  // The calling executor counts as a slot, so the pool can staff at most
+  // worker_count() + 1 concurrent loops; more would just idle in the queue.
+  threads = std::min(threads, ps::WorkerPool::instance().worker_count() + 1);
+
+  s.watchdog_thread =
+      std::jthread([&s](const std::stop_token& st) { s.watchdog_loop(st); });
+  s.driver_thread = std::jthread([&s, threads] {
+    ps::WorkerPool::instance().parallel(
+        threads, threads,
+        [&s](std::size_t, unsigned slot) { s.worker_slot(slot); });
+  });
+  s.accept_thread = std::jthread([&s] { s.accept_loop(); });
+}
+
+void Server::request_stop() { impl_->request_stop(); }
+
+void Server::wait() {
+  Impl& s = *impl_;
+  {
+    std::unique_lock lk(s.stop_mu);
+    s.stop_cv.wait(lk, [&] {
+      return s.stop_requested.load(std::memory_order_relaxed);
+    });
+  }
+  std::lock_guard teardown(s.teardown_mu);
+  if (s.torn_down) return;
+  if (s.accept_thread.joinable()) s.accept_thread.join();
+  // Listeners are closed; everything accepted before the stop still gets
+  // served (pop() drains the queue before reporting closed).
+  s.queue.close();
+  if (s.driver_thread.joinable()) s.driver_thread.join();
+  s.watchdog_thread.request_stop();
+  if (s.watchdog_thread.joinable()) s.watchdog_thread.join();
+  {
+    std::lock_guard lk(s.conn_mu);
+    for (Impl::ReaderEntry& r : s.readers) {
+      if (!r.conn->reader_done.load(std::memory_order_relaxed)) {
+        ::shutdown(r.conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  {
+    std::lock_guard lk(s.conn_mu);
+    s.readers.clear();  // joins every reader jthread
+  }
+  s.torn_down = true;
+}
+
+void Server::stop() {
+  request_stop();
+  wait();
+}
+
+std::uint16_t Server::tcp_port() const { return impl_->bound_tcp_port; }
+
+ServerStats Server::stats() const {
+  const AtomicStats& a = impl_->stats;
+  ServerStats out;
+  out.connections_total = a.connections_total.load(std::memory_order_relaxed);
+  out.connections_active =
+      a.connections_active.load(std::memory_order_relaxed);
+  out.requests_total = a.requests_total.load(std::memory_order_relaxed);
+  out.ok_total = a.ok_total.load(std::memory_order_relaxed);
+  out.degraded_total = a.degraded_total.load(std::memory_order_relaxed);
+  out.failed_total = a.failed_total.load(std::memory_order_relaxed);
+  out.invalid_total = a.invalid_total.load(std::memory_order_relaxed);
+  out.overloaded_total = a.overloaded_total.load(std::memory_order_relaxed);
+  out.shutting_down_total =
+      a.shutting_down_total.load(std::memory_order_relaxed);
+  out.disconnect_cancelled_total =
+      a.disconnect_cancelled_total.load(std::memory_order_relaxed);
+  out.watchdog_cancelled_total =
+      a.watchdog_cancelled_total.load(std::memory_order_relaxed);
+  out.queue_depth = impl_->queue.depth();
+  return out;
+}
+
+void Server::install_signal_handlers() {
+  g_signal_pipe_fd.store(impl_->pipe_w, std::memory_order_relaxed);
+  struct sigaction sa{};
+  sa.sa_handler = serve_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+}  // namespace ideobf::server

@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file server.h
+/// The `ideobf serve` daemon: a persistent deobfuscation service on the
+/// process-lifetime worker pool, behind the unified Request/Response API.
+///
+/// Shape of the machine:
+///  - listeners: a Unix domain socket (always) and an optional TCP loopback
+///    (127.0.0.1, ephemeral port supported), accepted by one poll loop;
+///  - one reader thread per connection parses newline-delimited JSON
+///    requests and pushes them onto a bounded queue — a full queue answers
+///    "overloaded" immediately instead of buffering without bound;
+///  - worker slots: `threads` long-lived items on ps::WorkerPool, each
+///    binding its telemetry shard and holding a warm Engine::Session (parse
+///    cache + recovery memo survive across requests — the whole point of a
+///    resident service);
+///  - per-request envelopes: deadline_ms and a per-item cancellation token
+///    thread straight into the PR-2 governor via
+///    Engine::Session::handle(request, limits). A client that disconnects
+///    cancels its own in-flight work; a watchdog backstops runaway items at
+///    deadline * watchdog_factor;
+///  - graceful drain: SIGTERM/shutdown-op stops accepting, serves
+///    everything queued and in flight (bounded by drain_grace_seconds,
+///    after which remaining work is cancelled), then exits.
+///
+/// Protocol: src/server/protocol.h; worked examples: docs/SERVER.md.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ideobf/options.h"
+
+namespace ideobf::server {
+
+struct ServerConfig {
+  /// Path of the Unix domain socket to listen on (required). An existing
+  /// socket file at this path is unlinked before bind.
+  std::string unix_socket_path;
+  /// Also listen on TCP loopback (127.0.0.1) when true.
+  bool tcp = false;
+  /// TCP port; 0 picks an ephemeral port (read it back via tcp_port()).
+  std::uint16_t tcp_port = 0;
+  /// Worker slots serving the queue. 0 means hardware concurrency.
+  unsigned threads = 0;
+  /// Bounded request-queue capacity; a push onto a full queue is answered
+  /// with an "overloaded" response (explicit backpressure).
+  std::size_t max_queue = 64;
+  /// Engine configuration every request runs under unless it carries its
+  /// own `options` object.
+  Options options;
+  /// Default per-request deadline in milliseconds applied when a request
+  /// names none (0 = no default; requests run ungoverned unless the
+  /// configured options impose limits).
+  std::uint64_t default_deadline_ms = 0;
+  /// How long a graceful drain may spend serving in-flight work before the
+  /// watchdog cancels what remains. 0 disables the backstop.
+  double drain_grace_seconds = 30.0;
+};
+
+/// Monotonic service counters, kept as plain atomics so they work with
+/// telemetry disabled (integration tests assert on them). The same events
+/// also feed `ideobf_server_*` registry metrics for the metrics op.
+struct ServerStats {
+  std::uint64_t connections_total = 0;
+  std::uint64_t connections_active = 0;
+  std::uint64_t requests_total = 0;
+  std::uint64_t ok_total = 0;
+  std::uint64_t degraded_total = 0;
+  std::uint64_t failed_total = 0;
+  std::uint64_t invalid_total = 0;
+  std::uint64_t overloaded_total = 0;
+  std::uint64_t shutting_down_total = 0;
+  /// In-flight or queued requests cancelled because their client hung up.
+  std::uint64_t disconnect_cancelled_total = 0;
+  /// In-flight requests cancelled by the deadline watchdog backstop.
+  std::uint64_t watchdog_cancelled_total = 0;
+  std::uint64_t queue_depth = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listeners and spawns the accept loop, worker slots, and
+  /// watchdog. Throws std::runtime_error when a listener cannot be bound.
+  void start();
+
+  /// Initiates a graceful drain (async-signal-safe is NOT guaranteed here;
+  /// signal handlers should use notify_stop_from_signal()). Idempotent.
+  void request_stop();
+
+  /// Blocks until the server has fully drained and torn down. start() must
+  /// have been called.
+  void wait();
+
+  /// request_stop() + wait().
+  void stop();
+
+  /// The bound TCP port (meaningful after start() when config.tcp is set;
+  /// 0 otherwise).
+  [[nodiscard]] std::uint16_t tcp_port() const;
+
+  [[nodiscard]] ServerStats stats() const;
+
+  /// Async-signal-safe stop trigger: installs this server as the target of
+  /// SIGTERM/SIGINT. The handler only writes a byte to the server's
+  /// self-pipe; the accept loop turns that into a graceful drain.
+  void install_signal_handlers();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ideobf::server

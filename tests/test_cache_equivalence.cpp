@@ -64,15 +64,15 @@ void expect_reports_equal(const DeobfuscationReport& a,
 }
 
 TEST(CacheEquivalence, CorpusOutputsAndReportsMatch) {
-  DeobfuscationOptions cached_opts;
-  cached_opts.collect_trace = true;
+  Options cached_opts;
+  cached_opts.telemetry.collect_trace = true;
   ASSERT_TRUE(cached_opts.parse_cache);  // caching is the default
   const InvokeDeobfuscator cached(cached_opts);
 
-  DeobfuscationOptions uncached_opts;
-  uncached_opts.collect_trace = true;
+  Options uncached_opts;
+  uncached_opts.telemetry.collect_trace = true;
   uncached_opts.parse_cache = false;
-  uncached_opts.recovery_memo = false;  // the full pre-optimization behavior
+  uncached_opts.recovery.memo = false;  // the full pre-optimization behavior
   const InvokeDeobfuscator uncached(uncached_opts);
   ASSERT_EQ(uncached.parse_cache(), nullptr);
 
@@ -121,9 +121,9 @@ TEST(CacheEquivalence, CacheCutsParsesAtLeastInHalf) {
         slurp(data_dir() / ("sample_" + std::to_string(id) + ".obf.ps1")));
   }
 
-  DeobfuscationOptions uncached_opts;
+  Options uncached_opts;
   uncached_opts.parse_cache = false;
-  uncached_opts.recovery_memo = false;  // seed behavior: no cache, no memo
+  uncached_opts.recovery.memo = false;  // seed behavior: no cache, no memo
   const InvokeDeobfuscator uncached(uncached_opts);
   const auto before_uncached = ps::parse_call_count();
   for (const auto& s : scripts) (void)uncached.deobfuscate(s);

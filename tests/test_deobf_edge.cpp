@@ -87,8 +87,8 @@ TEST(DeobfEdge, NumbersAndNullsSurvive) {
 }
 
 TEST(DeobfEdge, OptionsLimitLayersTerminate) {
-  DeobfuscationOptions opts;
-  opts.max_layers = 1;
+  Options opts;
+  opts.limits.max_layers = 1;
   InvokeDeobfuscator d(opts);
   // Two layers but only one allowed: output must still be valid and at
   // least one layer removed.

@@ -443,7 +443,7 @@ TEST(Deobfuscator, DeflateEndToEnd) {
 }
 
 TEST(Deobfuscator, PhasesCanBeDisabled) {
-  DeobfuscationOptions opts;
+  Options opts;
   opts.rename = false;
   opts.reformat = false;
   InvokeDeobfuscator d(opts);

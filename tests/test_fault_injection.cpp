@@ -25,8 +25,8 @@ constexpr const char* kEncoded =
     "JAB2ACAAPQAgADkACgBXAHIAaQB0AGUALQBPAHUAdABwAHUAdAAgACQAdgAKAFcAcgBpAHQA"
     "ZQAtAE8AdQB0AHAAdQB0ACAAJAB2AA==\n";
 
-GovernorOptions lenient_governor() {
-  GovernorOptions governor;
+Options::Limits lenient_governor() {
+  Options::Limits governor;
   governor.deadline_seconds = 30.0;
   return governor;
 }
@@ -63,7 +63,7 @@ TEST(Ladder, OneFaultLandsOnRungOne) {
   spec.action = FaultAction::Throw;
   spec.max_fires = 1;
   fi.arm(FaultSite::Parse, spec);
-  DeobfuscationOptions opts;
+  Options opts;
   opts.fault_injector = &fi;
   const InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
@@ -80,7 +80,7 @@ TEST(Ladder, TwoFaultsLandOnRungTwo) {
   spec.action = FaultAction::Throw;
   spec.max_fires = 2;
   fi.arm(FaultSite::Parse, spec);
-  DeobfuscationOptions opts;
+  Options opts;
   opts.fault_injector = &fi;
   const InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
@@ -94,7 +94,7 @@ TEST(Ladder, PersistentFaultServesPassthrough) {
   FaultSpec spec;
   spec.action = FaultAction::Throw;  // unlimited fires
   fi.arm(FaultSite::Parse, spec);
-  DeobfuscationOptions opts;
+  Options opts;
   opts.fault_injector = &fi;
   const InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
@@ -110,7 +110,7 @@ TEST(Ladder, PieceExecutionFaultHealsOnStaticRung) {
   FaultSpec spec;
   spec.action = FaultAction::Throw;  // unlimited: rungs 0 and 1 both die
   fi.arm(FaultSite::PieceExecution, spec);
-  DeobfuscationOptions opts;
+  Options opts;
   opts.fault_injector = &fi;
   const InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
@@ -127,7 +127,7 @@ TEST(Ladder, MemoLookupSiteIsVisited) {
   spec.action = FaultAction::Throw;
   spec.max_fires = 1;
   fi.arm(FaultSite::MemoLookup, spec);
-  DeobfuscationOptions opts;
+  Options opts;
   opts.fault_injector = &fi;
   const InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
@@ -147,7 +147,7 @@ TEST(Ladder, CorruptedMultilayerPayloadRollsBack) {
   spec.action = FaultAction::Corrupt;
   spec.corrupt_text = "this is (((( not powershell";
   fi.arm(FaultSite::MultilayerDecode, spec);
-  DeobfuscationOptions opts;
+  Options opts;
   opts.fault_injector = &fi;
   const InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
@@ -173,7 +173,7 @@ TEST(Ladder, ArmedButSilentInjectorIsByteIdentical) {
   fi.arm(FaultSite::Parse, spec);
   fi.arm(FaultSite::PieceExecution, spec);
   fi.arm(FaultSite::MultilayerDecode, spec);
-  DeobfuscationOptions opts;
+  Options opts;
   opts.fault_injector = &fi;
   const InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
@@ -192,7 +192,7 @@ TEST(NonStd, GovernedCallClassifiesNonStdThrow) {
   spec.action = FaultAction::ThrowNonStd;
   spec.max_fires = 1;
   fi.arm(FaultSite::Parse, spec);
-  DeobfuscationOptions opts;
+  Options opts;
   opts.fault_injector = &fi;
   const InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
@@ -207,7 +207,7 @@ TEST(NonStd, UngovernedBatchWorkerSurvivesNonStdThrow) {
   FaultSpec spec;
   spec.action = FaultAction::ThrowNonStd;  // unlimited
   fi.arm(FaultSite::Parse, spec);
-  DeobfuscationOptions opts;
+  Options opts;
   opts.fault_injector = &fi;
   const InvokeDeobfuscator deobf(opts);
   const std::vector<std::string> scripts(4, kBenign);

@@ -173,7 +173,7 @@ TEST(Classification, BenignIsCleanAndByteIdenticalUnderGovernor) {
   EXPECT_EQ(ungoverned.failure, ps::FailureKind::None);
   EXPECT_EQ(ungoverned.degradation_rung, 0);
 
-  GovernorOptions governor;
+  Options::Limits governor;
   governor.deadline_seconds = 30.0;
   governor.memory_budget_bytes = 64u << 20;
   DeobfuscationReport governed;
@@ -186,10 +186,10 @@ TEST(Classification, BenignIsCleanAndByteIdenticalUnderGovernor) {
 // --- the degradation ladder ----------------------------------------------
 
 TEST(Governor, TimeoutDegradesAndStillServes) {
-  DeobfuscationOptions opts;
-  opts.max_steps_per_piece = std::size_t{1} << 40;  // only the clock can stop it
+  Options opts;
+  opts.limits.max_steps_per_piece = std::size_t{1} << 40;  // only the clock can stop it
   const InvokeDeobfuscator deobf(opts);
-  GovernorOptions governor;
+  Options::Limits governor;
   governor.deadline_seconds = 0.2;
   DeobfuscationReport report;
   const auto start = std::chrono::steady_clock::now();
@@ -207,7 +207,7 @@ TEST(Governor, TimeoutDegradesAndStillServes) {
 
 TEST(Governor, MemoryBombDegradesToStaticPasses) {
   const InvokeDeobfuscator deobf;
-  GovernorOptions governor;
+  Options::Limits governor;
   governor.deadline_seconds = 10.0;
   governor.memory_budget_bytes = 1u << 20;
   DeobfuscationReport report;
@@ -219,7 +219,7 @@ TEST(Governor, MemoryBombDegradesToStaticPasses) {
 
 TEST(Governor, DegradeOffServesPassthroughOnFirstFailure) {
   const InvokeDeobfuscator deobf;
-  GovernorOptions governor;
+  Options::Limits governor;
   governor.deadline_seconds = 10.0;
   governor.memory_budget_bytes = 1u << 20;
   governor.degrade = false;
@@ -232,7 +232,7 @@ TEST(Governor, DegradeOffServesPassthroughOnFirstFailure) {
 
 TEST(Governor, PreCancelledServesClassifiedPassthrough) {
   const InvokeDeobfuscator deobf;
-  GovernorOptions governor;
+  Options::Limits governor;
   governor.deadline_seconds = 10.0;
   governor.cancel = ps::CancellationToken::make();
   governor.cancel.request_cancel();
@@ -244,10 +244,10 @@ TEST(Governor, PreCancelledServesClassifiedPassthrough) {
 }
 
 TEST(Governor, MidRunCancellationAborts) {
-  DeobfuscationOptions opts;
-  opts.max_steps_per_piece = std::size_t{1} << 40;
+  Options opts;
+  opts.limits.max_steps_per_piece = std::size_t{1} << 40;
   const InvokeDeobfuscator deobf(opts);
-  GovernorOptions governor;
+  Options::Limits governor;
   governor.deadline_seconds = 60.0;  // cancellation must win, not the clock
   governor.cancel = ps::CancellationToken::make();
   std::thread canceller([cancel = governor.cancel]() {
@@ -269,17 +269,17 @@ TEST(Governor, MidRunCancellationAborts) {
 // --- the batch under hostile load ----------------------------------------
 
 TEST(GovernedBatch, HostileCorpusClassifiedServedAndBounded) {
-  DeobfuscationOptions opts;
-  opts.max_steps_per_piece = std::size_t{1} << 40;
+  Options opts;
+  opts.limits.max_steps_per_piece = std::size_t{1} << 40;
   const InvokeDeobfuscator deobf(opts);
 
   const std::vector<std::string> scripts = {
       kBenign, kInfiniteLoop, kMemoryBomb, kDeepRecursion, kBenign,
   };
-  BatchOptions options;
+  Options options;
   options.threads = 2;
-  options.governor.deadline_seconds = 0.3;
-  options.governor.memory_budget_bytes = 4u << 20;
+  options.limits.deadline_seconds = 0.3;
+  options.limits.memory_budget_bytes = 4u << 20;
   BatchReport report;
   const auto out = deobfuscate_batch(deobf, scripts, report, options);
 
@@ -307,7 +307,7 @@ TEST(GovernedBatch, HostileCorpusClassifiedServedAndBounded) {
 
   // No item may blow materially past the ladder's 1.75x-deadline envelope.
   for (const BatchItem& item : report.items) {
-    EXPECT_LT(item.seconds, options.governor.deadline_seconds * 3.0 + 1.0);
+    EXPECT_LT(item.seconds, options.limits.deadline_seconds * 3.0 + 1.0);
   }
   EXPECT_GE(report.failures(), 2);
   EXPECT_GE(report.degraded(), 2);
@@ -320,15 +320,15 @@ TEST(GovernedBatch, HostileCorpusClassifiedServedAndBounded) {
 }
 
 TEST(GovernedBatch, BatchWideCancellationDrainsQueue) {
-  DeobfuscationOptions opts;
-  opts.max_steps_per_piece = std::size_t{1} << 40;
+  Options opts;
+  opts.limits.max_steps_per_piece = std::size_t{1} << 40;
   const InvokeDeobfuscator deobf(opts);
   const std::vector<std::string> scripts(8, kInfiniteLoop);
-  BatchOptions options;
+  Options options;
   options.threads = 2;
-  options.governor.deadline_seconds = 30.0;
-  options.governor.cancel = ps::CancellationToken::make();
-  std::thread canceller([cancel = options.governor.cancel]() {
+  options.limits.deadline_seconds = 30.0;
+  options.limits.cancel = ps::CancellationToken::make();
+  std::thread canceller([cancel = options.limits.cancel]() {
     std::this_thread::sleep_for(std::chrono::milliseconds(150));
     cancel.request_cancel();
   });
@@ -352,9 +352,9 @@ TEST(GovernedBatch, UngovernedBatchMatchesGovernedOnBenignCorpus) {
   const std::vector<std::string> scripts(4, kBenign);
   BatchReport plain_report;
   const auto plain = deobfuscate_batch(deobf, scripts, plain_report, 2u);
-  BatchOptions options;
+  Options options;
   options.threads = 2;
-  options.governor.deadline_seconds = 30.0;
+  options.limits.deadline_seconds = 30.0;
   BatchReport governed_report;
   const auto governed = deobfuscate_batch(deobf, scripts, governed_report, options);
   EXPECT_EQ(plain, governed);
@@ -375,6 +375,63 @@ TEST(FailureTaxonomy, NamesAndSeverityOrder) {
             ps::FailureKind::StepLimit);
   EXPECT_GT(ps::failure_severity(ps::FailureKind::Internal),
             ps::failure_severity(ps::FailureKind::Cancelled));
+}
+
+// Every cancellation path — the batch watchdog, batch-wide external cancel,
+// a mid-run governed cancel, and the serve daemon's client-disconnect /
+// drain-grace kills (asserted in test_server) — funnels through ONE
+// canonical detail string: ideobf::kCancelledDetail. Tools that group
+// failures by message must see one bucket, not four spellings.
+TEST(FailureTaxonomy, CancellationHasOneCanonicalDetail) {
+  // The shared choke point: a cancelled budget checkpoint.
+  auto token = ps::CancellationToken::make();
+  ps::Budget budget(ps::Budget::Limits{100.0, 0, token});
+  token.request_cancel();
+  try {
+    budget.checkpoint();
+    FAIL() << "expected BudgetError";
+  } catch (const ps::BudgetError& e) {
+    EXPECT_EQ(e.kind, ps::FailureKind::Cancelled);
+    EXPECT_EQ(std::string(e.what()), std::string(ideobf::kCancelledDetail));
+  }
+
+  // Mid-run governed cancel surfaces the same string in the report.
+  Options opts;
+  opts.limits.max_steps_per_piece = std::size_t{1} << 40;
+  const InvokeDeobfuscator deobf(opts);
+  Options::Limits governor;
+  governor.deadline_seconds = 60.0;
+  governor.cancel = ps::CancellationToken::make();
+  std::thread canceller([cancel = governor.cancel]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    cancel.request_cancel();
+  });
+  DeobfuscationReport report;
+  const std::string served = deobf.deobfuscate(kInfiniteLoop, report, governor);
+  canceller.join();
+  EXPECT_EQ(served, kInfiniteLoop);  // cancelled work is served as passthrough
+  EXPECT_EQ(report.failure, ps::FailureKind::Cancelled);
+  EXPECT_EQ(report.failure_detail, std::string(ideobf::kCancelledDetail));
+
+  // Batch-wide cancellation (the watchdog propagates external cancels onto
+  // each item's token) records the same string per item.
+  const std::vector<std::string> scripts(4, kInfiniteLoop);
+  Options options;
+  options.threads = 2;
+  options.limits.deadline_seconds = 30.0;
+  options.limits.cancel = ps::CancellationToken::make();
+  std::thread batch_canceller([cancel = options.limits.cancel]() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    cancel.request_cancel();
+  });
+  BatchReport batch_report;
+  deobfuscate_batch(deobf, scripts, batch_report, options);
+  batch_canceller.join();
+  ASSERT_EQ(batch_report.items.size(), scripts.size());
+  for (const BatchItem& item : batch_report.items) {
+    EXPECT_EQ(item.failure, ps::FailureKind::Cancelled);
+    EXPECT_EQ(item.error, std::string(ideobf::kCancelledDetail));
+  }
 }
 
 }  // namespace

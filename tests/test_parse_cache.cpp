@@ -123,12 +123,12 @@ TEST(ParseCache, SharedAcrossBatchThreads) {
     scripts.push_back("broken ( input " + std::to_string(i % 4));
   }
 
-  DeobfuscationOptions uncached;
+  Options uncached;
   uncached.parse_cache = false;
   const auto expected =
       deobfuscate_batch(InvokeDeobfuscator(uncached), scripts, 1);
 
-  DeobfuscationOptions shared;
+  Options shared;
   shared.shared_parse_cache = std::make_shared<ps::ParseCache>(64);
   const InvokeDeobfuscator deobf(shared);
   BatchReport report;

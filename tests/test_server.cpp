@@ -1,0 +1,418 @@
+// The `ideobf serve` daemon end to end: in-process daemon on a temp Unix
+// socket, real clients over the real wire. Round trips, per-request
+// envelopes (deadline expiry), bounded-queue backpressure, client
+// disconnect cancelling its own in-flight work, graceful drain serving
+// everything accepted before the stop, and the canonical cancellation
+// detail string shared with the batch watchdog.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "ideobf/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace {
+
+using ideobf::FailureKind;
+using ideobf::Request;
+using ideobf::ServeClient;
+using ideobf::ServeReply;
+using ideobf::server::Server;
+using ideobf::server::ServerConfig;
+
+/// The hostile input of choice: runs until something external stops it.
+constexpr const char* kInfiniteLoop = "$a = $( while ($true) { 1 } )\n$a\n";
+/// A benign input with a predictable normalization.
+constexpr const char* kTicked = "wr`ite-ho`st 'hello'";
+
+std::string test_socket(const std::string& name) {
+  return "/tmp/ideobf-test-" + name + "-" + std::to_string(::getpid()) +
+         ".sock";
+}
+
+ServerConfig base_config(const std::string& socket_path) {
+  ServerConfig cfg;
+  cfg.unix_socket_path = socket_path;
+  cfg.threads = 2;
+  return cfg;
+}
+
+/// A raw fire-and-forget connection, for tests that must send without
+/// consuming the reply (pipelining, disconnect) — ServeClient is strictly
+/// call/response.
+struct RawConn {
+  int fd = -1;
+
+  explicit RawConn(const std::string& socket_path) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    EXPECT_LT(socket_path.size(), sizeof(addr.sun_path));
+    std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+    EXPECT_EQ(0, ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)))
+        << std::strerror(errno);
+  }
+  ~RawConn() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_line(std::string line) {
+    line.push_back('\n');
+    ASSERT_EQ(static_cast<ssize_t>(line.size()),
+              ::send(fd, line.data(), line.size(), 0));
+  }
+
+  std::string recv_line() {
+    std::string buf;
+    char c = 0;
+    while (::recv(fd, &c, 1, 0) == 1) {
+      if (c == '\n') return buf;
+      buf.push_back(c);
+    }
+    return buf;
+  }
+};
+
+Request deobf_request(const std::string& source, const std::string& id,
+                      std::uint64_t deadline_ms = 0) {
+  Request request;
+  request.source = source;
+  request.id = id;
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+/// A request that genuinely occupies a worker until the clock (or a cancel)
+/// stops it: the per-request options lift the per-piece step cap out of
+/// reach, exactly like the governor tests do.
+Request hostile_request(const std::string& id, std::uint64_t deadline_ms) {
+  Request request = deobf_request(kInfiniteLoop, id, deadline_ms);
+  ideobf::Options options;
+  options.limits.max_steps_per_piece = std::size_t{1} << 40;
+  request.options = options;
+  return request;
+}
+
+}  // namespace
+
+TEST(ServerTest, RoundTripNormalizesAndEchoesId) {
+  const std::string sock = test_socket("roundtrip");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  const ServeReply reply = client.call(deobf_request(kTicked, "req-1"));
+  EXPECT_EQ(reply.status, "ok");
+  EXPECT_TRUE(reply.response.ok);
+  EXPECT_EQ(reply.response.id, "req-1");
+  EXPECT_NE(reply.response.result.find("Write-Host"), std::string::npos)
+      << reply.response.result;
+  EXPECT_GT(reply.response.report.token.ticks_removed, 0);
+  EXPECT_EQ(reply.response.failure, FailureKind::None);
+  EXPECT_GE(reply.response.seconds, 0.0);
+
+  server.stop();
+  EXPECT_GE(server.stats().ok_total, 1u);
+}
+
+TEST(ServerTest, PingMetricsAndTraceOnTheWire) {
+  const std::string sock = test_socket("ops");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  EXPECT_TRUE(client.ping());
+
+  // A traced request round-trips its structured trace through the NDJSON.
+  Request request = deobf_request(kTicked, "traced");
+  request.trace = true;
+  const ServeReply traced = client.call(request);
+  EXPECT_EQ(traced.status, "ok");
+  EXPECT_FALSE(traced.response.report.trace.empty());
+
+  const std::string metrics = client.metrics();
+  EXPECT_NE(metrics.find("ideobf_server_requests_total"), std::string::npos);
+  EXPECT_NE(metrics.find("ideobf_server_connections_total"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(ServerTest, MalformedRequestsAreRefusedNotGuessed) {
+  const std::string sock = test_socket("invalid");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  // Malformed JSON, a typoed key, a wrong type, and a missing source must
+  // each produce an "invalid" refusal — and the connection stays usable.
+  for (const char* bad : {
+           "{not json",
+           R"({"op":"deobfuscate","source":"x","bogus_key":1})",
+           R"({"op":"deobfuscate","source":42})",
+           R"({"op":"deobfuscate"})",
+           R"({"op":"deobfuscate","source":"x","options":{"limits":{"deadlin_seconds":1}}})",
+       }) {
+    ServeReply reply;
+    std::string error;
+    ASSERT_TRUE(ideobf::server::parse_reply_line(client.raw_call(bad), reply,
+                                                 error))
+        << error;
+    EXPECT_EQ(reply.status, "invalid") << bad;
+    EXPECT_FALSE(reply.response.ok);
+  }
+  const ServeReply good = client.call(deobf_request(kTicked, "after"));
+  EXPECT_EQ(good.status, "ok");
+
+  server.stop();
+  EXPECT_GE(server.stats().invalid_total, 5u);
+}
+
+TEST(ServerTest, ConcurrentClientsAllServed) {
+  const std::string sock = test_socket("concurrent");
+  ServerConfig cfg = base_config(sock);
+  cfg.threads = 4;
+  Server server(std::move(cfg));
+  server.start();
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsEach = 5;
+  std::vector<std::thread> clients;
+  std::atomic<int> served{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ServeClient client = ServeClient::connect_unix(sock);
+      for (int r = 0; r < kRequestsEach; ++r) {
+        const std::string id =
+            "c" + std::to_string(c) + "-r" + std::to_string(r);
+        const ServeReply reply = client.call(deobf_request(kTicked, id));
+        if (reply.status == "ok" && reply.response.id == id &&
+            reply.response.result.find("Write-Host") != std::string::npos) {
+          served.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(served.load(), kClients * kRequestsEach);
+
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.ok_total, static_cast<std::uint64_t>(kClients) *
+                                kRequestsEach);
+  EXPECT_EQ(stats.connections_total, static_cast<std::uint64_t>(kClients));
+}
+
+TEST(ServerTest, DeadlineExpiryDegradesToPassthrough) {
+  const std::string sock = test_socket("deadline");
+  ServerConfig cfg = base_config(sock);
+  cfg.threads = 1;
+  Server server(std::move(cfg));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  const auto start = std::chrono::steady_clock::now();
+  const ServeReply reply =
+      client.call(hostile_request("hostile", /*deadline_ms=*/300));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  // The full-strength attempt times out; a safer rung still serves real
+  // output, so the verdict is "degraded", not "failed".
+  EXPECT_EQ(reply.status, "degraded");
+  EXPECT_TRUE(reply.response.ok);
+  EXPECT_EQ(reply.response.failure, FailureKind::Timeout);
+  EXPECT_GE(reply.response.report.degradation_rung, 1);
+  EXPECT_FALSE(reply.response.result.empty());
+  // Ladder worst case is 1.75x the deadline plus scheduling noise.
+  EXPECT_LT(elapsed, 5.0);
+  server.stop();
+  EXPECT_GE(server.stats().degraded_total, 1u);
+}
+
+TEST(ServerTest, FullQueueAnswersOverloaded) {
+  const std::string sock = test_socket("backpressure");
+  ServerConfig cfg = base_config(sock);
+  cfg.threads = 1;
+  cfg.max_queue = 1;
+  Server server(std::move(cfg));
+  server.start();
+
+  // Occupy the single worker, then fill the single queue slot.
+  RawConn busy(sock);
+  busy.send_line(
+      ideobf::server::render_request_line(hostile_request("busy", 2000)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  RawConn queued(sock);
+  queued.send_line(
+      ideobf::server::render_request_line(hostile_request("queued", 2000)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The next request must be refused immediately, not buffered.
+  ServeClient client = ServeClient::connect_unix(sock);
+  const auto start = std::chrono::steady_clock::now();
+  const ServeReply reply = client.call(deobf_request(kTicked, "rejected"));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(reply.status, "overloaded");
+  EXPECT_FALSE(reply.response.ok);
+  EXPECT_EQ(reply.response.id, "rejected");
+  EXPECT_LT(elapsed, 1.0);  // backpressure is explicit AND immediate
+
+  server.stop();
+  EXPECT_GE(server.stats().overloaded_total, 1u);
+}
+
+TEST(ServerTest, DisconnectCancelsOwnWorkAndFreesTheWorker) {
+  const std::string sock = test_socket("disconnect");
+  ServerConfig cfg = base_config(sock);
+  cfg.threads = 1;
+  Server server(std::move(cfg));
+  server.start();
+
+  {
+    // An hour-long hostile request... whose client immediately hangs up.
+    RawConn doomed(sock);
+    doomed.send_line(ideobf::server::render_request_line(
+        hostile_request("doomed", 3600 * 1000)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  }  // ~RawConn closes the socket: disconnect
+
+  // The disconnect must cancel the in-flight run; the single worker comes
+  // free long before the hour-long deadline.
+  ServeClient client = ServeClient::connect_unix(sock);
+  const auto start = std::chrono::steady_clock::now();
+  const ServeReply reply = client.call(deobf_request(kTicked, "next"));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(reply.status, "ok");
+  EXPECT_LT(elapsed, 30.0);
+
+  server.stop();
+  EXPECT_GE(server.stats().disconnect_cancelled_total, 1u);
+}
+
+TEST(ServerTest, GracefulDrainServesAcceptedWorkAndRefusesNew) {
+  const std::string sock = test_socket("drain");
+  ServerConfig cfg = base_config(sock);
+  cfg.threads = 1;
+  Server server(std::move(cfg));
+  server.start();
+
+  // Occupy the worker, and queue one benign request behind it.
+  RawConn busy(sock);
+  busy.send_line(
+      ideobf::server::render_request_line(hostile_request("busy", 700)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  RawConn pending(sock);
+  pending.send_line(ideobf::server::render_request_line(
+      deobf_request(kTicked, "pending")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // Ask for a graceful drain, then try to submit new work.
+  RawConn control(sock);
+  control.send_line(ideobf::server::render_op_line("shutdown"));
+  EXPECT_NE(control.recv_line().find("\"shutdown\":true"), std::string::npos);
+  control.send_line(ideobf::server::render_request_line(
+      deobf_request(kTicked, "too-late")));
+  const std::string refused = control.recv_line();
+  EXPECT_NE(refused.find("shutting-down"), std::string::npos) << refused;
+
+  // The queued request was accepted before the stop: it must still be
+  // served, with real output.
+  ServeReply pending_reply;
+  std::string error;
+  ASSERT_TRUE(ideobf::server::parse_reply_line(pending.recv_line(),
+                                               pending_reply, error))
+      << error;
+  EXPECT_EQ(pending_reply.status, "ok");
+  EXPECT_NE(pending_reply.response.result.find("Write-Host"),
+            std::string::npos);
+
+  server.wait();
+  EXPECT_GE(server.stats().shutting_down_total, 1u);
+}
+
+TEST(ServerTest, DrainGraceCancelsStragglersWithCanonicalDetail) {
+  const std::string sock = test_socket("graced");
+  ServerConfig cfg = base_config(sock);
+  cfg.threads = 1;
+  cfg.drain_grace_seconds = 0.3;
+  Server server(std::move(cfg));
+  server.start();
+
+  // A straggler that would outlive any reasonable drain.
+  ServeReply straggler;
+  std::thread straggler_thread([&] {
+    ServeClient client = ServeClient::connect_unix(sock);
+    straggler = client.call(hostile_request("straggler", 3600 * 1000));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  ServeClient control = ServeClient::connect_unix(sock);
+  control.shutdown_server();
+  server.wait();
+  straggler_thread.join();
+
+  // The grace backstop cancelled it — and the cancellation surfaces the ONE
+  // canonical detail string shared with every other cancel path
+  // (ideobf::kCancelledDetail; the batch watchdog asserts the same string).
+  EXPECT_EQ(straggler.status, "failed");
+  EXPECT_EQ(straggler.response.failure, FailureKind::Cancelled);
+  EXPECT_EQ(straggler.response.failure_detail,
+            std::string(ideobf::kCancelledDetail));
+  EXPECT_GE(server.stats().watchdog_cancelled_total, 1u);
+}
+
+TEST(ServerTest, PerRequestOptionsObjectRidesTheWire) {
+  const std::string sock = test_socket("options");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  // Disable the token pass for this one request: the ticks must survive.
+  Request request = deobf_request(kTicked, "opted");
+  ideobf::Options options;
+  options.token_pass = false;
+  options.ast_recovery = false;
+  options.rename = false;
+  options.reformat = false;
+  request.options = options;
+  const ServeReply reply = client.call(request);
+  EXPECT_EQ(reply.status, "ok");
+  EXPECT_NE(reply.response.result.find('`'), std::string::npos)
+      << reply.response.result;
+  // The same source without the override normalizes as usual.
+  const ServeReply normal = client.call(deobf_request(kTicked, "normal"));
+  EXPECT_EQ(normal.response.result.find('`'), std::string::npos);
+  server.stop();
+}
+
+TEST(ServerTest, TcpLoopbackSpeaksTheSameProtocol) {
+  const std::string sock = test_socket("tcp");
+  ServerConfig cfg = base_config(sock);
+  cfg.tcp = true;
+  cfg.tcp_port = 0;  // ephemeral
+  Server server(std::move(cfg));
+  server.start();
+  ASSERT_NE(server.tcp_port(), 0);
+
+  ServeClient client = ServeClient::connect_tcp(server.tcp_port());
+  EXPECT_TRUE(client.ping());
+  const ServeReply reply = client.call(deobf_request(kTicked, "tcp"));
+  EXPECT_EQ(reply.status, "ok");
+  EXPECT_NE(reply.response.result.find("Write-Host"), std::string::npos);
+  server.stop();
+}

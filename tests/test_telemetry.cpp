@@ -337,7 +337,7 @@ TEST(TelemetryExport, TwoScriptBatchFeedsBothExporters) {
   };
   InvokeDeobfuscator deobf;
   BatchReport report;
-  BatchOptions options;
+  Options options;
   options.threads = 2;
   const auto results = deobfuscate_batch(deobf, scripts, report, options);
   Telemetry::set_trace_recorder(nullptr);

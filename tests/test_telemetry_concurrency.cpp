@@ -83,7 +83,7 @@ TEST(TelemetryConcurrency, BatchSpansBalanceAndLanesNest) {
 
   InvokeDeobfuscator deobf;
   BatchReport report;
-  BatchOptions options;
+  Options options;
   options.threads = 4;
   const auto results = deobfuscate_batch(deobf, scripts, report, options);
   Telemetry::set_trace_recorder(nullptr);

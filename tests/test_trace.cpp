@@ -9,8 +9,8 @@ namespace ideobf {
 namespace {
 
 std::vector<TraceEvent> trace_of(std::string_view script,
-                                 DeobfuscationOptions opts = {}) {
-  opts.collect_trace = true;
+                                 Options opts = {}) {
+  opts.telemetry.collect_trace = true;
   InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
   deobf.deobfuscate(script, report);
@@ -119,9 +119,9 @@ TEST(Trace, RenderAppendsTruncationNote) {
 TEST(Trace, PipelineCapSurfacesTruncationOnReport) {
   // A tiny cap against a script that emits several events: the report must
   // say the trace is clipped so an analyst never mistakes it for complete.
-  DeobfuscationOptions opts;
-  opts.collect_trace = true;
-  opts.max_trace_events = 2;
+  Options opts;
+  opts.telemetry.collect_trace = true;
+  opts.telemetry.max_trace_events = 2;
   InvokeDeobfuscator deobf(opts);
   DeobfuscationReport report;
   (void)deobf.deobfuscate("i`E`x ('Write-Output '+\"'t'\")\n$u = 'v'\n"

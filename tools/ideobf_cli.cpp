@@ -3,6 +3,7 @@
 //
 //   ideobf deobf [file|-]            deobfuscate a script (stdin with -)
 //   ideobf batch <dir>               deobfuscate every *.ps1 in a directory
+//   ideobf serve --socket PATH       persistent deobfuscation daemon (NDJSON)
 //   ideobf score [file|-]            obfuscation score + detected techniques
 //   ideobf iocs [file|-]             deobfuscate then extract key information
 //   ideobf behavior [file|-]         run in the sandbox, print side effects
@@ -17,7 +18,10 @@
 //   --metrics[=FILE]   Prometheus-style metrics to FILE (stderr without =FILE)
 //   --trace-out=FILE   Chrome trace_event JSON (chrome://tracing, Perfetto)
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -28,10 +32,10 @@
 #include "analysis/json_writer.h"
 #include "analysis/keyinfo.h"
 #include "analysis/scorer.h"
-#include "core/batch.h"
-#include "core/deobfuscator.h"
-#include "core/trace.h"
 #include "corpus/corpus.h"
+#include "ideobf/api.h"
+#include "ideobf/client.h"
+#include "server/server.h"
 #include "obfuscator/obfuscator.h"
 #include "pslang/alias_table.h"
 #include "psast/dump.h"
@@ -60,7 +64,7 @@ std::string read_input(const std::string& path) {
 
 int usage() {
   std::cerr
-      << "usage: ideobf <deobf|batch|explain|score|iocs|behavior|obfuscate|corpus|ast|techniques>"
+      << "usage: ideobf <deobf|batch|serve|explain|score|iocs|behavior|obfuscate|corpus|ast|techniques>"
          " [args]\n";
   return 2;
 }
@@ -155,16 +159,23 @@ void print_profile(std::ostream& os,
   }
 }
 
-void print_cache_stats(std::ostream& os, const ideobf::InvokeDeobfuscator& deobf,
-                       int memo_hits, int memo_misses) {
-  if (deobf.parse_cache() != nullptr) {
-    const ps::ParseCacheStats cs = deobf.parse_cache()->stats();
-    const std::uint64_t lookups = cs.hits + cs.misses + cs.bypasses;
-    os << "# parse-cache: hits=" << cs.hits << " misses=" << cs.misses
-       << " bypasses=" << cs.bypasses << " evictions=" << cs.evictions
-       << " hit-rate="
-       << (lookups == 0 ? 0.0 : static_cast<double>(cs.hits) / lookups) << "\n";
-  }
+/// Cache effectiveness summary from the registry counters (reset by
+/// tel.start(), so they cover exactly this command's work). The per-report
+/// memo numbers are preferred when the caller has them.
+void print_cache_stats(std::ostream& os, int memo_hits, int memo_misses) {
+  auto& reg = ideobf::telemetry::registry();
+  const std::uint64_t hits =
+      reg.counter("ideobf_parse_cache_hit_total").value();
+  const std::uint64_t misses =
+      reg.counter("ideobf_parse_cache_miss_total").value();
+  const std::uint64_t bypasses =
+      reg.counter("ideobf_parse_cache_bypass_total").value();
+  const std::uint64_t evictions =
+      reg.counter("ideobf_parse_cache_eviction_total").value();
+  const std::uint64_t lookups = hits + misses + bypasses;
+  os << "# parse-cache: hits=" << hits << " misses=" << misses
+     << " bypasses=" << bypasses << " evictions=" << evictions << " hit-rate="
+     << (lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups) << "\n";
   const int memo_lookups = memo_hits + memo_misses;
   os << "# recovery-memo: hits=" << memo_hits << " misses=" << memo_misses
      << " hit-rate="
@@ -175,24 +186,26 @@ void print_cache_stats(std::ostream& os, const ideobf::InvokeDeobfuscator& deobf
 
 int cmd_deobf(const std::string& path, bool trace_functions,
               double deadline_seconds, TelemetrySession& tel) {
-  ideobf::DeobfuscationOptions opts;
-  opts.trace_functions = trace_functions;
-  opts.governor.deadline_seconds = deadline_seconds;
-  ideobf::InvokeDeobfuscator deobf(opts);
-  ideobf::DeobfuscationReport report;
-  const std::string script = read_input(path);
+  ideobf::Options opts;
+  opts.recovery.trace_functions = trace_functions;
+  opts.limits.deadline_seconds = deadline_seconds;
+  ideobf::Engine engine(opts);
+  ideobf::Request request;
+  request.source = read_input(path);
   tel.start();
-  std::cout << deobf.deobfuscate(script, report);
+  const ideobf::Response response = engine.handle(request);
+  const ideobf::DeobfuscationReport& report = response.report;
+  std::cout << response.result;
   std::cerr << "# ticks=" << report.token.ticks_removed
             << " aliases=" << report.token.aliases_expanded
             << " case=" << report.token.case_normalized
             << " pieces=" << report.recovery.pieces_recovered
             << " vars=" << report.recovery.variables_traced
             << " layers=" << report.multilayer.layers_unwrapped
-            << " failure=" << ps::to_string(report.failure)
+            << " failure=" << to_string(response.failure)
             << " rung=" << report.degradation_rung << "\n";
   if (tel.stats) {
-    print_cache_stats(std::cerr, deobf, report.recovery.memo_hits,
+    print_cache_stats(std::cerr, report.recovery.memo_hits,
                       report.recovery.memo_misses);
     print_profile(std::cerr, report.profile);
   }
@@ -219,51 +232,62 @@ int cmd_batch(const std::string& dir, unsigned threads,
     std::cerr << "ideobf: no .ps1 files in " << dir << "\n";
     return 2;
   }
-  std::vector<std::string> scripts;
-  scripts.reserve(paths.size());
-  for (const std::string& p : paths) scripts.push_back(read_input(p));
-
-  ideobf::InvokeDeobfuscator deobf;
-  ideobf::BatchOptions options;
-  options.threads = threads;
-  options.governor.deadline_seconds = deadline_seconds;
-  ideobf::BatchReport report;
-  tel.start();
-  const std::vector<std::string> outputs =
-      ideobf::deobfuscate_batch(deobf, scripts, report, options);
+  std::vector<ideobf::Request> requests(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) {
+    requests[i].source = read_input(paths[i]);
+    requests[i].id = paths[i];
+  }
+
+  ideobf::Options options;
+  options.threads = threads;
+  options.limits.deadline_seconds = deadline_seconds;
+  ideobf::Engine engine(options);
+  tel.start();
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<ideobf::Response> responses = engine.handle_batch(requests);
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  int changed = 0;
+  int failed = 0;
+  int degraded = 0;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
     const std::string out_path = paths[i] + ".deobf";
-    std::ofstream(out_path, std::ios::binary) << outputs[i];
+    std::ofstream(out_path, std::ios::binary) << responses[i].result;
+    if (responses[i].result != requests[i].source) ++changed;
+    if (!responses[i].ok) ++failed;
+    if (responses[i].ok && responses[i].report.degradation_rung > 0) {
+      ++degraded;
+    }
   }
 
   if (as_json) {
     ideobf::JsonWriter w;
     w.begin_object();
-    w.field("scripts", static_cast<std::int64_t>(scripts.size()));
-    w.field("changed", report.changed());
-    w.field("failed", report.failed());
-    w.field("degraded", report.degraded());
-    w.field("wall_seconds", report.wall_seconds);
+    w.field("scripts", static_cast<std::int64_t>(requests.size()));
+    w.field("changed", changed);
+    w.field("failed", failed);
+    w.field("degraded", degraded);
+    w.field("wall_seconds", wall_seconds);
     w.begin_array("items");
-    for (std::size_t i = 0; i < report.items.size(); ++i) {
-      const ideobf::BatchItem& item = report.items[i];
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      const ideobf::Response& r = responses[i];
       w.begin_object();
       w.field("file", paths[i]);
-      w.field("ok", item.ok);
-      w.field("changed", item.changed);
-      w.field("seconds", item.seconds);
-      w.field("rung", item.degradation_rung);
-      w.field("failure", std::string(ps::to_string(item.failure)));
+      w.field("ok", r.ok);
+      w.field("changed", r.result != requests[i].source);
+      w.field("seconds", r.seconds);
+      w.field("rung", r.report.degradation_rung);
+      w.field("failure", std::string(to_string(r.failure)));
       w.end_object();
     }
     w.end_array();
     w.end_object();
     std::cout << w.str() << "\n";
   } else {
-    std::cout << "batch: " << scripts.size() << " scripts, "
-              << report.changed() << " changed, " << report.failed()
-              << " failed, " << report.degraded() << " degraded, "
-              << report.wall_seconds << "s\n";
+    std::cout << "batch: " << requests.size() << " scripts, " << changed
+              << " changed, " << failed << " failed, " << degraded
+              << " degraded, " << wall_seconds << "s\n";
   }
   if (tel.stats) {
     // Batch memo stats come from the registry (per-item reports are not
@@ -273,8 +297,10 @@ int cmd_batch(const std::string& dir, unsigned threads,
         reg.counter("ideobf_recovery_memo_hit_total").value());
     const int memo_misses = static_cast<int>(
         reg.counter("ideobf_recovery_memo_miss_total").value());
-    print_cache_stats(std::cerr, deobf, memo_hits, memo_misses);
-    print_profile(std::cerr, report.profile);
+    print_cache_stats(std::cerr, memo_hits, memo_misses);
+    ideobf::telemetry::PipelineProfile profile;
+    for (const ideobf::Response& r : responses) profile.merge(r.report.profile);
+    print_profile(std::cerr, profile);
   }
   tel.finish();
   return 0;
@@ -308,9 +334,11 @@ int cmd_score(const std::string& path, bool as_json) {
 }
 
 int cmd_iocs(const std::string& path, bool as_json) {
-  ideobf::InvokeDeobfuscator deobf;
+  ideobf::Engine engine;
+  ideobf::Request request;
+  request.source = read_input(path);
   const ideobf::KeyInfo info =
-      ideobf::extract_key_info(deobf.deobfuscate(read_input(path)));
+      ideobf::extract_key_info(engine.handle(request).result);
   if (as_json) {
     ideobf::JsonWriter w;
     w.begin_object();
@@ -378,6 +406,100 @@ int cmd_corpus(int n, const std::string& dir) {
   return 0;
 }
 
+/// One warm-path round trip against the freshly started server: ping, a
+/// deobfuscation whose output is predictable (tick removal + alias/case
+/// normalization need no sandbox), and a metrics scrape that must show the
+/// request it just served.
+int serve_self_check(const std::string& socket_path) {
+  ideobf::ServeClient client = ideobf::ServeClient::connect_unix(socket_path);
+  if (!client.ping()) {
+    std::cerr << "ideobf serve: self-check ping failed\n";
+    return 1;
+  }
+  ideobf::Request request;
+  request.source = "wr`ite-ho`st 'self-check'";
+  request.id = "self-check";
+  const ideobf::ServeReply reply = client.call(request);
+  if (reply.status != "ok" || reply.response.id != "self-check" ||
+      reply.response.result.find("Write-Host") == std::string::npos) {
+    std::cerr << "ideobf serve: self-check deobfuscation failed (status="
+              << reply.status << ", result=" << reply.response.result << ")\n";
+    return 1;
+  }
+  const std::string metrics = client.metrics();
+  if (metrics.find("ideobf_server_requests_total") == std::string::npos) {
+    std::cerr << "ideobf serve: self-check metrics scrape failed\n";
+    return 1;
+  }
+  client.shutdown_server();
+  std::cout << "self-check ok\n";
+  return 0;
+}
+
+int cmd_serve(int argc, char** argv) {
+  ideobf::server::ServerConfig cfg;
+  bool self_check = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      cfg.unix_socket_path = argv[++i];
+    } else if (a == "--tcp") {
+      cfg.tcp = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        cfg.tcp_port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+      }
+    } else if (a == "--threads" && i + 1 < argc) {
+      cfg.threads = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (a == "--max-queue" && i + 1 < argc) {
+      cfg.max_queue = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (a == "--deadline-ms" && i + 1 < argc) {
+      cfg.default_deadline_ms =
+          static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (a == "--drain-grace-seconds" && i + 1 < argc) {
+      cfg.drain_grace_seconds = std::atof(argv[++i]);
+    } else if (a == "--self-check") {
+      self_check = true;
+    } else {
+      std::cerr << "ideobf serve: unknown flag '" << a << "'\n";
+      return 2;
+    }
+  }
+  if (cfg.unix_socket_path.empty()) {
+    cfg.unix_socket_path =
+        "/tmp/ideobf-serve-" + std::to_string(::getpid()) + ".sock";
+  }
+
+  const std::string socket_path = cfg.unix_socket_path;
+  const bool tcp = cfg.tcp;
+
+  // A resident service always records: the metrics op is part of the
+  // protocol, so the registry must have data.
+  ideobf::telemetry::Telemetry::enable();
+  ideobf::server::Server server(std::move(cfg));
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "ideobf serve: " << e.what() << "\n";
+    return 2;
+  }
+  server.install_signal_handlers();
+  if (self_check) {
+    int rc = 1;
+    try {
+      rc = serve_self_check(socket_path);
+    } catch (const std::exception& e) {
+      std::cerr << "ideobf serve: self-check failed: " << e.what() << "\n";
+    }
+    server.stop();
+    return rc;
+  }
+  std::cerr << "ideobf serve: listening on " << socket_path;
+  if (tcp) std::cerr << " and 127.0.0.1:" << server.tcp_port();
+  std::cerr << "\n";
+  server.wait();
+  return 0;
+}
+
 int cmd_techniques() {
   for (ideobf::Technique t : ideobf::all_techniques()) {
     std::cout << "L" << ideobf::technique_level(t) << "\t" << to_string(t)
@@ -427,6 +549,7 @@ int main(int argc, char** argv) {
     if (dir.empty()) return usage();
     return cmd_batch(dir, threads, deadline_seconds, as_json, tel);
   }
+  if (cmd == "serve") return cmd_serve(argc, argv);
   bool as_json = false;
   std::string pos_arg = "-";
   for (int i = 2; i < argc; ++i) {
@@ -445,13 +568,15 @@ int main(int argc, char** argv) {
     return cmd_corpus(std::atoi(argv[2]), argv[3]);
   }
   if (cmd == "explain") {
-    ideobf::DeobfuscationOptions opts;
-    opts.collect_trace = true;
-    ideobf::InvokeDeobfuscator deobf(opts);
-    ideobf::DeobfuscationReport report;
-    const std::string out = deobf.deobfuscate(read_input(arg(2)), report);
-    std::cout << ideobf::render_trace(report.trace, 60, report.trace_dropped)
-              << "---\n" << out;
+    ideobf::Engine engine;
+    ideobf::Request request;
+    request.source = read_input(arg(2));
+    request.trace = true;
+    const ideobf::Response response = engine.handle(request);
+    std::cout << ideobf::render_trace(response.report.trace, 60,
+                                      response.report.trace_dropped)
+              << "---\n"
+              << response.result;
     return 0;
   }
   if (cmd == "ast") {
