@@ -137,26 +137,35 @@ struct Parser {
     }
   }
 
+  [[nodiscard]] bool at_digit() const {
+    return !at_end() && std::isdigit(static_cast<unsigned char>(text[pos]));
+  }
+
+  /// Exactly the RFC 8259 number grammar: `-? (0 | [1-9][0-9]*) frac? exp?`.
+  /// Leading zeros ("01"), bare fractions (".5"), and trailing dots ("1.")
+  /// are refused — this parser is strict by design, and must agree with
+  /// conforming emitters on what a number is.
   bool parse_number(double& out) {
     const std::size_t start = pos;
     if (!at_end() && text[pos] == '-') ++pos;
-    while (!at_end() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    if (!at_digit()) return fail("expected number");
+    if (text[pos] == '0') {
       ++pos;
+      if (at_digit()) return fail("leading zero in number");
+    } else {
+      while (at_digit()) ++pos;
     }
     if (!at_end() && text[pos] == '.') {
       ++pos;
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
-        ++pos;
-      }
+      if (!at_digit()) return fail("expected digit after '.'");
+      while (at_digit()) ++pos;
     }
     if (!at_end() && (text[pos] == 'e' || text[pos] == 'E')) {
       ++pos;
       if (!at_end() && (text[pos] == '+' || text[pos] == '-')) ++pos;
-      while (!at_end() && std::isdigit(static_cast<unsigned char>(text[pos]))) {
-        ++pos;
-      }
+      if (!at_digit()) return fail("expected digit in exponent");
+      while (at_digit()) ++pos;
     }
-    if (pos == start) return fail("expected number");
     // strtod needs a NUL-terminated buffer; numbers are short, so copy.
     char buf[64];
     const std::size_t len = pos - start;

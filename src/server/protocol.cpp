@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "analysis/json_writer.h"
 #include "server/json.h"
@@ -41,11 +42,15 @@ bool read_uint(const JsonValue& obj, std::string_view key, T& out,
                std::string& error) {
   const JsonValue* v = obj.find(key);
   if (v == nullptr) return true;
-  if (!v->is_number() || v->as_double() < 0.0 ||
-      std::floor(v->as_double()) != v->as_double()) {
-    return type_error(error, key, "a non-negative integer");
+  // ldexp(1.0, digits) is 2^bits(T), exactly representable as a double;
+  // casting a value at or beyond it (wire input like 1e300, or any NaN /
+  // infinity) would be undefined behavior, so those are schema errors.
+  const double d = v->is_number() ? v->as_double() : -1.0;
+  if (!v->is_number() || d < 0.0 || std::floor(d) != d ||
+      !(d < std::ldexp(1.0, std::numeric_limits<T>::digits))) {
+    return type_error(error, key, "a non-negative integer in range");
   }
-  out = static_cast<T>(v->as_double());
+  out = static_cast<T>(d);
   return true;
 }
 
@@ -53,10 +58,13 @@ bool read_int(const JsonValue& obj, std::string_view key, int& out,
               std::string& error) {
   const JsonValue* v = obj.find(key);
   if (v == nullptr) return true;
-  if (!v->is_number() || std::floor(v->as_double()) != v->as_double()) {
-    return type_error(error, key, "an integer");
+  const double limit = std::ldexp(1.0, std::numeric_limits<int>::digits);
+  const double d = v->is_number() ? v->as_double() : 0.5;
+  if (!v->is_number() || std::floor(d) != d ||
+      !(d < limit && d >= -limit)) {
+    return type_error(error, key, "an integer in range");
   }
-  out = static_cast<int>(v->as_double());
+  out = static_cast<int>(d);
   return true;
 }
 

@@ -5,6 +5,8 @@
 #include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -47,15 +49,36 @@ int make_unix_listener(const std::string& path) {
     throw std::runtime_error("unix socket path empty or too long: '" + path +
                              "'");
   }
+  // Replace only an existing *socket*. A regular file at this path is a
+  // misconfiguration (typoed --socket); deleting it would silently destroy
+  // user data and then mask the mistake when bind succeeds.
+  struct stat st{};
+  if (::lstat(path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      throw std::runtime_error("'" + path +
+                               "' exists and is not a socket; refusing to "
+                               "replace it");
+    }
+    ::unlink(path.c_str());
+  }
   int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-  ::unlink(path.c_str());
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 64) != 0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     int err = errno;
     ::close(fd);
+    throw std::runtime_error("cannot bind '" + path +
+                             "': " + std::strerror(err));
+  }
+  // Owner-only: the unix socket is the trusted control plane (it carries
+  // the shutdown op). Safe between bind and listen — connects are refused
+  // until listen(), so no client can race the chmod.
+  ::chmod(path.c_str(), 0600);
+  if (::listen(fd, 64) != 0) {
+    int err = errno;
+    ::close(fd);
+    ::unlink(path.c_str());
     throw std::runtime_error("cannot listen on '" + path +
                              "': " + std::strerror(err));
   }
@@ -92,6 +115,8 @@ int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
 /// requests so a hang-up cancels exactly its own work.
 struct Connection {
   int fd = -1;
+  bool via_tcp = false;
+  double send_timeout_seconds = 0.0;
   std::atomic<bool> closed{false};
   std::atomic<bool> reader_done{false};
   std::mutex write_mu;
@@ -99,7 +124,8 @@ struct Connection {
   std::map<std::uint64_t, CancellationToken> inflight;
   std::uint64_t next_token_id = 0;
 
-  explicit Connection(int fd_in) : fd(fd_in) {}
+  Connection(int fd_in, bool via_tcp_in, double send_timeout)
+      : fd(fd_in), via_tcp(via_tcp_in), send_timeout_seconds(send_timeout) {}
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
@@ -129,23 +155,41 @@ struct Connection {
     return n;
   }
 
-  /// Writes `line` + '\n'. A failed send marks the connection closed (the
-  /// reader's EOF then cancels outstanding work).
+  /// Writes `line` + '\n' within a wall-clock budget. The fd carries
+  /// SO_SNDTIMEO, so a single send() blocks at most send_timeout_seconds;
+  /// the explicit deadline additionally bounds a drip-feeding client that
+  /// keeps each send barely progressing. Either way a stalled writer is
+  /// declared dead in bounded time: the connection is marked closed and the
+  /// fd shut down, which wakes the blocked reader so its EOF path cancels
+  /// this client's outstanding work — a non-reading client can never wedge
+  /// a worker slot or hold up a graceful drain.
   bool send_line(std::string line) {
     line.push_back('\n');
     std::lock_guard lk(write_mu);
     if (closed.load(std::memory_order_relaxed)) return false;
     const char* p = line.data();
     std::size_t left = line.size();
+    const bool bounded = send_timeout_seconds > 0.0;
+    const steady::time_point give_up =
+        bounded ? steady::now() +
+                      std::chrono::duration_cast<steady::duration>(
+                          std::chrono::duration<double>(send_timeout_seconds))
+                : steady::time_point{};
     while (left > 0) {
       ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
+      if (n < 0 && errno == EINTR) continue;
+      if (n > 0) {
+        p += static_cast<std::size_t>(n);
+        left -= static_cast<std::size_t>(n);
+        if (left == 0) return true;
+      }
+      if (n <= 0 || (bounded && steady::now() >= give_up)) {
+        // Error, SO_SNDTIMEO expiry (EAGAIN/EWOULDBLOCK), or out of wall
+        // budget with bytes still pending: drop the client, not the worker.
         closed.store(true, std::memory_order_relaxed);
+        ::shutdown(fd, SHUT_RDWR);
         return false;
       }
-      p += static_cast<std::size_t>(n);
-      left -= static_cast<std::size_t>(n);
     }
     return true;
   }
@@ -337,6 +381,19 @@ struct Server::Impl {
             telemetry::render_prometheus(telemetry::registry())));
         return;
       case WireRequest::Op::Shutdown:
+        if (conn->via_tcp && !cfg.allow_tcp_shutdown) {
+          // TCP loopback has no peer authentication; any local process
+          // could otherwise terminate the daemon. Shutdown stays a
+          // unix-socket (filesystem-permissioned) privilege unless the
+          // operator opted in.
+          stats.invalid_total.fetch_add(1, std::memory_order_relaxed);
+          c_invalid->add();
+          conn->send_line(render_error_line(
+              "", kStatusInvalid,
+              "shutdown is not permitted over TCP (use the unix socket, or "
+              "start with --allow-tcp-shutdown)"));
+          return;
+        }
         conn->send_line(render_shutdown_line());
         request_stop();
         return;
@@ -521,10 +578,22 @@ struct Server::Impl {
         if ((fds[i].revents & POLLIN) == 0) continue;
         int cfd = ::accept(fds[i].fd, nullptr, nullptr);
         if (cfd < 0) continue;
+        if (cfg.send_timeout_seconds > 0.0) {
+          // One send() may block at most this long; send_line layers a
+          // wall-clock budget on top for drip-fed partial progress.
+          timeval tv{};
+          tv.tv_sec = static_cast<time_t>(cfg.send_timeout_seconds);
+          tv.tv_usec = static_cast<suseconds_t>(
+              (cfg.send_timeout_seconds - static_cast<double>(tv.tv_sec)) *
+              1e6);
+          ::setsockopt(cfd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+        }
         stats.connections_total.fetch_add(1, std::memory_order_relaxed);
         stats.connections_active.fetch_add(1, std::memory_order_relaxed);
         c_connections->add();
-        auto conn = std::make_shared<Connection>(cfd);
+        const bool via_tcp = tcp_fd >= 0 && fds[i].fd == tcp_fd;
+        auto conn = std::make_shared<Connection>(cfd, via_tcp,
+                                                 cfg.send_timeout_seconds);
         std::lock_guard lk(conn_mu);
         reap_finished_readers_locked();
         readers.push_back(

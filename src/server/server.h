@@ -36,7 +36,9 @@ namespace ideobf::server {
 
 struct ServerConfig {
   /// Path of the Unix domain socket to listen on (required). An existing
-  /// socket file at this path is unlinked before bind.
+  /// *socket* at this path is unlinked before bind; any other file type is
+  /// a startup error (a typoed --socket must not delete a regular file).
+  /// The socket is created owner-only (mode 0600).
   std::string unix_socket_path;
   /// Also listen on TCP loopback (127.0.0.1) when true.
   bool tcp = false;
@@ -57,6 +59,18 @@ struct ServerConfig {
   /// How long a graceful drain may spend serving in-flight work before the
   /// watchdog cancels what remains. 0 disables the backstop.
   double drain_grace_seconds = 30.0;
+  /// Wall-clock budget for writing one response line to a client. A client
+  /// that submits work but never reads its replies stalls the kernel send
+  /// buffer; past this budget the send fails, the connection is declared
+  /// dead, and the response is dropped — a worker slot can never wedge on
+  /// a non-reading client, and a graceful drain stays bounded. 0 disables
+  /// the timeout (not recommended outside tests).
+  double send_timeout_seconds = 10.0;
+  /// Honor {"op":"shutdown"} arriving over the TCP listener. Off by
+  /// default: TCP loopback carries no peer authentication, so shutdown is
+  /// restricted to the filesystem-permissioned Unix socket unless the
+  /// operator opts in (see "Trust model" in docs/SERVER.md).
+  bool allow_tcp_shutdown = false;
 };
 
 /// Monotonic service counters, kept as plain atomics so they work with

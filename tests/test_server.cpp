@@ -5,7 +5,9 @@
 // everything accepted before the stop, and the canonical cancellation
 // detail string shared with the batch watchdog.
 
+#include <fcntl.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -154,14 +156,26 @@ TEST(ServerTest, MalformedRequestsAreRefusedNotGuessed) {
   server.start();
 
   ServeClient client = ServeClient::connect_unix(sock);
-  // Malformed JSON, a typoed key, a wrong type, and a missing source must
-  // each produce an "invalid" refusal — and the connection stays usable.
+  // Malformed JSON, a typoed key, a wrong type, a missing source, integers
+  // a cast could not represent, and number spellings outside the JSON
+  // grammar must each produce an "invalid" refusal — and the connection
+  // stays usable.
   for (const char* bad : {
            "{not json",
            R"({"op":"deobfuscate","source":"x","bogus_key":1})",
            R"({"op":"deobfuscate","source":42})",
            R"({"op":"deobfuscate"})",
            R"({"op":"deobfuscate","source":"x","options":{"limits":{"deadlin_seconds":1}}})",
+           // In-grammar numbers that no integer field can hold: the guards
+           // must refuse them instead of invoking UB in the cast.
+           R"({"op":"deobfuscate","source":"x","deadline_ms":1e300})",
+           R"({"op":"deobfuscate","source":"x","options":{"limits":{"max_layers":1e30}}})",
+           R"({"op":"deobfuscate","source":"x","options":{"limits":{"max_layers":-1e30}}})",
+           // Spellings RFC 8259 forbids: leading zero, bare fraction,
+           // trailing dot.
+           R"({"op":"deobfuscate","source":"x","deadline_ms":01})",
+           R"({"op":"deobfuscate","source":"x","deadline_ms":.5})",
+           R"({"op":"deobfuscate","source":"x","deadline_ms":1.})",
        }) {
     ServeReply reply;
     std::string error;
@@ -175,7 +189,7 @@ TEST(ServerTest, MalformedRequestsAreRefusedNotGuessed) {
   EXPECT_EQ(good.status, "ok");
 
   server.stop();
-  EXPECT_GE(server.stats().invalid_total, 5u);
+  EXPECT_GE(server.stats().invalid_total, 11u);
 }
 
 TEST(ServerTest, ConcurrentClientsAllServed) {
@@ -414,5 +428,90 @@ TEST(ServerTest, TcpLoopbackSpeaksTheSameProtocol) {
   const ServeReply reply = client.call(deobf_request(kTicked, "tcp"));
   EXPECT_EQ(reply.status, "ok");
   EXPECT_NE(reply.response.result.find("Write-Host"), std::string::npos);
+  server.stop();
+}
+
+TEST(ServerTest, SlowConsumerCannotWedgeWorkersOrDrain) {
+  const std::string sock = test_socket("slowreader");
+  ServerConfig cfg = base_config(sock);
+  cfg.threads = 1;
+  cfg.send_timeout_seconds = 0.3;
+  Server server(std::move(cfg));
+  server.start();
+
+  // A response far larger than any socket buffer, sent to a client that
+  // never reads: the worker's send must time out and drop the connection
+  // instead of blocking forever on the single worker slot.
+  RawConn stalled(sock);
+  std::string big_source = "$x = '";
+  big_source.append(4u << 20, 'a');
+  big_source += "'";
+  stalled.send_line(
+      ideobf::server::render_request_line(deobf_request(big_source, "big")));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // The worker frees itself in ~send_timeout; a live client is served well
+  // within the test budget.
+  ServeClient client = ServeClient::connect_unix(sock);
+  const auto start = std::chrono::steady_clock::now();
+  const ServeReply reply = client.call(deobf_request(kTicked, "live"));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(reply.status, "ok");
+  EXPECT_LT(elapsed, 10.0);
+
+  // And the drain cannot hang on the stalled writer either.
+  server.stop();
+}
+
+TEST(ServerTest, ShutdownOverTcpIsRefusedByDefault) {
+  const std::string sock = test_socket("tcpshutdown");
+  ServerConfig cfg = base_config(sock);
+  cfg.tcp = true;
+  Server server(std::move(cfg));
+  server.start();
+  ASSERT_NE(server.tcp_port(), 0);
+
+  // TCP loopback is submit-only: the shutdown op is refused and the daemon
+  // keeps serving.
+  ServeClient tcp = ServeClient::connect_tcp(server.tcp_port());
+  const std::string refused =
+      tcp.raw_call(ideobf::server::render_op_line("shutdown"));
+  EXPECT_NE(refused.find("invalid"), std::string::npos) << refused;
+  EXPECT_NE(refused.find("not permitted"), std::string::npos) << refused;
+  EXPECT_TRUE(tcp.ping());
+
+  // The unix socket stays the trusted control plane.
+  ServeClient control = ServeClient::connect_unix(sock);
+  control.shutdown_server();
+  server.wait();
+}
+
+TEST(ServerTest, RefusesToReplaceANonSocketPath) {
+  const std::string path = test_socket("clobber");
+  const int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC, 0644);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(::write(fd, "precious", 8), 8);
+  ::close(fd);
+
+  // A typoed --socket pointing at real data must fail loudly, not unlink.
+  Server server(base_config(path));
+  EXPECT_THROW(server.start(), std::runtime_error);
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISREG(st.st_mode));
+  EXPECT_EQ(st.st_size, 8);
+  ::unlink(path.c_str());
+}
+
+TEST(ServerTest, UnixSocketIsOwnerOnly) {
+  const std::string sock = test_socket("perms");
+  Server server(base_config(sock));
+  server.start();
+  struct stat st{};
+  ASSERT_EQ(::stat(sock.c_str(), &st), 0);
+  EXPECT_TRUE(S_ISSOCK(st.st_mode));
+  EXPECT_EQ(st.st_mode & 0777, 0600u);
   server.stop();
 }

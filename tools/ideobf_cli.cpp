@@ -457,6 +457,10 @@ int cmd_serve(int argc, char** argv) {
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (a == "--drain-grace-seconds" && i + 1 < argc) {
       cfg.drain_grace_seconds = std::atof(argv[++i]);
+    } else if (a == "--send-timeout-seconds" && i + 1 < argc) {
+      cfg.send_timeout_seconds = std::atof(argv[++i]);
+    } else if (a == "--allow-tcp-shutdown") {
+      cfg.allow_tcp_shutdown = true;
     } else if (a == "--self-check") {
       self_check = true;
     } else {
