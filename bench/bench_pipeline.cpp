@@ -10,10 +10,15 @@
 // this binary — and those invariants — from bit-rotting).
 //
 // A telemetry section runs one batch with the metrics subsystem enabled and
-// folds a per-phase breakdown plus cache/memo hit rates into the JSON; its
-// gates assert span balance (opens == closes), parse-cache counter
-// reconciliation, self-time partition of the pipeline total, and that
-// telemetry left off costs nothing measurable.
+// folds a per-phase breakdown plus cache/memo hit rates (global and
+// per-slot) and the piece-evaluation ladder split (static fold / compiled
+// bytecode / tree-walk fallback) into the JSON; its gates assert span
+// balance (opens == closes), parse-cache counter reconciliation, self-time
+// partition of the pipeline total, that telemetry left off costs nothing
+// measurable, that the ladder accounts for every piece execution (with the
+// fold stage live), that the engine-global memo hits >= 70% of lookups, and
+// that the warm serial pipeline stays at least 2x faster per script than
+// the pre-ladder tree-walk baseline.
 //
 // Flags: --smoke, --json, --threads N (sweep 1,2,4,... up to N),
 // --scripts M (corpus size).
@@ -178,7 +183,29 @@ struct TelemetrySummary {
   double parse_cache_hit_rate = 0.0;
   std::uint64_t memo_lookups = 0;
   std::uint64_t memo_hits = 0;
+  /// Global hit rate of the engine-wide memo (counters merged over every
+  /// shard, i.e. every pool slot).
   double recovery_memo_hit_rate = 0.0;
+  /// The same rate per pool slot (metric shard): slot s of the enabled
+  /// batch records into shard s, so these show each worker's share of the
+  /// shared memo's hits.
+  std::vector<double> per_slot_hit_rates;
+  // Piece-evaluation ladder counters (registry ideobf_recovery_*_total),
+  // captured over the *cold* prime run of the fresh engine — the only
+  // window where the ladder resolves work; on a warm engine every piece is
+  // a global-memo hit. Every piece execution is either a memo hit or
+  // resolved by exactly one ladder stage, so piece_execs == piece_memo_hits
+  // + folds + bytecode_execs + treewalk_fallbacks (gate 8).
+  std::uint64_t piece_execs = 0;
+  std::uint64_t piece_memo_hits = 0;
+  std::uint64_t folds = 0;
+  std::uint64_t bytecode_execs = 0;
+  std::uint64_t treewalk_fallbacks = 0;
+  double fold_rate = 0.0;  ///< folds / memo-miss executions
+  // Per-stage piece_eval latency split (ideobf_piece_eval_seconds{stage=}).
+  double fold_seconds = 0.0;
+  double vm_seconds = 0.0;
+  double fallback_seconds = 0.0;
   double accounted_seconds = 0.0;  ///< sum of per-phase self times
   double pipeline_seconds = 0.0;   ///< sum of Pipeline-span wall times
   double batch_wall_seconds = 0.0; ///< measured wall clock of the same batch
@@ -192,9 +219,42 @@ TelemetrySummary run_telemetry_section(
     std::vector<Row>& rows, unsigned threads) {
   TelemetrySummary ts;
 
-  // Warm everything once (cache, pool) so both off samples see the same
-  // steady state, then measure the disabled baseline.
+  // Cold window: the prime run of this fresh engine is where the
+  // piece-evaluation ladder actually resolves work — on a warm engine every
+  // piece is a global-memo hit and fold/vm/fallback never fire — so the
+  // ladder counters and per-stage latency split are captured here, before
+  // the registry is reset for the warm-batch window below.
+  tel::Telemetry::metrics().reset();
+  tel::Telemetry::enable();
   (void)run_serial(deobf, scripts, "prime", false);
+  tel::Telemetry::disable();
+  {
+    auto& reg = tel::registry();
+    ts.piece_execs = reg.counter("ideobf_recovery_piece_exec_total").value();
+    ts.piece_memo_hits =
+        reg.counter("ideobf_recovery_piece_memo_hit_total").value();
+    ts.folds = reg.counter("ideobf_recovery_fold_total").value();
+    ts.bytecode_execs =
+        reg.counter("ideobf_recovery_bytecode_exec_total").value();
+    ts.treewalk_fallbacks =
+        reg.counter("ideobf_recovery_treewalk_fallback_total").value();
+    const std::uint64_t ladder_misses =
+        ts.folds + ts.bytecode_execs + ts.treewalk_fallbacks;
+    ts.fold_rate = ladder_misses == 0
+                       ? 0.0
+                       : static_cast<double>(ts.folds) / ladder_misses;
+    ts.fold_seconds =
+        reg.histogram("ideobf_piece_eval_seconds", "stage=\"fold\"")
+            .sum_seconds();
+    ts.vm_seconds = reg.histogram("ideobf_piece_eval_seconds", "stage=\"vm\"")
+                        .sum_seconds();
+    ts.fallback_seconds =
+        reg.histogram("ideobf_piece_eval_seconds", "stage=\"fallback\"")
+            .sum_seconds();
+  }
+
+  // Warm everything once more (pool, steady state) and measure the
+  // disabled baseline.
   const double off_before = best_warm_serial_seconds(deobf, scripts, 3);
   Row off_row;
   off_row.config = "telemetry_off";
@@ -240,12 +300,24 @@ TelemetrySummary run_telemetry_section(
       ts.cache_lookups == 0
           ? 0.0
           : static_cast<double>(ts.cache_hits) / ts.cache_lookups;
-  ts.memo_lookups = reg.counter("ideobf_recovery_memo_lookup_total").value();
-  ts.memo_hits = reg.counter("ideobf_recovery_memo_hit_total").value();
+  auto& memo_lookup_counter = reg.counter("ideobf_recovery_memo_lookup_total");
+  auto& memo_hit_counter = reg.counter("ideobf_recovery_memo_hit_total");
+  ts.memo_lookups = memo_lookup_counter.value();
+  ts.memo_hits = memo_hit_counter.value();
   ts.recovery_memo_hit_rate =
       ts.memo_lookups == 0
           ? 0.0
           : static_cast<double>(ts.memo_hits) / ts.memo_lookups;
+  // Memo counters record into the caller's shard and batch slot s is bound
+  // to shard s, so shards 0..threads-1 are the per-slot views of the one
+  // engine-global memo.
+  for (unsigned s = 0; s < threads; ++s) {
+    const std::uint64_t lookups = memo_lookup_counter.shard_value(s);
+    ts.per_slot_hit_rates.push_back(
+        lookups == 0
+            ? 0.0
+            : static_cast<double>(memo_hit_counter.shard_value(s)) / lookups);
+  }
   ts.profile = report.profile;
   ts.accounted_seconds = report.profile.accounted_seconds();
   ts.pipeline_seconds = report.profile.total_seconds(tel::Phase::Pipeline);
@@ -377,6 +449,37 @@ std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
           static_cast<std::int64_t>(speedup_threads));
   w.field("parse_cache_hit_rate", ts.parse_cache_hit_rate);
   w.field("recovery_memo_hit_rate", ts.recovery_memo_hit_rate);
+  w.begin_array("recovery_memo_hit_rate_per_slot");
+  for (const double rate : ts.per_slot_hit_rates) w.value(rate);
+  w.end_array();
+  // Piece-evaluation ladder: how memo misses were resolved (static fold /
+  // compiled bytecode / tree-walk fallback) and what each stage cost.
+  w.field("piece_exec_count", static_cast<std::int64_t>(ts.piece_execs));
+  w.field("piece_memo_hit_count",
+          static_cast<std::int64_t>(ts.piece_memo_hits));
+  w.field("fold_count", static_cast<std::int64_t>(ts.folds));
+  w.field("fold_rate", ts.fold_rate);
+  w.field("bytecode_exec_count", static_cast<std::int64_t>(ts.bytecode_execs));
+  w.field("treewalk_fallback_count",
+          static_cast<std::int64_t>(ts.treewalk_fallbacks));
+  w.key("piece_eval");
+  w.begin_object();
+  w.key("fold");
+  w.begin_object();
+  w.field("count", static_cast<std::int64_t>(ts.folds));
+  w.field("self_seconds", ts.fold_seconds);
+  w.end_object();
+  w.key("vm");
+  w.begin_object();
+  w.field("count", static_cast<std::int64_t>(ts.bytecode_execs));
+  w.field("self_seconds", ts.vm_seconds);
+  w.end_object();
+  w.key("fallback");
+  w.begin_object();
+  w.field("count", static_cast<std::int64_t>(ts.treewalk_fallbacks));
+  w.field("self_seconds", ts.fallback_seconds);
+  w.end_object();
+  w.end_object();
   w.field("telemetry_overhead_ratio", ts.overhead_ratio);
   // Warm `ideobf serve` round trip vs a fresh CLI process per script: the
   // resident daemon's amortization of spawn + warm-up costs.
@@ -541,6 +644,23 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
       ts.recovery_memo_hit_rate,
       static_cast<unsigned long long>(ts.memo_hits),
       static_cast<unsigned long long>(ts.memo_lookups), ts.overhead_ratio);
+  std::printf("per-slot memo hit rate:");
+  for (std::size_t s = 0; s < ts.per_slot_hit_rates.size(); ++s) {
+    std::printf(" slot%zu=%.3f", s, ts.per_slot_hit_rates[s]);
+  }
+  std::printf("\n");
+  std::printf(
+      "piece-eval ladder (cold run): %llu execs = %llu memo hits + %llu "
+      "folds + %llu bytecode + %llu tree-walk (fold rate %.3f of misses)\n",
+      static_cast<unsigned long long>(ts.piece_execs),
+      static_cast<unsigned long long>(ts.piece_memo_hits),
+      static_cast<unsigned long long>(ts.folds),
+      static_cast<unsigned long long>(ts.bytecode_execs),
+      static_cast<unsigned long long>(ts.treewalk_fallbacks), ts.fold_rate);
+  std::printf(
+      "piece-eval split: fold %.3f ms, vm %.3f ms, fallback %.3f ms\n",
+      ts.fold_seconds * 1000.0, ts.vm_seconds * 1000.0,
+      ts.fallback_seconds * 1000.0);
   std::printf("phase breakdown (self-time over enabled batch, wall %.3fs):\n",
               ts.batch_wall_seconds);
   for (std::size_t i = 0; i < tel::kPhaseCount; ++i) {
@@ -709,6 +829,72 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
       rc = 1;
     }
   }
+  // Acceptance gate 8: piece-evaluation ladder accounting. Every piece
+  // execution of the cold telemetry window must be either a memo hit or
+  // resolved by exactly one ladder stage — a leak here means a stage
+  // double-counts or an execution path bypasses the ladder. The corpus
+  // always contains pure pieces (string concatenations of literals), so the
+  // fold stage must have fired. Count/identity-based, so it runs under
+  // sanitizers too.
+  if (ts.piece_execs == 0 ||
+      ts.piece_execs != ts.piece_memo_hits + ts.folds + ts.bytecode_execs +
+                            ts.treewalk_fallbacks) {
+    std::fprintf(stderr,
+                 "FAIL: piece-eval ladder does not account for every "
+                 "execution: execs=%llu hits=%llu folds=%llu bytecode=%llu "
+                 "tree-walk=%llu\n",
+                 static_cast<unsigned long long>(ts.piece_execs),
+                 static_cast<unsigned long long>(ts.piece_memo_hits),
+                 static_cast<unsigned long long>(ts.folds),
+                 static_cast<unsigned long long>(ts.bytecode_execs),
+                 static_cast<unsigned long long>(ts.treewalk_fallbacks));
+    rc = 1;
+  }
+  if (ts.folds == 0) {
+    std::fprintf(stderr,
+                 "FAIL: fold stage never fired over a corpus with pure "
+                 "constant pieces\n");
+    rc = 1;
+  }
+
+  // Acceptance gate 9: the engine-global memo must convert the corpus's
+  // repeated building-block pieces into hits — at least 70% of lookups over
+  // the (warm) telemetry batch. The seed's per-slot memos measured ~0.36
+  // here; falling back toward that means the memo silently stopped being
+  // shared. Count-based, so it runs under sanitizers too.
+  std::printf("global-memo gate: recovery_memo_hit_rate %.3f (>= 0.70 "
+              "required)\n",
+              ts.recovery_memo_hit_rate);
+  if (ts.recovery_memo_hit_rate < 0.70) {
+    std::fprintf(stderr,
+                 "FAIL: global recovery-memo hit rate %.3f < 0.70\n",
+                 ts.recovery_memo_hit_rate);
+    rc = 1;
+  }
+
+  // Acceptance gate 10 (non-sanitized): warm per-script latency. The
+  // fold/bytecode/global-memo ladder must keep the warm serial pipeline at
+  // least 2x faster than the 0.80 ms/script the pre-ladder tree-walk
+  // measured on this corpus. Wall-clock-based, so skipped under sanitizers.
+  if (IDEOBF_SANITIZED) {
+    std::printf("warm-latency gate: skipped under sanitizers\n");
+  } else {
+    double warm_ms = 0.0;
+    for (const Row& r : rows) {
+      if (r.config == "cache_warm") warm_ms = r.ms_per_script;
+    }
+    std::printf("warm-latency gate: cache_warm %.3f ms/script (<= 0.40 "
+                "required)\n",
+                warm_ms);
+    if (warm_ms <= 0.0 || warm_ms > 0.40) {
+      std::fprintf(stderr,
+                   "FAIL: warm serial pipeline %.3f ms/script > 0.40 "
+                   "(2x gate vs the 0.80 pre-ladder seed)\n",
+                   warm_ms);
+      rc = 1;
+    }
+  }
+
   return rc;
 }
 

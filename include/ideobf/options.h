@@ -112,10 +112,12 @@ struct Options {
     /// occurrences, layers, or fixed-point passes executes once. Output and
     /// report are identical either way.
     bool memo = true;
-    /// Batch/server: share one RecoveryMemo per pool slot across all the
-    /// scripts that slot serves (memo keys fingerprint the full evaluation
-    /// context, so sharing never changes output). Disabling reverts to one
-    /// memo per item.
+    /// Share one engine-global RecoveryMemo across every call, batch slot,
+    /// and server session of the engine. The memo is thread-safe and
+    /// content-addressed — keys fingerprint the full evaluation context,
+    /// limits included — so a piece recovered anywhere is a hit everywhere
+    /// and sharing never changes output. Disabling reverts to one memo per
+    /// run (per server session for session calls).
     bool share_memo = true;
     /// Additional lowercase command names to refuse executing.
     std::vector<std::string> extra_blocklist;

@@ -45,7 +45,18 @@ struct Engine::Impl {
 
 struct Engine::Session::Impl {
   std::shared_ptr<const Engine::Impl> engine;
+  /// Session-private memo, used only when the engine-global one is opted out
+  /// (recovery.memo without recovery.share_memo): pieces then stay memoized
+  /// within this session but are never shared across sessions.
   RecoveryMemo memo;
+
+  /// The memo this session's calls should pass to the engine: null defers to
+  /// the engine-global memo (or a per-run one when memoization is off).
+  RecoveryMemo* session_memo() {
+    const Options& options = engine->options;
+    return options.recovery.memo && !options.recovery.share_memo ? &memo
+                                                                 : nullptr;
+  }
 };
 
 namespace {
@@ -181,15 +192,14 @@ Engine::Session& Engine::Session::operator=(Session&&) noexcept = default;
 Response Engine::Session::handle(const Request& request) {
   const Engine::Impl& engine = *impl_->engine;
   return handle_one(engine.options, engine.deobf, request,
-                    engine.options.recovery.memo ? &impl_->memo : nullptr);
+                    impl_->session_memo());
 }
 
 Response Engine::Session::handle(const Request& request,
                                  const Options::Limits& limits) {
   const Engine::Impl& engine = *impl_->engine;
   return handle_one(engine.options, engine.deobf, request,
-                    engine.options.recovery.memo ? &impl_->memo : nullptr,
-                    &limits);
+                    impl_->session_memo(), &limits);
 }
 
 }  // namespace ideobf

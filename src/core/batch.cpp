@@ -116,13 +116,10 @@ std::vector<std::string> deobfuscate_batch_items(
     }
   }
 
-  // One piece-execution memo per pool slot, shared across every script that
-  // slot serves. A slot is staffed by exactly one executor for the job's
-  // duration, so slot-local state needs no locking. Sound even across items
-  // with different options: memo keys fingerprint the full evaluation
-  // context, limits included.
-  std::vector<RecoveryMemo> memos(batch_options.recovery.share_memo ? threads
-                                                                    : 0);
+  // Piece-execution memoization is the engine's: when share_memo is on the
+  // deobfuscator owns one thread-safe content-addressed memo shared by every
+  // slot (a piece recovered on slot 0 is a hit on slot 3), so the batch
+  // passes no memo of its own.
 
   // Per-slot phase-profile partials, merged into report.profile after the
   // pool drains (slot-exclusive during the job, so no locking).
@@ -159,7 +156,6 @@ std::vector<std::string> deobfuscate_batch_items(
       states[i].running.store(true, std::memory_order_release);
     }
     try {
-      RecoveryMemo* memo = memos.empty() ? nullptr : &memos[slot];
       // Effective envelope: the item's own, with the internal token swapped
       // in (the watchdog propagates external cancellation onto it). An
       // inactive envelope falls back to the deobfuscator's configured one —
@@ -180,7 +176,7 @@ std::vector<std::string> deobfuscate_batch_items(
         custom.emplace(std::move(o));
         engine = &*custom;
       }
-      results[i] = engine->deobfuscate(spec.source, rep, lim, memo);
+      results[i] = engine->deobfuscate(spec.source, rep, lim, nullptr);
       profiles[slot].merge(rep.profile);
       item.degradation_rung = rep.degradation_rung;
       // Passthrough (rung 3) means no pipeline output was served; count

@@ -8,9 +8,10 @@
 ///
 /// Execution model: items run on the process-lifetime work-stealing
 /// ps::WorkerPool (no per-call thread spawn; per-thread arena chunk
-/// freelists stay warm across batches). Each pool slot keeps a
-/// RecoveryMemo shared across every script that slot serves, so a decoder
-/// fragment repeated across a corpus is sandbox-executed once per slot.
+/// freelists stay warm across batches). Piece memoization is the engine's
+/// global content-addressed RecoveryMemo (Options::Recovery::share_memo),
+/// shared across every slot — a decoder fragment repeated across a corpus
+/// is sandbox-executed once per batch, not once per slot.
 ///
 /// Robustness model: each item runs under its own governor envelope (see
 /// Options::Limits) with a private cancellation token, and a watchdog thread
@@ -88,7 +89,7 @@ struct BatchItemSpec {
 
 /// The generalized batch core: runs every item on the process-lifetime
 /// worker pool under its own envelope, preserving order. `batch_options`
-/// supplies the batch-wide knobs (threads, recovery.share_memo) and the
+/// supplies the batch-wide knobs (threads) and the
 /// batch-wide cancellation token (limits.cancel — cancelling it drains the
 /// whole queue as classified passthrough). When `item_reports` is non-null
 /// it receives one full DeobfuscationReport per item (same order).

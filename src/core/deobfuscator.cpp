@@ -27,6 +27,9 @@ void merge(RecoveryStats& into, const RecoveryStats& from) {
   into.pieces_failed += from.pieces_failed;
   into.memo_hits += from.memo_hits;
   into.memo_misses += from.memo_misses;
+  into.pieces_folded += from.pieces_folded;
+  into.bytecode_execs += from.bytecode_execs;
+  into.treewalk_fallbacks += from.treewalk_fallbacks;
   into.worst_failure = ps::worse_failure(into.worst_failure, from.worst_failure);
 }
 
@@ -90,6 +93,12 @@ InvokeDeobfuscator::InvokeDeobfuscator(Options options)
     cache_ = options_.shared_parse_cache != nullptr
                  ? options_.shared_parse_cache
                  : std::make_shared<ps::ParseCache>();
+  }
+  if (options_.recovery.memo && options_.recovery.share_memo) {
+    // Engine-global piece memo: content-addressed and thread-safe, shared by
+    // every call, batch slot, and server session on this engine. Copies of
+    // the engine share it, like the parse cache.
+    memo_ = std::make_shared<RecoveryMemo>();
   }
 }
 
@@ -240,14 +249,16 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
     report.failure = ps::FailureKind::ParseError;
     report.failure_detail = "input does not parse";
   }
-  // One piece-execution memo per run — layers and fixed-point passes share
-  // it — unless the caller supplied a longer-lived one (a batch slot's memo
-  // spanning every script that slot serves; sound because memo keys
-  // fingerprint the full evaluation context, limits included).
+  // Memo selection: an explicit caller-supplied memo wins, then the
+  // engine-global memo (shared across every call, batch slot and server
+  // session — sound because memo keys fingerprint the full evaluation
+  // context, limits included), then a run-local memo shared only by the
+  // layers and fixed-point passes of this run.
   RecoveryMemo local_memo;
   RecoveryMemo* memo_ptr =
       !opts.recovery.memo ? nullptr
       : shared_memo != nullptr ? shared_memo
+      : memo_ != nullptr       ? memo_.get()
                                : &local_memo;
   std::string out = deobfuscate_layers(script, report, 0, trace, memo_ptr,
                                        opts, budget);
@@ -316,7 +327,7 @@ std::string InvokeDeobfuscator::deobfuscate_layers(
           const ps::ParseCache::Result parsed = cache->get(s);
           r = parsed.ast == nullptr
                   ? std::string(s)
-                  : recovery_pass(s, *parsed.ast, ro, &rs, trace, cache);
+                  : recovery_pass(s, parsed.ast, ro, &rs, trace, cache);
         } else {
           r = recovery_pass(s, ro, &rs, trace);
         }

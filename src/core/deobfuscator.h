@@ -30,7 +30,7 @@
 namespace ideobf {
 
 /// The deobfuscator. Const-callable from any number of threads and cheap to
-/// copy; copies share the (thread-safe) parse cache.
+/// copy; copies share the (thread-safe) parse cache and recovery memo.
 class InvokeDeobfuscator {
  public:
   explicit InvokeDeobfuscator(Options options = {});
@@ -51,12 +51,13 @@ class InvokeDeobfuscator {
   [[nodiscard]] std::string deobfuscate(std::string_view script,
                                         DeobfuscationReport& report,
                                         const Options::Limits& limits) const;
-  /// As above, additionally sharing an externally owned piece-execution
-  /// memo (how deobfuscate_batch and server sessions reuse recovered pieces
-  /// across the scripts served by one pool slot — memo keys fingerprint
-  /// everything relevant, so cross-script sharing is sound). The memo must
-  /// only ever be touched by one thread at a time; null falls back to a
-  /// per-run memo. Ignored when options().recovery.memo is false.
+  /// As above, additionally substituting an externally owned
+  /// piece-execution memo for the engine's own. Memo keys fingerprint
+  /// everything relevant to a piece's evaluation, so cross-script sharing
+  /// is sound, and RecoveryMemo is thread-safe, so one memo may serve
+  /// concurrent calls. Null uses the engine-global memo (when
+  /// options().recovery.share_memo) or a per-run one. Ignored when
+  /// options().recovery.memo is false.
   [[nodiscard]] std::string deobfuscate(std::string_view script,
                                         DeobfuscationReport& report,
                                         const Options::Limits& limits,
@@ -90,6 +91,9 @@ class InvokeDeobfuscator {
   [[nodiscard]] Options rung_options(int rung) const;
   Options options_;
   std::shared_ptr<ps::ParseCache> cache_;
+  /// Engine-global piece memo; null unless options_.recovery.memo &&
+  /// options_.recovery.share_memo. Shared by copies of the engine.
+  std::shared_ptr<RecoveryMemo> memo_;
 };
 
 }  // namespace ideobf

@@ -12,6 +12,7 @@
 #include "pslang/alias_table.h"
 #include "psast/parse_cache.h"
 #include "psast/parser.h"
+#include "psinterp/bytecode.h"
 #include "psinterp/interpreter.h"
 #include "telemetry/telemetry.h"
 
@@ -33,6 +34,62 @@ telemetry::Counter& memo_miss_counter() {
   static auto& c =
       telemetry::registry().counter("ideobf_recovery_memo_miss_total");
   return c;
+}
+
+// Per-stage counters of the piece-evaluation ladder. Every execute_piece
+// entry lands in exactly one of: a memo hit, a fold (pure chunk on the
+// shared fold interpreter), a bytecode exec (chunk on a seeded
+// interpreter), or a tree-walk fallback — the identity the bench smoke
+// gate asserts.
+telemetry::Counter& piece_exec_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_recovery_piece_exec_total");
+  return c;
+}
+telemetry::Counter& piece_memo_hit_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_recovery_piece_memo_hit_total");
+  return c;
+}
+telemetry::Counter& fold_counter() {
+  static auto& c = telemetry::registry().counter("ideobf_recovery_fold_total");
+  return c;
+}
+telemetry::Counter& bytecode_exec_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_recovery_bytecode_exec_total");
+  return c;
+}
+telemetry::Counter& treewalk_fallback_counter() {
+  static auto& c = telemetry::registry().counter(
+      "ideobf_recovery_treewalk_fallback_total");
+  return c;
+}
+telemetry::Counter& compile_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_recovery_compile_total");
+  return c;
+}
+telemetry::Counter& chunk_hit_counter() {
+  static auto& c =
+      telemetry::registry().counter("ideobf_recovery_chunk_hit_total");
+  return c;
+}
+
+telemetry::Histogram& fold_histogram() {
+  static auto& h = telemetry::registry().histogram("ideobf_piece_eval_seconds",
+                                                   "stage=\"fold\"");
+  return h;
+}
+telemetry::Histogram& vm_histogram() {
+  static auto& h = telemetry::registry().histogram("ideobf_piece_eval_seconds",
+                                                   "stage=\"vm\"");
+  return h;
+}
+telemetry::Histogram& fallback_histogram() {
+  static auto& h = telemetry::registry().histogram("ideobf_piece_eval_seconds",
+                                                   "stage=\"fallback\"");
+  return h;
 }
 
 /// Per-NodeKind recovery attempt counter, interned lazily per kind (the
@@ -80,24 +137,47 @@ std::string value_to_literal(const Value& value) {
   return "";  // Boolean / Object / Array / null: keep the original piece
 }
 
-const std::string* RecoveryMemo::lookup(std::size_t context,
-                                        std::string_view piece) const {
-  ++lookups_;
+std::optional<std::string> RecoveryMemo::lookup(std::size_t context,
+                                                std::string_view piece) const {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  // Counters record into the *calling* thread's metric shard, so batch
+  // workers (bound to their pool slot's shard) keep per-slot hit rates
+  // observable even though the memo itself is global.
   memo_lookup_counter().add();
-  const auto it = map_.find(Key{context, std::string(piece)});
-  if (it == map_.end()) {
-    memo_miss_counter().add();
-    return nullptr;
+  Key key{context, std::string(piece)};
+  const std::size_t h = KeyHash{}(key);
+  Shard& shard = shard_for(h);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      std::string literal = it->second;
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      memo_hit_counter().add();
+      return literal;
+    }
   }
-  ++hits_;
-  memo_hit_counter().add();
-  return &it->second;
+  memo_miss_counter().add();
+  return std::nullopt;
 }
 
 void RecoveryMemo::store(std::size_t context, std::string_view piece,
                          std::string literal) {
-  if (map_.size() >= kMaxEntries) return;
-  map_.emplace(Key{context, std::string(piece)}, std::move(literal));
+  Key key{context, std::string(piece)};
+  const std::size_t h = KeyHash{}(key);
+  Shard& shard = shard_for(h);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.map.size() >= kMaxEntriesPerShard) return;
+  shard.map.emplace(std::move(key), std::move(literal));
+}
+
+std::size_t RecoveryMemo::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 namespace {
@@ -142,9 +222,11 @@ class Reconstructor {
  public:
   Reconstructor(std::string_view src, const RecoveryOptions& options,
                 RecoveryStats& stats, TraceSink* trace,
-                ps::ParseCache* cache = nullptr)
+                ps::ParseCache* cache = nullptr,
+                const ps::ParsedScript* parsed = nullptr)
       : src_(src), options_(options), stats_(stats), trace_(trace),
-        cache_(cache) {
+        cache_(cache),
+        arena_(parsed != nullptr ? parsed->arena().get() : nullptr) {
     scope_path_.push_back(0);
   }
 
@@ -161,11 +243,25 @@ class Reconstructor {
   RecoveryStats& stats_;
   TraceSink* trace_;
   ps::ParseCache* cache_;  ///< shared parse cache for piece interpreters
+  ps::Arena* arena_;  ///< arena of the parse being walked (chunk cache home)
   std::map<std::string, VarInfo> table_;  ///< S_v and S_c of Algorithm 1
   std::vector<std::string> function_defs_;  ///< trace_functions extension
   std::vector<int> scope_path_;
   int scope_counter_ = 0;
   int conditional_depth_ = 0;
+  /// Shared interpreter for the fold stage: pure chunks cannot observe
+  /// interpreter state, so one table-free strict interpreter (built lazily,
+  /// steps reset per piece) serves every fold in the pass — no per-piece
+  /// construction, no table seeding, no function-definition replay.
+  std::unique_ptr<ps::Interpreter> fold_interp_;
+  /// Cached limits-only memo context for pure pieces (lazy; 0 = unset).
+  mutable std::size_t pure_ctx_ = 0;
+
+  /// Context salt for pure-chunk memo entries: their results depend only on
+  /// the piece text and the execution limits (which gate how a piece may
+  /// *fail*), never on the traced-variable table — so all scripts, slots,
+  /// and sessions share one entry per piece under this fixed context.
+  static constexpr std::size_t kPureContext = 0x517cc1b727220a95ull;
 
   /// Context salt for environment-variable probes: their evaluation uses a
   /// fresh table-free interpreter, so their memo entries must not collide
@@ -249,6 +345,106 @@ class Reconstructor {
       }
     }
     return interp;
+  }
+
+  /// The fold-stage interpreter: same limits/blocklist/budget as
+  /// make_interpreter() but with no table seeding and no function replay —
+  /// pure chunks can't read either. Reused across every fold of the pass.
+  ps::Interpreter& fold_interpreter() {
+    if (fold_interp_ == nullptr) {
+      ps::InterpreterOptions opts;
+      opts.max_steps = options_.max_steps_per_piece;
+      opts.strict_variables = true;
+      opts.refuse_blocklisted = true;
+      opts.command_filter = make_recovery_filter(options_.extra_blocklist);
+      opts.parse_cache = cache_;
+      opts.budget = options_.budget;
+      fold_interp_ = std::make_unique<ps::Interpreter>(opts);
+    }
+    return *fold_interp_;
+  }
+
+  /// Memo context for pure chunks: the execution limits only (they decide
+  /// how a piece may fail, and failures are memoized), under a fixed salt
+  /// so entries never collide with table-fingerprinted contexts. Cached —
+  /// unlike context_fingerprint() this never rescans the table.
+  std::size_t pure_context_fingerprint() const {
+    if (pure_ctx_ != 0) return pure_ctx_;
+    std::size_t h = 14695981039346656037ull ^ kPureContext;
+    const auto mix = [&h](std::string_view s) {
+      for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+      }
+      h ^= 0xffu;
+      h *= 1099511628211ull;
+    };
+    mix(std::to_string(options_.max_steps_per_piece));
+    mix(std::to_string(options_.max_piece_size));
+    for (const std::string& blocked : options_.extra_blocklist) mix(blocked);
+    pure_ctx_ = h | 1;  // nonzero: 0 is the "unset" sentinel
+    return pure_ctx_;
+  }
+
+  /// The single statement of a parsed piece, or null when the piece is not
+  /// exactly one statement (then evaluate_script semantics — multiple
+  /// statements, param blocks — are beyond a single compiled chunk).
+  static const Ast* single_statement(const ps::ScriptBlockAst& root) {
+    if (root.param_block != nullptr) return nullptr;
+    const Ast* found = nullptr;
+    for (const auto& block : root.named_blocks) {
+      for (const auto& st : block->statements) {
+        if (found != nullptr) return nullptr;
+        found = st.get();
+      }
+    }
+    return found;
+  }
+
+  /// Finds (or compiles and caches) the bytecode chunk for a piece. The
+  /// chunk is annotated onto the arena that owns the node it was compiled
+  /// from — the walked script's arena for verbatim pieces, the parse
+  /// cache's arena for rewritten text — so it is compiled once per node and
+  /// torn down with the tree. Returns null when the piece is uncompilable
+  /// (the negative result is cached too, as an empty chunk).
+  std::shared_ptr<const ps::bytecode::Chunk> find_or_compile_chunk(
+      const std::string& text, const Ast* node) {
+    const Ast* key = nullptr;
+    ps::Arena* arena = nullptr;
+    ps::ParsedScript pinned;  // keeps a cache-owned arena alive while used
+    if (node != nullptr && matches_source(*node, text)) {
+      key = node;
+      arena = arena_;
+    } else if (cache_ != nullptr) {
+      ps::ParseCache::Result parsed = cache_->get(text);
+      if (parsed.ast == nullptr) return nullptr;
+      key = single_statement(*parsed.ast);
+      if (key == nullptr) return nullptr;
+      arena = parsed.ast.arena().get();
+      pinned = std::move(parsed.ast);
+    } else {
+      return nullptr;
+    }
+    if (arena != nullptr) {
+      if (std::shared_ptr<void> found = arena->find_annotation(key)) {
+        chunk_hit_counter().add();
+        auto chunk = std::static_pointer_cast<ps::bytecode::Chunk>(found);
+        return chunk->valid() ? chunk : nullptr;
+      }
+    }
+    compile_counter().add();
+    std::shared_ptr<ps::bytecode::Chunk> chunk =
+        ps::bytecode::compile_piece(*key);
+    if (arena == nullptr) return chunk;
+    // An empty (invalid) chunk caches "uncompilable" so hot fallback pieces
+    // are classified once. store_annotation keeps the first writer's chunk
+    // on a race; use whatever it kept.
+    auto kept = std::static_pointer_cast<ps::bytecode::Chunk>(
+        arena->store_annotation(
+            key, chunk != nullptr
+                     ? std::shared_ptr<void>(std::move(chunk))
+                     : std::make_shared<ps::bytecode::Chunk>()));
+    return kept->valid() ? kept : nullptr;
   }
 
   /// Splices the reconstructed children into the node's original text.
@@ -390,11 +586,11 @@ class Reconstructor {
       telemetry::PhaseSpan probe_span(telemetry::Phase::PieceExecution,
                                       "env-probe");
       std::string literal;
-      const std::string* hit =
+      const std::optional<std::string> hit =
           options_.memo != nullptr
               ? options_.memo->lookup(kEnvProbeContext, probe_text)
-              : nullptr;
-      if (hit != nullptr) {
+              : std::nullopt;
+      if (hit.has_value()) {
         stats_.memo_hits++;
         literal = *hit;
       } else {
@@ -473,11 +669,20 @@ class Reconstructor {
     return text;
   }
 
-  /// Executes a piece in the traced-variable interpreter, going through the
-  /// memo when one is attached: the same fragment under the same context is
-  /// sandbox-executed once across all layers and fixed-point passes. The
-  /// returned literal is "" when the piece stays as-is (failed execution,
-  /// no literal form, or no progress).
+  /// Executes a piece through the three-stage evaluation ladder:
+  ///
+  ///   1. resolve (or compile once, cached on the owning arena) the piece's
+  ///      bytecode chunk;
+  ///   2. consult the memo — pure chunks under the cached limits-only
+  ///      context (so one entry serves every script, slot, and session),
+  ///      everything else under the traced-table fingerprint;
+  ///   3. on a miss, evaluate: *fold* pure chunks on the shared table-free
+  ///      interpreter, run impure chunks on a freshly seeded interpreter
+  ///      (*vm*), and tree-walk anything the compiler rejected
+  ///      (*fallback*) — semantics preserved by construction.
+  ///
+  /// The returned literal is "" when the piece stays as-is (failed
+  /// execution, no literal form, or no progress).
   std::string execute_piece(const std::string& text, const Ast* node) {
     telemetry::PhaseSpan piece_span(
         telemetry::Phase::PieceExecution,
@@ -485,31 +690,59 @@ class Reconstructor {
     if (node != nullptr && telemetry::enabled()) {
       piece_kind_counter(node->kind()).add();
     }
+    piece_exec_counter().add();
     if (options_.fault != nullptr) {
       options_.fault->inject(FaultSite::PieceExecution);
     }
+    const std::shared_ptr<const ps::bytecode::Chunk> chunk =
+        find_or_compile_chunk(text, node);
+    const bool pure = chunk != nullptr && chunk->pure;
     std::size_t ctx = 0;
     if (options_.memo != nullptr) {
       if (options_.fault != nullptr) {
         options_.fault->inject(FaultSite::MemoLookup);
       }
-      ctx = context_fingerprint();
-      if (const std::string* hit = options_.memo->lookup(ctx, text)) {
+      ctx = pure ? pure_context_fingerprint() : context_fingerprint();
+      if (const std::optional<std::string> hit =
+              options_.memo->lookup(ctx, text)) {
         stats_.memo_hits++;
+        piece_memo_hit_counter().add();
         return *hit;
       }
       stats_.memo_misses++;
     }
     std::string literal;
+    const bool timed = telemetry::enabled();
+    const std::uint64_t t0 = timed ? telemetry::now_ns() : 0;
     try {
-      auto interp = make_interpreter();
-      // Parse-once: a piece whose text is still the node's verbatim source
-      // evaluates from the already-parsed subtree; only pieces rewritten by
-      // child substitutions need a (cached) piece parse.
-      const Value result =
-          cache_ != nullptr && node != nullptr && matches_source(*node, text)
-              ? interp->evaluate(*node, src_)
-              : interp->evaluate_script(text);
+      Value result;
+      if (pure) {
+        stats_.pieces_folded++;
+        fold_counter().add();
+        ps::Interpreter& interp = fold_interpreter();
+        // A fresh step allowance per piece, as a fresh interpreter has.
+        interp.reset_steps();
+        result = ps::bytecode::run_chunk(*chunk, interp);
+        if (timed) fold_histogram().observe_ns(telemetry::now_ns() - t0);
+      } else if (chunk != nullptr) {
+        stats_.bytecode_execs++;
+        bytecode_exec_counter().add();
+        auto interp = make_interpreter();
+        result = ps::bytecode::run_chunk(*chunk, *interp);
+        if (timed) vm_histogram().observe_ns(telemetry::now_ns() - t0);
+      } else {
+        stats_.treewalk_fallbacks++;
+        treewalk_fallback_counter().add();
+        auto interp = make_interpreter();
+        // Parse-once: a piece whose text is still the node's verbatim
+        // source evaluates from the already-parsed subtree; only pieces
+        // rewritten by child substitutions need a (cached) piece parse.
+        result =
+            cache_ != nullptr && node != nullptr && matches_source(*node, text)
+                ? interp->evaluate(*node, src_)
+                : interp->evaluate_script(text);
+        if (timed) fallback_histogram().observe_ns(telemetry::now_ns() - t0);
+      }
       literal = value_to_literal(result);
     } catch (const ps::BudgetError&) {
       throw;  // deadline / allocation / cancellation abort the whole pass
@@ -557,13 +790,14 @@ class Reconstructor {
 }  // namespace
 
 std::string recovery_pass(std::string_view script,
-                          const ps::ScriptBlockAst& root,
+                          const ps::ParsedScript& parsed,
                           const RecoveryOptions& options, RecoveryStats* stats,
                           TraceSink* trace, ps::ParseCache* cache) {
+  if (parsed == nullptr) return std::string(script);
   telemetry::PhaseSpan span(telemetry::Phase::Recovery);
   RecoveryStats local;
-  Reconstructor rec(script, options, local, trace, cache);
-  std::string out = rec.run(root);
+  Reconstructor rec(script, options, local, trace, cache, &parsed);
+  std::string out = rec.run(*parsed);
   if (stats != nullptr) *stats = local;
   // An unchanged result is the (already parsed) input; anything else must
   // still reparse before it may replace the input.
@@ -576,9 +810,9 @@ std::string recovery_pass(std::string_view script,
 
 std::string recovery_pass(std::string_view script, const RecoveryOptions& options,
                           RecoveryStats* stats, TraceSink* trace) {
-  ps::ParsedScript root = ps::try_parse(script);
+  const ps::ParsedScript root = ps::try_parse(script);
   if (root == nullptr) return std::string(script);
-  return recovery_pass(script, *root, options, stats, trace, nullptr);
+  return recovery_pass(script, root, options, stats, trace, nullptr);
 }
 
 }  // namespace ideobf

@@ -7,7 +7,11 @@
 /// execution blocklist, and reconstructs the script by post-order in-place
 /// replacement.
 
+#include <array>
+#include <atomic>
 #include <cstddef>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -20,6 +24,7 @@
 namespace ps {
 class Budget;
 class ParseCache;
+class ParsedScript;
 class ScriptBlockAst;
 }  // namespace ps
 
@@ -32,27 +37,40 @@ class FaultInjector;
 
 /// Memoizes sandbox executions of recoverable pieces: the same obfuscated
 /// fragment under the same traced-variable context is executed once, not
-/// once per occurrence per layer per fixed-point pass. Keyed by the piece
-/// text plus a fingerprint of everything that can influence its evaluation
-/// (visible symbol-table entries, loaded function definitions, and the
-/// execution limits/blocklist). An empty memoized literal records "known
+/// once per occurrence per layer per fixed-point pass — nor once per worker
+/// slot or server session. Keyed by the piece text plus a fingerprint of
+/// everything that can influence its evaluation (visible symbol-table
+/// entries, loaded function definitions, and the execution
+/// limits/blocklist). An empty memoized literal records "known
 /// unrecoverable", so failed executions are not retried either; because the
 /// limits are part of the fingerprint, a tight-limit failure never masks a
-/// full-limit success. Not thread-safe: one memo serves one deobfuscation
-/// run or one batch slot, both single-threaded for the memo's whole use.
+/// full-limit success.
+///
+/// Thread-safe and content-addressed: the table is sharded by key hash with
+/// one mutex per shard, so one memo is shared engine-wide — across every
+/// WorkerPool slot of a batch and every Session of the serve daemon.
+/// Obfuscation kits repeat the same building-block pieces across scripts,
+/// which is exactly what a global memo converts from per-thread re-executions
+/// into hits. Hit/lookup counters are relaxed atomics; `size()` takes the
+/// shard locks briefly and is a racy-but-consistent snapshot.
 class RecoveryMemo {
  public:
-  /// The memoized literal for this piece under this context, or null when
-  /// the piece has not been executed yet. "" means execution failed or the
-  /// result had no literal form.
-  [[nodiscard]] const std::string* lookup(std::size_t context,
-                                          std::string_view piece) const;
+  /// The memoized literal for this piece under this context, or nullopt
+  /// when the piece has not been executed yet. "" means execution failed or
+  /// the result had no literal form. Returns by value: a pointer into the
+  /// table would race with concurrent inserts once the lock is dropped.
+  [[nodiscard]] std::optional<std::string> lookup(std::size_t context,
+                                                  std::string_view piece) const;
   void store(std::size_t context, std::string_view piece, std::string literal);
 
-  [[nodiscard]] std::size_t hits() const { return hits_; }
-  [[nodiscard]] std::size_t lookups() const { return lookups_; }
-  [[nodiscard]] std::size_t misses() const { return lookups_ - hits_; }
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t misses() const { return lookups() - hits(); }
+  [[nodiscard]] std::size_t size() const;
 
  private:
   struct Key {
@@ -65,12 +83,22 @@ class RecoveryMemo {
       return k.context ^ std::hash<std::string>{}(k.piece);
     }
   };
-  /// Growth bound for pathological scripts with unbounded distinct pieces.
-  static constexpr std::size_t kMaxEntries = 8192;
+  static constexpr std::size_t kShardCount = 16;
+  /// Growth bound for pathological scripts with unbounded distinct pieces
+  /// (8192 entries total, as before sharding).
+  static constexpr std::size_t kMaxEntriesPerShard = 512;
 
-  std::unordered_map<Key, std::string, KeyHash> map_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t lookups_ = 0;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::string, KeyHash> map;
+  };
+  Shard& shard_for(std::size_t key_hash) const {
+    return shards_[key_hash % kShardCount];
+  }
+
+  mutable std::array<Shard, kShardCount> shards_;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> lookups_{0};
 };
 
 struct RecoveryOptions {
@@ -101,12 +129,14 @@ std::string recovery_pass(std::string_view script, const RecoveryOptions& option
                           RecoveryStats* stats = nullptr,
                           TraceSink* trace = nullptr);
 
-/// Parse-once overload: runs the pass over an already-parsed AST of
-/// `script` (extents must index into `script`). The output syntax check
-/// goes through `cache` when provided, so the caller's subsequent parse of
-/// the result is a cache hit.
+/// Parse-once overload: runs the pass over an already-parsed handle of
+/// `script` (extents must index into `script`). The parse's arena doubles
+/// as the piece-bytecode cache: chunks compiled for recoverable nodes are
+/// annotated onto it and live exactly as long as the tree. The output
+/// syntax check goes through `cache` when provided, so the caller's
+/// subsequent parse of the result is a cache hit.
 std::string recovery_pass(std::string_view script,
-                          const ps::ScriptBlockAst& root,
+                          const ps::ParsedScript& parsed,
                           const RecoveryOptions& options,
                           RecoveryStats* stats = nullptr,
                           TraceSink* trace = nullptr,

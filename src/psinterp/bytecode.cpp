@@ -1,0 +1,241 @@
+#include "psinterp/bytecode.h"
+
+#include <string_view>
+
+#include "psast/ast.h"
+
+namespace ps::bytecode {
+
+namespace {
+
+/// Compile-time bail-out: thrown for any construct outside the covered
+/// subset and caught once in compile_piece. Never escapes this file.
+struct Unsupported {};
+
+/// Automatic variables whose values are hard constants in eval_variable —
+/// they short-circuit before any table/scope lookup, so reading them cannot
+/// observe interpreter state and does not break chunk purity.
+bool is_constant_variable(const VariableExpressionAst& var) {
+  if (!var.scope_qualifier().empty()) return false;
+  const std::string bare = var.bare_name();
+  return bare == "true" || bare == "false" || bare == "null" ||
+         bare == "pshome" || bare == "psscriptroot" || bare == "shellid" ||
+         bare == "home" || bare == "pwd";
+}
+
+bool is_value_unary_op(const std::string& op) {
+  return op == "-" || op == "+" || op == "!" || op == "-not" ||
+         op == "-bnot" || op == "-join" || op == "-split" || op == ",";
+}
+
+class Compiler {
+ public:
+  std::shared_ptr<Chunk> compile(const Ast& root) {
+    chunk_ = std::make_shared<Chunk>();
+    try {
+      // Interpreter::evaluate() enters through exec_statement, which
+      // charges one step before dispatching.
+      emit(Op::Tick);
+      if (root.kind() == NodeKind::Pipeline) {
+        // exec_statement's Pipeline case goes straight to eval_pipeline.
+        emit_lone_pipeline(static_cast<const PipelineAst&>(root));
+      } else {
+        // Every other supported root is exec_statement's default case:
+        // a bare expression pushed through eval_expr.
+        emit_expr(root);
+      }
+    } catch (const Unsupported&) {
+      return nullptr;
+    }
+    chunk_->pure = pure_;
+    chunk_->max_stack = max_stack_;
+    return std::move(chunk_);
+  }
+
+ private:
+  std::shared_ptr<Chunk> chunk_;
+  bool pure_ = true;
+  std::uint32_t depth_ = 0;
+  std::uint32_t max_stack_ = 0;
+
+  std::size_t emit(Op op, std::uint32_t a = 0) {
+    chunk_->code.push_back(Insn{op, a});
+    return chunk_->code.size() - 1;
+  }
+
+  void note_push(std::uint32_t n = 1) {
+    depth_ += n;
+    if (depth_ > max_stack_) max_stack_ = depth_;
+  }
+  void note_pop(std::uint32_t n = 1) { depth_ -= n; }
+
+  std::uint32_t name_index(std::string_view text) {
+    auto& names = chunk_->names;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == text) return static_cast<std::uint32_t>(i);
+    }
+    names.emplace_back(text);
+    return static_cast<std::uint32_t>(names.size() - 1);
+  }
+
+  void push_const(Value v) {
+    chunk_->constants.push_back(std::move(v));
+    emit(Op::PushConst,
+         static_cast<std::uint32_t>(chunk_->constants.size() - 1));
+    note_push();
+  }
+
+  /// A pipeline evaluated for its lone value: exactly one expression
+  /// element (commands and multi-stage pipelines are not covered). Mirrors
+  /// eval_pipeline's per-element charge plus the lone-expression stream
+  /// shaping that Value::from_stream then collapses.
+  void emit_lone_pipeline(const PipelineAst& pipe) {
+    if (pipe.elements.size() != 1) throw Unsupported{};
+    const Ast& el = *pipe.elements[0];
+    if (el.kind() != NodeKind::CommandExpression) throw Unsupported{};
+    const auto& ce = static_cast<const CommandExpressionAst&>(el);
+    emit(Op::Tick);  // eval_pipeline charges once per element
+    emit_expr(*ce.expression);
+    emit(Op::CollectLone);
+  }
+
+  /// One statement evaluated for its collected stream (the body of a paren
+  /// or subexpression): exec_statement's charge, then the statement, which
+  /// must be a lone-expression pipeline — any other statement kind
+  /// (assignment, control flow) is out of scope.
+  void emit_lone_statement(const Ast& stmt) {
+    if (stmt.kind() != NodeKind::Pipeline) throw Unsupported{};
+    emit(Op::Tick);  // exec_statement entry charge
+    emit_lone_pipeline(static_cast<const PipelineAst&>(stmt));
+  }
+
+  /// Emits `node` exactly as eval_expr evaluates it: one step charge on
+  /// entry, children left to right, operator last.
+  void emit_expr(const Ast& node) {
+    emit(Op::Tick);
+    switch (node.kind()) {
+      case NodeKind::ConstantExpression:
+        push_const(static_cast<const ConstantExpressionAst&>(node).value);
+        return;
+      case NodeKind::StringConstantExpression:
+        push_const(Value(
+            static_cast<const StringConstantExpressionAst&>(node).value));
+        return;
+      case NodeKind::ExpandableStringExpression: {
+        const auto& es = static_cast<const ExpandableStringExpressionAst&>(node);
+        // Interpolation that mentions `$` may read variables or run a
+        // `$(...)` subexpression — context-dependent, so not pure.
+        if (es.raw.find('$') != std::string::npos) pure_ = false;
+        emit(Op::Interp, name_index(es.raw));
+        note_push();
+        return;
+      }
+      case NodeKind::VariableExpression: {
+        const auto& var = static_cast<const VariableExpressionAst&>(node);
+        if (!is_constant_variable(var)) pure_ = false;
+        emit(Op::LoadVar, name_index(var.name));
+        note_push();
+        return;
+      }
+      case NodeKind::TypeExpression:
+        push_const(Value(
+            "[" + static_cast<const TypeExpressionAst&>(node).type_name + "]"));
+        return;
+      case NodeKind::BinaryExpression: {
+        const auto& bin = static_cast<const BinaryExpressionAst&>(node);
+        // -and / -or short-circuit in eval_binary without touching
+        // eval_binary_values (and without its internal step charge).
+        if (bin.op == "-and" || bin.op == "-or") {
+          emit_expr(*bin.left);
+          const std::size_t jump =
+              emit(bin.op == "-and" ? Op::AndJump : Op::OrJump);
+          note_pop();  // the jump consumes the left value...
+          emit_expr(*bin.right);
+          emit(Op::ToBool);
+          chunk_->code[jump].a =
+              static_cast<std::uint32_t>(chunk_->code.size());
+          return;  // ...and either path leaves exactly one result
+        }
+        emit_expr(*bin.left);
+        emit_expr(*bin.right);
+        emit(Op::BinOp, name_index(bin.op));
+        note_pop();
+        return;
+      }
+      case NodeKind::UnaryExpression: {
+        const auto& un = static_cast<const UnaryExpressionAst&>(node);
+        // ++/-- mutate a variable (and have statement-position void
+        // semantics) — left to the tree walker.
+        if (!is_value_unary_op(un.op)) throw Unsupported{};
+        emit_expr(*un.child);
+        emit(Op::UnOp, name_index(un.op));
+        return;
+      }
+      case NodeKind::ConvertExpression: {
+        const auto& conv = static_cast<const ConvertExpressionAst&>(node);
+        emit_expr(*conv.child);
+        emit(Op::Cast, name_index(conv.type_name));
+        return;
+      }
+      case NodeKind::IndexExpression: {
+        const auto& idx = static_cast<const IndexExpressionAst&>(node);
+        emit_expr(*idx.target);
+        emit_expr(*idx.index);
+        emit(Op::Index);
+        note_pop();
+        return;
+      }
+      case NodeKind::ArrayLiteral: {
+        const auto& arr = static_cast<const ArrayLiteralAst&>(node);
+        for (const auto& el : arr.elements) emit_expr(*el);
+        emit(Op::MakeArray, static_cast<std::uint32_t>(arr.elements.size()));
+        note_pop(static_cast<std::uint32_t>(arr.elements.size()));
+        note_push();
+        return;
+      }
+      case NodeKind::ParenExpression: {
+        const auto& pe = static_cast<const ParenExpressionAst&>(node);
+        emit_lone_statement(*pe.pipeline);
+        return;
+      }
+      case NodeKind::SubExpression: {
+        const auto& se = static_cast<const SubExpressionAst&>(node);
+        if (se.statements.empty()) {
+          push_const(Value());  // $() collects nothing -> null
+          return;
+        }
+        if (se.statements.size() != 1) throw Unsupported{};
+        emit_lone_statement(*se.statements[0]);
+        return;
+      }
+      case NodeKind::ArrayExpression: {
+        const auto& ae = static_cast<const ArrayExpressionAst&>(node);
+        if (ae.statements.empty()) {
+          push_const(Value(Array{}));  // @() is an empty array
+          return;
+        }
+        if (ae.statements.size() != 1) throw Unsupported{};
+        emit_lone_statement(*ae.statements[0]);
+        emit(Op::ToArray);
+        return;
+      }
+      case NodeKind::Pipeline:
+        // eval_expr's Pipeline case calls eval_pipeline directly (no
+        // exec_statement charge) and from_streams the result.
+        emit_lone_pipeline(static_cast<const PipelineAst&>(node));
+        return;
+      default:
+        // Commands, member access, invocation, hashtables, script blocks,
+        // assignments: tree-walk territory.
+        throw Unsupported{};
+    }
+  }
+};
+
+}  // namespace
+
+std::shared_ptr<Chunk> compile_piece(const Ast& root) {
+  return Compiler{}.compile(root);
+}
+
+}  // namespace ps::bytecode

@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file bytecode.h
+/// Per-piece bytecode for the recovery hot path. A recoverable piece (the
+/// paper's six node kinds plus expandable strings) is compiled once into a
+/// compact stack-machine `Chunk`, cached in the parse arena alongside the
+/// AST it was compiled from, and executed by `run_chunk` against a live
+/// `Interpreter`.
+///
+/// Semantics preservation is by construction, not by reimplementation: the
+/// VM dispatches every operator through the interpreter's own value-level
+/// cores (`binary_values`, `unary_value`, `convert_value`, `index_values`,
+/// `variable_value`, `expand_value`), so results, EvalError messages,
+/// BlockedCommandError, and LimitError kinds are bit-identical to the tree
+/// walker's. Step charging is replicated exactly: the compiler emits one
+/// `Tick` per `charge_step()` call site the tree walker would hit
+/// (statement entry, pipeline element, expression node), so step-limit and
+/// budget expiry fire after the same number of charges on either path.
+///
+/// Constructs the compiler does not cover — commands, member access,
+/// assignments, hashtables, script blocks, `++`/`--`, multi-element
+/// pipelines, multi-statement subexpressions — make `compile_piece` return
+/// null and the caller falls back to the tree walker, so coverage gaps can
+/// never change behavior.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "psvalue/value.h"
+
+namespace ps {
+class Ast;
+class Interpreter;
+}  // namespace ps
+
+namespace ps::bytecode {
+
+enum class Op : std::uint8_t {
+  Tick,         ///< interp.charge_step() — mirrors one tree-walk charge site
+  PushConst,    ///< push constants[a]
+  LoadVar,      ///< push interp.variable_value(names[a]) (raw `$` name text)
+  BinOp,        ///< rhs=pop, lhs=pop, push binary_values(lhs, names[a], rhs)
+  UnOp,         ///< v=pop, push unary_value(names[a], v)
+  Cast,         ///< v=pop, push convert_value(names[a], v)
+  Index,        ///< index=pop, target=pop, push index_values(target, index)
+  Interp,       ///< push expand_value(names[a]) (expandable-string raw text)
+  MakeArray,    ///< pop `a` values, push them as one Array (in push order)
+  CollectLone,  ///< lone-pipeline shaping: null / empty array -> null
+  ToArray,      ///< @(...) shaping: null -> @(), scalar -> @(scalar)
+  AndJump,      ///< v=pop; if !v: push $false, jump to `a` (short circuit)
+  OrJump,       ///< v=pop; if v: push $true, jump to `a` (short circuit)
+  ToBool,       ///< v=pop, push [bool]v — the -and/-or result coercion
+};
+
+struct Insn {
+  Op op;
+  std::uint32_t a = 0;  ///< constant/name index, arity, or jump target
+};
+
+/// One compiled piece. Self-contained (constants and name texts are copied
+/// out of the AST), so a Chunk stays valid independent of the tree it was
+/// compiled from and may be shared across threads once built — it is
+/// immutable after `compile_piece` returns.
+struct Chunk {
+  std::vector<Insn> code;
+  std::vector<Value> constants;
+  std::vector<std::string> names;  ///< variable/operator/type/raw-string text
+  /// True when execution cannot observe interpreter state: no variable
+  /// reads other than the fixed automatic constants ($true, $pshome, ...)
+  /// and no interpolation that could reference a variable. A pure chunk
+  /// evaluates identically in any recovery interpreter regardless of the
+  /// traced-variable table, which is what lets the fold stage skip both
+  /// interpreter seeding and the per-context memo fingerprint.
+  bool pure = false;
+  std::uint32_t max_stack = 0;  ///< operand-stack high-water mark
+
+  [[nodiscard]] bool valid() const { return !code.empty(); }
+};
+
+/// Compiles one recoverable piece rooted at `root` (the node handed to
+/// `Interpreter::evaluate`). Returns null when the piece uses a construct
+/// the compiler does not cover; the caller must then tree-walk.
+std::shared_ptr<Chunk> compile_piece(const Ast& root);
+
+/// Executes `chunk` against `interp`, returning what
+/// `interp.evaluate(root, src)` would have returned for the compiled node.
+/// Throws exactly what the tree walker would throw (EvalError, LimitError,
+/// BlockedCommandError, BudgetError via charge_step checkpoints).
+Value run_chunk(const Chunk& chunk, Interpreter& interp);
+
+}  // namespace ps::bytecode

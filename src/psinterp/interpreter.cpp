@@ -1062,6 +1062,10 @@ Value Interpreter::eval_unary(const UnaryExpressionAst& un, std::string_view src
     return Value(post ? old : next);
   }
   const Value v = eval_expr(*un.child, src);
+  return eval_unary_value(op, v);
+}
+
+Value Interpreter::eval_unary_value(const std::string& op, const Value& v) {
   if (op == "-") {
     if (v.is_double()) return Value(-v.get_double());
     return Value(-need_int(v, "-"));
@@ -1113,7 +1117,10 @@ Value Interpreter::eval_convert(const ConvertExpressionAst& conv,
 Value Interpreter::eval_index(const IndexExpressionAst& idx, std::string_view src) {
   const Value target = eval_expr(*idx.target, src);
   const Value index = eval_expr(*idx.index, src);
+  return eval_index_values(target, index);
+}
 
+Value Interpreter::eval_index_values(const Value& target, const Value& index) {
   auto pick_one = [&](const Value& container, std::int64_t i) -> Value {
     if (container.is_string()) {
       const auto cps = utf8_codepoints(container.get_string());
@@ -1150,6 +1157,34 @@ Value Interpreter::eval_index(const IndexExpressionAst& idx, std::string_view sr
     return Value(std::move(out));
   }
   return pick_one(target, need_int(index, "index"));
+}
+
+// ------------------------------------------- bytecode VM operator surface
+
+Value Interpreter::binary_values(const Value& lhs, const std::string& op,
+                                 const Value& rhs) {
+  return eval_binary_values(lhs, op, rhs);
+}
+
+Value Interpreter::unary_value(const std::string& op, const Value& v) {
+  return eval_unary_value(op, v);
+}
+
+Value Interpreter::convert_value(const std::string& type_name, const Value& v) {
+  return cast_value(type_name, v);
+}
+
+Value Interpreter::index_values(const Value& target, const Value& index) {
+  return eval_index_values(target, index);
+}
+
+Value Interpreter::variable_value(const std::string& name) {
+  const VariableExpressionAst fake(0, 0, name);
+  return eval_variable(fake);
+}
+
+Value Interpreter::expand_value(const std::string& raw) {
+  return expand_string(raw, {});
 }
 
 // --------------------------------------------------------- interpolation

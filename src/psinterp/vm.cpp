@@ -1,0 +1,122 @@
+#include "psinterp/bytecode.h"
+#include "psinterp/interpreter.h"
+
+namespace ps::bytecode {
+
+/// The dispatch loop. Deliberately boring: every operator defers to the
+/// interpreter's value cores, so this function owns only stack movement and
+/// control flow. Exceptions (EvalError, LimitError, BlockedCommandError,
+/// BudgetError out of charge_step) propagate — the operand stack is a local
+/// vector, so unwinding needs no cleanup.
+Value run_chunk(const Chunk& chunk, Interpreter& interp) {
+  std::vector<Value> stack;
+  stack.reserve(chunk.max_stack);
+  const auto pop = [&stack]() {
+    Value v = std::move(stack.back());
+    stack.pop_back();
+    return v;
+  };
+
+  std::size_t ip = 0;
+  while (ip < chunk.code.size()) {
+    const Insn in = chunk.code[ip++];
+    switch (in.op) {
+      case Op::Tick:
+        interp.charge_step();
+        break;
+      case Op::PushConst:
+        stack.push_back(chunk.constants[in.a]);
+        break;
+      case Op::LoadVar:
+        stack.push_back(interp.variable_value(chunk.names[in.a]));
+        break;
+      case Op::BinOp: {
+        const Value rhs = pop();
+        const Value lhs = pop();
+        stack.push_back(interp.binary_values(lhs, chunk.names[in.a], rhs));
+        break;
+      }
+      case Op::UnOp: {
+        const Value v = pop();
+        stack.push_back(interp.unary_value(chunk.names[in.a], v));
+        break;
+      }
+      case Op::Cast: {
+        const Value v = pop();
+        stack.push_back(interp.convert_value(chunk.names[in.a], v));
+        break;
+      }
+      case Op::Index: {
+        const Value index = pop();
+        const Value target = pop();
+        stack.push_back(interp.index_values(target, index));
+        break;
+      }
+      case Op::Interp:
+        stack.push_back(interp.expand_value(chunk.names[in.a]));
+        break;
+      case Op::MakeArray: {
+        Array arr;
+        arr.reserve(in.a);
+        const std::size_t base = stack.size() - in.a;
+        for (std::size_t i = 0; i < in.a; ++i) {
+          arr.push_back(std::move(stack[base + i]));
+        }
+        stack.resize(base);
+        stack.push_back(Value(std::move(arr)));
+        break;
+      }
+      case Op::CollectLone: {
+        // Lone-expression pipeline shaping + Value::from_stream: a null or
+        // empty-array value emits nothing, which collapses to null; any
+        // other value keeps its shape.
+        Value v = pop();
+        if (v.is_null() || (v.is_array() && v.get_array().empty())) {
+          stack.push_back(Value());
+        } else {
+          stack.push_back(std::move(v));
+        }
+        break;
+      }
+      case Op::ToArray: {
+        // @(...) shaping over the collected lone value: nothing -> empty
+        // array, an array keeps its (top-level) elements, a scalar wraps.
+        Value v = pop();
+        if (v.is_null()) {
+          stack.push_back(Value(Array{}));
+        } else if (v.is_array()) {
+          stack.push_back(std::move(v));
+        } else {
+          Array arr;
+          arr.push_back(std::move(v));
+          stack.push_back(Value(std::move(arr)));
+        }
+        break;
+      }
+      case Op::AndJump: {
+        const Value v = pop();
+        if (!v.to_bool()) {
+          stack.push_back(Value(false));
+          ip = in.a;
+        }
+        break;
+      }
+      case Op::OrJump: {
+        const Value v = pop();
+        if (v.to_bool()) {
+          stack.push_back(Value(true));
+          ip = in.a;
+        }
+        break;
+      }
+      case Op::ToBool: {
+        const Value v = pop();
+        stack.push_back(Value(v.to_bool()));
+        break;
+      }
+    }
+  }
+  return stack.empty() ? Value() : std::move(stack.back());
+}
+
+}  // namespace ps::bytecode

@@ -1,0 +1,448 @@
+// Differential tests for the per-piece bytecode compiler and VM
+// (src/psinterp/bytecode.h): every compiled piece must behave exactly like
+// the tree walker it replaces — same literals, same thrown failure kinds,
+// same step accounting — across the whole synthetic corpus. Plus the
+// sharded RecoveryMemo's thread-safety and the engine-global memo wiring.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/blocklist.h"
+#include "core/deobfuscator.h"
+#include "core/recovery.h"
+#include "corpus/corpus.h"
+#include "psast/ast.h"
+#include "psast/parser.h"
+#include "psinterp/bytecode.h"
+#include "psinterp/interpreter.h"
+
+namespace {
+
+using ideobf::value_to_literal;
+using ps::Ast;
+using ps::NodeKind;
+using ps::Value;
+
+ps::InterpreterOptions recovery_opts(std::size_t max_steps = 200000) {
+  ps::InterpreterOptions opts;
+  opts.max_steps = max_steps;
+  opts.strict_variables = true;
+  opts.refuse_blocklisted = true;
+  opts.command_filter = ideobf::make_recovery_filter({});
+  return opts;
+}
+
+/// The comparable outcome of one piece evaluation: either a recovered
+/// literal or a classified failure. Two evaluation paths are equivalent iff
+/// their outcomes compare equal.
+struct Outcome {
+  bool ok = false;
+  std::string literal;  ///< value_to_literal of the result when ok
+  std::string kind;     ///< exception taxonomy tag when !ok
+  std::string error;    ///< what() when !ok
+
+  bool operator==(const Outcome&) const = default;
+};
+
+std::string describe(const Outcome& o) {
+  return o.ok ? "ok literal=<" + o.literal + ">"
+              : "throw " + o.kind + " <" + o.error + ">";
+}
+
+template <typename Fn>
+Outcome capture(Fn&& eval) {
+  Outcome out;
+  try {
+    out.literal = value_to_literal(eval());
+    out.ok = true;
+  } catch (const ps::BlockedCommandError& e) {
+    out.kind = "blocked";
+    out.error = e.what();
+  } catch (const ps::LimitError& e) {
+    out.kind = "limit:" + std::string(ps::to_string(e.kind));
+    out.error = e.what();
+  } catch (const ps::EvalError& e) {
+    out.kind = "eval";
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.kind = "other";
+    out.error = e.what();
+  }
+  return out;
+}
+
+Outcome tree_walk(const Ast& node, std::string_view src,
+                  std::size_t max_steps = 200000) {
+  ps::Interpreter interp(recovery_opts(max_steps));
+  return capture([&] { return interp.evaluate(node, src); });
+}
+
+Outcome vm_run(const ps::bytecode::Chunk& chunk,
+               std::size_t max_steps = 200000) {
+  ps::Interpreter interp(recovery_opts(max_steps));
+  return capture([&] { return ps::bytecode::run_chunk(chunk, interp); });
+}
+
+/// Collects every node of `root` the recovery phase would consider
+/// executing: the recoverable kinds plus interpolated strings.
+std::vector<const Ast*> piece_candidates(const Ast& root) {
+  std::vector<const Ast*> out;
+  root.post_order([&](const Ast& node) {
+    if (ps::is_recoverable_kind(node.kind()) ||
+        node.kind() == NodeKind::ExpandableStringExpression) {
+      out.push_back(&node);
+    }
+  });
+  return out;
+}
+
+/// The smallest max_steps under which `eval` succeeds (or 0 when it fails
+/// for a non-limit reason even with generous steps). Exact step parity
+/// between the tree walker and the VM makes this identical for both.
+template <typename Fn>
+std::size_t min_steps_to_succeed(Fn&& eval) {
+  for (std::size_t steps = 1; steps <= 256; ++steps) {
+    const Outcome o = eval(steps);
+    if (o.ok) return steps;
+    if (o.kind.rfind("limit:", 0) != 0) return 0;
+  }
+  return 0;
+}
+
+// --- compiler coverage ------------------------------------------------------
+
+const Ast* single_statement(const ps::ScriptBlockAst& root) {
+  const Ast* found = nullptr;
+  for (const auto& block : root.named_blocks) {
+    for (const auto& st : block->statements) {
+      if (found != nullptr) return nullptr;
+      found = st.get();
+    }
+  }
+  return found;
+}
+
+std::shared_ptr<ps::bytecode::Chunk> compile_text(const std::string& text,
+                                                  ps::ParsedScript& keep_alive) {
+  keep_alive = ps::try_parse(text);
+  if (keep_alive == nullptr) return nullptr;
+  const Ast* stmt = single_statement(*keep_alive);
+  if (stmt == nullptr) return nullptr;
+  return ps::bytecode::compile_piece(*stmt);
+}
+
+TEST(BytecodeTest, CompilesExpressionSubsetAndClassifiesPurity) {
+  struct Case {
+    const char* text;
+    bool pure;
+  };
+  const Case compilable[] = {
+      {"('a'+'b')", true},
+      {"'a' * 3", true},
+      {"[char]65", true},
+      {"[int]'5' + 1", true},
+      {"'a','b','c'", true},
+      {"@('x')", true},
+      {"@()", true},
+      {"$()", true},
+      {"$( 'x' )", true},
+      {"('abc')[1]", true},
+      {"-join ('a','b')", true},
+      {"$true -and $false", true},
+      {"\"plain\"", true},           // no '$': interpolation is constant
+      {"$true", true},               // constant automatic variable
+      {"\"pre $x post\"", false},    // interpolation reads a variable
+      {"$x + 1", false},             // traced-table variable
+      {"$env:path", false},          // environment state
+  };
+  for (const Case& c : compilable) {
+    ps::ParsedScript parsed;
+    const auto chunk = compile_text(c.text, parsed);
+    ASSERT_NE(chunk, nullptr) << c.text;
+    EXPECT_TRUE(chunk->valid()) << c.text;
+    EXPECT_EQ(chunk->pure, c.pure) << c.text;
+  }
+}
+
+TEST(BytecodeTest, RejectsEverythingOutsideTheSubset) {
+  // Commands (where the blocklist applies), member dispatch, mutation, and
+  // multi-statement shapes must stay on the tree walker.
+  const char* rejected[] = {
+      "Invoke-Expression 'x'",       // command: blocklist territory
+      "iex 'x'",                     // aliased command
+      "'abc'.Length",                // member access
+      "'abc'.Substring(1)",          // member invocation
+      "[math]::Abs(-1)",             // static invocation
+      "$x++",                        // stateful unary
+      "--$x",                        // stateful unary
+      "$x = 1",                      // assignment
+      "@{a=1}",                      // hashtable
+      "{ 'block' }",                 // script block
+      "$(1; 2)",                     // multi-statement subexpression
+      "'a' | ForEach-Object { $_ }", // multi-element pipeline
+  };
+  for (const char* text : rejected) {
+    ps::ParsedScript parsed;
+    EXPECT_EQ(compile_text(text, parsed), nullptr) << text;
+  }
+}
+
+// --- differential equivalence ----------------------------------------------
+
+TEST(BytecodeTest, HandwrittenPiecesMatchTreeWalk) {
+  const char* pieces[] = {
+      "('a'+'b')",
+      "('Ne'+'tw'+'or'+'k')",
+      "'a' * 3",
+      "[char]65",
+      "[char](65+1)",
+      "[string][char]73",
+      "[int]'5' + 1",
+      "('abc')[1]",
+      "('abc')[-1]",
+      "('a','b','c')[2]",
+      "-join ('a','b','c')",
+      "('a,b,c' -split ',')[1]",
+      "'ABC'.ToLower()",  // rejected by the compiler? no — member: skipped
+      "\"plain text\"",
+      "$true",
+      "$false -or 'fallback'",
+      "$true -and 'kept'",
+      "(2 + 3) * 4",
+      "10 / 4",
+      "'x' + [string](1+2)",
+      "$( 'sub' )",
+      "@('only')",
+      "@()",
+      "$()",
+      "'end' -replace 'e','E'",
+      "'format {0}' -f 'x'",
+  };
+  int compiled = 0;
+  for (const char* text : pieces) {
+    ps::ParsedScript parsed;
+    const auto chunk = compile_text(text, parsed);
+    if (chunk == nullptr) continue;  // uncompilable shapes fall back anyway
+    ++compiled;
+    const Ast* stmt = single_statement(*parsed);
+    const Outcome tw = tree_walk(*stmt, text);
+    const Outcome vm = vm_run(*chunk);
+    EXPECT_EQ(tw, vm) << text << "\n  tree-walk: " << describe(tw)
+                      << "\n  vm:        " << describe(vm);
+  }
+  EXPECT_GT(compiled, 15);
+}
+
+TEST(BytecodeTest, StepAccountingMatchesTreeWalkExactly) {
+  // Tick parity is what makes budget expiry equivalent on both paths: the
+  // smallest step allowance under which a piece succeeds must be identical.
+  const char* pieces[] = {
+      "('a'+'b')",
+      "('a'+'b'+'c'+'d')",
+      "[char]65",
+      "('abc')[1]",
+      "-join ('a','b')",
+      "$true -and $false",
+      "$false -or 'x'",
+      "$( 'sub' )",
+      "@('only')",
+      "(2 + 3) * 4",
+  };
+  for (const char* text : pieces) {
+    ps::ParsedScript parsed;
+    const auto chunk = compile_text(text, parsed);
+    ASSERT_NE(chunk, nullptr) << text;
+    const Ast* stmt = single_statement(*parsed);
+    const std::size_t tw_steps = min_steps_to_succeed(
+        [&](std::size_t steps) { return tree_walk(*stmt, text, steps); });
+    const std::size_t vm_steps = min_steps_to_succeed(
+        [&](std::size_t steps) { return vm_run(*chunk, steps); });
+    ASSERT_GT(tw_steps, 0u) << text;
+    EXPECT_EQ(tw_steps, vm_steps) << text;
+  }
+}
+
+TEST(BytecodeTest, StepLimitExpiryMatchesTreeWalk) {
+  // Under a starved allowance both paths must fail the same way (the
+  // recovery ladder memoizes failures, so a path-dependent failure would
+  // poison the memo differently per path).
+  const char* text = "('a'+'b'+'c'+'d'+'e'+'f'+'g'+'h')";
+  ps::ParsedScript parsed;
+  const auto chunk = compile_text(text, parsed);
+  ASSERT_NE(chunk, nullptr);
+  const Ast* stmt = single_statement(*parsed);
+  const Outcome tw = tree_walk(*stmt, text, 3);
+  const Outcome vm = vm_run(*chunk, 3);
+  EXPECT_FALSE(tw.ok);
+  EXPECT_EQ(tw.kind, "limit:step-limit");
+  EXPECT_EQ(tw, vm) << "tree-walk: " << describe(tw)
+                    << "\nvm:        " << describe(vm);
+}
+
+/// The corpus sweep: every recoverable piece of every generated script that
+/// the compiler accepts must evaluate identically on both paths — at full
+/// limits and under a starved step allowance (budget-expiry parity).
+TEST(BytecodeDifferentialTest, CorpusPiecesMatchTreeWalk) {
+  ideobf::CorpusGenerator gen(100);  // the bench corpus seed
+  int compiled = 0;
+  int divergences = 0;
+  for (const ideobf::Sample& sample : gen.generate_batch(60)) {
+    const std::string& src = sample.obfuscated;
+    const ps::ParsedScript parsed = ps::try_parse(src);
+    if (parsed == nullptr) continue;
+    for (const Ast* node : piece_candidates(*parsed)) {
+      const auto chunk = ps::bytecode::compile_piece(*node);
+      if (chunk == nullptr) continue;
+      ++compiled;
+      const Outcome tw = tree_walk(*node, src);
+      const Outcome vm = vm_run(*chunk);
+      if (tw != vm) {
+        ++divergences;
+        ADD_FAILURE() << "divergence on piece <" << node->text_in(src)
+                      << ">\n  tree-walk: " << describe(tw)
+                      << "\n  vm:        " << describe(vm);
+      }
+      // Budget-expiry parity: a starved allowance must fail (or succeed)
+      // identically too.
+      const Outcome tw_tight = tree_walk(*node, src, 6);
+      const Outcome vm_tight = vm_run(*chunk, 6);
+      if (tw_tight != vm_tight) {
+        ++divergences;
+        ADD_FAILURE() << "tight-limit divergence on piece <"
+                      << node->text_in(src)
+                      << ">\n  tree-walk: " << describe(tw_tight)
+                      << "\n  vm:        " << describe(vm_tight);
+      }
+      if (divergences > 10) return;  // enough signal; stop flooding
+    }
+  }
+  // The corpus is concat/cast/index-heavy, so the compiler must accept a
+  // substantial population — this also guards against the compiler silently
+  // rejecting everything (which would pass the loop vacuously).
+  EXPECT_GT(compiled, 200);
+}
+
+// --- RecoveryMemo -----------------------------------------------------------
+
+TEST(RecoveryMemoTest, StoreLookupRoundTrip) {
+  ideobf::RecoveryMemo memo;
+  EXPECT_EQ(memo.lookup(1, "piece"), std::nullopt);
+  memo.store(1, "piece", "'literal'");
+  const auto hit = memo.lookup(1, "piece");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "'literal'");
+  // Same piece under a different context is a distinct entry.
+  EXPECT_EQ(memo.lookup(2, "piece"), std::nullopt);
+  // Failures memoize as "" and still count as hits.
+  memo.store(1, "failed", "");
+  const auto failed = memo.lookup(1, "failed");
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_EQ(*failed, "");
+  EXPECT_EQ(memo.lookups(), 4u);
+  EXPECT_EQ(memo.hits(), 2u);
+  EXPECT_EQ(memo.misses(), 2u);
+}
+
+TEST(RecoveryMemoTest, CapBoundsGrowth) {
+  ideobf::RecoveryMemo memo;
+  for (int i = 0; i < 20000; ++i) {
+    memo.store(7, "piece-" + std::to_string(i), "'v'");
+  }
+  // 16 shards x 512 entries: the pathological-script bound.
+  EXPECT_LE(memo.size(), 8192u);
+  EXPECT_GT(memo.size(), 0u);
+}
+
+TEST(RecoveryMemoTest, ConcurrentStoresAndLookupsStayConsistent) {
+  ideobf::RecoveryMemo memo;
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 64;  // shared across threads: real contention
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&memo, &wrong] {
+      for (int round = 0; round < 400; ++round) {
+        const int k = round % kKeys;
+        const std::string piece = "piece-" + std::to_string(k);
+        const std::string literal = "'v" + std::to_string(k) + "'";
+        if (const auto hit = memo.lookup(static_cast<std::size_t>(k), piece)) {
+          // Every writer stores the same value for a key, so a hit may only
+          // ever observe that value — torn or mixed entries are bugs.
+          if (*hit != literal) wrong.fetch_add(1);
+        } else {
+          memo.store(static_cast<std::size_t>(k), piece, literal);
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_LE(memo.size(), static_cast<std::size_t>(kKeys));
+  for (int k = 0; k < kKeys; ++k) {
+    const auto hit =
+        memo.lookup(static_cast<std::size_t>(k), "piece-" + std::to_string(k));
+    ASSERT_TRUE(hit.has_value()) << k;
+    EXPECT_EQ(*hit, "'v" + std::to_string(k) + "'");
+  }
+}
+
+TEST(RecoveryMemoTest, EngineGlobalMemoSpansCalls) {
+  // With share_memo (the default) the engine owns one memo across calls:
+  // a second deobfuscation of the same script must answer every piece
+  // lookup from the memo populated by the first.
+  ideobf::CorpusGenerator gen(7);
+  const std::string script = gen.generate().obfuscated;
+
+  ideobf::InvokeDeobfuscator engine;
+  ideobf::DeobfuscationReport first, second;
+  const std::string out1 = engine.deobfuscate(script, first);
+  const std::string out2 = engine.deobfuscate(script, second);
+  EXPECT_EQ(out1, out2);
+  EXPECT_GT(second.recovery.memo_hits, 0);
+  EXPECT_EQ(second.recovery.memo_misses, 0);
+
+  // Opting out reverts to a per-run memo: the second call misses again.
+  ideobf::Options isolated;
+  isolated.recovery.share_memo = false;
+  ideobf::InvokeDeobfuscator private_engine(isolated);
+  ideobf::DeobfuscationReport p1, p2;
+  const std::string pout1 = private_engine.deobfuscate(script, p1);
+  const std::string pout2 = private_engine.deobfuscate(script, p2);
+  EXPECT_EQ(pout1, pout2);
+  EXPECT_EQ(pout1, out1);  // sharing never changes output
+  EXPECT_EQ(p2.recovery.memo_misses, p1.recovery.memo_misses);
+}
+
+TEST(RecoveryMemoTest, LadderStatsSurfaceInTheReport) {
+  // A cold run resolves pieces through the ladder; the per-stage counts
+  // must reach the public report and reconcile with the memo counters.
+  ideobf::CorpusGenerator gen(11);
+  ideobf::InvokeDeobfuscator engine;
+  ideobf::DeobfuscationReport report;
+  int folded = 0, vm = 0, fallback = 0, misses = 0;
+  for (const ideobf::Sample& sample : gen.generate_batch(12)) {
+    (void)engine.deobfuscate(sample.obfuscated, report);
+    folded += report.recovery.pieces_folded;
+    vm += report.recovery.bytecode_execs;
+    fallback += report.recovery.treewalk_fallbacks;
+    misses += report.recovery.memo_misses;
+    // Every memoized miss was resolved by exactly one ladder stage. (Env
+    // probes count as memo misses but not piece executions, so the stage
+    // sum never exceeds the misses.)
+    EXPECT_LE(report.recovery.pieces_folded + report.recovery.bytecode_execs +
+                  report.recovery.treewalk_fallbacks,
+              report.recovery.memo_misses);
+  }
+  EXPECT_GT(folded, 0);
+  EXPECT_GT(fallback, 0);
+  EXPECT_GT(misses, 0);
+  (void)vm;  // may be zero on a small sample; the bench gates it corpus-wide
+}
+
+}  // namespace
