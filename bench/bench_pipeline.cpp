@@ -44,7 +44,12 @@
 #include "server/server.h"
 #include "telemetry/telemetry.h"
 
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
 #include <unistd.h>
+
+#include <random>
 
 // Wall-clock gates are meaningless under sanitizer instrumentation (TSan
 // slows threads 5-15x and ASan's allocator serializes them); the count-based
@@ -416,6 +421,201 @@ ServerSummary run_server_section(const std::vector<std::string>& scripts,
   return ss;
 }
 
+/// What the fleet section measures: a supervised multi-worker fleet replaying
+/// a zipf-skewed request stream (wild corpora are campaign-duplicated, so a
+/// handful of scripts dominate) — how often the shared content-addressed
+/// cache answers, what a hit costs versus a pipeline run, and that a crash
+/// drill (worker-abort faults on a marked script) still ends every request
+/// in a terminal reply.
+struct FleetSummary {
+  bool available = false;          ///< CLI binary present, fleet came up
+  std::size_t replay_requests = 0;
+  std::size_t unique_scripts = 0;
+  double cache_hit_rate = 0.0;
+  double hit_ms_per_script = 0.0;   ///< mean round trip of cached replies
+  double miss_ms_per_script = 0.0;  ///< mean round trip of pipeline replies
+  /// Crash drill accounting.
+  std::size_t crash_requests = 0;
+  std::size_t crash_terminal = 0;   ///< replies received (never a hang)
+  std::size_t crash_ok = 0;
+  std::size_t crash_worker_crash = 0;
+  std::size_t crash_quarantined = 0;
+};
+
+#ifdef IDEOBF_CLI_PATH
+
+/// Forks the CLI as `serve --fleet ...` and waits for a worker to answer a
+/// readiness probe. Returns the supervisor pid, or -1.
+pid_t spawn_fleet(const std::string& sock, const std::string& state_dir,
+                  std::vector<std::string> extra) {
+  ::mkdir(state_dir.c_str(), 0700);
+  std::vector<std::string> args = {IDEOBF_CLI_PATH, "serve",
+                                   "--socket",      sock,
+                                   "--fleet",       "2",
+                                   "--threads",     "2",
+                                   "--state-dir",   state_dir,
+                                   "--backoff-initial-seconds", "0.05"};
+  for (std::string& a : extra) args.push_back(std::move(a));
+  std::vector<char*> argv;
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    ::_exit(127);
+  }
+  const double give_up = now_seconds() + 20.0;
+  while (now_seconds() < give_up) {
+    try {
+      ServeClient probe = ServeClient::connect_unix(sock);
+      if (probe.ready()) return pid;
+    } catch (const std::exception&) {
+    }
+    ::usleep(50 * 1000);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+void stop_fleet(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGTERM);
+  for (int i = 0; i < 500; ++i) {
+    if (::waitpid(pid, nullptr, WNOHANG) == pid) return;
+    ::usleep(20 * 1000);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+}
+
+FleetSummary run_fleet_section(const std::vector<std::string>& scripts,
+                               std::vector<Row>& rows) {
+  FleetSummary fs;
+  if (::access(IDEOBF_CLI_PATH, X_OK) != 0) return fs;
+
+  const std::string base =
+      "/tmp/ideobf-bench-fleet-" + std::to_string(::getpid());
+
+  // --- Zipf replay against a 2-worker fleet with the shared cache on ------
+  {
+    const std::string sock = base + ".sock";
+    const pid_t fleet = spawn_fleet(sock, base + "-state", {});
+    if (fleet < 0) return fs;
+    fs.available = true;
+
+    // Zipf(s=1.1) over the corpus: rank r drawn with weight 1/(r+1)^1.1,
+    // seeded so the stream is identical PR over PR.
+    std::vector<double> weights(scripts.size());
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), 1.1);
+    }
+    std::mt19937 rng(42);
+    std::discrete_distribution<std::size_t> zipf(weights.begin(),
+                                                 weights.end());
+    const std::size_t replay = std::min<std::size_t>(600, scripts.size() * 3);
+    std::vector<std::size_t> stream(replay);
+    std::vector<bool> drawn(scripts.size(), false);
+    for (std::size_t i = 0; i < replay; ++i) {
+      stream[i] = zipf(rng);
+      drawn[stream[i]] = true;
+    }
+    fs.replay_requests = replay;
+    fs.unique_scripts =
+        static_cast<std::size_t>(std::count(drawn.begin(), drawn.end(), true));
+
+    ServeClient client = ServeClient::connect_unix(sock);
+    std::size_t hits = 0;
+    double hit_seconds = 0.0;
+    double miss_seconds = 0.0;
+    const double t0 = now_seconds();
+    for (std::size_t i = 0; i < replay; ++i) {
+      Request request;
+      request.source = scripts[stream[i]];
+      request.id = "z" + std::to_string(i);
+      const double r0 = now_seconds();
+      const ServeReply reply = client.call_retrying(request, 4);
+      const double dt = now_seconds() - r0;
+      if (reply.cached) {
+        hits++;
+        hit_seconds += dt;
+      } else {
+        miss_seconds += dt;
+      }
+    }
+    const double seconds = now_seconds() - t0;
+    stop_fleet(fleet);
+
+    fs.cache_hit_rate = static_cast<double>(hits) / replay;
+    if (hits > 0) fs.hit_ms_per_script = hit_seconds * 1000.0 / hits;
+    if (replay > hits) {
+      fs.miss_ms_per_script = miss_seconds * 1000.0 / (replay - hits);
+    }
+    Row row;
+    row.config = "fleet_replay";
+    row.threads = 2;
+    row.warm = true;
+    row.seconds = seconds;
+    row.ms_per_script = seconds * 1000.0 / replay;
+    row.scripts_per_second = replay / seconds;
+    row.cache_hits = hits;
+    row.cache_misses = replay - hits;
+    rows.push_back(row);
+  }
+
+  // --- Crash drill: marked scripts abort their worker at dispatch ---------
+  {
+    const std::string sock = base + "-crash.sock";
+    const pid_t fleet = spawn_fleet(
+        sock, base + "-crash-state",
+        {"--fault", "worker-abort:abort:match=BENCHKILL", "--no-cache",
+         "--quarantine-after", "2"});
+    if (fleet > 0) {
+      const std::string killer = "Write-Host 'BENCHKILL'";
+      const double t0 = now_seconds();
+      for (int i = 0; i < 24; ++i) {
+        Request request;
+        request.source = (i % 6 == 5) ? killer
+                                      : scripts[i % scripts.size()];
+        request.id = "c" + std::to_string(i);
+        ServeClient client = ServeClient::connect_unix(sock);
+        const ServeReply reply = client.call_retrying(request, 8);
+        fs.crash_requests++;
+        if (!reply.status.empty()) fs.crash_terminal++;
+        if (reply.status == "ok" || reply.status == "degraded") {
+          fs.crash_ok++;
+        } else if (reply.response.failure == FailureKind::WorkerCrash) {
+          fs.crash_worker_crash++;
+        } else if (reply.response.failure == FailureKind::Quarantined) {
+          fs.crash_quarantined++;
+        }
+      }
+      const double seconds = now_seconds() - t0;
+      stop_fleet(fleet);
+      Row row;
+      row.config = "fleet_crash";
+      row.threads = 2;
+      row.seconds = seconds;
+      row.ms_per_script = seconds * 1000.0 / fs.crash_requests;
+      row.scripts_per_second = fs.crash_requests / seconds;
+      row.failed = static_cast<std::int64_t>(fs.crash_worker_crash +
+                                             fs.crash_quarantined);
+      rows.push_back(row);
+    }
+  }
+  return fs;
+}
+
+#else  // !IDEOBF_CLI_PATH
+
+FleetSummary run_fleet_section(const std::vector<std::string>&,
+                               std::vector<Row>&) {
+  return {};
+}
+
+#endif
+
 void print_rows(const std::vector<Row>& rows) {
   std::printf("%-14s %8s %6s %10s %12s %12s %14s %10s %10s %9s\n", "config",
               "threads", "warm", "seconds", "ms/script", "scripts/s",
@@ -433,7 +633,7 @@ void print_rows(const std::vector<Row>& rows) {
 std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
                          double parse_reduction, double speedup_8t_vs_1t,
                          unsigned speedup_threads, const TelemetrySummary& ts,
-                         const ServerSummary& ss) {
+                         const ServerSummary& ss, const FleetSummary& fs) {
   JsonWriter w;
   w.begin_object();
   w.field("bench", "pipeline");
@@ -486,6 +686,27 @@ std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
   w.field("server_ms_per_script", ss.server_ms_per_script);
   w.field("oneshot_cli_ms_per_script", ss.oneshot_cli_ms_per_script);
   w.field("server_amortization_ratio", ss.amortization_ratio);
+  // Supervised fleet: zipf-skewed replay through the shared response cache,
+  // plus the crash-drill accounting (worker-abort faults on a marked
+  // script; every request must still end in a terminal reply).
+  w.key("fleet");
+  w.begin_object();
+  w.field("available", fs.available);
+  w.field("workers", static_cast<std::int64_t>(2));
+  w.field("replay_requests", static_cast<std::int64_t>(fs.replay_requests));
+  w.field("unique_scripts", static_cast<std::int64_t>(fs.unique_scripts));
+  w.field("cache_hit_rate", fs.cache_hit_rate);
+  w.field("hit_ms_per_script", fs.hit_ms_per_script);
+  w.field("miss_ms_per_script", fs.miss_ms_per_script);
+  w.key("crash_drill");
+  w.begin_object();
+  w.field("requests", static_cast<std::int64_t>(fs.crash_requests));
+  w.field("terminal_replies", static_cast<std::int64_t>(fs.crash_terminal));
+  w.field("ok", static_cast<std::int64_t>(fs.crash_ok));
+  w.field("worker_crash", static_cast<std::int64_t>(fs.crash_worker_crash));
+  w.field("quarantined", static_cast<std::int64_t>(fs.crash_quarantined));
+  w.end_object();
+  w.end_object();
   w.field("telemetry_spans_opened",
           static_cast<std::int64_t>(ts.spans_opened));
   w.field("telemetry_spans_closed",
@@ -620,6 +841,10 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
   // Server section: warm `ideobf serve` round trips vs one-shot CLI spawns.
   const ServerSummary ss = run_server_section(scripts, rows);
 
+  // Fleet section: supervised 2-worker fleet, zipf-skewed replay through
+  // the shared response cache, and a worker-abort crash drill.
+  const FleetSummary fs = run_fleet_section(scripts, rows);
+
   const double reduction =
       rows[0].parses > 0 && rows[1].parses > 0
           ? static_cast<double>(rows[0].parses) / rows[1].parses
@@ -688,11 +913,26 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
                 ss.server_ms_per_script);
   }
 
+  if (fs.available) {
+    std::printf(
+        "fleet replay: %zu requests over %zu unique scripts, shared-cache "
+        "hit rate %.3f, hit %.3f ms vs miss %.3f ms per script\n",
+        fs.replay_requests, fs.unique_scripts, fs.cache_hit_rate,
+        fs.hit_ms_per_script, fs.miss_ms_per_script);
+    std::printf(
+        "fleet crash drill: %zu requests -> %zu terminal (%zu ok, %zu "
+        "worker-crash, %zu quarantined)\n",
+        fs.crash_requests, fs.crash_terminal, fs.crash_ok,
+        fs.crash_worker_crash, fs.crash_quarantined);
+  } else {
+    std::printf("fleet section: skipped (CLI binary not built)\n");
+  }
+
   if (write_json) {
     const std::string path = std::string(IDEOBF_SOURCE_DIR) + "/BENCH_pipeline.json";
     std::ofstream out(path, std::ios::binary);
     out << rows_to_json(rows, scripts.size(), reduction, speedup_widest,
-                        speedup_threads, ts, ss)
+                        speedup_threads, ts, ss, fs)
         << "\n";
     std::printf("wrote %s\n", path.c_str());
   }
@@ -870,6 +1110,57 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
                  "FAIL: global recovery-memo hit rate %.3f < 0.70\n",
                  ts.recovery_memo_hit_rate);
     rc = 1;
+  }
+
+  // Acceptance gate 11 (fleet, count-based): the crash drill must end every
+  // request in a terminal reply — a hang or a dropped request is exactly
+  // the failure mode crash containment exists to prevent — and the
+  // worker-abort faults must actually have fired (worker-crash or
+  // quarantined replies observed, next to surviving innocent traffic).
+  if (fs.available && fs.crash_requests > 0) {
+    if (fs.crash_terminal != fs.crash_requests ||
+        fs.crash_ok == 0 ||
+        fs.crash_worker_crash + fs.crash_quarantined == 0) {
+      std::fprintf(stderr,
+                   "FAIL: crash drill not contained: %zu/%zu terminal, "
+                   "ok=%zu worker-crash=%zu quarantined=%zu\n",
+                   fs.crash_terminal, fs.crash_requests, fs.crash_ok,
+                   fs.crash_worker_crash, fs.crash_quarantined);
+      rc = 1;
+    }
+  }
+
+  // Acceptance gate 12 (fleet, count-based): the zipf replay must hit the
+  // shared cache on at least half its requests — a campaign-skewed stream
+  // that misses more than that means the cache is not actually shared (or
+  // not actually content-addressed).
+  if (fs.available) {
+    std::printf("fleet-cache gate: hit rate %.3f (>= 0.50 required)\n",
+                fs.cache_hit_rate);
+    if (fs.cache_hit_rate < 0.50) {
+      std::fprintf(stderr, "FAIL: fleet shared-cache hit rate %.3f < 0.50\n",
+                   fs.cache_hit_rate);
+      rc = 1;
+    }
+  }
+
+  // Acceptance gate 13 (fleet, non-sanitized): a shared-cache hit must be
+  // cheaper than the warm single-process pipeline round trip — otherwise
+  // the cache adds risk without buying latency. Wall-clock-based.
+  if (IDEOBF_SANITIZED) {
+    std::printf("fleet-hit-latency gate: skipped under sanitizers\n");
+  } else if (fs.available && fs.hit_ms_per_script > 0.0) {
+    std::printf(
+        "fleet-hit-latency gate: hit %.3f ms vs warm single-process "
+        "%.3f ms per script\n",
+        fs.hit_ms_per_script, ss.server_ms_per_script);
+    if (fs.hit_ms_per_script >= ss.server_ms_per_script) {
+      std::fprintf(stderr,
+                   "FAIL: shared-cache hit path %.3f ms/script is not "
+                   "cheaper than the warm pipeline %.3f ms/script\n",
+                   fs.hit_ms_per_script, ss.server_ms_per_script);
+      rc = 1;
+    }
   }
 
   // Acceptance gate 10 (non-sanitized): warm per-script latency. The

@@ -26,6 +26,12 @@ namespace ideobf {
 struct ServeReply {
   std::string status;  ///< ok|degraded|failed|overloaded|invalid|shutting-down
   Response response;
+  /// True when the reply was served from the fleet's shared response cache
+  /// (the line carried "cached":true) instead of a fresh pipeline run.
+  bool cached = false;
+  /// For "overloaded" refusals from admission control: the earliest useful
+  /// retry time the server suggested. 0 when the server named none.
+  std::uint64_t retry_after_ms = 0;
 };
 
 class ServeClient {
@@ -46,6 +52,26 @@ class ServeClient {
   /// errors (disconnect, malformed server reply); service-level refusals
   /// (overloaded, invalid) come back as ServeReply::status.
   [[nodiscard]] ServeReply call(const Request& request);
+
+  /// Fleet-aware round trip: a transport error mid-call (a crashed worker
+  /// hangs up the connection) reconnects to the same address and resends,
+  /// up to `attempts` tries total. When every attempt dies on transport the
+  /// reply is still terminal: a synthesized "failed" ServeReply carrying
+  /// FailureKind::WorkerCrash with the input passed through — callers always
+  /// get an answer, never an exception, for a worker death. Note a resend
+  /// re-executes the request (the fleet quarantines repeat killers, so a
+  /// script that keeps crashing workers converges to a `quarantined` reply
+  /// instead of endless re-execution).
+  [[nodiscard]] ServeReply call_retrying(const Request& request,
+                                         int attempts = 3);
+
+  /// Readiness probe (`op: "ready"`): true when the server is accepting and
+  /// not draining. False on a "ready":false reply; throws on transport
+  /// errors like call().
+  [[nodiscard]] bool ready();
+
+  /// Liveness probe (`op: "live"`).
+  [[nodiscard]] bool live();
 
   /// The server's Prometheus exposition (`op: "metrics"`).
   [[nodiscard]] std::string metrics();

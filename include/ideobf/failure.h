@@ -31,6 +31,8 @@ enum class FailureKind {
   EvalError,       ///< runtime evaluation failure
   Cancelled,       ///< external cancellation token fired
   Internal,        ///< anything else, including non-std exceptions
+  WorkerCrash,     ///< a fleet worker process died executing the script
+  Quarantined,     ///< script hash quarantined after repeated worker crashes
 };
 
 /// Stable lowercase-kebab name for reports and JSON ("timeout",

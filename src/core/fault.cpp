@@ -1,6 +1,7 @@
 #include "core/fault.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 
 #include "telemetry/metrics.h"
@@ -29,6 +30,18 @@ telemetry::Counter& fault_injected_counter(FaultSite site) {
       static auto& c = reg.counter("ideobf_fault_injected_total", "site=\"multilayer-decode\"");
       return c;
     }
+    case FaultSite::WorkerAbort: {
+      static auto& c = reg.counter("ideobf_fault_injected_total", "site=\"worker-abort\"");
+      return c;
+    }
+    case FaultSite::WorkerHang: {
+      static auto& c = reg.counter("ideobf_fault_injected_total", "site=\"worker-hang\"");
+      return c;
+    }
+    case FaultSite::CacheCorrupt: {
+      static auto& c = reg.counter("ideobf_fault_injected_total", "site=\"cache-corrupt\"");
+      return c;
+    }
     case FaultSite::SandboxRun:
       break;
   }
@@ -45,6 +58,9 @@ const char* to_string(FaultSite site) {
     case FaultSite::MemoLookup: return "memo-lookup";
     case FaultSite::MultilayerDecode: return "multilayer-decode";
     case FaultSite::SandboxRun: return "sandbox-run";
+    case FaultSite::WorkerAbort: return "worker-abort";
+    case FaultSite::WorkerHang: return "worker-hang";
+    case FaultSite::CacheCorrupt: return "cache-corrupt";
   }
   return "unknown";
 }
@@ -84,6 +100,14 @@ bool FaultInjector::inject(FaultSite site, std::string* text) {
     State& st = sites_[static_cast<std::size_t>(site)];
     st.visits++;
     if (st.spec.action == FaultAction::None) return false;
+    // A match filter restricts the fault to marked operands; non-matching
+    // visits leave skip_first/max_fires untouched so a stream of innocent
+    // traffic cannot use up the armed budget.
+    if (!st.spec.match_text.empty() &&
+        (text == nullptr ||
+         text->find(st.spec.match_text) == std::string::npos)) {
+      return false;
+    }
     if (st.visits <= st.spec.skip_first) return false;
     if (st.spec.max_fires >= 0 && st.fires >= st.spec.max_fires) return false;
     st.fires++;
@@ -104,8 +128,92 @@ bool FaultInjector::inject(FaultSite site, std::string* text) {
     case FaultAction::Corrupt:
       if (text != nullptr) *text = armed.corrupt_text;
       return true;
+    case FaultAction::Abort:
+      std::abort();
   }
   return false;
+}
+
+FaultInjector& FaultInjector::process() {
+  static FaultInjector injector;
+  return injector;
+}
+
+namespace {
+
+bool parse_site(std::string_view name, FaultSite& site) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const auto candidate = static_cast<FaultSite>(i);
+    if (name == to_string(candidate)) {
+      site = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_action(std::string_view name, FaultAction& action) {
+  if (name == "throw") { action = FaultAction::Throw; return true; }
+  if (name == "throw-nonstd") { action = FaultAction::ThrowNonStd; return true; }
+  if (name == "delay") { action = FaultAction::Delay; return true; }
+  if (name == "corrupt") { action = FaultAction::Corrupt; return true; }
+  if (name == "abort") { action = FaultAction::Abort; return true; }
+  return false;
+}
+
+}  // namespace
+
+bool parse_fault_cli_spec(std::string_view spec_text, FaultSite& site,
+                          FaultSpec& spec, std::string& error) {
+  spec = FaultSpec{};
+  const auto next_field = [&spec_text]() -> std::string_view {
+    const std::size_t colon = spec_text.find(':');
+    std::string_view field = spec_text.substr(0, colon);
+    spec_text = colon == std::string_view::npos ? std::string_view{}
+                                                : spec_text.substr(colon + 1);
+    return field;
+  };
+  const std::string_view site_name = next_field();
+  if (!parse_site(site_name, site)) {
+    error = "unknown fault site '" + std::string(site_name) + "'";
+    return false;
+  }
+  const std::string_view action_name = next_field();
+  if (!parse_action(action_name, spec.action)) {
+    error = "unknown fault action '" + std::string(action_name) + "'";
+    return false;
+  }
+  while (!spec_text.empty()) {
+    const std::string_view field = next_field();
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      error = "malformed fault option '" + std::string(field) +
+              "' (expected key=value)";
+      return false;
+    }
+    const std::string_view key = field.substr(0, eq);
+    const std::string value(field.substr(eq + 1));
+    try {
+      if (key == "skip") {
+        spec.skip_first = std::stoi(value);
+      } else if (key == "fires") {
+        spec.max_fires = std::stoi(value);
+      } else if (key == "delay") {
+        spec.delay_seconds = std::stod(value);
+      } else if (key == "match") {
+        spec.match_text = value;
+      } else if (key == "text") {
+        spec.corrupt_text = value;
+      } else {
+        error = "unknown fault option '" + std::string(key) + "'";
+        return false;
+      }
+    } catch (const std::exception&) {
+      error = "bad numeric value in fault option '" + std::string(field) + "'";
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace ideobf

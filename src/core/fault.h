@@ -13,18 +13,22 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace ideobf {
 
-/// The named hook points threaded through the pipeline.
+/// The named hook points threaded through the pipeline and the serve fleet.
 enum class FaultSite {
   Parse,            ///< entry validity parse of a pipeline attempt
   PieceExecution,   ///< recovery sandbox-executing a recoverable piece
   MemoLookup,       ///< recovery memo consultation
   MultilayerDecode, ///< multilayer payload extraction/decoding
   SandboxRun,       ///< Sandbox::run script execution
+  WorkerAbort,      ///< server worker, just before dispatching a request
+  WorkerHang,       ///< server worker, inside request dispatch (Delay)
+  CacheCorrupt,     ///< shared response cache, after an entry is published
 };
-inline constexpr std::size_t kFaultSiteCount = 5;
+inline constexpr std::size_t kFaultSiteCount = 8;
 
 const char* to_string(FaultSite site);
 
@@ -34,6 +38,8 @@ enum class FaultAction {
   ThrowNonStd,  ///< throw a non-std value (tests catch(...) fallbacks)
   Delay,        ///< sleep `delay_seconds` (tests deadlines and the watchdog)
   Corrupt,      ///< overwrite the site's text operand with `corrupt_text`
+  Abort,        ///< std::abort() the process (crash-containment drills; the
+                ///< fleet supervisor must treat this as a normal event)
 };
 
 /// What an injected Throw raises. Derives from std::exception so most
@@ -52,6 +58,12 @@ struct FaultSpec {
   int max_fires = -1;        ///< stop firing after this many (-1 = unlimited)
   double delay_seconds = 0;  ///< for Delay
   std::string corrupt_text;  ///< for Corrupt
+  /// When non-empty, the fault only fires on visits whose text operand
+  /// contains this substring (non-matching visits don't consume skip_first
+  /// or max_fires). This is how a crash drill marks one "killer" script in a
+  /// stream of innocent traffic: only requests carrying the marker abort the
+  /// worker, so quarantine tests are deterministic.
+  std::string match_text;
 };
 
 /// Thread-safe; one injector can serve a whole batch. Counters make tests
@@ -67,9 +79,16 @@ class FaultInjector {
   [[nodiscard]] int fires(FaultSite site) const;
 
   /// The hook: called at each site with the site's text operand when it has
-  /// one (Corrupt mutates it in place). May throw or sleep per the armed
-  /// spec. Returns true when a fault fired.
+  /// one (Corrupt mutates it in place). May throw, sleep, or abort the
+  /// process per the armed spec. Returns true when a fault fired.
   bool inject(FaultSite site, std::string* text = nullptr);
+
+  /// The process-wide injector used by fleet workers: a worker process arms
+  /// it from the `--fault` CLI spec at startup, and the server's hook points
+  /// fire through it. Distinct from the per-run injector handed around via
+  /// options — this one exists so a fork+exec'd worker can be armed without
+  /// any shared memory with its supervisor.
+  static FaultInjector& process();
 
  private:
   struct State {
@@ -80,5 +99,13 @@ class FaultInjector {
   mutable std::mutex mu_;
   State sites_[kFaultSiteCount];
 };
+
+/// Parses the CLI fault grammar `SITE:ACTION[:skip=N][:fires=N][:match=STR]
+/// [:delay=SECONDS][:text=STR]` (e.g. `worker-abort:abort:match=KILLME`)
+/// into a (site, spec) pair. SITE names are the to_string() names; ACTION is
+/// one of throw, throw-nonstd, delay, corrupt, abort. Returns false and sets
+/// `error` on malformed input.
+bool parse_fault_cli_spec(std::string_view spec_text, FaultSite& site,
+                          FaultSpec& spec, std::string& error);
 
 }  // namespace ideobf

@@ -712,27 +712,44 @@ class Reconstructor {
       stats_.memo_misses++;
     }
     std::string literal;
+    // Observe stage latency on scope exit so throwing evaluations (the
+    // common case for hostile pieces — every failed vm run used to report
+    // self_seconds=0) still charge their elapsed nanoseconds to the stage.
+    struct StageTimer {
+      telemetry::Histogram* hist = nullptr;
+      std::uint64_t t0 = 0;
+      void start(telemetry::Histogram& h) {
+        hist = &h;
+        t0 = telemetry::now_ns();
+      }
+      void finish() {
+        if (hist != nullptr) hist->observe_ns(telemetry::now_ns() - t0);
+        hist = nullptr;
+      }
+      ~StageTimer() { finish(); }
+    };
+    StageTimer timer;
     const bool timed = telemetry::enabled();
-    const std::uint64_t t0 = timed ? telemetry::now_ns() : 0;
     try {
       Value result;
       if (pure) {
         stats_.pieces_folded++;
         fold_counter().add();
+        if (timed) timer.start(fold_histogram());
         ps::Interpreter& interp = fold_interpreter();
         // A fresh step allowance per piece, as a fresh interpreter has.
         interp.reset_steps();
         result = ps::bytecode::run_chunk(*chunk, interp);
-        if (timed) fold_histogram().observe_ns(telemetry::now_ns() - t0);
       } else if (chunk != nullptr) {
         stats_.bytecode_execs++;
         bytecode_exec_counter().add();
+        if (timed) timer.start(vm_histogram());
         auto interp = make_interpreter();
         result = ps::bytecode::run_chunk(*chunk, *interp);
-        if (timed) vm_histogram().observe_ns(telemetry::now_ns() - t0);
       } else {
         stats_.treewalk_fallbacks++;
         treewalk_fallback_counter().add();
+        if (timed) timer.start(fallback_histogram());
         auto interp = make_interpreter();
         // Parse-once: a piece whose text is still the node's verbatim
         // source evaluates from the already-parsed subtree; only pieces
@@ -741,7 +758,6 @@ class Reconstructor {
             cache_ != nullptr && node != nullptr && matches_source(*node, text)
                 ? interp->evaluate(*node, src_)
                 : interp->evaluate_script(text);
-        if (timed) fallback_histogram().observe_ns(telemetry::now_ns() - t0);
       }
       literal = value_to_literal(result);
     } catch (const ps::BudgetError&) {
@@ -752,6 +768,7 @@ class Reconstructor {
       record_piece_failure(classify_current_exception().first);
       literal.clear();  // blocked / unknown / limit / error: keep the piece
     }
+    timer.finish();  // observe now; don't charge memo-store time below
     if (literal == text) literal.clear();  // no progress
     if (options_.memo != nullptr) options_.memo->store(ctx, text, literal);
     return literal;

@@ -16,6 +16,8 @@ const char* to_string(FailureKind kind) {
     case FailureKind::EvalError: return "eval-error";
     case FailureKind::Cancelled: return "cancelled";
     case FailureKind::Internal: return "internal";
+    case FailureKind::WorkerCrash: return "worker-crash";
+    case FailureKind::Quarantined: return "quarantined";
   }
   return "internal";
 }
@@ -30,6 +32,8 @@ FailureKind failure_from_string(std::string_view name) {
   if (name == "blocked-command") return FailureKind::BlockedCommand;
   if (name == "eval-error") return FailureKind::EvalError;
   if (name == "cancelled") return FailureKind::Cancelled;
+  if (name == "worker-crash") return FailureKind::WorkerCrash;
+  if (name == "quarantined") return FailureKind::Quarantined;
   return FailureKind::Internal;
 }
 
@@ -44,9 +48,14 @@ int failure_severity(FailureKind kind) {
     case FailureKind::MemoryBudget: return 6;
     case FailureKind::Timeout: return 7;
     case FailureKind::Cancelled: return 8;
-    case FailureKind::Internal: return 9;
+    // Fleet-level outcomes: a quarantine refusal is an expected answer for a
+    // known-killer hash, a live worker crash is the worst thing the service
+    // can observe short of an internal bug.
+    case FailureKind::Quarantined: return 9;
+    case FailureKind::WorkerCrash: return 10;
+    case FailureKind::Internal: return 11;
   }
-  return 9;
+  return 11;
 }
 
 FailureKind worse_failure(FailureKind a, FailureKind b) {

@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file admission.h
+/// Admission control for the serve fleet: a per-client token bucket (rate +
+/// burst, refilled continuously) and a fair round-robin bounded queue, so a
+/// firehosing client is refused with "overloaded"/retry-after at its own
+/// bucket and cannot starve everyone else's place in the queue either.
+/// Header-only: both pieces are small, and the unit tests drive them with
+/// synthetic clocks.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace ideobf::server {
+
+/// A continuously refilled token bucket. Callers pass the current time (in
+/// seconds on any monotonic clock) and the live rate/burst, so hot-reloaded
+/// limits apply to existing connections immediately and tests need no real
+/// clock. Not thread-safe — each connection's bucket is only touched by its
+/// own reader thread.
+class TokenBucket {
+ public:
+  /// Takes one token when available. `rate` is tokens/second; `burst` is
+  /// the bucket capacity (clamped to at least 1 token).
+  bool try_take(double rate, double burst, double now_seconds) {
+    refill(rate, burst, now_seconds);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      return true;
+    }
+    return false;
+  }
+
+  /// Milliseconds until one token will have accumulated (0 when one is
+  /// already available) — the `retry_after_ms` of an overloaded reply.
+  [[nodiscard]] std::uint64_t retry_after_ms(double rate, double burst,
+                                             double now_seconds) {
+    refill(rate, burst, now_seconds);
+    if (tokens_ >= 1.0) return 0;
+    if (rate <= 0.0) return 0;
+    const double seconds = (1.0 - tokens_) / rate;
+    return static_cast<std::uint64_t>(seconds * 1000.0) + 1;
+  }
+
+ private:
+  void refill(double rate, double burst, double now_seconds) {
+    if (burst < 1.0) burst = 1.0;
+    if (!primed_) {
+      // A fresh connection starts with a full bucket: short bursts are the
+      // normal client shape; sustained firehosing is what rate bounds.
+      primed_ = true;
+      tokens_ = burst;
+      last_ = now_seconds;
+      return;
+    }
+    const double elapsed = now_seconds - last_;
+    if (elapsed > 0.0) {
+      tokens_ += elapsed * rate;
+      last_ = now_seconds;
+    }
+    if (tokens_ > burst) tokens_ = burst;
+  }
+
+  bool primed_ = false;
+  double tokens_ = 0.0;
+  double last_ = 0.0;
+};
+
+/// A bounded multi-producer queue that dequeues round-robin across client
+/// ids: each client keeps its own FIFO order, but one client queueing 60
+/// items cannot make another client's single item wait behind all of them.
+/// Same backpressure contract as the old global BoundedQueue — try_push on a
+/// full queue fails immediately (the "overloaded" signal), pop drains
+/// everything accepted before close().
+template <typename Item>
+class FairBoundedQueue {
+ public:
+  explicit FairBoundedQueue(std::size_t cap)
+      : cap_(cap < 1 ? std::size_t{1} : cap) {}
+
+  bool try_push(std::uint64_t client, Item&& item) {
+    {
+      std::lock_guard lk(mu_);
+      if (closed_ || size_ >= cap_) return false;
+      std::deque<Item>& q = lanes_[client];
+      if (q.empty()) rotation_.push_back(client);
+      q.push_back(std::move(item));
+      ++size_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item in round-robin order; false only when closed
+  /// AND drained.
+  bool pop(Item& out) {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return closed_ || size_ > 0; });
+    if (size_ == 0) return false;
+    const std::uint64_t client = rotation_.front();
+    rotation_.pop_front();
+    auto it = lanes_.find(client);
+    out = std::move(it->second.front());
+    it->second.pop_front();
+    --size_;
+    if (it->second.empty()) {
+      lanes_.erase(it);
+    } else {
+      rotation_.push_back(client);  // this client's turn comes round again
+    }
+    return true;
+  }
+
+  void close() {
+    {
+      std::lock_guard lk(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lk(mu_);
+    return size_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::deque<Item>> lanes_;
+  std::deque<std::uint64_t> rotation_;  ///< client ids with queued items
+  std::size_t size_ = 0;
+  std::size_t cap_;
+  bool closed_ = false;
+};
+
+}  // namespace ideobf::server

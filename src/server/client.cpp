@@ -18,6 +18,10 @@ namespace ideobf {
 struct ServeClient::Impl {
   int fd = -1;
   std::string buf;  ///< bytes received past the last consumed line
+  /// Connect target, remembered so call_retrying can re-dial after a worker
+  /// crash severs the connection. Unix when `unix_path` is non-empty.
+  std::string unix_path;
+  std::uint16_t tcp_port = 0;
 
   ~Impl() {
     if (fd >= 0) ::close(fd);
@@ -76,6 +80,7 @@ ServeClient ServeClient::connect_unix(const std::string& socket_path) {
   }
   auto impl = std::make_unique<Impl>();
   impl->fd = fd;
+  impl->unix_path = socket_path;
   return ServeClient(std::move(impl));
 }
 
@@ -95,6 +100,7 @@ ServeClient ServeClient::connect_tcp(std::uint16_t port) {
   }
   auto impl = std::make_unique<Impl>();
   impl->fd = fd;
+  impl->tcp_port = port;
   return ServeClient(std::move(impl));
 }
 
@@ -112,6 +118,68 @@ ServeReply ServeClient::call(const Request& request) {
     throw std::runtime_error("malformed server reply: " + error);
   }
   return reply;
+}
+
+ServeReply ServeClient::call_retrying(const Request& request, int attempts) {
+  if (attempts < 1) attempts = 1;
+  std::string last_error;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (impl_->fd < 0) {
+      // Previous attempt severed the connection; re-dial the same address.
+      // A fresh connect lands on whichever fleet worker accepts next.
+      try {
+        ServeClient fresh = impl_->unix_path.empty()
+                                ? connect_tcp(impl_->tcp_port)
+                                : connect_unix(impl_->unix_path);
+        impl_ = std::move(fresh.impl_);
+      } catch (const std::exception& e) {
+        last_error = e.what();
+        // The listener itself may lag a worker restart by a backoff step.
+        ::usleep(50 * 1000);
+        continue;
+      }
+    }
+    try {
+      return call(request);
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      if (impl_->fd >= 0) ::close(impl_->fd);
+      impl_->fd = -1;
+      impl_->buf.clear();
+    }
+  }
+  // Every attempt died on transport: answer terminally instead of throwing,
+  // so a crashed worker still yields a classified reply.
+  ServeReply reply;
+  reply.status = std::string(server::kStatusFailed);
+  reply.response.id = request.id;
+  reply.response.result = request.source;  // deobfuscation is total
+  reply.response.ok = false;
+  reply.response.failure = FailureKind::WorkerCrash;
+  reply.response.failure_detail =
+      "connection lost " + std::to_string(attempts) +
+      " time(s) serving this request (worker crash?): " + last_error;
+  reply.response.report.failure = reply.response.failure;
+  reply.response.report.failure_detail = reply.response.failure_detail;
+  return reply;
+}
+
+bool ServeClient::ready() {
+  impl_->send_all(server::render_op_line("ready"));
+  const std::string line = impl_->recv_line();
+  std::optional<server::JsonValue> doc = server::parse_json(line);
+  if (!doc.has_value()) return false;
+  const server::JsonValue* ready = doc->find("ready");
+  return ready != nullptr && ready->as_bool();
+}
+
+bool ServeClient::live() {
+  impl_->send_all(server::render_op_line("live"));
+  const std::string line = impl_->recv_line();
+  std::optional<server::JsonValue> doc = server::parse_json(line);
+  if (!doc.has_value()) return false;
+  const server::JsonValue* live = doc->find("live");
+  return live != nullptr && live->as_bool();
 }
 
 std::string ServeClient::metrics() {

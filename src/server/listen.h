@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file listen.h
+/// Listener construction shared by the single-process server and the fleet
+/// supervisor (which binds once and passes the fds to forked workers across
+/// exec, so the kernel load-balances accept() over one listening socket).
+
+#include <cstdint>
+#include <string>
+
+namespace ideobf::server {
+
+/// Binds + listens on a Unix domain socket at `path`, mode 0600. Replaces
+/// only an existing *socket* at the path; any other file type is a startup
+/// error. Throws std::runtime_error on failure.
+int make_unix_listener(const std::string& path);
+
+/// Binds + listens on 127.0.0.1:`port` (0 = ephemeral; the bound port is
+/// written to `bound_port`). Throws std::runtime_error on failure.
+int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port);
+
+}  // namespace ideobf::server

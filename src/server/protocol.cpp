@@ -240,6 +240,14 @@ bool parse_request_line(std::string_view line, WireRequest& out,
     out.op = WireRequest::Op::Shutdown;
     return true;
   }
+  if (op == "ready") {
+    out.op = WireRequest::Op::Ready;
+    return true;
+  }
+  if (op == "live") {
+    out.op = WireRequest::Op::Live;
+    return true;
+  }
   if (op != "deobfuscate") {
     error = "unknown op '" + op + "'";
     return false;
@@ -344,6 +352,37 @@ std::string render_error_line(std::string_view id, std::string_view status,
   w.field("id", id);
   w.field("status", status);
   w.field("error", message);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_overloaded_line(std::string_view id,
+                                   std::string_view message,
+                                   std::uint64_t retry_after_ms) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("id", id);
+  w.field("status", kStatusOverloaded);
+  w.field("error", message);
+  w.field("retry_after_ms", static_cast<std::int64_t>(retry_after_ms));
+  w.end_object();
+  return w.str();
+}
+
+std::string render_ready_line(bool ready) {
+  JsonWriter w;
+  w.begin_object();
+  w.field("status", kStatusOk);
+  w.field("ready", ready);
+  w.end_object();
+  return w.str();
+}
+
+std::string render_live_line() {
+  JsonWriter w;
+  w.begin_object();
+  w.field("status", kStatusOk);
+  w.field("live", true);
   w.end_object();
   return w.str();
 }
@@ -475,6 +514,12 @@ bool parse_reply_line(std::string_view line, ServeReply& out,
   }
   if (const JsonValue* v = doc->find("error"); v != nullptr) {
     r.failure_detail = v->as_string();
+  }
+  if (const JsonValue* v = doc->find("cached"); v != nullptr) {
+    out.cached = v->as_bool();
+  }
+  if (const JsonValue* v = doc->find("retry_after_ms"); v != nullptr) {
+    out.retry_after_ms = static_cast<std::uint64_t>(v->as_double());
   }
   if (const JsonValue* v = doc->find("rung"); v != nullptr) {
     r.report.degradation_rung = static_cast<int>(v->as_double());

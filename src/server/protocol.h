@@ -13,6 +13,7 @@
 /// "shutting-down" never reach the pipeline, so they are protocol-level
 /// verdicts, not FailureKinds.
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -36,6 +37,8 @@ struct WireRequest {
     Ping,         ///< liveness round trip
     Metrics,      ///< Prometheus exposition of the process registry
     Shutdown,     ///< graceful drain: stop accepting, serve in-flight, exit
+    Ready,        ///< readiness probe: accepting and not draining
+    Live,         ///< liveness probe: the process answers at all
   };
   Op op = Op::Deobfuscate;
   Request request;  ///< meaningful for Op::Deobfuscate only
@@ -59,6 +62,17 @@ std::string render_response_line(const Response& response);
 /// Renders a service-level refusal/ack line: {"id":..,"status":..,"error":..}.
 std::string render_error_line(std::string_view id, std::string_view status,
                               std::string_view message);
+
+/// Renders an admission-control refusal: an "overloaded" error line carrying
+/// `retry_after_ms`, the client's earliest useful retry time.
+std::string render_overloaded_line(std::string_view id,
+                                   std::string_view message,
+                                   std::uint64_t retry_after_ms);
+
+/// Renders the ready/live probe replies:
+/// {"status":"ok","ready":true|false} / {"status":"ok","live":true}.
+std::string render_ready_line(bool ready);
+std::string render_live_line();
 
 /// Renders the metrics reply: {"status":"ok","metrics":"<exposition>"}.
 std::string render_metrics_line(std::string_view exposition);

@@ -15,22 +15,32 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <list>
 #include <map>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "core/fault.h"
 #include "ideobf/api.h"
 #include "psvalue/worker_pool.h"
+#include "server/admission.h"
+#include "server/json.h"
+#include "server/listen.h"
 #include "server/protocol.h"
+#include "server/shared_cache.h"
 #include "telemetry/exposition.h"
 #include "telemetry/metrics.h"
+#include "telemetry/telemetry.h"
 
 namespace ideobf::server {
 
@@ -42,6 +52,45 @@ using steady = std::chrono::steady_clock;
 /// line, so the cap is generous — but a client streaming bytes without ever
 /// sending '\n' must not grow the buffer without bound.
 constexpr std::size_t kMaxLineBytes = 64u << 20;
+
+/// Fixed-size crash-journal record, one per worker slot, rewritten in place
+/// with pwrite. 'A' marks a dispatch in flight; anything else is inactive.
+/// The supervisor reads these after an abnormal worker death to learn which
+/// script hash was executing.
+constexpr std::size_t kJournalRecordBytes = 64;
+
+/// Monotonic seconds since process start — the token buckets' clock.
+double now_seconds() {
+  static const steady::time_point epoch = steady::now();
+  return std::chrono::duration<double>(steady::now() - epoch).count();
+}
+
+/// 16-hex rendering of a script hash (the journal/quarantine spelling).
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf, 16);
+}
+
+/// Stable fingerprint text of everything option-shaped that can change a
+/// response — the second half of the shared-cache key. Two requests whose
+/// fingerprints match would produce byte-identical response bodies.
+std::string options_fingerprint(const Options& o, std::uint64_t deadline_ms,
+                                const std::vector<std::string>& blocklist) {
+  std::ostringstream fp;
+  fp << o.token_pass << '|' << o.ast_recovery << '|' << o.multilayer << '|'
+     << o.rename << '|' << o.reformat << '|' << o.parse_cache << '|'
+     << o.limits.deadline_seconds << '|' << o.limits.memory_budget_bytes
+     << '|' << o.limits.degrade << '|' << o.limits.max_layers << '|'
+     << o.limits.max_steps_per_piece << '|' << o.limits.max_piece_size << '|'
+     << o.limits.watchdog_factor << '|' << o.recovery.trace_functions << '|'
+     << deadline_ms;
+  for (const std::string& name : blocklist) fp << '|' << name;
+  return fp.str();
+}
+
+}  // namespace
 
 int make_unix_listener(const std::string& path) {
   sockaddr_un addr{};
@@ -109,6 +158,8 @@ int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
   return fd;
 }
 
+namespace {
+
 /// One accepted client. Owns the fd (closed when the last reference —
 /// reader thread or queued work — drops), serializes concurrent writers,
 /// and tracks the cancellation tokens of this client's queued/in-flight
@@ -123,9 +174,16 @@ struct Connection {
   std::mutex token_mu;
   std::map<std::uint64_t, CancellationToken> inflight;
   std::uint64_t next_token_id = 0;
+  /// Fair-queue lane + admission identity of this client. The bucket is
+  /// only touched from this connection's reader thread.
+  std::uint64_t client_id = 0;
+  TokenBucket bucket;
 
   Connection(int fd_in, bool via_tcp_in, double send_timeout)
-      : fd(fd_in), via_tcp(via_tcp_in), send_timeout_seconds(send_timeout) {}
+      : fd(fd_in), via_tcp(via_tcp_in), send_timeout_seconds(send_timeout) {
+    static std::atomic<std::uint64_t> next_client{1};
+    client_id = next_client.fetch_add(1, std::memory_order_relaxed);
+  }
   ~Connection() {
     if (fd >= 0) ::close(fd);
   }
@@ -200,55 +258,12 @@ struct QueueItem {
   std::shared_ptr<Connection> conn;
   CancellationToken token;
   std::uint64_t token_id = 0;
-};
-
-/// The bounded handoff between readers and worker slots. try_push fails on
-/// a full queue — that failure IS the backpressure signal ("overloaded"),
-/// never a blocking producer.
-class BoundedQueue {
- public:
-  explicit BoundedQueue(std::size_t cap) : cap_(std::max<std::size_t>(cap, 1)) {}
-
-  bool try_push(QueueItem&& item) {
-    {
-      std::lock_guard lk(mu_);
-      if (closed_ || q_.size() >= cap_) return false;
-      q_.push_back(std::move(item));
-    }
-    cv_.notify_one();
-    return true;
-  }
-
-  /// Blocks for the next item; false only when closed AND drained, so a
-  /// graceful shutdown still serves everything accepted before it.
-  bool pop(QueueItem& out) {
-    std::unique_lock lk(mu_);
-    cv_.wait(lk, [&] { return closed_ || !q_.empty(); });
-    if (q_.empty()) return false;
-    out = std::move(q_.front());
-    q_.pop_front();
-    return true;
-  }
-
-  void close() {
-    {
-      std::lock_guard lk(mu_);
-      closed_ = true;
-    }
-    cv_.notify_all();
-  }
-
-  [[nodiscard]] std::size_t depth() const {
-    std::lock_guard lk(mu_);
-    return q_.size();
-  }
-
- private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<QueueItem> q_;
-  std::size_t cap_;
-  bool closed_ = false;
+  /// Script hash (journal/quarantine identity), computed at admission.
+  std::uint64_t script_hash = 0;
+  /// Shared-cache key; `cacheable` is false for trace requests and requests
+  /// carrying their own options object.
+  CacheKey cache_key;
+  bool cacheable = false;
 };
 
 struct AtomicStats {
@@ -263,16 +278,24 @@ struct AtomicStats {
   std::atomic<std::uint64_t> shutting_down_total{0};
   std::atomic<std::uint64_t> disconnect_cancelled_total{0};
   std::atomic<std::uint64_t> watchdog_cancelled_total{0};
+  std::atomic<std::uint64_t> admission_rejected_total{0};
+  std::atomic<std::uint64_t> quarantined_total{0};
+  std::atomic<std::uint64_t> cache_hits_total{0};
+  std::atomic<std::uint64_t> cache_misses_total{0};
+  std::atomic<std::uint64_t> cache_stores_total{0};
+  std::atomic<std::uint64_t> cache_corrupt_total{0};
+  std::atomic<std::uint64_t> reloads_total{0};
 };
 
 /// The signal handler's only capability: one byte into the active server's
-/// self-pipe. Everything else happens on the accept loop.
+/// self-pipe ('s' = stop, 'h' = hot reload). Everything else happens on the
+/// accept loop.
 std::atomic<int> g_signal_pipe_fd{-1};
 
-extern "C" void serve_signal_handler(int) {
+extern "C" void serve_signal_handler(int signum) {
   int fd = g_signal_pipe_fd.load(std::memory_order_relaxed);
   if (fd >= 0) {
-    char b = 's';
+    char b = signum == SIGHUP ? 'h' : 's';
     [[maybe_unused]] ssize_t r = ::write(fd, &b, 1);
   }
 }
@@ -305,11 +328,32 @@ struct Server::Impl {
         g_queue_depth(
             &telemetry::registry().gauge("ideobf_server_queue_depth")),
         h_request_seconds(&telemetry::registry().histogram(
-            "ideobf_server_request_seconds")) {}
+            "ideobf_server_request_seconds")),
+        c_admission_rejected(&telemetry::registry().counter(
+            "ideobf_fleet_admission_rejected_total")),
+        c_quarantined(&telemetry::registry().counter(
+            "ideobf_fleet_quarantined_total")),
+        c_cache_hit(&telemetry::registry().counter(
+            "ideobf_fleet_cache_requests_total", "result=\"hit\"")),
+        c_cache_miss(&telemetry::registry().counter(
+            "ideobf_fleet_cache_requests_total", "result=\"miss\"")),
+        c_cache_store(&telemetry::registry().counter(
+            "ideobf_fleet_cache_stores_total")),
+        c_cache_corrupt(&telemetry::registry().counter(
+            "ideobf_fleet_cache_corrupt_total")),
+        c_reloads(&telemetry::registry().counter(
+            "ideobf_fleet_reloads_total")),
+        h_cache_hit_seconds(&telemetry::registry().histogram(
+            "ideobf_fleet_cache_hit_seconds")) {
+    live_deadline_ms = cfg.default_deadline_ms;
+    live_rate = cfg.admission_rate;
+    live_burst = cfg.admission_burst;
+    live_blocklist = cfg.options.recovery.extra_blocklist;
+  }
 
   ServerConfig cfg;
   Engine engine;
-  BoundedQueue queue;
+  FairBoundedQueue<QueueItem> queue;
   AtomicStats stats;
 
   // Interned once; recording is lock-free.
@@ -324,12 +368,33 @@ struct Server::Impl {
   telemetry::Counter* c_watchdog_cancel;
   telemetry::Gauge* g_queue_depth;
   telemetry::Histogram* h_request_seconds;
+  telemetry::Counter* c_admission_rejected;
+  telemetry::Counter* c_quarantined;
+  telemetry::Counter* c_cache_hit;
+  telemetry::Counter* c_cache_miss;
+  telemetry::Counter* c_cache_store;
+  telemetry::Counter* c_cache_corrupt;
+  telemetry::Counter* c_reloads;
+  telemetry::Histogram* h_cache_hit_seconds;
 
   int unix_fd = -1;
   int tcp_fd = -1;
   std::uint16_t bound_tcp_port = 0;
   int pipe_r = -1;
   int pipe_w = -1;
+
+  // --- fleet state ---------------------------------------------------------
+  std::unique_ptr<SharedResponseCache> cache;
+  int journal_fd = -1;
+  std::mutex quarantine_mu;
+  std::unordered_set<std::string> quarantine;  ///< 16-hex script hashes
+  /// Hot-reloadable knobs (SIGHUP): guarded by reload_mu, read per request.
+  std::mutex reload_mu;
+  std::uint64_t live_deadline_ms = 0;
+  double live_rate = 0.0;
+  double live_burst = 0.0;
+  std::vector<std::string> live_blocklist;
+  bool blocklist_overridden = false;
 
   std::atomic<bool> started{false};
   std::atomic<bool> stop_requested{false};
@@ -376,6 +441,14 @@ struct Server::Impl {
       case WireRequest::Op::Ping:
         conn->send_line(render_pong_line());
         return;
+      case WireRequest::Op::Live:
+        conn->send_line(render_live_line());
+        return;
+      case WireRequest::Op::Ready:
+        conn->send_line(render_ready_line(
+            started.load(std::memory_order_relaxed) &&
+            !stop_requested.load(std::memory_order_relaxed)));
+        return;
       case WireRequest::Op::Metrics:
         conn->send_line(render_metrics_line(
             telemetry::render_prometheus(telemetry::registry())));
@@ -410,14 +483,121 @@ struct Server::Impl {
       return;
     }
 
+    // Snapshot the hot-reloadable knobs once per request.
+    std::uint64_t deadline_default;
+    double rate;
+    double burst;
+    std::vector<std::string> blocklist;
+    bool blocklist_over;
+    {
+      std::lock_guard lk(reload_mu);
+      deadline_default = live_deadline_ms;
+      rate = live_rate;
+      burst = live_burst;
+      blocklist = live_blocklist;
+      blocklist_over = blocklist_overridden;
+    }
+
+    // Quarantine: a script hash that keeps killing workers is answered
+    // terminally here, before it can reach an engine (or a journal) again.
+    const std::uint64_t script_hash = fnv1a64(wire.request.source, 0);
+    if (!cfg.quarantine_path.empty()) {
+      bool listed;
+      {
+        std::lock_guard lk(quarantine_mu);
+        listed = quarantine.contains(hash_hex(script_hash));
+      }
+      if (listed) {
+        stats.quarantined_total.fetch_add(1, std::memory_order_relaxed);
+        stats.failed_total.fetch_add(1, std::memory_order_relaxed);
+        c_quarantined->add();
+        c_failed->add();
+        Response refusal;
+        refusal.id = wire.request.id;
+        refusal.result = wire.request.source;  // deobfuscation is total
+        refusal.ok = false;
+        refusal.failure = FailureKind::Quarantined;
+        refusal.failure_detail =
+            "script hash " + hash_hex(script_hash) +
+            " is quarantined after repeated worker crashes";
+        refusal.report.failure = refusal.failure;
+        refusal.report.failure_detail = refusal.failure_detail;
+        conn->send_line(render_response_line(refusal));
+        return;
+      }
+    }
+
+    // Admission control: each client spends from its own token bucket, so
+    // one firehosing client is refused at its bucket while everyone else
+    // still fits the queue.
+    if (rate > 0.0) {
+      const double capacity = burst > 0.0 ? burst : std::max(rate, 1.0);
+      const double now = now_seconds();
+      if (!conn->bucket.try_take(rate, capacity, now)) {
+        stats.overloaded_total.fetch_add(1, std::memory_order_relaxed);
+        stats.admission_rejected_total.fetch_add(1, std::memory_order_relaxed);
+        c_overloaded->add();
+        c_admission_rejected->add();
+        conn->send_line(render_overloaded_line(
+            wire.request.id, "per-client rate limit exceeded",
+            conn->bucket.retry_after_ms(rate, capacity, now)));
+        return;
+      }
+    }
+
     QueueItem item;
     item.request = std::move(wire.request);
     item.conn = conn;
+    item.script_hash = script_hash;
+    if (item.request.deadline_ms == 0) {
+      item.request.deadline_ms = deadline_default;
+    }
+
+    // Shared response cache: a hit is answered straight from the reader
+    // thread — no queue slot, no engine, no journal entry. Requests with
+    // inline options or a trace ask are not content-addressable here.
+    if (cache != nullptr && !item.request.trace &&
+        !item.request.options.has_value()) {
+      item.cacheable = true;
+      item.cache_key = make_cache_key(
+          item.request.source,
+          options_fingerprint(cfg.options, item.request.deadline_ms,
+                              blocklist));
+      const std::uint64_t t0 = telemetry::now_ns();
+      const std::uint64_t corrupt_before = cache->stats().corrupt;
+      std::string cached;
+      std::string line;
+      if (cache->lookup(item.cache_key, cached) &&
+          splice_cached_response_line(cached, item.request.id, line)) {
+        stats.cache_hits_total.fetch_add(1, std::memory_order_relaxed);
+        stats.ok_total.fetch_add(1, std::memory_order_relaxed);
+        c_cache_hit->add();
+        c_ok->add();
+        h_cache_hit_seconds->observe_ns(telemetry::now_ns() - t0);
+        conn->send_line(line);
+        return;
+      }
+      stats.cache_misses_total.fetch_add(1, std::memory_order_relaxed);
+      c_cache_miss->add();
+      if (cache->stats().corrupt > corrupt_before) {
+        stats.cache_corrupt_total.fetch_add(1, std::memory_order_relaxed);
+        c_cache_corrupt->add();
+      }
+    }
+
+    // Hot-reloaded blocklist: applied by attaching the server's effective
+    // options to requests that carry none (the recovery memo fingerprints
+    // the blocklist, so this is output-correct without an engine rebuild).
+    if (blocklist_over && !item.request.options.has_value()) {
+      item.request.options = cfg.options;
+      item.request.options->recovery.extra_blocklist = std::move(blocklist);
+    }
+
     item.token = CancellationToken::make();
     item.token_id = conn->add_token(item.token);
     const std::string id = item.request.id;
     const std::uint64_t token_id = item.token_id;
-    if (!queue.try_push(std::move(item))) {
+    if (!queue.try_push(conn->client_id, std::move(item))) {
       conn->remove_token(token_id);
       stats.overloaded_total.fetch_add(1, std::memory_order_relaxed);
       c_overloaded->add();
@@ -466,7 +646,35 @@ struct Server::Impl {
     watching.erase(it);
   }
 
-  void process(Engine::Session& session, QueueItem& item) {
+  /// Journal bookkeeping around a dispatch: one fixed-size record per
+  /// worker slot, rewritten in place. The kernel page cache makes the
+  /// record survive this process's death (no fsync needed — the record only
+  /// has to outlive the worker, not a machine crash).
+  void journal_dispatch(unsigned slot, std::uint64_t script_hash) {
+    if (journal_fd < 0) return;
+    char record[kJournalRecordBytes];
+    std::memset(record, ' ', sizeof(record));
+    const std::string hex = hash_hex(script_hash);
+    record[0] = 'A';
+    std::memcpy(record + 2, hex.data(), hex.size());
+    record[sizeof(record) - 1] = '\n';
+    [[maybe_unused]] ssize_t r =
+        ::pwrite(journal_fd, record, sizeof(record),
+                 static_cast<off_t>(slot) * kJournalRecordBytes);
+  }
+
+  void journal_done(unsigned slot) {
+    if (journal_fd < 0) return;
+    char record[kJournalRecordBytes];
+    std::memset(record, ' ', sizeof(record));
+    record[0] = 'D';
+    record[sizeof(record) - 1] = '\n';
+    [[maybe_unused]] ssize_t r =
+        ::pwrite(journal_fd, record, sizeof(record),
+                 static_cast<off_t>(slot) * kJournalRecordBytes);
+  }
+
+  void process(Engine::Session& session, QueueItem& item, unsigned slot) {
     g_queue_depth->sub(1);
     if (item.conn->closed.load(std::memory_order_relaxed)) {
       // Client already gone; its tokens were cancelled by the reader. Do
@@ -484,9 +692,39 @@ struct Server::Impl {
     }
     const Options::Limits lim = envelope_of(item);
     auto watch_it = watch(item, lim);
+    // The journal record must cover every instruction that touches the
+    // request — including the injected crash below, which is exactly the
+    // spot a hostile script would take the process down for real.
+    journal_dispatch(slot, item.script_hash);
+    if (cfg.server_fault != nullptr) {
+      cfg.server_fault->inject(FaultSite::WorkerAbort, &item.request.source);
+      cfg.server_fault->inject(FaultSite::WorkerHang, &item.request.source);
+    }
     Response response = session.handle(item.request, lim);
+    journal_done(slot);
     unwatch(watch_it);
     item.conn->remove_token(item.token_id);
+
+    // Publish cacheable full-strength responses for the whole fleet. The
+    // cached line is rendered with an empty id (spliced per request on the
+    // hit path); degraded/failed responses are never cached — a response
+    // shaped by this call's deadline pressure must not be replayed.
+    if (item.cacheable && cache != nullptr && response.ok &&
+        response.report.degradation_rung == 0 &&
+        response.report.trace.empty()) {
+      Response anonymous = response;
+      anonymous.id.clear();
+      if (cache->store(item.cache_key, render_response_line(anonymous))) {
+        stats.cache_stores_total.fetch_add(1, std::memory_order_relaxed);
+        c_cache_store->add();
+        if (cfg.server_fault != nullptr) {
+          std::string probe = item.request.source;
+          if (cfg.server_fault->inject(FaultSite::CacheCorrupt, &probe)) {
+            cache->corrupt_entry(item.cache_key);
+          }
+        }
+      }
+    }
 
     const std::string_view status = status_of(response);
     if (status == kStatusOk) {
@@ -510,7 +748,7 @@ struct Server::Impl {
     Engine::Session session = engine.session();
     QueueItem item;
     while (queue.pop(item)) {
-      process(session, item);
+      process(session, item, slot);
       item = QueueItem{};  // drop conn/token references promptly
     }
   }
@@ -566,13 +804,27 @@ struct Server::Impl {
         break;
       }
       if ((fds[0].revents & POLLIN) != 0) {
+        // Self-pipe bytes: 's' = stop (possibly straight from a signal
+        // handler that could not call request_stop itself), 'h' = SIGHUP
+        // hot reload of limits/blocklist/quarantine.
         char drain[64];
-        while (::read(pipe_r, drain, sizeof(drain)) > 0) {
+        bool stop = false;
+        bool hup = false;
+        ssize_t n;
+        while ((n = ::read(pipe_r, drain, sizeof(drain))) > 0) {
+          for (ssize_t i = 0; i < n; ++i) {
+            if (drain[i] == 'h') {
+              hup = true;
+            } else {
+              stop = true;
+            }
+          }
         }
-        // A pipe byte is the stop signal (possibly straight from a signal
-        // handler that could not call request_stop itself).
-        request_stop();
-        break;
+        if (hup) reload();
+        if (stop) {
+          request_stop();
+          break;
+        }
       }
       for (std::size_t i = 1; i < fds.size(); ++i) {
         if ((fds[i].revents & POLLIN) == 0) continue;
@@ -604,7 +856,72 @@ struct Server::Impl {
     if (tcp_fd >= 0) ::close(tcp_fd);
     unix_fd = -1;
     tcp_fd = -1;
-    if (!cfg.unix_socket_path.empty()) ::unlink(cfg.unix_socket_path.c_str());
+    // An inherited listener belongs to the supervisor: other workers are
+    // still accepting on the same socket, so never unlink the path here.
+    if (!cfg.unix_socket_path.empty() && cfg.inherited_unix_fd < 0) {
+      ::unlink(cfg.unix_socket_path.c_str());
+    }
+  }
+
+  // --- hot reload ----------------------------------------------------------
+
+  /// SIGHUP: re-reads the quarantine file and (when configured) the reload
+  /// config JSON. Unparseable input keeps the previous values — a bad edit
+  /// must not take a serving worker down.
+  void reload() {
+    if (!cfg.quarantine_path.empty()) load_quarantine();
+    if (!cfg.reload_config_path.empty()) load_reload_config();
+    stats.reloads_total.fetch_add(1, std::memory_order_relaxed);
+    c_reloads->add();
+  }
+
+  void load_quarantine() {
+    std::ifstream in(cfg.quarantine_path);
+    if (!in.is_open()) return;  // no file yet = nothing quarantined
+    std::unordered_set<std::string> fresh;
+    std::string line;
+    while (std::getline(in, line)) {
+      while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+        line.pop_back();
+      }
+      if (line.size() == 16 &&
+          line.find_first_not_of("0123456789abcdef") == std::string::npos) {
+        fresh.insert(line);
+      }
+    }
+    std::lock_guard lk(quarantine_mu);
+    quarantine = std::move(fresh);
+  }
+
+  void load_reload_config() {
+    std::ifstream in(cfg.reload_config_path);
+    if (!in.is_open()) return;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::optional<JsonValue> doc = parse_json(buf.str());
+    if (!doc.has_value() || !doc->is_object()) return;
+    std::lock_guard lk(reload_mu);
+    if (const JsonValue* v = doc->find("default_deadline_ms");
+        v != nullptr && v->is_number()) {
+      live_deadline_ms = static_cast<std::uint64_t>(v->as_double());
+    }
+    if (const JsonValue* v = doc->find("admission_rate");
+        v != nullptr && v->is_number()) {
+      live_rate = v->as_double();
+    }
+    if (const JsonValue* v = doc->find("admission_burst");
+        v != nullptr && v->is_number()) {
+      live_burst = v->as_double();
+    }
+    if (const JsonValue* v = doc->find("extra_blocklist");
+        v != nullptr && v->is_array()) {
+      std::vector<std::string> names;
+      for (const JsonValue& item : *v->as_array()) {
+        if (item.is_string()) names.push_back(item.as_string());
+      }
+      live_blocklist = std::move(names);
+      blocklist_overridden = true;
+    }
   }
 
   void reap_finished_readers_locked() {
@@ -673,6 +990,7 @@ Server::~Server() {
   g_signal_pipe_fd.compare_exchange_strong(expected, -1);
   if (impl_->pipe_r >= 0) ::close(impl_->pipe_r);
   if (impl_->pipe_w >= 0) ::close(impl_->pipe_w);
+  if (impl_->journal_fd >= 0) ::close(impl_->journal_fd);
 }
 
 void Server::start() {
@@ -686,8 +1004,47 @@ void Server::start() {
   }
   s.pipe_r = pfd[0];
   s.pipe_w = pfd[1];
-  s.unix_fd = make_unix_listener(s.cfg.unix_socket_path);
-  if (s.cfg.tcp) s.tcp_fd = make_tcp_listener(s.cfg.tcp_port, s.bound_tcp_port);
+  if (s.cfg.inherited_unix_fd >= 0) {
+    // Fleet worker: the supervisor bound the listener before fork+exec;
+    // every worker accept()ing on the same fd is the load balancer.
+    s.unix_fd = s.cfg.inherited_unix_fd;
+  } else {
+    s.unix_fd = make_unix_listener(s.cfg.unix_socket_path);
+  }
+  if (s.cfg.inherited_tcp_fd >= 0) {
+    s.tcp_fd = s.cfg.inherited_tcp_fd;
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(s.tcp_fd, reinterpret_cast<sockaddr*>(&actual), &len) ==
+        0) {
+      s.bound_tcp_port = ntohs(actual.sin_port);
+    }
+  } else if (s.cfg.tcp) {
+    s.tcp_fd = make_tcp_listener(s.cfg.tcp_port, s.bound_tcp_port);
+  }
+
+  if (!s.cfg.crash_journal_path.empty()) {
+    s.journal_fd = ::open(s.cfg.crash_journal_path.c_str(),
+                          O_RDWR | O_CREAT | O_CLOEXEC, 0600);
+    if (s.journal_fd < 0) {
+      throw std::runtime_error("cannot open crash journal '" +
+                               s.cfg.crash_journal_path +
+                               "': " + std::strerror(errno));
+    }
+  }
+  if (!s.cfg.cache_path.empty()) {
+    SharedResponseCache::Config cc;
+    cc.path = s.cfg.cache_path;
+    cc.slot_count = s.cfg.cache_slots;
+    cc.slot_bytes = s.cfg.cache_slot_bytes;
+    std::string cache_error;
+    s.cache = SharedResponseCache::open(cc, cache_error);
+    if (s.cache == nullptr) {
+      throw std::runtime_error("shared cache: " + cache_error);
+    }
+  }
+  if (!s.cfg.quarantine_path.empty()) s.load_quarantine();
+  if (!s.cfg.reload_config_path.empty()) s.load_reload_config();
 
   unsigned threads = s.cfg.threads != 0 ? s.cfg.threads
                                         : std::thread::hardware_concurrency();
@@ -766,6 +1123,17 @@ ServerStats Server::stats() const {
   out.watchdog_cancelled_total =
       a.watchdog_cancelled_total.load(std::memory_order_relaxed);
   out.queue_depth = impl_->queue.depth();
+  out.admission_rejected_total =
+      a.admission_rejected_total.load(std::memory_order_relaxed);
+  out.quarantined_total = a.quarantined_total.load(std::memory_order_relaxed);
+  out.cache_hits_total = a.cache_hits_total.load(std::memory_order_relaxed);
+  out.cache_misses_total =
+      a.cache_misses_total.load(std::memory_order_relaxed);
+  out.cache_stores_total =
+      a.cache_stores_total.load(std::memory_order_relaxed);
+  out.cache_corrupt_total =
+      a.cache_corrupt_total.load(std::memory_order_relaxed);
+  out.reloads_total = a.reloads_total.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -776,6 +1144,7 @@ void Server::install_signal_handlers() {
   sigemptyset(&sa.sa_mask);
   ::sigaction(SIGTERM, &sa, nullptr);
   ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGHUP, &sa, nullptr);  // hot reload, not a stop
   ::signal(SIGPIPE, SIG_IGN);
 }
 

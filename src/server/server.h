@@ -71,6 +71,45 @@ struct ServerConfig {
   /// restricted to the filesystem-permissioned Unix socket unless the
   /// operator opts in (see "Trust model" in docs/SERVER.md).
   bool allow_tcp_shutdown = false;
+
+  // --- Admission control ----------------------------------------------------
+  /// Per-client token-bucket rate in requests/second; 0 disables admission
+  /// control entirely (the bounded queue stays the only backpressure).
+  double admission_rate = 0.0;
+  /// Bucket capacity (burst allowance). 0 defaults to max(rate, 1).
+  double admission_burst = 0.0;
+
+  // --- Fleet mode (supervised worker processes; docs/SERVER.md) ------------
+  /// Pre-bound listener fds inherited from the fleet supervisor across
+  /// fork+exec. When >= 0 the server uses these instead of binding its own;
+  /// every worker sharing one listening fd lets the kernel load-balance
+  /// accept() across the fleet. The inheriting server never unlinks the
+  /// socket path (the supervisor owns it).
+  int inherited_unix_fd = -1;
+  int inherited_tcp_fd = -1;
+  /// This worker's index in the fleet; < 0 outside fleet mode. Only used
+  /// for labeling (metrics, status).
+  int worker_index = -1;
+  /// Crash journal: before dispatching a request, its script hash is
+  /// recorded (one fixed-size record per worker slot, pwrite into this
+  /// file) and cleared after — so the supervisor can tell which script a
+  /// dead worker was executing. Empty disables.
+  std::string crash_journal_path;
+  /// Quarantine file (one 16-hex script hash per line): requests hashing to
+  /// a listed value are refused with failure=quarantined without touching
+  /// the engine. Loaded at startup and on SIGHUP. Empty disables.
+  std::string quarantine_path;
+  /// Shared response cache backing file; empty disables the cache.
+  std::string cache_path;
+  std::uint32_t cache_slots = 1024;
+  std::uint32_t cache_slot_bytes = 16u << 10;
+  /// JSON config hot-reloaded on SIGHUP (default_deadline_ms,
+  /// admission_rate, admission_burst, extra_blocklist). Empty disables.
+  std::string reload_config_path;
+  /// Server-side fault injection points (WorkerAbort / WorkerHang /
+  /// CacheCorrupt). Non-owning; null disables. Fleet workers arm the
+  /// process-wide injector from --fault and point this at it.
+  FaultInjector* server_fault = nullptr;
 };
 
 /// Monotonic service counters, kept as plain atomics so they work with
@@ -91,6 +130,18 @@ struct ServerStats {
   /// In-flight requests cancelled by the deadline watchdog backstop.
   std::uint64_t watchdog_cancelled_total = 0;
   std::uint64_t queue_depth = 0;
+  /// Admission-control refusals (token bucket empty; subset of overloaded).
+  std::uint64_t admission_rejected_total = 0;
+  /// Requests refused because their script hash is quarantined.
+  std::uint64_t quarantined_total = 0;
+  /// Shared response cache traffic (zeros when the cache is disabled).
+  std::uint64_t cache_hits_total = 0;
+  std::uint64_t cache_misses_total = 0;
+  std::uint64_t cache_stores_total = 0;
+  /// Cache entries whose checksum failed verification (served as misses).
+  std::uint64_t cache_corrupt_total = 0;
+  /// SIGHUP config/quarantine reloads applied.
+  std::uint64_t reloads_total = 0;
 };
 
 class Server {

@@ -1,0 +1,645 @@
+// Fleet-serving tests: the shared content-addressed response cache, the
+// admission-control primitives, the worker-side quarantine/cache/reload
+// paths (in-process Server), and the supervised multi-process fleet driven
+// through the real CLI binary (crash containment, restart, quarantine of
+// repeat-killer scripts, a real kill -9).
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fault.h"
+#include "ideobf/api.h"
+#include "ideobf/client.h"
+#include "server/admission.h"
+#include "server/json.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "server/shared_cache.h"
+#include "server/supervisor.h"
+
+using ideobf::FailureKind;
+using ideobf::Request;
+using ideobf::ServeClient;
+using ideobf::ServeReply;
+using ideobf::server::CacheKey;
+using ideobf::server::FairBoundedQueue;
+using ideobf::server::make_cache_key;
+using ideobf::server::Server;
+using ideobf::server::ServerConfig;
+using ideobf::server::SharedResponseCache;
+using ideobf::server::splice_cached_response_line;
+using ideobf::server::TokenBucket;
+
+namespace {
+
+int g_temp_counter = 0;
+
+std::string temp_path(const std::string& stem) {
+  return "/tmp/ideobf-fleet-" + std::to_string(::getpid()) + "-" +
+         std::to_string(g_temp_counter++) + "-" + stem;
+}
+
+std::string temp_dir(const std::string& stem) {
+  std::string dir = temp_path(stem);
+  ::mkdir(dir.c_str(), 0700);
+  return dir;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf, 16);
+}
+
+std::string script_hash_hex(const std::string& source) {
+  return hash_hex(ideobf::server::fnv1a64(source, 0));
+}
+
+Request deobf_request(const std::string& source, const std::string& id) {
+  Request request;
+  request.source = source;
+  request.id = id;
+  return request;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// SharedResponseCache
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<SharedResponseCache> open_cache(const std::string& path,
+                                                std::uint32_t slots = 64,
+                                                std::uint32_t slot_bytes =
+                                                    1024) {
+  SharedResponseCache::Config cfg;
+  cfg.path = path;
+  cfg.slot_count = slots;
+  cfg.slot_bytes = slot_bytes;
+  std::string error;
+  auto cache = SharedResponseCache::open(cfg, error);
+  EXPECT_NE(cache, nullptr) << error;
+  return cache;
+}
+
+TEST(SharedCache, StoreLookupRoundTrip) {
+  auto cache = open_cache(temp_path("cache.bin"));
+  const CacheKey key = make_cache_key("Write-Host 'hi'", "opts-v1");
+  ASSERT_TRUE(key.valid());
+
+  std::string out;
+  EXPECT_FALSE(cache->lookup(key, out));
+  EXPECT_TRUE(cache->store(key, "{\"id\":\"\",\"status\":\"ok\"}"));
+  ASSERT_TRUE(cache->lookup(key, out));
+  EXPECT_EQ(out, "{\"id\":\"\",\"status\":\"ok\"}");
+
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(SharedCache, DistinctOptionsFingerprintsDoNotAlias) {
+  const CacheKey a = make_cache_key("same source", "opts-a");
+  const CacheKey b = make_cache_key("same source", "opts-b");
+  EXPECT_TRUE(a.lo != b.lo || a.hi != b.hi);
+}
+
+TEST(SharedCache, SecondHandleOnSameFileSeesStores) {
+  const std::string path = temp_path("cache.bin");
+  auto writer = open_cache(path);
+  auto reader = open_cache(path);
+  const CacheKey key = make_cache_key("shared entry", "fp");
+  ASSERT_TRUE(writer->store(key, "payload-from-writer"));
+  std::string out;
+  ASSERT_TRUE(reader->lookup(key, out));
+  EXPECT_EQ(out, "payload-from-writer");
+}
+
+TEST(SharedCache, CorruptEntryDetectedAndServedAsMiss) {
+  auto cache = open_cache(temp_path("cache.bin"));
+  const CacheKey key = make_cache_key("to be corrupted", "fp");
+  ASSERT_TRUE(cache->store(key, "pristine payload bytes"));
+  ASSERT_TRUE(cache->corrupt_entry(key));
+
+  std::string out;
+  EXPECT_FALSE(cache->lookup(key, out));
+  EXPECT_EQ(cache->stats().corrupt, 1u);
+
+  // The slot is reusable: a fresh store repairs it.
+  ASSERT_TRUE(cache->store(key, "repaired"));
+  ASSERT_TRUE(cache->lookup(key, out));
+  EXPECT_EQ(out, "repaired");
+}
+
+TEST(SharedCache, OversizedPayloadIsSkippedNotTruncated) {
+  auto cache = open_cache(temp_path("cache.bin"), 8, 256);
+  const CacheKey key = make_cache_key("big", "fp");
+  const std::string big(cache->max_payload_bytes() + 1, 'x');
+  EXPECT_FALSE(cache->store(key, big));
+  EXPECT_GE(cache->stats().store_skips, 1u);
+  std::string out;
+  EXPECT_FALSE(cache->lookup(key, out));
+}
+
+TEST(SharedCache, EvictionKeepsRecentEntriesReachable) {
+  // Far more keys than slots: every store must succeed (oldest evicted),
+  // and the most recent key must still be readable.
+  auto cache = open_cache(temp_path("cache.bin"), 8, 512);
+  CacheKey last{};
+  std::string last_payload;
+  for (int i = 0; i < 100; ++i) {
+    last = make_cache_key("script #" + std::to_string(i), "fp");
+    last_payload = "payload #" + std::to_string(i);
+    EXPECT_TRUE(cache->store(last, last_payload));
+  }
+  std::string out;
+  ASSERT_TRUE(cache->lookup(last, out));
+  EXPECT_EQ(out, last_payload);
+}
+
+TEST(SharedCache, RejectsGeometryMismatch) {
+  const std::string path = temp_path("cache.bin");
+  { auto cache = open_cache(path, 64, 1024); }
+  SharedResponseCache::Config cfg;
+  cfg.path = path;
+  cfg.slot_count = 32;  // different geometry than the existing file
+  cfg.slot_bytes = 1024;
+  std::string error;
+  EXPECT_EQ(SharedResponseCache::open(cfg, error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SharedCache, SpliceRestoresIdAndMarksCached) {
+  const std::string cached = "{\"id\":\"\",\"status\":\"ok\",\"result\":\"x\"}";
+  std::string out;
+  ASSERT_TRUE(splice_cached_response_line(cached, "req-42", out));
+  EXPECT_EQ(out,
+            "{\"id\":\"req-42\",\"cached\":true,\"status\":\"ok\","
+            "\"result\":\"x\"}");
+  // A payload without the empty-id prefix is refused (treated as a miss).
+  EXPECT_FALSE(splice_cached_response_line("{\"status\":\"ok\"}", "id", out));
+}
+
+// ---------------------------------------------------------------------------
+// Admission primitives
+// ---------------------------------------------------------------------------
+
+TEST(Admission, TokenBucketStartsFullThenDepletes) {
+  TokenBucket bucket;
+  // rate 1/s, burst 2: a fresh bucket allows the burst, then refuses.
+  EXPECT_TRUE(bucket.try_take(1.0, 2.0, 0.0));
+  EXPECT_TRUE(bucket.try_take(1.0, 2.0, 0.0));
+  EXPECT_FALSE(bucket.try_take(1.0, 2.0, 0.0));
+  // One second later one token has refilled.
+  EXPECT_TRUE(bucket.try_take(1.0, 2.0, 1.0));
+  EXPECT_FALSE(bucket.try_take(1.0, 2.0, 1.0));
+}
+
+TEST(Admission, TokenBucketRetryAfterNamesRefillTime) {
+  TokenBucket bucket;
+  EXPECT_TRUE(bucket.try_take(2.0, 1.0, 0.0));
+  const std::uint64_t wait = bucket.retry_after_ms(2.0, 1.0, 0.0);
+  // One token at 2/s is 500ms away (+1ms rounding guard).
+  EXPECT_GE(wait, 500u);
+  EXPECT_LE(wait, 502u);
+  EXPECT_EQ(bucket.retry_after_ms(2.0, 1.0, 1.0), 0u);
+}
+
+TEST(Admission, TokenBucketHotReloadedRateAppliesImmediately) {
+  TokenBucket bucket;
+  EXPECT_TRUE(bucket.try_take(1.0, 1.0, 0.0));
+  EXPECT_FALSE(bucket.try_take(1.0, 1.0, 0.1));
+  // The caller passes the live rate each time: a reload to 100/s refills
+  // this existing bucket without any reset handshake.
+  EXPECT_TRUE(bucket.try_take(100.0, 1.0, 0.2));
+}
+
+TEST(Admission, FairQueueRoundRobinAcrossClients) {
+  FairBoundedQueue<int> q(16);
+  EXPECT_TRUE(q.try_push(1, 10));
+  EXPECT_TRUE(q.try_push(1, 11));
+  EXPECT_TRUE(q.try_push(1, 12));
+  EXPECT_TRUE(q.try_push(2, 20));
+
+  std::vector<int> order;
+  int item = 0;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.pop(item));
+    order.push_back(item);
+  }
+  // Client 2's single item does not wait behind client 1's backlog, and
+  // client 1's own items stay FIFO.
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 11, 12}));
+}
+
+TEST(Admission, FairQueueCapRefusesAndCloseDrains) {
+  FairBoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1, 1));
+  EXPECT_TRUE(q.try_push(2, 2));
+  EXPECT_FALSE(q.try_push(3, 3));  // full: the "overloaded" signal
+  q.close();
+  EXPECT_FALSE(q.try_push(1, 4));  // closed refuses new work
+  int item = 0;
+  EXPECT_TRUE(q.pop(item));  // but everything accepted still drains
+  EXPECT_TRUE(q.pop(item));
+  EXPECT_FALSE(q.pop(item));
+}
+
+TEST(FleetFault, CliSpecParses) {
+  ideobf::FaultSite site{};
+  ideobf::FaultSpec spec{};
+  std::string error;
+  ASSERT_TRUE(ideobf::parse_fault_cli_spec(
+      "worker-abort:abort:skip=2:fires=1:match=KILLME", site, spec, error))
+      << error;
+  EXPECT_EQ(site, ideobf::FaultSite::WorkerAbort);
+  EXPECT_EQ(spec.action, ideobf::FaultAction::Abort);
+  EXPECT_EQ(spec.skip_first, 2);
+  EXPECT_EQ(spec.max_fires, 1);
+  EXPECT_EQ(spec.match_text, "KILLME");
+
+  EXPECT_FALSE(ideobf::parse_fault_cli_spec("nonsense:abort", site, spec,
+                                            error));
+  EXPECT_FALSE(ideobf::parse_fault_cli_spec("worker-abort:frobnicate", site,
+                                            spec, error));
+  EXPECT_FALSE(ideobf::parse_fault_cli_spec("worker-abort", site, spec,
+                                            error));
+}
+
+// ---------------------------------------------------------------------------
+// In-process server: admission, quarantine, cache, probes, SIGHUP reload
+// ---------------------------------------------------------------------------
+
+ServerConfig base_config(const std::string& socket_path) {
+  ServerConfig cfg;
+  cfg.unix_socket_path = socket_path;
+  cfg.threads = 2;
+  return cfg;
+}
+
+TEST(AdmissionServer, FirehoseRefusedWithRetryAfter) {
+  const std::string sock = temp_path("admission.sock");
+  ServerConfig cfg = base_config(sock);
+  cfg.admission_rate = 0.001;  // ~one token per 1000s: only the burst lands
+  cfg.admission_burst = 1.0;
+  Server server(std::move(cfg));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  const ServeReply first = client.call(deobf_request("Write-Host 1", "a"));
+  EXPECT_EQ(first.status, "ok");
+  const ServeReply second = client.call(deobf_request("Write-Host 2", "b"));
+  EXPECT_EQ(second.status, "overloaded");
+  EXPECT_GT(second.retry_after_ms, 0u);
+
+  EXPECT_GE(server.stats().admission_rejected_total, 1u);
+  server.stop();
+}
+
+TEST(FleetServer, QuarantinedHashRefusedWithoutExecution) {
+  const std::string sock = temp_path("quarantine.sock");
+  const std::string qpath = temp_path("quarantine");
+  const std::string killer = "Write-Host 'repeat offender'";
+  { std::ofstream(qpath) << script_hash_hex(killer) << "\n"; }
+
+  ServerConfig cfg = base_config(sock);
+  cfg.quarantine_path = qpath;
+  Server server(std::move(cfg));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  const ServeReply reply = client.call(deobf_request(killer, "q1"));
+  EXPECT_EQ(reply.status, "failed");
+  EXPECT_EQ(reply.response.failure, FailureKind::Quarantined);
+  // Refused before the engine: the input is passed through untouched.
+  EXPECT_EQ(reply.response.result, killer);
+  EXPECT_NE(reply.response.failure_detail.find("quarantined"),
+            std::string::npos);
+
+  // Other scripts are unaffected.
+  const ServeReply ok = client.call(deobf_request("Write-Host 'fine'", "q2"));
+  EXPECT_EQ(ok.status, "ok");
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.quarantined_total, 1u);
+  server.stop();
+}
+
+TEST(FleetServer, SharedCacheHitMarksCachedAndMatches) {
+  const std::string sock = temp_path("cachehit.sock");
+  ServerConfig cfg = base_config(sock);
+  cfg.cache_path = temp_path("cache.bin");
+  Server server(std::move(cfg));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  const std::string source = "wr`ite-ho`st 'cache me'";
+  const ServeReply cold = client.call(deobf_request(source, "c1"));
+  ASSERT_EQ(cold.status, "ok");
+  EXPECT_FALSE(cold.cached);
+
+  const ServeReply warm = client.call(deobf_request(source, "c2"));
+  ASSERT_EQ(warm.status, "ok");
+  EXPECT_TRUE(warm.cached);
+  EXPECT_EQ(warm.response.id, "c2");  // the id is spliced per-request
+  EXPECT_EQ(warm.response.result, cold.response.result);
+
+  const auto stats = server.stats();
+  EXPECT_GE(stats.cache_hits_total, 1u);
+  EXPECT_GE(stats.cache_stores_total, 1u);
+  server.stop();
+}
+
+TEST(FleetServer, CorruptSharedCacheEntryDetectedAndRecomputed) {
+  const std::string sock = temp_path("cachecorrupt.sock");
+  const std::string source = "Write-Host 'poisoned entry'";
+  ideobf::FaultInjector fault;
+  ideobf::FaultSpec spec;
+  spec.action = ideobf::FaultAction::Corrupt;
+  spec.match_text = "poisoned entry";
+  fault.arm(ideobf::FaultSite::CacheCorrupt, spec);
+
+  ServerConfig cfg = base_config(sock);
+  cfg.cache_path = temp_path("cache.bin");
+  cfg.server_fault = &fault;
+  Server server(std::move(cfg));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  // First call stores the entry, then the fault corrupts its payload.
+  const ServeReply cold = client.call(deobf_request(source, "p1"));
+  ASSERT_EQ(cold.status, "ok");
+
+  // Second call: the checksum catches the corruption — a miss and a fresh
+  // pipeline run, never a forged response.
+  const ServeReply again = client.call(deobf_request(source, "p2"));
+  ASSERT_EQ(again.status, "ok");
+  EXPECT_FALSE(again.cached);
+  EXPECT_EQ(again.response.result, cold.response.result);
+
+  EXPECT_GE(server.stats().cache_corrupt_total, 1u);
+  server.stop();
+}
+
+TEST(FleetServer, ReadyAndLiveProbes) {
+  const std::string sock = temp_path("probes.sock");
+  Server server(base_config(sock));
+  server.start();
+  ServeClient client = ServeClient::connect_unix(sock);
+  EXPECT_TRUE(client.ready());
+  EXPECT_TRUE(client.live());
+  server.stop();
+}
+
+TEST(FleetServer, SighupReloadsQuarantineAndLimits) {
+  const std::string sock = temp_path("reload.sock");
+  const std::string qpath = temp_path("quarantine");
+  const std::string killer = "Write-Host 'becomes quarantined'";
+
+  ServerConfig cfg = base_config(sock);
+  cfg.quarantine_path = qpath;  // does not exist yet
+  Server server(std::move(cfg));
+  server.start();
+  server.install_signal_handlers();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  EXPECT_EQ(client.call(deobf_request(killer, "r1")).status, "ok");
+
+  { std::ofstream(qpath) << script_hash_hex(killer) << "\n"; }
+  ::raise(SIGHUP);
+
+  // The reload is asynchronous (self-pipe -> accept loop); poll for it.
+  bool quarantined = false;
+  for (int i = 0; i < 100 && !quarantined; ++i) {
+    const ServeReply reply =
+        client.call(deobf_request(killer, "r" + std::to_string(i + 2)));
+    quarantined = reply.response.failure == FailureKind::Quarantined;
+    if (!quarantined) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(quarantined);
+  EXPECT_GE(server.stats().reloads_total, 1u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Supervised fleet through the real CLI binary
+// ---------------------------------------------------------------------------
+
+#ifdef IDEOBF_CLI_PATH
+
+/// Spawns `ideobf serve --fleet ...` and tears it down (SIGTERM, then
+/// SIGKILL) on destruction.
+struct FleetProcess {
+  pid_t pid = -1;
+  std::string socket_path;
+  std::string state_dir;
+
+  FleetProcess(std::vector<std::string> extra_args, unsigned workers) {
+    socket_path = temp_path("fleet.sock");
+    state_dir = temp_dir("fleet-state");
+    std::vector<std::string> args = {
+        IDEOBF_CLI_PATH, "serve",
+        "--socket",      socket_path,
+        "--fleet",       std::to_string(workers),
+        "--state-dir",   state_dir,
+        "--threads",     "1",
+        "--backoff-initial-seconds", "0.05",
+        "--backoff-max-seconds",     "0.5",
+    };
+    for (std::string& a : extra_args) args.push_back(std::move(a));
+
+    std::vector<char*> argv;
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    pid = ::fork();
+    if (pid == 0) {
+      // Quiet the fleet's stderr chatter in test logs.
+      ::execv(argv[0], argv.data());
+      ::_exit(127);
+    }
+  }
+
+  ~FleetProcess() {
+    if (pid <= 0) return;
+    ::kill(pid, SIGTERM);
+    for (int i = 0; i < 300; ++i) {
+      if (::waitpid(pid, nullptr, WNOHANG) == pid) return;
+      ::usleep(20 * 1000);
+    }
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+  }
+
+  /// Waits until a worker accepts and answers a ping.
+  [[nodiscard]] bool wait_ready(double timeout_seconds = 20.0) const {
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::duration<double>(timeout_seconds);
+    while (std::chrono::steady_clock::now() < give_up) {
+      try {
+        ServeClient client = ServeClient::connect_unix(socket_path);
+        if (client.ready()) return true;
+      } catch (const std::exception&) {
+      }
+      ::usleep(50 * 1000);
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::string status_json() const {
+    return read_file(state_dir + "/fleet.json");
+  }
+};
+
+std::int64_t status_int(const std::string& json, const std::string& key) {
+  auto value = ideobf::server::parse_json(json);
+  if (!value) return -1;
+  const auto* field = value->find(key);
+  if (field == nullptr) return -1;
+  return static_cast<std::int64_t>(field->as_double(-1));
+}
+
+/// First worker pid listed in fleet.json.
+pid_t status_first_pid(const std::string& json) {
+  auto value = ideobf::server::parse_json(json);
+  if (!value) return -1;
+  const auto* workers = value->find("workers");
+  const auto* arr = workers == nullptr ? nullptr : workers->as_array();
+  if (arr == nullptr || arr->empty()) return -1;
+  const auto* pid = arr->front().find("pid");
+  return pid == nullptr ? -1 : static_cast<pid_t>(pid->as_double(-1));
+}
+
+TEST(SupervisorFleet, CrashContainedAndRepeatKillerQuarantined) {
+  // Every request whose script carries KILLME aborts its worker at the
+  // dispatch site; everything else is innocent traffic.
+  FleetProcess fleet({"--fault", "worker-abort:abort:match=KILLME",
+                      "--quarantine-after", "2", "--no-cache"},
+                     /*workers=*/2);
+  ASSERT_GE(fleet.pid, 0);
+  ASSERT_TRUE(fleet.wait_ready());
+
+  const std::string killer = "Write-Host 'KILLME'";
+  {
+    ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+    EXPECT_EQ(client.call(deobf_request("Write-Host 'ok'", "i1")).status,
+              "ok");
+  }
+
+  // The killer always gets a terminal reply — worker-crash from the retry
+  // synthesizer or quarantined once the supervisor has seen enough crashes.
+  {
+    ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+    const ServeReply reply =
+        client.call_retrying(deobf_request(killer, "k1"), 8);
+    EXPECT_EQ(reply.status, "failed");
+    EXPECT_TRUE(reply.response.failure == FailureKind::WorkerCrash ||
+                reply.response.failure == FailureKind::Quarantined)
+        << to_string(reply.response.failure);
+  }
+
+  // After at most 2 crashes the hash is quarantined: a fresh client gets
+  // the terminal quarantined reply without any further worker death.
+  bool quarantined = false;
+  for (int i = 0; i < 200 && !quarantined; ++i) {
+    ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+    const ServeReply reply = client.call_retrying(
+        deobf_request(killer, "k" + std::to_string(i + 2)), 8);
+    quarantined = reply.response.failure == FailureKind::Quarantined;
+    if (!quarantined) ::usleep(50 * 1000);
+  }
+  EXPECT_TRUE(quarantined);
+
+  // Innocent traffic still flows after all that.
+  {
+    ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+    const ServeReply reply =
+        client.call_retrying(deobf_request("Write-Host 'still up'", "i2"), 8);
+    EXPECT_EQ(reply.status, "ok");
+  }
+
+  const std::string status = fleet.status_json();
+  EXPECT_GE(status_int(status, "crashes_total"), 2);
+  EXPECT_GE(status_int(status, "quarantine_count"), 1);
+
+  // The quarantine file survives for the next fleet generation.
+  const std::string qfile = read_file(fleet.state_dir + "/quarantine");
+  EXPECT_NE(qfile.find(script_hash_hex(killer)), std::string::npos);
+}
+
+TEST(SupervisorFleet, RestartsWorkerAfterKillDashNine) {
+  FleetProcess fleet({}, /*workers=*/1);
+  ASSERT_GE(fleet.pid, 0);
+  ASSERT_TRUE(fleet.wait_ready());
+
+  const pid_t victim = status_first_pid(fleet.status_json());
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  // The supervisor notices, backs off briefly, and respawns the slot.
+  pid_t replacement = -1;
+  for (int i = 0; i < 400; ++i) {
+    replacement = status_first_pid(fleet.status_json());
+    if (replacement > 0 && replacement != victim) break;
+    ::usleep(25 * 1000);
+  }
+  ASSERT_GT(replacement, 0);
+  EXPECT_NE(replacement, victim);
+
+  ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+  const ServeReply reply =
+      client.call_retrying(deobf_request("Write-Host 'back'", "rk1"), 8);
+  EXPECT_EQ(reply.status, "ok");
+}
+
+TEST(SupervisorFleet, SharedCacheServesAcrossWorkers) {
+  FleetProcess fleet({}, /*workers=*/2);
+  ASSERT_GE(fleet.pid, 0);
+  ASSERT_TRUE(fleet.wait_ready());
+
+  const std::string source = "wr`ite-ho`st 'fleet cache'";
+  // Prime through one connection, then hammer through fresh connections:
+  // whichever worker accepts, the shared mmap region answers.
+  {
+    ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+    ASSERT_EQ(client.call(deobf_request(source, "w0")).status, "ok");
+  }
+  int cached_seen = 0;
+  for (int i = 0; i < 8; ++i) {
+    ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+    const ServeReply reply =
+        client.call(deobf_request(source, "w" + std::to_string(i + 1)));
+    ASSERT_EQ(reply.status, "ok");
+    if (reply.cached) cached_seen++;
+  }
+  // With 2 workers and 8 fresh connections, hits must appear on both
+  // workers' accept shares; anything less than a majority means the region
+  // is not actually shared.
+  EXPECT_GE(cached_seen, 5);
+}
+
+#endif  // IDEOBF_CLI_PATH
+
+}  // namespace

@@ -72,7 +72,7 @@ struct RawConn {
   void send_line(std::string line) {
     line.push_back('\n');
     ASSERT_EQ(static_cast<ssize_t>(line.size()),
-              ::send(fd, line.data(), line.size(), 0));
+              ::send(fd, line.data(), line.size(), MSG_NOSIGNAL));
   }
 
   std::string recv_line() {

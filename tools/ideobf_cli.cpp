@@ -33,9 +33,11 @@
 #include "analysis/keyinfo.h"
 #include "analysis/scorer.h"
 #include "corpus/corpus.h"
+#include "core/fault.h"
 #include "ideobf/api.h"
 #include "ideobf/client.h"
 #include "server/server.h"
+#include "server/supervisor.h"
 #include "obfuscator/obfuscator.h"
 #include "pslang/alias_table.h"
 #include "psast/dump.h"
@@ -436,9 +438,27 @@ int serve_self_check(const std::string& socket_path) {
   return 0;
 }
 
+/// Supervisor (fleet) mode: bind once, fork+exec workers, restart on crash.
+int cmd_serve_fleet(ideobf::server::FleetConfig cfg) {
+  ideobf::server::Supervisor sup(std::move(cfg));
+  try {
+    sup.start();
+  } catch (const std::exception& e) {
+    std::cerr << "ideobf serve: " << e.what() << "\n";
+    return 2;
+  }
+  sup.install_signal_handlers();
+  std::cerr << "ideobf serve: fleet supervisor up (status: "
+            << sup.status_path() << ")\n";
+  return sup.run();
+}
+
 int cmd_serve(int argc, char** argv) {
   ideobf::server::ServerConfig cfg;
+  ideobf::server::FleetConfig fleet;
+  bool fleet_mode = false;
   bool self_check = false;
+  std::string fault_spec;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--socket" && i + 1 < argc) {
@@ -457,12 +477,61 @@ int cmd_serve(int argc, char** argv) {
           static_cast<std::uint64_t>(std::atoll(argv[++i]));
     } else if (a == "--drain-grace-seconds" && i + 1 < argc) {
       cfg.drain_grace_seconds = std::atof(argv[++i]);
+      fleet.drain_grace_seconds = cfg.drain_grace_seconds;
     } else if (a == "--send-timeout-seconds" && i + 1 < argc) {
       cfg.send_timeout_seconds = std::atof(argv[++i]);
     } else if (a == "--allow-tcp-shutdown") {
       cfg.allow_tcp_shutdown = true;
     } else if (a == "--self-check") {
       self_check = true;
+    } else if (a == "--rate" && i + 1 < argc) {
+      cfg.admission_rate = std::atof(argv[++i]);
+    } else if (a == "--burst" && i + 1 < argc) {
+      cfg.admission_burst = std::atof(argv[++i]);
+    } else if (a == "--config" && i + 1 < argc) {
+      cfg.reload_config_path = argv[++i];
+    } else if (a == "--fault" && i + 1 < argc) {
+      fault_spec = argv[++i];
+    } else if (a == "--cache-path" && i + 1 < argc) {
+      cfg.cache_path = argv[++i];
+    } else if (a == "--cache-slots" && i + 1 < argc) {
+      cfg.cache_slots = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--cache-slot-bytes" && i + 1 < argc) {
+      cfg.cache_slot_bytes = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+    } else if (a == "--journal" && i + 1 < argc) {
+      cfg.crash_journal_path = argv[++i];
+    } else if (a == "--quarantine" && i + 1 < argc) {
+      cfg.quarantine_path = argv[++i];
+    } else if (a == "--worker-index" && i + 1 < argc) {
+      cfg.worker_index = std::atoi(argv[++i]);
+    } else if (a == "--inherited-unix-fd" && i + 1 < argc) {
+      cfg.inherited_unix_fd = std::atoi(argv[++i]);
+    } else if (a == "--inherited-tcp-fd" && i + 1 < argc) {
+      cfg.inherited_tcp_fd = std::atoi(argv[++i]);
+      cfg.tcp = true;
+    } else if (a == "--fleet" && i + 1 < argc) {
+      fleet_mode = true;
+      fleet.workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (a == "--state-dir" && i + 1 < argc) {
+      fleet.state_dir = argv[++i];
+    } else if (a == "--no-cache") {
+      fleet.cache = false;
+    } else if (a == "--backoff-initial-seconds" && i + 1 < argc) {
+      fleet.backoff_initial_seconds = std::atof(argv[++i]);
+    } else if (a == "--backoff-max-seconds" && i + 1 < argc) {
+      fleet.backoff_max_seconds = std::atof(argv[++i]);
+    } else if (a == "--stable-uptime-seconds" && i + 1 < argc) {
+      fleet.stable_uptime_seconds = std::atof(argv[++i]);
+    } else if (a == "--circuit-max-restarts" && i + 1 < argc) {
+      fleet.circuit_max_restarts = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (a == "--circuit-window-seconds" && i + 1 < argc) {
+      fleet.circuit_window_seconds = std::atof(argv[++i]);
+    } else if (a == "--circuit-reset-seconds" && i + 1 < argc) {
+      fleet.circuit_reset_seconds = std::atof(argv[++i]);
+    } else if (a == "--quarantine-after" && i + 1 < argc) {
+      fleet.quarantine_after = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (a == "--exec-path" && i + 1 < argc) {
+      fleet.exec_path = argv[++i];
     } else {
       std::cerr << "ideobf serve: unknown flag '" << a << "'\n";
       return 2;
@@ -471,6 +540,38 @@ int cmd_serve(int argc, char** argv) {
   if (cfg.unix_socket_path.empty()) {
     cfg.unix_socket_path =
         "/tmp/ideobf-serve-" + std::to_string(::getpid()) + ".sock";
+  }
+
+  if (fleet_mode) {
+    fleet.unix_socket_path = cfg.unix_socket_path;
+    fleet.tcp = cfg.tcp;
+    fleet.tcp_port = cfg.tcp_port;
+    fleet.threads_per_worker = cfg.threads > 0 ? cfg.threads : 2;
+    fleet.max_queue = cfg.max_queue;
+    fleet.default_deadline_ms = cfg.default_deadline_ms;
+    fleet.send_timeout_seconds = cfg.send_timeout_seconds;
+    fleet.admission_rate = cfg.admission_rate;
+    fleet.admission_burst = cfg.admission_burst;
+    fleet.reload_config_path = cfg.reload_config_path;
+    fleet.cache_slots = cfg.cache_slots;
+    fleet.cache_slot_bytes = cfg.cache_slot_bytes;
+    fleet.fault_spec = fault_spec;
+    return cmd_serve_fleet(std::move(fleet));
+  }
+
+  // Worker (or standalone) process: arm the process-wide fault injector if a
+  // crash-drill spec was given. The spec's match text keeps the blast radius
+  // to requests that carry the trigger string.
+  if (!fault_spec.empty()) {
+    ideobf::FaultSite site{};
+    ideobf::FaultSpec spec{};
+    std::string error;
+    if (!ideobf::parse_fault_cli_spec(fault_spec, site, spec, error)) {
+      std::cerr << "ideobf serve: bad --fault spec: " << error << "\n";
+      return 2;
+    }
+    ideobf::FaultInjector::process().arm(site, spec);
+    cfg.server_fault = &ideobf::FaultInjector::process();
   }
 
   const std::string socket_path = cfg.unix_socket_path;
