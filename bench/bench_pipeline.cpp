@@ -20,8 +20,14 @@
 // that the warm serial pipeline stays at least 2x faster per script than
 // the pre-ladder tree-walk baseline.
 //
-// Flags: --smoke, --json, --threads N (sweep 1,2,4,... up to N),
-// --scripts M (corpus size).
+// A storm section drives the epoll I/O core directly: connection churn
+// (conns/sec), ~1k concurrent clients with p50/p99 round-trip latency
+// through the real fleet binary, and a slow-consumer drill whose
+// count-based gates prove stalled readers are reaped (outbuf cap / write
+// stall / idle) while innocent clients keep getting served.
+//
+// Flags: --smoke, --json, --storm-only (just the storm section + gates),
+// --threads N (sweep 1,2,4,... up to N), --scripts M (corpus size).
 
 #include <algorithm>
 #include <chrono>
@@ -44,10 +50,19 @@
 #include "server/server.h"
 #include "telemetry/telemetry.h"
 
+#include <poll.h>
 #include <signal.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include <atomic>
+
+#include "server/event_loop.h"
+#include "server/protocol.h"
 
 #include <random>
 
@@ -214,7 +229,7 @@ struct TelemetrySummary {
   double accounted_seconds = 0.0;  ///< sum of per-phase self times
   double pipeline_seconds = 0.0;   ///< sum of Pipeline-span wall times
   double batch_wall_seconds = 0.0; ///< measured wall clock of the same batch
-  tel::PipelineProfile profile;    ///< aggregated over the enabled batch
+  tel::PipelineProfile profile;    ///< cold prime run + enabled warm batch
 };
 
 /// One telemetry-enabled batch over the corpus plus the off/on/off overhead
@@ -228,10 +243,20 @@ TelemetrySummary run_telemetry_section(
   // piece-evaluation ladder actually resolves work — on a warm engine every
   // piece is a global-memo hit and fold/vm/fallback never fire — so the
   // ladder counters and per-stage latency split are captured here, before
-  // the registry is reset for the warm-batch window below.
+  // the registry is reset for the warm-batch window below. The per-script
+  // profiles are merged into the section's phase breakdown: Lex and Parse
+  // spans only exist on cache misses, and the warm batch below never
+  // misses, so without the cold window the breakdown reported zero lex /
+  // parse time forever (a real reporting bug — the JSON said parsing was
+  // free).
   tel::Telemetry::metrics().reset();
   tel::Telemetry::enable();
-  (void)run_serial(deobf, scripts, "prime", false);
+  for (const std::string& s : scripts) {
+    DeobfuscationReport prime_report;
+    volatile std::size_t sink = deobf.deobfuscate(s, prime_report).size();
+    (void)sink;
+    ts.profile.merge(prime_report.profile);
+  }
   tel::Telemetry::disable();
   {
     auto& reg = tel::registry();
@@ -323,9 +348,13 @@ TelemetrySummary run_telemetry_section(
             ? 0.0
             : static_cast<double>(memo_hit_counter.shard_value(s)) / lookups);
   }
-  ts.profile = report.profile;
-  ts.accounted_seconds = report.profile.accounted_seconds();
-  ts.pipeline_seconds = report.profile.total_seconds(tel::Phase::Pipeline);
+  // Merge the warm batch's profile on top of the cold window's: the
+  // breakdown then covers both regimes (cold parse/lex costs AND the warm
+  // steady state), and the self-time partition identity still holds because
+  // it holds per deobfuscate call.
+  ts.profile.merge(report.profile);
+  ts.accounted_seconds = ts.profile.accounted_seconds();
+  ts.pipeline_seconds = ts.profile.total_seconds(tel::Phase::Pipeline);
   ts.batch_wall_seconds = report.wall_seconds;
   return ts;
 }
@@ -616,6 +645,355 @@ FleetSummary run_fleet_section(const std::vector<std::string>&,
 
 #endif
 
+/// What the storm section measures: the epoll I/O core itself. Connection
+/// churn (accept + ping + close per second), ~1k concurrent clients each
+/// waiting on one request (p50/p99 round trip through the real fleet
+/// binary), and a slow-consumer drill against an in-process server — slow
+/// readers holding megabytes of unread output must be reaped by the
+/// outbuf/stall/idle policies while innocent clients keep getting served.
+/// The drill gates are count-based, so they hold under sanitizers too.
+struct StormSummary {
+  bool available = false;  ///< CLI binary present, fleet came up
+  std::size_t churn_connections = 0;
+  double churn_connections_per_second = 0.0;
+  double churn_ms_per_connection = 0.0;
+  std::size_t concurrent_clients = 0;
+  std::size_t concurrent_served = 0;
+  std::size_t concurrent_failed = 0;
+  double concurrent_seconds = 0.0;
+  double concurrent_p50_ms = 0.0;
+  double concurrent_p99_ms = 0.0;
+  // Slow-consumer drill.
+  bool drill_ran = false;
+  std::size_t drill_slow = 0;
+  std::size_t drill_innocent = 0;
+  std::size_t drill_innocent_served = 0;
+  std::uint64_t drill_reaped = 0;  ///< outbuf + write-stall + idle reaps
+};
+
+/// Blocking connect to a Unix socket with the same brief EAGAIN retry the
+/// client library uses (a full backlog fails immediately on AF_UNIX).
+int raw_connect_unix(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  for (int attempt = 0; attempt < 500; ++attempt) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      return fd;
+    }
+    if (errno != EAGAIN && errno != EINTR) break;
+    ::usleep(2000);
+  }
+  ::close(fd);
+  return -1;
+}
+
+bool raw_send_all(int fd, const std::string& bytes) {
+  const char* p = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += static_cast<std::size_t>(n);
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Raises the fd soft limit toward the hard limit and returns how many
+/// storm clients fit under it with headroom for the process's own fds.
+std::size_t clamp_clients_to_fd_limit(std::size_t want) {
+  rlimit rl{};
+  if (::getrlimit(RLIMIT_NOFILE, &rl) != 0) return std::min<std::size_t>(want, 64);
+  if (rl.rlim_cur < rl.rlim_max) {
+    rlimit raised = rl;
+    raised.rlim_cur = rl.rlim_max;
+    if (::setrlimit(RLIMIT_NOFILE, &raised) == 0) rl = raised;
+  }
+  if (rl.rlim_cur == RLIM_INFINITY) return want;
+  const std::size_t budget =
+      rl.rlim_cur > 192 ? static_cast<std::size_t>(rl.rlim_cur) - 128 : 64;
+  return std::min(want, budget);
+}
+
+StormSummary run_storm_section(bool smoke, std::vector<Row>& rows) {
+  StormSummary sts;
+  const std::string base =
+      "/tmp/ideobf-bench-storm-" + std::to_string(::getpid());
+
+#ifdef IDEOBF_CLI_PATH
+  if (::access(IDEOBF_CLI_PATH, X_OK) == 0) {
+    const std::string sock = base + ".sock";
+    const pid_t fleet = spawn_fleet(sock, base + "-state", {});
+    if (fleet > 0) {
+      sts.available = true;
+
+      // --- Churn: full connect + ping + close cycles, serially ------------
+      {
+        const std::size_t churn = smoke ? 100 : 400;
+        const double t0 = now_seconds();
+        for (std::size_t i = 0; i < churn; ++i) {
+          ServeClient client = ServeClient::connect_unix(sock);
+          (void)client.ping();
+        }
+        const double seconds = now_seconds() - t0;
+        sts.churn_connections = churn;
+        sts.churn_connections_per_second = churn / seconds;
+        sts.churn_ms_per_connection = seconds * 1000.0 / churn;
+        Row row;
+        row.config = "storm_churn";
+        row.threads = 2;
+        row.seconds = seconds;
+        row.ms_per_script = sts.churn_ms_per_connection;
+        row.scripts_per_second = sts.churn_connections_per_second;
+        rows.push_back(row);
+      }
+
+      // --- Concurrent: ~1k clients, one request each, poll-driven ---------
+      // One thread drives every connection through non-blocking writes and
+      // reads, so the client side cannot be the bottleneck being measured.
+      {
+        struct SConn {
+          int fd = -1;
+          std::size_t off = 0;  ///< bytes of the request line already sent
+          std::string out;
+          std::string in;
+          double done_at = 0.0;
+          bool ok = false;
+        };
+        const std::size_t want = smoke ? 200 : 1000;
+        const std::size_t clients = clamp_clients_to_fd_limit(want);
+        if (clients < want) {
+          std::printf("storm: fd limit clamps concurrent clients %zu -> %zu\n",
+                      want, clients);
+        }
+        std::vector<SConn> cs(clients);
+        for (std::size_t i = 0; i < clients; ++i) {
+          cs[i].fd = raw_connect_unix(sock);
+          if (cs[i].fd >= 0) ideobf::server::set_nonblocking(cs[i].fd);
+          Request request;
+          request.source = "wr`ite-ho`st 'storm'";
+          request.id = "s" + std::to_string(i);
+          cs[i].out = ideobf::server::render_request_line(request) + "\n";
+        }
+
+        const double t0 = now_seconds();
+        const double give_up = t0 + (smoke ? 60.0 : 120.0);
+        std::vector<pollfd> pfds;
+        std::vector<std::size_t> idx;
+        for (;;) {
+          pfds.clear();
+          idx.clear();
+          for (std::size_t i = 0; i < clients; ++i) {
+            if (cs[i].fd < 0 || cs[i].done_at > 0.0) continue;
+            pollfd p{};
+            p.fd = cs[i].fd;
+            p.events = cs[i].off < cs[i].out.size() ? POLLOUT : POLLIN;
+            pfds.push_back(p);
+            idx.push_back(i);
+          }
+          if (pfds.empty() || now_seconds() > give_up) break;
+          const int n = ::poll(pfds.data(), pfds.size(), 1000);
+          if (n <= 0) continue;
+          const double now = now_seconds();
+          for (std::size_t k = 0; k < pfds.size(); ++k) {
+            SConn& c = cs[idx[k]];
+            if ((pfds[k].revents & POLLOUT) != 0 &&
+                c.off < c.out.size()) {
+              ssize_t w = ::send(c.fd, c.out.data() + c.off,
+                                 c.out.size() - c.off, MSG_NOSIGNAL);
+              if (w > 0) c.off += static_cast<std::size_t>(w);
+            }
+            if ((pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) != 0 &&
+                c.off == c.out.size()) {
+              char chunk[4096];
+              ssize_t r = ::recv(c.fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+              if (r > 0) {
+                c.in.append(chunk, static_cast<std::size_t>(r));
+                if (c.in.find('\n') != std::string::npos) {
+                  c.done_at = now;
+                  c.ok = true;
+                  ::close(c.fd);
+                  c.fd = -1;
+                }
+              } else if (r == 0) {
+                c.done_at = now;  // closed without a reply: a failure
+                ::close(c.fd);
+                c.fd = -1;
+              }
+            }
+          }
+        }
+        sts.concurrent_seconds = now_seconds() - t0;
+
+        std::vector<double> latencies_ms;
+        for (SConn& c : cs) {
+          if (c.ok) {
+            latencies_ms.push_back((c.done_at - t0) * 1000.0);
+          }
+          if (c.fd >= 0) ::close(c.fd);
+        }
+        sts.concurrent_clients = clients;
+        sts.concurrent_served = latencies_ms.size();
+        sts.concurrent_failed = clients - latencies_ms.size();
+        if (!latencies_ms.empty()) {
+          std::sort(latencies_ms.begin(), latencies_ms.end());
+          sts.concurrent_p50_ms = latencies_ms[latencies_ms.size() / 2];
+          sts.concurrent_p99_ms =
+              latencies_ms[latencies_ms.size() * 99 / 100];
+        }
+        Row row;
+        row.config = "storm_concurrent";
+        row.threads = 2;
+        row.seconds = sts.concurrent_seconds;
+        row.ms_per_script = sts.concurrent_served > 0
+                                ? sts.concurrent_seconds * 1000.0 /
+                                      sts.concurrent_served
+                                : 0.0;
+        row.scripts_per_second =
+            sts.concurrent_seconds > 0.0
+                ? sts.concurrent_served / sts.concurrent_seconds
+                : 0.0;
+        rows.push_back(row);
+      }
+      stop_fleet(fleet);
+    }
+  }
+#endif  // IDEOBF_CLI_PATH
+
+  // --- Slow-consumer drill (in-process, count-gated) -----------------------
+  // Slow readers pile up hundreds of KB of unread responses; the server
+  // must reap them (outbuf cap, write stall, or idle policy — whichever
+  // trips first) while innocent clients on the same server get every reply.
+  {
+    const std::string sock = base + "-drill.sock";
+    ideobf::server::ServerConfig cfg;
+    cfg.unix_socket_path = sock;
+    cfg.threads = 2;
+    cfg.send_timeout_seconds = 1.0;
+    cfg.idle_timeout_seconds = 5.0;
+    cfg.outbuf_high_water_bytes = smoke ? (128u << 10) : (256u << 10);
+    ideobf::server::Server server(std::move(cfg));
+    server.start();
+
+    sts.drill_ran = true;
+    sts.drill_slow = smoke ? 4 : 8;
+    sts.drill_innocent = smoke ? 16 : 32;
+    const std::string big =
+        "'" + std::string(smoke ? (256u << 10) : (512u << 10), 'a') + "'";
+
+    std::vector<int> slow_fds;
+    for (std::size_t i = 0; i < sts.drill_slow; ++i) {
+      const int fd = raw_connect_unix(sock);
+      if (fd < 0) continue;
+      std::string lines;
+      for (int r = 0; r < 3; ++r) {
+        Request request;
+        request.source = big;
+        request.id = "slow-" + std::to_string(i) + "-" + std::to_string(r);
+        lines += ideobf::server::render_request_line(request) + "\n";
+      }
+      raw_send_all(fd, lines);
+      slow_fds.push_back(fd);  // never read: the definition of the drill
+    }
+
+    std::atomic<std::size_t> served{0};
+    std::vector<std::thread> innocents;
+    const std::size_t per_thread = sts.drill_innocent / 4;
+    for (int t = 0; t < 4; ++t) {
+      innocents.emplace_back([&sock, &served, per_thread] {
+        for (std::size_t i = 0; i < per_thread; ++i) {
+          try {
+            ServeClient client = ServeClient::connect_unix(sock);
+            Request request;
+            request.source = "wr`ite-ho`st 'innocent'";
+            if (client.call(request).status == "ok") served.fetch_add(1);
+          } catch (const std::exception&) {
+          }
+        }
+      });
+    }
+    for (std::thread& t : innocents) t.join();
+
+    // The reap is asynchronous to the innocents finishing: wait for it.
+    const double give_up = now_seconds() + 60.0;
+    auto reaped = [&server] {
+      const auto st = server.stats();
+      return st.outbuf_reaped_total + st.stall_reaped_total +
+             st.idle_reaped_total;
+    };
+    while (reaped() == 0 && now_seconds() < give_up) {
+      ::usleep(50 * 1000);
+    }
+    sts.drill_reaped = reaped();
+    sts.drill_innocent_served = served.load();
+    for (int fd : slow_fds) ::close(fd);
+    server.stop();
+  }
+  return sts;
+}
+
+void print_storm(const StormSummary& sts) {
+  if (sts.available) {
+    std::printf(
+        "\nconnection storm: churn %zu conns at %.0f conns/s (%.3f ms "
+        "each); %zu concurrent clients -> %zu served, %zu failed, p50 "
+        "%.1f ms, p99 %.1f ms over %.2fs\n",
+        sts.churn_connections, sts.churn_connections_per_second,
+        sts.churn_ms_per_connection, sts.concurrent_clients,
+        sts.concurrent_served, sts.concurrent_failed, sts.concurrent_p50_ms,
+        sts.concurrent_p99_ms, sts.concurrent_seconds);
+  } else {
+    std::printf("\nconnection storm: fleet part skipped (CLI binary not "
+                "built)\n");
+  }
+  std::printf(
+      "slow-consumer drill: %zu slow + %zu innocent clients -> %zu "
+      "innocent served, %llu reaped (outbuf/stall/idle)\n",
+      sts.drill_slow, sts.drill_innocent, sts.drill_innocent_served,
+      static_cast<unsigned long long>(sts.drill_reaped));
+}
+
+/// Count-based storm gates (sanitizer-safe): every concurrent client got a
+/// reply, every innocent drill client was served, and at least one slow
+/// consumer was actually reaped.
+int storm_gates(const StormSummary& sts) {
+  int rc = 0;
+  if (sts.available && sts.concurrent_failed != 0) {
+    std::fprintf(stderr,
+                 "FAIL: connection storm dropped %zu of %zu concurrent "
+                 "clients\n",
+                 sts.concurrent_failed, sts.concurrent_clients);
+    rc = 1;
+  }
+  if (sts.drill_ran) {
+    if (sts.drill_innocent_served != sts.drill_innocent) {
+      std::fprintf(stderr,
+                   "FAIL: slow-consumer drill starved innocents: %zu/%zu "
+                   "served\n",
+                   sts.drill_innocent_served, sts.drill_innocent);
+      rc = 1;
+    }
+    if (sts.drill_reaped == 0) {
+      std::fprintf(stderr,
+                   "FAIL: no slow consumer was reaped (outbuf cap, write "
+                   "stall, and idle policies all silent)\n");
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 void print_rows(const std::vector<Row>& rows) {
   std::printf("%-14s %8s %6s %10s %12s %12s %14s %10s %10s %9s\n", "config",
               "threads", "warm", "seconds", "ms/script", "scripts/s",
@@ -633,7 +1011,8 @@ void print_rows(const std::vector<Row>& rows) {
 std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
                          double parse_reduction, double speedup_8t_vs_1t,
                          unsigned speedup_threads, const TelemetrySummary& ts,
-                         const ServerSummary& ss, const FleetSummary& fs) {
+                         const ServerSummary& ss, const FleetSummary& fs,
+                         const StormSummary& sts) {
   JsonWriter w;
   w.begin_object();
   w.field("bench", "pipeline");
@@ -707,12 +1086,42 @@ std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
   w.field("quarantined", static_cast<std::int64_t>(fs.crash_quarantined));
   w.end_object();
   w.end_object();
+  // Connection storm through the epoll I/O core: churn rate, concurrent
+  // round-trip percentiles, and the slow-consumer reap drill.
+  w.key("fleet_storm");
+  w.begin_object();
+  w.field("available", sts.available);
+  w.field("churn_connections",
+          static_cast<std::int64_t>(sts.churn_connections));
+  w.field("churn_connections_per_second",
+          sts.churn_connections_per_second);
+  w.field("churn_ms_per_connection", sts.churn_ms_per_connection);
+  w.field("concurrent_clients",
+          static_cast<std::int64_t>(sts.concurrent_clients));
+  w.field("concurrent_served",
+          static_cast<std::int64_t>(sts.concurrent_served));
+  w.field("concurrent_failed",
+          static_cast<std::int64_t>(sts.concurrent_failed));
+  w.field("concurrent_p50_ms", sts.concurrent_p50_ms);
+  w.field("concurrent_p99_ms", sts.concurrent_p99_ms);
+  w.key("slow_consumer_drill");
+  w.begin_object();
+  w.field("slow_clients", static_cast<std::int64_t>(sts.drill_slow));
+  w.field("innocent_clients",
+          static_cast<std::int64_t>(sts.drill_innocent));
+  w.field("innocent_served",
+          static_cast<std::int64_t>(sts.drill_innocent_served));
+  w.field("reaped", static_cast<std::int64_t>(sts.drill_reaped));
+  w.end_object();
+  w.end_object();
   w.field("telemetry_spans_opened",
           static_cast<std::int64_t>(ts.spans_opened));
   w.field("telemetry_spans_closed",
           static_cast<std::int64_t>(ts.spans_closed));
-  // Per-phase breakdown of the telemetry-enabled batch. `fraction` is the
-  // phase's self time over the accounted total, so the values sum to ~1.
+  // Per-phase breakdown over the telemetry-enabled runs (cold prime +
+  // warm batch — both, so lex/parse cache-miss costs show up). `fraction`
+  // is the phase's self time over the accounted total, so the values sum
+  // to ~1.
   w.key("phase_breakdown");
   w.begin_object();
   for (std::size_t i = 0; i < tel::kPhaseCount; ++i) {
@@ -845,6 +1254,10 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
   // the shared response cache, and a worker-abort crash drill.
   const FleetSummary fs = run_fleet_section(scripts, rows);
 
+  // Storm section: connection churn, ~1k concurrent clients (p50/p99), and
+  // the slow-consumer reap drill against the epoll I/O core.
+  const StormSummary sts = run_storm_section(smoke, rows);
+
   const double reduction =
       rows[0].parses > 0 && rows[1].parses > 0
           ? static_cast<double>(rows[0].parses) / rows[1].parses
@@ -928,11 +1341,13 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
     std::printf("fleet section: skipped (CLI binary not built)\n");
   }
 
+  print_storm(sts);
+
   if (write_json) {
     const std::string path = std::string(IDEOBF_SOURCE_DIR) + "/BENCH_pipeline.json";
     std::ofstream out(path, std::ios::binary);
     out << rows_to_json(rows, scripts.size(), reduction, speedup_widest,
-                        speedup_threads, ts, ss, fs)
+                        speedup_threads, ts, ss, fs, sts)
         << "\n";
     std::printf("wrote %s\n", path.c_str());
   }
@@ -995,6 +1410,21 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
     std::fprintf(stderr, "FAIL: span imbalance: opened=%llu closed=%llu\n",
                  static_cast<unsigned long long>(ts.spans_opened),
                  static_cast<unsigned long long>(ts.spans_closed));
+    rc = 1;
+  }
+  // Gate 4b: the phase breakdown must contain lex and parse spans. They
+  // only open on parse-cache misses, so they can only come from the cold
+  // window — before that window was merged in, the JSON reported parsing
+  // as permanently free (the reporting bug this gate pins down).
+  if (ts.profile.stat(tel::Phase::Lex).count == 0 ||
+      ts.profile.stat(tel::Phase::Parse).count == 0) {
+    std::fprintf(stderr,
+                 "FAIL: phase breakdown has no lex/parse spans (lex=%llu "
+                 "parse=%llu) — cold-window profile lost\n",
+                 static_cast<unsigned long long>(
+                     ts.profile.stat(tel::Phase::Lex).count),
+                 static_cast<unsigned long long>(
+                     ts.profile.stat(tel::Phase::Parse).count));
     rc = 1;
   }
 
@@ -1186,7 +1616,48 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
     }
   }
 
+  // Acceptance gate 14 (non-sanitized, wide box only): on a machine with
+  // at least 8 hardware threads, the warm batch must scale at least 3x
+  // from 1 thread to the widest measured count. Narrow runners cannot
+  // prove scaling by physics, so they skip rather than vacuously pass.
+  if (IDEOBF_SANITIZED) {
+    std::printf("multi-core-scaling gate: skipped under sanitizers\n");
+  } else if (std::thread::hardware_concurrency() < 8 || speedup_threads < 8) {
+    std::printf(
+        "multi-core-scaling gate: skipped (hardware_concurrency=%u, "
+        "measured at %ut; needs >= 8 of both)\n",
+        std::thread::hardware_concurrency(), speedup_threads);
+  } else {
+    std::printf("multi-core-scaling gate: %.2fx at %ut (>= 3.0 required)\n",
+                speedup_widest, speedup_threads);
+    if (speedup_widest < 3.0) {
+      std::fprintf(stderr,
+                   "FAIL: warm batch speedup %.2fx at %u threads < 3x on "
+                   "a %u-thread machine\n",
+                   speedup_widest, speedup_threads,
+                   std::thread::hardware_concurrency());
+      rc = 1;
+    }
+  }
+
+  // Acceptance gate 15: storm gates (count-based — every concurrent storm
+  // client answered, innocents served through the drill, slow consumers
+  // actually reaped).
+  if (storm_gates(sts) != 0) rc = 1;
+
   return rc;
+}
+
+/// `--storm-only`: just the connection-storm section and its count-based
+/// gates — the fast ctest registration that keeps the epoll I/O core's
+/// storm behavior (and the slow-consumer reaps) from bit-rotting without
+/// paying for the full corpus sweep.
+int run_storm_only(bool smoke) {
+  std::vector<Row> rows;
+  const StormSummary sts = run_storm_section(smoke, rows);
+  print_rows(rows);
+  print_storm(sts);
+  return storm_gates(sts);
 }
 
 }  // namespace
@@ -1194,6 +1665,7 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
 int main(int argc, char** argv) {
   bool smoke = false;
   bool json = false;
+  bool storm_only = false;
   std::size_t scripts = 0;
   unsigned threads = 8;
   for (int i = 1; i < argc; ++i) {
@@ -1201,17 +1673,20 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--storm-only") == 0) {
+      storm_only = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--scripts") == 0 && i + 1 < argc) {
       scripts = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
-                   "usage: bench_pipeline [--smoke] [--json] [--threads N] "
-                   "[--scripts M]\n");
+                   "usage: bench_pipeline [--smoke] [--json] [--storm-only] "
+                   "[--threads N] [--scripts M]\n");
       return 2;
     }
   }
+  if (storm_only) return run_storm_only(smoke);
   if (scripts == 0) scripts = smoke ? 64 : 300;
   if (threads == 0) threads = 1;
   return run(scripts, threads, json, smoke);

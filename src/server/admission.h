@@ -20,8 +20,8 @@ namespace ideobf::server {
 /// A continuously refilled token bucket. Callers pass the current time (in
 /// seconds on any monotonic clock) and the live rate/burst, so hot-reloaded
 /// limits apply to existing connections immediately and tests need no real
-/// clock. Not thread-safe — each connection's bucket is only touched by its
-/// own reader thread.
+/// clock. Not thread-safe — all request admission happens on the server's
+/// event-loop thread, so each connection's bucket has exactly one toucher.
 class TokenBucket {
  public:
   /// Takes one token when available. `rate` is tokens/second; `burst` is

@@ -72,7 +72,19 @@ ServeClient ServeClient::connect_unix(const std::string& socket_path) {
   if (fd < 0) throw std::runtime_error("socket(AF_UNIX) failed");
   addr.sun_family = AF_UNIX;
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+  // Unix-socket connect() does not wait for backlog room the way TCP does:
+  // a momentarily full backlog fails with EAGAIN immediately. Under a
+  // connection storm that is routine, not an outage — retry briefly before
+  // declaring the server unreachable.
+  int rc;
+  for (int attempt = 0;; ++attempt) {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (rc == 0 || (errno != EAGAIN && errno != EINTR) || attempt >= 500) {
+      break;
+    }
+    ::usleep(2000);
+  }
+  if (rc != 0) {
     int err = errno;
     ::close(fd);
     throw std::runtime_error("cannot connect to '" + socket_path +

@@ -1,0 +1,119 @@
+#include "server/event_loop.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ideobf::server {
+
+bool set_nonblocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if ((flags & O_NONBLOCK) != 0) return true;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+Epoll::Epoll() : fd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("epoll_create1 failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+Epoll::~Epoll() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Epoll::add(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+}
+
+bool Epoll::mod(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  return ::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+}
+
+void Epoll::del(int fd) { ::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr); }
+
+int Epoll::wait(epoll_event* out, int capacity, int timeout_ms) {
+  for (;;) {
+    int n = ::epoll_wait(fd_, out, capacity, timeout_ms);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+void LineAssembler::append(const char* data, std::size_t n) {
+  if (overflowed_) return;  // connection is doomed; stop buffering
+  // Compact once the consumed prefix dominates, so a long-lived chatty
+  // connection does not grow its buffer with dead bytes.
+  if (start_ > 4096 && start_ * 2 >= buf_.size()) {
+    buf_.erase(0, start_);
+    scan_ -= start_;
+    start_ = 0;
+  }
+  buf_.append(data, n);
+  if (buffered() > max_line_bytes_) overflowed_ = true;
+}
+
+bool LineAssembler::next(std::string& line) {
+  if (overflowed_) return false;
+  if (scan_ < start_) scan_ = start_;
+  const std::size_t pos = buf_.find('\n', scan_);
+  if (pos == std::string::npos) {
+    scan_ = buf_.size();
+    return false;
+  }
+  std::size_t end = pos;
+  if (end > start_ && buf_[end - 1] == '\r') --end;
+  line.assign(buf_, start_, end - start_);
+  start_ = pos + 1;
+  scan_ = start_;
+  if (start_ == buf_.size()) {
+    buf_.clear();
+    start_ = 0;
+    scan_ = 0;
+  }
+  return true;
+}
+
+void OutputBuffer::append(std::string_view bytes) {
+  if (offset_ == pending_.size()) {
+    pending_.clear();
+    offset_ = 0;
+  } else if (offset_ > (1u << 20) && offset_ * 2 >= pending_.size()) {
+    pending_.erase(0, offset_);
+    offset_ = 0;
+  }
+  pending_.append(bytes);
+}
+
+OutputBuffer::FlushResult OutputBuffer::flush(int fd) {
+  while (offset_ < pending_.size()) {
+    ssize_t n = ::send(fd, pending_.data() + offset_,
+                       pending_.size() - offset_, MSG_NOSIGNAL);
+    if (n > 0) {
+      offset_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return FlushResult::Partial;
+    }
+    return FlushResult::Error;
+  }
+  pending_.clear();
+  offset_ = 0;
+  return FlushResult::Drained;
+}
+
+}  // namespace ideobf::server

@@ -10,13 +10,17 @@
 
 namespace ideobf::server {
 
-/// Binds + listens on a Unix domain socket at `path`, mode 0600. Replaces
-/// only an existing *socket* at the path; any other file type is a startup
-/// error. Throws std::runtime_error on failure.
+/// Binds + listens on a Unix domain socket at `path`, mode 0600, deep
+/// backlog, non-blocking (the epoll event loop treats listener readiness as
+/// a hint and accepts until EAGAIN — essential on a fleet's shared fd,
+/// where a sibling worker may win any given connection). Replaces only an
+/// existing *socket* at the path; any other file type is a startup error.
+/// Throws std::runtime_error on failure.
 int make_unix_listener(const std::string& path);
 
 /// Binds + listens on 127.0.0.1:`port` (0 = ephemeral; the bound port is
-/// written to `bound_port`). Throws std::runtime_error on failure.
+/// written to `bound_port`), non-blocking. Throws std::runtime_error on
+/// failure.
 int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port);
 
 }  // namespace ideobf::server

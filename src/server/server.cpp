@@ -2,11 +2,11 @@
 
 #include <fcntl.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
-#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -17,15 +17,16 @@
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
-#include <deque>
 #include <fstream>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -34,6 +35,7 @@
 #include "ideobf/api.h"
 #include "psvalue/worker_pool.h"
 #include "server/admission.h"
+#include "server/event_loop.h"
 #include "server/json.h"
 #include "server/listen.h"
 #include "server/protocol.h"
@@ -124,13 +126,16 @@ int make_unix_listener(const std::string& path) {
   // the shutdown op). Safe between bind and listen — connects are refused
   // until listen(), so no client can race the chmod.
   ::chmod(path.c_str(), 0600);
-  if (::listen(fd, 64) != 0) {
+  // Deep backlog: a connection storm briefly parks in the backlog while the
+  // event loop accepts in batches (the kernel clamps this to somaxconn).
+  if (::listen(fd, 4096) != 0) {
     int err = errno;
     ::close(fd);
     ::unlink(path.c_str());
     throw std::runtime_error("cannot listen on '" + path +
                              "': " + std::strerror(err));
   }
+  set_nonblocking(fd);
   return fd;
 }
 
@@ -144,7 +149,7 @@ int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 64) != 0) {
+      ::listen(fd, 4096) != 0) {
     int err = errno;
     ::close(fd);
     throw std::runtime_error(std::string("cannot listen on 127.0.0.1: ") +
@@ -155,32 +160,56 @@ int make_tcp_listener(std::uint16_t port, std::uint16_t& bound_port) {
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
     bound_port = ntohs(actual.sin_port);
   }
+  set_nonblocking(fd);
   return fd;
 }
 
 namespace {
 
-/// One accepted client. Owns the fd (closed when the last reference —
-/// reader thread or queued work — drops), serializes concurrent writers,
-/// and tracks the cancellation tokens of this client's queued/in-flight
-/// requests so a hang-up cancels exactly its own work.
+/// Why a connection was torn down — drives which reap counter increments.
+enum class CloseReason : int {
+  None = 0,
+  Disconnect,  ///< peer hung up or a write failed outright
+  Idle,        ///< idle_timeout_seconds with nothing pending
+  WriteStall,  ///< buffered output made no progress for the stall budget
+  OutbufCap,   ///< output accumulated past outbuf_high_water_bytes
+};
+
+/// One accepted client. The fd is owned here (closed when the last
+/// reference — event loop or queued work — drops) but only the event-loop
+/// thread performs I/O on it. Workers touch exactly two things: the
+/// mutex-guarded output buffer (to enqueue a response) and the token map
+/// (cancellation). Everything else is loop-thread-only state.
 struct Connection {
   int fd = -1;
   bool via_tcp = false;
-  double send_timeout_seconds = 0.0;
-  std::atomic<bool> closed{false};
-  std::atomic<bool> reader_done{false};
-  std::mutex write_mu;
-  std::mutex token_mu;
-  std::map<std::uint64_t, CancellationToken> inflight;
-  std::uint64_t next_token_id = 0;
-  /// Fair-queue lane + admission identity of this client. The bucket is
-  /// only touched from this connection's reader thread.
+  /// Set once the connection is doomed; appends are refused after. Stored
+  /// under out_mu so a worker's append and the loop's reap serialize.
+  std::atomic<bool> dead{false};
+  std::atomic<int> close_reason{static_cast<int>(CloseReason::None)};
+
+  // --- event-loop-thread-only state ---------------------------------------
+  LineAssembler in{kMaxLineBytes};
+  bool want_write = false;  ///< EPOLLOUT currently armed
+  /// Last complete request line (or accept). A half-written line does not
+  /// refresh this — that is precisely the slow-loris shape the idle reaper
+  /// exists for.
+  steady::time_point last_line_at{};
+  /// Fair-queue lane + admission identity; the bucket is only touched from
+  /// the event-loop thread (all request admission happens there).
   std::uint64_t client_id = 0;
   TokenBucket bucket;
 
-  Connection(int fd_in, bool via_tcp_in, double send_timeout)
-      : fd(fd_in), via_tcp(via_tcp_in), send_timeout_seconds(send_timeout) {
+  // --- shared with worker threads ------------------------------------------
+  std::mutex out_mu;
+  OutputBuffer out;                        ///< guarded by out_mu
+  steady::time_point write_progress_at{};  ///< guarded by out_mu
+
+  std::mutex token_mu;
+  std::map<std::uint64_t, CancellationToken> inflight;
+  std::uint64_t next_token_id = 0;
+
+  Connection(int fd_in, bool via_tcp_in) : fd(fd_in), via_tcp(via_tcp_in) {
     static std::atomic<std::uint64_t> next_client{1};
     client_id = next_client.fetch_add(1, std::memory_order_relaxed);
   }
@@ -199,6 +228,10 @@ struct Connection {
     std::lock_guard lk(token_mu);
     inflight.erase(id);
   }
+  [[nodiscard]] bool idle_tokens() {
+    std::lock_guard lk(token_mu);
+    return inflight.empty();
+  }
   /// Cancels every outstanding request of this client; returns how many
   /// were newly cancelled (the disconnect-cancel count).
   std::size_t cancel_all() {
@@ -211,45 +244,6 @@ struct Connection {
       }
     }
     return n;
-  }
-
-  /// Writes `line` + '\n' within a wall-clock budget. The fd carries
-  /// SO_SNDTIMEO, so a single send() blocks at most send_timeout_seconds;
-  /// the explicit deadline additionally bounds a drip-feeding client that
-  /// keeps each send barely progressing. Either way a stalled writer is
-  /// declared dead in bounded time: the connection is marked closed and the
-  /// fd shut down, which wakes the blocked reader so its EOF path cancels
-  /// this client's outstanding work — a non-reading client can never wedge
-  /// a worker slot or hold up a graceful drain.
-  bool send_line(std::string line) {
-    line.push_back('\n');
-    std::lock_guard lk(write_mu);
-    if (closed.load(std::memory_order_relaxed)) return false;
-    const char* p = line.data();
-    std::size_t left = line.size();
-    const bool bounded = send_timeout_seconds > 0.0;
-    const steady::time_point give_up =
-        bounded ? steady::now() +
-                      std::chrono::duration_cast<steady::duration>(
-                          std::chrono::duration<double>(send_timeout_seconds))
-                : steady::time_point{};
-    while (left > 0) {
-      ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
-      if (n < 0 && errno == EINTR) continue;
-      if (n > 0) {
-        p += static_cast<std::size_t>(n);
-        left -= static_cast<std::size_t>(n);
-        if (left == 0) return true;
-      }
-      if (n <= 0 || (bounded && steady::now() >= give_up)) {
-        // Error, SO_SNDTIMEO expiry (EAGAIN/EWOULDBLOCK), or out of wall
-        // budget with bytes still pending: drop the client, not the worker.
-        closed.store(true, std::memory_order_relaxed);
-        ::shutdown(fd, SHUT_RDWR);
-        return false;
-      }
-    }
-    return true;
   }
 };
 
@@ -285,11 +279,16 @@ struct AtomicStats {
   std::atomic<std::uint64_t> cache_stores_total{0};
   std::atomic<std::uint64_t> cache_corrupt_total{0};
   std::atomic<std::uint64_t> reloads_total{0};
+  std::atomic<std::uint64_t> epoll_wakeups_total{0};
+  std::atomic<std::uint64_t> outbuf_bytes{0};
+  std::atomic<std::uint64_t> idle_reaped_total{0};
+  std::atomic<std::uint64_t> stall_reaped_total{0};
+  std::atomic<std::uint64_t> outbuf_reaped_total{0};
 };
 
 /// The signal handler's only capability: one byte into the active server's
 /// self-pipe ('s' = stop, 'h' = hot reload). Everything else happens on the
-/// accept loop.
+/// event loop.
 std::atomic<int> g_signal_pipe_fd{-1};
 
 extern "C" void serve_signal_handler(int signum) {
@@ -325,6 +324,16 @@ struct Server::Impl {
             "ideobf_server_disconnect_cancel_total")),
         c_watchdog_cancel(&telemetry::registry().counter(
             "ideobf_server_watchdog_cancel_total")),
+        c_epoll_wakeups(&telemetry::registry().counter(
+            "ideobf_server_epoll_wakeups_total")),
+        c_idle_reaped(&telemetry::registry().counter(
+            "ideobf_server_idle_reaped_total")),
+        c_stall_reaped(&telemetry::registry().counter(
+            "ideobf_server_reaped_total", "reason=\"write_stall\"")),
+        c_outbuf_reaped(&telemetry::registry().counter(
+            "ideobf_server_reaped_total", "reason=\"outbuf_high_water\"")),
+        g_outbuf_bytes(
+            &telemetry::registry().gauge("ideobf_server_outbuf_bytes")),
         g_queue_depth(
             &telemetry::registry().gauge("ideobf_server_queue_depth")),
         h_request_seconds(&telemetry::registry().histogram(
@@ -366,6 +375,11 @@ struct Server::Impl {
   telemetry::Counter* c_connections;
   telemetry::Counter* c_disconnect_cancel;
   telemetry::Counter* c_watchdog_cancel;
+  telemetry::Counter* c_epoll_wakeups;
+  telemetry::Counter* c_idle_reaped;
+  telemetry::Counter* c_stall_reaped;
+  telemetry::Counter* c_outbuf_reaped;
+  telemetry::Gauge* g_outbuf_bytes;
   telemetry::Gauge* g_queue_depth;
   telemetry::Histogram* h_request_seconds;
   telemetry::Counter* c_admission_rejected;
@@ -382,6 +396,17 @@ struct Server::Impl {
   std::uint16_t bound_tcp_port = 0;
   int pipe_r = -1;
   int pipe_w = -1;
+  /// Worker-completion doorbell: workers enqueue a response, push the
+  /// connection onto `completions`, and ring this; the loop drains and
+  /// flushes. Also rung by wait() to start the final flush.
+  int event_fd = -1;
+
+  std::unique_ptr<Epoll> ep;
+  /// Live connections, keyed by fd. Event-loop-thread-only: no lock. The
+  /// map entry pins the Connection (and so its fd) while registered.
+  std::unordered_map<int, std::shared_ptr<Connection>> conns;
+  std::mutex comp_mu;
+  std::vector<std::shared_ptr<Connection>> completions;
 
   // --- fleet state ---------------------------------------------------------
   std::unique_ptr<SharedResponseCache> cache;
@@ -399,6 +424,9 @@ struct Server::Impl {
   std::atomic<bool> started{false};
   std::atomic<bool> stop_requested{false};
   std::atomic<bool> drain_expired{false};
+  /// Set by wait() after the workers drained: the loop's only remaining job
+  /// is flushing buffered responses, then it exits.
+  std::atomic<bool> finalize_requested{false};
   steady::time_point drain_started{};
   std::mutex stop_mu;
   std::condition_variable stop_cv;
@@ -414,16 +442,76 @@ struct Server::Impl {
   std::mutex watch_mu;
   std::list<WatchEntry> watching;
 
-  struct ReaderEntry {
-    std::shared_ptr<Connection> conn;
-    std::jthread thread;
-  };
-  std::mutex conn_mu;
-  std::vector<ReaderEntry> readers;
-
-  std::jthread accept_thread;
+  std::jthread io_thread;
   std::jthread driver_thread;
   std::jthread watchdog_thread;
+
+  [[nodiscard]] bool on_loop_thread() const {
+    return std::this_thread::get_id() == io_thread.get_id();
+  }
+
+  // --- response path -------------------------------------------------------
+
+  void ring_doorbell() {
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t r = ::write(event_fd, &one, sizeof(one));
+  }
+
+  void notify_loop(const std::shared_ptr<Connection>& conn) {
+    {
+      std::lock_guard lk(comp_mu);
+      completions.push_back(conn);
+    }
+    ring_doorbell();
+  }
+
+  /// Dooms a connection from any thread: no more appends, fd shut down so
+  /// the loop's read path observes EOF and finishes the reap. Idempotent.
+  void doom(const std::shared_ptr<Connection>& conn, CloseReason reason) {
+    bool first;
+    {
+      std::lock_guard lk(conn->out_mu);
+      conn->close_reason.store(static_cast<int>(reason),
+                               std::memory_order_relaxed);
+      first = !conn->dead.exchange(true, std::memory_order_relaxed);
+    }
+    if (!first) return;
+    ::shutdown(conn->fd, SHUT_RDWR);
+    notify_loop(conn);
+  }
+
+  /// Queues one response line toward a client. Never blocks: from the loop
+  /// thread the buffer is flushed opportunistically; from a worker the loop
+  /// is rung over the eventfd. A connection already holding
+  /// outbuf_high_water_bytes of unread output is doomed instead — the
+  /// slow-consumer path costs a bounded buffer, never a stalled thread.
+  void reply(const std::shared_ptr<Connection>& conn, std::string line) {
+    line.push_back('\n');
+    bool over_cap = false;
+    {
+      std::lock_guard lk(conn->out_mu);
+      if (conn->dead.load(std::memory_order_relaxed)) return;
+      if (conn->out.bytes() >= cfg.outbuf_high_water_bytes) {
+        over_cap = true;
+      } else {
+        if (conn->out.empty()) conn->write_progress_at = steady::now();
+        conn->out.append(line);
+        stats.outbuf_bytes.fetch_add(line.size(), std::memory_order_relaxed);
+        g_outbuf_bytes->add(static_cast<std::int64_t>(line.size()));
+      }
+    }
+    if (over_cap) {
+      stats.outbuf_reaped_total.fetch_add(1, std::memory_order_relaxed);
+      c_outbuf_reaped->add();
+      doom(conn, CloseReason::OutbufCap);
+      return;
+    }
+    if (on_loop_thread()) {
+      flush_conn(conn);
+    } else {
+      notify_loop(conn);
+    }
+  }
 
   // --- request path --------------------------------------------------------
 
@@ -434,24 +522,24 @@ struct Server::Impl {
     if (!parse_request_line(line, wire, error)) {
       stats.invalid_total.fetch_add(1, std::memory_order_relaxed);
       c_invalid->add();
-      conn->send_line(render_error_line("", kStatusInvalid, error));
+      reply(conn, render_error_line("", kStatusInvalid, error));
       return;
     }
     switch (wire.op) {
       case WireRequest::Op::Ping:
-        conn->send_line(render_pong_line());
+        reply(conn, render_pong_line());
         return;
       case WireRequest::Op::Live:
-        conn->send_line(render_live_line());
+        reply(conn, render_live_line());
         return;
       case WireRequest::Op::Ready:
-        conn->send_line(render_ready_line(
-            started.load(std::memory_order_relaxed) &&
-            !stop_requested.load(std::memory_order_relaxed)));
+        reply(conn, render_ready_line(
+                        started.load(std::memory_order_relaxed) &&
+                        !stop_requested.load(std::memory_order_relaxed)));
         return;
       case WireRequest::Op::Metrics:
-        conn->send_line(render_metrics_line(
-            telemetry::render_prometheus(telemetry::registry())));
+        reply(conn, render_metrics_line(
+                        telemetry::render_prometheus(telemetry::registry())));
         return;
       case WireRequest::Op::Shutdown:
         if (conn->via_tcp && !cfg.allow_tcp_shutdown) {
@@ -461,13 +549,13 @@ struct Server::Impl {
           // operator opted in.
           stats.invalid_total.fetch_add(1, std::memory_order_relaxed);
           c_invalid->add();
-          conn->send_line(render_error_line(
-              "", kStatusInvalid,
-              "shutdown is not permitted over TCP (use the unix socket, or "
-              "start with --allow-tcp-shutdown)"));
+          reply(conn, render_error_line(
+                          "", kStatusInvalid,
+                          "shutdown is not permitted over TCP (use the unix "
+                          "socket, or start with --allow-tcp-shutdown)"));
           return;
         }
-        conn->send_line(render_shutdown_line());
+        reply(conn, render_shutdown_line());
         request_stop();
         return;
       case WireRequest::Op::Deobfuscate:
@@ -478,8 +566,8 @@ struct Server::Impl {
     if (stop_requested.load(std::memory_order_relaxed)) {
       stats.shutting_down_total.fetch_add(1, std::memory_order_relaxed);
       c_shutting_down->add();
-      conn->send_line(render_error_line(wire.request.id, kStatusShuttingDown,
-                                        "server is draining"));
+      reply(conn, render_error_line(wire.request.id, kStatusShuttingDown,
+                                    "server is draining"));
       return;
     }
 
@@ -522,7 +610,7 @@ struct Server::Impl {
             " is quarantined after repeated worker crashes";
         refusal.report.failure = refusal.failure;
         refusal.report.failure_detail = refusal.failure_detail;
-        conn->send_line(render_response_line(refusal));
+        reply(conn, render_response_line(refusal));
         return;
       }
     }
@@ -538,9 +626,9 @@ struct Server::Impl {
         stats.admission_rejected_total.fetch_add(1, std::memory_order_relaxed);
         c_overloaded->add();
         c_admission_rejected->add();
-        conn->send_line(render_overloaded_line(
-            wire.request.id, "per-client rate limit exceeded",
-            conn->bucket.retry_after_ms(rate, capacity, now)));
+        reply(conn, render_overloaded_line(
+                        wire.request.id, "per-client rate limit exceeded",
+                        conn->bucket.retry_after_ms(rate, capacity, now)));
         return;
       }
     }
@@ -553,8 +641,8 @@ struct Server::Impl {
       item.request.deadline_ms = deadline_default;
     }
 
-    // Shared response cache: a hit is answered straight from the reader
-    // thread — no queue slot, no engine, no journal entry. Requests with
+    // Shared response cache: a hit is answered straight from the event
+    // loop — no queue slot, no engine, no journal entry. Requests with
     // inline options or a trace ask are not content-addressable here.
     if (cache != nullptr && !item.request.trace &&
         !item.request.options.has_value()) {
@@ -574,7 +662,7 @@ struct Server::Impl {
         c_cache_hit->add();
         c_ok->add();
         h_cache_hit_seconds->observe_ns(telemetry::now_ns() - t0);
-        conn->send_line(line);
+        reply(conn, std::move(line));
         return;
       }
       stats.cache_misses_total.fetch_add(1, std::memory_order_relaxed);
@@ -601,8 +689,8 @@ struct Server::Impl {
       conn->remove_token(token_id);
       stats.overloaded_total.fetch_add(1, std::memory_order_relaxed);
       c_overloaded->add();
-      conn->send_line(
-          render_error_line(id, kStatusOverloaded, "request queue is full"));
+      reply(conn,
+            render_error_line(id, kStatusOverloaded, "request queue is full"));
       return;
     }
     g_queue_depth->add(1);
@@ -676,8 +764,8 @@ struct Server::Impl {
 
   void process(Engine::Session& session, QueueItem& item, unsigned slot) {
     g_queue_depth->sub(1);
-    if (item.conn->closed.load(std::memory_order_relaxed)) {
-      // Client already gone; its tokens were cancelled by the reader. Do
+    if (item.conn->dead.load(std::memory_order_relaxed)) {
+      // Client already gone; its tokens were cancelled at the reap. Do
       // not burn a worker slot on output nobody will read.
       item.conn->remove_token(item.token_id);
       return;
@@ -738,9 +826,7 @@ struct Server::Impl {
       c_failed->add();
     }
     h_request_seconds->observe_seconds(response.seconds);
-    if (!item.conn->closed.load(std::memory_order_relaxed)) {
-      item.conn->send_line(render_response_line(response));
-    }
+    reply(item.conn, render_response_line(response));
   }
 
   void worker_slot(unsigned slot) {
@@ -753,33 +839,44 @@ struct Server::Impl {
     }
   }
 
-  // --- connection plumbing -------------------------------------------------
+  // --- the event loop ------------------------------------------------------
 
-  void reader_loop(const std::shared_ptr<Connection>& conn) {
-    std::string buf;
-    char chunk[16384];
-    for (;;) {
-      ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) break;
-      buf.append(chunk, static_cast<std::size_t>(n));
-      std::size_t pos;
-      while ((pos = buf.find('\n')) != std::string::npos) {
-        std::string line = buf.substr(0, pos);
-        buf.erase(0, pos + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        if (line.find_first_not_of(" \t") == std::string::npos) continue;
-        handle_line(conn, line);
-      }
-      if (buf.size() > kMaxLineBytes) {
-        stats.invalid_total.fetch_add(1, std::memory_order_relaxed);
-        c_invalid->add();
-        conn->send_line(
-            render_error_line("", kStatusInvalid, "request line too long"));
-        break;
-      }
+  /// Finishes a connection on the loop thread: deregisters, drops any
+  /// unflushed output, cancels the client's outstanding work. Idempotent —
+  /// every teardown path (EOF, error, idle/stall/cap reap, drain) lands
+  /// here exactly once per connection.
+  void reap_conn(const std::shared_ptr<Connection>& conn,
+                 CloseReason fallback) {
+    auto it = conns.find(conn->fd);
+    if (it == conns.end() || it->second != conn) return;
+    conns.erase(it);
+    ep->del(conn->fd);
+    std::size_t dropped;
+    {
+      std::lock_guard lk(conn->out_mu);
+      conn->dead.store(true, std::memory_order_relaxed);
+      dropped = conn->out.bytes();
     }
-    conn->closed.store(true, std::memory_order_relaxed);
+    if (dropped > 0) {
+      stats.outbuf_bytes.fetch_sub(dropped, std::memory_order_relaxed);
+      g_outbuf_bytes->sub(static_cast<std::int64_t>(dropped));
+    }
+    ::shutdown(conn->fd, SHUT_RDWR);
+    const int stored = conn->close_reason.load(std::memory_order_relaxed);
+    const CloseReason reason = stored != 0 ? static_cast<CloseReason>(stored)
+                                           : fallback;
+    switch (reason) {
+      case CloseReason::Idle:
+        stats.idle_reaped_total.fetch_add(1, std::memory_order_relaxed);
+        c_idle_reaped->add();
+        break;
+      case CloseReason::WriteStall:
+        stats.stall_reaped_total.fetch_add(1, std::memory_order_relaxed);
+        c_stall_reaped->add();
+        break;
+      default:
+        break;  // Disconnect / OutbufCap counted where detected
+    }
     const std::size_t cancelled = conn->cancel_all();
     if (cancelled > 0) {
       stats.disconnect_cancelled_total.fetch_add(cancelled,
@@ -787,79 +884,260 @@ struct Server::Impl {
       c_disconnect_cancel->add(cancelled);
     }
     stats.connections_active.fetch_sub(1, std::memory_order_relaxed);
-    conn->reader_done.store(true, std::memory_order_relaxed);
   }
 
-  void accept_loop() {
-    std::vector<pollfd> fds;
-    fds.push_back({pipe_r, POLLIN, 0});
-    fds.push_back({unix_fd, POLLIN, 0});
-    if (tcp_fd >= 0) fds.push_back({tcp_fd, POLLIN, 0});
+  /// Flushes a connection's buffered output as far as the socket allows and
+  /// keeps EPOLLOUT armed exactly while bytes remain. Loop-thread-only.
+  void flush_conn(const std::shared_ptr<Connection>& conn) {
+    auto it = conns.find(conn->fd);
+    if (it == conns.end() || it->second != conn) return;  // already reaped
+    OutputBuffer::FlushResult result;
+    std::size_t flushed;
+    {
+      std::lock_guard lk(conn->out_mu);
+      if (conn->dead.load(std::memory_order_relaxed)) return;
+      const std::size_t before = conn->out.bytes();
+      result = before == 0 ? OutputBuffer::FlushResult::Drained
+                           : conn->out.flush(conn->fd);
+      flushed = before - conn->out.bytes();
+      if (flushed > 0) conn->write_progress_at = steady::now();
+    }
+    if (flushed > 0) {
+      stats.outbuf_bytes.fetch_sub(flushed, std::memory_order_relaxed);
+      g_outbuf_bytes->sub(static_cast<std::int64_t>(flushed));
+    }
+    if (result == OutputBuffer::FlushResult::Error) {
+      reap_conn(conn, CloseReason::Disconnect);
+      return;
+    }
+    const bool want = result == OutputBuffer::FlushResult::Partial;
+    if (want != conn->want_write) {
+      conn->want_write = want;
+      ep->mod(conn->fd, EPOLLIN | (want ? EPOLLOUT : 0u));
+    }
+  }
 
-    while (!stop_requested.load(std::memory_order_relaxed)) {
-      for (pollfd& p : fds) p.revents = 0;
-      int rc = ::poll(fds.data(), fds.size(), 200);
-      if (rc < 0) {
+  void accept_ready(int lfd, bool via_tcp) {
+    for (;;) {
+      int cfd = ::accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (cfd < 0) {
         if (errno == EINTR) continue;
-        break;
+        // EAGAIN: drained — or, on a fleet's shared listener, a sibling
+        // worker won this connection. Either way, back to epoll.
+        return;
       }
-      if ((fds[0].revents & POLLIN) != 0) {
-        // Self-pipe bytes: 's' = stop (possibly straight from a signal
-        // handler that could not call request_stop itself), 'h' = SIGHUP
-        // hot reload of limits/blocklist/quarantine.
-        char drain[64];
-        bool stop = false;
-        bool hup = false;
-        ssize_t n;
-        while ((n = ::read(pipe_r, drain, sizeof(drain))) > 0) {
-          for (ssize_t i = 0; i < n; ++i) {
-            if (drain[i] == 'h') {
-              hup = true;
-            } else {
-              stop = true;
-            }
-          }
-        }
-        if (hup) reload();
-        if (stop) {
-          request_stop();
-          break;
+      stats.connections_total.fetch_add(1, std::memory_order_relaxed);
+      stats.connections_active.fetch_add(1, std::memory_order_relaxed);
+      c_connections->add();
+      auto conn = std::make_shared<Connection>(cfd, via_tcp);
+      conn->last_line_at = steady::now();
+      conns.emplace(cfd, conn);
+      ep->add(cfd, EPOLLIN);
+    }
+  }
+
+  void on_readable(const std::shared_ptr<Connection>& conn) {
+    char chunk[65536];
+    for (;;) {
+      ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n <= 0) {
+        reap_conn(conn, CloseReason::Disconnect);
+        return;
+      }
+      conn->in.append(chunk, static_cast<std::size_t>(n));
+      std::string line;
+      while (conn->in.next(line)) {
+        conn->last_line_at = steady::now();
+        if (line.find_first_not_of(" \t") == std::string::npos) continue;
+        handle_line(conn, line);
+        if (conn->dead.load(std::memory_order_relaxed) ||
+            !conns.contains(conn->fd)) {
+          reap_conn(conn, CloseReason::Disconnect);
+          return;
         }
       }
-      for (std::size_t i = 1; i < fds.size(); ++i) {
-        if ((fds[i].revents & POLLIN) == 0) continue;
-        int cfd = ::accept(fds[i].fd, nullptr, nullptr);
-        if (cfd < 0) continue;
-        if (cfg.send_timeout_seconds > 0.0) {
-          // One send() may block at most this long; send_line layers a
-          // wall-clock budget on top for drip-fed partial progress.
-          timeval tv{};
-          tv.tv_sec = static_cast<time_t>(cfg.send_timeout_seconds);
-          tv.tv_usec = static_cast<suseconds_t>(
-              (cfg.send_timeout_seconds - static_cast<double>(tv.tv_sec)) *
-              1e6);
-          ::setsockopt(cfd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-        }
-        stats.connections_total.fetch_add(1, std::memory_order_relaxed);
-        stats.connections_active.fetch_add(1, std::memory_order_relaxed);
-        c_connections->add();
-        const bool via_tcp = tcp_fd >= 0 && fds[i].fd == tcp_fd;
-        auto conn = std::make_shared<Connection>(cfd, via_tcp,
-                                                 cfg.send_timeout_seconds);
-        std::lock_guard lk(conn_mu);
-        reap_finished_readers_locked();
-        readers.push_back(
-            {conn, std::jthread([this, conn] { reader_loop(conn); })});
+      if (conn->in.overflowed()) {
+        stats.invalid_total.fetch_add(1, std::memory_order_relaxed);
+        c_invalid->add();
+        reply(conn,
+              render_error_line("", kStatusInvalid, "request line too long"));
+        reap_conn(conn, CloseReason::Disconnect);
+        return;
+      }
+      // Short read: the socket is drained. (Level-triggered epoll makes
+      // this a safe heuristic — a racing refill re-arms the event.) It also
+      // bounds how long one firehosing client can hog the loop.
+      if (n < static_cast<ssize_t>(sizeof(chunk))) return;
+    }
+  }
+
+  void drain_completions() {
+    std::vector<std::shared_ptr<Connection>> batch;
+    {
+      std::lock_guard lk(comp_mu);
+      batch.swap(completions);
+    }
+    for (const std::shared_ptr<Connection>& conn : batch) {
+      if (conn->dead.load(std::memory_order_relaxed)) {
+        reap_conn(conn, CloseReason::Disconnect);
+      } else {
+        flush_conn(conn);
       }
     }
-    if (unix_fd >= 0) ::close(unix_fd);
-    if (tcp_fd >= 0) ::close(tcp_fd);
-    unix_fd = -1;
-    tcp_fd = -1;
+  }
+
+  /// Periodic reaper sweep: write-stalled consumers (buffered output, no
+  /// progress for send_timeout_seconds) and idle connections (no complete
+  /// request for idle_timeout_seconds, nothing pending in either
+  /// direction). Loop-thread-only.
+  void scan_timeouts(steady::time_point now) {
+    const double stall_to = cfg.send_timeout_seconds;
+    const double idle_to = cfg.idle_timeout_seconds;
+    if (stall_to <= 0.0 && idle_to <= 0.0) return;
+    std::vector<std::pair<std::shared_ptr<Connection>, CloseReason>> victims;
+    for (const auto& [fd, conn] : conns) {
+      bool pending;
+      steady::time_point progress_at;
+      {
+        std::lock_guard lk(conn->out_mu);
+        pending = !conn->out.empty();
+        progress_at = conn->write_progress_at;
+      }
+      if (pending) {
+        if (stall_to > 0.0 &&
+            std::chrono::duration<double>(now - progress_at).count() >=
+                stall_to) {
+          victims.emplace_back(conn, CloseReason::WriteStall);
+        }
+      } else if (idle_to > 0.0 &&
+                 std::chrono::duration<double>(now - conn->last_line_at)
+                         .count() >= idle_to &&
+                 conn->idle_tokens()) {
+        victims.emplace_back(conn, CloseReason::Idle);
+      }
+    }
+    for (const auto& [conn, reason] : victims) reap_conn(conn, reason);
+  }
+
+  void close_listeners() {
+    if (unix_fd >= 0) {
+      ep->del(unix_fd);
+      ::close(unix_fd);
+      unix_fd = -1;
+    }
+    if (tcp_fd >= 0) {
+      ep->del(tcp_fd);
+      ::close(tcp_fd);
+      tcp_fd = -1;
+    }
     // An inherited listener belongs to the supervisor: other workers are
     // still accepting on the same socket, so never unlink the path here.
     if (!cfg.unix_socket_path.empty() && cfg.inherited_unix_fd < 0) {
       ::unlink(cfg.unix_socket_path.c_str());
+    }
+  }
+
+  void io_loop() {
+    std::vector<epoll_event> events(128);
+    steady::time_point next_scan = steady::now();
+    steady::time_point finalize_deadline{};
+    bool listeners_open = true;
+    bool finalizing = false;
+    for (;;) {
+      const steady::time_point now = steady::now();
+      if (listeners_open && stop_requested.load(std::memory_order_relaxed)) {
+        close_listeners();
+        listeners_open = false;
+      }
+      if (!finalizing && finalize_requested.load(std::memory_order_acquire)) {
+        // Workers are done; every response is buffered. Flush what the
+        // clients will read, bounded by the stall budget — a consumer that
+        // stops reading now cannot hold the shutdown hostage.
+        finalizing = true;
+        finalize_deadline =
+            cfg.send_timeout_seconds > 0.0
+                ? now + std::chrono::duration_cast<steady::duration>(
+                            std::chrono::duration<double>(
+                                cfg.send_timeout_seconds + 0.25))
+                : steady::time_point::max();
+      }
+      if (finalizing) {
+        bool output_pending = false;
+        for (const auto& [fd, conn] : conns) {
+          std::lock_guard lk(conn->out_mu);
+          if (!conn->out.empty()) {
+            output_pending = true;
+            break;
+          }
+        }
+        if (!output_pending || now >= finalize_deadline) break;
+      }
+
+      const int n = ep->wait(events.data(), static_cast<int>(events.size()),
+                             finalizing ? 20 : 100);
+      if (n > 0) {
+        stats.epoll_wakeups_total.fetch_add(1, std::memory_order_relaxed);
+        c_epoll_wakeups->add();
+      }
+      bool stop_byte = false;
+      bool hup_byte = false;
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        const std::uint32_t ev = events[i].events;
+        if (fd == pipe_r) {
+          // Self-pipe bytes: 's' = stop (possibly straight from a signal
+          // handler that could not call request_stop itself), 'h' = SIGHUP
+          // hot reload of limits/blocklist/quarantine.
+          char drain[64];
+          ssize_t r;
+          while ((r = ::read(pipe_r, drain, sizeof(drain))) > 0) {
+            for (ssize_t j = 0; j < r; ++j) {
+              if (drain[j] == 'h') {
+                hup_byte = true;
+              } else {
+                stop_byte = true;
+              }
+            }
+          }
+        } else if (fd == event_fd) {
+          std::uint64_t count;
+          while (::read(event_fd, &count, sizeof(count)) > 0) {
+          }
+        } else if (listeners_open && fd == unix_fd) {
+          accept_ready(fd, false);
+        } else if (listeners_open && fd == tcp_fd) {
+          accept_ready(fd, true);
+        } else {
+          auto it = conns.find(fd);
+          if (it == conns.end()) continue;
+          std::shared_ptr<Connection> conn = it->second;
+          if ((ev & EPOLLERR) != 0) {
+            reap_conn(conn, CloseReason::Disconnect);
+            continue;
+          }
+          if ((ev & EPOLLOUT) != 0) flush_conn(conn);
+          if ((ev & (EPOLLIN | EPOLLHUP)) != 0 && conns.contains(fd)) {
+            on_readable(conn);
+          }
+        }
+      }
+      if (hup_byte) reload();
+      if (stop_byte) request_stop();
+      drain_completions();
+      if (now >= next_scan) {
+        scan_timeouts(now);
+        next_scan = now + std::chrono::milliseconds(100);
+      }
+    }
+    // Teardown: whatever is still connected is done being served (workers
+    // have drained; output either flushed or past its stall budget).
+    std::vector<std::shared_ptr<Connection>> remaining;
+    remaining.reserve(conns.size());
+    for (const auto& [fd, conn] : conns) remaining.push_back(conn);
+    for (const std::shared_ptr<Connection>& conn : remaining) {
+      reap_conn(conn, CloseReason::Disconnect);
     }
   }
 
@@ -924,12 +1202,6 @@ struct Server::Impl {
     }
   }
 
-  void reap_finished_readers_locked() {
-    std::erase_if(readers, [](const ReaderEntry& r) {
-      return r.conn->reader_done.load(std::memory_order_relaxed);
-    });
-  }
-
   void watchdog_loop(const std::stop_token& st) {
     std::mutex m;
     std::condition_variable_any cv;
@@ -990,6 +1262,7 @@ Server::~Server() {
   g_signal_pipe_fd.compare_exchange_strong(expected, -1);
   if (impl_->pipe_r >= 0) ::close(impl_->pipe_r);
   if (impl_->pipe_w >= 0) ::close(impl_->pipe_w);
+  if (impl_->event_fd >= 0) ::close(impl_->event_fd);
   if (impl_->journal_fd >= 0) ::close(impl_->journal_fd);
 }
 
@@ -1004,15 +1277,22 @@ void Server::start() {
   }
   s.pipe_r = pfd[0];
   s.pipe_w = pfd[1];
+  s.event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (s.event_fd < 0) throw std::runtime_error("eventfd failed");
   if (s.cfg.inherited_unix_fd >= 0) {
     // Fleet worker: the supervisor bound the listener before fork+exec;
-    // every worker accept()ing on the same fd is the load balancer.
+    // every worker accept()ing on the same fd is the load balancer. The
+    // shared fd must be non-blocking here — with siblings racing for the
+    // same backlog, a readiness event is a hint, not a guarantee, and a
+    // blocking accept() would wedge this worker's whole event loop.
     s.unix_fd = s.cfg.inherited_unix_fd;
+    set_nonblocking(s.unix_fd);
   } else {
     s.unix_fd = make_unix_listener(s.cfg.unix_socket_path);
   }
   if (s.cfg.inherited_tcp_fd >= 0) {
     s.tcp_fd = s.cfg.inherited_tcp_fd;
+    set_nonblocking(s.tcp_fd);
     sockaddr_in actual{};
     socklen_t len = sizeof(actual);
     if (::getsockname(s.tcp_fd, reinterpret_cast<sockaddr*>(&actual), &len) ==
@@ -1046,6 +1326,12 @@ void Server::start() {
   if (!s.cfg.quarantine_path.empty()) s.load_quarantine();
   if (!s.cfg.reload_config_path.empty()) s.load_reload_config();
 
+  s.ep = std::make_unique<Epoll>();
+  s.ep->add(s.pipe_r, EPOLLIN);
+  s.ep->add(s.event_fd, EPOLLIN);
+  s.ep->add(s.unix_fd, EPOLLIN);
+  if (s.tcp_fd >= 0) s.ep->add(s.tcp_fd, EPOLLIN);
+
   unsigned threads = s.cfg.threads != 0 ? s.cfg.threads
                                         : std::thread::hardware_concurrency();
   if (threads == 0) threads = 2;
@@ -1060,7 +1346,7 @@ void Server::start() {
         threads, threads,
         [&s](std::size_t, unsigned slot) { s.worker_slot(slot); });
   });
-  s.accept_thread = std::jthread([&s] { s.accept_loop(); });
+  s.io_thread = std::jthread([&s] { s.io_loop(); });
 }
 
 void Server::request_stop() { impl_->request_stop(); }
@@ -1075,25 +1361,19 @@ void Server::wait() {
   }
   std::lock_guard teardown(s.teardown_mu);
   if (s.torn_down) return;
-  if (s.accept_thread.joinable()) s.accept_thread.join();
-  // Listeners are closed; everything accepted before the stop still gets
-  // served (pop() drains the queue before reporting closed).
+  // The event loop closed (or is about to close) the listeners; everything
+  // accepted before the stop still gets served (pop() drains the queue
+  // before reporting closed), with responses flushed by the loop as the
+  // workers complete them.
   s.queue.close();
   if (s.driver_thread.joinable()) s.driver_thread.join();
+  // Workers are done: tell the loop this was the last of the output, let it
+  // finish flushing (bounded by the stall budget), then join it.
+  s.finalize_requested.store(true, std::memory_order_release);
+  s.ring_doorbell();
+  if (s.io_thread.joinable()) s.io_thread.join();
   s.watchdog_thread.request_stop();
   if (s.watchdog_thread.joinable()) s.watchdog_thread.join();
-  {
-    std::lock_guard lk(s.conn_mu);
-    for (Impl::ReaderEntry& r : s.readers) {
-      if (!r.conn->reader_done.load(std::memory_order_relaxed)) {
-        ::shutdown(r.conn->fd, SHUT_RDWR);
-      }
-    }
-  }
-  {
-    std::lock_guard lk(s.conn_mu);
-    s.readers.clear();  // joins every reader jthread
-  }
   s.torn_down = true;
 }
 
@@ -1134,6 +1414,14 @@ ServerStats Server::stats() const {
   out.cache_corrupt_total =
       a.cache_corrupt_total.load(std::memory_order_relaxed);
   out.reloads_total = a.reloads_total.load(std::memory_order_relaxed);
+  out.epoll_wakeups_total =
+      a.epoll_wakeups_total.load(std::memory_order_relaxed);
+  out.outbuf_bytes = a.outbuf_bytes.load(std::memory_order_relaxed);
+  out.idle_reaped_total = a.idle_reaped_total.load(std::memory_order_relaxed);
+  out.stall_reaped_total =
+      a.stall_reaped_total.load(std::memory_order_relaxed);
+  out.outbuf_reaped_total =
+      a.outbuf_reaped_total.load(std::memory_order_relaxed);
   return out;
 }
 

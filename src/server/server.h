@@ -6,10 +6,18 @@
 ///
 /// Shape of the machine:
 ///  - listeners: a Unix domain socket (always) and an optional TCP loopback
-///    (127.0.0.1, ephemeral port supported), accepted by one poll loop;
-///  - one reader thread per connection parses newline-delimited JSON
-///    requests and pushes them onto a bounded queue — a full queue answers
-///    "overloaded" immediately instead of buffering without bound;
+///    (127.0.0.1, ephemeral port supported), both non-blocking;
+///  - one epoll event thread owns every client fd: non-blocking reads feed
+///    an incremental NDJSON line assembler, complete requests are admitted
+///    (quarantine, token bucket, shared cache) and pushed onto a bounded
+///    queue — a full queue answers "overloaded" immediately instead of
+///    buffering without bound. There are no per-connection threads;
+///  - writes never block: responses land in a per-connection output buffer
+///    drained by EPOLLOUT. Worker completions reach the loop over an
+///    eventfd. A consumer that stops reading is reaped once its buffered
+///    output makes no progress for send_timeout_seconds or crosses
+///    outbuf_high_water_bytes; an idle connection is reaped after
+///    idle_timeout_seconds. No reap ever blocks an event or worker thread;
 ///  - worker slots: `threads` long-lived items on ps::WorkerPool, each
 ///    binding its telemetry shard and holding a warm Engine::Session (parse
 ///    cache + recovery memo survive across requests — the whole point of a
@@ -26,6 +34,7 @@
 /// Protocol: src/server/protocol.h; worked examples: docs/SERVER.md.
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -59,13 +68,23 @@ struct ServerConfig {
   /// How long a graceful drain may spend serving in-flight work before the
   /// watchdog cancels what remains. 0 disables the backstop.
   double drain_grace_seconds = 30.0;
-  /// Wall-clock budget for writing one response line to a client. A client
-  /// that submits work but never reads its replies stalls the kernel send
-  /// buffer; past this budget the send fails, the connection is declared
-  /// dead, and the response is dropped — a worker slot can never wedge on
-  /// a non-reading client, and a graceful drain stays bounded. 0 disables
-  /// the timeout (not recommended outside tests).
+  /// Write-stall budget. Responses are buffered per connection and flushed
+  /// by the event loop without ever blocking; a client whose buffered
+  /// output makes no forward progress for this long (it stopped reading)
+  /// is reaped and its buffered bytes dropped — a worker slot can never
+  /// wedge on a non-reading client, and a graceful drain stays bounded.
+  /// 0 disables the stall reaper (not recommended outside tests).
   double send_timeout_seconds = 10.0;
+  /// Reap a connection that has been idle this long: no complete request
+  /// line received (a half-written line does not count — the slow-loris
+  /// shape), nothing queued or in flight, and no output pending. 0 (the
+  /// default) disables idle reaping.
+  double idle_timeout_seconds = 0.0;
+  /// Per-connection output-buffer cap. A connection whose buffered, unread
+  /// responses already hold this many bytes when another response arrives
+  /// is reaped (one response may overshoot the cap, so a single oversized
+  /// result is still deliverable; it is accumulation that is bounded).
+  std::size_t outbuf_high_water_bytes = 32u << 20;
   /// Honor {"op":"shutdown"} arriving over the TCP listener. Off by
   /// default: TCP loopback carries no peer authentication, so shutdown is
   /// restricted to the filesystem-permissioned Unix socket unless the
@@ -142,6 +161,17 @@ struct ServerStats {
   std::uint64_t cache_corrupt_total = 0;
   /// SIGHUP config/quarantine reloads applied.
   std::uint64_t reloads_total = 0;
+  /// epoll_wait returns that delivered at least one event.
+  std::uint64_t epoll_wakeups_total = 0;
+  /// Bytes currently buffered toward clients across all connections.
+  std::uint64_t outbuf_bytes = 0;
+  /// Connections reaped by the idle timeout.
+  std::uint64_t idle_reaped_total = 0;
+  /// Connections reaped because buffered output made no progress for
+  /// send_timeout_seconds (the client stopped reading).
+  std::uint64_t stall_reaped_total = 0;
+  /// Connections reaped at the output-buffer high-water mark.
+  std::uint64_t outbuf_reaped_total = 0;
 };
 
 class Server {

@@ -117,6 +117,12 @@ struct Supervisor::Impl {
     argv_s.push_back(std::to_string(cfg.max_queue));
     argv_s.push_back("--send-timeout-seconds");
     argv_s.push_back(std::to_string(cfg.send_timeout_seconds));
+    if (cfg.idle_timeout_seconds > 0.0) {
+      argv_s.push_back("--idle-timeout-seconds");
+      argv_s.push_back(std::to_string(cfg.idle_timeout_seconds));
+    }
+    argv_s.push_back("--outbuf-high-water-bytes");
+    argv_s.push_back(std::to_string(cfg.outbuf_high_water_bytes));
     if (cfg.default_deadline_ms != 0) {
       argv_s.push_back("--deadline-ms");
       argv_s.push_back(std::to_string(cfg.default_deadline_ms));

@@ -21,6 +21,7 @@
 /// The supervisor itself never parses request bytes — it has no attack
 /// surface beyond signals and waitpid.
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -47,6 +48,8 @@ struct FleetConfig {
   std::size_t max_queue = 64;
   std::uint64_t default_deadline_ms = 0;
   double send_timeout_seconds = 10.0;
+  double idle_timeout_seconds = 0.0;
+  std::size_t outbuf_high_water_bytes = 32u << 20;
   double admission_rate = 0.0;
   double admission_burst = 0.0;
   bool cache = true;

@@ -480,6 +480,11 @@ int cmd_serve(int argc, char** argv) {
       fleet.drain_grace_seconds = cfg.drain_grace_seconds;
     } else if (a == "--send-timeout-seconds" && i + 1 < argc) {
       cfg.send_timeout_seconds = std::atof(argv[++i]);
+    } else if (a == "--idle-timeout-seconds" && i + 1 < argc) {
+      cfg.idle_timeout_seconds = std::atof(argv[++i]);
+    } else if (a == "--outbuf-high-water-bytes" && i + 1 < argc) {
+      cfg.outbuf_high_water_bytes =
+          static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (a == "--allow-tcp-shutdown") {
       cfg.allow_tcp_shutdown = true;
     } else if (a == "--self-check") {
@@ -550,6 +555,8 @@ int cmd_serve(int argc, char** argv) {
     fleet.max_queue = cfg.max_queue;
     fleet.default_deadline_ms = cfg.default_deadline_ms;
     fleet.send_timeout_seconds = cfg.send_timeout_seconds;
+    fleet.idle_timeout_seconds = cfg.idle_timeout_seconds;
+    fleet.outbuf_high_water_bytes = cfg.outbuf_high_water_bytes;
     fleet.admission_rate = cfg.admission_rate;
     fleet.admission_burst = cfg.admission_burst;
     fleet.reload_config_path = cfg.reload_config_path;
