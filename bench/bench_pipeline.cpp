@@ -35,6 +35,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <string>
 #include <thread>
@@ -107,6 +108,11 @@ double now_seconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Gate budget for the per-request observability plane: a serve pass with
+/// `"server_trace": true` on every request may cost at most this multiple of
+/// the untraced pass (acceptance gate 16).
+constexpr double kServeTraceOverheadBudget = 1.10;
 
 /// Serial run over the corpus with the given deobfuscator.
 Row run_serial(const InvokeDeobfuscator& deobf,
@@ -365,6 +371,8 @@ TelemetrySummary run_telemetry_section(
 /// spawning the CLI binary once per script.
 struct ServerSummary {
   double server_ms_per_script = 0.0;       ///< warm daemon, one socket round trip each
+  double traced_ms_per_script = 0.0;       ///< same, with "server_trace": true per request
+  double trace_overhead_ratio = 0.0;       ///< traced / untraced process CPU
   double oneshot_cli_ms_per_script = 0.0;  ///< fresh `ideobf deobf` process each
   double amortization_ratio = 0.0;         ///< oneshot / server
   std::size_t cli_sample = 0;              ///< scripts actually spawned through the CLI
@@ -395,22 +403,97 @@ ServerSummary run_server_section(const std::vector<std::string>& scripts,
       request.source = s;
       (void)client.call(request);
     }
-    const double t0 = now_seconds();
-    for (const std::string& s : scripts) {
-      Request request;
-      request.source = s;
-      (void)client.call(request);
+    // Timed passes, untraced vs traced. The traced flavor opts every request
+    // into the per-request observability plane ("server_trace": true — the
+    // queue/cache/engine span breakdown in each reply; the heavyweight
+    // per-pass change-trace stays off, as a monitoring client would run).
+    // The delta being gated (≤10%) is far below scheduler noise on a loaded
+    // box, so each config runs as whole-corpus passes (alternating, so drift
+    // hits both) and every script keeps its per-config minimum across
+    // rounds: a noise burst has to hit the same script in the same config in
+    // every round to survive into the sum. Whole passes — not back-to-back
+    // same-script pairs — keep the base honest: a repeat of the script just
+    // served rides its still-hot engine caches and would deflate whichever
+    // config ran second far below what real traffic costs.
+    // Latency rows use wall-clock per-script minima; the gated overhead
+    // ratio uses process CPU time per pass. Tracing's cost is CPU work
+    // (rendering the span object, parsing the bigger reply — the server is
+    // in-process, so both sides land in this process's CPU clock), and CPU
+    // time is immune to the scheduler-wait noise that swamps a ~3% wall
+    // delta on a loaded box.
+    auto cpu_now = [] {
+      timespec ts{};
+      ::clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+    };
+    std::vector<double> best_untraced(scripts.size(), 1e300);
+    std::vector<double> best_traced(scripts.size(), 1e300);
+    double cpu_untraced = 1e300;
+    double cpu_traced = 1e300;
+    auto run_rounds = [&](int rounds) {
+      for (int round = 0; round < rounds; ++round) {
+        const bool traced = round % 2 != 0;
+        std::vector<double>& best = traced ? best_traced : best_untraced;
+        const double c0 = cpu_now();
+        for (std::size_t i = 0; i < scripts.size(); ++i) {
+          Request request;
+          request.source = scripts[i];
+          request.server_trace = traced;
+          const double t0 = now_seconds();
+          (void)client.call(request);
+          const double dt = now_seconds() - t0;
+          best[i] = std::min(best[i], dt);
+        }
+        const double cpu_dt = cpu_now() - c0;
+        double& best_cpu = traced ? cpu_traced : cpu_untraced;
+        best_cpu = std::min(best_cpu, cpu_dt);
+      }
+    };
+    auto recompute = [&] {
+      double untraced_seconds = 0.0;
+      double traced_seconds = 0.0;
+      for (std::size_t i = 0; i < scripts.size(); ++i) {
+        untraced_seconds += best_untraced[i];
+        traced_seconds += best_traced[i];
+      }
+      ss.server_ms_per_script = untraced_seconds * 1000.0 / scripts.size();
+      ss.traced_ms_per_script = traced_seconds * 1000.0 / scripts.size();
+      ss.trace_overhead_ratio =
+          cpu_untraced > 0.0 ? cpu_traced / cpu_untraced : 0.0;
+    };
+    run_rounds(8);
+    recompute();
+    // A regression persists; a stray burst of in-process work (telemetry
+    // flush, allocator housekeeping) that inflated one config's floor
+    // doesn't. Before reporting an over-budget ratio, accumulate more
+    // rounds into the same minima — they only converge downward.
+    for (int retry = 0;
+         retry < 2 && ss.trace_overhead_ratio > kServeTraceOverheadBudget;
+         ++retry) {
+      run_rounds(8);
+      recompute();
     }
-    const double seconds = now_seconds() - t0;
-    ss.server_ms_per_script = seconds * 1000.0 / scripts.size();
+    const double untraced_seconds =
+        ss.server_ms_per_script * scripts.size() / 1000.0;
+    const double traced_seconds =
+        ss.traced_ms_per_script * scripts.size() / 1000.0;
     Row row;
     row.config = "server_warm";
     row.threads = 2;
     row.warm = true;
-    row.seconds = seconds;
+    row.seconds = untraced_seconds;
     row.ms_per_script = ss.server_ms_per_script;
-    row.scripts_per_second = scripts.size() / seconds;
+    row.scripts_per_second = scripts.size() / untraced_seconds;
     rows.push_back(row);
+    Row traced_row;
+    traced_row.config = "server_traced";
+    traced_row.threads = 2;
+    traced_row.warm = true;
+    traced_row.seconds = traced_seconds;
+    traced_row.ms_per_script = ss.traced_ms_per_script;
+    traced_row.scripts_per_second = scripts.size() / traced_seconds;
+    rows.push_back(traced_row);
   }
   server.stop();
 
@@ -1063,6 +1146,8 @@ std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
   // Warm `ideobf serve` round trip vs a fresh CLI process per script: the
   // resident daemon's amortization of spawn + warm-up costs.
   w.field("server_ms_per_script", ss.server_ms_per_script);
+  w.field("server_traced_ms_per_script", ss.traced_ms_per_script);
+  w.field("serve_trace_overhead", ss.trace_overhead_ratio);
   w.field("oneshot_cli_ms_per_script", ss.oneshot_cli_ms_per_script);
   w.field("server_amortization_ratio", ss.amortization_ratio);
   // Supervised fleet: zipf-skewed replay through the shared response cache,
@@ -1325,6 +1410,11 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
                 "(one-shot CLI binary not found; ratio skipped)\n",
                 ss.server_ms_per_script);
   }
+  std::printf(
+      "serve trace overhead: traced %.3f ms/script vs untraced %.3f "
+      "ms/script wall, %.3fx process CPU\n",
+      ss.traced_ms_per_script, ss.server_ms_per_script,
+      ss.trace_overhead_ratio);
 
   if (fs.available) {
     std::printf(
@@ -1589,6 +1679,25 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
                    "FAIL: shared-cache hit path %.3f ms/script is not "
                    "cheaper than the warm pipeline %.3f ms/script\n",
                    fs.hit_ms_per_script, ss.server_ms_per_script);
+      rc = 1;
+    }
+  }
+
+  // Acceptance gate 16 (non-sanitized): the per-request observability plane
+  // must be close to free. A traced serve pass ("server_trace": true on
+  // every request — the span breakdown in every reply) may cost at most
+  // 10% more process CPU than the untraced pass on the same warm daemon.
+  // Timing-based, so skipped under sanitizers.
+  if (IDEOBF_SANITIZED) {
+    std::printf("serve-trace-overhead gate: skipped under sanitizers\n");
+  } else if (ss.trace_overhead_ratio > 0.0) {
+    std::printf("serve-trace-overhead gate: traced/untraced = %.3fx CPU\n",
+                ss.trace_overhead_ratio);
+    if (ss.trace_overhead_ratio > kServeTraceOverheadBudget) {
+      std::fprintf(stderr,
+                   "FAIL: traced serve pass costs %.3fx the untraced pass's "
+                   "process CPU (budget %.2fx)\n",
+                   ss.trace_overhead_ratio, kServeTraceOverheadBudget);
       rc = 1;
     }
   }

@@ -35,8 +35,13 @@ struct Request {
   /// replaces the effective options' limits.deadline_seconds.
   std::uint64_t deadline_ms = 0;
   /// Convenience trace switch; when true it sets telemetry.collect_trace on
-  /// the effective options.
+  /// the effective options (and, over the serve wire, additionally returns
+  /// the `server_trace` span breakdown).
   bool trace = false;
+  /// Serve-wire-only lightweight opt-in: the reply carries the
+  /// `server_trace` object (queue/cache/engine span breakdown) without the
+  /// per-pass change-trace events `trace` implies. Ignored outside serve.
+  bool server_trace = false;
   /// Opaque client correlation id, echoed verbatim on the Response (and on
   /// the server's NDJSON response line).
   std::string id;

@@ -13,10 +13,32 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "ideobf/api.h"
 
 namespace ideobf {
+
+/// Server-side span breakdown of one traced request (`"trace": true`): how
+/// the request's wall time splits between admission (shared-cache lookup),
+/// queue wait, and the engine's pipeline phases. The per-phase self times
+/// partition the engine wall time (accounted == engine within clock
+/// granularity — the same invariant bench_pipeline gates at 5%).
+struct ServerTrace {
+  bool present = false;         ///< the reply carried a server_trace object
+  int worker = -1;              ///< fleet worker index that served it
+  double queue_seconds = 0.0;   ///< admission -> worker-slot dispatch
+  double cache_seconds = 0.0;   ///< shared-cache lookup at admission
+  double engine_seconds = 0.0;  ///< the engine Pipeline span's wall time
+  double accounted_seconds = 0.0;  ///< sum of per-phase self times
+  struct PhaseBreakdown {
+    std::string phase;          ///< stable phase name ("parse", "recovery"...)
+    std::uint64_t count = 0;
+    double self_seconds = 0.0;
+    double total_seconds = 0.0;
+  };
+  std::vector<PhaseBreakdown> phases;
+};
 
 /// One wire-level reply. `status` is the protocol-level verdict — a
 /// superset of the pipeline taxonomy, because some conditions ("overloaded"
@@ -32,6 +54,24 @@ struct ServeReply {
   /// For "overloaded" refusals from admission control: the earliest useful
   /// retry time the server suggested. 0 when the server named none.
   std::uint64_t retry_after_ms = 0;
+  /// Server-assigned id of this request (`w<worker>-<seq>`), echoed on every
+  /// reply to a deobfuscate request — the join key across structured logs,
+  /// flight-recorder dumps, and traces. Empty on service-op replies and on
+  /// replies from servers that predate request ids.
+  std::string request_id;
+  /// Queue/cache/engine breakdown; present only for `"trace": true`.
+  ServerTrace server_trace;
+};
+
+/// The `metrics` op's reply beyond the exposition text itself.
+struct MetricsReply {
+  std::string exposition;
+  /// Fleet worker index of the responding worker (-1 when the server did
+  /// not say; 0 for a standalone daemon).
+  int worker = -1;
+  /// For `scope: "fleet"`: how many workers' snapshots were merged into the
+  /// exposition. 0 for a plain process-scope scrape.
+  int fleet_workers = 0;
 };
 
 class ServeClient {
@@ -75,6 +115,21 @@ class ServeClient {
 
   /// The server's Prometheus exposition (`op: "metrics"`).
   [[nodiscard]] std::string metrics();
+
+  /// Attributable scrape: the exposition plus the responding worker's id.
+  /// With `fleet_scope`, the responding worker merges every sibling's
+  /// snapshot from the fleet state dir (`worker="N"` labels on per-worker
+  /// series, fleet-wide sums without) and reports how many it merged.
+  [[nodiscard]] MetricsReply metrics_reply(bool fleet_scope = false);
+
+  /// Dumps the responding worker's flight recorder (`op: "debug"`): the raw
+  /// JSON reply line, carrying `worker` and a `flight` array of recent
+  /// request summaries (newest first).
+  [[nodiscard]] std::string debug_dump();
+
+  /// The server's Chrome trace JSON so far (`op: "trace"`), when the daemon
+  /// was started with `--trace-out`. Empty when no recorder is armed.
+  [[nodiscard]] std::string trace_json();
 
   /// Liveness round trip (`op: "ping"`).
   [[nodiscard]] bool ping();

@@ -27,8 +27,9 @@ enum class Phase : std::uint8_t {
   Reformat,         ///< reformatting pass
   SandboxRun,       ///< Sandbox::run of a whole script
   Pipeline,         ///< one InvokeDeobfuscator::deobfuscate call
+  QueueWait,        ///< serve mode: admitted request waiting for a worker slot
 };
-inline constexpr std::size_t kPhaseCount = 11;
+inline constexpr std::size_t kPhaseCount = 12;
 
 /// Stable lowercase name ("lex", "parse", ..., "pipeline").
 std::string_view phase_name(Phase phase);

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Metrics-catalog lint: every `ideobf_*` metric name minted anywhere in
+# src/ must have a row in docs/OBSERVABILITY.md. Registered as the
+# `metrics_catalog_lint` ctest entry so a new metric cannot land without
+# its documentation.
+#
+# Matching is a literal substring check against the doc, so the catalog
+# must spell out full metric names (no `ideobf_foo_{a,b}_total` shorthand).
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+doc="$root/docs/OBSERVABILITY.md"
+
+if [ ! -f "$doc" ]; then
+  echo "check_metrics_catalog: missing $doc" >&2
+  exit 2
+fi
+
+names="$(grep -rhoE '"ideobf_[a-z0-9_]+"' "$root/src" | tr -d '"' | sort -u)"
+if [ -z "$names" ]; then
+  echo "check_metrics_catalog: found no ideobf_* literals under src/ (bad checkout?)" >&2
+  exit 2
+fi
+
+missing=0
+for name in $names; do
+  if ! grep -qF "$name" "$doc"; then
+    echo "undocumented metric: $name (add a catalog row to docs/OBSERVABILITY.md)" >&2
+    missing=1
+  fi
+done
+
+if [ "$missing" -eq 0 ]; then
+  echo "check_metrics_catalog: all $(printf '%s\n' "$names" | wc -l) metric names documented"
+fi
+exit "$missing"

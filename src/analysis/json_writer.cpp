@@ -1,31 +1,52 @@
 #include "analysis/json_writer.h"
 
+#include <charconv>
 #include <cstdio>
 
 namespace ideobf {
 
-std::string json_quote(std::string_view s) {
-  std::string out = "\"";
-  for (unsigned char c : s) {
+namespace {
+
+/// Quote `s` straight into `out` without a temporary: clean runs are bulk
+/// appended, escapes spliced between them. Hot — every JSON key and string
+/// value in every serve reply goes through here.
+void append_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  std::size_t clean = 0;  // start of the pending run of unescaped bytes
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    const char* esc = nullptr;
+    char ubuf[8];
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
+      case '"': esc = "\\\""; break;
+      case '\\': esc = "\\\\"; break;
+      case '\n': esc = "\\n"; break;
+      case '\r': esc = "\\r"; break;
+      case '\t': esc = "\\t"; break;
+      case '\b': esc = "\\b"; break;
+      case '\f': esc = "\\f"; break;
       default:
         if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(static_cast<char>(c));
+          std::snprintf(ubuf, sizeof(ubuf), "\\u%04x", c);
+          esc = ubuf;
         }
     }
+    if (esc != nullptr) {
+      out.append(s, clean, i - clean);
+      out += esc;
+      clean = i + 1;
+    }
   }
-  out += "\"";
+  out.append(s, clean, s.size() - clean);
+  out += '"';
+}
+
+}  // namespace
+
+std::string json_quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  append_quoted(out, s);
   return out;
 }
 
@@ -67,7 +88,7 @@ JsonWriter& JsonWriter::end_array() {
 
 JsonWriter& JsonWriter::key(std::string_view name) {
   comma();
-  out_ += json_quote(name);
+  append_quoted(out_, name);
   out_ += ':';
   pending_key_ = true;
   return *this;
@@ -75,21 +96,26 @@ JsonWriter& JsonWriter::key(std::string_view name) {
 
 JsonWriter& JsonWriter::value(std::string_view s) {
   comma();
-  out_ += json_quote(s);
+  append_quoted(out_, s);
   return *this;
 }
 
 JsonWriter& JsonWriter::value(std::int64_t n) {
   comma();
-  out_ += std::to_string(n);
+  char buf[24];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), n);
+  out_.append(buf, r.ptr);
   return *this;
 }
 
 JsonWriter& JsonWriter::value(double d) {
   comma();
+  // Same digits snprintf "%.6g" would produce, without the locale machinery
+  // — double fields dominate traced serve replies (per-phase span times).
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.6g", d);
-  out_ += buf;
+  const auto r =
+      std::to_chars(buf, buf + sizeof(buf), d, std::chars_format::general, 6);
+  out_.append(buf, r.ptr);
   return *this;
 }
 

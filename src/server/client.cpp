@@ -209,6 +209,45 @@ std::string ServeClient::metrics() {
   return metrics->as_string();
 }
 
+MetricsReply ServeClient::metrics_reply(bool fleet_scope) {
+  impl_->send_all(
+      server::render_op_line("metrics", fleet_scope ? "fleet" : ""));
+  const std::string line = impl_->recv_line();
+  std::string error;
+  std::optional<server::JsonValue> doc = server::parse_json(line, &error);
+  if (!doc.has_value()) {
+    throw std::runtime_error("malformed metrics reply: " + error);
+  }
+  const server::JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr || !metrics->is_string()) {
+    throw std::runtime_error("metrics reply has no 'metrics' field");
+  }
+  MetricsReply reply;
+  reply.exposition = metrics->as_string();
+  if (const server::JsonValue* v = doc->find("worker"); v != nullptr) {
+    reply.worker = static_cast<int>(v->as_double());
+  }
+  if (const server::JsonValue* v = doc->find("fleet_workers"); v != nullptr) {
+    reply.fleet_workers = static_cast<int>(v->as_double());
+  }
+  return reply;
+}
+
+std::string ServeClient::debug_dump() {
+  impl_->send_all(server::render_op_line("debug"));
+  return impl_->recv_line();
+}
+
+std::string ServeClient::trace_json() {
+  impl_->send_all(server::render_op_line("trace"));
+  const std::string line = impl_->recv_line();
+  std::optional<server::JsonValue> doc = server::parse_json(line);
+  if (!doc.has_value()) return {};
+  const server::JsonValue* trace = doc->find("chrome_trace");
+  if (trace == nullptr || !trace->is_string()) return {};
+  return trace->as_string();
+}
+
 bool ServeClient::ping() {
   impl_->send_all(server::render_op_line("ping"));
   const std::string line = impl_->recv_line();

@@ -8,7 +8,24 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "telemetry/log.h"
+
 namespace ideobf::server {
+
+namespace {
+
+/// An epoll_ctl failure means a connection silently stops getting events —
+/// previously invisible; now a structured warn names the fd and op.
+void log_epoll_ctl_failure(const char* op, int fd) {
+  if (!telemetry::log_enabled(telemetry::LogLevel::Warn)) return;
+  telemetry::LogEvent(telemetry::LogLevel::Warn, "event_loop",
+                      "epoll-ctl-failed")
+      .field("op", op)
+      .field("fd", fd)
+      .field("errno", errno);
+}
+
+}  // namespace
 
 bool set_nonblocking(int fd) {
   int flags = ::fcntl(fd, F_GETFL, 0);
@@ -32,14 +49,22 @@ bool Epoll::add(int fd, std::uint32_t events) {
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
-  return ::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  if (::epoll_ctl(fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    log_epoll_ctl_failure("add", fd);
+    return false;
+  }
+  return true;
 }
 
 bool Epoll::mod(int fd, std::uint32_t events) {
   epoll_event ev{};
   ev.events = events;
   ev.data.fd = fd;
-  return ::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+  if (::epoll_ctl(fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    log_epoll_ctl_failure("mod", fd);
+    return false;
+  }
+  return true;
 }
 
 void Epoll::del(int fd) { ::epoll_ctl(fd_, EPOLL_CTL_DEL, fd, nullptr); }

@@ -221,7 +221,9 @@ bool parse_request_line(std::string_view line, WireRequest& out,
     error = "request line must be a JSON object";
     return false;
   }
-  if (!check_keys(*doc, {"op", "id", "source", "deadline_ms", "trace", "options"},
+  if (!check_keys(*doc,
+                  {"op", "id", "source", "deadline_ms", "trace",
+                   "server_trace", "options", "scope"},
                   "request", error)) {
     return false;
   }
@@ -234,6 +236,14 @@ bool parse_request_line(std::string_view line, WireRequest& out,
   }
   if (op == "metrics") {
     out.op = WireRequest::Op::Metrics;
+    std::string scope;
+    if (!read_string(*doc, "scope", scope, error)) return false;
+    if (scope == "fleet") {
+      out.fleet_scope = true;
+    } else if (!scope.empty() && scope != "process") {
+      error = "unknown metrics scope '" + scope + "'";
+      return false;
+    }
     return true;
   }
   if (op == "shutdown") {
@@ -246,6 +256,14 @@ bool parse_request_line(std::string_view line, WireRequest& out,
   }
   if (op == "live") {
     out.op = WireRequest::Op::Live;
+    return true;
+  }
+  if (op == "trace") {
+    out.op = WireRequest::Op::Trace;
+    return true;
+  }
+  if (op == "debug") {
+    out.op = WireRequest::Op::Debug;
     return true;
   }
   if (op != "deobfuscate") {
@@ -266,6 +284,9 @@ bool parse_request_line(std::string_view line, WireRequest& out,
     return false;
   }
   if (!read_bool(*doc, "trace", out.request.trace, error)) return false;
+  if (!read_bool(*doc, "server_trace", out.request.server_trace, error)) {
+    return false;
+  }
   if (const JsonValue* options = doc->find("options"); options != nullptr) {
     Options parsed;
     if (!parse_options_object(*options, parsed, error)) return false;
@@ -281,9 +302,15 @@ std::string_view status_of(const Response& response) {
 }
 
 std::string render_response_line(const Response& response) {
+  return render_response_line(response, ResponseExtras{});
+}
+
+std::string render_response_line(const Response& response,
+                                 const ResponseExtras& extras) {
   JsonWriter w;
   w.begin_object();
   w.field("id", response.id);
+  if (!extras.request_id.empty()) w.field("request_id", extras.request_id);
   w.field("status", status_of(response));
   w.field("result", response.result);
   w.field("failure", to_string(response.failure));
@@ -341,15 +368,42 @@ std::string render_response_line(const Response& response) {
     w.field("trace_dropped",
             static_cast<std::int64_t>(response.report.trace_dropped));
   }
+  if (extras.server_trace) {
+    const telemetry::PipelineProfile& profile = response.report.profile;
+    w.key("server_trace");
+    w.begin_object();
+    w.field("worker", extras.worker);
+    w.field("queue_seconds", extras.queue_seconds);
+    w.field("cache_seconds", extras.cache_seconds);
+    w.field("engine_seconds",
+            profile.total_seconds(telemetry::Phase::Pipeline));
+    w.field("accounted_seconds", profile.accounted_seconds());
+    w.begin_array("phases");
+    for (std::size_t i = 0; i < telemetry::kPhaseCount; ++i) {
+      const auto phase = static_cast<telemetry::Phase>(i);
+      const telemetry::PhaseStat& stat = profile.stat(phase);
+      if (stat.count == 0) continue;
+      w.begin_object();
+      w.field("phase", telemetry::phase_name(phase));
+      w.field("count", static_cast<std::int64_t>(stat.count));
+      w.field("self_seconds", profile.self_seconds(phase));
+      w.field("total_seconds", profile.total_seconds(phase));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }
 
 std::string render_error_line(std::string_view id, std::string_view status,
-                              std::string_view message) {
+                              std::string_view message,
+                              std::string_view request_id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
+  if (!request_id.empty()) w.field("request_id", request_id);
   w.field("status", status);
   w.field("error", message);
   w.end_object();
@@ -358,10 +412,12 @@ std::string render_error_line(std::string_view id, std::string_view status,
 
 std::string render_overloaded_line(std::string_view id,
                                    std::string_view message,
-                                   std::uint64_t retry_after_ms) {
+                                   std::uint64_t retry_after_ms,
+                                   std::string_view request_id) {
   JsonWriter w;
   w.begin_object();
   w.field("id", id);
+  if (!request_id.empty()) w.field("request_id", request_id);
   w.field("status", kStatusOverloaded);
   w.field("error", message);
   w.field("retry_after_ms", static_cast<std::int64_t>(retry_after_ms));
@@ -387,10 +443,15 @@ std::string render_live_line() {
   return w.str();
 }
 
-std::string render_metrics_line(std::string_view exposition) {
+std::string render_metrics_line(std::string_view exposition, int worker,
+                                int fleet_workers) {
   JsonWriter w;
   w.begin_object();
   w.field("status", kStatusOk);
+  if (worker >= 0) w.field("worker", static_cast<std::int64_t>(worker));
+  if (fleet_workers >= 0) {
+    w.field("fleet_workers", static_cast<std::int64_t>(fleet_workers));
+  }
   w.field("metrics", exposition);
   w.end_object();
   return w.str();
@@ -424,6 +485,7 @@ std::string render_request_line(const Request& request) {
     w.field("deadline_ms", static_cast<std::int64_t>(request.deadline_ms));
   }
   if (request.trace) w.field("trace", true);
+  if (request.server_trace) w.field("server_trace", true);
   if (request.options.has_value()) {
     const Options& o = *request.options;
     w.key("options");
@@ -475,10 +537,11 @@ std::string render_request_line(const Request& request) {
   return w.str();
 }
 
-std::string render_op_line(std::string_view op) {
+std::string render_op_line(std::string_view op, std::string_view scope) {
   JsonWriter w;
   w.begin_object();
   w.field("op", op);
+  if (!scope.empty()) w.field("scope", scope);
   w.end_object();
   return w.str();
 }
@@ -609,6 +672,44 @@ bool parse_reply_line(std::string_view line, ServeReply& out,
   }
   if (const JsonValue* v = doc->find("trace_dropped"); v != nullptr) {
     r.report.trace_dropped = static_cast<std::size_t>(v->as_double());
+  }
+  if (const JsonValue* v = doc->find("request_id"); v != nullptr) {
+    out.request_id = v->as_string();
+  }
+  if (const JsonValue* st = doc->find("server_trace"); st != nullptr) {
+    ServerTrace& t = out.server_trace;
+    t.present = true;
+    auto getd = [&](const char* key) {
+      const JsonValue* v = st->find(key);
+      return v != nullptr ? v->as_double() : 0.0;
+    };
+    if (const JsonValue* v = st->find("worker"); v != nullptr) {
+      t.worker = static_cast<int>(v->as_double());
+    }
+    t.queue_seconds = getd("queue_seconds");
+    t.cache_seconds = getd("cache_seconds");
+    t.engine_seconds = getd("engine_seconds");
+    t.accounted_seconds = getd("accounted_seconds");
+    if (const JsonValue* phases = st->find("phases"); phases != nullptr) {
+      if (const JsonValue::Array* arr = phases->as_array(); arr != nullptr) {
+        for (const JsonValue& p : *arr) {
+          ServerTrace::PhaseBreakdown b;
+          if (const JsonValue* v = p.find("phase"); v != nullptr) {
+            b.phase = v->as_string();
+          }
+          if (const JsonValue* v = p.find("count"); v != nullptr) {
+            b.count = static_cast<std::uint64_t>(v->as_double());
+          }
+          if (const JsonValue* v = p.find("self_seconds"); v != nullptr) {
+            b.self_seconds = v->as_double();
+          }
+          if (const JsonValue* v = p.find("total_seconds"); v != nullptr) {
+            b.total_seconds = v->as_double();
+          }
+          t.phases.push_back(std::move(b));
+        }
+      }
+    }
   }
   r.ok = out.status == kStatusOk || out.status == kStatusDegraded;
   return true;

@@ -39,9 +39,14 @@ struct WireRequest {
     Shutdown,     ///< graceful drain: stop accepting, serve in-flight, exit
     Ready,        ///< readiness probe: accepting and not draining
     Live,         ///< liveness probe: the process answers at all
+    Trace,        ///< Chrome trace JSON of the armed --trace-out recorder
+    Debug,        ///< flight-recorder dump: recent request summaries
   };
   Op op = Op::Deobfuscate;
   Request request;  ///< meaningful for Op::Deobfuscate only
+  /// For Op::Metrics: `"scope":"fleet"` asked for every worker's snapshot
+  /// merged, not just this process's registry.
+  bool fleet_scope = false;
 };
 
 /// Parses one request line. Strict: unknown top-level keys, wrong types, a
@@ -56,26 +61,46 @@ bool parse_request_line(std::string_view line, WireRequest& out,
 /// (passthrough or sealed exception — Response::ok is false).
 std::string_view status_of(const Response& response);
 
+/// Server-side context spliced into a deobfuscate response line.
+struct ResponseExtras {
+  /// Echoed as `"request_id"` right after `id` when non-empty.
+  std::string_view request_id;
+  /// Fleet worker index; part of the server_trace object.
+  int worker = -1;
+  /// Render the `server_trace` object (queue/cache/engine breakdown from
+  /// response.report.profile) — set for `"trace": true` requests.
+  bool server_trace = false;
+  double queue_seconds = 0.0;  ///< admission -> worker-slot dispatch
+  double cache_seconds = 0.0;  ///< shared-cache lookup at admission
+};
+
 /// Renders a deobfuscate response line (no trailing newline).
 std::string render_response_line(const Response& response);
+std::string render_response_line(const Response& response,
+                                 const ResponseExtras& extras);
 
 /// Renders a service-level refusal/ack line: {"id":..,"status":..,"error":..}.
 std::string render_error_line(std::string_view id, std::string_view status,
-                              std::string_view message);
+                              std::string_view message,
+                              std::string_view request_id = {});
 
 /// Renders an admission-control refusal: an "overloaded" error line carrying
 /// `retry_after_ms`, the client's earliest useful retry time.
 std::string render_overloaded_line(std::string_view id,
                                    std::string_view message,
-                                   std::uint64_t retry_after_ms);
+                                   std::uint64_t retry_after_ms,
+                                   std::string_view request_id = {});
 
 /// Renders the ready/live probe replies:
 /// {"status":"ok","ready":true|false} / {"status":"ok","live":true}.
 std::string render_ready_line(bool ready);
 std::string render_live_line();
 
-/// Renders the metrics reply: {"status":"ok","metrics":"<exposition>"}.
-std::string render_metrics_line(std::string_view exposition);
+/// Renders the metrics reply: {"status":"ok","worker":N,"metrics":"..."},
+/// plus `"fleet_workers":M` when `fleet_workers >= 0` (the fleet-scope
+/// merge). `worker < 0` omits the attribution (no fleet identity).
+std::string render_metrics_line(std::string_view exposition, int worker = -1,
+                                int fleet_workers = -1);
 
 /// Renders the ping reply: {"status":"ok","pong":true}.
 std::string render_pong_line();
@@ -91,8 +116,9 @@ std::string render_shutdown_line();
 std::string render_request_line(const Request& request);
 
 /// Renders a service-op line: {"op":"ping"} / {"op":"metrics"} /
-/// {"op":"shutdown"}.
-std::string render_op_line(std::string_view op);
+/// {"op":"shutdown"} / {"op":"trace"} / {"op":"debug"}. A non-empty `scope`
+/// adds `"scope":"..."` (the fleet-wide metrics scrape).
+std::string render_op_line(std::string_view op, std::string_view scope = {});
 
 /// Parses one response line back into a ServeReply (the client's inverse of
 /// render_response_line / render_error_line). Transport-level garbage —

@@ -1,5 +1,6 @@
 #include "server/server.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <signal.h>
@@ -8,6 +9,7 @@
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -31,17 +33,23 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/json_writer.h"
 #include "core/fault.h"
 #include "ideobf/api.h"
 #include "psvalue/worker_pool.h"
 #include "server/admission.h"
 #include "server/event_loop.h"
+#include "server/flight_recorder.h"
 #include "server/json.h"
 #include "server/listen.h"
 #include "server/protocol.h"
 #include "server/shared_cache.h"
+#include "telemetry/build_info.h"
+#include "telemetry/chrome_trace.h"
 #include "telemetry/exposition.h"
+#include "telemetry/log.h"
 #include "telemetry/metrics.h"
+#include "telemetry/snapshot.h"
 #include "telemetry/telemetry.h"
 
 namespace ideobf::server {
@@ -258,6 +266,14 @@ struct QueueItem {
   /// carrying their own options object.
   CacheKey cache_key;
   bool cacheable = false;
+  /// Server-assigned request id (`w<worker>-<seq>`), echoed on every reply —
+  /// the join key across logs, traces, and flight-recorder records.
+  std::string request_id;
+  /// telemetry::now_ns() at admission (queue-wait timing origin).
+  std::uint64_t admitted_ns = 0;
+  /// Time spent on the shared-cache lookup at admission (a miss; hits are
+  /// answered before queueing).
+  double cache_seconds = 0.0;
 };
 
 struct AtomicStats {
@@ -353,7 +369,9 @@ struct Server::Impl {
         c_reloads(&telemetry::registry().counter(
             "ideobf_fleet_reloads_total")),
         h_cache_hit_seconds(&telemetry::registry().histogram(
-            "ideobf_fleet_cache_hit_seconds")) {
+            "ideobf_fleet_cache_hit_seconds")),
+        h_queue_wait(&telemetry::registry().histogram(
+            "ideobf_server_queue_wait_seconds")) {
     live_deadline_ms = cfg.default_deadline_ms;
     live_rate = cfg.admission_rate;
     live_burst = cfg.admission_burst;
@@ -390,6 +408,7 @@ struct Server::Impl {
   telemetry::Counter* c_cache_corrupt;
   telemetry::Counter* c_reloads;
   telemetry::Histogram* h_cache_hit_seconds;
+  telemetry::Histogram* h_queue_wait;
 
   int unix_fd = -1;
   int tcp_fd = -1;
@@ -407,6 +426,26 @@ struct Server::Impl {
   std::unordered_map<int, std::shared_ptr<Connection>> conns;
   std::mutex comp_mu;
   std::vector<std::shared_ptr<Connection>> completions;
+
+  // --- observability -------------------------------------------------------
+  /// Always-on ring of recent request summaries (the `debug` op); its file
+  /// mirror is armed from cfg.flight_recorder_path for supervisor harvest.
+  FlightRecorder flight;
+  /// Armed from cfg.trace_out_path; installed process-wide so engine
+  /// PhaseSpans land in it alongside the serve-side queue-wait spans.
+  std::unique_ptr<telemetry::TraceRecorder> trace_recorder;
+  std::atomic<std::uint64_t> next_request_seq{1};
+
+  /// Fleet worker index used for labeling; standalone daemons are worker 0.
+  [[nodiscard]] int worker_label() const {
+    return cfg.worker_index < 0 ? 0 : cfg.worker_index;
+  }
+
+  std::string make_request_id() {
+    return "w" + std::to_string(worker_label()) + "-" +
+           std::to_string(
+               next_request_seq.fetch_add(1, std::memory_order_relaxed));
+  }
 
   // --- fleet state ---------------------------------------------------------
   std::unique_ptr<SharedResponseCache> cache;
@@ -538,8 +577,15 @@ struct Server::Impl {
                         !stop_requested.load(std::memory_order_relaxed)));
         return;
       case WireRequest::Op::Metrics:
-        reply(conn, render_metrics_line(
-                        telemetry::render_prometheus(telemetry::registry())));
+        handle_metrics(conn, wire.fleet_scope);
+        return;
+      case WireRequest::Op::Trace:
+        handle_trace(conn);
+        return;
+      case WireRequest::Op::Debug:
+        reply(conn, "{\"status\":\"ok\",\"worker\":" +
+                        std::to_string(worker_label()) + ",\"flight\":[" +
+                        flight.dump_json() + "]}");
         return;
       case WireRequest::Op::Shutdown:
         if (conn->via_tcp && !cfg.allow_tcp_shutdown) {
@@ -563,11 +609,15 @@ struct Server::Impl {
     }
 
     stats.requests_total.fetch_add(1, std::memory_order_relaxed);
+    // One request id per admitted deobfuscate request, echoed on every
+    // reply path — refusals included, so a client can always join its reply
+    // against server-side logs and traces.
+    const std::string request_id = make_request_id();
     if (stop_requested.load(std::memory_order_relaxed)) {
       stats.shutting_down_total.fetch_add(1, std::memory_order_relaxed);
       c_shutting_down->add();
       reply(conn, render_error_line(wire.request.id, kStatusShuttingDown,
-                                    "server is draining"));
+                                    "server is draining", request_id));
       return;
     }
 
@@ -610,7 +660,10 @@ struct Server::Impl {
             " is quarantined after repeated worker crashes";
         refusal.report.failure = refusal.failure;
         refusal.report.failure_detail = refusal.failure_detail;
-        reply(conn, render_response_line(refusal));
+        ResponseExtras extras;
+        extras.request_id = request_id;
+        extras.worker = worker_label();
+        reply(conn, render_response_line(refusal, extras));
         return;
       }
     }
@@ -628,7 +681,8 @@ struct Server::Impl {
         c_admission_rejected->add();
         reply(conn, render_overloaded_line(
                         wire.request.id, "per-client rate limit exceeded",
-                        conn->bucket.retry_after_ms(rate, capacity, now)));
+                        conn->bucket.retry_after_ms(rate, capacity, now),
+                        request_id));
         return;
       }
     }
@@ -643,9 +697,10 @@ struct Server::Impl {
 
     // Shared response cache: a hit is answered straight from the event
     // loop — no queue slot, no engine, no journal entry. Requests with
-    // inline options or a trace ask are not content-addressable here.
+    // inline options or a trace ask (either flavor — a cached line has no
+    // span breakdown to serve) are not content-addressable here.
     if (cache != nullptr && !item.request.trace &&
-        !item.request.options.has_value()) {
+        !item.request.server_trace && !item.request.options.has_value()) {
       item.cacheable = true;
       item.cache_key = make_cache_key(
           item.request.source,
@@ -656,7 +711,8 @@ struct Server::Impl {
       std::string cached;
       std::string line;
       if (cache->lookup(item.cache_key, cached) &&
-          splice_cached_response_line(cached, item.request.id, line)) {
+          splice_cached_response_line(cached, item.request.id, line,
+                                      request_id)) {
         stats.cache_hits_total.fetch_add(1, std::memory_order_relaxed);
         stats.ok_total.fetch_add(1, std::memory_order_relaxed);
         c_cache_hit->add();
@@ -665,6 +721,8 @@ struct Server::Impl {
         reply(conn, std::move(line));
         return;
       }
+      item.cache_seconds =
+          static_cast<double>(telemetry::now_ns() - t0) / 1e9;
       stats.cache_misses_total.fetch_add(1, std::memory_order_relaxed);
       c_cache_miss->add();
       if (cache->stats().corrupt > corrupt_before) {
@@ -681,6 +739,8 @@ struct Server::Impl {
       item.request.options->recovery.extra_blocklist = std::move(blocklist);
     }
 
+    item.request_id = request_id;
+    item.admitted_ns = telemetry::now_ns();
     item.token = CancellationToken::make();
     item.token_id = conn->add_token(item.token);
     const std::string id = item.request.id;
@@ -689,11 +749,123 @@ struct Server::Impl {
       conn->remove_token(token_id);
       stats.overloaded_total.fetch_add(1, std::memory_order_relaxed);
       c_overloaded->add();
-      reply(conn,
-            render_error_line(id, kStatusOverloaded, "request queue is full"));
+      reply(conn, render_error_line(id, kStatusOverloaded,
+                                    "request queue is full", request_id));
       return;
     }
     g_queue_depth->add(1);
+  }
+
+  // --- observability ops ---------------------------------------------------
+
+  /// Rewrites this worker's durable snapshot (atomic tmp + rename), so the
+  /// supervisor and fleet-scope scrapes see fresh totals. Called on every
+  /// metrics op, on SIGHUP, and once more at teardown.
+  void dump_metrics_snapshot() {
+    if (cfg.metrics_snapshot_path.empty()) return;
+    telemetry::MetricsSnapshotFile file;
+    file.worker = worker_label();
+    file.unix_seconds = static_cast<std::uint64_t>(::time(nullptr));
+    file.requests_total = stats.requests_total.load(std::memory_order_relaxed);
+    file.snapshot = telemetry::registry().snapshot();
+    std::string error;
+    if (!telemetry::write_file_atomic(cfg.metrics_snapshot_path,
+                                      telemetry::serialize_snapshot(file),
+                                      error) &&
+        telemetry::log_enabled(telemetry::LogLevel::Warn)) {
+      telemetry::LogEvent(telemetry::LogLevel::Warn, "server",
+                          "metrics-snapshot-write-failed")
+          .field("error", error);
+    }
+  }
+
+  void handle_metrics(const std::shared_ptr<Connection>& conn,
+                      bool fleet_scope) {
+    telemetry::register_build_info();
+    telemetry::update_uptime_gauge();
+    dump_metrics_snapshot();
+    const int worker = worker_label();
+    if (!fleet_scope) {
+      reply(conn,
+            render_metrics_line(
+                telemetry::render_prometheus(telemetry::registry()), worker));
+      return;
+    }
+    // Fleet scope: this worker's live registry plus every sibling's durable
+    // snapshot from the shared state directory.
+    std::vector<telemetry::MetricsSnapshotFile> files;
+    telemetry::MetricsSnapshotFile own;
+    own.worker = worker;
+    own.unix_seconds = static_cast<std::uint64_t>(::time(nullptr));
+    own.requests_total = stats.requests_total.load(std::memory_order_relaxed);
+    own.snapshot = telemetry::registry().snapshot();
+    files.push_back(std::move(own));
+    collect_sibling_snapshots(files);
+    const int merged = static_cast<int>(files.size());
+    reply(conn, render_metrics_line(
+                    telemetry::render_prometheus(
+                        telemetry::merge_snapshots(files)),
+                    worker, merged));
+  }
+
+  /// Parses `metrics.N` files next to this worker's own snapshot path,
+  /// skipping its own worker index (the live registry already covers it).
+  void collect_sibling_snapshots(
+      std::vector<telemetry::MetricsSnapshotFile>& files) {
+    if (cfg.metrics_snapshot_path.empty()) return;
+    const std::size_t slash = cfg.metrics_snapshot_path.rfind('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : cfg.metrics_snapshot_path.substr(0, slash);
+    DIR* dp = ::opendir(dir.c_str());
+    if (dp == nullptr) return;
+    while (dirent* entry = ::readdir(dp)) {
+      const std::string_view name(entry->d_name);
+      if (!name.starts_with("metrics.")) continue;
+      const std::string_view suffix = name.substr(8);
+      if (suffix.empty() ||
+          suffix.find_first_not_of("0123456789") != std::string_view::npos) {
+        continue;
+      }
+      std::ifstream in(dir + "/" + std::string(name));
+      if (!in.is_open()) continue;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      telemetry::MetricsSnapshotFile file;
+      std::string error;
+      if (!telemetry::parse_snapshot(buf.str(), file, error)) {
+        if (telemetry::log_enabled(telemetry::LogLevel::Warn)) {
+          telemetry::LogEvent(telemetry::LogLevel::Warn, "server",
+                              "sibling-snapshot-unreadable")
+              .field("file", std::string(name))
+              .field("error", error);
+        }
+        continue;
+      }
+      if (file.worker == worker_label()) continue;  // own stale dump
+      files.push_back(std::move(file));
+    }
+    ::closedir(dp);
+  }
+
+  void handle_trace(const std::shared_ptr<Connection>& conn) {
+    telemetry::TraceRecorder* rec = telemetry::Telemetry::trace_recorder();
+    if (rec == nullptr) {
+      stats.invalid_total.fetch_add(1, std::memory_order_relaxed);
+      c_invalid->add();
+      reply(conn, render_error_line(
+                      "", kStatusInvalid,
+                      "no trace recorder armed (start serve with "
+                      "--trace-out)"));
+      return;
+    }
+    JsonWriter w;
+    w.begin_object();
+    w.field("status", kStatusOk);
+    w.field("worker", static_cast<std::int64_t>(worker_label()));
+    w.field("chrome_trace", rec->render());
+    w.end_object();
+    reply(conn, w.str());
   }
 
   /// The envelope this item runs under: the request's own limits (or the
@@ -746,9 +918,19 @@ struct Server::Impl {
     record[0] = 'A';
     std::memcpy(record + 2, hex.data(), hex.size());
     record[sizeof(record) - 1] = '\n';
-    [[maybe_unused]] ssize_t r =
+    const ssize_t r =
         ::pwrite(journal_fd, record, sizeof(record),
                  static_cast<off_t>(slot) * kJournalRecordBytes);
+    if (r != static_cast<ssize_t>(sizeof(record)) &&
+        telemetry::log_enabled(telemetry::LogLevel::Warn)) {
+      // A failed journal write silently blinds the supervisor's crash
+      // attribution — worth a structured record.
+      telemetry::LogEvent(telemetry::LogLevel::Warn, "server",
+                          "journal-write-failed")
+          .field("slot", static_cast<std::int64_t>(slot))
+          .field("errno", r < 0 ? errno : 0)
+          .field("script", hex);
+    }
   }
 
   void journal_done(unsigned slot) {
@@ -764,6 +946,21 @@ struct Server::Impl {
 
   void process(Engine::Session& session, QueueItem& item, unsigned slot) {
     g_queue_depth->sub(1);
+    // Queue wait: admission to worker-slot dispatch. Recorded straight into
+    // the trace recorder (never via PhaseSpan, which would land it in the
+    // engine profile and break the self-time partition invariant).
+    const std::uint64_t dispatched_ns = telemetry::now_ns();
+    const std::uint64_t queue_wait_ns =
+        item.admitted_ns != 0 && dispatched_ns > item.admitted_ns
+            ? dispatched_ns - item.admitted_ns
+            : 0;
+    const double queue_seconds = static_cast<double>(queue_wait_ns) / 1e9;
+    h_queue_wait->observe_ns(queue_wait_ns);
+    if (telemetry::TraceRecorder* rec =
+            telemetry::Telemetry::trace_recorder()) {
+      rec->record(telemetry::Phase::QueueWait, {}, item.admitted_ns,
+                  queue_wait_ns);
+    }
     if (item.conn->dead.load(std::memory_order_relaxed)) {
       // Client already gone; its tokens were cancelled at the reap. Do
       // not burn a worker slot on output nobody will read.
@@ -780,9 +977,18 @@ struct Server::Impl {
     }
     const Options::Limits lim = envelope_of(item);
     auto watch_it = watch(item, lim);
-    // The journal record must cover every instruction that touches the
-    // request — including the injected crash below, which is exactly the
-    // spot a hostile script would take the process down for real.
+    // Flight record + journal record must both cover every instruction that
+    // touches the request — including the injected crash below, which is
+    // exactly the spot a hostile script would take the process down for
+    // real. An abnormal death leaves this record saying "inflight", which
+    // is what the supervisor's postmortem harvest looks for.
+    FlightRecorder::Record frec;
+    frec.request_id = item.request_id;
+    frec.client_id = item.request.id;
+    frec.script_hash = hash_hex(item.script_hash);
+    frec.client = item.conn->client_id;
+    frec.queue_seconds = queue_seconds;
+    const std::uint64_t flight_seq = flight.begin(std::move(frec));
     journal_dispatch(slot, item.script_hash);
     if (cfg.server_fault != nullptr) {
       cfg.server_fault->inject(FaultSite::WorkerAbort, &item.request.source);
@@ -790,6 +996,10 @@ struct Server::Impl {
     }
     Response response = session.handle(item.request, lim);
     journal_done(slot);
+    flight.finish(flight_seq, status_of(response),
+                  response.report.profile.total_seconds(
+                      telemetry::Phase::Pipeline),
+                  response.seconds, response.report.profile);
     unwatch(watch_it);
     item.conn->remove_token(item.token_id);
 
@@ -826,7 +1036,15 @@ struct Server::Impl {
       c_failed->add();
     }
     h_request_seconds->observe_seconds(response.seconds);
-    reply(item.conn, render_response_line(response));
+    ResponseExtras extras;
+    extras.request_id = item.request_id;
+    extras.worker = worker_label();
+    if (item.request.trace || item.request.server_trace) {
+      extras.server_trace = true;
+      extras.queue_seconds = queue_seconds;
+      extras.cache_seconds = item.cache_seconds;
+    }
+    reply(item.conn, render_response_line(response, extras));
   }
 
   void worker_slot(unsigned slot) {
@@ -884,6 +1102,19 @@ struct Server::Impl {
       c_disconnect_cancel->add(cancelled);
     }
     stats.connections_active.fetch_sub(1, std::memory_order_relaxed);
+    // Reaps other than an ordinary hangup were previously invisible outside
+    // the counters; name the client and the why.
+    if (reason != CloseReason::Disconnect &&
+        telemetry::log_enabled(telemetry::LogLevel::Info)) {
+      telemetry::LogEvent(telemetry::LogLevel::Info, "server", "conn-reaped")
+          .field("client", conn->client_id)
+          .field("reason", reason == CloseReason::Idle        ? "idle"
+                           : reason == CloseReason::WriteStall ? "write-stall"
+                           : reason == CloseReason::OutbufCap
+                               ? "outbuf-high-water"
+                               : "other")
+          .field("cancelled", static_cast<std::uint64_t>(cancelled));
+    }
   }
 
   /// Flushes a connection's buffered output as far as the socket allows and
@@ -923,7 +1154,15 @@ struct Server::Impl {
       if (cfd < 0) {
         if (errno == EINTR) continue;
         // EAGAIN: drained — or, on a fleet's shared listener, a sibling
-        // worker won this connection. Either way, back to epoll.
+        // worker won this connection. Either way, back to epoll. Anything
+        // else (EMFILE, ENFILE, ...) was a silently dropped client.
+        if (errno != EAGAIN && errno != EWOULDBLOCK &&
+            telemetry::log_enabled(telemetry::LogLevel::Warn)) {
+          telemetry::LogEvent(telemetry::LogLevel::Warn, "server",
+                              "accept-failed")
+              .field("errno", errno)
+              .field_bool("tcp", via_tcp);
+        }
         return;
       }
       stats.connections_total.fetch_add(1, std::memory_order_relaxed);
@@ -1149,8 +1388,22 @@ struct Server::Impl {
   void reload() {
     if (!cfg.quarantine_path.empty()) load_quarantine();
     if (!cfg.reload_config_path.empty()) load_reload_config();
+    // SIGHUP doubles as the fleet-wide "dump your metrics snapshot" signal
+    // (the supervisor forwards it to every worker), so a fleet-scope scrape
+    // right after a SIGHUP sees every sibling fresh.
+    dump_metrics_snapshot();
     stats.reloads_total.fetch_add(1, std::memory_order_relaxed);
     c_reloads->add();
+    if (telemetry::log_enabled(telemetry::LogLevel::Info)) {
+      std::size_t quarantine_size;
+      {
+        std::lock_guard lk(quarantine_mu);
+        quarantine_size = quarantine.size();
+      }
+      telemetry::LogEvent(telemetry::LogLevel::Info, "server", "reloaded")
+          .field("quarantine_size",
+                 static_cast<std::uint64_t>(quarantine_size));
+    }
   }
 
   void load_quarantine() {
@@ -1177,7 +1430,16 @@ struct Server::Impl {
     std::ostringstream buf;
     buf << in.rdbuf();
     std::optional<JsonValue> doc = parse_json(buf.str());
-    if (!doc.has_value() || !doc->is_object()) return;
+    if (!doc.has_value() || !doc->is_object()) {
+      // Previous values stay live; the operator who fat-fingered the JSON
+      // deserves more than silence.
+      if (telemetry::log_enabled(telemetry::LogLevel::Warn)) {
+        telemetry::LogEvent(telemetry::LogLevel::Warn, "server",
+                            "reload-config-invalid")
+            .field("path", cfg.reload_config_path);
+      }
+      return;
+    }
     std::lock_guard lk(reload_mu);
     if (const JsonValue* v = doc->find("default_deadline_ms");
         v != nullptr && v->is_number()) {
@@ -1326,6 +1588,31 @@ void Server::start() {
   if (!s.cfg.quarantine_path.empty()) s.load_quarantine();
   if (!s.cfg.reload_config_path.empty()) s.load_reload_config();
 
+  // Observability plane: build/worker identity series, the structured-log
+  // worker stamp, the flight-recorder file mirror, and (when asked) the
+  // process-wide Chrome trace recorder. A resident service always records:
+  // the metrics op is part of the protocol and `"trace": true` replies
+  // carry the engine span breakdown, so phase accounting must be live even
+  // for embedded (in-process) servers that never went through the CLI.
+  telemetry::Telemetry::enable();
+  telemetry::register_build_info();
+  const int widx = s.worker_label();
+  telemetry::registry()
+      .gauge("ideobf_worker_id",
+             telemetry::prom_label("worker", std::to_string(widx)))
+      .set(widx);
+  if (s.cfg.worker_index >= 0) telemetry::set_log_worker(s.cfg.worker_index);
+  if (!s.cfg.flight_recorder_path.empty()) {
+    std::string error;
+    if (!s.flight.open_mirror(s.cfg.flight_recorder_path, error)) {
+      throw std::runtime_error(error);
+    }
+  }
+  if (!s.cfg.trace_out_path.empty()) {
+    s.trace_recorder = std::make_unique<telemetry::TraceRecorder>();
+    telemetry::Telemetry::set_trace_recorder(s.trace_recorder.get());
+  }
+
   s.ep = std::make_unique<Epoll>();
   s.ep->add(s.pipe_r, EPOLLIN);
   s.ep->add(s.event_fd, EPOLLIN);
@@ -1374,6 +1661,20 @@ void Server::wait() {
   if (s.io_thread.joinable()) s.io_thread.join();
   s.watchdog_thread.request_stop();
   if (s.watchdog_thread.joinable()) s.watchdog_thread.join();
+  // Flush the observability tail: the full Chrome trace to --trace-out and
+  // one last snapshot so terminal request totals survive this process.
+  if (s.trace_recorder != nullptr) {
+    telemetry::Telemetry::set_trace_recorder(nullptr);
+    std::string error;
+    if (!telemetry::write_file_atomic(s.cfg.trace_out_path,
+                                      s.trace_recorder->render(), error) &&
+        telemetry::log_enabled(telemetry::LogLevel::Warn)) {
+      telemetry::LogEvent(telemetry::LogLevel::Warn, "server",
+                          "trace-write-failed")
+          .field("error", error);
+    }
+  }
+  s.dump_metrics_snapshot();
   s.torn_down = true;
 }
 

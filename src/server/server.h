@@ -129,6 +129,23 @@ struct ServerConfig {
   /// CacheCorrupt). Non-owning; null disables. Fleet workers arm the
   /// process-wide injector from --fault and point this at it.
   FaultInjector* server_fault = nullptr;
+
+  // --- Observability (request tracing, fleet metrics, flight recorder) ------
+  /// Arms a process-wide Chrome trace recorder: every PhaseSpan (plus the
+  /// serve-side queue-wait spans) lands in per-worker lanes, the `trace`
+  /// service op dumps the JSON live, and the full trace is written here at
+  /// shutdown. Empty disables.
+  std::string trace_out_path;
+  /// Durable registry snapshot (`state-dir/metrics.N` in fleet mode),
+  /// rewritten atomically on every metrics op and on SIGHUP. Any worker
+  /// answering `{"op":"metrics","scope":"fleet"}` merges its siblings'
+  /// snapshots from the same directory. Empty disables.
+  std::string metrics_snapshot_path;
+  /// File mirror of the flight-recorder ring (`state-dir/flight.N` in fleet
+  /// mode); the supervisor harvests it after an abnormal worker death. The
+  /// in-memory ring behind the `debug` op is always on. Empty disables the
+  /// mirror only.
+  std::string flight_recorder_path;
 };
 
 /// Monotonic service counters, kept as plain atomics so they work with

@@ -12,6 +12,7 @@
 #include <mutex>
 
 #include "analysis/json_writer.h"
+#include "telemetry/log.h"
 
 namespace ideobf::server {
 
@@ -82,7 +83,8 @@ CacheKey make_cache_key(std::string_view source,
 }
 
 bool splice_cached_response_line(std::string_view cached_line,
-                                 std::string_view id, std::string& out) {
+                                 std::string_view id, std::string& out,
+                                 std::string_view request_id) {
   // Cached lines are rendered with an empty correlation id, so they all
   // start with the same 9 bytes; splicing swaps in the caller's id and
   // marks the reply as served from cache.
@@ -91,6 +93,10 @@ bool splice_cached_response_line(std::string_view cached_line,
   out.clear();
   out += "{\"id\":";
   out += json_quote(id);
+  if (!request_id.empty()) {
+    out += ",\"request_id\":";
+    out += json_quote(request_id);
+  }
   out += ",\"cached\":true,";
   out += cached_line.substr(kPrefix.size());
   return true;
@@ -220,6 +226,12 @@ bool SharedResponseCache::lookup(const CacheKey& key, std::string& payload) {
     if (checksum != entry_checksum(key, payload)) {
       // Key matched but the bytes did not: a torn or tampered entry. Surface
       // it as corruption (and a miss) rather than serving the payload.
+      if (telemetry::log_enabled(telemetry::LogLevel::Warn)) {
+        telemetry::LogEvent(telemetry::LogLevel::Warn, "shared_cache",
+                            "cache-entry-corrupt")
+            .field("key_lo", static_cast<std::int64_t>(key.lo))
+            .field("len", static_cast<std::int64_t>(payload.size()));
+      }
       std::lock_guard<std::mutex> lock(im.stats_mu);
       im.stats.corrupt++;
       im.stats.misses++;

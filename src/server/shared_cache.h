@@ -51,11 +51,13 @@ CacheKey make_cache_key(std::string_view source,
                         std::string_view options_fingerprint);
 
 /// Rewrites a cached response line (rendered with id = "", i.e. starting
-/// `{"id":"",`) for a specific request: the real id is spliced in and a
-/// `"cached":true` marker added. Returns false when `cached_line` does not
-/// have the expected prefix (treat as a cache miss).
+/// `{"id":"",`) for a specific request: the real id is spliced in, a
+/// non-empty `request_id` (the server-assigned trace/log join key) is echoed
+/// right after it, and a `"cached":true` marker added. Returns false when
+/// `cached_line` does not have the expected prefix (treat as a cache miss).
 bool splice_cached_response_line(std::string_view cached_line,
-                                 std::string_view id, std::string& out);
+                                 std::string_view id, std::string& out,
+                                 std::string_view request_id = {});
 
 /// Process-local view of one shared cache region.
 class SharedResponseCache {

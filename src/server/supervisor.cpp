@@ -5,6 +5,7 @@
 #include <signal.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -19,7 +20,10 @@
 #include <utility>
 
 #include "analysis/json_writer.h"
+#include "server/flight_recorder.h"
 #include "server/listen.h"
+#include "telemetry/log.h"
+#include "telemetry/snapshot.h"
 
 namespace ideobf::server {
 
@@ -88,13 +92,27 @@ struct Supervisor::Impl {
   std::string quarantine_path() const { return cfg.state_dir + "/quarantine"; }
   std::string cache_path() const { return cfg.state_dir + "/cache.bin"; }
   std::string status_path() const { return cfg.state_dir + "/fleet.json"; }
+  std::string metrics_path(unsigned slot) const {
+    return cfg.state_dir + "/metrics." + std::to_string(slot);
+  }
+  std::string flight_path(unsigned slot) const {
+    return cfg.state_dir + "/flight." + std::to_string(slot);
+  }
+  std::string postmortem_path(unsigned slot) const {
+    return cfg.state_dir + "/postmortem." + std::to_string(slot) + ".json";
+  }
+  std::string trace_path(unsigned slot) const {
+    return cfg.state_dir + "/trace." + std::to_string(slot) + ".json";
+  }
 
   // --- spawning ------------------------------------------------------------
 
   void spawn(unsigned slot) {
-    // A stale journal from a previous life of this slot must not be
-    // re-counted against anyone; the file is clean before the worker runs.
+    // A stale journal (or flight recorder) from a previous life of this
+    // slot must not be re-counted against anyone; the files are clean
+    // before the worker runs.
     ::truncate(journal_path(slot).c_str(), 0);
+    ::truncate(flight_path(slot).c_str(), 0);
 
     std::vector<std::string> argv_s;
     const std::string exec_path =
@@ -155,6 +173,18 @@ struct Supervisor::Impl {
       argv_s.push_back("--fault");
       argv_s.push_back(cfg.fault_spec);
     }
+    argv_s.push_back("--metrics-snapshot");
+    argv_s.push_back(metrics_path(slot));
+    argv_s.push_back("--flight-recorder");
+    argv_s.push_back(flight_path(slot));
+    if (!cfg.log_level.empty()) {
+      argv_s.push_back("--log-level");
+      argv_s.push_back(cfg.log_level);
+    }
+    if (cfg.trace) {
+      argv_s.push_back("--trace-out");
+      argv_s.push_back(trace_path(slot));
+    }
 
     std::vector<char*> argv;
     argv.reserve(argv_s.size() + 1);
@@ -212,16 +242,76 @@ struct Supervisor::Impl {
     }
   }
 
+  /// Post-crash evidence: reads the dead worker's flight-recorder mirror
+  /// and publishes `postmortem.<slot>.json` (tmp + rename) carrying every
+  /// record still marked "inflight" — the requests that were executing when
+  /// the worker died, with their request ids, client ids, and script
+  /// hashes.
+  void harvest_flight(unsigned slot, int status) {
+    std::ifstream in(flight_path(slot), std::ios::binary);
+    std::vector<std::string> inflight;
+    if (in.is_open()) {
+      char record[FlightRecorder::kFileRecordBytes];
+      while (in.read(record, sizeof(record))) {
+        std::string line(record, sizeof(record));
+        const std::size_t end = line.find_last_not_of(" \n");
+        if (end == std::string::npos) continue;
+        line.resize(end + 1);
+        if (line.empty() || line.front() != '{' || line.back() != '}') {
+          continue;  // torn or padding-only slot
+        }
+        if (line.find("\"outcome\":\"inflight\"") == std::string::npos) {
+          continue;
+        }
+        inflight.push_back(std::move(line));
+      }
+    }
+    std::string json = "{\"worker\":" + std::to_string(slot);
+    json += ",\"signaled\":";
+    json += WIFSIGNALED(status) ? "true" : "false";
+    json += ",\"status\":" +
+            std::to_string(WIFSIGNALED(status) ? WTERMSIG(status)
+                                               : WEXITSTATUS(status));
+    json += ",\"inflight\":[";
+    for (std::size_t i = 0; i < inflight.size(); ++i) {
+      if (i != 0) json += ',';
+      json += inflight[i];
+    }
+    json += "]}";
+    const std::string path = postmortem_path(slot);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      out << json << '\n';
+    }
+    ::rename(tmp.c_str(), path.c_str());
+    if (telemetry::log_enabled(telemetry::LogLevel::Warn)) {
+      telemetry::LogEvent(telemetry::LogLevel::Warn, "supervisor",
+                          "worker-postmortem")
+          .field("slot", static_cast<std::int64_t>(slot))
+          .field("inflight", static_cast<std::uint64_t>(inflight.size()))
+          .field("path", path);
+    }
+  }
+
   void on_worker_death(unsigned slot, int status) {
     WorkerSlot& w = slots[slot];
     w.pid = -1;
     const bool abnormal =
         WIFSIGNALED(status) || (WIFEXITED(status) && WEXITSTATUS(status) != 0);
     const double uptime = seconds_since(w.started);
+    if (telemetry::log_enabled(telemetry::LogLevel::Info)) {
+      telemetry::LogEvent(telemetry::LogLevel::Info, "supervisor",
+                          "worker-died")
+          .field("slot", static_cast<std::int64_t>(slot))
+          .field_bool("abnormal", abnormal)
+          .field("uptime_seconds", uptime);
+    }
     if (stopping) return;
 
     if (abnormal) {
       crashes_total++;
+      harvest_flight(slot, status);
       bool changed = false;
       for (const std::string& hash : scan_journal(slot)) {
         const unsigned count = ++crash_counts[hash];
@@ -284,6 +374,26 @@ struct Supervisor::Impl {
                        : stopping            ? "exited"
                        : s.circuit_open      ? "circuit-open"
                                              : "backoff");
+      // Observability facts from the worker's durable metrics snapshot:
+      // how stale it is and how many requests the worker has accepted.
+      std::ifstream snap_in(metrics_path(static_cast<unsigned>(i)));
+      if (snap_in.is_open()) {
+        std::string header(256, '\0');
+        snap_in.read(header.data(),
+                     static_cast<std::streamsize>(header.size()));
+        header.resize(static_cast<std::size_t>(snap_in.gcount()));
+        telemetry::MetricsSnapshotFile snap;
+        if (telemetry::parse_snapshot_header(header, snap)) {
+          const std::uint64_t now =
+              static_cast<std::uint64_t>(::time(nullptr));
+          w.field("snapshot_age_seconds",
+                  static_cast<std::int64_t>(
+                      now >= snap.unix_seconds ? now - snap.unix_seconds
+                                               : 0));
+          w.field("requests_total",
+                  static_cast<std::int64_t>(snap.requests_total));
+        }
+      }
       w.end_object();
     }
     w.end_array();
@@ -379,6 +489,14 @@ void Supervisor::start() {
   if (::mkdir(s.cfg.state_dir.c_str(), 0700) != 0 && errno != EEXIST) {
     throw std::runtime_error("cannot create state dir '" + s.cfg.state_dir +
                              "': " + std::strerror(errno));
+  }
+  if (!s.cfg.log_level.empty()) {
+    telemetry::LogLevel level;
+    if (!telemetry::parse_log_level(s.cfg.log_level, level)) {
+      throw std::runtime_error("unknown --log-level '" + s.cfg.log_level +
+                               "' (debug|info|warn|error|off)");
+    }
+    telemetry::set_log_level(level);
   }
   int pfd[2];
   if (::pipe2(pfd, O_NONBLOCK | O_CLOEXEC) != 0) {

@@ -58,6 +58,12 @@ struct FleetConfig {
   std::string reload_config_path;
   /// Fault-injection spec forwarded verbatim as --fault (crash drills).
   std::string fault_spec;
+  /// Structured-log threshold forwarded as --log-level (and applied to the
+  /// supervisor's own records). Empty keeps logging off.
+  std::string log_level;
+  /// Forward --trace-out state_dir/trace.<N>.json to every worker so each
+  /// writes its Chrome trace at exit (and serves the `trace` op live).
+  bool trace = false;
 
   /// Restart policy.
   double backoff_initial_seconds = 0.25;

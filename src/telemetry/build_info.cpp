@@ -1,0 +1,56 @@
+#include "telemetry/build_info.h"
+
+#include <chrono>
+
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+
+#ifndef IDEOBF_VERSION
+#define IDEOBF_VERSION "unknown"
+#endif
+#ifndef IDEOBF_GIT_SHA
+#define IDEOBF_GIT_SHA "unknown"
+#endif
+
+namespace ideobf::telemetry {
+
+namespace {
+
+std::chrono::steady_clock::time_point process_start() {
+  static const auto g_start = std::chrono::steady_clock::now();
+  return g_start;
+}
+
+Gauge& uptime_gauge() {
+  static Gauge& g = registry().gauge("ideobf_server_uptime_seconds");
+  return g;
+}
+
+}  // namespace
+
+std::string_view build_version() { return IDEOBF_VERSION; }
+std::string_view build_git_sha() { return IDEOBF_GIT_SHA; }
+
+void register_build_info() {
+  process_start();  // pin the uptime epoch on first call
+  static Gauge& info = []() -> Gauge& {
+    std::string labels = prom_label("git_sha", build_git_sha());
+    labels += ',';
+    labels += prom_label("version", build_version());
+    return registry().gauge("ideobf_build_info", labels);
+  }();
+  info.set(1);
+  update_uptime_gauge();
+}
+
+double process_uptime_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_start())
+      .count();
+}
+
+void update_uptime_gauge() {
+  uptime_gauge().set(static_cast<std::int64_t>(process_uptime_seconds()));
+}
+
+}  // namespace ideobf::telemetry

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file build_info.h
+/// Standard Prometheus hygiene series: `ideobf_build_info{version,git_sha}`
+/// (constant 1 — joins against any other series identify the running build)
+/// and `ideobf_server_uptime_seconds` (set at scrape time). The version and
+/// git sha are baked in at configure time (IDEOBF_VERSION / IDEOBF_GIT_SHA
+/// compile definitions on the telemetry library; "unknown" outside a git
+/// checkout).
+
+#include <string_view>
+
+namespace ideobf::telemetry {
+
+std::string_view build_version();
+std::string_view build_git_sha();
+
+/// Sets `ideobf_build_info{version="...",git_sha="..."}` to 1 and records
+/// the process-start clock for uptime (idempotent; call once at startup and
+/// again before any render — Gauge::set is unconditional, so the series
+/// exists even when the scrape itself just enabled telemetry).
+void register_build_info();
+
+/// Seconds since the first register_build_info() call in this process.
+double process_uptime_seconds();
+
+/// Sets `ideobf_server_uptime_seconds` to the current uptime (whole
+/// seconds). Call from the scrape path so the value is fresh per scrape.
+void update_uptime_gauge();
+
+}  // namespace ideobf::telemetry

@@ -1,17 +1,33 @@
 #pragma once
 
 /// \file exposition.h
-/// Prometheus-style text exposition of a MetricsRegistry: `# TYPE` comment
-/// per metric family, `_bucket{...,le="..."}` / `_sum` / `_count` triplets
-/// for histograms (cumulative buckets, seconds), plain `name{labels} value`
-/// lines for counters and gauges. Deterministic order (the registry
-/// iterates name-sorted), so two runs over the same work diff cleanly.
+/// Prometheus-style text exposition of a MetricsRegistry: `# HELP` (for
+/// cataloged ideobf metrics) and `# TYPE` comments per metric family,
+/// `_bucket{...,le="..."}` / `_sum` / `_count` triplets for histograms
+/// (cumulative buckets, seconds), plain `name{labels} value` lines for
+/// counters and gauges. Deterministic order (the registry iterates
+/// name-sorted), so two runs over the same work diff cleanly.
 
 #include <string>
+#include <string_view>
 
 #include "telemetry/metrics.h"
 
 namespace ideobf::telemetry {
+
+/// Escapes a label *value* per the Prometheus text format: backslash,
+/// double-quote, and newline become `\\`, `\"`, and `\n`. Label bodies are
+/// stored pre-assembled (`kind="timeout"`), so escaping must happen where a
+/// dynamic value is interpolated — use this (or prom_label) there, never
+/// splice raw text into a label body.
+std::string escape_label_value(std::string_view value);
+
+/// Builds one `name="value"` label pair with the value escaped.
+std::string prom_label(std::string_view name, std::string_view value);
+
+/// The `# HELP` text for a cataloged metric base name; empty for names the
+/// catalog does not know (private/test registries render without HELP).
+std::string_view metric_help(std::string_view base);
 
 /// Renders the whole registry.
 std::string render_prometheus(const MetricsRegistry& registry);

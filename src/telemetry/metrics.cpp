@@ -44,6 +44,13 @@ std::int64_t Gauge::value() const {
   return sum;
 }
 
+void Gauge::set(std::int64_t v) {
+  for (std::size_t i = 1; i < kShardCount; ++i) {
+    cells_[i].v.store(0, std::memory_order_relaxed);
+  }
+  cells_[0].v.store(v, std::memory_order_relaxed);
+}
+
 void Gauge::reset() {
   for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
 }

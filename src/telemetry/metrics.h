@@ -85,6 +85,11 @@ class Gauge {
     cells_[current_shard()].v.fetch_add(delta, std::memory_order_relaxed);
   }
   void sub(std::int64_t delta = 1) { add(-delta); }
+  /// Absolute set: zeroes every shard and stores `v` in shard 0. Single
+  /// writer only (scrape-time series such as uptime or an info gauge's
+  /// constant 1); deliberately not gated on enabled() so hygiene series
+  /// exist even when the scrape itself enabled telemetry a moment ago.
+  void set(std::int64_t v);
   [[nodiscard]] std::int64_t value() const;  ///< merged across shards
   void reset();
 

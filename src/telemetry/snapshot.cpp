@@ -1,0 +1,302 @@
+#include "telemetry/snapshot.h"
+
+#include <fcntl.h>
+#include <stdio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+#include <utility>
+
+#include "telemetry/exposition.h"
+
+namespace ideobf::telemetry {
+
+namespace {
+
+constexpr std::string_view kMagic = "ideobf-metrics-snapshot v1";
+
+void append_escaped_token(std::string& out, std::string_view text) {
+  if (text.empty()) {
+    out += '-';
+    return;
+  }
+  for (const char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case ' ': out += "\\s"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+std::string unescape_token(std::string_view token) {
+  if (token == "-") return {};
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '\\' || i + 1 >= token.size()) {
+      out += token[i];
+      continue;
+    }
+    ++i;
+    switch (token[i]) {
+      case '\\': out += '\\'; break;
+      case 's': out += ' '; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      default: out += token[i]; break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_tokens(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t start = 0;
+  while (start < line.size()) {
+    const std::size_t end = line.find(' ', start);
+    if (end == std::string_view::npos) {
+      tokens.push_back(line.substr(start));
+      break;
+    }
+    if (end > start) tokens.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return tokens;
+}
+
+bool parse_u64(std::string_view token, std::uint64_t& out) {
+  if (token.empty()) return false;
+  std::uint64_t value = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = value;
+  return true;
+}
+
+bool parse_i64(std::string_view token, std::int64_t& out) {
+  bool neg = false;
+  if (!token.empty() && token.front() == '-') {
+    neg = true;
+    token.remove_prefix(1);
+  }
+  std::uint64_t mag = 0;
+  if (!parse_u64(token, mag)) return false;
+  out = neg ? -static_cast<std::int64_t>(mag) : static_cast<std::int64_t>(mag);
+  return true;
+}
+
+/// `worker="N"` appended to a (possibly empty) label body.
+std::string with_worker_label(const std::string& labels, int worker) {
+  std::string out = labels;
+  if (!out.empty()) out += ',';
+  out += prom_label("worker", std::to_string(worker));
+  return out;
+}
+
+}  // namespace
+
+std::string serialize_snapshot(const MetricsSnapshotFile& file) {
+  std::string out;
+  out.reserve(8192);
+  out += kMagic;
+  out += '\n';
+  out += "meta ";
+  out += std::to_string(file.worker);
+  out += ' ';
+  out += std::to_string(file.unix_seconds);
+  out += ' ';
+  out += std::to_string(file.requests_total);
+  out += '\n';
+  for (const auto& c : file.snapshot.counters) {
+    out += "c ";
+    out += std::to_string(c.value);
+    out += ' ';
+    append_escaped_token(out, c.base);
+    out += ' ';
+    append_escaped_token(out, c.labels);
+    out += '\n';
+  }
+  for (const auto& g : file.snapshot.gauges) {
+    out += "g ";
+    out += std::to_string(g.value);
+    out += ' ';
+    append_escaped_token(out, g.base);
+    out += ' ';
+    append_escaped_token(out, g.labels);
+    out += '\n';
+  }
+  for (const auto& h : file.snapshot.histograms) {
+    out += "h ";
+    out += std::to_string(h.count);
+    out += ' ';
+    out += std::to_string(h.sum_ns);
+    for (const std::uint64_t b : h.buckets) {
+      out += ' ';
+      out += std::to_string(b);
+    }
+    out += ' ';
+    append_escaped_token(out, h.base);
+    out += ' ';
+    append_escaped_token(out, h.labels);
+    out += '\n';
+  }
+  return out;
+}
+
+bool parse_snapshot_header(std::string_view text, MetricsSnapshotFile& out) {
+  const std::size_t first_nl = text.find('\n');
+  if (first_nl == std::string_view::npos ||
+      text.substr(0, first_nl) != kMagic) {
+    return false;
+  }
+  std::string_view rest = text.substr(first_nl + 1);
+  const std::size_t second_nl = rest.find('\n');
+  const std::string_view meta = rest.substr(
+      0, second_nl == std::string_view::npos ? rest.size() : second_nl);
+  const auto tokens = split_tokens(meta);
+  if (tokens.size() != 4 || tokens[0] != "meta") return false;
+  std::int64_t worker = -1;
+  if (!parse_i64(tokens[1], worker) || !parse_u64(tokens[2], out.unix_seconds) ||
+      !parse_u64(tokens[3], out.requests_total)) {
+    return false;
+  }
+  out.worker = static_cast<int>(worker);
+  return true;
+}
+
+bool parse_snapshot(std::string_view text, MetricsSnapshotFile& out,
+                    std::string& error) {
+  if (!parse_snapshot_header(text, out)) {
+    error = "bad snapshot magic or meta line";
+    return false;
+  }
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find('\n', pos);
+    if (end == std::string_view::npos) end = text.size();
+    const std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (line_no <= 2 || line.empty()) continue;  // magic + meta handled above
+    const auto tokens = split_tokens(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "c" && tokens.size() == 4) {
+      RegistrySnapshot::CounterSample s;
+      if (!parse_u64(tokens[1], s.value)) continue;
+      s.base = unescape_token(tokens[2]);
+      s.labels = unescape_token(tokens[3]);
+      out.snapshot.counters.push_back(std::move(s));
+    } else if (tokens[0] == "g" && tokens.size() == 4) {
+      RegistrySnapshot::GaugeSample s;
+      if (!parse_i64(tokens[1], s.value)) continue;
+      s.base = unescape_token(tokens[2]);
+      s.labels = unescape_token(tokens[3]);
+      out.snapshot.gauges.push_back(std::move(s));
+    } else if (tokens[0] == "h" &&
+               tokens.size() == 5 + Histogram::kBucketCount) {
+      RegistrySnapshot::HistogramSample s;
+      bool ok = parse_u64(tokens[1], s.count) && parse_u64(tokens[2], s.sum_ns);
+      for (std::size_t i = 0; ok && i < Histogram::kBucketCount; ++i) {
+        ok = parse_u64(tokens[3 + i], s.buckets[i]);
+      }
+      if (!ok) continue;
+      s.base = unescape_token(tokens[3 + Histogram::kBucketCount]);
+      s.labels = unescape_token(tokens[4 + Histogram::kBucketCount]);
+      out.snapshot.histograms.push_back(std::move(s));
+    }
+    // Unknown kinds: skipped (forward compatibility).
+  }
+  return true;
+}
+
+RegistrySnapshot merge_snapshots(
+    const std::vector<MetricsSnapshotFile>& files) {
+  using Key = std::pair<std::string, std::string>;  // (base, labels)
+  std::map<Key, std::uint64_t> counters;
+  std::map<Key, std::int64_t> gauges;
+  std::map<Key, RegistrySnapshot::HistogramSample> histograms;
+
+  auto merge_histogram = [&](const Key& key,
+                             const RegistrySnapshot::HistogramSample& h) {
+    auto [it, inserted] = histograms.try_emplace(key, h);
+    if (inserted) {
+      it->second.base = key.first;
+      it->second.labels = key.second;
+      return;
+    }
+    it->second.count += h.count;
+    it->second.sum_ns += h.sum_ns;
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      it->second.buckets[i] += h.buckets[i];
+    }
+  };
+
+  for (const MetricsSnapshotFile& file : files) {
+    for (const auto& c : file.snapshot.counters) {
+      counters[{c.base, c.labels}] += c.value;
+      counters[{c.base, with_worker_label(c.labels, file.worker)}] += c.value;
+    }
+    for (const auto& g : file.snapshot.gauges) {
+      gauges[{g.base, g.labels}] += g.value;
+      gauges[{g.base, with_worker_label(g.labels, file.worker)}] += g.value;
+    }
+    for (const auto& h : file.snapshot.histograms) {
+      merge_histogram({h.base, h.labels}, h);
+      merge_histogram({h.base, with_worker_label(h.labels, file.worker)}, h);
+    }
+  }
+
+  RegistrySnapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& [key, value] : counters) {
+    out.counters.push_back({key.first, key.second, value});
+  }
+  out.gauges.reserve(gauges.size());
+  for (const auto& [key, value] : gauges) {
+    out.gauges.push_back({key.first, key.second, value});
+  }
+  out.histograms.reserve(histograms.size());
+  for (auto& [key, sample] : histograms) {
+    out.histograms.push_back(std::move(sample));
+  }
+  return out;
+}
+
+bool write_file_atomic(const std::string& path, std::string_view content,
+                       std::string& error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) {
+    error = "open " + tmp + ": " + std::strerror(errno);
+    return false;
+  }
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      error = "write " + tmp + ": " + std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = "rename " + tmp + ": " + std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ideobf::telemetry

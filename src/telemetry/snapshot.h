@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file snapshot.h
+/// Durable registry snapshots for fleet-wide metric aggregation. Each worker
+/// process serializes its own RegistrySnapshot to
+/// `state-dir/metrics.<worker>` (atomic tmp+rename, same idiom as
+/// fleet.json) on demand and on SIGHUP; any worker answering a
+/// `{"op":"metrics","scope":"fleet"}` request parses its siblings' files and
+/// merges them with its own live registry.
+///
+/// The format is line-based text, not JSON — the telemetry library is a leaf
+/// (std-only) and the records are write-once/parse-once:
+///
+///   ideobf-metrics-snapshot v1
+///   meta <worker> <unix_seconds> <requests_total>
+///   c <value> <base> <labels|->
+///   g <value> <base> <labels|->
+///   h <count> <sum_ns> <b0> .. <b22> <base> <labels|->
+///
+/// Tokens are space-separated; the label body is escaped (`\\`, `\s` for
+/// space, `\n`, `\t`) and `-` stands for "no labels". Unknown record kinds
+/// are skipped, so the format can grow without breaking old readers.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace ideobf::telemetry {
+
+/// One worker's snapshot plus the identity/header facts the supervisor
+/// surfaces in fleet.json.
+struct MetricsSnapshotFile {
+  int worker = -1;
+  std::uint64_t unix_seconds = 0;    ///< wall clock at dump time
+  std::uint64_t requests_total = 0;  ///< requests this worker has accepted
+  RegistrySnapshot snapshot;
+};
+
+std::string serialize_snapshot(const MetricsSnapshotFile& file);
+
+/// Parses a full snapshot. False (with a reason) on a bad magic/header;
+/// malformed sample lines are skipped, not fatal — a torn concurrent writer
+/// must never take down a fleet scrape.
+bool parse_snapshot(std::string_view text, MetricsSnapshotFile& out,
+                    std::string& error);
+
+/// Header-only parse (magic + `meta` line); cheap enough for every
+/// fleet.json rewrite.
+bool parse_snapshot_header(std::string_view text, MetricsSnapshotFile& out);
+
+/// Merges per-worker snapshots into one fleet view: for every series, a
+/// fleet-wide sample summed across workers under the original label body,
+/// plus one per-worker sample with `worker="N"` appended (escaped via
+/// prom_label). Output is sorted by (base, labels) so same-base samples stay
+/// adjacent and the exposition renderer emits one TYPE line per family.
+RegistrySnapshot merge_snapshots(const std::vector<MetricsSnapshotFile>& files);
+
+/// Writes `content` to `path` atomically (tmp + rename, 0600). False with a
+/// reason on any I/O failure.
+bool write_file_atomic(const std::string& path, std::string_view content,
+                       std::string& error);
+
+}  // namespace ideobf::telemetry

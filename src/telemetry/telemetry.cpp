@@ -19,6 +19,7 @@ std::string_view phase_name(Phase phase) {
     case Phase::Reformat: return "reformat";
     case Phase::SandboxRun: return "sandbox-run";
     case Phase::Pipeline: return "pipeline";
+    case Phase::QueueWait: return "queue-wait";
   }
   return "?";
 }

@@ -197,6 +197,12 @@ TEST(SharedCache, SpliceRestoresIdAndMarksCached) {
   EXPECT_EQ(out,
             "{\"id\":\"req-42\",\"cached\":true,\"status\":\"ok\","
             "\"result\":\"x\"}");
+  // With a server-assigned request id the splice threads it in right after
+  // the correlation id, so even cache hits stay joinable against traces.
+  ASSERT_TRUE(splice_cached_response_line(cached, "req-42", out, "w0-7"));
+  EXPECT_EQ(out,
+            "{\"id\":\"req-42\",\"request_id\":\"w0-7\",\"cached\":true,"
+            "\"status\":\"ok\",\"result\":\"x\"}");
   // A payload without the empty-id prefix is refused (treated as a miss).
   EXPECT_FALSE(splice_cached_response_line("{\"status\":\"ok\"}", "id", out));
 }
@@ -638,6 +644,100 @@ TEST(SupervisorFleet, SharedCacheServesAcrossWorkers) {
   // workers' accept shares; anything less than a majority means the region
   // is not actually shared.
   EXPECT_GE(cached_seen, 5);
+}
+
+TEST(SupervisorFleet, FleetScopeMetricsMergeAcrossWorkers) {
+  FleetProcess fleet({}, /*workers=*/2);
+  ASSERT_GE(fleet.pid, 0);
+  ASSERT_TRUE(fleet.wait_ready());
+
+  // Serve some traffic so both workers have counters worth merging.
+  for (int i = 0; i < 6; ++i) {
+    ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+    const ServeReply reply = client.call(
+        deobf_request("Write-Host 'merge me'", "fm" + std::to_string(i)));
+    ASSERT_EQ(reply.status, "ok");
+  }
+  // SIGHUP fans out to every worker and makes each dump its metrics
+  // snapshot, so a fleet-scope query right after sees all siblings fresh.
+  ASSERT_EQ(::kill(fleet.pid, SIGHUP), 0);
+
+  // Whichever worker answers merges its own live registry with the
+  // siblings' snapshot files; poll until both worker labels are present.
+  bool merged = false;
+  std::string exposition;
+  int fleet_workers = 0;
+  for (int i = 0; i < 400 && !merged; ++i) {
+    ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+    const ideobf::MetricsReply m = client.metrics_reply(/*fleet_scope=*/true);
+    exposition = m.exposition;
+    fleet_workers = m.fleet_workers;
+    merged = exposition.find("worker=\"0\"") != std::string::npos &&
+             exposition.find("worker=\"1\"") != std::string::npos;
+    if (!merged) ::usleep(25 * 1000);
+  }
+  EXPECT_TRUE(merged) << exposition.substr(0, 2000);
+  EXPECT_GE(fleet_workers, 2);
+  // The fleet-wide sum appears under the original (worker-less) labels.
+  EXPECT_NE(exposition.find("ideobf_server_requests_total"),
+            std::string::npos);
+}
+
+TEST(SupervisorFleet, KillDashNineYieldsPostmortemNamingInflightRequests) {
+  // A request whose script carries STALLME parks inside dispatch for far
+  // longer than this test runs — guaranteed to still be in flight when the
+  // worker is killed.
+  FleetProcess fleet({"--fault", "worker-hang:delay:delay=30:match=STALLME"},
+                     /*workers=*/1);
+  ASSERT_GE(fleet.pid, 0);
+  ASSERT_TRUE(fleet.wait_ready());
+
+  // Fire the stalling request without waiting for its (never-coming) reply.
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, fleet.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::string line = ideobf::server::render_request_line(
+      deobf_request("Write-Host 'STALLME'", "stuck-req"));
+  line += '\n';
+  ASSERT_EQ(::send(fd, line.data(), line.size(), 0),
+            static_cast<ssize_t>(line.size()));
+
+  // The flight-recorder mirror (always on in fleet mode) shows the request
+  // in flight before we pull the trigger.
+  bool inflight = false;
+  for (int i = 0; i < 400 && !inflight; ++i) {
+    const std::string mirror = read_file(fleet.state_dir + "/flight.0");
+    inflight = mirror.find("stuck-req") != std::string::npos &&
+               mirror.find("\"outcome\":\"inflight\"") != std::string::npos;
+    if (!inflight) ::usleep(25 * 1000);
+  }
+  ASSERT_TRUE(inflight);
+
+  const pid_t victim = status_first_pid(fleet.status_json());
+  ASSERT_GT(victim, 0);
+  ASSERT_EQ(::kill(victim, SIGKILL), 0);
+
+  // The supervisor harvests the mirror into a postmortem that names the
+  // request that died with the worker.
+  std::string postmortem;
+  for (int i = 0; i < 400; ++i) {
+    postmortem = read_file(fleet.state_dir + "/postmortem.0.json");
+    if (!postmortem.empty()) break;
+    ::usleep(25 * 1000);
+  }
+  ASSERT_FALSE(postmortem.empty());
+  EXPECT_NE(postmortem.find("\"signaled\":true"), std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("\"outcome\":\"inflight\""), std::string::npos)
+      << postmortem;
+  EXPECT_NE(postmortem.find("stuck-req"), std::string::npos) << postmortem;
+  ::close(fd);
 }
 
 #endif  // IDEOBF_CLI_PATH

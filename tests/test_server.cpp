@@ -13,12 +13,15 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
 #include "ideobf/client.h"
+#include "server/flight_recorder.h"
 #include "server/protocol.h"
 #include "server/server.h"
 
@@ -514,4 +517,212 @@ TEST(ServerTest, UnixSocketIsOwnerOnly) {
   EXPECT_TRUE(S_ISSOCK(st.st_mode));
   EXPECT_EQ(st.st_mode & 0777, 0600u);
   server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Observability plane: request ids, server traces, metrics identity, the
+// debug (flight recorder) and trace ops.
+// ---------------------------------------------------------------------------
+
+TEST(ServerObservability, TracedRequestCarriesRequestIdAndSpanBreakdown) {
+  const std::string sock = test_socket("reqtrace");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  ideobf::Request request = deobf_request(kTicked, "traced-1");
+  request.trace = true;
+  const ServeReply reply = client.call(request);
+  ASSERT_EQ(reply.status, "ok");
+
+  // Every deobfuscate reply names its server-assigned request id; a
+  // standalone daemon labels itself worker 0.
+  ASSERT_FALSE(reply.request_id.empty());
+  EXPECT_EQ(reply.request_id.rfind("w0-", 0), 0u) << reply.request_id;
+
+  // The opt-in server trace splices the queue/cache/engine breakdown in.
+  const ideobf::ServerTrace& st = reply.server_trace;
+  ASSERT_TRUE(st.present);
+  EXPECT_EQ(st.worker, 0);
+  EXPECT_GE(st.queue_seconds, 0.0);
+  EXPECT_GE(st.cache_seconds, 0.0);
+  EXPECT_GT(st.engine_seconds, 0.0);
+  ASSERT_FALSE(st.phases.empty());
+  bool saw_pipeline = false;
+  for (const auto& p : st.phases) {
+    EXPECT_GT(p.count, 0u);
+    if (p.phase == "pipeline") saw_pipeline = true;
+  }
+  EXPECT_TRUE(saw_pipeline);
+  // The self-time partition invariant rides the wire intact: accounted
+  // equals the engine span within 5% (plus a clock-granularity floor).
+  const double tolerance = std::max(st.engine_seconds * 0.05, 1e-4);
+  EXPECT_NEAR(st.accounted_seconds, st.engine_seconds, tolerance);
+
+  // The lightweight opt-in gets the same span breakdown without the
+  // per-pass change-trace events.
+  ideobf::Request light = deobf_request(kTicked, "light-1");
+  light.server_trace = true;
+  const ServeReply lr = client.call(light);
+  ASSERT_EQ(lr.status, "ok");
+  EXPECT_TRUE(lr.server_trace.present);
+  EXPECT_FALSE(lr.server_trace.phases.empty());
+  EXPECT_TRUE(lr.response.report.trace.empty());
+
+  // An untraced request still gets a (distinct) request id, but pays for no
+  // span rendering.
+  const ServeReply plain = client.call(deobf_request(kTicked, "plain"));
+  ASSERT_EQ(plain.status, "ok");
+  EXPECT_FALSE(plain.request_id.empty());
+  EXPECT_NE(plain.request_id, reply.request_id);
+  EXPECT_FALSE(plain.server_trace.present);
+  server.stop();
+}
+
+TEST(ServerObservability, MetricsReplyCarriesWorkerAndBuildIdentity) {
+  const std::string sock = test_socket("metricsid");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  (void)client.call(deobf_request(kTicked, "m1"));
+  const ideobf::MetricsReply m = client.metrics_reply();
+  EXPECT_EQ(m.worker, 0);
+  EXPECT_EQ(m.fleet_workers, 0);  // process scope merges nothing
+  EXPECT_NE(m.exposition.find("ideobf_build_info{"), std::string::npos);
+  EXPECT_NE(m.exposition.find("ideobf_server_uptime_seconds"),
+            std::string::npos);
+  EXPECT_NE(m.exposition.find("ideobf_worker_id{worker=\"0\"} 0"),
+            std::string::npos)
+      << m.exposition.substr(0, 2000);
+  EXPECT_NE(m.exposition.find("ideobf_server_queue_wait_seconds"),
+            std::string::npos);
+  server.stop();
+}
+
+TEST(ServerObservability, DebugOpDumpsFlightRecorderWithRequestIds) {
+  const std::string sock = test_socket("debugop");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  const ServeReply reply = client.call(deobf_request(kTicked, "fdr-1"));
+  ASSERT_EQ(reply.status, "ok");
+  ASSERT_FALSE(reply.request_id.empty());
+
+  const std::string dump = client.debug_dump();
+  EXPECT_NE(dump.find("\"flight\":["), std::string::npos) << dump;
+  // The completed request is in the ring, joined by its request id, with
+  // its client correlation id and a terminal outcome.
+  EXPECT_NE(dump.find(reply.request_id), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"id\":\"fdr-1\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"outcome\":\"ok\""), std::string::npos) << dump;
+  server.stop();
+}
+
+TEST(ServerObservability, TraceOpNeedsAnArmedRecorder) {
+  const std::string sock = test_socket("traceop");
+  {
+    // Unarmed daemon: the op answers an invalid error, the client helper
+    // maps that to empty.
+    Server server(base_config(sock));
+    server.start();
+    ServeClient client = ServeClient::connect_unix(sock);
+    EXPECT_TRUE(client.trace_json().empty());
+    server.stop();
+  }
+  {
+    const std::string trace_path = sock + ".trace.json";
+    ServerConfig cfg = base_config(sock);
+    cfg.trace_out_path = trace_path;
+    Server server(std::move(cfg));
+    server.start();
+    ServeClient client = ServeClient::connect_unix(sock);
+    ASSERT_EQ(client.call(deobf_request(kTicked, "t1")).status, "ok");
+    const std::string live = client.trace_json();
+    EXPECT_NE(live.find("\"traceEvents\":["), std::string::npos);
+    server.stop();
+    // Teardown wrote the full Chrome trace to --trace-out.
+    std::ifstream in(trace_path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("\"traceEvents\":["), std::string::npos);
+    ::unlink(trace_path.c_str());
+  }
+}
+
+TEST(ServerObservability, RefusalsEchoTheRequestId) {
+  const std::string sock = test_socket("refusalid");
+  ServerConfig cfg = base_config(sock);
+  cfg.threads = 1;
+  cfg.max_queue = 1;
+  Server server(std::move(cfg));
+  server.start();
+
+  RawConn busy(sock);
+  busy.send_line(
+      ideobf::server::render_request_line(hostile_request("busy", 2000)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  RawConn queued(sock);
+  queued.send_line(
+      ideobf::server::render_request_line(hostile_request("queued", 2000)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  const ServeReply reply = client.call(deobf_request(kTicked, "rejected"));
+  EXPECT_EQ(reply.status, "overloaded");
+  // Even a refusal is joinable against the logs and the flight recorder.
+  EXPECT_FALSE(reply.request_id.empty()) << "overloaded reply lost its id";
+  server.stop();
+}
+
+TEST(FlightRecorder, RingRecordsLifecycleAndMirrorsToFile) {
+  using ideobf::server::FlightRecorder;
+  FlightRecorder recorder;
+  const std::string path = test_socket("flight") + ".bin";
+  std::string error;
+  ASSERT_TRUE(recorder.open_mirror(path, error)) << error;
+
+  FlightRecorder::Record record;
+  record.request_id = "w0-7";
+  record.client_id = "client-req";
+  record.script_hash = "00000000deadbeef";
+  record.client = 42;
+  record.queue_seconds = 0.001;
+  const std::uint64_t seq = recorder.begin(record);
+  ASSERT_GT(seq, 0u);
+
+  // In flight: the dump (and the file mirror) say so.
+  std::string dump = recorder.dump_json();
+  EXPECT_NE(dump.find("\"request_id\":\"w0-7\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"outcome\":\"inflight\""), std::string::npos);
+
+  // The mirror is pre-sized (one fixed record per slot) so a harvester
+  // never short-reads, and already carries the in-flight record.
+  struct stat st{};
+  ASSERT_EQ(::stat(path.c_str(), &st), 0);
+  EXPECT_EQ(static_cast<std::size_t>(st.st_size),
+            FlightRecorder::kSlots * FlightRecorder::kFileRecordBytes);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("\"request_id\":\"w0-7\""), std::string::npos);
+    EXPECT_NE(ss.str().find("\"outcome\":\"inflight\""), std::string::npos);
+  }
+
+  // Completion overwrites the slot in place.
+  ideobf::telemetry::PipelineProfile profile;
+  recorder.finish(seq, "ok", 0.002, 0.003, profile);
+  dump = recorder.dump_json();
+  EXPECT_NE(dump.find("\"outcome\":\"ok\""), std::string::npos) << dump;
+  EXPECT_EQ(dump.find("\"outcome\":\"inflight\""), std::string::npos);
+
+  // Newest first: a second request leads the dump.
+  FlightRecorder::Record second;
+  second.request_id = "w0-8";
+  recorder.begin(second);
+  dump = recorder.dump_json();
+  EXPECT_LT(dump.find("w0-8"), dump.find("w0-7")) << dump;
+  ::unlink(path.c_str());
 }

@@ -14,11 +14,17 @@
 #include <thread>
 #include <vector>
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include "core/batch.h"
 #include "core/deobfuscator.h"
+#include "telemetry/build_info.h"
 #include "telemetry/chrome_trace.h"
 #include "telemetry/exposition.h"
+#include "telemetry/log.h"
 #include "telemetry/metrics.h"
+#include "telemetry/snapshot.h"
 #include "telemetry/telemetry.h"
 
 namespace ideobf::telemetry {
@@ -383,6 +389,275 @@ TEST(TelemetryExport, TwoScriptBatchFeedsBothExporters) {
       reg.counter("ideobf_parse_cache_bypass_total").value();
   EXPECT_EQ(lookups, hits + misses + bypasses);
   EXPECT_GT(lookups, 0u);
+}
+
+// --------------------------------------------------- exposition conformance
+
+TEST(TelemetryExposition, LabelValueEscapingPerPrometheusTextFormat) {
+  // Backslash, double-quote, and newline are the three characters the text
+  // format requires escaping in label values — in that replacement order,
+  // so an already-escaped backslash is not double-mangled.
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+  EXPECT_EQ(prom_label("worker", "0"), "worker=\"0\"");
+  EXPECT_EQ(prom_label("path", "C:\\x"), "path=\"C:\\\\x\"");
+}
+
+TEST(TelemetryExposition, HelpPrecedesTypeForCatalogedMetrics) {
+  TelemetryOn on;
+  set_current_shard(0);
+  MetricsRegistry reg;
+  reg.counter("ideobf_server_requests_total", "status=\"ok\"").add(2);
+  const std::string out = render_prometheus(reg);
+  const std::size_t help =
+      out.find("# HELP ideobf_server_requests_total ");
+  const std::size_t type =
+      out.find("# TYPE ideobf_server_requests_total counter");
+  ASSERT_NE(help, std::string::npos) << out;
+  ASSERT_NE(type, std::string::npos) << out;
+  EXPECT_LT(help, type);
+  // Uncataloged names render without HELP (the hand-built goldens above
+  // depend on this staying true).
+  EXPECT_FALSE(metric_help("ideobf_server_requests_total").empty());
+  EXPECT_TRUE(metric_help("demo_requests_total").empty());
+}
+
+TEST(TelemetryExposition, OrderingIsStableAcrossRenders) {
+  TelemetryOn on;
+  set_current_shard(0);
+  MetricsRegistry reg;
+  reg.counter("zz_total").add(1);
+  reg.counter("aa_total", "kind=\"b\"").add(1);
+  reg.counter("aa_total", "kind=\"a\"").add(1);
+  reg.gauge("mm_gauge").add(1);
+  const std::string first = render_prometheus(reg);
+  const std::string second = render_prometheus(reg);
+  EXPECT_EQ(first, second);
+  // Lexicographic by (base, labels): aa before zz, kind="a" before kind="b".
+  EXPECT_LT(first.find("aa_total{kind=\"a\"}"),
+            first.find("aa_total{kind=\"b\"}"));
+  EXPECT_LT(first.find("aa_total{kind=\"b\"}"), first.find("zz_total"));
+}
+
+TEST(TelemetryExposition, BuildInfoAndUptimeAppearInProcessRegistry) {
+  TelemetryOn on;
+  register_build_info();
+  update_uptime_gauge();
+  const std::string out = render_prometheus(registry());
+  EXPECT_NE(out.find("ideobf_build_info{"), std::string::npos);
+  EXPECT_NE(out.find("version=\""), std::string::npos);
+  EXPECT_NE(out.find("git_sha=\""), std::string::npos);
+  EXPECT_NE(out.find("ideobf_server_uptime_seconds"), std::string::npos);
+  EXPECT_FALSE(build_version().empty());
+  EXPECT_GE(process_uptime_seconds(), 0.0);
+}
+
+TEST(TelemetryMetrics, GaugeSetIsAbsoluteAcrossShards) {
+  TelemetryOn on;
+  Gauge& g = registry().gauge("test_gauge_set");
+  set_current_shard(5);
+  g.add(100);
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.set(0);
+  EXPECT_EQ(g.value(), 0);
+}
+
+// ---------------------------------------------------------------- snapshots
+
+TEST(TelemetrySnapshot, SerializeParseRoundTrip) {
+  MetricsSnapshotFile file;
+  file.worker = 3;
+  file.unix_seconds = 1754650000;
+  file.requests_total = 42;
+  file.snapshot.counters.push_back(
+      {"ideobf_server_requests_total", "status=\"ok\"", 17});
+  file.snapshot.counters.push_back(
+      {"ideobf_server_requests_total", "status=\"time out\"", 2});
+  file.snapshot.gauges.push_back({"ideobf_server_queue_depth", "", 4});
+  RegistrySnapshot::HistogramSample h;
+  h.base = "ideobf_server_request_seconds";
+  h.buckets[0] = 1;
+  h.buckets[Histogram::kBucketCount - 1] = 2;
+  h.count = 3;
+  h.sum_ns = 123456789;
+  file.snapshot.histograms.push_back(h);
+
+  const std::string text = serialize_snapshot(file);
+  MetricsSnapshotFile parsed;
+  std::string error;
+  ASSERT_TRUE(parse_snapshot(text, parsed, error)) << error;
+  EXPECT_EQ(parsed.worker, 3);
+  EXPECT_EQ(parsed.unix_seconds, 1754650000u);
+  EXPECT_EQ(parsed.requests_total, 42u);
+  ASSERT_EQ(parsed.snapshot.counters.size(), 2u);
+  EXPECT_EQ(parsed.snapshot.counters[0].base, "ideobf_server_requests_total");
+  EXPECT_EQ(parsed.snapshot.counters[0].labels, "status=\"ok\"");
+  EXPECT_EQ(parsed.snapshot.counters[0].value, 17u);
+  // The label body with an embedded space survives the \s escaping.
+  EXPECT_EQ(parsed.snapshot.counters[1].labels, "status=\"time out\"");
+  ASSERT_EQ(parsed.snapshot.gauges.size(), 1u);
+  EXPECT_EQ(parsed.snapshot.gauges[0].value, 4);
+  ASSERT_EQ(parsed.snapshot.histograms.size(), 1u);
+  EXPECT_EQ(parsed.snapshot.histograms[0].count, 3u);
+  EXPECT_EQ(parsed.snapshot.histograms[0].sum_ns, 123456789u);
+  EXPECT_EQ(parsed.snapshot.histograms[0].buckets[0], 1u);
+  EXPECT_EQ(
+      parsed.snapshot.histograms[0].buckets[Histogram::kBucketCount - 1], 2u);
+
+  // Header-only parse sees the same identity facts.
+  MetricsSnapshotFile header;
+  ASSERT_TRUE(parse_snapshot_header(text, header));
+  EXPECT_EQ(header.worker, 3);
+  EXPECT_EQ(header.requests_total, 42u);
+
+  // Garbage is refused with a reason; a torn sample line is skipped.
+  MetricsSnapshotFile bad;
+  EXPECT_FALSE(parse_snapshot("not a snapshot", bad, error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(TelemetrySnapshot, MergeSumsFleetWideAndLabelsPerWorker) {
+  MetricsSnapshotFile w0;
+  w0.worker = 0;
+  w0.snapshot.counters.push_back(
+      {"ideobf_server_requests_total", "status=\"ok\"", 2});
+  MetricsSnapshotFile w1;
+  w1.worker = 1;
+  w1.snapshot.counters.push_back(
+      {"ideobf_server_requests_total", "status=\"ok\"", 3});
+  w1.snapshot.gauges.push_back({"ideobf_server_queue_depth", "", 5});
+
+  const RegistrySnapshot merged = merge_snapshots({w0, w1});
+  const std::string out = render_prometheus(merged);
+  // Fleet-wide sum under the original label body...
+  EXPECT_NE(out.find("ideobf_server_requests_total{status=\"ok\"} 5"),
+            std::string::npos)
+      << out;
+  // ...plus one attributed sample per worker.
+  EXPECT_NE(
+      out.find("ideobf_server_requests_total{status=\"ok\",worker=\"0\"} 2"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(
+      out.find("ideobf_server_requests_total{status=\"ok\",worker=\"1\"} 3"),
+      std::string::npos)
+      << out;
+  EXPECT_NE(out.find("ideobf_server_queue_depth{worker=\"1\"} 5"),
+            std::string::npos)
+      << out;
+}
+
+// --------------------------------------------------------- structured logs
+
+/// Restores the global logger config a test body changed.
+struct LogGuard {
+  ~LogGuard() {
+    set_log_level(LogLevel::Off);
+    set_log_fd(2);
+    set_log_worker(-1);
+    set_log_rate_limit(0.0, 0.0);
+  }
+};
+
+std::string read_all(const std::string& path) {
+  std::string out;
+  char buf[4096];
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return out;
+  ssize_t n = 0;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) out.append(buf, n);
+  ::close(fd);
+  return out;
+}
+
+TEST(TelemetryLog, RecordsAreOneJsonObjectPerLine) {
+  LogGuard guard;
+  const std::string path =
+      "/tmp/ideobf-logtest-" + std::to_string(::getpid()) + ".ndjson";
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+  ASSERT_GE(fd, 0);
+  set_log_fd(fd);
+  set_log_rate_limit(0.0, 0.0);
+  set_log_worker(2);
+  set_log_level(LogLevel::Info);
+
+  ASSERT_TRUE(log_enabled(LogLevel::Warn));
+  ASSERT_FALSE(log_enabled(LogLevel::Debug));
+  LogEvent(LogLevel::Warn, "server", "journal-write-failed")
+      .field("slot", 3)
+      .field("path", "a \"quoted\" name")
+      .field("seconds", 0.5)
+      .field_bool("fatal", false);
+  ::close(fd);
+
+  const std::string text = read_all(path);
+  ::unlink(path.c_str());
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(text.find('\n'), text.size() - 1);  // exactly one record
+  EXPECT_EQ(text.rfind("{\"ts\":", 0), 0u);     // ts leads every record
+  EXPECT_NE(text.find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(text.find("\"component\":\"server\""), std::string::npos);
+  EXPECT_NE(text.find("\"event\":\"journal-write-failed\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"worker\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"slot\":3"), std::string::npos);
+  EXPECT_NE(text.find("\"path\":\"a \\\"quoted\\\" name\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"fatal\":false"), std::string::npos);
+}
+
+TEST(TelemetryLog, BelowThresholdRecordsAreNeverEmitted) {
+  LogGuard guard;
+  const std::string path =
+      "/tmp/ideobf-logtest-off-" + std::to_string(::getpid()) + ".ndjson";
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+  ASSERT_GE(fd, 0);
+  set_log_fd(fd);
+  set_log_level(LogLevel::Error);
+  LogEvent(LogLevel::Info, "server", "suppressed").field("k", 1);
+  ::close(fd);
+  EXPECT_TRUE(read_all(path).empty());
+  ::unlink(path.c_str());
+}
+
+TEST(TelemetryLog, RateLimiterDropsAndCounts) {
+  LogGuard guard;
+  const std::string path =
+      "/tmp/ideobf-logtest-rate-" + std::to_string(::getpid()) + ".ndjson";
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+  ASSERT_GE(fd, 0);
+  set_log_fd(fd);
+  set_log_level(LogLevel::Info);
+  set_log_rate_limit(/*per_second=*/1.0, /*burst=*/2.0);
+
+  const std::uint64_t dropped0 = log_dropped_count();
+  for (int i = 0; i < 50; ++i) {
+    LogEvent(LogLevel::Info, "test", "burst").field("i", i);
+  }
+  ::close(fd);
+  const std::string text = read_all(path);
+  ::unlink(path.c_str());
+  EXPECT_GT(log_dropped_count(), dropped0);
+  // The burst got through; the flood did not.
+  EXPECT_NE(text.find("\"event\":\"burst\""), std::string::npos);
+  EXPECT_LT(text.size(), 50u * 40u);
+}
+
+TEST(TelemetryLog, ParseLogLevelGrammar) {
+  LogLevel level = LogLevel::Off;
+  EXPECT_TRUE(parse_log_level("debug", level));
+  EXPECT_EQ(level, LogLevel::Debug);
+  EXPECT_TRUE(parse_log_level("warn", level));
+  EXPECT_EQ(level, LogLevel::Warn);
+  EXPECT_TRUE(parse_log_level("off", level));
+  EXPECT_EQ(level, LogLevel::Off);
+  EXPECT_FALSE(parse_log_level("verbose", level));
+  EXPECT_EQ(log_level_name(LogLevel::Error), "error");
 }
 
 }  // namespace

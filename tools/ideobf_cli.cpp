@@ -17,6 +17,14 @@
 //   --stats            pipeline statistics (cache/memo hit rates, phase times)
 //   --metrics[=FILE]   Prometheus-style metrics to FILE (stderr without =FILE)
 //   --trace-out=FILE   Chrome trace_event JSON (chrome://tracing, Perfetto)
+//
+// Serve observability flags:
+//   --trace-out FILE       arm the trace recorder (serves the `trace` op,
+//                          writes the Chrome trace to FILE at shutdown)
+//   --trace                fleet mode: per-worker traces in state_dir
+//   --metrics-snapshot F   dump a mergeable metrics snapshot to F (scrape/HUP)
+//   --flight-recorder F    mirror the in-memory flight ring to F (postmortems)
+//   --log-level LEVEL      structured NDJSON logs (debug|info|warn|error|off)
 
 #include <unistd.h>
 
@@ -42,8 +50,10 @@
 #include "pslang/alias_table.h"
 #include "psast/dump.h"
 #include "sandbox/sandbox.h"
+#include "telemetry/build_info.h"
 #include "telemetry/chrome_trace.h"
 #include "telemetry/exposition.h"
+#include "telemetry/log.h"
 #include "telemetry/telemetry.h"
 
 namespace {
@@ -134,6 +144,10 @@ struct TelemetrySession {
       }
     }
     if (want_metrics) {
+      // Identify the build in every exposition, CLI included, so one-shot
+      // scrapes join against fleet series the same way serve-mode ones do.
+      ideobf::telemetry::register_build_info();
+      ideobf::telemetry::update_uptime_gauge();
       const std::string text = ideobf::telemetry::render_prometheus(
           ideobf::telemetry::Telemetry::metrics());
       if (metrics_path.empty()) {
@@ -459,6 +473,7 @@ int cmd_serve(int argc, char** argv) {
   bool fleet_mode = false;
   bool self_check = false;
   std::string fault_spec;
+  std::string log_level;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--socket" && i + 1 < argc) {
@@ -537,6 +552,16 @@ int cmd_serve(int argc, char** argv) {
       fleet.quarantine_after = static_cast<unsigned>(std::atoi(argv[++i]));
     } else if (a == "--exec-path" && i + 1 < argc) {
       fleet.exec_path = argv[++i];
+    } else if (a == "--trace-out" && i + 1 < argc) {
+      cfg.trace_out_path = argv[++i];
+    } else if (a == "--trace") {
+      fleet.trace = true;
+    } else if (a == "--metrics-snapshot" && i + 1 < argc) {
+      cfg.metrics_snapshot_path = argv[++i];
+    } else if (a == "--flight-recorder" && i + 1 < argc) {
+      cfg.flight_recorder_path = argv[++i];
+    } else if (a == "--log-level" && i + 1 < argc) {
+      log_level = argv[++i];
     } else {
       std::cerr << "ideobf serve: unknown flag '" << a << "'\n";
       return 2;
@@ -563,7 +588,21 @@ int cmd_serve(int argc, char** argv) {
     fleet.cache_slots = cfg.cache_slots;
     fleet.cache_slot_bytes = cfg.cache_slot_bytes;
     fleet.fault_spec = fault_spec;
+    fleet.log_level = log_level;
     return cmd_serve_fleet(std::move(fleet));
+  }
+
+  // Standalone serve (and supervised workers, which receive --log-level on
+  // their command line) apply the structured-log threshold before start()
+  // so setup failures are already captured.
+  if (!log_level.empty()) {
+    ideobf::telemetry::LogLevel level;
+    if (!ideobf::telemetry::parse_log_level(log_level, level)) {
+      std::cerr << "ideobf serve: unknown --log-level '" << log_level
+                << "' (debug|info|warn|error|off)\n";
+      return 2;
+    }
+    ideobf::telemetry::set_log_level(level);
   }
 
   // Worker (or standalone) process: arm the process-wide fault injector if a
