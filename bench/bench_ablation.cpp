@@ -19,7 +19,7 @@ constexpr std::size_t kSamples = 100;
 
 struct Config {
   std::string name;
-  DeobfuscationOptions options;
+  Options options;
 };
 
 std::vector<Config> configs() {
@@ -113,7 +113,7 @@ BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
 void BM_TokenPassOnly(benchmark::State& state) {
   CorpusGenerator gen(3);
   const Sample s = gen.generate();
-  DeobfuscationOptions opts;
+  Options opts;
   opts.ast_recovery = false;
   opts.multilayer = false;
   opts.rename = false;

@@ -1091,11 +1091,81 @@ void print_rows(const std::vector<Row>& rows) {
   }
 }
 
+// --- JavaScript mini-corpus (data/js): the second registered front-end -----
+
+/// Round-trip accounting for the checked-in JS samples: every
+/// sample_N.obf.js run under language "javascript" must reproduce its
+/// sample_N.clean.js golden byte-for-byte (and the goldens are fixed
+/// points, so a drifting front-end cannot hide behind re-deobfuscation).
+struct JsCorpusSummary {
+  bool available = false;       ///< data/js had at least one sample pair
+  std::size_t samples = 0;
+  std::size_t round_tripped = 0;  ///< result == golden, byte-for-byte
+  double ms_per_script = 0.0;
+};
+
+JsCorpusSummary run_js_corpus_section(std::vector<Row>& rows) {
+  JsCorpusSummary js;
+  const std::string dir = std::string(IDEOBF_SOURCE_DIR) + "/data/js/";
+  const auto slurp = [](const std::string& path,
+                        std::string& out) -> bool {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    return true;
+  };
+  std::vector<std::pair<std::string, std::string>> pairs;  // {obf, clean}
+  for (int i = 0;; ++i) {
+    std::string obf;
+    std::string clean;
+    if (!slurp(dir + "sample_" + std::to_string(i) + ".obf.js", obf) ||
+        !slurp(dir + "sample_" + std::to_string(i) + ".clean.js", clean)) {
+      break;
+    }
+    pairs.emplace_back(std::move(obf), std::move(clean));
+  }
+  if (pairs.empty()) return js;
+  js.available = true;
+  js.samples = pairs.size();
+
+  Engine engine{Options{}};
+  // Warm pass primes the parse cache and recovery memo like any resident
+  // service; the timed pass is what lands in the row.
+  for (const auto& [obf, clean] : pairs) {
+    Request request;
+    request.source = obf;
+    request.language = "javascript";
+    (void)engine.handle(request);
+  }
+  const double t0 = now_seconds();
+  for (const auto& [obf, clean] : pairs) {
+    Request request;
+    request.source = obf;
+    request.language = "javascript";
+    const Response response = engine.handle(request);
+    if (response.ok && response.result == clean) ++js.round_tripped;
+  }
+  const double seconds = now_seconds() - t0;
+  js.ms_per_script = seconds * 1000.0 / pairs.size();
+
+  Row row;
+  row.config = "js_corpus";
+  row.threads = 1;
+  row.warm = true;
+  row.seconds = seconds;
+  row.ms_per_script = js.ms_per_script;
+  row.scripts_per_second = pairs.size() / std::max(seconds, 1e-9);
+  row.failed = static_cast<std::int64_t>(js.samples - js.round_tripped);
+  rows.push_back(row);
+  return js;
+}
+
 std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
                          double parse_reduction, double speedup_8t_vs_1t,
                          unsigned speedup_threads, const TelemetrySummary& ts,
                          const ServerSummary& ss, const FleetSummary& fs,
-                         const StormSummary& sts) {
+                         const StormSummary& sts, const JsCorpusSummary& js) {
   JsonWriter w;
   w.begin_object();
   w.field("bench", "pipeline");
@@ -1198,6 +1268,15 @@ std::string rows_to_json(const std::vector<Row>& rows, std::size_t corpus,
           static_cast<std::int64_t>(sts.drill_innocent_served));
   w.field("reaped", static_cast<std::int64_t>(sts.drill_reaped));
   w.end_object();
+  w.end_object();
+  // JavaScript front-end over the checked-in data/js mini-corpus: every
+  // sample must reproduce its golden exactly.
+  w.key("js_corpus");
+  w.begin_object();
+  w.field("available", js.available);
+  w.field("samples", static_cast<std::int64_t>(js.samples));
+  w.field("round_tripped", static_cast<std::int64_t>(js.round_tripped));
+  w.field("ms_per_script", js.ms_per_script);
   w.end_object();
   w.field("telemetry_spans_opened",
           static_cast<std::int64_t>(ts.spans_opened));
@@ -1343,6 +1422,10 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
   // the slow-consumer reap drill against the epoll I/O core.
   const StormSummary sts = run_storm_section(smoke, rows);
 
+  // JS front-end section: the data/js mini-corpus round-tripped against
+  // its checked-in goldens through the public Engine API.
+  const JsCorpusSummary js = run_js_corpus_section(rows);
+
   const double reduction =
       rows[0].parses > 0 && rows[1].parses > 0
           ? static_cast<double>(rows[0].parses) / rows[1].parses
@@ -1433,16 +1516,36 @@ int run(std::size_t corpus_size, unsigned max_threads, bool write_json,
 
   print_storm(sts);
 
+  if (js.available) {
+    std::printf(
+        "js corpus: %zu/%zu samples round-tripped to their goldens, "
+        "%.3f ms/script warm\n",
+        js.round_tripped, js.samples, js.ms_per_script);
+  } else {
+    std::printf("js corpus: skipped (data/js has no sample pairs)\n");
+  }
+
   if (write_json) {
     const std::string path = std::string(IDEOBF_SOURCE_DIR) + "/BENCH_pipeline.json";
     std::ofstream out(path, std::ios::binary);
     out << rows_to_json(rows, scripts.size(), reduction, speedup_widest,
-                        speedup_threads, ts, ss, fs, sts)
+                        speedup_threads, ts, ss, fs, sts, js)
         << "\n";
     std::printf("wrote %s\n", path.c_str());
   }
 
   int rc = 0;
+
+  // Acceptance gate 0 (count-based, runs sanitized too): the JS front-end
+  // must exist and reproduce every data/js golden byte-for-byte.
+  if (!js.available) {
+    std::fprintf(stderr, "FAIL: data/js mini-corpus missing\n");
+    rc = 1;
+  } else if (js.round_tripped != js.samples) {
+    std::fprintf(stderr, "FAIL: js corpus round-trip %zu/%zu\n",
+                 js.round_tripped, js.samples);
+    rc = 1;
+  }
 
   // Acceptance gate 1: the parse-once pipeline must at least halve the
   // parses per deobfuscation relative to the uncached seed behavior.

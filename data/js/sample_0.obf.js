@@ -1,0 +1,1 @@
+eval('con' + 'sole.log("unwrapped layer zero")');

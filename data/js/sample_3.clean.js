@@ -1,0 +1,2 @@
+var cmd = 'calc.exe';
+run('calc.exe');

@@ -1,0 +1,2 @@
+var cmd = unescape('%63%61%6c%63%2e%65%78%65');
+run(cmd);

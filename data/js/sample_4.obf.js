@@ -1,0 +1,1 @@
+window["eval"]('console["log"]("bracket member chain")');

@@ -1,0 +1,5 @@
+var a = 'Inv';
+var b = 'oke-';
+var c = 'Invoke-Expression';
+var d = 'invoke-expression';
+console.log('invoke-expression');

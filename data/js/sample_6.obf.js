@@ -1,0 +1,5 @@
+var a = 'Inv';
+var b = 'oke-';
+var c = a + b + 'Expression';
+var d = c.toLowerCase();
+console.log(d);

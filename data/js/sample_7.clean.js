@@ -1,0 +1,3 @@
+var flipped = 'download';
+var verb = 'Download';
+console.log('Download');

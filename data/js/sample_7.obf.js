@@ -1,0 +1,3 @@
+var flipped = 'daolnwod'.split('').reverse().join('');
+var verb = flipped.charAt(0).toUpperCase() + flipped.slice(1);
+console.log(verb);

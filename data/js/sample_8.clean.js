@@ -1,0 +1,1 @@
+console.log("two layers deep");

@@ -1,0 +1,1 @@
+eval("eval('console.log(\"two layers deep\")')");

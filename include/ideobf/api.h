@@ -25,8 +25,14 @@ namespace ideobf {
 
 /// One deobfuscation to perform.
 struct Request {
-  /// The PowerShell source text to deobfuscate.
+  /// The source text to deobfuscate.
   std::string source;
+  /// Which language front-end runs this request: a registered front-end
+  /// name ("powershell", "javascript"), "" (the default language,
+  /// PowerShell), or "auto" (sniffed per source; deterministic for given
+  /// source bytes). Unknown names are refused at the serve wire and served
+  /// as classified passthrough by the embedded engine.
+  std::string language;
   /// Pipeline options for this request. Absent means "the engine's
   /// configured options" (for the server: the options `ideobf serve` was
   /// started with).
@@ -64,6 +70,11 @@ struct Response {
   bool ok = true;
   /// Wall-clock seconds this request spent in the engine.
   double seconds = 0.0;
+  /// The concrete front-end language that served this request: the
+  /// request's language with "" defaulted and "auto" resolved by sniffing.
+  /// Unknown requested names echo verbatim (alongside the Internal
+  /// failure).
+  std::string language;
   /// Echo of Request::id.
   std::string id;
 };

@@ -134,15 +134,4 @@ struct Options {
   FaultInjector* fault_injector = nullptr;
 };
 
-// --- Deprecated pre-unification aliases (one release; see docs/API.md) ----
-using DeobfuscationOptions
-    [[deprecated("use ideobf::Options (docs/API.md has the field map)")]] =
-        Options;
-using BatchOptions
-    [[deprecated("use ideobf::Options (docs/API.md has the field map)")]] =
-        Options;
-using GovernorOptions [[deprecated(
-    "use ideobf::Options::Limits (docs/API.md has the field map)")]] =
-    Options::Limits;
-
 }  // namespace ideobf

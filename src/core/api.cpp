@@ -92,10 +92,12 @@ Response handle_one(const Options& base, const InvokeDeobfuscator& deobf,
   // cancellation token) wholesale replaces whatever was computed above.
   if (envelope != nullptr) limits = *envelope;
 
+  response.language =
+      std::string(engine->resolve_language(request.language, request.source));
   bool sealed = false;
   try {
     response.result = engine->deobfuscate(request.source, response.report,
-                                          limits, memo);
+                                          limits, memo, request.language);
   } catch (...) {
     // Ungoverned calls (no active envelope) can propagate pipeline
     // exceptions; the API contract is total, so seal them here exactly like
@@ -145,6 +147,7 @@ std::vector<Response> Engine::handle_batch(
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const Request& request = requests[i];
     specs[i].source = request.source;
+    specs[i].language = request.language;
     if (needs_pipeline_override(request, impl_->options)) {
       overrides[i] = resolve_options(request, impl_->options);
       specs[i].options_override = &overrides[i];
@@ -168,6 +171,8 @@ std::vector<Response> Engine::handle_batch(
     Response& response = responses[i];
     const BatchItem& item = batch_report.items[i];
     response.id = requests[i].id;
+    response.language = std::string(impl_->deobf.resolve_language(
+        requests[i].language, requests[i].source));
     response.result = std::move(outputs[i]);
     response.report = std::move(reports[i]);
     response.failure = response.report.failure;

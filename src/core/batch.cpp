@@ -176,7 +176,8 @@ std::vector<std::string> deobfuscate_batch_items(
         custom.emplace(std::move(o));
         engine = &*custom;
       }
-      results[i] = engine->deobfuscate(spec.source, rep, lim, nullptr);
+      results[i] =
+          engine->deobfuscate(spec.source, rep, lim, nullptr, spec.language);
       profiles[slot].merge(rep.profile);
       item.degradation_rung = rep.degradation_rung;
       // Passthrough (rung 3) means no pipeline output was served; count

@@ -85,6 +85,9 @@ struct BatchItemSpec {
   /// InvokeDeobfuscator sharing `deobf`'s parse cache. Not owned; null uses
   /// `deobf` as configured.
   const Options* options_override = nullptr;
+  /// Front-end language for this item ("" = default, "auto" = sniffed, or
+  /// a registered name). Not owned; must outlive the batch call.
+  std::string_view language;
 };
 
 /// The generalized batch core: runs every item on the process-lifetime

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <mutex>
+#include <utility>
 
 #include "core/failure.h"
 #include "core/fault.h"
-#include "core/reformat.h"
-#include "psast/parse_cache.h"
-#include "psast/parser.h"
+#include "frontends/registry.h"
 
 namespace ideobf {
 
@@ -70,18 +70,49 @@ telemetry::Counter& governor_failure_counter(ps::FailureKind kind) {
   return *c;
 }
 
-bool syntax_ok(std::string_view text, ps::ParseCache* cache) {
-  return cache != nullptr ? cache->is_valid(text) : ps::is_valid_syntax(text);
+/// Per-language dispatch counters. Label values are registered front-end
+/// names (bounded cardinality; an unregistered request is labeled
+/// "unknown"). Interned handles cached behind one small locked list — the
+/// language set is tiny and these fire once per request, not per piece.
+telemetry::Counter& frontend_counter(const char* base,
+                                     std::string_view language) {
+  struct Cache {
+    std::mutex mu;
+    std::vector<std::pair<std::string, telemetry::Counter*>> entries;
+  };
+  static std::array<Cache, 2> caches;
+  Cache& cache = caches[std::string_view(base) ==
+                                "ideobf_frontend_requests_total"
+                            ? 0
+                            : 1];
+  const std::lock_guard<std::mutex> lock(cache.mu);
+  for (const auto& [lang, counter] : cache.entries) {
+    if (lang == language) return *counter;
+  }
+  std::string labels = "language=\"";
+  labels += language;
+  labels += '"';
+  telemetry::Counter* c = &telemetry::registry().counter(base, labels);
+  cache.entries.emplace_back(std::string(language), c);
+  return *c;
+}
+telemetry::Counter& frontend_request_counter(std::string_view language) {
+  return frontend_counter("ideobf_frontend_requests_total", language);
+}
+telemetry::Counter& frontend_failure_counter(std::string_view language) {
+  return frontend_counter("ideobf_frontend_failures_total", language);
 }
 
 /// Applies one phase with the paper's per-step syntax check: if the result
-/// no longer parses, the step is skipped. With a cache the validity parse
-/// is the same parse the next phase (and the next check) will reuse.
+/// no longer parses under the front-end's grammar, the step is skipped.
+/// With a parse-caching front-end the validity parse is the same parse the
+/// next phase (and the next check) will reuse.
 template <typename Fn>
-std::string checked(std::string_view input, ps::ParseCache* cache, Fn&& phase) {
+std::string checked(std::string_view input, const LanguageFrontend& fe,
+                    Fn&& phase) {
   std::string out = phase(input);
   if (out == input) return std::string(input);
-  if (!syntax_ok(out, cache)) return std::string(input);
+  if (!fe.syntax_ok(out)) return std::string(input);
   return out;
 }
 
@@ -100,6 +131,32 @@ InvokeDeobfuscator::InvokeDeobfuscator(Options options)
     // the engine share it, like the parse cache.
     memo_ = std::make_shared<RecoveryMemo>();
   }
+  frontends_ = FrontendRegistry::instance().create_all(options_, cache_);
+}
+
+const LanguageFrontend* InvokeDeobfuscator::frontend(
+    std::string_view language) const {
+  if (language.empty()) language = kDefaultLanguage;
+  for (const auto& fe : frontends_) {
+    if (fe->name() == language) return fe.get();
+  }
+  return nullptr;
+}
+
+std::string_view InvokeDeobfuscator::resolve_language(
+    std::string_view language, std::string_view source) const {
+  if (language.empty()) return kDefaultLanguage;
+  if (language != kAutoLanguage) return language;
+  const LanguageFrontend* best = nullptr;
+  double best_score = -1.0;
+  for (const auto& fe : frontends_) {
+    const double score = fe->sniff(source);
+    if (score > best_score) {  // ties resolve to registration order
+      best = fe.get();
+      best_score = score;
+    }
+  }
+  return best != nullptr ? best->name() : kDefaultLanguage;
 }
 
 std::string InvokeDeobfuscator::deobfuscate(std::string_view script) const {
@@ -140,6 +197,29 @@ std::string InvokeDeobfuscator::deobfuscate(
 std::string InvokeDeobfuscator::deobfuscate(
     std::string_view script, DeobfuscationReport& report,
     const Options::Limits& limits, RecoveryMemo* shared_memo) const {
+  return deobfuscate(script, report, limits, shared_memo, kDefaultLanguage);
+}
+
+std::string InvokeDeobfuscator::deobfuscate(
+    std::string_view script, DeobfuscationReport& report,
+    const Options::Limits& limits, RecoveryMemo* shared_memo,
+    std::string_view language) const {
+  const std::string_view resolved = resolve_language(language, script);
+  const LanguageFrontend* fe = frontend(resolved);
+  frontend_request_counter(fe != nullptr ? fe->name() : "unknown").add();
+  if (fe == nullptr) {
+    // Misrouted request: classified passthrough, same totality contract as
+    // the governor's rung 3.
+    report = DeobfuscationReport{};
+    report.failure = ps::FailureKind::Internal;
+    report.failure_detail = "unknown language '";
+    report.failure_detail += resolved;
+    report.failure_detail += '\'';
+    report.degradation_rung = 3;
+    frontend_failure_counter("unknown").add();
+    return std::string(script);
+  }
+
   // Telemetry envelope: every span closed while this call runs on this
   // thread accumulates into `profile` (the multilayer recursion calls
   // deobfuscate_layers, not this wrapper, so the Pipeline span is per item).
@@ -150,20 +230,22 @@ std::string InvokeDeobfuscator::deobfuscate(
   {
     telemetry::ProfileScope profile_scope(&profile);
     telemetry::PhaseSpan pipeline_span(telemetry::Phase::Pipeline);
-    out = deobfuscate_impl(script, report, limits, shared_memo);
+    out = deobfuscate_impl(script, report, limits, shared_memo, *fe);
   }
   report.profile = profile;
+  if (report.degradation_rung >= 3) frontend_failure_counter(fe->name()).add();
   return out;
 }
 
 std::string InvokeDeobfuscator::deobfuscate_impl(
     std::string_view script, DeobfuscationReport& report,
-    const Options::Limits& limits, RecoveryMemo* shared_memo) const {
+    const Options::Limits& limits, RecoveryMemo* shared_memo,
+    const LanguageFrontend& fe) const {
   if (!limits.active()) {
     // Ungoverned: the exact pre-governor code path, no budget checkpoints.
     report = DeobfuscationReport{};
     std::string out = run_pipeline(script, report, options_, nullptr,
-                                   shared_memo);
+                                   shared_memo, fe);
     if (report.failure == ps::FailureKind::None) {
       report.failure = report.recovery.worst_failure;
     }
@@ -196,7 +278,7 @@ std::string InvokeDeobfuscator::deobfuscate_impl(
     if (rung > 0) governor_ladder_step_counter().add();
     try {
       std::string out = run_pipeline(script, attempt, rung_options(rung),
-                                     &budget, shared_memo);
+                                     &budget, shared_memo, fe);
       report = std::move(attempt);
       report.degradation_rung = rung;
       report.attempts = attempts;
@@ -235,25 +317,25 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
                                              DeobfuscationReport& report,
                                              const Options& opts,
                                              ps::Budget* budget,
-                                             RecoveryMemo* shared_memo) const {
+                                             RecoveryMemo* shared_memo,
+                                             const LanguageFrontend& fe) const {
   TraceSink sink(opts.telemetry.max_trace_events);
   TraceSink* trace = opts.telemetry.collect_trace ? &sink : nullptr;
-  ps::ParseCache* cache = cache_.get();
   if (opts.fault_injector != nullptr) {
     opts.fault_injector->inject(FaultSite::Parse);
   }
   // Classify invalid input up front (the phases would all no-op on it
   // anyway); the output contract — returned unchanged — is preserved by the
   // per-phase syntax checks exactly as before.
-  if (!syntax_ok(script, cache)) {
+  if (!fe.syntax_ok(script)) {
     report.failure = ps::FailureKind::ParseError;
     report.failure_detail = "input does not parse";
   }
   // Memo selection: an explicit caller-supplied memo wins, then the
   // engine-global memo (shared across every call, batch slot and server
   // session — sound because memo keys fingerprint the full evaluation
-  // context, limits included), then a run-local memo shared only by the
-  // layers and fixed-point passes of this run.
+  // context, limits and language salt included), then a run-local memo
+  // shared only by the layers and fixed-point passes of this run.
   RecoveryMemo local_memo;
   RecoveryMemo* memo_ptr =
       !opts.recovery.memo ? nullptr
@@ -261,14 +343,14 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
       : memo_ != nullptr       ? memo_.get()
                                : &local_memo;
   std::string out = deobfuscate_layers(script, report, 0, trace, memo_ptr,
-                                       opts, budget);
+                                       opts, budget, fe);
 
   if (opts.rename) {
     if (budget != nullptr) budget->force_checkpoint();
     telemetry::PhaseSpan span(telemetry::Phase::Rename);
-    out = checked(out, cache, [&](std::string_view s) {
+    out = checked(out, fe, [&](std::string_view s) {
       RenameStats rs;
-      std::string r = rename_pass(s, &rs, trace);
+      std::string r = fe.rename_pass(s, rs, trace);
       if (rs.renamed) report.rename = rs;
       return r;
     });
@@ -276,8 +358,8 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
   if (opts.reformat) {
     if (budget != nullptr) budget->force_checkpoint();
     telemetry::PhaseSpan span(telemetry::Phase::Reformat);
-    out = checked(out, cache,
-                  [](std::string_view s) { return reformat_pass(s); });
+    out = checked(out, fe,
+                  [&](std::string_view s) { return fe.reformat_pass(s); });
   }
   if (trace != nullptr) {
     report.trace = sink.take();
@@ -290,9 +372,14 @@ std::string InvokeDeobfuscator::run_pipeline(std::string_view script,
 std::string InvokeDeobfuscator::deobfuscate_layers(
     std::string_view script, DeobfuscationReport& report, int depth,
     TraceSink* trace, RecoveryMemo* memo, const Options& opts,
-    ps::Budget* budget) const {
+    ps::Budget* budget, const LanguageFrontend& fe) const {
   if (depth > opts.limits.max_layers) return std::string(script);
-  ps::ParseCache* cache = cache_.get();
+
+  FrontendPhaseContext ctx;
+  ctx.opts = &opts;
+  ctx.budget = budget;
+  ctx.memo = memo;
+  ctx.fault = opts.fault_injector;
 
   std::string cur(script);
   for (int pass = 0; pass < opts.limits.max_layers; ++pass) {
@@ -302,9 +389,9 @@ std::string InvokeDeobfuscator::deobfuscate_layers(
     if (opts.token_pass) {
       if (budget != nullptr) budget->force_checkpoint();
       telemetry::PhaseSpan span(telemetry::Phase::TokenPass);
-      next = checked(next, cache, [&](std::string_view s) {
+      next = checked(next, fe, [&](std::string_view s) {
         TokenPassStats ts;
-        std::string r = token_pass(s, &ts, trace);
+        std::string r = fe.token_pass(s, ts, trace);
         merge(report.token, ts);
         return r;
       });
@@ -312,25 +399,9 @@ std::string InvokeDeobfuscator::deobfuscate_layers(
 
     if (opts.ast_recovery) {
       if (budget != nullptr) budget->force_checkpoint();
-      next = checked(next, cache, [&](std::string_view s) {
-        RecoveryOptions ro;
-        ro.max_steps_per_piece = opts.limits.max_steps_per_piece;
-        ro.max_piece_size = opts.limits.max_piece_size;
-        ro.extra_blocklist = opts.recovery.extra_blocklist;
-        ro.trace_functions = opts.recovery.trace_functions;
-        ro.memo = memo;
-        ro.budget = budget;
-        ro.fault = opts.fault_injector;
+      next = checked(next, fe, [&](std::string_view s) {
         RecoveryStats rs;
-        std::string r;
-        if (cache != nullptr) {
-          const ps::ParseCache::Result parsed = cache->get(s);
-          r = parsed.ast == nullptr
-                  ? std::string(s)
-                  : recovery_pass(s, parsed.ast, ro, &rs, trace, cache);
-        } else {
-          r = recovery_pass(s, ro, &rs, trace);
-        }
+        std::string r = fe.recovery_pass(s, ctx, rs, trace);
         merge(report.recovery, rs);
         return r;
       });
@@ -341,18 +412,12 @@ std::string InvokeDeobfuscator::deobfuscate_layers(
       // The scan span; each extracted payload opens a nested decode span
       // (with the disguise form as detail) inside unwrap_layers.
       telemetry::PhaseSpan span(telemetry::Phase::MultilayerDecode, "scan");
-      next = checked(next, cache, [&](std::string_view s) {
+      next = checked(next, fe, [&](std::string_view s) {
         const auto inner = [&](std::string_view payload) {
           return deobfuscate_layers(payload, report, depth + 1, trace, memo,
-                                    opts, budget);
+                                    opts, budget, fe);
         };
-        if (cache != nullptr) {
-          const ps::ParseCache::Result parsed = cache->get(s);
-          if (parsed.ast == nullptr) return std::string(s);
-          return unwrap_layers(s, *parsed.ast, inner, &report.multilayer,
-                               trace, cache, budget, opts.fault_injector);
-        }
-        return unwrap_layers(s, inner, &report.multilayer, trace);
+        return fe.unwrap_layers(s, ctx, report.multilayer, trace, inner);
       });
     }
 

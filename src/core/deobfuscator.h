@@ -3,12 +3,19 @@
 /// \file deobfuscator.h
 /// The engine of Invoke-Deobfuscation: AST-based and semantics-preserving
 /// deobfuscation for PowerShell scripts (Chai et al., DSN 2022), rebuilt as
-/// a C++ library on an in-repo PowerShell substrate.
+/// a C++ library on an in-repo PowerShell substrate — and generalized: the
+/// pipeline is language-agnostic, programming against the LanguageFrontend
+/// boundary (src/frontends/frontend.h, DESIGN.md §12), with PowerShell as
+/// the first registered front-end and a minimal JavaScript front-end
+/// alongside it.
 ///
 /// Pipeline (paper Fig 2): token parsing -> variable tracing & recovery
 /// based on AST -> multi-layer unwrapping (repeated to a fixed point) ->
 /// renaming -> reformatting. Every phase is syntax-checked and rolled back
-/// on error, so the output is always valid when the input was.
+/// on error, so the output is always valid when the input was. The loop,
+/// the governor ladder, the budget checkpoints, and the stat/trace
+/// collection live here; everything that knows a concrete syntax lives in
+/// the front-end.
 ///
 /// The stable entry point is `ideobf::Engine` (include/ideobf/api.h);
 /// `InvokeDeobfuscator` is the engine behind it, configured by the unified
@@ -17,11 +24,9 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
-#include "core/multilayer.h"
-#include "core/recovery.h"
-#include "core/rename.h"
-#include "core/token_pass.h"
+#include "frontends/frontend.h"
 #include "ideobf/options.h"
 #include "psast/parse_cache.h"
 #include "psvalue/budget.h"
@@ -30,7 +35,8 @@
 namespace ideobf {
 
 /// The deobfuscator. Const-callable from any number of threads and cheap to
-/// copy; copies share the (thread-safe) parse cache and recovery memo.
+/// copy; copies share the (thread-safe) parse cache, recovery memo, and
+/// front-end instances.
 class InvokeDeobfuscator {
  public:
   explicit InvokeDeobfuscator(Options options = {});
@@ -53,47 +59,78 @@ class InvokeDeobfuscator {
                                         const Options::Limits& limits) const;
   /// As above, additionally substituting an externally owned
   /// piece-execution memo for the engine's own. Memo keys fingerprint
-  /// everything relevant to a piece's evaluation, so cross-script sharing
-  /// is sound, and RecoveryMemo is thread-safe, so one memo may serve
-  /// concurrent calls. Null uses the engine-global memo (when
-  /// options().recovery.share_memo) or a per-run one. Ignored when
-  /// options().recovery.memo is false.
+  /// everything relevant to a piece's evaluation — the front-end's language
+  /// salt included — so cross-script sharing is sound, and RecoveryMemo is
+  /// thread-safe, so one memo may serve concurrent calls. Null uses the
+  /// engine-global memo (when options().recovery.share_memo) or a per-run
+  /// one. Ignored when options().recovery.memo is false.
   [[nodiscard]] std::string deobfuscate(std::string_view script,
                                         DeobfuscationReport& report,
                                         const Options::Limits& limits,
                                         RecoveryMemo* shared_memo) const;
+  /// Language-dispatching entry point: runs the pipeline under the named
+  /// front-end. `language` is a registered front-end name, "" (the default
+  /// language) or "auto" (sniffed per source). An unknown language serves
+  /// classified passthrough (FailureKind::Internal, rung 3) — the totality
+  /// contract holds for misrouted requests too.
+  [[nodiscard]] std::string deobfuscate(std::string_view script,
+                                        DeobfuscationReport& report,
+                                        const Options::Limits& limits,
+                                        RecoveryMemo* shared_memo,
+                                        std::string_view language) const;
 
   [[nodiscard]] const Options& options() const { return options_; }
 
   /// The parse cache in use; null when options().parse_cache is false.
+  /// PowerShell-substrate infrastructure, shared with the PS front-end.
   [[nodiscard]] const std::shared_ptr<ps::ParseCache>& parse_cache() const {
     return cache_;
   }
 
+  /// The front-end registered under `language` ("" = default), or null.
+  [[nodiscard]] const LanguageFrontend* frontend(
+      std::string_view language) const;
+
+  /// Resolves a request's language field to a concrete front-end name:
+  /// "" -> the default language, "auto" -> the best sniff score over this
+  /// engine's front-ends (ties to the default), anything else verbatim
+  /// (even when unregistered — the caller sees the lookup fail). The
+  /// returned view is static or owned by this engine's front-ends.
+  [[nodiscard]] std::string_view resolve_language(
+      std::string_view language, std::string_view source) const;
+
  private:
   /// The governed ladder walk behind deobfuscate(); the public wrapper adds
-  /// the telemetry envelope (Pipeline span + profile binding) around it.
+  /// the telemetry envelope (Pipeline span + profile binding) and the
+  /// front-end dispatch around it.
   std::string deobfuscate_impl(std::string_view script,
                                DeobfuscationReport& report,
                                const Options::Limits& limits,
-                               RecoveryMemo* shared_memo) const;
+                               RecoveryMemo* shared_memo,
+                               const LanguageFrontend& frontend) const;
   /// One full pipeline run under `opts`, checkpointing `budget` (may be
   /// null) between phases. Throws on budget/fault aborts. `shared_memo`
   /// substitutes for the run-local piece memo when non-null.
   std::string run_pipeline(std::string_view script, DeobfuscationReport& report,
                            const Options& opts, ps::Budget* budget,
-                           RecoveryMemo* shared_memo) const;
+                           RecoveryMemo* shared_memo,
+                           const LanguageFrontend& frontend) const;
   std::string deobfuscate_layers(std::string_view script,
                                  DeobfuscationReport& report, int depth,
                                  TraceSink* trace, RecoveryMemo* memo,
-                                 const Options& opts, ps::Budget* budget) const;
+                                 const Options& opts, ps::Budget* budget,
+                                 const LanguageFrontend& frontend) const;
   /// The options for one degradation-ladder rung (see Options::Limits).
   [[nodiscard]] Options rung_options(int rung) const;
   Options options_;
   std::shared_ptr<ps::ParseCache> cache_;
   /// Engine-global piece memo; null unless options_.recovery.memo &&
-  /// options_.recovery.share_memo. Shared by copies of the engine.
+  /// options_.recovery.share_memo. Shared by copies of the engine — and,
+  /// soundly, by every front-end: each salts its memo contexts.
   std::shared_ptr<RecoveryMemo> memo_;
+  /// One instance per registered front-end, registry order (default
+  /// language first). Const-shared: front-ends are pure policy.
+  std::vector<std::shared_ptr<const LanguageFrontend>> frontends_;
 };
 
 }  // namespace ideobf

@@ -4,7 +4,7 @@
 /// Deterministic fault injection for the execution governor. The degradation
 /// ladder and the failure taxonomy only earn their keep if they are
 /// exercisable on demand, so the injector is compiled in always and enabled
-/// by handing a FaultInjector pointer to DeobfuscationOptions /
+/// by handing a FaultInjector pointer to ideobf::Options /
 /// SandboxOptions / RecoveryOptions. A null pointer (the default) costs one
 /// branch per site; an armed injector can throw, throw a non-std value,
 /// delay, or corrupt text at named pipeline sites.

@@ -274,7 +274,9 @@ class Reconstructor {
   /// the interpreter would produce the same result, so the memoized literal
   /// substitutes for re-execution.
   std::size_t context_fingerprint() const {
-    std::size_t h = 14695981039346656037ull;
+    // The language salt is part of every context: identical piece bytes
+    // under another front-end must never alias on a shared memo.
+    std::size_t h = 14695981039346656037ull ^ options_.language_salt;
     const auto mix = [&h](std::string_view s) {
       for (unsigned char c : s) {
         h ^= c;
@@ -370,19 +372,7 @@ class Reconstructor {
   /// unlike context_fingerprint() this never rescans the table.
   std::size_t pure_context_fingerprint() const {
     if (pure_ctx_ != 0) return pure_ctx_;
-    std::size_t h = 14695981039346656037ull ^ kPureContext;
-    const auto mix = [&h](std::string_view s) {
-      for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
-      }
-      h ^= 0xffu;
-      h *= 1099511628211ull;
-    };
-    mix(std::to_string(options_.max_steps_per_piece));
-    mix(std::to_string(options_.max_piece_size));
-    for (const std::string& blocked : options_.extra_blocklist) mix(blocked);
-    pure_ctx_ = h | 1;  // nonzero: 0 is the "unset" sentinel
+    pure_ctx_ = pure_memo_context(options_);
     return pure_ctx_;
   }
 
@@ -588,7 +578,8 @@ class Reconstructor {
       std::string literal;
       const std::optional<std::string> hit =
           options_.memo != nullptr
-              ? options_.memo->lookup(kEnvProbeContext, probe_text)
+              ? options_.memo->lookup(kEnvProbeContext ^ options_.language_salt,
+                                      probe_text)
               : std::nullopt;
       if (hit.has_value()) {
         stats_.memo_hits++;
@@ -613,7 +604,8 @@ class Reconstructor {
           // unknown: keep as-is
         }
         if (options_.memo != nullptr) {
-          options_.memo->store(kEnvProbeContext, probe_text, literal);
+          options_.memo->store(kEnvProbeContext ^ options_.language_salt,
+                               probe_text, literal);
         }
       }
       if (!literal.empty()) {
@@ -805,6 +797,26 @@ class Reconstructor {
 };
 
 }  // namespace
+
+std::size_t pure_memo_context(const RecoveryOptions& options) {
+  // Must stay in lockstep with Reconstructor::kPureContext: pure-chunk memo
+  // entries written before this helper existed carry the same fingerprints.
+  constexpr std::size_t kPureContextSalt = 0x517cc1b727220a95ull;
+  std::size_t h =
+      14695981039346656037ull ^ kPureContextSalt ^ options.language_salt;
+  const auto mix = [&h](std::string_view s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    h ^= 0xffu;  // field separator
+    h *= 1099511628211ull;
+  };
+  mix(std::to_string(options.max_steps_per_piece));
+  mix(std::to_string(options.max_piece_size));
+  for (const std::string& blocked : options.extra_blocklist) mix(blocked);
+  return h | 1;  // nonzero: 0 is the "unset" sentinel
+}
 
 std::string recovery_pass(std::string_view script,
                           const ps::ParsedScript& parsed,

@@ -121,7 +121,22 @@ struct RecoveryOptions {
   /// Optional fault injector (sites: PieceExecution, MemoLookup). Injected
   /// FaultErrors likewise propagate out of the pass. May be null.
   FaultInjector* fault = nullptr;
+  /// Language salt of the front-end running this pass, XOR-mixed into every
+  /// memo context fingerprint. 0 is reserved for PowerShell (its
+  /// fingerprints predate front-ends and must stay stable); other
+  /// front-ends supply a distinct nonzero salt so identical piece bytes
+  /// submitted under different languages never alias on a shared memo.
+  std::size_t language_salt = 0;
 };
+
+/// The memo context fingerprint for *pure* pieces — pieces whose result
+/// depends only on their text plus the execution limits (which gate how a
+/// piece may fail, and failures are memoized). FNV-1a over the limits and
+/// blocklist under a fixed pure-context salt, XOR-mixed with
+/// options.language_salt. Shared by every front-end so the language-alias
+/// regression test can prove both the collision (equal salts) and the fix
+/// (distinct salts). Always odd — 0 is RecoveryMemo's "unset" sentinel.
+[[nodiscard]] std::size_t pure_memo_context(const RecoveryOptions& options);
 
 /// Runs one recovery pass. Returns the input unchanged when it does not
 /// parse (the caller's per-step syntax check handles rollback).

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file frontends/js_frontend.h
+/// The JavaScript front-end: a minimal, wild-idiom-focused implementation
+/// of the LanguageFrontend contract on the src/jslang/ substrate (mini
+/// lexer / parser / constant evaluator). Covers the obfuscation patterns
+/// that dominate in-the-wild JS droppers:
+///
+///   - `eval('...')` / `window.eval` / `Function('...')()` layer wrapping
+///     (multilayer unwrap, recursed through the generic pipeline);
+///   - string assembly: `'a' + 'b'`, `String.fromCharCode(...)`, `atob`,
+///     `unescape` / `decodeURIComponent`, hex/unicode escapes,
+///     `split/reverse/join` (recovery: constant folding + variable
+///     tracing, with extent replacement);
+///   - bracket-member obfuscation: `obj["prop"]` -> `obj.prop`
+///     (token pass);
+///   - obfuscator-kit identifiers: `_0x1a2b3c` -> `var{n}` (rename).
+///
+/// Not a JavaScript engine: anything beyond the supported constant subset
+/// is left byte-for-byte untouched, and input that does not parse under the
+/// mini grammar is returned unchanged — the same totality contract as the
+/// PowerShell passes.
+
+#include <memory>
+
+#include "frontends/frontend.h"
+
+namespace ideobf {
+
+/// Builds the JavaScript front-end. Stateless policy; one instance may be
+/// shared by any number of engines.
+[[nodiscard]] std::shared_ptr<const LanguageFrontend> make_js_frontend();
+
+}  // namespace ideobf

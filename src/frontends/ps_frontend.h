@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file frontends/ps_frontend.h
+/// The PowerShell front-end: the original Invoke-Deobfuscation passes
+/// (token_pass / recovery_pass / unwrap_layers / rename_pass /
+/// reformat_pass) adapted behind the LanguageFrontend interface with zero
+/// behavior change. The parse-once plumbing — routing the per-step syntax
+/// checks, the recovery AST input, and the multilayer scan through one
+/// ps::ParseCache — lives here now instead of in the core loop, since it is
+/// a PowerShell-substrate concern.
+
+#include <memory>
+
+#include "frontends/frontend.h"
+
+namespace ps {
+class ParseCache;
+}  // namespace ps
+
+namespace ideobf {
+
+/// Builds the PowerShell front-end for one engine. `parse_cache` may be
+/// null (the pre-cache pipeline: every step re-parses; output identical).
+[[nodiscard]] std::shared_ptr<const LanguageFrontend> make_ps_frontend(
+    std::shared_ptr<ps::ParseCache> parse_cache);
+
+}  // namespace ideobf

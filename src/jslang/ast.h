@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file jslang/ast.h
+/// Mini JavaScript AST for the JS front-end. One tagged node type (the
+/// tree is small and short-lived; no arena, no visitors) with byte extents
+/// into the source — extents are what the recovery pass replaces, exactly
+/// like the PowerShell substrate's Ast extents.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jslang {
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  enum class Kind {
+    // expressions
+    Number,       ///< numeric literal (value in `num`)
+    String,       ///< string literal (decoded value in `str`)
+    Regex,        ///< regex literal (opaque)
+    Ident,        ///< identifier reference (`name`)
+    Array,        ///< array literal; kids = elements
+    Object,       ///< object literal; kids = values, `props` = keys (opaque)
+    Unary,        ///< `name` = op; kids[0] = operand
+    Binary,       ///< `name` = op; kids = {lhs, rhs}
+    Assign,       ///< `name` = op (`=`, `+=`, ...); kids = {target, value}
+    Update,       ///< `name` = `++`/`--`; kids[0] = target (opaque)
+    Conditional,  ///< kids = {cond, then, else}
+    Call,         ///< kids[0] = callee, kids[1..] = args
+    New,          ///< kids[0] = callee, kids[1..] = args
+    Member,       ///< kids[0] = object; `name` = property
+    Index,        ///< kids = {object, index-expr}
+    FunctionExpr, ///< opaque; kids = body statements (extents only)
+    Sequence,     ///< comma expression; kids = operands
+
+    // statements
+    VarDecl,      ///< `name` = var/let/const; kids = Declarator nodes
+    Declarator,   ///< `name` = variable; kids = {init} or empty
+    ExprStmt,     ///< kids[0] = expression
+    Block,        ///< kids = statements
+    If,           ///< kids = {cond, then[, else]}
+    While,        ///< kids = {cond, body}
+    DoWhile,      ///< kids = {body, cond}
+    For,          ///< opaque header loop; kids = clause/body nodes
+    Return,       ///< kids = {value} or empty
+    Throw,        ///< kids = {value}
+    Try,          ///< kids = blocks (opaque)
+    BreakStmt,
+    ContinueStmt,
+    FunctionDecl, ///< `name` = function name; kids = body statements
+    Empty,        ///< lone `;`
+  };
+
+  Kind kind;
+  std::size_t begin = 0;  ///< byte extent into the source text
+  std::size_t end = 0;
+  double num = 0;
+  std::string str;
+  std::string name;
+  /// Object-literal keys (parallel to kids) and function parameter names.
+  std::vector<std::string> props;
+  std::vector<NodePtr> kids;
+};
+
+struct Program {
+  std::vector<NodePtr> stmts;
+  bool ok = false;
+  std::string error;  ///< first parse error when !ok
+};
+
+}  // namespace jslang

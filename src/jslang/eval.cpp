@@ -1,0 +1,1049 @@
+#include "jslang/eval.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <utility>
+
+#include "psvalue/budget.h"
+
+namespace jslang {
+
+namespace {
+
+/// Internal "outside the constant subset" abort; caught at the evaluate()
+/// boundary. ps::BudgetError deliberately does NOT use this path — it must
+/// propagate to the governor.
+struct Bail {};
+
+double to_number_from_string(std::string_view s) {
+  // JS ToNumber(string): trimmed; "" -> 0; hex/binary/octal prefixes; else
+  // full-string decimal parse; anything else NaN.
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  s = s.substr(b, e - b);
+  if (s.empty()) return 0;
+  if (s.size() > 2 && s[0] == '0' &&
+      (s[1] == 'x' || s[1] == 'X' || s[1] == 'b' || s[1] == 'B' ||
+       s[1] == 'o' || s[1] == 'O')) {
+    const int base = (s[1] == 'x' || s[1] == 'X')   ? 16
+                     : (s[1] == 'b' || s[1] == 'B') ? 2
+                                                    : 8;
+    const std::string digits(s.substr(2));
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(digits.c_str(), &end, base);
+    if (end == nullptr || *end != '\0' || end == digits.c_str()) {
+      return std::nan("");
+    }
+    return static_cast<double>(v);
+  }
+  const std::string text(s);
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == text.c_str()) {
+    if (text == "Infinity" || text == "+Infinity") return HUGE_VAL;
+    if (text == "-Infinity") return -HUGE_VAL;
+    return std::nan("");
+  }
+  return v;
+}
+
+std::string number_to_string(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "Infinity" : "-Infinity";
+  if (d == 0) return std::signbit(d) ? "0" : "0";
+  // Shortest round-trip; matches JS for the integer/decimal range that
+  // matters here (the folder bails on exotica before rendering).
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+  if (ec != std::errc()) return "NaN";
+  return std::string(buf, ptr);
+}
+
+std::int32_t to_int32(double d) {
+  if (!std::isfinite(d) || d == 0) return 0;
+  const double m = std::trunc(d);
+  const double wrapped = std::fmod(m, 4294967296.0);
+  auto u = static_cast<std::uint32_t>(
+      wrapped < 0 ? wrapped + 4294967296.0 : wrapped);
+  return static_cast<std::int32_t>(u);
+}
+
+void append_utf8(std::string& out, unsigned long cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+bool ascii_only(std::string_view s) {
+  for (char c : s) {
+    if (static_cast<unsigned char>(c) >= 0x80) return false;
+  }
+  return true;
+}
+
+int base64_value(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+') return 62;
+  if (c == '/') return 63;
+  return -1;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+class Evaluator {
+ public:
+  Evaluator(const std::map<std::string, JsValue>& env, const EvalLimits& limits)
+      : env_(env), limits_(limits) {}
+
+  JsValue eval(const Node& n) {
+    step();
+    switch (n.kind) {
+      case Node::Kind::Number:
+        return JsValue::number_value(n.num);
+      case Node::Kind::String:
+        return JsValue::string_value(n.str);
+      case Node::Kind::Ident:
+        return ident(n.name);
+      case Node::Kind::Array: {
+        std::vector<JsValue> items;
+        items.reserve(n.kids.size());
+        for (const NodePtr& kid : n.kids) {
+          step();
+          items.push_back(eval(*kid));
+        }
+        return JsValue::array_value(std::move(items));
+      }
+      case Node::Kind::Unary:
+        return unary(n);
+      case Node::Kind::Binary:
+        return binary(n);
+      case Node::Kind::Conditional:
+        return truthy(eval(*n.kids[0])) ? eval(*n.kids[1]) : eval(*n.kids[2]);
+      case Node::Kind::Sequence: {
+        JsValue last;
+        for (const NodePtr& kid : n.kids) last = eval(*kid);
+        return last;
+      }
+      case Node::Kind::Member:
+        return member(eval(*n.kids[0]), n.name);
+      case Node::Kind::Index:
+        return index(eval(*n.kids[0]), eval(*n.kids[1]));
+      case Node::Kind::Call:
+        return call(n);
+      default:
+        // Assignments, updates, functions, objects, regexes, `new`, and
+        // every statement form: outside the constant subset.
+        throw Bail{};
+    }
+  }
+
+ private:
+  void step() {
+    if (limits_.budget != nullptr) limits_.budget->checkpoint();
+    if (++steps_ > limits_.max_steps) throw Bail{};
+  }
+
+  /// Size-guards (and budget-charges) a freshly materialized value.
+  std::string charged(std::string s) {
+    if (s.size() > limits_.max_value_bytes) throw Bail{};
+    if (limits_.budget != nullptr) limits_.budget->charge_bytes(s.size());
+    return s;
+  }
+
+  JsValue ident(const std::string& name) {
+    if (name == "undefined") return JsValue::undefined();
+    if (name == "null") return JsValue::null();
+    if (name == "true") return JsValue::boolean_value(true);
+    if (name == "false") return JsValue::boolean_value(false);
+    if (name == "NaN") return JsValue::number_value(std::nan(""));
+    if (name == "Infinity") return JsValue::number_value(HUGE_VAL);
+    const auto it = env_.find(name);
+    if (it == env_.end()) throw Bail{};
+    return it->second;
+  }
+
+  static bool truthy(const JsValue& v) {
+    switch (v.kind) {
+      case JsValue::Kind::Undefined:
+      case JsValue::Kind::Null:
+        return false;
+      case JsValue::Kind::Bool:
+        return v.boolean;
+      case JsValue::Kind::Number:
+        return v.number != 0 && !std::isnan(v.number);
+      case JsValue::Kind::String:
+        return !v.string.empty();
+      case JsValue::Kind::Array:
+        return true;
+    }
+    return false;
+  }
+
+  static double to_number(const JsValue& v) {
+    switch (v.kind) {
+      case JsValue::Kind::Undefined:
+        return std::nan("");
+      case JsValue::Kind::Null:
+        return 0;
+      case JsValue::Kind::Bool:
+        return v.boolean ? 1 : 0;
+      case JsValue::Kind::Number:
+        return v.number;
+      case JsValue::Kind::String:
+        return to_number_from_string(v.string);
+      case JsValue::Kind::Array:
+        // [] -> 0, [x] -> ToNumber(x); beyond that NaN. Bail instead of
+        // modeling it.
+        throw Bail{};
+    }
+    return std::nan("");
+  }
+
+  std::string to_string(const JsValue& v) {
+    switch (v.kind) {
+      case JsValue::Kind::Undefined:
+        return "undefined";
+      case JsValue::Kind::Null:
+        return "null";
+      case JsValue::Kind::Bool:
+        return v.boolean ? "true" : "false";
+      case JsValue::Kind::Number:
+        return number_to_string(v.number);
+      case JsValue::Kind::String:
+        return v.string;
+      case JsValue::Kind::Array: {
+        std::string out;
+        for (std::size_t i = 0; i < v.array.size(); ++i) {
+          step();
+          if (i != 0) out += ',';
+          const JsValue& item = v.array[i];
+          if (item.kind == JsValue::Kind::Undefined ||
+              item.kind == JsValue::Kind::Null) {
+            continue;  // join renders them empty
+          }
+          out += to_string(item);
+        }
+        return charged(std::move(out));
+      }
+    }
+    throw Bail{};
+  }
+
+  JsValue unary(const Node& n) {
+    if (n.name == "typeof") {
+      // typeof of an *unknown* name would need scope knowledge — eval the
+      // operand, bailing on unknowns like everything else.
+      const JsValue v = eval(*n.kids[0]);
+      switch (v.kind) {
+        case JsValue::Kind::Undefined: return JsValue::string_value("undefined");
+        case JsValue::Kind::Null: return JsValue::string_value("object");
+        case JsValue::Kind::Bool: return JsValue::string_value("boolean");
+        case JsValue::Kind::Number: return JsValue::string_value("number");
+        case JsValue::Kind::String: return JsValue::string_value("string");
+        case JsValue::Kind::Array: return JsValue::string_value("object");
+      }
+      throw Bail{};
+    }
+    if (n.name == "void") {
+      (void)eval(*n.kids[0]);
+      return JsValue::undefined();
+    }
+    const JsValue v = eval(*n.kids[0]);
+    if (n.name == "!") return JsValue::boolean_value(!truthy(v));
+    if (n.name == "-") return JsValue::number_value(-to_number(v));
+    if (n.name == "+") return JsValue::number_value(to_number(v));
+    if (n.name == "~") {
+      return JsValue::number_value(static_cast<double>(~to_int32(to_number(v))));
+    }
+    throw Bail{};  // delete, ...
+  }
+
+  JsValue binary(const Node& n) {
+    const std::string& op = n.name;
+    // Value-returning short-circuit forms first.
+    if (op == "&&") {
+      JsValue lhs = eval(*n.kids[0]);
+      return truthy(lhs) ? eval(*n.kids[1]) : lhs;
+    }
+    if (op == "||") {
+      JsValue lhs = eval(*n.kids[0]);
+      return truthy(lhs) ? lhs : eval(*n.kids[1]);
+    }
+    if (op == "??") {
+      JsValue lhs = eval(*n.kids[0]);
+      const bool nullish = lhs.kind == JsValue::Kind::Undefined ||
+                           lhs.kind == JsValue::Kind::Null;
+      return nullish ? eval(*n.kids[1]) : lhs;
+    }
+
+    const JsValue lhs = eval(*n.kids[0]);
+    const JsValue rhs = eval(*n.kids[1]);
+    if (op == "+") {
+      // JS addition: string concatenation when either side ToPrimitives to
+      // a string (arrays do — their primitive is join(",")).
+      const bool string_add = lhs.kind == JsValue::Kind::String ||
+                              rhs.kind == JsValue::Kind::String ||
+                              lhs.kind == JsValue::Kind::Array ||
+                              rhs.kind == JsValue::Kind::Array;
+      if (string_add) {
+        return JsValue::string_value(charged(to_string(lhs) + to_string(rhs)));
+      }
+      return JsValue::number_value(to_number(lhs) + to_number(rhs));
+    }
+    if (op == "-") return JsValue::number_value(to_number(lhs) - to_number(rhs));
+    if (op == "*") return JsValue::number_value(to_number(lhs) * to_number(rhs));
+    if (op == "/") return JsValue::number_value(to_number(lhs) / to_number(rhs));
+    if (op == "%") {
+      return JsValue::number_value(std::fmod(to_number(lhs), to_number(rhs)));
+    }
+    if (op == "**") {
+      return JsValue::number_value(std::pow(to_number(lhs), to_number(rhs)));
+    }
+    if (op == "<<" || op == ">>" || op == ">>>" || op == "&" || op == "|" ||
+        op == "^") {
+      const std::int32_t a = to_int32(to_number(lhs));
+      const std::int32_t b = to_int32(to_number(rhs));
+      const auto shift = static_cast<std::uint32_t>(b) & 31u;
+      if (op == "&") return JsValue::number_value(a & b);
+      if (op == "|") return JsValue::number_value(a | b);
+      if (op == "^") return JsValue::number_value(a ^ b);
+      if (op == "<<") {
+        return JsValue::number_value(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(a) << shift));
+      }
+      if (op == ">>") return JsValue::number_value(a >> shift);
+      return JsValue::number_value(
+          static_cast<double>(static_cast<std::uint32_t>(a) >> shift));
+    }
+    if (op == "===" || op == "!==") {
+      const bool eq = strict_equals(lhs, rhs);
+      return JsValue::boolean_value(op == "===" ? eq : !eq);
+    }
+    if (op == "==" || op == "!=") {
+      const bool eq = loose_equals(lhs, rhs);
+      return JsValue::boolean_value(op == "==" ? eq : !eq);
+    }
+    if (op == "<" || op == ">" || op == "<=" || op == ">=") {
+      if (lhs.kind == JsValue::Kind::String &&
+          rhs.kind == JsValue::Kind::String) {
+        const int c = lhs.string.compare(rhs.string);
+        if (op == "<") return JsValue::boolean_value(c < 0);
+        if (op == ">") return JsValue::boolean_value(c > 0);
+        if (op == "<=") return JsValue::boolean_value(c <= 0);
+        return JsValue::boolean_value(c >= 0);
+      }
+      const double a = to_number(lhs);
+      const double b = to_number(rhs);
+      if (std::isnan(a) || std::isnan(b)) return JsValue::boolean_value(false);
+      if (op == "<") return JsValue::boolean_value(a < b);
+      if (op == ">") return JsValue::boolean_value(a > b);
+      if (op == "<=") return JsValue::boolean_value(a <= b);
+      return JsValue::boolean_value(a >= b);
+    }
+    throw Bail{};  // instanceof, in
+  }
+
+  static bool strict_equals(const JsValue& a, const JsValue& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+      case JsValue::Kind::Undefined:
+      case JsValue::Kind::Null:
+        return true;
+      case JsValue::Kind::Bool:
+        return a.boolean == b.boolean;
+      case JsValue::Kind::Number:
+        return a.number == b.number;  // NaN != NaN falls out of ==
+      case JsValue::Kind::String:
+        return a.string == b.string;
+      case JsValue::Kind::Array:
+        throw Bail{};  // reference identity; not modeled
+    }
+    return false;
+  }
+
+  static bool loose_equals(const JsValue& a, const JsValue& b) {
+    const bool a_nullish = a.kind == JsValue::Kind::Undefined ||
+                           a.kind == JsValue::Kind::Null;
+    const bool b_nullish = b.kind == JsValue::Kind::Undefined ||
+                           b.kind == JsValue::Kind::Null;
+    if (a_nullish || b_nullish) return a_nullish && b_nullish;
+    if (a.kind == b.kind) return strict_equals(a, b);
+    if (a.kind == JsValue::Kind::Array || b.kind == JsValue::Kind::Array) {
+      throw Bail{};  // ToPrimitive coercion chains; not worth modeling
+    }
+    return to_number(a) == to_number(b);
+  }
+
+  JsValue member(const JsValue& object, const std::string& prop) {
+    if (prop == "length") {
+      if (object.kind == JsValue::Kind::String) {
+        if (!ascii_only(object.string)) throw Bail{};  // UTF-16 units differ
+        return JsValue::number_value(
+            static_cast<double>(object.string.size()));
+      }
+      if (object.kind == JsValue::Kind::Array) {
+        return JsValue::number_value(static_cast<double>(object.array.size()));
+      }
+    }
+    throw Bail{};
+  }
+
+  JsValue index(const JsValue& object, const JsValue& key) {
+    if (key.kind == JsValue::Kind::String) {
+      return member(object, key.string);
+    }
+    const double kd = to_number(key);
+    if (std::isnan(kd) || kd < 0 || kd != std::trunc(kd)) throw Bail{};
+    const auto i = static_cast<std::size_t>(kd);
+    if (object.kind == JsValue::Kind::String) {
+      if (!ascii_only(object.string)) throw Bail{};
+      if (i >= object.string.size()) return JsValue::undefined();
+      return JsValue::string_value(std::string(1, object.string[i]));
+    }
+    if (object.kind == JsValue::Kind::Array) {
+      if (i >= object.array.size()) return JsValue::undefined();
+      return object.array[i];
+    }
+    throw Bail{};
+  }
+
+  JsValue call(const Node& n) {
+    const Node& callee = *n.kids[0];
+    std::vector<JsValue> args;
+    args.reserve(n.kids.size() - 1);
+    const auto eval_args = [&] {
+      for (std::size_t i = 1; i < n.kids.size(); ++i) {
+        args.push_back(eval(*n.kids[i]));
+      }
+    };
+
+    if (callee.kind == Node::Kind::Ident) {
+      eval_args();
+      return global_call(callee.name, args);
+    }
+    if (callee.kind == Node::Kind::Member) {
+      const Node& object = *callee.kids[0];
+      // Static namespaces first: String.fromCharCode, Math.*, Number.*.
+      if (object.kind == Node::Kind::Ident) {
+        const std::string& ns = object.name;
+        if (ns == "String" || ns == "Math" || ns == "Number") {
+          eval_args();
+          return namespace_call(ns, callee.name, args);
+        }
+      }
+      const JsValue receiver = eval(object);
+      eval_args();
+      return method_call(receiver, callee.name, args);
+    }
+    throw Bail{};
+  }
+
+  [[nodiscard]] static const JsValue& arg_or_undefined(
+      const std::vector<JsValue>& args, std::size_t i) {
+    static const JsValue undef{};
+    return i < args.size() ? args[i] : undef;
+  }
+
+  JsValue global_call(const std::string& name,
+                      const std::vector<JsValue>& args) {
+    if (name == "parseInt") return do_parse_int(args);
+    if (name == "parseFloat") {
+      const std::string s = to_string(arg_or_undefined(args, 0));
+      char* end = nullptr;
+      std::size_t b = 0;
+      while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) {
+        ++b;
+      }
+      const double v = std::strtod(s.c_str() + b, &end);
+      if (end == s.c_str() + b) return JsValue::number_value(std::nan(""));
+      return JsValue::number_value(v);
+    }
+    if (name == "String") {
+      if (args.empty()) return JsValue::string_value("");
+      return JsValue::string_value(charged(to_string(args[0])));
+    }
+    if (name == "Number") {
+      if (args.empty()) return JsValue::number_value(0);
+      return JsValue::number_value(to_number(args[0]));
+    }
+    if (name == "Boolean") {
+      return JsValue::boolean_value(!args.empty() && truthy(args[0]));
+    }
+    if (name == "atob") return do_atob(to_string(arg_or_undefined(args, 0)));
+    if (name == "unescape") {
+      return do_unescape(to_string(arg_or_undefined(args, 0)));
+    }
+    if (name == "decodeURIComponent" || name == "decodeURI") {
+      return do_decode_uri(to_string(arg_or_undefined(args, 0)));
+    }
+    throw Bail{};  // eval & friends are the multilayer pass's business
+  }
+
+  JsValue namespace_call(const std::string& ns, const std::string& method,
+                         const std::vector<JsValue>& args) {
+    if (ns == "String") {
+      if (method == "fromCharCode" || method == "fromCodePoint") {
+        std::string out;
+        for (const JsValue& arg : args) {
+          step();
+          const double d = to_number(arg);
+          if (std::isnan(d) || d < 0 || d > 0x10FFFF || d != std::trunc(d)) {
+            throw Bail{};
+          }
+          append_utf8(out, static_cast<unsigned long>(d));
+        }
+        return JsValue::string_value(charged(std::move(out)));
+      }
+      throw Bail{};
+    }
+    if (ns == "Math") {
+      const auto num = [&](std::size_t i) {
+        return to_number(arg_or_undefined(args, i));
+      };
+      if (method == "floor") return JsValue::number_value(std::floor(num(0)));
+      if (method == "ceil") return JsValue::number_value(std::ceil(num(0)));
+      if (method == "round") {
+        // JS rounds half toward +inf, not away from zero.
+        return JsValue::number_value(std::floor(num(0) + 0.5));
+      }
+      if (method == "trunc") return JsValue::number_value(std::trunc(num(0)));
+      if (method == "abs") return JsValue::number_value(std::fabs(num(0)));
+      if (method == "sqrt") return JsValue::number_value(std::sqrt(num(0)));
+      if (method == "pow") return JsValue::number_value(std::pow(num(0), num(1)));
+      if (method == "max" || method == "min") {
+        if (args.empty()) {
+          return JsValue::number_value(method == "max" ? -HUGE_VAL : HUGE_VAL);
+        }
+        double best = to_number(args[0]);
+        for (std::size_t i = 1; i < args.size(); ++i) {
+          const double v = to_number(args[i]);
+          if (std::isnan(v) || std::isnan(best)) return
+              JsValue::number_value(std::nan(""));
+          best = method == "max" ? std::max(best, v) : std::min(best, v);
+        }
+        return JsValue::number_value(best);
+      }
+      throw Bail{};
+    }
+    if (ns == "Number") {
+      if (method == "parseInt") return do_parse_int(args);
+      throw Bail{};
+    }
+    throw Bail{};
+  }
+
+  JsValue do_parse_int(const std::vector<JsValue>& args) {
+    std::string s = to_string(arg_or_undefined(args, 0));
+    int radix = 10;
+    bool radix_given = false;
+    if (args.size() > 1 && args[1].kind != JsValue::Kind::Undefined) {
+      const double r = to_number(args[1]);
+      const std::int32_t ri = to_int32(r);
+      if (ri != 0) {
+        if (ri < 2 || ri > 36) return JsValue::number_value(std::nan(""));
+        radix = ri;
+        radix_given = true;
+      }
+    }
+    std::size_t i = 0;
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    bool negative = false;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) {
+      negative = s[i] == '-';
+      ++i;
+    }
+    if ((!radix_given || radix == 16) && i + 1 < s.size() && s[i] == '0' &&
+        (s[i + 1] == 'x' || s[i + 1] == 'X')) {
+      radix = 16;
+      i += 2;
+    }
+    double value = 0;
+    std::size_t digits = 0;
+    for (; i < s.size(); ++i) {
+      const char c = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(s[i])));
+      int d = -1;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'z') d = c - 'a' + 10;
+      if (d < 0 || d >= radix) break;
+      value = value * radix + d;
+      ++digits;
+    }
+    if (digits == 0) return JsValue::number_value(std::nan(""));
+    return JsValue::number_value(negative ? -value : value);
+  }
+
+  JsValue do_atob(const std::string& input) {
+    // Forgiving base64: ASCII whitespace stripped, then strict alphabet.
+    std::string data;
+    data.reserve(input.size());
+    for (char c : input) {
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f') {
+        continue;
+      }
+      data += c;
+    }
+    while (!data.empty() && data.back() == '=') data.pop_back();
+    if (data.size() % 4 == 1) throw Bail{};
+    std::string out;
+    out.reserve(data.size() / 4 * 3 + 3);
+    unsigned buffer = 0;
+    int bits = 0;
+    for (char c : data) {
+      const int v = base64_value(c);
+      if (v < 0) throw Bail{};
+      buffer = (buffer << 6) | static_cast<unsigned>(v);
+      bits += 6;
+      if (bits >= 8) {
+        bits -= 8;
+        out += static_cast<char>((buffer >> bits) & 0xFF);
+      }
+    }
+    return JsValue::string_value(charged(std::move(out)));
+  }
+
+  JsValue do_unescape(const std::string& input) {
+    std::string out;
+    out.reserve(input.size());
+    for (std::size_t i = 0; i < input.size();) {
+      if (input[i] == '%' && i + 5 < input.size() &&
+          (input[i + 1] == 'u' || input[i + 1] == 'U')) {
+        unsigned long cp = 0;
+        bool ok = true;
+        for (int d = 0; d < 4; ++d) {
+          const int h = hex_digit(input[i + 2 + d]);
+          if (h < 0) {
+            ok = false;
+            break;
+          }
+          cp = cp * 16 + static_cast<unsigned long>(h);
+        }
+        if (ok) {
+          append_utf8(out, cp);
+          i += 6;
+          continue;
+        }
+      }
+      if (input[i] == '%' && i + 2 < input.size()) {
+        const int hi = hex_digit(input[i + 1]);
+        const int lo = hex_digit(input[i + 2]);
+        if (hi >= 0 && lo >= 0) {
+          out += static_cast<char>(hi * 16 + lo);
+          i += 3;
+          continue;
+        }
+      }
+      out += input[i];
+      ++i;
+    }
+    return JsValue::string_value(charged(std::move(out)));
+  }
+
+  JsValue do_decode_uri(const std::string& input) {
+    std::string out;
+    out.reserve(input.size());
+    for (std::size_t i = 0; i < input.size();) {
+      if (input[i] == '%') {
+        if (i + 2 >= input.size()) throw Bail{};  // URIError territory
+        const int hi = hex_digit(input[i + 1]);
+        const int lo = hex_digit(input[i + 2]);
+        if (hi < 0 || lo < 0) throw Bail{};
+        out += static_cast<char>(hi * 16 + lo);  // bytes are UTF-8 already
+        i += 3;
+        continue;
+      }
+      out += input[i];
+      ++i;
+    }
+    return JsValue::string_value(charged(std::move(out)));
+  }
+
+  JsValue method_call(const JsValue& receiver, const std::string& method,
+                      const std::vector<JsValue>& args) {
+    if (receiver.kind == JsValue::Kind::String) {
+      return string_method(receiver.string, method, args);
+    }
+    if (receiver.kind == JsValue::Kind::Array) {
+      return array_method(receiver.array, method, args);
+    }
+    if (receiver.kind == JsValue::Kind::Number) {
+      if (method == "toString") {
+        if (args.empty() || args[0].kind == JsValue::Kind::Undefined) {
+          return JsValue::string_value(number_to_string(receiver.number));
+        }
+        const std::int32_t radix = to_int32(to_number(args[0]));
+        if (radix == 10) {
+          return JsValue::string_value(number_to_string(receiver.number));
+        }
+        if (radix < 2 || radix > 36) throw Bail{};
+        // Integer-only radix rendering (fractional radix output bails).
+        double d = receiver.number;
+        if (!std::isfinite(d) || d != std::trunc(d)) throw Bail{};
+        const bool negative = d < 0;
+        if (negative) d = -d;
+        std::string digits;
+        if (d == 0) digits = "0";
+        while (d >= 1) {
+          const auto rem = static_cast<int>(std::fmod(d, radix));
+          digits += rem < 10 ? static_cast<char>('0' + rem)
+                             : static_cast<char>('a' + rem - 10);
+          d = std::floor(d / radix);
+          step();
+        }
+        std::reverse(digits.begin(), digits.end());
+        return JsValue::string_value((negative ? "-" : "") + digits);
+      }
+      if (method == "valueOf") return receiver;
+      throw Bail{};
+    }
+    throw Bail{};
+  }
+
+  JsValue string_method(const std::string& s, const std::string& method,
+                        const std::vector<JsValue>& args) {
+    const auto int_arg = [&](std::size_t i, double fallback) {
+      const JsValue& v = arg_or_undefined(args, i);
+      if (v.kind == JsValue::Kind::Undefined) return fallback;
+      const double d = to_number(v);
+      if (std::isnan(d)) return 0.0;
+      return std::trunc(d);
+    };
+    const auto clamp_index = [&](double d) {
+      const auto size = static_cast<double>(s.size());
+      if (d < 0) d += size;
+      return static_cast<std::size_t>(std::clamp(d, 0.0, size));
+    };
+
+    if (method == "charAt") {
+      if (!ascii_only(s)) throw Bail{};
+      const double i = int_arg(0, 0);
+      if (i < 0 || i >= static_cast<double>(s.size())) {
+        return JsValue::string_value("");
+      }
+      return JsValue::string_value(
+          std::string(1, s[static_cast<std::size_t>(i)]));
+    }
+    if (method == "charCodeAt" || method == "codePointAt") {
+      if (!ascii_only(s)) throw Bail{};
+      const double i = int_arg(0, 0);
+      if (i < 0 || i >= static_cast<double>(s.size())) {
+        return JsValue::number_value(std::nan(""));
+      }
+      return JsValue::number_value(static_cast<double>(
+          static_cast<unsigned char>(s[static_cast<std::size_t>(i)])));
+    }
+    if (method == "indexOf" || method == "lastIndexOf") {
+      if (!ascii_only(s)) throw Bail{};
+      const std::string needle = to_string(arg_or_undefined(args, 0));
+      const std::size_t found = method == "indexOf" ? s.find(needle)
+                                                    : s.rfind(needle);
+      return JsValue::number_value(
+          found == std::string::npos ? -1 : static_cast<double>(found));
+    }
+    if (method == "slice" || method == "substring") {
+      if (!ascii_only(s)) throw Bail{};
+      double a = int_arg(0, 0);
+      double b = int_arg(1, static_cast<double>(s.size()));
+      if (method == "substring") {
+        // substring clamps negatives to 0 and swaps out-of-order args.
+        a = std::max(a, 0.0);
+        b = std::max(b, 0.0);
+        if (a > b) std::swap(a, b);
+        a = std::min(a, static_cast<double>(s.size()));
+        b = std::min(b, static_cast<double>(s.size()));
+        return JsValue::string_value(charged(
+            s.substr(static_cast<std::size_t>(a),
+                     static_cast<std::size_t>(b - a))));
+      }
+      const std::size_t begin = clamp_index(a);
+      const std::size_t end = clamp_index(b);
+      if (begin >= end) return JsValue::string_value("");
+      return JsValue::string_value(charged(s.substr(begin, end - begin)));
+    }
+    if (method == "substr") {
+      if (!ascii_only(s)) throw Bail{};
+      const std::size_t begin = clamp_index(int_arg(0, 0));
+      const double len = int_arg(1, static_cast<double>(s.size()));
+      if (len <= 0) return JsValue::string_value("");
+      return JsValue::string_value(
+          charged(s.substr(begin, static_cast<std::size_t>(len))));
+    }
+    if (method == "toLowerCase" || method == "toUpperCase") {
+      std::string out = s;
+      for (char& c : out) {
+        c = method == "toLowerCase"
+                ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      return JsValue::string_value(charged(std::move(out)));
+    }
+    if (method == "trim") {
+      std::size_t b = 0;
+      std::size_t e = s.size();
+      while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+      while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) {
+        --e;
+      }
+      return JsValue::string_value(charged(s.substr(b, e - b)));
+    }
+    if (method == "concat") {
+      std::string out = s;
+      for (const JsValue& arg : args) out += to_string(arg);
+      return JsValue::string_value(charged(std::move(out)));
+    }
+    if (method == "repeat") {
+      const double count = int_arg(0, 0);
+      if (count < 0 || count > 1e6) throw Bail{};
+      std::string out;
+      const auto reps = static_cast<std::size_t>(count);
+      if (reps != 0 && s.size() > limits_.max_value_bytes / reps) throw Bail{};
+      out.reserve(s.size() * reps);
+      for (std::size_t i = 0; i < reps; ++i) {
+        step();
+        out += s;
+      }
+      return JsValue::string_value(charged(std::move(out)));
+    }
+    if (method == "split") {
+      if (args.empty() || args[0].kind != JsValue::Kind::String) throw Bail{};
+      const std::string& sep = args[0].string;
+      std::vector<JsValue> parts;
+      if (sep.empty()) {
+        if (!ascii_only(s)) throw Bail{};
+        parts.reserve(s.size());
+        for (char c : s) {
+          step();
+          parts.push_back(JsValue::string_value(std::string(1, c)));
+        }
+      } else {
+        std::size_t begin = 0;
+        while (true) {
+          step();
+          const std::size_t found = s.find(sep, begin);
+          if (found == std::string::npos) {
+            parts.push_back(JsValue::string_value(s.substr(begin)));
+            break;
+          }
+          parts.push_back(JsValue::string_value(s.substr(begin, found - begin)));
+          begin = found + sep.size();
+        }
+      }
+      return JsValue::array_value(std::move(parts));
+    }
+    if (method == "replace" || method == "replaceAll") {
+      // Plain-string patterns only; regex patterns bail (no regex engine).
+      if (args.size() < 2 || args[0].kind != JsValue::Kind::String ||
+          args[1].kind != JsValue::Kind::String) {
+        throw Bail{};
+      }
+      const std::string& pattern = args[0].string;
+      const std::string& replacement = args[1].string;
+      if (pattern.empty() ||
+          replacement.find('$') != std::string::npos) {
+        throw Bail{};  // $-patterns have substitution semantics
+      }
+      std::string out;
+      std::size_t begin = 0;
+      while (true) {
+        step();
+        const std::size_t found = s.find(pattern, begin);
+        if (found == std::string::npos) {
+          out += s.substr(begin);
+          break;
+        }
+        out += s.substr(begin, found - begin);
+        out += replacement;
+        begin = found + pattern.size();
+        if (method == "replace") {
+          out += s.substr(begin);
+          break;
+        }
+      }
+      return JsValue::string_value(charged(std::move(out)));
+    }
+    if (method == "toString" || method == "valueOf") {
+      return JsValue::string_value(s);
+    }
+    throw Bail{};
+  }
+
+  JsValue array_method(const std::vector<JsValue>& items,
+                       const std::string& method,
+                       const std::vector<JsValue>& args) {
+    if (method == "join") {
+      std::string sep = ",";
+      if (!args.empty() && args[0].kind != JsValue::Kind::Undefined) {
+        sep = to_string(args[0]);
+      }
+      std::string out;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        step();
+        if (i != 0) out += sep;
+        if (items[i].kind == JsValue::Kind::Undefined ||
+            items[i].kind == JsValue::Kind::Null) {
+          continue;
+        }
+        out += to_string(items[i]);
+      }
+      return JsValue::string_value(charged(std::move(out)));
+    }
+    if (method == "reverse") {
+      std::vector<JsValue> reversed(items.rbegin(), items.rend());
+      return JsValue::array_value(std::move(reversed));
+    }
+    if (method == "slice") {
+      const auto size = static_cast<double>(items.size());
+      const auto idx = [&](std::size_t i, double fallback) {
+        const JsValue& v = arg_or_undefined(args, i);
+        double d = v.kind == JsValue::Kind::Undefined ? fallback
+                                                      : std::trunc(to_number(v));
+        if (std::isnan(d)) d = 0;
+        if (d < 0) d += size;
+        return static_cast<std::size_t>(std::clamp(d, 0.0, size));
+      };
+      const std::size_t begin = idx(0, 0);
+      const std::size_t end = idx(1, size);
+      std::vector<JsValue> out;
+      for (std::size_t i = begin; i < end; ++i) {
+        step();
+        out.push_back(items[i]);
+      }
+      return JsValue::array_value(std::move(out));
+    }
+    if (method == "concat") {
+      std::vector<JsValue> out = items;
+      for (const JsValue& arg : args) {
+        step();
+        if (arg.kind == JsValue::Kind::Array) {
+          out.insert(out.end(), arg.array.begin(), arg.array.end());
+        } else {
+          out.push_back(arg);
+        }
+      }
+      return JsValue::array_value(std::move(out));
+    }
+    if (method == "toString") {
+      JsValue v = JsValue::array_value(items);
+      return JsValue::string_value(charged(to_string(v)));
+    }
+    throw Bail{};
+  }
+
+  const std::map<std::string, JsValue>& env_;
+  const EvalLimits& limits_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsValue> evaluate(const Node& node,
+                                const std::map<std::string, JsValue>& env,
+                                const EvalLimits& limits) {
+  try {
+    Evaluator evaluator(env, limits);
+    return evaluator.eval(node);
+  } catch (const Bail&) {
+    return std::nullopt;
+  }
+  // ps::BudgetError propagates: a deadline/cancellation abort must reach
+  // the governor, not read as "piece unrecoverable".
+}
+
+std::string to_js_literal(const JsValue& value) {
+  switch (value.kind) {
+    case JsValue::Kind::Null:
+      return "null";
+    case JsValue::Kind::Bool:
+      return value.boolean ? "true" : "false";
+    case JsValue::Kind::Number: {
+      if (!std::isfinite(value.number)) return "";
+      std::string text = number_to_string(value.number);
+      // A leading '-' is an expression, not a literal, but it splices fine.
+      return text;
+    }
+    case JsValue::Kind::String: {
+      std::string out = "'";
+      for (char raw : value.string) {
+        const auto c = static_cast<unsigned char>(raw);
+        switch (raw) {
+          case '\'': out += "\\'"; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20 || c == 0x7F) {
+              constexpr char kHex[] = "0123456789abcdef";
+              out += "\\x";
+              out += kHex[c >> 4];
+              out += kHex[c & 0xF];
+            } else {
+              out += raw;  // UTF-8 bytes pass through verbatim
+            }
+        }
+      }
+      out += '\'';
+      return out;
+    }
+    case JsValue::Kind::Undefined:
+    case JsValue::Kind::Array:
+      return "";  // no faithful single-literal form
+  }
+  return "";
+}
+
+std::string js_to_string(const JsValue& value) {
+  switch (value.kind) {
+    case JsValue::Kind::Undefined:
+      return "undefined";
+    case JsValue::Kind::Null:
+      return "null";
+    case JsValue::Kind::Bool:
+      return value.boolean ? "true" : "false";
+    case JsValue::Kind::Number:
+      return number_to_string(value.number);
+    case JsValue::Kind::String:
+      return value.string;
+    case JsValue::Kind::Array: {
+      std::string out;
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        if (i != 0) out += ',';
+        const JsValue& item = value.array[i];
+        if (item.kind == JsValue::Kind::Undefined ||
+            item.kind == JsValue::Kind::Null) {
+          continue;
+        }
+        out += js_to_string(item);
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+}  // namespace jslang

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file jslang/eval.h
+/// Constant evaluator for the JS front-end's recovery phase: evaluates the
+/// deobfuscation-relevant constant subset of JavaScript — string assembly
+/// (`+`, `String.fromCharCode`, `atob`, `unescape`, `decodeURIComponent`,
+/// `parseInt`, `split`/`reverse`/`join`, slicing/casing methods), numeric
+/// arithmetic, and traced single-assignment variables. Anything outside
+/// the subset evaluates to "unknown" (nullopt) and the piece is left
+/// untouched; there is no object model, no user function calls, and no I/O
+/// — the evaluator cannot observe or affect anything, which is what makes
+/// running it on attacker-controlled text safe by construction.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jslang/ast.h"
+
+namespace ps {
+class Budget;
+}  // namespace ps
+
+namespace jslang {
+
+/// A constant value: the scalar JS types the folder understands, plus
+/// string arrays (for split/reverse/join chains).
+struct JsValue {
+  enum class Kind { Undefined, Null, Bool, Number, String, Array };
+  Kind kind = Kind::Undefined;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsValue> array;
+
+  static JsValue undefined() { return JsValue{}; }
+  static JsValue null() { return JsValue{Kind::Null, false, 0, {}, {}}; }
+  static JsValue boolean_value(bool b) {
+    return JsValue{Kind::Bool, b, 0, {}, {}};
+  }
+  static JsValue number_value(double d) {
+    return JsValue{Kind::Number, false, d, {}, {}};
+  }
+  static JsValue string_value(std::string s) {
+    return JsValue{Kind::String, false, 0, std::move(s), {}};
+  }
+  static JsValue array_value(std::vector<JsValue> items) {
+    return JsValue{Kind::Array, false, 0, {}, std::move(items)};
+  }
+};
+
+struct EvalLimits {
+  /// Evaluation steps (one per visited node / builtin call / produced array
+  /// element) before the piece is declared unrecoverable.
+  std::size_t max_steps = 200000;
+  /// Largest string/array the evaluator will materialize.
+  std::size_t max_value_bytes = 4u << 20;
+  /// Optional run budget: charged for materialized bytes and checkpointed
+  /// per step, so deadline/cancellation aborts propagate (as BudgetError,
+  /// which the caller must NOT swallow). May be null.
+  ps::Budget* budget = nullptr;
+};
+
+/// Evaluates `node` under `env` (traced constant variables by name).
+/// Returns nullopt when the expression is outside the constant subset or
+/// exceeds the limits. Throws only ps::BudgetError (via limits.budget).
+[[nodiscard]] std::optional<JsValue> evaluate(
+    const Node& node, const std::map<std::string, JsValue>& env,
+    const EvalLimits& limits);
+
+/// Renders a value as JavaScript literal source ('...' strings with
+/// escapes, shortest-round-trip numbers, true/false/null), or "" when the
+/// value has no faithful literal form (arrays, undefined, non-finite
+/// numbers) — the String/Number rule of the paper's section III-B2 carried
+/// over to JS.
+[[nodiscard]] std::string to_js_literal(const JsValue& value);
+
+/// JS ToString of a value (array elements comma-joined, numbers shortest
+/// round-trip); empty optional when the value has no pure ToString
+/// (undefined stays "undefined", so only unsupported kinds fail).
+[[nodiscard]] std::string js_to_string(const JsValue& value);
+
+}  // namespace jslang

@@ -1,0 +1,365 @@
+#include "jslang/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+namespace jslang {
+
+namespace {
+
+bool ident_start(unsigned char c) {
+  return std::isalpha(c) != 0 || c == '_' || c == '$' || c >= 0x80;
+}
+bool ident_part(unsigned char c) { return ident_start(c) || std::isdigit(c) != 0; }
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Appends one code point as UTF-8 (how decoded \u escapes are stored).
+void append_utf8(std::string& out, unsigned long cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+/// Multi-char punctuators, longest first within each first-char group (the
+/// scan tries them in order and takes the first prefix match).
+constexpr std::string_view kPuncts[] = {
+    ">>>=", "===", "!==", "**=", "<<=", ">>=", ">>>", "&&=", "||=", "??=",
+    "...", "=>", "==", "!=", "<=", ">=", "&&", "||", "??", "++", "--", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>", "**", "?.",
+};
+
+constexpr std::string_view kReserved[] = {
+    "break",    "case",     "catch",  "class",      "const", "continue",
+    "debugger", "default",  "delete", "do",         "else",  "enum",
+    "export",   "extends",  "false",  "finally",    "for",   "function",
+    "if",       "import",   "in",     "instanceof", "new",   "null",
+    "return",   "super",    "switch", "this",       "throw", "true",
+    "try",      "typeof",   "var",    "void",       "while", "with",
+    "let",      "static",   "yield",
+};
+
+/// Whether the previous significant token allows a `/` to start a regex
+/// (i.e. the previous token cannot end an expression).
+bool regex_can_follow(const std::vector<Token>& tokens) {
+  if (tokens.empty()) return true;
+  const Token& prev = tokens.back();
+  if (prev.kind == TokenKind::Number || prev.kind == TokenKind::String ||
+      prev.kind == TokenKind::Regex) {
+    return false;
+  }
+  if (prev.kind == TokenKind::Ident) {
+    // After most keywords a regex may start (`return /x/`, `typeof /x/`);
+    // after a plain identifier or expression-ending keyword it is division.
+    return is_reserved_word(prev.text) && prev.text != "this" &&
+           prev.text != "true" && prev.text != "false" && prev.text != "null";
+  }
+  return prev.text != ")" && prev.text != "]" && prev.text != "}" &&
+         prev.text != "++" && prev.text != "--";
+}
+
+}  // namespace
+
+bool is_reserved_word(std::string_view name) {
+  for (std::string_view word : kReserved) {
+    if (name == word) return true;
+  }
+  return false;
+}
+
+bool is_identifier(std::string_view text) {
+  if (text.empty() || !ident_start(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  for (char c : text) {
+    if (!ident_part(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+LexResult lex(std::string_view source) {
+  LexResult result;
+  // Defensive input bound: the front-end is fed attacker-controlled bytes;
+  // a token stream is ~Theta(n), so cap n like the PS substrate does.
+  constexpr std::size_t kMaxSource = 16u << 20;
+  if (source.size() > kMaxSource) {
+    result.error = "source too large";
+    return result;
+  }
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+  bool newline_pending = false;
+
+  const auto fail = [&](std::string message) {
+    result.ok = false;
+    result.error = std::move(message);
+    return result;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    // --- whitespace / comments -------------------------------------------
+    if (c == '\n' || c == '\r') {
+      newline_pending = true;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const std::size_t close = source.find("*/", i + 2);
+      if (close == std::string_view::npos) return fail("unterminated comment");
+      if (source.substr(i, close - i).find('\n') != std::string_view::npos) {
+        newline_pending = true;  // a multi-line comment is a line break (ASI)
+      }
+      i = close + 2;
+      continue;
+    }
+
+    Token token;
+    token.begin = i;
+    token.newline_before = newline_pending;
+    newline_pending = false;
+
+    // --- identifiers / keywords ------------------------------------------
+    if (ident_start(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && ident_part(static_cast<unsigned char>(source[j]))) ++j;
+      token.kind = TokenKind::Ident;
+      token.end = j;
+      token.text = std::string(source.substr(i, j - i));
+      result.tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+
+    // --- numbers ----------------------------------------------------------
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) != 0)) {
+      std::size_t j = i;
+      if (c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        j = i + 2;
+        while (j < n && hex_digit(source[j]) >= 0) ++j;
+        if (j == i + 2) return fail("malformed hex literal");
+        token.num_value = static_cast<double>(
+            std::strtoull(std::string(source.substr(i + 2, j - i - 2)).c_str(),
+                          nullptr, 16));
+      } else if (c == '0' && i + 1 < n &&
+                 (source[i + 1] == 'b' || source[i + 1] == 'B' ||
+                  source[i + 1] == 'o' || source[i + 1] == 'O')) {
+        const int base = (source[i + 1] == 'b' || source[i + 1] == 'B') ? 2 : 8;
+        j = i + 2;
+        while (j < n && hex_digit(source[j]) >= 0 && hex_digit(source[j]) < base) {
+          ++j;
+        }
+        if (j == i + 2) return fail("malformed radix literal");
+        token.num_value = static_cast<double>(
+            std::strtoull(std::string(source.substr(i + 2, j - i - 2)).c_str(),
+                          nullptr, base));
+      } else {
+        while (j < n && std::isdigit(static_cast<unsigned char>(source[j])) != 0) {
+          ++j;
+        }
+        if (j < n && source[j] == '.') {
+          ++j;
+          while (j < n &&
+                 std::isdigit(static_cast<unsigned char>(source[j])) != 0) {
+            ++j;
+          }
+        }
+        if (j < n && (source[j] == 'e' || source[j] == 'E')) {
+          std::size_t k = j + 1;
+          if (k < n && (source[k] == '+' || source[k] == '-')) ++k;
+          if (k < n && std::isdigit(static_cast<unsigned char>(source[k])) != 0) {
+            j = k;
+            while (j < n &&
+                   std::isdigit(static_cast<unsigned char>(source[j])) != 0) {
+              ++j;
+            }
+          }
+        }
+        token.num_value =
+            std::strtod(std::string(source.substr(i, j - i)).c_str(), nullptr);
+      }
+      if (j < n && ident_start(static_cast<unsigned char>(source[j]))) {
+        return fail("identifier immediately after number");
+      }
+      token.kind = TokenKind::Number;
+      token.end = j;
+      token.text = std::string(source.substr(i, j - i));
+      result.tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+
+    // --- strings ----------------------------------------------------------
+    if (c == '\'' || c == '"') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string value;
+      while (true) {
+        if (j >= n) return fail("unterminated string literal");
+        const char s = source[j];
+        if (s == quote) {
+          ++j;
+          break;
+        }
+        if (s == '\n' || s == '\r') return fail("newline in string literal");
+        if (s != '\\') {
+          value += s;
+          ++j;
+          continue;
+        }
+        // escape sequence
+        if (j + 1 >= n) return fail("unterminated escape");
+        const char e = source[j + 1];
+        j += 2;
+        switch (e) {
+          case 'n': value += '\n'; break;
+          case 't': value += '\t'; break;
+          case 'r': value += '\r'; break;
+          case 'b': value += '\b'; break;
+          case 'f': value += '\f'; break;
+          case 'v': value += '\v'; break;
+          case '0':
+            // \0 (not followed by a digit) is NUL
+            if (j < n && std::isdigit(static_cast<unsigned char>(source[j])) != 0) {
+              return fail("legacy octal escape");
+            }
+            value += '\0';
+            break;
+          case 'x': {
+            if (j + 1 >= n) return fail("truncated \\x escape");
+            const int hi = hex_digit(source[j]);
+            const int lo = hex_digit(source[j + 1]);
+            if (hi < 0 || lo < 0) return fail("malformed \\x escape");
+            value += static_cast<char>(hi * 16 + lo);
+            j += 2;
+            break;
+          }
+          case 'u': {
+            unsigned long cp = 0;
+            if (j < n && source[j] == '{') {
+              std::size_t k = j + 1;
+              while (k < n && source[k] != '}') {
+                const int d = hex_digit(source[k]);
+                if (d < 0) return fail("malformed \\u{} escape");
+                cp = cp * 16 + static_cast<unsigned long>(d);
+                if (cp > 0x10FFFF) return fail("\\u{} out of range");
+                ++k;
+              }
+              if (k >= n || k == j + 1) return fail("malformed \\u{} escape");
+              j = k + 1;
+            } else {
+              if (j + 3 >= n) return fail("truncated \\u escape");
+              for (int d = 0; d < 4; ++d) {
+                const int h = hex_digit(source[j + d]);
+                if (h < 0) return fail("malformed \\u escape");
+                cp = cp * 16 + static_cast<unsigned long>(h);
+              }
+              j += 4;
+            }
+            append_utf8(value, cp);
+            break;
+          }
+          case '\n':  // line continuation
+            break;
+          case '\r':
+            if (j < n && source[j] == '\n') ++j;
+            break;
+          default:
+            value += e;  // identity escape (\', \", \\, \/ and everything else)
+            break;
+        }
+      }
+      token.kind = TokenKind::String;
+      token.end = j;
+      token.text = std::string(source.substr(i, j - i));
+      token.str_value = std::move(value);
+      result.tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+
+    if (c == '`') return fail("template literals are not supported");
+
+    // --- regex literals ---------------------------------------------------
+    if (c == '/' && regex_can_follow(result.tokens)) {
+      std::size_t j = i + 1;
+      bool in_class = false;
+      while (true) {
+        if (j >= n || source[j] == '\n') return fail("unterminated regex");
+        const char s = source[j];
+        if (s == '\\') {
+          j += 2;
+          continue;
+        }
+        if (s == '[') in_class = true;
+        if (s == ']') in_class = false;
+        if (s == '/' && !in_class) break;
+        ++j;
+      }
+      ++j;  // closing slash
+      while (j < n && ident_part(static_cast<unsigned char>(source[j]))) ++j;
+      token.kind = TokenKind::Regex;
+      token.end = j;
+      token.text = std::string(source.substr(i, j - i));
+      result.tokens.push_back(std::move(token));
+      i = j;
+      continue;
+    }
+
+    // --- punctuators ------------------------------------------------------
+    std::string_view rest = source.substr(i);
+    std::string_view matched;
+    for (std::string_view punct : kPuncts) {
+      if (rest.size() >= punct.size() && rest.substr(0, punct.size()) == punct) {
+        matched = punct;
+        break;
+      }
+    }
+    if (matched.empty()) {
+      constexpr std::string_view kSingles = "(){}[];,.<>+-*/%&|^!~?:=";
+      if (kSingles.find(c) == std::string_view::npos) {
+        return fail("unexpected character");
+      }
+      matched = rest.substr(0, 1);
+    }
+    token.kind = TokenKind::Punct;
+    token.end = i + matched.size();
+    token.text = std::string(matched);
+    result.tokens.push_back(std::move(token));
+    i += matched.size();
+  }
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace jslang

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file jslang/lexer.h
+/// Mini JavaScript lexer for the JS front-end (frontends/js_frontend.h).
+/// Tokenizes the ES subset the front-end understands, with byte extents
+/// (for in-place extent replacement), decoded string values (for constant
+/// folding), and line-break flags (so the reformatter can normalize
+/// horizontal whitespace without ever moving a token across a line break —
+/// automatic semicolon insertion makes that a semantic change).
+///
+/// Deliberately not a full ES lexer: template literals and anything else
+/// outside the subset fail the lex, which fails the parse, which makes the
+/// whole front-end a no-op for that input (the totality contract).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jslang {
+
+enum class TokenKind {
+  Ident,    ///< identifier or keyword (keywords are classified by text)
+  Number,   ///< numeric literal; value in `num_value`
+  String,   ///< string literal; decoded value in `str_value`
+  Regex,    ///< regex literal; opaque (never folded), kept for round-trip
+  Punct,    ///< operator / punctuator, longest-match
+};
+
+struct Token {
+  TokenKind kind = TokenKind::Punct;
+  std::size_t begin = 0;  ///< byte offset of the first char
+  std::size_t end = 0;    ///< one past the last char
+  std::string text;       ///< raw source slice
+  std::string str_value;  ///< decoded value (String only)
+  double num_value = 0;   ///< numeric value (Number only)
+  /// A line terminator (or a comment containing one) separates this token
+  /// from the previous one. Load-bearing for reformatting: tokens must
+  /// never be joined across it.
+  bool newline_before = false;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  bool ok = false;
+  std::string error;  ///< first lex error when !ok
+};
+
+/// Tokenizes `source`. Comments and whitespace are consumed; the `/` vs
+/// regex ambiguity is resolved by the previous significant token.
+[[nodiscard]] LexResult lex(std::string_view source);
+
+/// Whether `name` is a reserved word (cannot be a dot-member property in
+/// pre-ES5 engines, so the token pass keeps `obj["if"]` bracketed).
+[[nodiscard]] bool is_reserved_word(std::string_view name);
+
+/// Whether `text` is a valid identifier (so `obj["key"]` may become
+/// `obj.key`).
+[[nodiscard]] bool is_identifier(std::string_view text);
+
+}  // namespace jslang

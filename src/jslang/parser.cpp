@@ -1,0 +1,638 @@
+#include "jslang/parser.h"
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "jslang/lexer.h"
+
+namespace jslang {
+
+namespace {
+
+/// Internal parse abort; caught in parse() and turned into Program::error.
+struct ParseFail {
+  std::string message;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Program run() {
+    Program program;
+    try {
+      while (!at_end()) {
+        program.stmts.push_back(statement());
+      }
+      program.ok = true;
+    } catch (const ParseFail& fail) {
+      program.stmts.clear();
+      program.ok = false;
+      program.error = fail.message;
+    }
+    return program;
+  }
+
+ private:
+  // Hostile-input bounds, mirroring the PS parser's: recursion and node
+  // count fail the parse, never the process.
+  static constexpr int kMaxDepth = 200;
+  static constexpr std::size_t kMaxNodes = 200000;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) {
+        throw ParseFail{"expression nesting too deep"};
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
+  [[noreturn]] void fail(std::string message) const {
+    throw ParseFail{std::move(message)};
+  }
+
+  NodePtr make(Node::Kind kind, std::size_t begin, std::size_t end) {
+    if (++nodes_ > kMaxNodes) fail("program too large");
+    auto node = std::make_unique<Node>();
+    node->kind = kind;
+    node->begin = begin;
+    node->end = end;
+    return node;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= tokens_.size(); }
+  [[nodiscard]] const Token& peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return tokens_[pos_];
+  }
+  const Token& advance() {
+    const Token& t = peek();
+    ++pos_;
+    return t;
+  }
+  [[nodiscard]] bool check(std::string_view text) const {
+    return !at_end() && tokens_[pos_].text == text &&
+           tokens_[pos_].kind != TokenKind::String;
+  }
+  bool match(std::string_view text) {
+    if (!check(text)) return false;
+    ++pos_;
+    return true;
+  }
+  const Token& expect(std::string_view text, const char* where) {
+    if (!check(text)) {
+      fail(std::string("expected '") + std::string(text) + "' in " + where);
+    }
+    return advance();
+  }
+  [[nodiscard]] bool check_kind(TokenKind kind) const {
+    return !at_end() && tokens_[pos_].kind == kind;
+  }
+  /// A plain (non-reserved) identifier at the cursor.
+  [[nodiscard]] bool check_name() const {
+    return check_kind(TokenKind::Ident) && !is_reserved_word(peek().text);
+  }
+
+  /// Statement terminator: explicit ';', or automatic insertion before a
+  /// '}' / end of input / line break.
+  void consume_semicolon(const char* where) {
+    if (match(";")) return;
+    if (at_end() || check("}") || peek().newline_before) return;
+    fail(std::string("expected ';' after ") + where);
+  }
+
+  // --- statements ---------------------------------------------------------
+
+  NodePtr statement() {
+    DepthGuard guard(*this);
+    const Token& t = peek();
+    if (t.kind == TokenKind::Punct) {
+      if (t.text == "{") return block();
+      if (t.text == ";") {
+        NodePtr node = make(Node::Kind::Empty, t.begin, t.end);
+        advance();
+        return node;
+      }
+    }
+    if (t.kind == TokenKind::Ident) {
+      if (t.text == "var" || t.text == "let" || t.text == "const") {
+        NodePtr decl = var_decl();
+        consume_semicolon("variable declaration");
+        if (!at_end()) decl->end = tokens_[pos_ - 1].end;
+        return decl;
+      }
+      if (t.text == "function") return function_node(Node::Kind::FunctionDecl);
+      if (t.text == "if") return if_statement();
+      if (t.text == "while") return while_statement();
+      if (t.text == "do") return do_while_statement();
+      if (t.text == "for") return for_statement();
+      if (t.text == "try") return try_statement();
+      if (t.text == "return" || t.text == "throw") {
+        const bool is_throw = t.text == "throw";
+        advance();
+        NodePtr node = make(is_throw ? Node::Kind::Throw : Node::Kind::Return,
+                            t.begin, t.end);
+        const bool has_value =
+            !at_end() && !check(";") && !check("}") && !peek().newline_before;
+        if (is_throw && !has_value) fail("throw requires an argument");
+        if (has_value) {
+          node->kids.push_back(expression());
+          node->end = node->kids.back()->end;
+        }
+        consume_semicolon("statement");
+        return node;
+      }
+      if (t.text == "break" || t.text == "continue") {
+        advance();
+        NodePtr node = make(t.text == "break" ? Node::Kind::BreakStmt
+                                              : Node::Kind::ContinueStmt,
+                            t.begin, t.end);
+        if (check_name() && !peek().newline_before) advance();  // label
+        consume_semicolon("statement");
+        return node;
+      }
+    }
+    // expression statement
+    NodePtr expr = expression();
+    NodePtr node = make(Node::Kind::ExprStmt, expr->begin, expr->end);
+    node->kids.push_back(std::move(expr));
+    consume_semicolon("expression");
+    return node;
+  }
+
+  NodePtr block() {
+    const Token& open = expect("{", "block");
+    NodePtr node = make(Node::Kind::Block, open.begin, open.end);
+    while (!check("}")) {
+      if (at_end()) fail("unterminated block");
+      node->kids.push_back(statement());
+    }
+    node->end = advance().end;  // '}'
+    return node;
+  }
+
+  /// `var|let|const` declarator list, without the terminator (shared by
+  /// plain declarations and for-headers).
+  NodePtr var_decl() {
+    const Token& kw = advance();
+    NodePtr node = make(Node::Kind::VarDecl, kw.begin, kw.end);
+    node->name = kw.text;
+    while (true) {
+      if (!check_name()) fail("expected variable name");
+      const Token& name = advance();
+      NodePtr decl = make(Node::Kind::Declarator, name.begin, name.end);
+      decl->name = name.text;
+      if (match("=")) {
+        decl->kids.push_back(assignment());
+        decl->end = decl->kids.back()->end;
+      }
+      node->end = decl->end;
+      node->kids.push_back(std::move(decl));
+      if (!match(",")) break;
+    }
+    return node;
+  }
+
+  NodePtr if_statement() {
+    const Token& kw = advance();  // 'if'
+    NodePtr node = make(Node::Kind::If, kw.begin, kw.end);
+    expect("(", "if");
+    node->kids.push_back(expression());
+    expect(")", "if");
+    node->kids.push_back(statement());
+    node->end = node->kids.back()->end;
+    if (check("else")) {
+      advance();
+      node->kids.push_back(statement());
+      node->end = node->kids.back()->end;
+    }
+    return node;
+  }
+
+  NodePtr while_statement() {
+    const Token& kw = advance();  // 'while'
+    NodePtr node = make(Node::Kind::While, kw.begin, kw.end);
+    expect("(", "while");
+    node->kids.push_back(expression());
+    expect(")", "while");
+    node->kids.push_back(statement());
+    node->end = node->kids.back()->end;
+    return node;
+  }
+
+  NodePtr do_while_statement() {
+    const Token& kw = advance();  // 'do'
+    NodePtr node = make(Node::Kind::DoWhile, kw.begin, kw.end);
+    node->kids.push_back(statement());
+    if (!check("while")) fail("expected 'while' after do body");
+    advance();
+    expect("(", "do-while");
+    node->kids.push_back(expression());
+    const Token& close = expect(")", "do-while");
+    node->end = close.end;
+    consume_semicolon("do-while");
+    return node;
+  }
+
+  NodePtr for_statement() {
+    const Token& kw = advance();  // 'for'
+    NodePtr node = make(Node::Kind::For, kw.begin, kw.end);
+    expect("(", "for");
+    // init clause: declaration, expression, or empty
+    if (!check(";")) {
+      if (check("var") || check("let") || check("const")) {
+        node->kids.push_back(var_decl());
+      } else {
+        node->kids.push_back(expression());
+      }
+      // for-in / for-of: the body is all that remains
+      if (check("in") || check("of")) {
+        advance();
+        node->kids.push_back(expression());
+        expect(")", "for-in");
+        node->kids.push_back(statement());
+        node->end = node->kids.back()->end;
+        return node;
+      }
+    }
+    expect(";", "for");
+    if (!check(";")) node->kids.push_back(expression());
+    expect(";", "for");
+    if (!check(")")) node->kids.push_back(expression());
+    expect(")", "for");
+    node->kids.push_back(statement());
+    node->end = node->kids.back()->end;
+    return node;
+  }
+
+  NodePtr try_statement() {
+    const Token& kw = advance();  // 'try'
+    NodePtr node = make(Node::Kind::Try, kw.begin, kw.end);
+    node->kids.push_back(block());
+    bool handled = false;
+    if (check("catch")) {
+      advance();
+      if (match("(")) {
+        if (!check_name()) fail("expected catch parameter");
+        advance();
+        expect(")", "catch");
+      }
+      node->kids.push_back(block());
+      handled = true;
+    }
+    if (check("finally")) {
+      advance();
+      node->kids.push_back(block());
+      handled = true;
+    }
+    if (!handled) fail("try without catch or finally");
+    node->end = node->kids.back()->end;
+    return node;
+  }
+
+  /// `function name? (params) { body }` — declaration or expression form.
+  NodePtr function_node(Node::Kind kind) {
+    const Token& kw = advance();  // 'function'
+    NodePtr node = make(kind, kw.begin, kw.end);
+    if (check_name()) {
+      node->name = advance().text;
+    } else if (kind == Node::Kind::FunctionDecl) {
+      fail("function declaration requires a name");
+    }
+    expect("(", "function");
+    while (!check(")")) {
+      match("...");  // rest parameter
+      if (!check_name()) fail("expected parameter name");
+      node->props.push_back(advance().text);
+      if (match("=")) assignment();  // default value (parsed, opaque)
+      if (!match(",")) break;
+    }
+    expect(")", "function");
+    const Token& open = expect("{", "function body");
+    (void)open;
+    while (!check("}")) {
+      if (at_end()) fail("unterminated function body");
+      node->kids.push_back(statement());
+    }
+    node->end = advance().end;  // '}'
+    return node;
+  }
+
+  // --- expressions --------------------------------------------------------
+
+  NodePtr expression() {
+    DepthGuard guard(*this);
+    NodePtr first = assignment();
+    if (!check(",")) return first;
+    NodePtr node = make(Node::Kind::Sequence, first->begin, first->end);
+    node->kids.push_back(std::move(first));
+    while (match(",")) {
+      node->kids.push_back(assignment());
+      node->end = node->kids.back()->end;
+    }
+    return node;
+  }
+
+  [[nodiscard]] static bool is_assign_op(std::string_view op) {
+    return op == "=" || op == "+=" || op == "-=" || op == "*=" || op == "/=" ||
+           op == "%=" || op == "**=" || op == "<<=" || op == ">>=" ||
+           op == ">>>=" || op == "&=" || op == "|=" || op == "^=" ||
+           op == "&&=" || op == "||=" || op == "??=";
+  }
+
+  NodePtr assignment() {
+    DepthGuard guard(*this);
+    NodePtr lhs = conditional();
+    if (!at_end() && check_kind(TokenKind::Punct) && is_assign_op(peek().text)) {
+      const std::string op = advance().text;
+      NodePtr node = make(Node::Kind::Assign, lhs->begin, lhs->end);
+      node->name = op;
+      node->kids.push_back(std::move(lhs));
+      node->kids.push_back(assignment());
+      node->end = node->kids.back()->end;
+      return node;
+    }
+    return lhs;
+  }
+
+  NodePtr conditional() {
+    NodePtr cond = binary(0);
+    if (!match("?")) return cond;
+    NodePtr node = make(Node::Kind::Conditional, cond->begin, cond->end);
+    node->kids.push_back(std::move(cond));
+    node->kids.push_back(assignment());
+    expect(":", "conditional");
+    node->kids.push_back(assignment());
+    node->end = node->kids.back()->end;
+    return node;
+  }
+
+  [[nodiscard]] int binary_precedence(const Token& t) const {
+    if (t.kind == TokenKind::Ident) {
+      if (t.text == "instanceof" || t.text == "in") return 7;
+      return 0;
+    }
+    if (t.kind != TokenKind::Punct) return 0;
+    const std::string_view op = t.text;
+    if (op == "??" || op == "||") return 1;
+    if (op == "&&") return 2;
+    if (op == "|") return 3;
+    if (op == "^") return 4;
+    if (op == "&") return 5;
+    if (op == "==" || op == "!=" || op == "===" || op == "!==") return 6;
+    if (op == "<" || op == ">" || op == "<=" || op == ">=") return 7;
+    if (op == "<<" || op == ">>" || op == ">>>") return 8;
+    if (op == "+" || op == "-") return 9;
+    if (op == "*" || op == "/" || op == "%") return 10;
+    if (op == "**") return 11;
+    return 0;
+  }
+
+  NodePtr binary(int min_prec) {
+    DepthGuard guard(*this);
+    NodePtr lhs = unary();
+    while (!at_end()) {
+      const int prec = binary_precedence(peek());
+      if (prec == 0 || prec < min_prec) break;
+      const std::string op = advance().text;
+      // '**' is right-associative; everything else left.
+      NodePtr rhs = binary(op == "**" ? prec : prec + 1);
+      NodePtr node = make(Node::Kind::Binary, lhs->begin, rhs->end);
+      node->name = op;
+      node->kids.push_back(std::move(lhs));
+      node->kids.push_back(std::move(rhs));
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  NodePtr unary() {
+    DepthGuard guard(*this);
+    if (!at_end()) {
+      const Token& t = peek();
+      const bool punct_unary =
+          t.kind == TokenKind::Punct &&
+          (t.text == "!" || t.text == "~" || t.text == "+" || t.text == "-");
+      const bool word_unary =
+          t.kind == TokenKind::Ident &&
+          (t.text == "typeof" || t.text == "void" || t.text == "delete");
+      const bool update =
+          t.kind == TokenKind::Punct && (t.text == "++" || t.text == "--");
+      if (punct_unary || word_unary) {
+        advance();
+        NodePtr node = make(Node::Kind::Unary, t.begin, t.end);
+        node->name = t.text;
+        node->kids.push_back(unary());
+        node->end = node->kids.back()->end;
+        return node;
+      }
+      if (update) {
+        advance();
+        NodePtr node = make(Node::Kind::Update, t.begin, t.end);
+        node->name = t.text;
+        node->kids.push_back(unary());
+        node->end = node->kids.back()->end;
+        return node;
+      }
+    }
+    return postfix();
+  }
+
+  NodePtr postfix() {
+    NodePtr expr = call_member();
+    while (!at_end() && check_kind(TokenKind::Punct) &&
+           (peek().text == "++" || peek().text == "--") &&
+           !peek().newline_before) {
+      const Token& t = advance();
+      NodePtr node = make(Node::Kind::Update, expr->begin, t.end);
+      node->name = t.text;
+      node->kids.push_back(std::move(expr));
+      expr = std::move(node);
+    }
+    return expr;
+  }
+
+  NodePtr call_member() {
+    DepthGuard guard(*this);
+    NodePtr expr;
+    if (check("new")) {
+      const Token& kw = advance();
+      // `new Callee(args)` — the callee is a member chain without calls.
+      NodePtr callee = member_chain(primary(), /*allow_calls=*/false);
+      NodePtr node = make(Node::Kind::New, kw.begin, callee->end);
+      node->kids.push_back(std::move(callee));
+      if (check("(")) {
+        node->end = arguments(*node);
+      }
+      expr = std::move(node);
+    } else {
+      expr = primary();
+    }
+    return member_chain(std::move(expr), /*allow_calls=*/true);
+  }
+
+  /// `.prop`, `["key"]`, `(args)` chains on `base`.
+  NodePtr member_chain(NodePtr base, bool allow_calls) {
+    while (!at_end()) {
+      if (match(".") || match("?.")) {
+        if (at_end() || peek().kind != TokenKind::Ident) {
+          fail("expected property name");
+        }
+        const Token& prop = advance();
+        NodePtr node = make(Node::Kind::Member, base->begin, prop.end);
+        node->name = prop.text;
+        node->kids.push_back(std::move(base));
+        base = std::move(node);
+        continue;
+      }
+      if (check("[")) {
+        advance();
+        NodePtr index = expression();
+        const Token& close = expect("]", "index");
+        NodePtr node = make(Node::Kind::Index, base->begin, close.end);
+        node->kids.push_back(std::move(base));
+        node->kids.push_back(std::move(index));
+        base = std::move(node);
+        continue;
+      }
+      if (allow_calls && check("(")) {
+        NodePtr node = make(Node::Kind::Call, base->begin, base->end);
+        node->kids.push_back(std::move(base));
+        node->end = arguments(*node);
+        base = std::move(node);
+        continue;
+      }
+      break;
+    }
+    return base;
+  }
+
+  /// Parses `(arg, ...)` appending args to `node.kids`; returns the end
+  /// offset of the closing paren.
+  std::size_t arguments(Node& node) {
+    expect("(", "arguments");
+    while (!check(")")) {
+      match("...");  // spread (parsed, opaque to evaluation)
+      node.kids.push_back(assignment());
+      if (!match(",")) break;
+    }
+    const Token& close = expect(")", "arguments");
+    return close.end;
+  }
+
+  NodePtr primary() {
+    DepthGuard guard(*this);
+    const Token& t = peek();
+    switch (t.kind) {
+      case TokenKind::Number: {
+        NodePtr node = make(Node::Kind::Number, t.begin, t.end);
+        node->num = t.num_value;
+        advance();
+        return node;
+      }
+      case TokenKind::String: {
+        NodePtr node = make(Node::Kind::String, t.begin, t.end);
+        node->str = t.str_value;
+        advance();
+        return node;
+      }
+      case TokenKind::Regex: {
+        NodePtr node = make(Node::Kind::Regex, t.begin, t.end);
+        advance();
+        return node;
+      }
+      case TokenKind::Ident: {
+        if (t.text == "function") return function_node(Node::Kind::FunctionExpr);
+        if (is_reserved_word(t.text) && t.text != "this" && t.text != "true" &&
+            t.text != "false" && t.text != "null" && t.text != "undefined") {
+          fail("unexpected keyword '" + t.text + "'");
+        }
+        NodePtr node = make(Node::Kind::Ident, t.begin, t.end);
+        node->name = t.text;
+        advance();
+        return node;
+      }
+      case TokenKind::Punct:
+        break;
+    }
+    if (t.text == "(") {
+      advance();
+      NodePtr inner = expression();
+      expect(")", "parenthesized expression");
+      // The inner node keeps its own extent: replacing it in place leaves
+      // the (redundant but valid) parentheses.
+      return inner;
+    }
+    if (t.text == "[") {
+      advance();
+      NodePtr node = make(Node::Kind::Array, t.begin, t.end);
+      while (!check("]")) {
+        if (check(",")) {  // elision
+          const Token& hole = advance();
+          NodePtr undef = make(Node::Kind::Ident, hole.begin, hole.begin);
+          undef->name = "undefined";
+          node->kids.push_back(std::move(undef));
+          continue;
+        }
+        match("...");  // spread (parsed, opaque)
+        node->kids.push_back(assignment());
+        if (!match(",")) break;
+      }
+      node->end = expect("]", "array literal").end;
+      return node;
+    }
+    if (t.text == "{") {
+      advance();
+      NodePtr node = make(Node::Kind::Object, t.begin, t.end);
+      while (!check("}")) {
+        if (at_end()) fail("unterminated object literal");
+        const Token& key = peek();
+        if (key.kind != TokenKind::Ident && key.kind != TokenKind::String &&
+            key.kind != TokenKind::Number) {
+          fail("unsupported object key");
+        }
+        advance();
+        node->props.push_back(
+            key.kind == TokenKind::String ? key.str_value : key.text);
+        if (match(":")) {
+          node->kids.push_back(assignment());
+        } else if (key.kind == TokenKind::Ident && !is_reserved_word(key.text)) {
+          // shorthand { name }
+          NodePtr ref = make(Node::Kind::Ident, key.begin, key.end);
+          ref->name = key.text;
+          node->kids.push_back(std::move(ref));
+        } else {
+          fail("expected ':' in object literal");
+        }
+        if (!match(",")) break;
+      }
+      node->end = expect("}", "object literal").end;
+      return node;
+    }
+    fail("unexpected token '" + t.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::size_t nodes_ = 0;
+};
+
+}  // namespace
+
+Program parse(std::string_view source) {
+  LexResult lexed = lex(source);
+  if (!lexed.ok) {
+    Program program;
+    program.error = lexed.error;
+    return program;
+  }
+  return Parser(std::move(lexed.tokens)).run();
+}
+
+bool is_valid_syntax(std::string_view source) { return parse(source).ok; }
+
+}  // namespace jslang

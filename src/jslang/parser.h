@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file jslang/parser.h
+/// Mini JavaScript recursive-descent parser over jslang/lexer.h tokens.
+/// Covers the statement/expression subset the JS front-end folds or walks
+/// past (docs/API.md lists it); anything outside the subset fails the
+/// parse, making the front-end a no-op for that input. Hostile-input
+/// hardened the same way the PS parser is: bounded recursion depth and
+/// bounded node count, both failing the parse rather than the process.
+
+#include <string_view>
+
+#include "jslang/ast.h"
+
+namespace jslang {
+
+/// Parses `source` into a Program; `ok` is false (with `error`) when the
+/// text is outside the supported subset. Never throws.
+[[nodiscard]] Program parse(std::string_view source);
+
+/// Whether `source` parses under the mini grammar (the JS front-end's
+/// per-step rollback oracle).
+[[nodiscard]] bool is_valid_syntax(std::string_view source);
+
+}  // namespace jslang

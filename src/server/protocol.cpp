@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "analysis/json_writer.h"
+#include "frontends/registry.h"
 #include "server/json.h"
 
 namespace ideobf::server {
@@ -222,7 +223,7 @@ bool parse_request_line(std::string_view line, WireRequest& out,
     return false;
   }
   if (!check_keys(*doc,
-                  {"op", "id", "source", "deadline_ms", "trace",
+                  {"op", "id", "source", "language", "deadline_ms", "trace",
                    "server_trace", "options", "scope"},
                   "request", error)) {
     return false;
@@ -280,6 +281,15 @@ bool parse_request_line(std::string_view line, WireRequest& out,
     return false;
   }
   out.request.source = source->as_string();
+  if (!read_string(*doc, "language", out.request.language, error)) {
+    return false;
+  }
+  // Strict like the rest of the schema: a typoed or unregistered language
+  // must fail loudly here, not fall through to an engine passthrough.
+  if (!valid_request_language(out.request.language)) {
+    error = "unknown language '" + out.request.language + "'";
+    return false;
+  }
   if (!read_uint(*doc, "deadline_ms", out.request.deadline_ms, error)) {
     return false;
   }
@@ -312,6 +322,7 @@ std::string render_response_line(const Response& response,
   w.field("id", response.id);
   if (!extras.request_id.empty()) w.field("request_id", extras.request_id);
   w.field("status", status_of(response));
+  if (!response.language.empty()) w.field("language", response.language);
   w.field("result", response.result);
   w.field("failure", to_string(response.failure));
   w.field("failure_detail", response.failure_detail);
@@ -481,6 +492,7 @@ std::string render_request_line(const Request& request) {
   w.field("op", "deobfuscate");
   if (!request.id.empty()) w.field("id", request.id);
   w.field("source", request.source);
+  if (!request.language.empty()) w.field("language", request.language);
   if (request.deadline_ms != 0) {
     w.field("deadline_ms", static_cast<std::int64_t>(request.deadline_ms));
   }
@@ -566,6 +578,9 @@ bool parse_reply_line(std::string_view line, ServeReply& out,
   if (const JsonValue* v = doc->find("id"); v != nullptr) r.id = v->as_string();
   if (const JsonValue* v = doc->find("result"); v != nullptr) {
     r.result = v->as_string();
+  }
+  if (const JsonValue* v = doc->find("language"); v != nullptr) {
+    r.language = v->as_string();
   }
   if (const JsonValue* v = doc->find("failure"); v != nullptr) {
     r.failure = ideobf::failure_from_string(v->as_string());

@@ -35,6 +35,7 @@
 
 #include "analysis/json_writer.h"
 #include "core/fault.h"
+#include "frontends/registry.h"
 #include "ideobf/api.h"
 #include "psvalue/worker_pool.h"
 #include "server/admission.h"
@@ -83,11 +84,23 @@ std::string hash_hex(std::uint64_t h) {
   return std::string(buf, 16);
 }
 
-/// Stable fingerprint text of everything option-shaped that can change a
-/// response — the second half of the shared-cache key. Two requests whose
-/// fingerprints match would produce byte-identical response bodies.
+/// Resolves a request's language field the way the engine will (""
+/// defaults, "auto" sniffs — deterministic per source bytes, so it is
+/// sound as a cache-key component).
+std::string_view resolved_cache_language(std::string_view language,
+                                         std::string_view source) {
+  if (language.empty()) return kDefaultLanguage;
+  if (language == kAutoLanguage) return sniff_language(source);
+  return language;
+}
+
+}  // namespace
+
+// Declared in server.h (exposed for the server tests). Two requests whose
+// fingerprints match would produce byte-identical response bodies.
 std::string options_fingerprint(const Options& o, std::uint64_t deadline_ms,
-                                const std::vector<std::string>& blocklist) {
+                                const std::vector<std::string>& blocklist,
+                                std::string_view language) {
   std::ostringstream fp;
   fp << o.token_pass << '|' << o.ast_recovery << '|' << o.multilayer << '|'
      << o.rename << '|' << o.reformat << '|' << o.parse_cache << '|'
@@ -95,12 +108,10 @@ std::string options_fingerprint(const Options& o, std::uint64_t deadline_ms,
      << '|' << o.limits.degrade << '|' << o.limits.max_layers << '|'
      << o.limits.max_steps_per_piece << '|' << o.limits.max_piece_size << '|'
      << o.limits.watchdog_factor << '|' << o.recovery.trace_functions << '|'
-     << deadline_ms;
+     << deadline_ms << '|' << language;
   for (const std::string& name : blocklist) fp << '|' << name;
   return fp.str();
 }
-
-}  // namespace
 
 int make_unix_listener(const std::string& path) {
   sockaddr_un addr{};
@@ -705,7 +716,9 @@ struct Server::Impl {
       item.cache_key = make_cache_key(
           item.request.source,
           options_fingerprint(cfg.options, item.request.deadline_ms,
-                              blocklist));
+                              blocklist,
+                              resolved_cache_language(item.request.language,
+                                                      item.request.source)));
       const std::uint64_t t0 = telemetry::now_ns();
       const std::uint64_t corrupt_before = cache->stats().corrupt;
       std::string cached;

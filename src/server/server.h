@@ -38,6 +38,8 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "ideobf/options.h"
 
@@ -228,5 +230,15 @@ class Server {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Stable fingerprint text of everything option-shaped that can change a
+/// response — the second half of the shared-cache key (make_cache_key).
+/// `language` must be the request's *resolved* front-end language ("" and
+/// "auto" already normalized), so identical source bytes submitted under
+/// different front-ends never alias to one cached response. Exposed for the
+/// server tests; the server itself is the only production caller.
+[[nodiscard]] std::string options_fingerprint(
+    const Options& options, std::uint64_t deadline_ms,
+    const std::vector<std::string>& blocklist, std::string_view language);
 
 }  // namespace ideobf::server

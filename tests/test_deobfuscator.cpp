@@ -7,6 +7,8 @@
 #include "core/blocklist.h"
 #include "core/deobfuscator.h"
 #include "core/reformat.h"
+#include "core/rename.h"
+#include "core/token_pass.h"
 #include "psast/parser.h"
 #include "psinterp/aes.h"
 #include "psinterp/deflate.h"

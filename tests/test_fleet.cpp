@@ -740,6 +740,44 @@ TEST(SupervisorFleet, KillDashNineYieldsPostmortemNamingInflightRequests) {
   ::close(fd);
 }
 
+TEST(SupervisorFleet, MixedLanguageBatchThroughRealServeBinary) {
+  // A live fleet serving both front-ends: interleaved PowerShell, explicit
+  // JavaScript, and sniffed "auto" requests over one socket, every reply
+  // naming the concrete front-end that served it.
+  FleetProcess fleet({"--no-cache"}, /*workers=*/2);
+  ASSERT_GE(fleet.pid, 0);
+  ASSERT_TRUE(fleet.wait_ready());
+
+  ServeClient client = ServeClient::connect_unix(fleet.socket_path);
+  for (int round = 0; round < 4; ++round) {
+    const std::string tag = std::to_string(round);
+
+    ideobf::Request ps = deobf_request("wr`ite-ho`st 'fleet'", "ps-" + tag);
+    const ideobf::ServeReply ps_reply = client.call(ps);
+    EXPECT_EQ(ps_reply.status, "ok");
+    EXPECT_EQ(ps_reply.response.language, "powershell");
+    EXPECT_NE(ps_reply.response.result.find("Write-Host"), std::string::npos);
+
+    ideobf::Request js =
+        deobf_request("eval('h' + '(\"fleet\")');", "js-" + tag);
+    js.language = "javascript";
+    const ideobf::ServeReply js_reply = client.call(js);
+    EXPECT_EQ(js_reply.status, "ok");
+    EXPECT_EQ(js_reply.response.language, "javascript");
+    EXPECT_EQ(js_reply.response.result, "h(\"fleet\");");
+    EXPECT_EQ(js_reply.response.report.multilayer.layers_unwrapped, 1);
+
+    ideobf::Request sniffed =
+        deobf_request("var u = atob('aGk=');\nsend(u);\n", "auto-" + tag);
+    sniffed.language = "auto";
+    const ideobf::ServeReply auto_reply = client.call(sniffed);
+    EXPECT_EQ(auto_reply.status, "ok");
+    EXPECT_EQ(auto_reply.response.language, "javascript");
+    EXPECT_NE(auto_reply.response.result.find("'hi'"), std::string::npos)
+        << auto_reply.response.result;
+  }
+}
+
 #endif  // IDEOBF_CLI_PATH
 
 }  // namespace

@@ -1,0 +1,231 @@
+// Unit tests for the JS substrate behind the JavaScript front-end: the
+// mini lexer (escapes, regex-vs-division, line-break flags), the mini
+// parser (subset coverage, ASI, hostile-input limits), and the constant
+// evaluator (string assembly builtins, decoding chains, limits).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "jslang/eval.h"
+#include "jslang/lexer.h"
+#include "jslang/parser.h"
+
+namespace {
+
+using namespace jslang;
+
+// --- Lexer -----------------------------------------------------------------
+
+TEST(JsLangLexer, TokenizesIdentifiersNumbersStrings) {
+  const LexResult r = lex("var x = 42; y = 'hi';");
+  ASSERT_TRUE(r.ok);
+  ASSERT_GE(r.tokens.size(), 8u);
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::Ident);
+  EXPECT_EQ(r.tokens[0].text, "var");
+  EXPECT_EQ(r.tokens[3].kind, TokenKind::Number);
+  EXPECT_EQ(r.tokens[3].num_value, 42.0);
+}
+
+TEST(JsLangLexer, DecodesStringEscapes) {
+  const LexResult r = lex("'\\x41\\u0042\\n\\t\\''");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::String);
+  EXPECT_EQ(r.tokens[0].str_value, "AB\n\t'");
+}
+
+TEST(JsLangLexer, HexAndDoubleQuotedStrings) {
+  const LexResult r = lex("\"\\x73\\x65\\x63\"");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.tokens[0].str_value, "sec");
+}
+
+TEST(JsLangLexer, RegexVsDivisionByPreviousToken) {
+  // After an identifier `/` is division; after `=` it starts a regex.
+  const LexResult div = lex("a / b / c");
+  ASSERT_TRUE(div.ok);
+  for (const Token& t : div.tokens) EXPECT_NE(t.kind, TokenKind::Regex);
+
+  const LexResult re = lex("x = /ab+c/g;");
+  ASSERT_TRUE(re.ok);
+  bool saw_regex = false;
+  for (const Token& t : re.tokens) saw_regex |= t.kind == TokenKind::Regex;
+  EXPECT_TRUE(saw_regex);
+}
+
+TEST(JsLangLexer, NewlineBeforeFlagSurvivesComments) {
+  const LexResult r = lex("a // trailing\nb /* block\n */ c");
+  ASSERT_TRUE(r.ok);
+  ASSERT_EQ(r.tokens.size(), 3u);
+  EXPECT_FALSE(r.tokens[0].newline_before);
+  EXPECT_TRUE(r.tokens[1].newline_before);
+  // The block comment contains a line terminator, so ASI applies across it.
+  EXPECT_TRUE(r.tokens[2].newline_before);
+}
+
+TEST(JsLangLexer, TemplateLiteralsFailTheLex) {
+  EXPECT_FALSE(lex("var x = `tpl${y}`;").ok);
+}
+
+TEST(JsLangLexer, ReservedWordsAndIdentifiers) {
+  EXPECT_TRUE(is_reserved_word("if"));
+  EXPECT_TRUE(is_reserved_word("function"));
+  EXPECT_FALSE(is_reserved_word("log"));
+  EXPECT_TRUE(is_identifier("_0xabc1"));
+  EXPECT_TRUE(is_identifier("$jq"));
+  EXPECT_FALSE(is_identifier("3d"));
+  EXPECT_FALSE(is_identifier("a-b"));
+}
+
+// --- Parser ----------------------------------------------------------------
+
+TEST(JsLangParser, ParsesTheSupportedSubset) {
+  EXPECT_TRUE(is_valid_syntax("var a = 1 + 2;"));
+  EXPECT_TRUE(is_valid_syntax("function f(x) { return x * 2; }"));
+  EXPECT_TRUE(is_valid_syntax("if (a) { b(); } else { c(); }"));
+  EXPECT_TRUE(is_valid_syntax("for (var i = 0; i < 3; i++) f(i);"));
+  EXPECT_TRUE(is_valid_syntax("while (x) { x--; }"));
+  EXPECT_TRUE(is_valid_syntax("try { f(); } catch (e) { g(e); }"));
+  EXPECT_TRUE(is_valid_syntax("var o = {a: 1, 'b': 2};"));
+  EXPECT_TRUE(is_valid_syntax("x = cond ? a : b;"));
+}
+
+TEST(JsLangParser, RejectsWhatItDoesNotModel) {
+  EXPECT_FALSE(is_valid_syntax("var x = ;"));
+  EXPECT_FALSE(is_valid_syntax("function ( {"));
+  EXPECT_FALSE(is_valid_syntax("if (a"));
+}
+
+TEST(JsLangParser, AutomaticSemicolonInsertion) {
+  // Statements separated only by newlines parse (ASI supplies the `;`).
+  EXPECT_TRUE(is_valid_syntax("var a = 1\nvar b = 2\nf(a + b)"));
+  // ...but two expressions on one line with no separator do not.
+  EXPECT_FALSE(is_valid_syntax("var a = 1 var b = 2"));
+}
+
+TEST(JsLangParser, ExtentsCoverTheSourceSlice) {
+  const std::string src = "var a = 'x' + 'y';";
+  const Program p = parse(src);
+  ASSERT_TRUE(p.ok);
+  ASSERT_EQ(p.stmts.size(), 1u);
+  const Node& decl = *p.stmts[0];
+  EXPECT_EQ(decl.kind, Node::Kind::VarDecl);
+  EXPECT_EQ(decl.begin, 0u);
+  EXPECT_EQ(src.substr(decl.begin, decl.end - decl.begin).substr(0, 3), "var");
+}
+
+TEST(JsLangParser, DepthLimitFailsParseNotProcess) {
+  std::string bomb;
+  for (int i = 0; i < 5000; ++i) bomb += "(";
+  bomb += "1";
+  for (int i = 0; i < 5000; ++i) bomb += ")";
+  EXPECT_FALSE(is_valid_syntax(bomb));
+}
+
+// --- Evaluator -------------------------------------------------------------
+
+std::optional<JsValue> eval_expr(
+    const std::string& expr,
+    const std::map<std::string, JsValue>& env = {}) {
+  const Program p = parse(expr + ";");
+  if (!p.ok || p.stmts.size() != 1 ||
+      p.stmts[0]->kind != Node::Kind::ExprStmt) {
+    return std::nullopt;
+  }
+  return evaluate(*p.stmts[0]->kids[0], env, EvalLimits{});
+}
+
+std::string eval_string(const std::string& expr,
+                        const std::map<std::string, JsValue>& env = {}) {
+  const auto v = eval_expr(expr, env);
+  return v && v->kind == JsValue::Kind::String ? v->string : "<fail>";
+}
+
+TEST(JsLangEval, StringConcatenation) {
+  EXPECT_EQ(eval_string("'ev' + 'al'"), "eval");
+  EXPECT_EQ(eval_string("'n=' + 42"), "n=42");
+  EXPECT_EQ(eval_string("1 + 2 + 'x'"), "3x");
+}
+
+TEST(JsLangEval, FromCharCodeAndCodePoint) {
+  EXPECT_EQ(eval_string("String.fromCharCode(104, 105)"), "hi");
+  EXPECT_EQ(eval_string("String.fromCharCode(0x41)"), "A");
+}
+
+TEST(JsLangEval, AtobDecodesBase64) {
+  EXPECT_EQ(eval_string("atob('aGVsbG8=')"), "hello");
+  // Whitespace-forgiving, invalid input bails instead of mis-decoding.
+  EXPECT_EQ(eval_string("atob('aGVs bG8=')"), "hello");
+  EXPECT_FALSE(eval_expr("atob('!!!')").has_value());
+}
+
+TEST(JsLangEval, UnescapeAndDecodeURIComponent) {
+  EXPECT_EQ(eval_string("unescape('%63%61%6c%63')"), "calc");
+  EXPECT_EQ(eval_string("decodeURIComponent('%48i')"), "Hi");
+}
+
+TEST(JsLangEval, SplitReverseJoin) {
+  EXPECT_EQ(eval_string("'gnirts'.split('').reverse().join('')"), "string");
+  EXPECT_EQ(eval_string("'a,b,c'.split(',').join('-')"), "a-b-c");
+}
+
+TEST(JsLangEval, SliceCasingAndCharAt) {
+  EXPECT_EQ(eval_string("'Download'.toLowerCase()"), "download");
+  EXPECT_EQ(eval_string("'abcdef'.slice(1, 4)"), "bcd");
+  EXPECT_EQ(eval_string("'abc'.charAt(1)"), "b");
+  EXPECT_EQ(eval_string("'hello'.substr(1, 3)"), "ell");
+}
+
+TEST(JsLangEval, ParseIntAndNumericOps) {
+  const auto v = eval_expr("parseInt('ff', 16)");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->kind, JsValue::Kind::Number);
+  EXPECT_EQ(v->number, 255.0);
+  const auto bits = eval_expr("(5 << 2) | 1");
+  ASSERT_TRUE(bits.has_value());
+  EXPECT_EQ(bits->number, 21.0);
+}
+
+TEST(JsLangEval, TracedVariablesResolveFromEnv) {
+  std::map<std::string, JsValue> env;
+  env["a"] = JsValue::string_value("pay");
+  env["b"] = JsValue::string_value("load");
+  EXPECT_EQ(eval_string("a + b", env), "payload");
+}
+
+TEST(JsLangEval, OutsideTheSubsetBails) {
+  // eval() itself is the multilayer pass's business, never folded here.
+  EXPECT_FALSE(eval_expr("eval('1+1')").has_value());
+  EXPECT_FALSE(eval_expr("document.write('x')").has_value());
+  EXPECT_FALSE(eval_expr("unknownVariable + 'x'").has_value());
+}
+
+TEST(JsLangEval, StepLimitBoundsRepeat) {
+  const Program p = parse("'a'.repeat(1000000000);");
+  ASSERT_TRUE(p.ok);
+  EvalLimits limits;
+  limits.max_value_bytes = 1u << 16;
+  EXPECT_FALSE(evaluate(*p.stmts[0]->kids[0], {}, limits).has_value());
+}
+
+TEST(JsLangEval, ToJsLiteralRoundTrips) {
+  EXPECT_EQ(to_js_literal(JsValue::string_value("a'b\\c")), "'a\\'b\\\\c'");
+  EXPECT_EQ(to_js_literal(JsValue::number_value(255)), "255");
+  EXPECT_EQ(to_js_literal(JsValue::boolean_value(true)), "true");
+  // No faithful literal form: the caller must leave the piece untouched.
+  EXPECT_EQ(to_js_literal(JsValue::undefined()), "");
+}
+
+TEST(JsLangEval, JsToStringMatchesJsSemantics) {
+  EXPECT_EQ(js_to_string(JsValue::number_value(0.5)), "0.5");
+  EXPECT_EQ(js_to_string(JsValue::string_value("x")), "x");
+  std::vector<JsValue> items;
+  items.push_back(JsValue::string_value("a"));
+  items.push_back(JsValue::string_value("b"));
+  EXPECT_EQ(js_to_string(JsValue::array_value(std::move(items))), "a,b");
+}
+
+}  // namespace

@@ -726,3 +726,141 @@ TEST(FlightRecorder, RingRecordsLifecycleAndMirrorsToFile) {
   EXPECT_LT(dump.find("w0-8"), dump.find("w0-7")) << dump;
   ::unlink(path.c_str());
 }
+
+// ---------------------------------------------------------------- language
+
+TEST(ServerLanguage, UnknownLanguageIsRefusedAtParseNotGuessed) {
+  const std::string sock = test_socket("lang-refuse");
+  Server server(base_config(sock));
+  server.start();
+
+  RawConn conn(sock);
+  conn.send_line(
+      R"({"op":"deobfuscate","source":"x = 1","language":"klingon"})");
+  const std::string reply = conn.recv_line();
+  // Strict like the rest of the schema: a typoed language fails the parse
+  // loudly instead of falling through to an engine passthrough.
+  EXPECT_NE(reply.find("\"status\":\"invalid\""), std::string::npos) << reply;
+  EXPECT_NE(reply.find("unknown language"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("klingon"), std::string::npos) << reply;
+
+  server.stop();
+  EXPECT_GE(server.stats().invalid_total, 1u);
+}
+
+TEST(ServerLanguage, JavascriptRequestRoundTripsOverTheWire) {
+  const std::string sock = test_socket("lang-js");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  Request request = deobf_request("eval('con' + 'sole.log(\"w\")');", "js-1");
+  request.language = "javascript";
+  const ServeReply reply = client.call(request);
+  EXPECT_EQ(reply.status, "ok");
+  EXPECT_EQ(reply.response.language, "javascript");
+  EXPECT_EQ(reply.response.result, "console.log(\"w\");");
+  EXPECT_EQ(reply.response.report.multilayer.layers_unwrapped, 1);
+
+  server.stop();
+}
+
+TEST(ServerLanguage, AutoSniffsEachRequestToItsFrontend) {
+  const std::string sock = test_socket("lang-auto");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  Request js = deobf_request("var x = atob('aGk=');\nf(x);\n", "auto-js");
+  js.language = "auto";
+  const ServeReply js_reply = client.call(js);
+  EXPECT_EQ(js_reply.response.language, "javascript");
+  EXPECT_NE(js_reply.response.result.find("'hi'"), std::string::npos)
+      << js_reply.response.result;
+
+  Request ps = deobf_request(kTicked, "auto-ps");
+  ps.language = "auto";
+  const ServeReply ps_reply = client.call(ps);
+  EXPECT_EQ(ps_reply.response.language, "powershell");
+  EXPECT_NE(ps_reply.response.result.find("Write-Host"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(ServerLanguage, MixedLanguageTrafficOnOneConnection) {
+  const std::string sock = test_socket("lang-mixed");
+  Server server(base_config(sock));
+  server.start();
+
+  ServeClient client = ServeClient::connect_unix(sock);
+  for (int round = 0; round < 3; ++round) {
+    Request ps = deobf_request(kTicked, "ps-" + std::to_string(round));
+    const ServeReply ps_reply = client.call(ps);
+    EXPECT_EQ(ps_reply.response.language, "powershell");
+    EXPECT_TRUE(ps_reply.response.ok);
+
+    Request js = deobf_request("g('a' + 'b');", "js-" + std::to_string(round));
+    js.language = "javascript";
+    const ServeReply js_reply = client.call(js);
+    EXPECT_EQ(js_reply.response.language, "javascript");
+    EXPECT_EQ(js_reply.response.result, "g('ab');");
+  }
+
+  server.stop();
+  EXPECT_GE(server.stats().ok_total, 6u);
+}
+
+TEST(ServerLanguage, OptionsFingerprintDivergesPerLanguage) {
+  // The shared-cache key's second half must separate languages: identical
+  // options and source bytes submitted under different front-ends may
+  // never alias to one cached response.
+  const ideobf::Options options;
+  const std::vector<std::string> blocklist;
+  const std::string ps_fp = ideobf::server::options_fingerprint(
+      options, 0, blocklist, "powershell");
+  const std::string js_fp = ideobf::server::options_fingerprint(
+      options, 0, blocklist, "javascript");
+  EXPECT_NE(ps_fp, js_fp);
+  // Deterministic per language, so hits still happen within one.
+  EXPECT_EQ(ps_fp, ideobf::server::options_fingerprint(options, 0, blocklist,
+                                                       "powershell"));
+}
+
+TEST(ServerLanguage, SharedCacheDoesNotAliasAcrossLanguages) {
+  const std::string sock = test_socket("lang-cache");
+  const std::string cache = "/tmp/ideobf-test-langcache-" +
+                            std::to_string(::getpid()) + ".bin";
+  ServerConfig cfg = base_config(sock);
+  cfg.cache_path = cache;
+  Server server(cfg);
+  server.start();
+
+  // The same source bytes, valid in both grammars, with different
+  // pipeline results: PowerShell leaves it alone, JavaScript folds it.
+  const std::string source = "g('a' + 'b');";
+  ServeClient client = ServeClient::connect_unix(sock);
+
+  Request ps = deobf_request(source, "cache-ps");
+  ps.language = "powershell";
+  const ServeReply ps_reply = client.call(ps);
+  EXPECT_TRUE(ps_reply.response.ok);
+  EXPECT_FALSE(ps_reply.cached);
+
+  Request js = deobf_request(source, "cache-js");
+  js.language = "javascript";
+  const ServeReply js_reply = client.call(js);
+  // A language-blind cache key would serve the PowerShell entry here.
+  EXPECT_FALSE(js_reply.cached);
+  EXPECT_EQ(js_reply.response.result, "g('ab');");
+  EXPECT_NE(js_reply.response.result, ps_reply.response.result);
+
+  // Within one language the cache still hits.
+  Request js_again = deobf_request(source, "cache-js-2");
+  js_again.language = "javascript";
+  const ServeReply again = client.call(js_again);
+  EXPECT_TRUE(again.cached);
+  EXPECT_EQ(again.response.result, "g('ab');");
+
+  server.stop();
+  ::unlink(cache.c_str());
+}

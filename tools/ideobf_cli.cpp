@@ -2,7 +2,11 @@
 // the paper's released PowerShell module.
 //
 //   ideobf deobf [file|-]            deobfuscate a script (stdin with -)
-//   ideobf batch <dir>               deobfuscate every *.ps1 in a directory
+//   ideobf batch <dir>               deobfuscate every *.ps1 / *.js in a dir
+//
+// Both accept --language <name|auto>: route to a registered front-end
+// ("powershell", "javascript") or sniff per script with "auto"; batch
+// otherwise picks the front-end from each file's extension.
 //   ideobf serve --socket PATH       persistent deobfuscation daemon (NDJSON)
 //   ideobf score [file|-]            obfuscation score + detected techniques
 //   ideobf iocs [file|-]             deobfuscate then extract key information
@@ -201,13 +205,15 @@ void print_cache_stats(std::ostream& os, int memo_hits, int memo_misses) {
 }
 
 int cmd_deobf(const std::string& path, bool trace_functions,
-              double deadline_seconds, TelemetrySession& tel) {
+              double deadline_seconds, const std::string& language,
+              TelemetrySession& tel) {
   ideobf::Options opts;
   opts.recovery.trace_functions = trace_functions;
   opts.limits.deadline_seconds = deadline_seconds;
   ideobf::Engine engine(opts);
   ideobf::Request request;
   request.source = read_input(path);
+  request.language = language;
   tel.start();
   const ideobf::Response response = engine.handle(request);
   const ideobf::DeobfuscationReport& report = response.report;
@@ -219,7 +225,8 @@ int cmd_deobf(const std::string& path, bool trace_functions,
             << " vars=" << report.recovery.variables_traced
             << " layers=" << report.multilayer.layers_unwrapped
             << " failure=" << to_string(response.failure)
-            << " rung=" << report.degradation_rung << "\n";
+            << " rung=" << report.degradation_rung
+            << " language=" << response.language << "\n";
   if (tel.stats) {
     print_cache_stats(std::cerr, report.recovery.memo_hits,
                       report.recovery.memo_misses);
@@ -230,12 +237,14 @@ int cmd_deobf(const std::string& path, bool trace_functions,
 }
 
 int cmd_batch(const std::string& dir, unsigned threads,
-              double deadline_seconds, bool as_json, TelemetrySession& tel) {
+              double deadline_seconds, bool as_json,
+              const std::string& language, TelemetrySession& tel) {
   namespace fs = std::filesystem;
   std::error_code ec;
   std::vector<std::string> paths;
   for (const auto& entry : fs::directory_iterator(dir, ec)) {
-    if (entry.is_regular_file() && entry.path().extension() == ".ps1") {
+    if (entry.is_regular_file() && (entry.path().extension() == ".ps1" ||
+                                    entry.path().extension() == ".js")) {
       paths.push_back(entry.path().string());
     }
   }
@@ -245,13 +254,20 @@ int cmd_batch(const std::string& dir, unsigned threads,
   }
   std::sort(paths.begin(), paths.end());
   if (paths.empty()) {
-    std::cerr << "ideobf: no .ps1 files in " << dir << "\n";
+    std::cerr << "ideobf: no .ps1 or .js files in " << dir << "\n";
     return 2;
   }
   std::vector<ideobf::Request> requests(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) {
     requests[i].source = read_input(paths[i]);
     requests[i].id = paths[i];
+    // Explicit --language wins; otherwise the extension picks the front-end
+    // (".js" routes to the JavaScript front-end, ".ps1" keeps the default).
+    if (!language.empty()) {
+      requests[i].language = language;
+    } else if (fs::path(paths[i]).extension() == ".js") {
+      requests[i].language = "javascript";
+    }
   }
 
   ideobf::Options options;
@@ -672,21 +688,25 @@ int main(int argc, char** argv) {
     bool trace_fn = false;
     double deadline_seconds = 0.0;
     std::string path = "-";
+    std::string language;
     TelemetrySession tel;
     for (int i = 2; i < argc; ++i) {
       const std::string a = argv[i];
       if (a == "--trace-functions") trace_fn = true;
       else if (a == "--deadline-ms" && i + 1 < argc)
         deadline_seconds = std::atof(argv[++i]) / 1000.0;
+      else if (a == "--language" && i + 1 < argc)
+        language = argv[++i];
       else if (!tel.consume(a)) path = a;
     }
-    return cmd_deobf(path, trace_fn, deadline_seconds, tel);
+    return cmd_deobf(path, trace_fn, deadline_seconds, language, tel);
   }
   if (cmd == "batch") {
     unsigned threads = 0;
     double deadline_seconds = 0.0;
     bool as_json = false;
     std::string dir;
+    std::string language;
     TelemetrySession tel;
     for (int i = 2; i < argc; ++i) {
       const std::string a = argv[i];
@@ -694,11 +714,13 @@ int main(int argc, char** argv) {
         threads = static_cast<unsigned>(std::atoi(argv[++i]));
       else if (a == "--deadline-ms" && i + 1 < argc)
         deadline_seconds = std::atof(argv[++i]) / 1000.0;
+      else if (a == "--language" && i + 1 < argc)
+        language = argv[++i];
       else if (a == "--json") as_json = true;
       else if (!tel.consume(a)) dir = a;
     }
     if (dir.empty()) return usage();
-    return cmd_batch(dir, threads, deadline_seconds, as_json, tel);
+    return cmd_batch(dir, threads, deadline_seconds, as_json, language, tel);
   }
   if (cmd == "serve") return cmd_serve(argc, argv);
   bool as_json = false;
